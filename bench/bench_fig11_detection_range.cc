@@ -1,0 +1,70 @@
+// Figure 11: effect of the RFID detection range (the OTT is regenerated for
+// each range, like in the paper).
+//   (a) snapshot queries — running time *increases* with the range (larger
+//       uncertainty regions cost more area estimation);
+//   (b) interval queries — running time *decreases* with the range (the
+//       inter-device ellipses shrink as ranges grow).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace indoorflow {
+namespace {
+
+using bench::AlgoOf;
+
+void BM_Fig11a_Snapshot(benchmark::State& state) {
+  const double range = state.range(0) / 100.0;
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data =
+      bench::OfficeData(bench::kPaperObjectsDefault, range);
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const Timestamp t = bench::SnapshotTime(data);
+  for (auto _ : state) {
+    auto result =
+        engine.SnapshotTopK(t, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig11b_Interval(benchmark::State& state) {
+  const double range = state.range(0) / 100.0;
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data =
+      bench::OfficeData(bench::kPaperObjectsDefault, range);
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void RangeArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (double r : bench::kDetectionRanges) {
+      b->Args({static_cast<int>(r * 100), algo});
+    }
+  }
+}
+
+BENCHMARK(BM_Fig11a_Snapshot)
+    ->Apply(RangeArgs)
+    ->ArgNames({"range_cm", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig11b_Interval)
+    ->Apply(RangeArgs)
+    ->ArgNames({"range_cm", "algo"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace indoorflow

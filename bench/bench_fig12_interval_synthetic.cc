@@ -1,0 +1,127 @@
+// Figure 12: interval top-k query on the synthetic (office) dataset.
+//   (a) vs k            — stable except extra relative cost at k = 1;
+//   (b) vs |P|          — iterative grows, join stays stable;
+//   (c) vs |O|          — both grow, join stays faster (scalability);
+//   (d) vs t_e - t_s    — both grow with longer query intervals.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace indoorflow {
+namespace {
+
+using bench::AlgoOf;
+
+const Dataset& DefaultData() {
+  return bench::OfficeData(bench::kPaperObjectsDefault,
+                           bench::kDetectionRangeDefault);
+}
+
+void BM_Fig12a_EffectOfK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = DefaultData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result = engine.IntervalTopK(ts, te, k, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig12b_EffectOfP(benchmark::State& state) {
+  const int percent = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = DefaultData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset = bench::PoiSubset(data, percent);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig12c_EffectOfO(benchmark::State& state) {
+  const int paper_objects = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data =
+      bench::OfficeData(paper_objects, bench::kDetectionRangeDefault);
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+  state.counters["objects"] = bench::ScaledObjects(paper_objects);
+}
+
+void BM_Fig12d_EffectOfInterval(benchmark::State& state) {
+  const int minutes = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = DefaultData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] = bench::IntervalWindow(data, minutes);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void KArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int k : bench::kKValues) b->Args({k, algo});
+  }
+}
+void PArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int p : bench::kPoiPercents) b->Args({p, algo});
+  }
+}
+void OArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int o : bench::kPaperObjects) b->Args({o, algo});
+  }
+}
+void LenArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int m : bench::kIntervalMinutes) b->Args({m, algo});
+  }
+}
+
+BENCHMARK(BM_Fig12a_EffectOfK)
+    ->Apply(KArgs)
+    ->ArgNames({"k", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig12b_EffectOfP)
+    ->Apply(PArgs)
+    ->ArgNames({"P_pct", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig12c_EffectOfO)
+    ->Apply(OArgs)
+    ->ArgNames({"O_paper", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig12d_EffectOfInterval)
+    ->Apply(LenArgs)
+    ->ArgNames({"minutes", "algo"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,66 @@
+// Figure 13: snapshot top-k query on the CPH-like (airport Bluetooth)
+// dataset.
+//   (a) vs k   — both algorithms stable, join faster;
+//   (b) vs |P| — moderate, near-linear growth for both.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace indoorflow {
+namespace {
+
+using bench::AlgoOf;
+
+void BM_Fig13a_EffectOfK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = bench::CphData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const Timestamp t = bench::SnapshotTime(data);
+  for (auto _ : state) {
+    auto result = engine.SnapshotTopK(t, k, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig13b_EffectOfP(benchmark::State& state) {
+  const int percent = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = bench::CphData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset = bench::PoiSubset(data, percent);
+  const Timestamp t = bench::SnapshotTime(data);
+  for (auto _ : state) {
+    auto result =
+        engine.SnapshotTopK(t, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void KArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int k : bench::kKValues) b->Args({k, algo});
+  }
+}
+void PArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int p : bench::kPoiPercents) b->Args({p, algo});
+  }
+}
+
+BENCHMARK(BM_Fig13a_EffectOfK)
+    ->Apply(KArgs)
+    ->ArgNames({"k", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig13b_EffectOfP)
+    ->Apply(PArgs)
+    ->ArgNames({"P_pct", "algo"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,94 @@
+// Figure 14: interval top-k query on the CPH-like (airport Bluetooth)
+// dataset.
+//   (a) vs k               — join more efficient and more stable;
+//   (b) vs |P|             — join stable thanks to the finer sub-MBRs;
+//   (c) vs interval length — both grow, join stays faster.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+
+namespace indoorflow {
+namespace {
+
+using bench::AlgoOf;
+
+void BM_Fig14a_EffectOfK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = bench::CphData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result = engine.IntervalTopK(ts, te, k, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig14b_EffectOfP(benchmark::State& state) {
+  const int percent = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = bench::CphData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset = bench::PoiSubset(data, percent);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig14c_EffectOfInterval(benchmark::State& state) {
+  const int minutes = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = bench::CphData();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] = bench::IntervalWindow(data, minutes);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void KArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int k : bench::kKValues) b->Args({k, algo});
+  }
+}
+void PArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int p : bench::kPoiPercents) b->Args({p, algo});
+  }
+}
+void LenArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int m : bench::kIntervalMinutes) b->Args({m, algo});
+  }
+}
+
+BENCHMARK(BM_Fig14a_EffectOfK)
+    ->Apply(KArgs)
+    ->ArgNames({"k", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig14b_EffectOfP)
+    ->Apply(PArgs)
+    ->ArgNames({"P_pct", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig14c_EffectOfInterval)
+    ->Apply(LenArgs)
+    ->ArgNames({"minutes", "algo"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace indoorflow

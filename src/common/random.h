@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for simulation and tests.
+//
+// All randomness in indoorflow flows through Rng so that dataset generation,
+// tests, and benchmarks are reproducible across runs and platforms. The
+// engine is xoshiro256**, seeded via SplitMix64 (public-domain algorithms by
+// Blackman & Vigna).
+
+#ifndef INDOORFLOW_COMMON_RANDOM_H_
+#define INDOORFLOW_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding: decorrelates nearby seeds.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    INDOORFLOW_CHECK(n > 0);
+    // Lemire's nearly-divisionless method would be faster; modulo bias is
+    // negligible for the n << 2^64 values used here, but we reject anyway
+    // for exactness.
+    const uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    INDOORFLOW_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean) {
+    INDOORFLOW_CHECK(mean > 0);
+    // Avoid log(0): NextDouble() is in [0, 1), so 1 - u is in (0, 1].
+    return -mean * std::log(1.0 - NextDouble());
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_RANDOM_H_

@@ -1,0 +1,221 @@
+#include "src/core/engine.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+namespace indoorflow {
+
+QueryEngine::QueryEngine(const FloorPlan& plan, const DoorGraph& graph,
+                         const Deployment& deployment,
+                         const ObjectTrackingTable& table, const PoiSet& pois,
+                         EngineConfig config)
+    : table_(table), pois_(pois), config_(config) {
+  INDOORFLOW_CHECK(table_.finalized());
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    INDOORFLOW_CHECK(pois_[i].id == static_cast<PoiId>(i));
+  }
+  artree_ = ARTree::Build(table_, config_.artree_fanout);
+  if (config_.topology != TopologyMode::kOff) {
+    topology_.emplace(plan, graph, deployment);
+  }
+  model_ = std::make_unique<UncertaintyModel>(
+      table_, deployment, config_.vmax,
+      topology_.has_value() ? &*topology_ : nullptr, config_.topology);
+  poi_regions_.reserve(pois_.size());
+  poi_areas_.reserve(pois_.size());
+  for (const Poi& poi : pois_) {
+    poi_regions_.push_back(Region::Make(poi.shape));
+    poi_areas_.push_back(poi.Area());
+  }
+}
+
+QueryEngine::QueryEngine(const Dataset& dataset, EngineConfig config)
+    : QueryEngine(dataset.built.plan, *dataset.door_graph,
+                  dataset.deployment, dataset.ott, dataset.pois,
+                  [&] {
+                    config.vmax = dataset.vmax;
+                    return config;
+                  }()) {}
+
+QueryContext QueryEngine::MakeContext() const {
+  QueryContext ctx;
+  ctx.table = &table_;
+  ctx.artree = &artree_;
+  ctx.model = model_.get();
+  ctx.pois = &pois_;
+  ctx.poi_regions = &poi_regions_;
+  ctx.poi_areas = &poi_areas_;
+  ctx.flow = &config_.flow;
+  ctx.ri_fanout = config_.ri_fanout;
+  ctx.interval_sub_mbrs = config_.interval_sub_mbrs;
+  ctx.join_area_bounds = config_.join_area_bounds;
+  return ctx;
+}
+
+std::vector<PoiId> QueryEngine::AllPoiIds() const {
+  std::vector<PoiId> ids;
+  ids.reserve(pois_.size());
+  for (const Poi& poi : pois_) ids.push_back(poi.id);
+  return ids;
+}
+
+RTree QueryEngine::BuildPoiTree(const std::vector<PoiId>& subset) const {
+  std::vector<RTree::Item> items;
+  items.reserve(subset.size());
+  for (PoiId id : subset) {
+    // Item::value carries the POI area for the area-aware join bounds.
+    items.push_back(RTree::Item{id,
+                                pois_[static_cast<size_t>(id)].shape.Bounds(),
+                                poi_areas_[static_cast<size_t>(id)]});
+  }
+  return RTree::BulkLoad(std::move(items), config_.poi_fanout);
+}
+
+std::vector<PoiFlow> QueryEngine::SnapshotTopK(
+    Timestamp t, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats) const {
+  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
+  const RTree poi_tree = BuildPoiTree(ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  switch (algorithm) {
+    case Algorithm::kIterative:
+      return IterativeSnapshot(ctx, poi_tree, ids, t, k);
+    case Algorithm::kJoin:
+      return JoinSnapshot(ctx, poi_tree, ids, t, k);
+  }
+  return {};
+}
+
+std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
+    const std::vector<Timestamp>& times, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, int threads) const {
+  std::vector<std::vector<PoiFlow>> results(times.size());
+  if (times.empty()) return results;
+  unsigned worker_count = threads > 0
+                              ? static_cast<unsigned>(threads)
+                              : std::max(1u, std::thread::hardware_concurrency());
+  worker_count = std::min<unsigned>(worker_count,
+                                    static_cast<unsigned>(times.size()));
+  std::atomic<size_t> next{0};
+  const auto work = [&] {
+    for (size_t i = next.fetch_add(1); i < times.size();
+         i = next.fetch_add(1)) {
+      results[i] = SnapshotTopK(times[i], k, algorithm, subset);
+    }
+  };
+  if (worker_count <= 1) {
+    work();
+    return results;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) workers.emplace_back(work);
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
+    Timestamp t, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats) const {
+  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
+  const RTree poi_tree = BuildPoiTree(ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  switch (algorithm) {
+    case Algorithm::kIterative:
+      return IterativeSnapshotDensity(ctx, poi_tree, ids, t, k);
+    case Algorithm::kJoin:
+      return JoinSnapshotDensity(ctx, poi_tree, ids, t, k);
+  }
+  return {};
+}
+
+std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
+    Timestamp ts, Timestamp te, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats) const {
+  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
+  const RTree poi_tree = BuildPoiTree(ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  switch (algorithm) {
+    case Algorithm::kIterative:
+      return IterativeIntervalDensity(ctx, poi_tree, ids, ts, te, k);
+    case Algorithm::kJoin:
+      return JoinIntervalDensity(ctx, poi_tree, ids, ts, te, k);
+  }
+  return {};
+}
+
+Region QueryEngine::ObjectRegionAt(ObjectId object, Timestamp t) const {
+  const SnapshotState state = ResolveSnapshotStateAt(table_, object, t);
+  if (!state.active() && state.pre == kInvalidRecord &&
+      state.suc == kInvalidRecord) {
+    return Region();
+  }
+  return model_->Snapshot(state, t);
+}
+
+std::vector<ObjectId> QueryEngine::ActiveObjects(Timestamp t) const {
+  std::vector<ARTreeEntry> entries;
+  artree_.PointQuery(t, &entries);
+  std::vector<ObjectId> objects;
+  objects.reserve(entries.size());
+  for (const ARTreeEntry& entry : entries) {
+    objects.push_back(table_.record(entry.cur).object_id);
+  }
+  std::sort(objects.begin(), objects.end());
+  objects.erase(std::unique(objects.begin(), objects.end()), objects.end());
+  return objects;
+}
+
+std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
+    Timestamp t, double tau, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats) const {
+  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
+  const RTree poi_tree = BuildPoiTree(ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  switch (algorithm) {
+    case Algorithm::kIterative:
+      return IterativeSnapshotThreshold(ctx, poi_tree, ids, t, tau);
+    case Algorithm::kJoin:
+      return JoinSnapshotThreshold(ctx, poi_tree, t, tau);
+  }
+  return {};
+}
+
+std::vector<PoiFlow> QueryEngine::IntervalThreshold(
+    Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats) const {
+  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
+  const RTree poi_tree = BuildPoiTree(ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  switch (algorithm) {
+    case Algorithm::kIterative:
+      return IterativeIntervalThreshold(ctx, poi_tree, ids, ts, te, tau);
+    case Algorithm::kJoin:
+      return JoinIntervalThreshold(ctx, poi_tree, ts, te, tau);
+  }
+  return {};
+}
+
+std::vector<PoiFlow> QueryEngine::IntervalTopK(
+    Timestamp ts, Timestamp te, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats) const {
+  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
+  const RTree poi_tree = BuildPoiTree(ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  switch (algorithm) {
+    case Algorithm::kIterative:
+      return IterativeInterval(ctx, poi_tree, ids, ts, te, k);
+    case Algorithm::kJoin:
+      return JoinInterval(ctx, poi_tree, ids, ts, te, k);
+  }
+  return {};
+}
+
+}  // namespace indoorflow

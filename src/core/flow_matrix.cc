@@ -1,0 +1,100 @@
+#include "src/core/flow_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/core/flow.h"
+
+namespace indoorflow {
+
+FlowMatrix FlowMatrix::Build(const QueryEngine& engine, Timestamp t0,
+                             Timestamp t1,
+                             const FlowMatrixOptions& options) {
+  INDOORFLOW_CHECK(options.bucket_seconds > 0.0);
+  INDOORFLOW_CHECK(t1 >= t0);
+  FlowMatrix matrix;
+  const auto num_buckets = static_cast<size_t>(
+      std::max(1.0, std::ceil((t1 - t0) / options.bucket_seconds)));
+  // One probe per bucket center.
+  for (size_t i = 0; i < num_buckets; ++i) {
+    matrix.bucket_times_.push_back(
+        t0 + (static_cast<double>(i) + 0.5) * options.bucket_seconds);
+  }
+
+  // k = "all": the engine pads with zero flows, so every POI appears.
+  const auto per_bucket = engine.SnapshotTopKBatch(
+      matrix.bucket_times_, std::numeric_limits<int>::max(),
+      options.algorithm, nullptr, options.threads);
+  for (size_t bucket = 0; bucket < per_bucket.size(); ++bucket) {
+    const std::vector<PoiFlow>& flows = per_bucket[bucket];
+    if (bucket == 0) {
+      matrix.num_pois_ = flows.size();
+      matrix.flows_.assign(num_buckets * matrix.num_pois_, 0.0);
+    }
+    INDOORFLOW_CHECK(flows.size() == matrix.num_pois_);
+    for (const PoiFlow& f : flows) {
+      matrix.flows_[bucket * matrix.num_pois_ +
+                    static_cast<size_t>(f.poi)] = f.flow;
+    }
+  }
+  return matrix;
+}
+
+double FlowMatrix::ApproxFlow(PoiId poi, Timestamp t) const {
+  INDOORFLOW_CHECK(!bucket_times_.empty());
+  if (t <= bucket_times_.front()) return FlowAt(0, poi);
+  if (t >= bucket_times_.back()) {
+    return FlowAt(bucket_times_.size() - 1, poi);
+  }
+  const auto it = std::upper_bound(bucket_times_.begin(),
+                                   bucket_times_.end(), t);
+  const size_t hi = static_cast<size_t>(it - bucket_times_.begin());
+  const size_t lo = hi - 1;
+  const double span = bucket_times_[hi] - bucket_times_[lo];
+  const double w = span > 0.0 ? (t - bucket_times_[lo]) / span : 0.0;
+  return (1.0 - w) * FlowAt(lo, poi) + w * FlowAt(hi, poi);
+}
+
+std::vector<PoiFlow> FlowMatrix::ApproxSnapshotTopK(Timestamp t,
+                                                    int k) const {
+  std::vector<PoiFlow> flows;
+  flows.reserve(num_pois_);
+  for (size_t poi = 0; poi < num_pois_; ++poi) {
+    flows.push_back(
+        PoiFlow{static_cast<PoiId>(poi),
+                ApproxFlow(static_cast<PoiId>(poi), t)});
+  }
+  return TopK(std::move(flows), k);
+}
+
+std::vector<PoiFlow> FlowMatrix::AverageOccupancyTopK(Timestamp ts,
+                                                      Timestamp te,
+                                                      int k) const {
+  INDOORFLOW_CHECK(te >= ts);
+  std::vector<PoiFlow> flows;
+  flows.reserve(num_pois_);
+  // Trapezoidal average of the interpolated flow over [ts, te], sampled at
+  // the window edges and every bucket center inside.
+  std::vector<Timestamp> samples = {ts};
+  for (const Timestamp t : bucket_times_) {
+    if (t > ts && t < te) samples.push_back(t);
+  }
+  samples.push_back(te);
+  for (size_t poi = 0; poi < num_pois_; ++poi) {
+    const PoiId id = static_cast<PoiId>(poi);
+    double area = 0.0;
+    for (size_t i = 0; i + 1 < samples.size(); ++i) {
+      const double dt = samples[i + 1] - samples[i];
+      area += 0.5 * (ApproxFlow(id, samples[i]) +
+                     ApproxFlow(id, samples[i + 1])) *
+              dt;
+    }
+    const double span = te - ts;
+    flows.push_back(PoiFlow{id, span > 0.0 ? area / span
+                                           : ApproxFlow(id, ts)});
+  }
+  return TopK(std::move(flows), k);
+}
+
+}  // namespace indoorflow

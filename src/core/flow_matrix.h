@@ -1,0 +1,65 @@
+// Materialized flows: a (time bucket × POI) snapshot-flow matrix.
+//
+// Interactive dashboards (the paper's shop-popularity / bottleneck
+// scenarios) ask many flow questions over the same historical data; instead
+// of running a full query per interaction, FlowMatrix precomputes snapshot
+// flows on a time grid once and answers
+//   * approximate snapshot top-k (nearest bucket / linear interpolation),
+//   * average-occupancy rankings over arbitrary windows,
+// in microseconds. Approximation error is bounded by how much flows change
+// within one bucket; pick bucket_seconds accordingly.
+
+#ifndef INDOORFLOW_CORE_FLOW_MATRIX_H_
+#define INDOORFLOW_CORE_FLOW_MATRIX_H_
+
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace indoorflow {
+
+struct FlowMatrixOptions {
+  /// Time grid resolution.
+  double bucket_seconds = 300.0;
+  Algorithm algorithm = Algorithm::kJoin;
+  /// Worker threads for materialization (<= 0: hardware concurrency).
+  int threads = 0;
+};
+
+class FlowMatrix {
+ public:
+  /// Materializes snapshot flows for every POI of `engine` at bucket
+  /// centers spanning [t0, t1]. O(num_buckets) full snapshot queries.
+  static FlowMatrix Build(const QueryEngine& engine, Timestamp t0,
+                          Timestamp t1, const FlowMatrixOptions& options = {});
+
+  size_t num_buckets() const { return bucket_times_.size(); }
+  size_t num_pois() const { return num_pois_; }
+  Timestamp bucket_time(size_t i) const { return bucket_times_[i]; }
+
+  /// Materialized flow of `poi` at bucket `i`.
+  double FlowAt(size_t bucket, PoiId poi) const {
+    return flows_[bucket * num_pois_ + static_cast<size_t>(poi)];
+  }
+
+  /// Flow of `poi` at time `t`, linearly interpolated between buckets
+  /// (clamped at the grid edges).
+  double ApproxFlow(PoiId poi, Timestamp t) const;
+
+  /// Approximate snapshot top-k at `t` from the interpolated flows.
+  std::vector<PoiFlow> ApproxSnapshotTopK(Timestamp t, int k) const;
+
+  /// Time-averaged flow ("average occupancy") of every POI over [ts, te],
+  /// ranked descending; trapezoidal rule over the bucket grid.
+  std::vector<PoiFlow> AverageOccupancyTopK(Timestamp ts, Timestamp te,
+                                            int k) const;
+
+ private:
+  std::vector<Timestamp> bucket_times_;
+  size_t num_pois_ = 0;
+  std::vector<double> flows_;  // bucket-major
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_FLOW_MATRIX_H_

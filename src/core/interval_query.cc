@@ -1,0 +1,179 @@
+#include "src/core/interval_query.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/priority_join.h"
+#include "src/core/tracking_state.h"
+
+namespace indoorflow {
+
+namespace {
+
+// AR-tree range query -> the distinct objects with relevant records, each
+// with its Table-3 record chain (Algorithm 4 lines 3-8).
+std::vector<IntervalChain> CollectChains(const QueryContext& ctx,
+                                         Timestamp ts, Timestamp te) {
+  std::vector<ARTreeEntry> entries;
+  ctx.artree->RangeQuery(ts, te, &entries);
+  std::unordered_map<ObjectId, bool> seen;
+  std::vector<IntervalChain> chains;
+  for (const ARTreeEntry& le : entries) {
+    const ObjectId object = ctx.table->record(le.cur).object_id;
+    if (!seen.emplace(object, true).second) continue;
+    IntervalChain chain = RelevantChain(*ctx.table, object, ts, te);
+    if (!chain.records.empty()) chains.push_back(std::move(chain));
+  }
+  return chains;
+}
+
+// The iterative algorithms' flow accumulation (Algorithm 4 lines 1-12).
+std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
+                                      const RTree& poi_tree,
+                                      const std::vector<PoiId>& subset_ids,
+                                      Timestamp ts, Timestamp te) {
+  std::unordered_map<PoiId, double> flows;
+  flows.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) flows[id] = 0.0;
+
+  std::vector<int32_t> candidates;
+  const std::vector<IntervalChain> chains = CollectChains(ctx, ts, te);
+  if (ctx.stats != nullptr) {
+    ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
+    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
+  }
+  for (const IntervalChain& chain : chains) {
+    const Region ur = ctx.model->Interval(chain, ts, te);  // line 9
+    if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+    if (ur.IsEmpty()) continue;
+    poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 10
+    for (int32_t poi_id : candidates) {
+      flows[poi_id] += Presence(
+          ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+          (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+      if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+    }
+  }
+
+  std::vector<PoiFlow> all;
+  all.reserve(flows.size());
+  for (const auto& [id, flow] : flows) all.push_back(PoiFlow{id, flow});
+  return all;
+}
+
+// Phase 1 of Algorithm 5 (lines 1-9): R_I from trajectory MBRs, with the
+// finer per-ellipse sub-MBRs attached to leaf entries when enabled; hands
+// the assembled join spec to `run`.
+template <typename Run>
+std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
+                                          const RTree& poi_tree, Timestamp ts,
+                                          Timestamp te, const Run& run) {
+  std::vector<IntervalChain> chains = CollectChains(ctx, ts, te);
+  if (ctx.stats != nullptr) {
+    ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
+  }
+  std::vector<AggregateRTree::ObjectEntry> objects;
+  std::vector<const IntervalChain*> slot_chains;
+  objects.reserve(chains.size());
+  slot_chains.reserve(chains.size());
+  for (const IntervalChain& chain : chains) {
+    AggregateRTree::ObjectEntry entry;
+    entry.object = chain.object;
+    ctx.model->IntervalMbrs(chain, ts, te, &entry.mbr,
+                            ctx.interval_sub_mbrs ? &entry.sub_mbrs
+                                                  : nullptr);
+    if (entry.mbr.Empty()) continue;
+    objects.push_back(std::move(entry));
+    slot_chains.push_back(&chain);
+  }
+  const AggregateRTree agg =
+      AggregateRTree::Build(std::move(objects), ctx.ri_fanout);
+
+  std::unordered_map<int32_t, Region> ur_cache;
+  const auto ur_of = [&](int32_t slot) -> const Region& {
+    auto it = ur_cache.find(slot);
+    if (it == ur_cache.end()) {
+      it = ur_cache
+               .emplace(slot,
+                        ctx.model->Interval(
+                            *slot_chains[static_cast<size_t>(slot)], ts, te))
+               .first;
+      if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+    }
+    return it->second;
+  };
+
+  PriorityJoinSpec spec;
+  spec.poi_tree = &poi_tree;
+  spec.objects = &agg;
+  spec.poi_areas = ctx.poi_areas;
+  spec.poi_regions = ctx.poi_regions;
+  spec.flow = ctx.flow;
+  spec.ur_of = ur_of;
+  spec.stats = ctx.stats;
+  spec.area_bounds = ctx.join_area_bounds;
+  return run(spec);
+}
+
+}  // namespace
+
+std::vector<PoiFlow> IterativeInterval(const QueryContext& ctx,
+                                       const RTree& poi_tree,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp ts, Timestamp te, int k) {
+  return TopK(AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te), k);
+}
+
+std::vector<PoiFlow> IterativeIntervalThreshold(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te,
+    double tau) {
+  return FlowsAtLeast(AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te),
+                      tau);
+}
+
+std::vector<PoiFlow> JoinInterval(const QueryContext& ctx,
+                                  const RTree& poi_tree,
+                                  const std::vector<PoiId>& subset_ids,
+                                  Timestamp ts, Timestamp te, int k) {
+  return WithIntervalJoinSpec(
+      ctx, poi_tree, ts, te, [&](const PriorityJoinSpec& spec) {
+        return PriorityJoinTopK(spec, k, subset_ids);
+      });
+}
+
+std::vector<PoiFlow> JoinIntervalThreshold(const QueryContext& ctx,
+                                           const RTree& poi_tree,
+                                           Timestamp ts, Timestamp te,
+                                           double tau) {
+  return WithIntervalJoinSpec(ctx, poi_tree, ts, te,
+                              [&](const PriorityJoinSpec& spec) {
+                                return PriorityJoinThreshold(spec, tau);
+                              });
+}
+
+std::vector<PoiFlow> IterativeIntervalDensity(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te,
+    int k) {
+  std::vector<PoiFlow> flows =
+      AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te);
+  for (PoiFlow& f : flows) {
+    const double area = (*ctx.poi_areas)[static_cast<size_t>(f.poi)];
+    f.flow = area > 0.0 ? f.flow / area : 0.0;
+  }
+  return TopK(std::move(flows), k);
+}
+
+std::vector<PoiFlow> JoinIntervalDensity(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te,
+    int k) {
+  return WithIntervalJoinSpec(
+      ctx, poi_tree, ts, te, [&](PriorityJoinSpec spec) {
+        spec.density = true;
+        return PriorityJoinTopK(spec, k, subset_ids);
+      });
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,53 @@
+// Interval top-k indoor POI query processing (paper Problem 2, Section 4.3).
+
+#ifndef INDOORFLOW_CORE_INTERVAL_QUERY_H_
+#define INDOORFLOW_CORE_INTERVAL_QUERY_H_
+
+#include <vector>
+
+#include "src/core/query_context.h"
+
+namespace indoorflow {
+
+/// Algorithm 4 (iterativeInterval): collect each relevant object's record
+/// chain via an AR-tree range query, derive UR(o, [ts, te]), accumulate
+/// presences, return the top-k.
+std::vector<PoiFlow> IterativeInterval(const QueryContext& ctx,
+                                       const RTree& poi_tree,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp ts, Timestamp te, int k);
+
+/// Algorithm 5 (joinInterval) with the finer sub-MBR improvement (Section
+/// 4.3.2, toggled by ctx.interval_sub_mbrs): R_I leaf entries carry one MBR
+/// per trajectory ellipse, eliminating dead-space false positives from the
+/// join lists before any uncertainty region is derived.
+std::vector<PoiFlow> JoinInterval(const QueryContext& ctx,
+                                  const RTree& poi_tree,
+                                  const std::vector<PoiId>& subset_ids,
+                                  Timestamp ts, Timestamp te, int k);
+
+/// Threshold variants (an indoorflow extension): every query POI whose
+/// interval flow over [ts, te] is at least `tau` (> 0), flow-descending.
+/// The join variant terminates as soon as the best remaining bound drops
+/// below tau.
+std::vector<PoiFlow> IterativeIntervalThreshold(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te,
+    double tau);
+std::vector<PoiFlow> JoinIntervalThreshold(const QueryContext& ctx,
+                                           const RTree& poi_tree,
+                                           Timestamp ts, Timestamp te,
+                                           double tau);
+
+/// Density variants (an indoorflow extension): the k POIs with the highest
+/// interval crowd density Φ(p)/area(p) over [ts, te].
+std::vector<PoiFlow> IterativeIntervalDensity(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te, int k);
+std::vector<PoiFlow> JoinIntervalDensity(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te, int k);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_INTERVAL_QUERY_H_

@@ -1,0 +1,84 @@
+#include "src/core/itinerary.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+namespace {
+
+// A visit being extended while consecutive samples keep qualifying.
+struct OpenVisit {
+  Timestamp start = 0.0;
+  Timestamp last = 0.0;
+  double sum = 0.0;
+  double peak = 0.0;
+  int samples = 0;
+};
+
+}  // namespace
+
+Itinerary BuildItinerary(const QueryEngine& engine, ObjectId object,
+                         Timestamp ts, Timestamp te,
+                         const ItineraryOptions& options) {
+  INDOORFLOW_CHECK(options.step > 0.0);
+  INDOORFLOW_CHECK(te >= ts);
+  Itinerary itinerary;
+  itinerary.object = object;
+
+  std::unordered_map<PoiId, OpenVisit> open;
+  const auto close = [&](PoiId poi, const OpenVisit& visit) {
+    if (visit.last - visit.start < options.min_duration) return;
+    itinerary.visits.push_back(ItineraryVisit{
+        poi, visit.start, visit.last, visit.sum / visit.samples,
+        visit.peak});
+  };
+
+  const PoiSet& pois = engine.pois();
+  const FlowConfig& flow = engine.config().flow;
+  std::vector<PoiId> qualifying;
+  for (Timestamp t = ts; t <= te + 1e-9; t += options.step) {
+    qualifying.clear();
+    const Region ur = engine.ObjectRegionAt(object, t);
+    const Box bounds = ur.IsEmpty() ? Box() : ur.Bounds();
+    if (!ur.IsEmpty() && bounds.Area() <= options.max_region_bounds_area) {
+      for (const Poi& poi : pois) {
+        if (!bounds.Intersects(poi.shape.Bounds())) continue;
+        const double presence = Presence(ur, engine.poi_area(poi.id),
+                                         engine.poi_region(poi.id), flow);
+        if (presence >= options.min_presence) {
+          qualifying.push_back(poi.id);
+          auto [it, inserted] = open.try_emplace(poi.id);
+          OpenVisit& visit = it->second;
+          if (inserted) visit.start = t;
+          visit.last = t;
+          visit.sum += presence;
+          visit.peak = std::max(visit.peak, presence);
+          ++visit.samples;
+        }
+      }
+    }
+    // Close visits whose POI did not qualify this sample.
+    for (auto it = open.begin(); it != open.end();) {
+      if (std::find(qualifying.begin(), qualifying.end(), it->first) ==
+          qualifying.end()) {
+        close(it->first, it->second);
+        it = open.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& [poi, visit] : open) close(poi, visit);
+
+  std::sort(itinerary.visits.begin(), itinerary.visits.end(),
+            [](const ItineraryVisit& a, const ItineraryVisit& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.poi < b.poi;
+            });
+  return itinerary;
+}
+
+}  // namespace indoorflow

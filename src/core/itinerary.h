@@ -1,0 +1,74 @@
+// Per-object visit reconstruction (an indoorflow extension).
+//
+// The paper's queries aggregate over all objects; this module answers the
+// dual, object-centric question: *which POIs did object o likely visit
+// during [ts, te], and when?* It samples the object's snapshot uncertainty
+// region on a regular grid, evaluates its presence (Definition 1) in every
+// nearby POI, and merges consecutive qualifying samples into visits:
+//
+//   Itinerary it = BuildItinerary(engine, object, 0.0, 3600.0);
+//   for (const ItineraryVisit& v : it.visits)
+//     std::cout << pois[v.poi].name << " " << v.start << ".." << v.end;
+//
+// Presence is probability mass, not ground truth: a visit with
+// mean_presence 0.3 says "roughly 30% of the uncertainty region overlapped
+// this POI through the visit", which is the honest answer symbolic tracking
+// can give (Section 3's uncertainty analysis).
+
+#ifndef INDOORFLOW_CORE_ITINERARY_H_
+#define INDOORFLOW_CORE_ITINERARY_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace indoorflow {
+
+struct ItineraryOptions {
+  /// Sampling period in seconds. Visits shorter than one period between
+  /// qualifying samples are merged; gaps of one period end a visit.
+  double step = 10.0;
+  /// A sample contributes to a visit when the object's presence in the POI
+  /// is at least this value.
+  double min_presence = 0.2;
+  /// Visits spanning less than this many seconds are dropped (a visit over
+  /// n consecutive samples spans (n-1) * step seconds, so single-sample
+  /// visits survive only when this is 0).
+  double min_duration = 0.0;
+  /// Samples whose uncertainty-region bounding box exceeds this area (m²)
+  /// are skipped as uninformative: presence is a coverage ratio
+  /// (Definition 1), so a region spanning the whole floor scores 1.0 in
+  /// every POI it covers. Infinity keeps every sample.
+  double max_region_bounds_area = std::numeric_limits<double>::infinity();
+};
+
+/// One reconstructed stay of the object in one POI.
+struct ItineraryVisit {
+  PoiId poi = -1;
+  /// First and last qualifying sample time (inclusive).
+  Timestamp start = 0.0;
+  Timestamp end = 0.0;
+  /// Mean / maximum presence over the visit's samples.
+  double mean_presence = 0.0;
+  double peak_presence = 0.0;
+};
+
+struct Itinerary {
+  ObjectId object = -1;
+  /// Visits ordered by (start, poi). Visits of different POIs may overlap
+  /// in time when the uncertainty region straddles several POIs.
+  std::vector<ItineraryVisit> visits;
+};
+
+/// Reconstructs `object`'s likely visits during [ts, te] against the
+/// engine's POI set. Cost is one snapshot-region derivation plus a few
+/// presence integrations per sample; tighten options.step for finer
+/// boundaries.
+Itinerary BuildItinerary(const QueryEngine& engine, ObjectId object,
+                         Timestamp ts, Timestamp te,
+                         const ItineraryOptions& options = {});
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_ITINERARY_H_

@@ -1,0 +1,71 @@
+#include "src/core/naive.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/core/tracking_state.h"
+
+namespace indoorflow {
+
+namespace {
+
+std::vector<PoiFlow> Collect(const NaiveContext& ctx,
+                             const std::vector<PoiId>& subset_ids,
+                             const std::unordered_map<PoiId, double>& flows,
+                             int k) {
+  std::vector<PoiFlow> all;
+  all.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) {
+    const auto it = flows.find(id);
+    all.push_back(PoiFlow{id, it == flows.end() ? 0.0 : it->second});
+  }
+  return TopK(std::move(all), k);
+}
+
+}  // namespace
+
+std::vector<PoiFlow> NaiveSnapshotTopK(const NaiveContext& ctx,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp t, int k) {
+  std::unordered_map<PoiId, double> flows;
+  for (ObjectId object : ctx.table->objects()) {
+    // An object is relevant at t iff t falls before its last record's end
+    // and at/after its first record's start (the AR-tree coverage).
+    const auto chain = ctx.table->ChainOf(object);
+    if (chain.empty()) continue;
+    if (t < ctx.table->record(chain.front()).ts ||
+        t > ctx.table->record(chain.back()).te) {
+      continue;
+    }
+    const SnapshotState state = ResolveSnapshotStateAt(*ctx.table, object, t);
+    if (!state.active() && state.suc == kInvalidRecord) continue;
+    const Region ur = ctx.model->Snapshot(state, t);
+    if (ur.IsEmpty()) continue;
+    for (PoiId id : subset_ids) {
+      const Poi& poi = (*ctx.pois)[static_cast<size_t>(id)];
+      flows[id] += Presence(ur, poi.Area(), Region::Make(poi.shape),
+                            ctx.flow);
+    }
+  }
+  return Collect(ctx, subset_ids, flows, k);
+}
+
+std::vector<PoiFlow> NaiveIntervalTopK(const NaiveContext& ctx,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp ts, Timestamp te, int k) {
+  std::unordered_map<PoiId, double> flows;
+  for (ObjectId object : ctx.table->objects()) {
+    const IntervalChain chain = RelevantChain(*ctx.table, object, ts, te);
+    if (chain.records.empty()) continue;
+    const Region ur = ctx.model->Interval(chain, ts, te);
+    if (ur.IsEmpty()) continue;
+    for (PoiId id : subset_ids) {
+      const Poi& poi = (*ctx.pois)[static_cast<size_t>(id)];
+      flows[id] += Presence(ur, poi.Area(), Region::Make(poi.shape),
+                            ctx.flow);
+    }
+  }
+  return Collect(ctx, subset_ids, flows, k);
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,38 @@
+// Naive reference implementations of both query types.
+//
+// No AR-tree, no R-trees, no priority join: scan every object's full chain,
+// derive its uncertainty region, and evaluate presence against every query
+// POI. Deliberately simple enough to be obviously correct — used as a
+// differential oracle in tests and as the no-index baseline in
+// bench_ablation (what the paper's index structures buy end to end).
+
+#ifndef INDOORFLOW_CORE_NAIVE_H_
+#define INDOORFLOW_CORE_NAIVE_H_
+
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/core/uncertainty.h"
+
+namespace indoorflow {
+
+struct NaiveContext {
+  const ObjectTrackingTable* table = nullptr;
+  const UncertaintyModel* model = nullptr;
+  const PoiSet* pois = nullptr;  // id == index
+  FlowConfig flow;
+};
+
+/// Problem 1 by exhaustive scan.
+std::vector<PoiFlow> NaiveSnapshotTopK(const NaiveContext& ctx,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp t, int k);
+
+/// Problem 2 by exhaustive scan.
+std::vector<PoiFlow> NaiveIntervalTopK(const NaiveContext& ctx,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp ts, Timestamp te, int k);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_NAIVE_H_

@@ -1,0 +1,71 @@
+// The join-based query framework shared by Algorithms 2 and 5.
+//
+// Both join algorithms traverse the POI R-tree R_P and the per-query
+// aggregate object R-tree R_I best-first, ordered by an upper bound on the
+// flow a POI (or group of POIs) can reach: since an object's presence never
+// exceeds 1 (Definition 1), the number of objects whose MBRs intersect a POI
+// entry's MBR bounds its flow. Exact uncertainty regions are derived only
+// for POIs that survive to the front of the queue — the algorithms' source
+// of speedup over the iterative baselines.
+//
+// The uncertainty-region derivation differs between snapshot and interval
+// queries, so it is injected as a callback; join-list admission against leaf
+// object entries goes through AggregateRTree::Admits, which implements the
+// interval sub-MBR improvement transparently.
+
+#ifndef INDOORFLOW_CORE_PRIORITY_JOIN_H_
+#define INDOORFLOW_CORE_PRIORITY_JOIN_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/core/query_stats.h"
+#include "src/geometry/region.h"
+#include "src/index/aggregate_rtree.h"
+#include "src/index/rtree.h"
+
+namespace indoorflow {
+
+struct PriorityJoinSpec {
+  const RTree* poi_tree = nullptr;       // R_P over the query POI subset
+  const AggregateRTree* objects = nullptr;  // R_I
+  const std::vector<double>* poi_areas = nullptr;    // indexed by PoiId
+  const std::vector<Region>* poi_regions = nullptr;  // indexed by PoiId
+  const FlowConfig* flow = nullptr;
+  /// Returns the (cached) uncertainty region of object slot `i` in R_I.
+  std::function<const Region&(int32_t)> ur_of;
+  /// Optional operation counters (may be null).
+  QueryStats* stats = nullptr;
+  /// Tighten upper bounds with geometry (an indoorflow extension over the
+  /// paper's count bounds): an object's presence in any POI below a POI
+  /// entry is at most area(object MBR ∩ POI-entry box) / min POI area in
+  /// that subtree — usually far below 1, letting the best-first join stop
+  /// earlier. Results are unchanged (the bound remains an upper bound).
+  bool area_bounds = false;
+  /// Rank by crowd density Φ(p) / area(p) instead of raw flow (an
+  /// indoorflow extension — "the most crowded POIs"). Bounds divide by the
+  /// subtree's minimum POI area (the R_P min-value aggregate), so the
+  /// division preserves the upper-bound property. Emitted PoiFlow.flow
+  /// values are densities (1/m²).
+  bool density = false;
+};
+
+/// Runs the best-first join and returns the top-k POIs by flow. POIs whose
+/// flow is zero are appended (in id order) only if fewer than k POIs have
+/// positive flow; `subset_ids` lists the queried POIs for that padding.
+std::vector<PoiFlow> PriorityJoinTopK(const PriorityJoinSpec& spec, int k,
+                                      const std::vector<PoiId>& subset_ids);
+
+/// Runs the best-first join and returns every POI whose flow is at least
+/// `tau` (> 0 required), ordered by flow descending (ties toward lower POI
+/// id). Termination is bound-driven: the traversal stops as soon as the
+/// queue's best upper bound drops below `tau`, so a selective threshold
+/// touches only the hottest corner of the join — the same work-avoidance
+/// that makes the top-k join fast at small k.
+std::vector<PoiFlow> PriorityJoinThreshold(const PriorityJoinSpec& spec,
+                                           double tau);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_PRIORITY_JOIN_H_

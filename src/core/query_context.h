@@ -1,0 +1,38 @@
+// Shared immutable state handed from the engine to the query algorithms.
+
+#ifndef INDOORFLOW_CORE_QUERY_CONTEXT_H_
+#define INDOORFLOW_CORE_QUERY_CONTEXT_H_
+
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/core/query_stats.h"
+#include "src/core/uncertainty.h"
+#include "src/index/artree.h"
+#include "src/index/rtree.h"
+
+namespace indoorflow {
+
+/// Everything a query algorithm needs besides its own parameters. All
+/// pointers are non-owning and outlive the query.
+struct QueryContext {
+  const ObjectTrackingTable* table = nullptr;
+  const ARTree* artree = nullptr;
+  const UncertaintyModel* model = nullptr;
+  const PoiSet* pois = nullptr;                      // id == index
+  const std::vector<Region>* poi_regions = nullptr;  // aligned with pois
+  const std::vector<double>* poi_areas = nullptr;    // aligned with pois
+  const FlowConfig* flow = nullptr;
+  int ri_fanout = 8;
+  /// Interval joins: attach per-ellipse sub-MBRs to R_I leaf entries
+  /// (paper Section 4.3.2 improvement). Exposed for the ablation bench.
+  bool interval_sub_mbrs = true;
+  /// Optional operation counters (may be null).
+  QueryStats* stats = nullptr;
+  /// Geometry-aware join bounds (see EngineConfig::join_area_bounds).
+  bool join_area_bounds = false;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_QUERY_CONTEXT_H_

@@ -1,0 +1,39 @@
+// Operation counters for query execution.
+//
+// The paper's performance argument is about *work avoided*: the join
+// algorithms derive uncertainty regions and evaluate presences only for
+// objects/POIs that survive MBR pruning. QueryStats makes that measurable:
+// pass a QueryStats to QueryEngine::SnapshotTopK / IntervalTopK and compare
+// the counters across algorithms (bench_ablation prints them).
+
+#ifndef INDOORFLOW_CORE_QUERY_STATS_H_
+#define INDOORFLOW_CORE_QUERY_STATS_H_
+
+#include <cstdint>
+
+namespace indoorflow {
+
+struct QueryStats {
+  /// Objects returned by the AR-tree point/range query.
+  int64_t objects_retrieved = 0;
+  /// Uncertainty regions actually derived (join: only listed objects).
+  int64_t regions_derived = 0;
+  /// Presence integrations performed ((object, POI) pairs).
+  int64_t presence_evaluations = 0;
+  /// POIs whose exact flow was computed (join only; iterative computes all).
+  int64_t pois_evaluated = 0;
+
+  void Reset() { *this = QueryStats{}; }
+
+  QueryStats& operator+=(const QueryStats& o) {
+    objects_retrieved += o.objects_retrieved;
+    regions_derived += o.regions_derived;
+    presence_evaluations += o.presence_evaluations;
+    pois_evaluated += o.pois_evaluated;
+    return *this;
+  }
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_QUERY_STATS_H_

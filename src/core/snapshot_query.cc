@@ -1,0 +1,182 @@
+#include "src/core/snapshot_query.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "src/core/priority_join.h"
+#include "src/core/tracking_state.h"
+
+namespace indoorflow {
+
+namespace {
+
+// AR-tree point query -> one resolved state per object tracked at t
+// (Algorithm 1 lines 3-5). With the paper's disjoint detection ranges each
+// object has exactly one covering entry; overlapping deployments can yield
+// several, so states are resolved per distinct object from the OTT.
+std::vector<SnapshotState> CollectStates(const QueryContext& ctx,
+                                         Timestamp t) {
+  std::vector<ARTreeEntry> entries;
+  ctx.artree->PointQuery(t, &entries);
+  std::vector<SnapshotState> states;
+  states.reserve(entries.size());
+  if (!ctx.table->has_overlaps()) {
+    for (const ARTreeEntry& le : entries) {
+      states.push_back(ResolveSnapshotState(*ctx.table, le, t));
+    }
+  } else {
+    std::unordered_set<ObjectId> seen;
+    for (const ARTreeEntry& le : entries) {
+      const ObjectId object = ctx.table->record(le.cur).object_id;
+      if (!seen.insert(object).second) continue;
+      states.push_back(ResolveSnapshotStateAt(*ctx.table, object, t));
+    }
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->objects_retrieved += static_cast<int64_t>(states.size());
+  }
+  return states;
+}
+
+// The iterative algorithms' flow accumulation (Algorithm 1 lines 1-14):
+// derive every tracked object's UR and add its presences into per-POI flows.
+std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
+                                      const RTree& poi_tree,
+                                      const std::vector<PoiId>& subset_ids,
+                                      Timestamp t) {
+  std::unordered_map<PoiId, double> flows;
+  flows.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) flows[id] = 0.0;
+  if (ctx.stats != nullptr) {
+    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
+  }
+
+  std::vector<int32_t> candidates;
+  for (const SnapshotState& state : CollectStates(ctx, t)) {  // lines 4-14
+    const Region ur = ctx.model->Snapshot(state, t);
+    if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+    if (ur.IsEmpty()) continue;
+    poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 12
+    for (int32_t poi_id : candidates) {
+      flows[poi_id] += Presence(
+          ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+          (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+      if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+    }
+  }
+
+  std::vector<PoiFlow> all;
+  all.reserve(flows.size());
+  for (const auto& [id, flow] : flows) all.push_back(PoiFlow{id, flow});
+  return all;
+}
+
+// Phase 1 of the join algorithms (Algorithm 2 lines 1-11): build the
+// aggregate object R-tree R_I from cheap per-object MBRs and wire up the
+// lazily-caching UR derivation, then hand the assembled spec to `run`.
+template <typename Run>
+std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
+                                          const RTree& poi_tree, Timestamp t,
+                                          const Run& run) {
+  const std::vector<SnapshotState> states = CollectStates(ctx, t);
+  std::vector<AggregateRTree::ObjectEntry> objects;
+  std::vector<const SnapshotState*> slot_states;  // aligned with R_I slots
+  objects.reserve(states.size());
+  slot_states.reserve(states.size());
+  for (const SnapshotState& state : states) {
+    Box mbr = ctx.model->SnapshotMbr(state, t);
+    if (mbr.Empty()) continue;
+    AggregateRTree::ObjectEntry entry;
+    entry.object = state.object;
+    entry.mbr = mbr;
+    objects.push_back(std::move(entry));
+    slot_states.push_back(&state);
+  }
+  const AggregateRTree agg =
+      AggregateRTree::Build(std::move(objects), ctx.ri_fanout);
+
+  // Lazy uncertainty-region derivation with the H_U cache (lines 29-31).
+  std::unordered_map<int32_t, Region> ur_cache;
+  const auto ur_of = [&](int32_t slot) -> const Region& {
+    auto it = ur_cache.find(slot);
+    if (it == ur_cache.end()) {
+      it = ur_cache
+               .emplace(slot,
+                        ctx.model->Snapshot(
+                            *slot_states[static_cast<size_t>(slot)], t))
+               .first;
+      if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+    }
+    return it->second;
+  };
+
+  PriorityJoinSpec spec;
+  spec.poi_tree = &poi_tree;
+  spec.objects = &agg;
+  spec.poi_areas = ctx.poi_areas;
+  spec.poi_regions = ctx.poi_regions;
+  spec.flow = ctx.flow;
+  spec.ur_of = ur_of;
+  spec.stats = ctx.stats;
+  spec.area_bounds = ctx.join_area_bounds;
+  return run(spec);
+}
+
+}  // namespace
+
+std::vector<PoiFlow> IterativeSnapshot(const QueryContext& ctx,
+                                       const RTree& poi_tree,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp t, int k) {
+  return TopK(AllSnapshotFlows(ctx, poi_tree, subset_ids, t), k);
+}
+
+std::vector<PoiFlow> IterativeSnapshotThreshold(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp t, double tau) {
+  return FlowsAtLeast(AllSnapshotFlows(ctx, poi_tree, subset_ids, t), tau);
+}
+
+std::vector<PoiFlow> JoinSnapshot(const QueryContext& ctx,
+                                  const RTree& poi_tree,
+                                  const std::vector<PoiId>& subset_ids,
+                                  Timestamp t, int k) {
+  return WithSnapshotJoinSpec(
+      ctx, poi_tree, t, [&](const PriorityJoinSpec& spec) {
+        return PriorityJoinTopK(spec, k, subset_ids);
+      });
+}
+
+std::vector<PoiFlow> JoinSnapshotThreshold(const QueryContext& ctx,
+                                           const RTree& poi_tree,
+                                           Timestamp t, double tau) {
+  return WithSnapshotJoinSpec(ctx, poi_tree, t,
+                              [&](const PriorityJoinSpec& spec) {
+                                return PriorityJoinThreshold(spec, tau);
+                              });
+}
+
+std::vector<PoiFlow> IterativeSnapshotDensity(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp t, int k) {
+  std::vector<PoiFlow> flows = AllSnapshotFlows(ctx, poi_tree, subset_ids, t);
+  for (PoiFlow& f : flows) {
+    const double area = (*ctx.poi_areas)[static_cast<size_t>(f.poi)];
+    f.flow = area > 0.0 ? f.flow / area : 0.0;
+  }
+  return TopK(std::move(flows), k);
+}
+
+std::vector<PoiFlow> JoinSnapshotDensity(const QueryContext& ctx,
+                                         const RTree& poi_tree,
+                                         const std::vector<PoiId>& subset_ids,
+                                         Timestamp t, int k) {
+  return WithSnapshotJoinSpec(
+      ctx, poi_tree, t, [&](PriorityJoinSpec spec) {
+        spec.density = true;
+        return PriorityJoinTopK(spec, k, subset_ids);
+      });
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,53 @@
+// Snapshot top-k indoor POI query processing (paper Problem 1, Section 4.2).
+
+#ifndef INDOORFLOW_CORE_SNAPSHOT_QUERY_H_
+#define INDOORFLOW_CORE_SNAPSHOT_QUERY_H_
+
+#include <vector>
+
+#include "src/core/query_context.h"
+
+namespace indoorflow {
+
+/// Algorithm 1 (iterativeSnapshot): derive UR(o, t) for every object whose
+/// augmented tracking interval covers t, accumulate presences into per-POI
+/// flows, return the top-k. `poi_tree` indexes the query POI subset,
+/// `subset_ids` lists it.
+std::vector<PoiFlow> IterativeSnapshot(const QueryContext& ctx,
+                                       const RTree& poi_tree,
+                                       const std::vector<PoiId>& subset_ids,
+                                       Timestamp t, int k);
+
+/// Algorithm 2 (joinSnapshot): build the aggregate object R-tree R_I from
+/// cheap per-object MBRs, then run the best-first R_P x R_I join, deriving
+/// uncertainty regions lazily (cached in the per-query H_U table).
+std::vector<PoiFlow> JoinSnapshot(const QueryContext& ctx,
+                                  const RTree& poi_tree,
+                                  const std::vector<PoiId>& subset_ids,
+                                  Timestamp t, int k);
+
+/// Threshold variants (an indoorflow extension): every query POI whose
+/// snapshot flow at `t` is at least `tau` (> 0), flow-descending. The join
+/// variant terminates as soon as the best remaining bound drops below tau.
+std::vector<PoiFlow> IterativeSnapshotThreshold(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp t, double tau);
+std::vector<PoiFlow> JoinSnapshotThreshold(const QueryContext& ctx,
+                                           const RTree& poi_tree,
+                                           Timestamp t, double tau);
+
+/// Density variants (an indoorflow extension): the k POIs with the highest
+/// crowd density Φ(p)/area(p) at `t`. Returned PoiFlow.flow values are
+/// densities (1/m²). The join ranks by density bounds directly (dividing
+/// subtree flow bounds by the R_P min-area aggregate).
+std::vector<PoiFlow> IterativeSnapshotDensity(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp t, int k);
+std::vector<PoiFlow> JoinSnapshotDensity(const QueryContext& ctx,
+                                         const RTree& poi_tree,
+                                         const std::vector<PoiId>& subset_ids,
+                                         Timestamp t, int k);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_SNAPSHOT_QUERY_H_

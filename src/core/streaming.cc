@@ -1,0 +1,132 @@
+#include "src/core/streaming.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace indoorflow {
+
+StreamingMonitor::StreamingMonitor(const Deployment& deployment,
+                                   const PoiSet& pois,
+                                   StreamingOptions options,
+                                   const TopologyChecker* topology)
+    : deployment_(deployment),
+      pois_(pois),
+      options_(options),
+      topology_(topology) {
+  INDOORFLOW_CHECK(options_.merger.sampling_period > 0.0);
+  INDOORFLOW_CHECK(options_.vmax > 0.0);
+  poi_regions_.reserve(pois_.size());
+  poi_areas_.reserve(pois_.size());
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    INDOORFLOW_CHECK(pois_[i].id == static_cast<PoiId>(i));
+    poi_regions_.push_back(Region::Make(pois_[i].shape));
+    poi_areas_.push_back(pois_[i].Area());
+  }
+}
+
+Status StreamingMonitor::Ingest(const RawReading& reading) {
+  if (reading.device_id < 0 ||
+      static_cast<size_t>(reading.device_id) >= deployment_.size()) {
+    return Status::InvalidArgument("unknown device " +
+                                   std::to_string(reading.device_id));
+  }
+  ObjectTrack& track = tracks_[reading.object_id];
+  const double max_gap =
+      options_.merger.max_gap_factor * options_.merger.sampling_period;
+  if (track.open.has_value()) {
+    if (reading.t < track.open->te) {
+      return Status::InvalidArgument(
+          "out-of-order reading for object " +
+          std::to_string(reading.object_id));
+    }
+    if (track.open->device_id == reading.device_id &&
+        reading.t - track.open->te <= max_gap) {
+      track.open->te = reading.t;  // extend the open record
+    } else {
+      track.last = track.open;  // close it and start a new one
+      track.open = TrackingRecord{reading.object_id, reading.device_id,
+                                  reading.t, reading.t};
+    }
+  } else {
+    track.open = TrackingRecord{reading.object_id, reading.device_id,
+                                reading.t, reading.t};
+  }
+  now_ = std::max(now_, reading.t);
+  return Status::OK();
+}
+
+Region StreamingMonitor::TrackRegion(const ObjectTrack& track,
+                                     Timestamp t) const {
+  if (!track.open.has_value()) return Region();
+  const TrackingRecord& open = *track.open;
+  if (t - open.te > options_.expiry_seconds) return Region();  // presumed gone
+
+  const double max_gap =
+      options_.merger.max_gap_factor * options_.merger.sampling_period;
+  const Circle& open_range =
+      deployment_.device(open.device_id).range;
+
+  if (t <= open.te + max_gap) {
+    // Still detected: the historical "active" case against the previous
+    // record (same-device re-detections keep the plain range).
+    Region region = Region::Make(open_range);
+    if (track.last.has_value() &&
+        track.last->device_id != open.device_id) {
+      const double budget = options_.vmax * (t - track.last->te);
+      region = Region::Intersect(
+          region,
+          Region::Make(Ring::Around(
+              deployment_.device(track.last->device_id).range, budget)));
+    }
+    return region;
+  }
+  // Undetected right now: only the backward constraint exists (no rd_suc
+  // yet) — Ring(last seen device, Vmax * elapsed).
+  const double budget = options_.vmax * (t - open.te);
+  Region region = Region::Make(Ring::Around(open_range, budget));
+  if (topology_ != nullptr) {
+    region = Region::Intersect(
+        region, topology_->ReachableFrom(open.device_id, budget));
+  }
+  return region;
+}
+
+size_t StreamingMonitor::ActiveObjects(Timestamp t) const {
+  size_t count = 0;
+  for (const auto& [object, track] : tracks_) {
+    count += (track.open.has_value() &&
+              t - track.open->te <= options_.expiry_seconds)
+                 ? 1
+                 : 0;
+  }
+  return count;
+}
+
+Region StreamingMonitor::LiveRegion(ObjectId object, Timestamp t) const {
+  const auto it = tracks_.find(object);
+  if (it == tracks_.end()) return Region();
+  return TrackRegion(it->second, t);
+}
+
+std::vector<PoiFlow> StreamingMonitor::CurrentTopK(Timestamp t,
+                                                   int k) const {
+  std::vector<double> flows(pois_.size(), 0.0);
+  for (const auto& [object, track] : tracks_) {
+    const Region ur = TrackRegion(track, t);
+    if (ur.IsEmpty()) continue;
+    const Box bounds = ur.Bounds();
+    for (size_t i = 0; i < pois_.size(); ++i) {
+      if (!bounds.Intersects(pois_[i].shape.Bounds())) continue;
+      flows[i] += Presence(ur, poi_areas_[i], poi_regions_[i],
+                           options_.flow);
+    }
+  }
+  std::vector<PoiFlow> all;
+  all.reserve(pois_.size());
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    all.push_back(PoiFlow{static_cast<PoiId>(i), flows[i]});
+  }
+  return TopK(std::move(all), k);
+}
+
+}  // namespace indoorflow

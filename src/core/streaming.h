@@ -1,0 +1,97 @@
+// Live monitoring over a raw reading stream (an indoorflow extension —
+// the paper's queries are strictly historical).
+//
+// StreamingMonitor ingests (object, device, t) readings in time order,
+// maintains each object's open/last detection online (the merger's logic,
+// incrementally), and answers "top-k POIs right now". The uncertainty of a
+// currently-undetected object differs from the historical case: rd_suc does
+// not exist yet, so the region is Ring(rd_pre, Vmax·(now − rd_pre.te))
+// alone (optionally topology-checked) — it grows until the object is seen
+// again. Objects unseen for longer than `expiry_seconds` are presumed to
+// have left the space and stop contributing.
+//
+// One further live-vs-historical difference: within the merge gap after an
+// object's last reading (merger.max_gap_factor * sampling_period) the
+// monitor keeps the open record extended — the object is "probably still
+// in range", and the next reading usually confirms it — whereas a merger
+// over the stream truncated at `now` would have closed the record at the
+// last reading. Live regions in that window are the detection disk, not
+// the ring (tests/streaming_property_test.cc pins down both semantics).
+//
+// Limitation: with *overlapping* detection ranges, simultaneous readings
+// from two radios ping-pong the open record between devices; feed such
+// streams through CleanseReadings/MergeReadings and the historical engine
+// instead (the monitor targets the paper's disjoint-range deployments).
+
+#ifndef INDOORFLOW_CORE_STREAMING_H_
+#define INDOORFLOW_CORE_STREAMING_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/core/topology_check.h"
+#include "src/tracking/deployment.h"
+#include "src/tracking/merger.h"
+
+namespace indoorflow {
+
+struct StreamingOptions {
+  /// Reading merge behavior (sampling period, gap tolerance).
+  MergerOptions merger;
+  double vmax = 1.1;
+  /// Objects unseen for this long no longer contribute to flows.
+  double expiry_seconds = 600.0;
+  FlowConfig flow;
+};
+
+class StreamingMonitor {
+ public:
+  /// `deployment` must be indexed and outlive the monitor; `topology` is
+  /// optional (applies ReachableFrom pruning to undetected objects) and
+  /// must outlive the monitor when given. `pois` must be id-dense.
+  StreamingMonitor(const Deployment& deployment, const PoiSet& pois,
+                   StreamingOptions options,
+                   const TopologyChecker* topology = nullptr);
+
+  /// Ingests one reading. Readings of one object must arrive in
+  /// nondecreasing time order; cross-object interleaving is free.
+  Status Ingest(const RawReading& reading);
+
+  /// Largest reading time seen so far.
+  Timestamp now() const { return now_; }
+
+  /// Objects currently contributing (seen within expiry_seconds of `t`).
+  size_t ActiveObjects(Timestamp t) const;
+
+  /// Top-k POIs by live flow at time `t` (>= now(); typically "now").
+  std::vector<PoiFlow> CurrentTopK(Timestamp t, int k) const;
+
+  /// The live uncertainty region of one object at `t` (empty when unknown
+  /// or expired).
+  Region LiveRegion(ObjectId object, Timestamp t) const;
+
+ private:
+  struct ObjectTrack {
+    /// The record currently being extended (object in range), if any.
+    std::optional<TrackingRecord> open;
+    /// The most recent record before `open` (or before the gap).
+    std::optional<TrackingRecord> last;
+  };
+
+  Region TrackRegion(const ObjectTrack& track, Timestamp t) const;
+
+  const Deployment& deployment_;
+  const PoiSet& pois_;
+  StreamingOptions options_;
+  const TopologyChecker* topology_;
+  std::vector<Region> poi_regions_;
+  std::vector<double> poi_areas_;
+  std::unordered_map<ObjectId, ObjectTrack> tracks_;
+  Timestamp now_ = 0.0;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_STREAMING_H_

@@ -1,0 +1,63 @@
+#include "src/core/timeline.h"
+
+namespace indoorflow {
+
+std::vector<TimelinePoint> FlowTimeline(const QueryEngine& engine, PoiId poi,
+                                        Timestamp t0, Timestamp t1,
+                                        double step, Algorithm algorithm) {
+  INDOORFLOW_CHECK(step > 0.0);
+  INDOORFLOW_CHECK(t0 <= t1);
+  const std::vector<PoiId> subset = {poi};
+  std::vector<TimelinePoint> timeline;
+  timeline.reserve(static_cast<size_t>((t1 - t0) / step) + 1);
+  for (Timestamp t = t0; t <= t1 + 1e-9; t += step) {
+    const auto result = engine.SnapshotTopK(t, 1, algorithm, &subset);
+    timeline.push_back(
+        TimelinePoint{t, result.empty() ? 0.0 : result.front().flow});
+  }
+  return timeline;
+}
+
+std::vector<TimelineTopEntry> TopPoiTimeline(
+    const QueryEngine& engine, const std::vector<PoiId>& subset,
+    Timestamp t0, Timestamp t1, double step, Algorithm algorithm) {
+  INDOORFLOW_CHECK(step > 0.0);
+  INDOORFLOW_CHECK(t0 <= t1);
+  std::vector<TimelineTopEntry> timeline;
+  for (Timestamp t = t0; t <= t1 + 1e-9; t += step) {
+    const auto result = engine.SnapshotTopK(t, 1, algorithm, &subset);
+    TimelineTopEntry entry;
+    entry.t = t;
+    if (!result.empty()) {
+      entry.poi = result.front().poi;
+      entry.flow = result.front().flow;
+    }
+    timeline.push_back(entry);
+  }
+  return timeline;
+}
+
+TimelinePoint PeakFlow(const std::vector<TimelinePoint>& timeline) {
+  TimelinePoint best;
+  bool first = true;
+  for (const TimelinePoint& p : timeline) {
+    if (first || p.flow > best.flow) {
+      best = p;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double AverageFlow(const std::vector<TimelinePoint>& timeline) {
+  if (timeline.size() < 2) return 0.0;
+  double area = 0.0;
+  for (size_t i = 0; i + 1 < timeline.size(); ++i) {
+    const double dt = timeline[i + 1].t - timeline[i].t;
+    area += 0.5 * (timeline[i].flow + timeline[i + 1].flow) * dt;
+  }
+  const double span = timeline.back().t - timeline.front().t;
+  return span > 0.0 ? area / span : 0.0;
+}
+
+}  // namespace indoorflow

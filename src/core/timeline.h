@@ -1,0 +1,53 @@
+// Flow time-series analysis on top of the query engine.
+//
+// The paper's motivating applications (shop popularity over a day, airport
+// bottlenecks, museum planning) all need flows *over time*, not just one
+// query. This module probes snapshot flows on a time grid and provides
+// simple peak/aggregate utilities.
+
+#ifndef INDOORFLOW_CORE_TIMELINE_H_
+#define INDOORFLOW_CORE_TIMELINE_H_
+
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace indoorflow {
+
+struct TimelinePoint {
+  Timestamp t = 0.0;
+  double flow = 0.0;
+};
+
+/// Snapshot flow of one POI sampled at t0, t0+step, ..., <= t1.
+/// A POI's flow does not depend on the rest of the query set, so this
+/// queries the singleton subset. Requires step > 0 and t0 <= t1.
+std::vector<TimelinePoint> FlowTimeline(const QueryEngine& engine, PoiId poi,
+                                        Timestamp t0, Timestamp t1,
+                                        double step,
+                                        Algorithm algorithm =
+                                            Algorithm::kIterative);
+
+/// The busiest POI (top-1 of `subset`) at each probe time.
+struct TimelineTopEntry {
+  Timestamp t = 0.0;
+  PoiId poi = -1;
+  double flow = 0.0;
+};
+
+std::vector<TimelineTopEntry> TopPoiTimeline(
+    const QueryEngine& engine, const std::vector<PoiId>& subset,
+    Timestamp t0, Timestamp t1, double step,
+    Algorithm algorithm = Algorithm::kJoin);
+
+/// The probe with the highest flow (first such probe on ties). Returns a
+/// zeroed point for an empty timeline.
+TimelinePoint PeakFlow(const std::vector<TimelinePoint>& timeline);
+
+/// Time-weighted average flow over the timeline (trapezoidal rule; 0 for
+/// fewer than two probes).
+double AverageFlow(const std::vector<TimelinePoint>& timeline);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_TIMELINE_H_

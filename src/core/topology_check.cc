@@ -1,0 +1,408 @@
+#include "src/core/topology_check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace indoorflow {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Whether `box` lies entirely inside the (convex) partition polygon. For a
+// convex polygon it suffices that all four corners are inside.
+bool BoxWithinConvexPolygon(const Polygon& polygon, const Box& box) {
+  if (polygon.IsAxisAlignedRectangle()) {
+    return polygon.Bounds().Contains(box);
+  }
+  return polygon.Contains({box.min_x, box.min_y}) &&
+         polygon.Contains({box.max_x, box.min_y}) &&
+         polygon.Contains({box.max_x, box.max_y}) &&
+         polygon.Contains({box.min_x, box.max_y});
+}
+
+bool BoxIntersectsPolygon(const Polygon& polygon, const Box& box) {
+  if (!polygon.Bounds().Intersects(box)) return false;
+  if (polygon.IsAxisAlignedRectangle()) return true;  // bounds == shape
+  if (polygon.Contains(box.Center())) return true;
+  const Point corners[4] = {{box.min_x, box.min_y},
+                            {box.max_x, box.min_y},
+                            {box.max_x, box.max_y},
+                            {box.min_x, box.max_y}};
+  for (Point c : corners) {
+    if (polygon.Contains(c)) return true;
+  }
+  for (size_t i = 0; i < polygon.size(); ++i) {
+    if (box.Contains(polygon.vertex(i))) return true;
+  }
+  const Segment box_edges[4] = {{corners[0], corners[1]},
+                                {corners[1], corners[2]},
+                                {corners[2], corners[3]},
+                                {corners[3], corners[0]}};
+  for (const Segment& e : box_edges) {
+    if (polygon.EdgeIntersects(e)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// Shared machinery for the reachability nodes: evaluates the indoor
+// distance f(q) = ind(device, q) using the checker's precomputed
+// device-to-door distances, and classifies boxes using (a) the Euclidean
+// lower bound ind >= euclid, and (b) 1-Lipschitz continuity of f within a
+// convex partition.
+class ReachableNodeBase {
+ protected:
+  explicit ReachableNodeBase(const TopologyChecker& checker)
+      : checker_(checker) {}
+
+  double IndoorDist(DeviceId dev, Point q) const {
+    return checker_.IndoorDistanceFrom(dev, q);
+  }
+
+  /// Candidate partitions from the checker's lookup grid (cell of the box
+  /// center, which covers every partition whose bounds touch the box when
+  /// the box is grid-cell sized or smaller; larger boxes fall back to all).
+  template <typename Fn>
+  void ForCandidatePartitions(const Box& box, Fn&& fn) const {
+    const TopologyChecker& c = checker_;
+    if (c.grid_cells_.empty() || box.Width() > c.grid_cell_ ||
+        box.Height() > c.grid_cell_) {
+      for (const Partition& part : c.plan_.partitions()) fn(part);
+      return;
+    }
+    const Point center = box.Center();
+    const int col = std::clamp(
+        static_cast<int>((center.x - c.grid_bounds_.min_x) / c.grid_cell_),
+        0, c.grid_cols_ - 1);
+    const int row = std::clamp(
+        static_cast<int>((center.y - c.grid_bounds_.min_y) / c.grid_cell_),
+        0, c.grid_rows_ - 1);
+    // The box may straddle up to 4 grid cells; visit their unions.
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        const int r = row + dr;
+        const int cc = col + dc;
+        if (r < 0 || r >= c.grid_rows_ || cc < 0 || cc >= c.grid_cols_) {
+          continue;
+        }
+        for (PartitionId id :
+             c.grid_cells_[static_cast<size_t>(r) * c.grid_cols_ + cc]) {
+          fn(c.plan_.partition(id));
+        }
+      }
+    }
+  }
+
+  /// The single partition fully containing `box`, or kInvalidPartition.
+  PartitionId PartitionOfBox(const Box& box) const {
+    PartitionId found = kInvalidPartition;
+    ForCandidatePartitions(box, [&](const Partition& part) {
+      if (found == kInvalidPartition &&
+          part.shape.Bounds().Contains(box) &&
+          BoxWithinConvexPolygon(part.shape, box)) {
+        found = part.id;
+      }
+    });
+    return found;
+  }
+
+  bool BoxTouchesAnyPartition(const Box& box) const {
+    bool touches = false;
+    ForCandidatePartitions(box, [&](const Partition& part) {
+      touches = touches || BoxIntersectsPolygon(part.shape, box);
+    });
+    return touches;
+  }
+
+  const TopologyChecker& checker_;
+};
+
+namespace {
+
+// { q : ind(dev, q) <= limit } with limit = r + budget.
+class ReachableNode final : public region_internal::Node,
+                            public ReachableNodeBase {
+ public:
+  ReachableNode(const TopologyChecker& checker, const Device& dev,
+                double limit)
+      : ReachableNodeBase(checker), dev_(dev), limit_(limit) {}
+
+  bool Contains(Point p) const override {
+    return IndoorDist(dev_.id, p) <= limit_;
+  }
+
+  Box Bounds() const override {
+    // ind >= euclid, so the Euclidean disk bounds the reachable set.
+    return Circle{dev_.range.center, limit_}.Bounds();
+  }
+
+  BoxClass Classify(const Box& box) const override {
+    if (MinDistance(box, dev_.range.center) > limit_) {
+      return BoxClass::kOutside;
+    }
+    const double half_diag =
+        0.5 * std::hypot(box.Width(), box.Height());
+    if (PartitionOfBox(box) != kInvalidPartition) {
+      const double f = IndoorDist(dev_.id, box.Center());
+      if (f + half_diag <= limit_) return BoxClass::kInside;
+      if (f - half_diag > limit_) return BoxClass::kOutside;
+      return BoxClass::kBoundary;
+    }
+    if (!BoxTouchesAnyPartition(box)) return BoxClass::kOutside;
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  Device dev_;
+  double limit_;
+};
+
+// { q : ind(a, q) + ind(b, q) <= limit } with limit = r_a + r_b + L.
+class ReachableBridgeNode final : public region_internal::Node,
+                                  public ReachableNodeBase {
+ public:
+  ReachableBridgeNode(const TopologyChecker& checker, const Device& a,
+                      const Device& b, double limit)
+      : ReachableNodeBase(checker), a_(a), b_(b), limit_(limit) {
+    // Euclidean superset: the classical ellipse with foci at the centers.
+    bounds_ = ExtendedEllipse(a_.range, b_.range,
+                              std::max(0.0, limit_ - a_.range.radius -
+                                                b_.range.radius))
+                  .Bounds();
+  }
+
+  bool Contains(Point p) const override {
+    const double fa = IndoorDist(a_.id, p);
+    if (fa > limit_) return false;
+    return fa + IndoorDist(b_.id, p) <= limit_;
+  }
+
+  Box Bounds() const override { return bounds_; }
+
+  BoxClass Classify(const Box& box) const override {
+    // Euclidean lower bound on the indoor sum.
+    if (MinDistance(box, a_.range.center) +
+            MinDistance(box, b_.range.center) >
+        limit_) {
+      return BoxClass::kOutside;
+    }
+    const double half_diag =
+        0.5 * std::hypot(box.Width(), box.Height());
+    if (PartitionOfBox(box) != kInvalidPartition) {
+      const Point c = box.Center();
+      const double f = IndoorDist(a_.id, c) + IndoorDist(b_.id, c);
+      // The sum of two 1-Lipschitz functions is 2-Lipschitz.
+      if (f + 2.0 * half_diag <= limit_) return BoxClass::kInside;
+      if (f - 2.0 * half_diag > limit_) return BoxClass::kOutside;
+      return BoxClass::kBoundary;
+    }
+    if (!BoxTouchesAnyPartition(box)) return BoxClass::kOutside;
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  Device a_;
+  Device b_;
+  double limit_;
+  Box bounds_;
+};
+
+}  // namespace
+
+TopologyChecker::TopologyChecker(const FloorPlan& plan,
+                                 const DoorGraph& graph,
+                                 const Deployment& deployment)
+    : plan_(plan), deployment_(deployment) {
+  IndoorDistance distance(plan, graph);
+  const size_t num_devices = deployment.size();
+  const size_t num_doors = plan.doors().size();
+  to_door_.assign(num_devices, std::vector<double>(num_doors, kInf));
+  device_partitions_.resize(num_devices);
+  for (size_t dev = 0; dev < num_devices; ++dev) {
+    const Point center = deployment.device(static_cast<DeviceId>(dev))
+                             .range.center;
+    device_partitions_[dev] = plan.PartitionsAt(center);
+    for (size_t door = 0; door < num_doors; ++door) {
+      to_door_[dev][door] =
+          distance.ToDoor(center, static_cast<DoorId>(door));
+    }
+  }
+  // Min indoor distance device -> partition: 0 when the device sits in the
+  // partition; otherwise the partition is entered through one of its doors.
+  min_to_partition_.assign(num_devices,
+                           std::vector<double>(plan.partitions().size(),
+                                               kInf));
+  for (size_t dev = 0; dev < num_devices; ++dev) {
+    for (PartitionId part : device_partitions_[dev]) {
+      min_to_partition_[dev][static_cast<size_t>(part)] = 0.0;
+    }
+    for (const Partition& part : plan.partitions()) {
+      double& best = min_to_partition_[dev][static_cast<size_t>(part.id)];
+      for (DoorId d : plan.DoorsOf(part.id)) {
+        best = std::min(best, to_door_[dev][static_cast<size_t>(d)]);
+      }
+    }
+  }
+  partition_regions_.reserve(plan.partitions().size());
+  for (const Partition& part : plan.partitions()) {
+    partition_regions_.push_back(Region::Make(part.shape));
+  }
+
+  // Partition lookup grid (cells sized to the typical room scale).
+  grid_bounds_ = plan.Bounds();
+  if (!grid_bounds_.Empty()) {
+    grid_cell_ = std::max(
+        2.0, std::min(grid_bounds_.Width(), grid_bounds_.Height()) / 32.0);
+    grid_cols_ = std::max(
+        1, static_cast<int>(std::ceil(grid_bounds_.Width() / grid_cell_)));
+    grid_rows_ = std::max(
+        1, static_cast<int>(std::ceil(grid_bounds_.Height() / grid_cell_)));
+    grid_cells_.assign(static_cast<size_t>(grid_cols_) * grid_rows_, {});
+    for (const Partition& part : plan.partitions()) {
+      const Box b = part.shape.Bounds();
+      const int c0 = std::clamp(
+          static_cast<int>((b.min_x - grid_bounds_.min_x) / grid_cell_), 0,
+          grid_cols_ - 1);
+      const int c1 = std::clamp(
+          static_cast<int>((b.max_x - grid_bounds_.min_x) / grid_cell_), 0,
+          grid_cols_ - 1);
+      const int r0 = std::clamp(
+          static_cast<int>((b.min_y - grid_bounds_.min_y) / grid_cell_), 0,
+          grid_rows_ - 1);
+      const int r1 = std::clamp(
+          static_cast<int>((b.max_y - grid_bounds_.min_y) / grid_cell_), 0,
+          grid_rows_ - 1);
+      for (int r = r0; r <= r1; ++r) {
+        for (int c = c0; c <= c1; ++c) {
+          grid_cells_[static_cast<size_t>(r) * grid_cols_ + c].push_back(
+              part.id);
+        }
+      }
+    }
+  }
+}
+
+Region TopologyChecker::ApplyToPiece(
+    Region piece, const std::vector<PieceConstraint>& constraints,
+    TopologyMode mode) const {
+  if (mode == TopologyMode::kOff || constraints.empty() ||
+      piece.IsEmpty()) {
+    return piece;
+  }
+
+  if (mode == TopologyMode::kExact) {
+    for (const PieceConstraint& c : constraints) {
+      Region reach =
+          c.IsBridge()
+              ? Region::FromNode(std::make_shared<ReachableBridgeNode>(
+                    *this, deployment_.device(c.dev_a),
+                    deployment_.device(c.dev_b), c.limit))
+              : Region::FromNode(std::make_shared<ReachableNode>(
+                    *this, deployment_.device(c.dev_a), c.limit));
+      piece = Region::Intersect(std::move(piece), std::move(reach));
+    }
+    return piece;
+  }
+
+  // kPartition (the paper's check): keep only partitions whose minimum
+  // indoor distance fits every constraint. The minimum of a sum is bounded
+  // below by the sum of minimums, so this is conservative (never excludes
+  // a reachable part).
+  const Box bounds = piece.Bounds();
+  std::vector<Region> admissible;
+  std::vector<Region> excluded;
+  for (const Partition& part : plan_.partitions()) {
+    if (!part.shape.Bounds().Intersects(bounds)) continue;
+    bool ok = true;
+    for (const PieceConstraint& c : constraints) {
+      double lower = MinIndoorToPartition(c.dev_a, part.id);
+      if (c.IsBridge()) lower += MinIndoorToPartition(c.dev_b, part.id);
+      if (lower > c.limit) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      admissible.push_back(
+          partition_regions_[static_cast<size_t>(part.id)]);
+    } else {
+      excluded.push_back(
+          partition_regions_[static_cast<size_t>(part.id)]);
+    }
+  }
+  if (excluded.empty()) return piece;  // nothing to exclude
+  if (admissible.empty()) return Region();
+  // The two formulations agree on all walkable space (partitions tile it;
+  // they differ only outside the building, which no POI overlaps). Pick
+  // the union with fewer parts — it is classified per quadtree cell.
+  if (excluded.size() <= admissible.size()) {
+    return Region::Subtract(std::move(piece),
+                            Region::Union(std::move(excluded)));
+  }
+  return Region::Intersect(std::move(piece),
+                           Region::Union(std::move(admissible)));
+}
+
+void TopologyChecker::PartitionsAt(Point q,
+                                   std::vector<PartitionId>* out) const {
+  out->clear();
+  if (grid_cells_.empty()) return;
+  if (!grid_bounds_.Contains(q)) return;
+  const int col = std::clamp(
+      static_cast<int>((q.x - grid_bounds_.min_x) / grid_cell_), 0,
+      grid_cols_ - 1);
+  const int row = std::clamp(
+      static_cast<int>((q.y - grid_bounds_.min_y) / grid_cell_), 0,
+      grid_rows_ - 1);
+  for (PartitionId id :
+       grid_cells_[static_cast<size_t>(row) * grid_cols_ + col]) {
+    if (plan_.partition(id).shape.Contains(q)) out->push_back(id);
+  }
+}
+
+double TopologyChecker::IndoorDistanceFrom(DeviceId dev, Point q) const {
+  const Point center = deployment_.device(dev).range.center;
+  const std::vector<PartitionId>& anchor_parts =
+      device_partitions_[static_cast<size_t>(dev)];
+  thread_local std::vector<PartitionId> parts_q;
+  PartitionsAt(q, &parts_q);
+  if (parts_q.empty() || anchor_parts.empty()) return kInf;
+  for (PartitionId a : anchor_parts) {
+    for (PartitionId b : parts_q) {
+      if (a == b) return Distance(center, q);
+    }
+  }
+  double best = kInf;
+  const std::vector<double>& to_door =
+      to_door_[static_cast<size_t>(dev)];
+  for (PartitionId part : parts_q) {
+    for (DoorId d : plan_.DoorsOf(part)) {
+      const double through = to_door[static_cast<size_t>(d)];
+      if (through == kInf) continue;
+      best = std::min(best,
+                      through + Distance(plan_.door(d).position, q));
+    }
+  }
+  return best;
+}
+
+Region TopologyChecker::ReachableFrom(DeviceId dev, double budget) const {
+  const Device& device = deployment_.device(dev);
+  return Region::FromNode(std::make_shared<ReachableNode>(
+      *this, device, device.range.radius + std::max(budget, 0.0)));
+}
+
+Region TopologyChecker::ReachableBridge(DeviceId a, DeviceId b,
+                                        double max_travel) const {
+  const Device& dev_a = deployment_.device(a);
+  const Device& dev_b = deployment_.device(b);
+  return Region::FromNode(std::make_shared<ReachableBridgeNode>(
+      *this, dev_a, dev_b,
+      dev_a.range.radius + dev_b.range.radius + std::max(max_travel, 0.0)));
+}
+
+}  // namespace indoorflow

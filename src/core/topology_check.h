@@ -1,0 +1,129 @@
+// Indoor topology check (paper Section 3.3).
+//
+// A raw uncertainty region is a purely Euclidean construct; parts of it may
+// be unreachable once walls and doors are taken into account ("it is too far
+// away for object o to be able to reach it", Figure 8). The check excludes
+// from UR every point whose *indoor walking distance* from the involved
+// devices exceeds the corresponding Vmax budget — including the paper's
+// refinement that a part reachable only through an intermediate door must
+// fit the budget along the full door path.
+//
+// Implementation: reachability is expressed as CSG region predicates
+// (geometry/region_node.h) so the adaptive area integrator prunes
+// unreachable parts with certified bounds:
+//   * ReachableFrom(dev, rho)    = { q : ind(dev, q) <= r + rho } — the
+//     indoor analog of Ring(dev, rho);
+//   * ReachableBridge(a, b, L)   = { q : ind(a, q) + ind(b, q) <=
+//     r_a + r_b + L } — the indoor analog of the extended ellipse Θ.
+// Here ind(d, q) is the indoor walking distance from device d's center to q
+// (Euclidean within a convex partition, through doors otherwise).
+
+#ifndef INDOORFLOW_CORE_TOPOLOGY_CHECK_H_
+#define INDOORFLOW_CORE_TOPOLOGY_CHECK_H_
+
+#include <vector>
+
+#include "src/geometry/region.h"
+#include "src/indoor/door_graph.h"
+#include "src/indoor/indoor_distance.h"
+#include "src/tracking/deployment.h"
+
+namespace indoorflow {
+
+/// How uncertainty regions are checked against the indoor topology.
+enum class TopologyMode {
+  /// No check: purely Euclidean regions.
+  kOff,
+  /// The paper's check: split the UR into parts by partition and exclude
+  /// each partition whose minimum indoor distance from the involved devices
+  /// exceeds the budget. Performed eagerly at derivation time — this is the
+  /// per-object cost Algorithm 1 pays for every object and the join
+  /// algorithms avoid for pruned objects.
+  kPartition,
+  /// Refined, point-wise check: every point of the UR individually
+  /// satisfies the indoor-distance budgets (the paper's "any part of space
+  /// beyond that distance from the assumed door should be excluded",
+  /// applied exactly). Strictly tighter than kPartition; evaluated lazily
+  /// during area integration.
+  kExact,
+};
+
+/// One reachability constraint attached to an uncertainty-region piece:
+/// either a single anchor (from a Ring) — ind(dev, q) <= limit — or a
+/// bridge pair (from a Θ) — ind(a, q) + ind(b, q) <= limit. Limits include
+/// the detection radii.
+struct PieceConstraint {
+  DeviceId dev_a = -1;
+  DeviceId dev_b = -1;  // -1 for single-anchor constraints
+  double limit = 0.0;
+
+  bool IsBridge() const { return dev_b >= 0; }
+};
+
+class TopologyChecker {
+ public:
+  /// Precomputes device-to-door indoor distances. Keeps references to all
+  /// three arguments; they — and this checker — must outlive every Region
+  /// returned by the factory methods below.
+  TopologyChecker(const FloorPlan& plan, const DoorGraph& graph,
+                  const Deployment& deployment);
+
+  /// Applies `constraints` to one UR piece under the given mode (kOff
+  /// returns the piece unchanged).
+  Region ApplyToPiece(Region piece,
+                      const std::vector<PieceConstraint>& constraints,
+                      TopologyMode mode) const;
+
+  /// Minimum indoor walking distance from device `dev`'s center to any
+  /// point of partition `part` (0 when the device is in the partition).
+  double MinIndoorToPartition(DeviceId dev, PartitionId part) const {
+    return min_to_partition_[static_cast<size_t>(dev)]
+                            [static_cast<size_t>(part)];
+  }
+
+  /// Points reachable from device `dev`'s range with at most `budget`
+  /// meters of indoor walking.
+  Region ReachableFrom(DeviceId dev, double budget) const;
+
+  /// Points q such that walking range(a) -> q -> range(b) fits within
+  /// `max_travel` meters indoors.
+  Region ReachableBridge(DeviceId a, DeviceId b, double max_travel) const;
+
+  /// Indoor walking distance from device `dev`'s center to `q` (infinity
+  /// when q is outside every partition).
+  double IndoorDistanceFrom(DeviceId dev, Point q) const;
+
+  /// Grid-accelerated FloorPlan::PartitionsAt.
+  void PartitionsAt(Point q, std::vector<PartitionId>* out) const;
+
+  const FloorPlan& plan() const { return plan_; }
+
+ private:
+  friend class ReachableNodeBase;
+
+  const FloorPlan& plan_;
+  const Deployment& deployment_;
+  // to_door_[dev][door]: indoor distance from device center to the door.
+  std::vector<std::vector<double>> to_door_;
+  // min_to_partition_[dev][part]: min indoor distance to the partition.
+  std::vector<std::vector<double>> min_to_partition_;
+  // One shared Region per partition shape (Regions are cheap to copy).
+  std::vector<Region> partition_regions_;
+
+  // Uniform grid over the plan bounds mapping cells to candidate
+  // partitions — accelerates the point-wise (kExact) reachability nodes'
+  // box-to-partition resolution.
+  friend class PartitionGridAccess;
+  Box grid_bounds_;
+  double grid_cell_ = 1.0;
+  int grid_cols_ = 0;
+  int grid_rows_ = 0;
+  std::vector<std::vector<PartitionId>> grid_cells_;
+  // Partitions containing each device center (door devices sit on walls and
+  // belong to two partitions).
+  std::vector<std::vector<PartitionId>> device_partitions_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_TOPOLOGY_CHECK_H_

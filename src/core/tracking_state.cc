@@ -1,0 +1,143 @@
+#include "src/core/tracking_state.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace indoorflow {
+
+SnapshotState ResolveSnapshotState(const ObjectTrackingTable& table,
+                                   const ARTreeEntry& entry, Timestamp t) {
+  SnapshotState state;
+  const TrackingRecord& cur = table.record(entry.cur);
+  state.object = cur.object_id;
+  state.pre = entry.pre;
+  // The augmented interval covers t, so t is either inside cur's detection
+  // span (active) or in the gap before it (inactive).
+  if (cur.Covers(t)) {
+    state.covering.push_back(entry.cur);
+  } else {
+    state.suc = entry.cur;
+  }
+  return state;
+}
+
+SnapshotState ResolveSnapshotStateAt(const ObjectTrackingTable& table,
+                                     ObjectId object, Timestamp t) {
+  SnapshotState state;
+  state.object = object;
+  Timestamp best_pre = -std::numeric_limits<double>::infinity();
+  Timestamp best_suc = std::numeric_limits<double>::infinity();
+  // Chains are short relative to query costs; a linear scan keeps this
+  // correct for overlapping (even nested) records, whose end times are not
+  // monotone in start order.
+  for (RecordIndex idx : table.ChainOf(object)) {
+    const TrackingRecord& r = table.record(idx);
+    if (r.Covers(t)) {
+      state.covering.push_back(idx);
+    } else if (r.te < t) {
+      if (r.te > best_pre) {
+        best_pre = r.te;
+        state.pre = idx;
+      }
+    } else if (r.ts > t && r.ts < best_suc) {
+      best_suc = r.ts;
+      state.suc = idx;
+    }
+  }
+  return state;
+}
+
+namespace {
+
+// Overlap-tolerant chain extraction: end times are not monotone when
+// records can nest, so pre/suc are found by scanning.
+IntervalChain RelevantChainOverlap(const ObjectTrackingTable& table,
+                                   ObjectId object, Timestamp ts,
+                                   Timestamp te) {
+  IntervalChain chain;
+  chain.object = object;
+  RecordIndex pre = kInvalidRecord;
+  RecordIndex suc = kInvalidRecord;
+  Timestamp best_pre = -std::numeric_limits<double>::infinity();
+  Timestamp best_suc = std::numeric_limits<double>::infinity();
+  std::vector<RecordIndex> window;
+  for (RecordIndex idx : table.ChainOf(object)) {
+    const TrackingRecord& r = table.record(idx);
+    if (r.ts <= te && r.te >= ts) {
+      window.push_back(idx);
+      chain.active_at_start |= r.Covers(ts);
+      chain.active_at_end |= r.Covers(te);
+    } else if (r.te < ts) {
+      if (r.te > best_pre) {
+        best_pre = r.te;
+        pre = idx;
+      }
+    } else if (r.ts > te && r.ts < best_suc) {
+      best_suc = r.ts;
+      suc = idx;
+    }
+  }
+  if (window.empty()) {
+    // The window lies entirely in a gap: relevant only when bracketed.
+    if (pre == kInvalidRecord || suc == kInvalidRecord) return chain;
+    chain.records = {pre, suc};
+    return chain;
+  }
+  if (!chain.active_at_start && pre != kInvalidRecord) {
+    chain.records.push_back(pre);
+  }
+  chain.records.insert(chain.records.end(), window.begin(), window.end());
+  if (!chain.active_at_end && suc != kInvalidRecord) {
+    chain.records.push_back(suc);
+  }
+  return chain;
+}
+
+}  // namespace
+
+IntervalChain RelevantChain(const ObjectTrackingTable& table, ObjectId object,
+                            Timestamp ts, Timestamp te) {
+  if (table.has_overlaps()) {
+    return te < ts ? IntervalChain{object, {}, false, false}
+                   : RelevantChainOverlap(table, object, ts, te);
+  }
+  IntervalChain chain;
+  chain.object = object;
+  const std::span<const RecordIndex> all = table.ChainOf(object);
+  if (all.empty() || te < ts) return chain;
+
+  // First record whose detection span could touch the window (te_r >= ts).
+  const auto lo_it = std::lower_bound(
+      all.begin(), all.end(), ts, [&](RecordIndex idx, Timestamp value) {
+        return table.record(idx).te < value;
+      });
+  if (lo_it == all.end()) return chain;  // object last seen before ts
+  const size_t lo = static_cast<size_t>(lo_it - all.begin());
+
+  if (table.record(all[lo]).ts > te) {
+    // The window lies entirely in the gap before record `lo`: relevant only
+    // when a predecessor exists (the paper's rd_pre(ts) / rd_suc(te) pair).
+    if (lo == 0) return chain;  // object first seen after te
+    chain.records = {all[lo - 1], all[lo]};
+  } else {
+    // Records overlapping the window...
+    size_t hi = lo;
+    while (hi + 1 < all.size() && table.record(all[hi + 1]).ts <= te) {
+      ++hi;
+    }
+    // ... plus rd_pre(ts) when inactive at ts and rd_suc(te) when inactive
+    // at te (Table 3).
+    if (table.record(all[lo]).ts > ts && lo > 0) {
+      chain.records.push_back(all[lo - 1]);
+    }
+    for (size_t i = lo; i <= hi; ++i) chain.records.push_back(all[i]);
+    if (table.record(all[hi]).te < te && hi + 1 < all.size()) {
+      chain.records.push_back(all[hi + 1]);
+    }
+  }
+  chain.active_at_start = table.record(chain.records.front()).Covers(ts);
+  chain.active_at_end = table.record(chain.records.back()).Covers(te);
+  return chain;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,70 @@
+// Tracking-state resolution (paper Section 3.1.1).
+//
+// At a time point t an object is *active* (some record covers t) or
+// *inactive* (t falls in a detection gap). The AR-tree point query yields,
+// per object, the leaf entry whose augmented interval covers t; this module
+// turns that entry into the paper's (rd_pre, rd_cov) or (rd_pre, rd_suc)
+// record roles. For a time interval, RelevantChain extracts the record
+// sub-chain rd_s ... rd_e of Table 3.
+
+#ifndef INDOORFLOW_CORE_TRACKING_STATE_H_
+#define INDOORFLOW_CORE_TRACKING_STATE_H_
+
+#include <vector>
+
+#include "src/index/artree.h"
+#include "src/tracking/ott.h"
+
+namespace indoorflow {
+
+/// The resolved state of one object at a time point. With the paper's
+/// default non-overlapping detection ranges, `covering` has at most one
+/// record; overlapping deployments (Section 3 Remark) can pin an object in
+/// several ranges at once.
+struct SnapshotState {
+  ObjectId object = -1;
+  /// rd_pre: the last record ending strictly before t (kInvalidRecord when
+  /// none exists).
+  RecordIndex pre = kInvalidRecord;
+  /// Records whose detection span covers t; empty = inactive.
+  std::vector<RecordIndex> covering;
+  /// rd_suc: the first record starting strictly after t; only meaningful
+  /// when inactive.
+  RecordIndex suc = kInvalidRecord;
+
+  bool active() const { return !covering.empty(); }
+};
+
+/// Resolves the state at `t` from an AR-tree entry whose augmented interval
+/// covers `t`. Valid only for tables without overlapping records (the entry
+/// then determines the state completely).
+SnapshotState ResolveSnapshotState(const ObjectTrackingTable& table,
+                                   const ARTreeEntry& entry, Timestamp t);
+
+/// Resolves the state at `t` from the object's full chain. Works for both
+/// disjoint and overlapping tables (used when table.has_overlaps()).
+SnapshotState ResolveSnapshotStateAt(const ObjectTrackingTable& table,
+                                     ObjectId object, Timestamp t);
+
+/// The record sub-chain relevant to [ts, te] for one object (paper Table 3):
+/// starts at rd_cov(ts) (active) or rd_pre(ts) (inactive), ends at
+/// rd_cov(te) or rd_suc(te), with all records in between. When the object's
+/// first record starts after ts (no rd_pre exists) the chain starts at that
+/// record; likewise at the end. Empty when the object has no record whose
+/// augmented interval overlaps [ts, te].
+struct IntervalChain {
+  ObjectId object = -1;
+  std::vector<RecordIndex> records;
+  /// True when records.front() covers ts (active start). False means
+  /// records.front() is rd_pre(ts) — or, if front().ts > ts, that no
+  /// predecessor exists.
+  bool active_at_start = false;
+  bool active_at_end = false;
+};
+
+IntervalChain RelevantChain(const ObjectTrackingTable& table, ObjectId object,
+                            Timestamp ts, Timestamp te);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_TRACKING_STATE_H_

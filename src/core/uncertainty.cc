@@ -1,0 +1,293 @@
+#include "src/core/uncertainty.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace indoorflow {
+
+namespace {
+
+// Constraint builders: limits include the anchor detection radii, matching
+// Ring(dev, rho) (outer radius r + rho) and Θ (slack r_a + r_b + L).
+PieceConstraint SingleConstraint(const Device& dev, double budget) {
+  return PieceConstraint{dev.id, -1, dev.range.radius + std::max(budget,
+                                                                 0.0)};
+}
+
+PieceConstraint BridgeConstraint(const Device& a, const Device& b,
+                                 double max_travel) {
+  return PieceConstraint{a.id, b.id,
+                         a.range.radius + b.range.radius +
+                             std::max(max_travel, 0.0)};
+}
+
+}  // namespace
+
+const Circle& UncertaintyModel::RangeOf(RecordIndex r) const {
+  return deployment_.device(table_.record(r).device_id).range;
+}
+
+Region UncertaintyModel::CheckPiece(
+    Region piece, const std::vector<PieceConstraint>& constraints) const {
+  if (topology_ == nullptr || mode_ == TopologyMode::kOff) return piece;
+  return topology_->ApplyToPiece(std::move(piece), constraints, mode_);
+}
+
+Region UncertaintyModel::Snapshot(const SnapshotState& state,
+                                  Timestamp t) const {
+  if (state.active()) {
+    // Active: the intersection of all covering ranges (one range with the
+    // paper's disjoint deployments), further constrained by the ring
+    // around rd_pre's device.
+    Region region = Region::Make(RangeOf(state.covering.front()));
+    bool pre_device_covering = false;
+    for (size_t i = 1; i < state.covering.size(); ++i) {
+      region = Region::Intersect(
+          region, Region::Make(RangeOf(state.covering[i])));
+    }
+    if (state.pre != kInvalidRecord) {
+      const TrackingRecord& pre = table_.record(state.pre);
+      for (RecordIndex idx : state.covering) {
+        pre_device_covering |=
+            table_.record(idx).device_id == pre.device_id;
+      }
+      // Same-device re-detection: the ring around dev_pre excludes its own
+      // detection disk, which contradicts the current detection; skip it
+      // (see header).
+      if (!pre_device_covering) {
+        const double budget = vmax_ * (t - pre.te);
+        region = Region::Intersect(
+            region, Region::Make(Ring::Around(RangeOf(state.pre), budget)));
+        region = CheckPiece(
+            std::move(region),
+            {SingleConstraint(deployment_.device(pre.device_id), budget)});
+      }
+    }
+    return region;
+  }
+
+  // Inactive: both rd_pre and rd_suc exist whenever the object has an
+  // AR-tree entry covering t; tolerate a missing side defensively by using
+  // the other ring alone.
+  std::vector<Region> rings;
+  std::vector<PieceConstraint> constraints;
+  if (state.pre != kInvalidRecord) {
+    const TrackingRecord& pre = table_.record(state.pre);
+    const double budget = vmax_ * (t - pre.te);
+    rings.push_back(Region::Make(Ring::Around(RangeOf(state.pre), budget)));
+    constraints.push_back(
+        SingleConstraint(deployment_.device(pre.device_id), budget));
+  }
+  if (state.suc != kInvalidRecord) {
+    const TrackingRecord& suc = table_.record(state.suc);
+    const double budget = vmax_ * (suc.ts - t);
+    rings.push_back(Region::Make(Ring::Around(RangeOf(state.suc), budget)));
+    constraints.push_back(
+        SingleConstraint(deployment_.device(suc.device_id), budget));
+  }
+  if (rings.empty()) return Region();
+  Region region = std::move(rings.front());
+  for (size_t i = 1; i < rings.size(); ++i) {
+    region = Region::Intersect(std::move(region), std::move(rings[i]));
+  }
+  return CheckPiece(std::move(region), constraints);
+}
+
+Box UncertaintyModel::SnapshotMbr(const SnapshotState& state,
+                                  Timestamp t) const {
+  if (state.active()) {
+    Box box = RangeOf(state.covering.front()).Bounds();
+    bool pre_device_covering = false;
+    for (size_t i = 1; i < state.covering.size(); ++i) {
+      box = Intersection(box, RangeOf(state.covering[i]).Bounds());
+    }
+    if (state.pre != kInvalidRecord) {
+      const TrackingRecord& pre = table_.record(state.pre);
+      for (RecordIndex idx : state.covering) {
+        pre_device_covering |=
+            table_.record(idx).device_id == pre.device_id;
+      }
+      if (!pre_device_covering) {
+        // UR lies in both the covering range and the pre-ring, so the box
+        // intersection bounds it (tighter than the paper's box union).
+        const double budget = vmax_ * (t - pre.te);
+        box = Intersection(
+            box, Ring::Around(RangeOf(state.pre), budget).Bounds());
+      }
+    }
+    return box;
+  }
+  Box box;
+  bool constrained = false;
+  if (state.pre != kInvalidRecord) {
+    const TrackingRecord& pre = table_.record(state.pre);
+    const Box pre_box =
+        Ring::Around(RangeOf(state.pre), vmax_ * (t - pre.te)).Bounds();
+    box = constrained ? Intersection(box, pre_box) : pre_box;
+    constrained = true;
+  }
+  if (state.suc != kInvalidRecord) {
+    const TrackingRecord& suc = table_.record(state.suc);
+    const Box suc_box =
+        Ring::Around(RangeOf(state.suc), vmax_ * (suc.ts - t)).Bounds();
+    box = constrained ? Intersection(box, suc_box) : suc_box;
+    constrained = true;
+  }
+  return box;
+}
+
+Region UncertaintyModel::Interval(const IntervalChain& chain, Timestamp ts,
+                                  Timestamp te) const {
+  const std::vector<RecordIndex>& recs = chain.records;
+  if (recs.empty()) return Region();
+  std::vector<Region> pieces;
+
+  const TrackingRecord& front = table_.record(recs.front());
+  const TrackingRecord& back = table_.record(recs.back());
+  // Boundary handling (see header): a record chain can start with rd_pre
+  // (inactive start), with rd_cov (active start), or — when no predecessor
+  // exists — with a record that begins inside the window.
+  const bool front_is_pre = !chain.active_at_start && front.te <= ts;
+  const bool back_is_suc = !chain.active_at_end && back.ts >= te;
+
+  // Every record whose detection span overlaps the window pins the object
+  // inside that device's range for part of the interval, so the range
+  // itself belongs to the UR. (The paper's Θ "complete region" covers this
+  // for inner records; this also handles boundary records whose Θ gets
+  // intersected with a ring, and single-record chains.)
+  for (RecordIndex idx : recs) {
+    const TrackingRecord& r = table_.record(idx);
+    if (r.ts <= te && r.te >= ts) {
+      pieces.push_back(Region::Make(RangeOf(idx)));
+    }
+  }
+
+  std::vector<PieceConstraint> constraints;
+  if (recs.size() > 1) {
+    for (size_t i = 0; i + 1 < recs.size(); ++i) {
+      const TrackingRecord& a = table_.record(recs[i]);
+      const TrackingRecord& b = table_.record(recs[i + 1]);
+      const double gap_travel = vmax_ * std::max(0.0, b.ts - a.te);
+      Region piece = Region::Make(
+          ExtendedEllipse(RangeOf(recs[i]), RangeOf(recs[i + 1]),
+                          gap_travel));
+      constraints.clear();
+      constraints.push_back(BridgeConstraint(
+          deployment_.device(a.device_id), deployment_.device(b.device_id),
+          gap_travel));
+      if (i == 0 && front_is_pre) {
+        // Ring_s = Ring(dev_b, Vmax·(rd_b.ts − ts)) (paper Case 2/4).
+        const double budget = vmax_ * (b.ts - ts);
+        piece = Region::Intersect(
+            piece,
+            Region::Make(Ring::Around(RangeOf(recs[i + 1]), budget)));
+        constraints.push_back(
+            SingleConstraint(deployment_.device(b.device_id), budget));
+      }
+      if (i + 2 == recs.size() && back_is_suc) {
+        // Ring_e = Ring(dev_b', Vmax·(te − rd_b'.te)) (paper Case 3/4).
+        const double budget = vmax_ * (te - a.te);
+        piece = Region::Intersect(
+            piece, Region::Make(Ring::Around(RangeOf(recs[i]), budget)));
+        constraints.push_back(
+            SingleConstraint(deployment_.device(a.device_id), budget));
+      }
+      pieces.push_back(CheckPiece(std::move(piece), constraints));
+    }
+  }
+
+  // Missing-predecessor / missing-successor boundary rings.
+  if (!chain.active_at_start && front.ts > ts) {
+    const double budget = vmax_ * (front.ts - ts);
+    Region ring = Region::Make(Ring::Around(RangeOf(recs.front()), budget));
+    pieces.push_back(CheckPiece(
+        std::move(ring),
+        {SingleConstraint(deployment_.device(front.device_id), budget)}));
+  }
+  if (!chain.active_at_end && back.te < te) {
+    const double budget = vmax_ * (te - back.te);
+    Region ring = Region::Make(Ring::Around(RangeOf(recs.back()), budget));
+    pieces.push_back(CheckPiece(
+        std::move(ring),
+        {SingleConstraint(deployment_.device(back.device_id), budget)}));
+  }
+
+  return Region::Union(std::move(pieces));
+}
+
+void UncertaintyModel::IntervalMbrs(const IntervalChain& chain, Timestamp ts,
+                                    Timestamp te, Box* mbr,
+                                    std::vector<Box>* sub_mbrs) const {
+  *mbr = Box{};
+  if (sub_mbrs != nullptr) sub_mbrs->clear();
+  const std::vector<RecordIndex>& recs = chain.records;
+  if (recs.empty()) return;
+
+  const TrackingRecord& front = table_.record(recs.front());
+  const TrackingRecord& back = table_.record(recs.back());
+  const bool front_is_pre = !chain.active_at_start && front.te <= ts;
+  const bool back_is_suc = !chain.active_at_end && back.ts >= te;
+
+  auto emit = [&](const Box& box) {
+    mbr->ExpandToInclude(box);
+    if (sub_mbrs != nullptr) sub_mbrs->push_back(box);
+  };
+
+  // Detection-range boxes are only needed for single-record chains: every
+  // Θ piece box already covers both of its end disks.
+  if (recs.size() == 1) {
+    const TrackingRecord& r = table_.record(recs.front());
+    if (r.ts <= te && r.te >= ts) {
+      emit(RangeOf(recs.front()).Bounds());
+    }
+  }
+
+  if (recs.size() > 1) {
+    for (size_t i = 0; i + 1 < recs.size(); ++i) {
+      const TrackingRecord& a = table_.record(recs[i]);
+      const TrackingRecord& b = table_.record(recs[i + 1]);
+      const double gap_travel = vmax_ * std::max(0.0, b.ts - a.te);
+      Box box = ExtendedEllipse(RangeOf(recs[i]), RangeOf(recs[i + 1]),
+                                gap_travel)
+                    .Bounds();
+      if (i == 0 && front_is_pre) {
+        box = Intersection(
+            box, Ring::Around(RangeOf(recs[i + 1]), vmax_ * (b.ts - ts))
+                     .Bounds());
+      }
+      if (i + 2 == recs.size() && back_is_suc) {
+        box = Intersection(
+            box,
+            Ring::Around(RangeOf(recs[i]), vmax_ * (te - a.te)).Bounds());
+      }
+      emit(box);
+    }
+  }
+
+  if (!chain.active_at_start && front.ts > ts) {
+    emit(Ring::Around(RangeOf(recs.front()), vmax_ * (front.ts - ts))
+             .Bounds());
+  }
+  if (!chain.active_at_end && back.te < te) {
+    emit(Ring::Around(RangeOf(recs.back()), vmax_ * (te - back.te))
+             .Bounds());
+  }
+
+  // Long chains produce long sub-MBR lists that get scanned on every join
+  // admission test; coalescing temporally adjacent (hence spatially
+  // coherent) boxes caps that cost while staying conservative.
+  constexpr size_t kMaxSubMbrs = 24;
+  if (sub_mbrs != nullptr) {
+    while (sub_mbrs->size() > kMaxSubMbrs) {
+      std::vector<Box> merged;
+      merged.reserve(sub_mbrs->size() / 2 + 1);
+      for (size_t i = 0; i + 1 < sub_mbrs->size(); i += 2) {
+        merged.push_back(Union((*sub_mbrs)[i], (*sub_mbrs)[i + 1]));
+      }
+      if (sub_mbrs->size() % 2 == 1) merged.push_back(sub_mbrs->back());
+      *sub_mbrs = std::move(merged);
+    }
+  }
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,90 @@
+// Uncertainty-region derivation (paper Section 3).
+//
+// Snapshot regions (Section 3.1.2):
+//   active:   UR(o,t) = Ring(dev_pre, Vmax·(t − rd_pre.te)) ∩ dev_cov.range
+//   inactive: UR(o,t) = Ring(dev_pre, Vmax·(t − rd_pre.te)) ∩
+//                       Ring(dev_suc, Vmax·(rd_suc.ts − t))
+//
+// Interval regions (Section 3.2, Cases 1-4): the union over consecutive
+// record pairs of extended ellipses Θ(dev_i, dev_j, rd_i.te, rd_j.ts), where
+// the first Θ is additionally intersected with Ring(dev_b, Vmax·(rd_b.ts −
+// ts)) when the object is inactive at ts, and the last Θ with Ring(dev_b',
+// Vmax·(te − rd_b'.te)) when inactive at te.
+//
+// When a TopologyChecker is supplied, every Euclidean constraint gets its
+// indoor analog intersected in per piece (Section 3.3): each Ring pairs with
+// ReachableFrom and each Θ with ReachableBridge.
+//
+// Deviations from the paper, documented here:
+//   * rd_pre == rd_cov device (an object re-detected by the device it last
+//     left): the paper's active-state formula degenerates to a zero-area
+//     ring∩disk; we use dev_cov.range, the physically correct region.
+//   * An object first/last seen inside the interval (no rd_pre / rd_suc
+//     exists — the paper assumes one does): the missing Θ collapses to the
+//     corresponding Ring around the known-side device.
+//   * A chain of exactly two records with the object inactive at both ends:
+//     the single Θ is intersected with both rings (tighter than, and
+//     contained in, the paper's union form — see DESIGN.md).
+
+#ifndef INDOORFLOW_CORE_UNCERTAINTY_H_
+#define INDOORFLOW_CORE_UNCERTAINTY_H_
+
+#include <vector>
+
+#include "src/core/topology_check.h"
+#include "src/core/tracking_state.h"
+#include "src/geometry/region.h"
+#include "src/tracking/deployment.h"
+
+namespace indoorflow {
+
+class UncertaintyModel {
+ public:
+  /// `topology` may be null (skip the indoor topology check; `mode` is then
+  /// forced to kOff). All references must outlive the model and the regions
+  /// it creates.
+  UncertaintyModel(const ObjectTrackingTable& table,
+                   const Deployment& deployment, double vmax,
+                   const TopologyChecker* topology = nullptr,
+                   TopologyMode mode = TopologyMode::kExact)
+      : table_(table),
+        deployment_(deployment),
+        vmax_(vmax),
+        topology_(topology),
+        mode_(topology == nullptr ? TopologyMode::kOff : mode) {}
+
+  /// UR(o, t) for a resolved snapshot state.
+  Region Snapshot(const SnapshotState& state, Timestamp t) const;
+
+  /// Conservative MBR of UR(o, t), computed without deriving the region
+  /// (paper Algorithm 2, phase 1).
+  Box SnapshotMbr(const SnapshotState& state, Timestamp t) const;
+
+  /// UR(o, [ts, te]) for a relevant record chain.
+  Region Interval(const IntervalChain& chain, Timestamp ts,
+                  Timestamp te) const;
+
+  /// MBRs of UR(o, [ts, te]) without deriving the region: `mbr` is the
+  /// overall trajectory box; `sub_mbrs` (optional) receives one box per
+  /// piece — the paper's finer-MBR improvement (Section 4.3.2).
+  void IntervalMbrs(const IntervalChain& chain, Timestamp ts, Timestamp te,
+                    Box* mbr, std::vector<Box>* sub_mbrs) const;
+
+  double vmax() const { return vmax_; }
+
+ private:
+  const Circle& RangeOf(RecordIndex r) const;
+  /// Applies the topology check to one UR piece.
+  Region CheckPiece(Region piece,
+                    const std::vector<PieceConstraint>& constraints) const;
+
+  const ObjectTrackingTable& table_;
+  const Deployment& deployment_;
+  double vmax_;
+  const TopologyChecker* topology_;
+  TopologyMode mode_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_UNCERTAINTY_H_

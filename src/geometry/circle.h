@@ -1,0 +1,73 @@
+// Circles (proximity-detection ranges) and rings (annuli).
+//
+// The paper models a proximity detection device's range as a circle. A
+// Ring(dev, rho) is "the ring whose inner circle is device dev's detection
+// circle and whose outer circle extends the inner circle's radius by rho"
+// (paper, Section 3.1.2) — i.e. the annulus of points the object can have
+// reached after leaving (or before entering) the device's range.
+
+#ifndef INDOORFLOW_GEOMETRY_CIRCLE_H_
+#define INDOORFLOW_GEOMETRY_CIRCLE_H_
+
+#include <numbers>
+
+#include "src/geometry/box.h"
+#include "src/geometry/point.h"
+
+namespace indoorflow {
+
+struct Circle {
+  Point center;
+  double radius = 0.0;
+
+  bool Contains(Point p) const {
+    return DistanceSquared(center, p) <= radius * radius;
+  }
+
+  double Area() const { return std::numbers::pi * radius * radius; }
+
+  Box Bounds() const {
+    return Box{center.x - radius, center.y - radius, center.x + radius,
+               center.y + radius};
+  }
+
+  /// Distance from `p` to the closed disk (0 when inside).
+  double DistanceToDisk(Point p) const {
+    const double d = Distance(center, p) - radius;
+    return d > 0.0 ? d : 0.0;
+  }
+};
+
+/// An annulus: points at distance [inner_radius, outer_radius] from center.
+/// Ring(dev, rho) in the paper has inner_radius = dev.range and
+/// outer_radius = dev.range + rho.
+struct Ring {
+  Point center;
+  double inner_radius = 0.0;
+  double outer_radius = 0.0;
+
+  static Ring Around(const Circle& detection_range, double rho) {
+    return Ring{detection_range.center, detection_range.radius,
+                detection_range.radius + rho};
+  }
+
+  bool Contains(Point p) const {
+    const double d2 = DistanceSquared(center, p);
+    return d2 >= inner_radius * inner_radius &&
+           d2 <= outer_radius * outer_radius;
+  }
+
+  double Area() const {
+    return std::numbers::pi *
+           (outer_radius * outer_radius - inner_radius * inner_radius);
+  }
+
+  Box Bounds() const {
+    return Box{center.x - outer_radius, center.y - outer_radius,
+               center.x + outer_radius, center.y + outer_radius};
+  }
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_CIRCLE_H_

@@ -1,0 +1,161 @@
+#include "src/geometry/circle_area.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace indoorflow {
+
+namespace {
+
+// Antiderivative of the half-chord h(x) = sqrt(r^2 - x^2):
+// H(x) = (x h(x) + r^2 asin(x / r)) / 2.
+double HalfChordIntegral(double r, double x) {
+  x = std::clamp(x, -r, r);
+  const double h = std::sqrt(std::max(0.0, r * r - x * x));
+  return 0.5 * (x * h + r * r * std::asin(x / r));
+}
+
+}  // namespace
+
+double CircleBoxIntersectionArea(const Circle& circle, const Box& box) {
+  if (box.Empty() || circle.radius <= 0.0) return 0.0;
+  const double r = circle.radius;
+  // Translate so the circle is centered at the origin.
+  const double x0 = box.min_x - circle.center.x;
+  const double x1 = box.max_x - circle.center.x;
+  const double y0 = box.min_y - circle.center.y;
+  const double y1 = box.max_y - circle.center.y;
+
+  const double a = std::max(x0, -r);
+  const double b = std::min(x1, r);
+  if (a >= b) return 0.0;
+
+  // Between breakpoints, the clipped chord [max(y0, -h), min(y1, h)] keeps
+  // one algebraic form, so each piece integrates exactly. Breakpoints are
+  // where h(x) crosses |y0| or |y1|.
+  std::vector<double> cuts = {a, b};
+  for (const double y : {y0, y1}) {
+    if (std::abs(y) < r) {
+      const double x_cross = std::sqrt(r * r - y * y);
+      if (-x_cross > a && -x_cross < b) cuts.push_back(-x_cross);
+      if (x_cross > a && x_cross < b) cuts.push_back(x_cross);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+
+  double area = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double lo = cuts[i];
+    const double hi = cuts[i + 1];
+    if (hi - lo <= 0.0) continue;
+    const double mid = 0.5 * (lo + hi);
+    const double h_mid = std::sqrt(std::max(0.0, r * r - mid * mid));
+    const bool top_is_circle = y1 >= h_mid;     // min(y1, h) == h
+    const bool bottom_is_circle = y0 <= -h_mid;  // max(y0, -h) == -h
+    if (std::min(y1, h_mid) <= std::max(y0, -h_mid)) continue;  // empty
+
+    const double dH = HalfChordIntegral(r, hi) - HalfChordIntegral(r, lo);
+    const double dx = hi - lo;
+    if (top_is_circle && bottom_is_circle) {
+      area += 2.0 * dH;
+    } else if (top_is_circle) {
+      area += dH - y0 * dx;
+    } else if (bottom_is_circle) {
+      area += y1 * dx + dH;
+    } else {
+      area += (y1 - y0) * dx;
+    }
+  }
+  return area;
+}
+
+namespace {
+
+// Signed angle from p to q as seen from the origin, in (-pi, pi].
+double SignedAngle(Point p, Point q) {
+  double d = std::atan2(q.y, q.x) - std::atan2(p.y, p.x);
+  if (d > std::numbers::pi) d -= 2.0 * std::numbers::pi;
+  if (d <= -std::numbers::pi) d += 2.0 * std::numbers::pi;
+  return d;
+}
+
+double SectorArea(Point p, Point q, double r) {
+  return 0.5 * r * r * SignedAngle(p, q);
+}
+
+double TriangleArea(Point p, Point q) { return 0.5 * Cross(p, q); }
+
+// Signed area of triangle(origin, a, b) ∩ disk(origin, r). Summed over the
+// directed edges of a polygon (translated so the circle center is the
+// origin), these contributions add up to the signed polygon-disk overlap.
+double EdgeDiskArea(Point a, Point b, double r) {
+  const bool a_in = LengthSquared(a) <= r * r;
+  const bool b_in = LengthSquared(b) <= r * r;
+  if (a_in && b_in) return TriangleArea(a, b);
+
+  // Parametrize p(t) = a + t (b - a) and intersect with the circle.
+  const Point d = b - a;
+  const double qa = Dot(d, d);
+  const double qb = 2.0 * Dot(a, d);
+  const double qc = Dot(a, a) - r * r;
+  const double disc = qb * qb - 4.0 * qa * qc;
+  if (qa < kGeomEpsilon * kGeomEpsilon) {
+    return 0.0;  // degenerate edge
+  }
+  double t1 = 0.0;
+  double t2 = 0.0;
+  bool crosses = false;
+  if (disc > 0.0) {
+    const double sq = std::sqrt(disc);
+    t1 = (-qb - sq) / (2.0 * qa);
+    t2 = (-qb + sq) / (2.0 * qa);
+    crosses = t1 < 1.0 && t2 > 0.0 && t1 < t2;
+  }
+
+  if (a_in) {  // leaves the disk at t2
+    const Point m = a + d * std::clamp(t2, 0.0, 1.0);
+    return TriangleArea(a, m) + SectorArea(m, b, r);
+  }
+  if (b_in) {  // enters the disk at t1
+    const Point m = a + d * std::clamp(t1, 0.0, 1.0);
+    return SectorArea(a, m, r) + TriangleArea(m, b);
+  }
+  // Both endpoints outside: the chord between t1 and t2 may dip inside.
+  if (crosses && t1 > 0.0 && t2 < 1.0) {
+    const Point m1 = a + d * t1;
+    const Point m2 = a + d * t2;
+    return SectorArea(a, m1, r) + TriangleArea(m1, m2) +
+           SectorArea(m2, b, r);
+  }
+  return SectorArea(a, b, r);
+}
+
+}  // namespace
+
+double CirclePolygonIntersectionArea(const Circle& circle,
+                                     const Polygon& polygon) {
+  if (circle.radius <= 0.0) return 0.0;
+  if (!circle.Bounds().Intersects(polygon.Bounds())) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < polygon.size(); ++i) {
+    const Segment e = polygon.edge(i);
+    total += EdgeDiskArea(e.a - circle.center, e.b - circle.center,
+                          circle.radius);
+  }
+  // The fan is signed with the polygon's orientation.
+  if (polygon.SignedArea() < 0.0) total = -total;
+  return std::max(0.0, total);
+}
+
+double RingPolygonIntersectionArea(const Ring& ring,
+                                   const Polygon& polygon) {
+  const double outer = CirclePolygonIntersectionArea(
+      Circle{ring.center, ring.outer_radius}, polygon);
+  const double inner = CirclePolygonIntersectionArea(
+      Circle{ring.center, ring.inner_radius}, polygon);
+  return std::max(0.0, outer - inner);
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,32 @@
+// Exact area of circle ∩ axis-aligned rectangle.
+//
+// Serves as an independent closed-form oracle for the adaptive quadtree
+// integrator (tests), and as a fast path for presence computations whose
+// uncertainty region is a single detection disk against a rectangular POI.
+
+#ifndef INDOORFLOW_GEOMETRY_CIRCLE_AREA_H_
+#define INDOORFLOW_GEOMETRY_CIRCLE_AREA_H_
+
+#include "src/geometry/box.h"
+#include "src/geometry/circle.h"
+#include "src/geometry/polygon.h"
+
+namespace indoorflow {
+
+/// area({ p : |p - circle.center| <= circle.radius } ∩ box), exactly
+/// (piecewise antiderivatives, no sampling).
+double CircleBoxIntersectionArea(const Circle& circle, const Box& box);
+
+/// area(circle ∩ polygon) for any simple polygon, exactly: the polygon is
+/// decomposed into signed triangles fanned from the circle center, and each
+/// triangle's circle overlap has a closed form (chord/sector pieces).
+double CirclePolygonIntersectionArea(const Circle& circle,
+                                     const Polygon& polygon);
+
+/// area(ring ∩ polygon), exactly: outer-disk overlap minus inner-disk
+/// overlap.
+double RingPolygonIntersectionArea(const Ring& ring, const Polygon& polygon);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_CIRCLE_AREA_H_

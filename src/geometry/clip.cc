@@ -1,0 +1,89 @@
+#include "src/geometry/clip.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+namespace {
+
+// Signed distance proxy: > 0 on the left of a->b.
+double Side(Point p, Point a, Point b) { return Orient(a, b, p); }
+
+Point LineIntersection(Point p1, Point p2, Point a, Point b) {
+  const double d1 = Side(p1, a, b);
+  const double d2 = Side(p2, a, b);
+  const double t = d1 / (d1 - d2);
+  return p1 + (p2 - p1) * t;
+}
+
+std::vector<Point> ClipVerticesToHalfPlane(const std::vector<Point>& input,
+                                           Point a, Point b) {
+  std::vector<Point> output;
+  output.reserve(input.size() + 2);
+  for (size_t i = 0; i < input.size(); ++i) {
+    const Point cur = input[i];
+    const Point nxt = input[(i + 1) % input.size()];
+    const bool cur_in = Side(cur, a, b) >= -kGeomEpsilon;
+    const bool nxt_in = Side(nxt, a, b) >= -kGeomEpsilon;
+    if (cur_in) {
+      output.push_back(cur);
+      if (!nxt_in) output.push_back(LineIntersection(cur, nxt, a, b));
+    } else if (nxt_in) {
+      output.push_back(LineIntersection(cur, nxt, a, b));
+    }
+  }
+  return output;
+}
+
+std::optional<Polygon> MakePolygonIfValid(std::vector<Point> vertices) {
+  // Drop consecutive duplicates introduced by clipping at vertices.
+  std::vector<Point> cleaned;
+  cleaned.reserve(vertices.size());
+  for (Point p : vertices) {
+    if (cleaned.empty() ||
+        Distance(cleaned.back(), p) > kGeomEpsilon) {
+      cleaned.push_back(p);
+    }
+  }
+  while (cleaned.size() >= 2 &&
+         Distance(cleaned.front(), cleaned.back()) <= kGeomEpsilon) {
+    cleaned.pop_back();
+  }
+  if (cleaned.size() < 3) return std::nullopt;
+  Polygon result(std::move(cleaned));
+  if (result.Area() < kGeomEpsilon) return std::nullopt;
+  return result;
+}
+
+}  // namespace
+
+std::optional<Polygon> ClipToHalfPlane(const Polygon& subject, Point a,
+                                       Point b) {
+  return MakePolygonIfValid(
+      ClipVerticesToHalfPlane(subject.vertices(), a, b));
+}
+
+std::optional<Polygon> ClipToConvex(const Polygon& subject,
+                                    const Polygon& clip) {
+  INDOORFLOW_CHECK(clip.IsConvex());
+  // Sutherland–Hodgman requires the clip polygon's edges oriented CCW so
+  // "left of edge" means inside.
+  Polygon ccw_clip = clip;
+  ccw_clip.Normalize();
+  std::vector<Point> vertices = subject.vertices();
+  for (size_t i = 0; i < ccw_clip.size() && !vertices.empty(); ++i) {
+    const Segment e = ccw_clip.edge(i);
+    vertices = ClipVerticesToHalfPlane(vertices, e.a, e.b);
+  }
+  return MakePolygonIfValid(std::move(vertices));
+}
+
+double ClippedArea(const Polygon& subject, const Polygon& clip) {
+  const std::optional<Polygon> result = ClipToConvex(subject, clip);
+  return result ? result->Area() : 0.0;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,31 @@
+// Exact polygon clipping (Sutherland–Hodgman) for convex clip windows.
+//
+// Used where both operands are polygons (e.g. POI-in-room computations and
+// as a cross-check oracle for the adaptive area integrator in tests). Curved
+// uncertainty regions go through area_integrator.h instead.
+
+#ifndef INDOORFLOW_GEOMETRY_CLIP_H_
+#define INDOORFLOW_GEOMETRY_CLIP_H_
+
+#include <optional>
+
+#include "src/geometry/polygon.h"
+
+namespace indoorflow {
+
+/// Clips `subject` (any simple polygon) against the half-plane on the left
+/// of the directed line a -> b. Returns nullopt when the result is empty.
+std::optional<Polygon> ClipToHalfPlane(const Polygon& subject, Point a,
+                                       Point b);
+
+/// Clips `subject` against convex polygon `clip` (CCW). Returns nullopt when
+/// the intersection is empty (or degenerate to a point/segment).
+std::optional<Polygon> ClipToConvex(const Polygon& subject,
+                                    const Polygon& clip);
+
+/// Exact area of subject ∩ clip for a convex CCW `clip` window.
+double ClippedArea(const Polygon& subject, const Polygon& clip);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_CLIP_H_

@@ -1,0 +1,71 @@
+#include "src/geometry/extended_ellipse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indoorflow {
+
+ExtendedEllipse::ExtendedEllipse(Circle disk_a, Circle disk_b,
+                                 double max_travel, bool include_disks)
+    : disk_a_(disk_a),
+      disk_b_(disk_b),
+      max_travel_(std::max(max_travel, 0.0)),
+      include_disks_(include_disks) {
+  const double center_dist = Distance(disk_a_.center, disk_b_.center);
+  const double min_bridge =
+      std::max(0.0, center_dist - disk_a_.radius - disk_b_.radius);
+  empty_bridge_ = min_bridge > max_travel_ + kGeomEpsilon;
+
+  if (!empty_bridge_) {
+    // The bridge region is contained in the classical ellipse with foci at
+    // the two disk centers and major-axis length L + r_a + r_b. Its AABB is
+    // a conservative bound for the bridge.
+    const double a = (max_travel_ + disk_a_.radius + disk_b_.radius) * 0.5;
+    const double c = center_dist * 0.5;
+    const double b2 = std::max(a * a - c * c, 0.0);
+    const double b = std::sqrt(b2);
+    const Point mid = (disk_a_.center + disk_b_.center) * 0.5;
+    Point u = Normalized(disk_b_.center - disk_a_.center);
+    if (u == Point{0.0, 0.0}) u = {1.0, 0.0};
+    const Point v = Perp(u);
+    const double hx = std::sqrt(a * a * u.x * u.x + b * b * v.x * v.x);
+    const double hy = std::sqrt(a * a * u.y * u.y + b * b * v.y * v.y);
+    bounds_ = Box{mid.x - hx, mid.y - hy, mid.x + hx, mid.y + hy};
+  }
+  if (include_disks_ || empty_bridge_) {
+    // With an empty bridge, the region degenerates to the disks themselves
+    // (the object was observed there regardless of the travel budget).
+    bounds_.ExpandToInclude(disk_a_.Bounds());
+    bounds_.ExpandToInclude(disk_b_.Bounds());
+  }
+}
+
+bool ExtendedEllipse::Contains(Point p) const {
+  const bool in_disks = disk_a_.Contains(p) || disk_b_.Contains(p);
+  if (include_disks_ || empty_bridge_) {
+    if (in_disks) return true;
+  } else if (in_disks) {
+    return false;
+  }
+  if (empty_bridge_) return false;
+  return disk_a_.DistanceToDisk(p) + disk_b_.DistanceToDisk(p) <=
+         max_travel_;
+}
+
+double ExtendedEllipse::MinSumDistance(const Box& box) const {
+  const double da =
+      std::max(0.0, MinDistance(box, disk_a_.center) - disk_a_.radius);
+  const double db =
+      std::max(0.0, MinDistance(box, disk_b_.center) - disk_b_.radius);
+  return da + db;
+}
+
+double ExtendedEllipse::MaxSumDistance(const Box& box) const {
+  const double da =
+      std::max(0.0, MaxDistance(box, disk_a_.center) - disk_a_.radius);
+  const double db =
+      std::max(0.0, MaxDistance(box, disk_b_.center) - disk_b_.radius);
+  return da + db;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,70 @@
+// Extended ellipses: the Θ-regions constraining an object between two
+// consecutive detections.
+//
+// Let dev_i and dev_j be the devices of two consecutive tracking records of
+// an object, with detection disks D_i, D_j, and let the object be unseen
+// during (t_i, t_j). The object left D_i at some boundary point, travelled at
+// most L = Vmax * (t_j - t_i), and entered D_j at some boundary point. Its
+// possible positions therefore satisfy
+//
+//     dist(q, D_i) + dist(q, D_j) <= L,
+//
+// where dist(q, D) is the Euclidean distance from q to the closed disk D
+// (0 inside). This is the "extended ellipse" of the paper (Section 3.1.3,
+// following Jensen et al.): an ellipse whose two foci are points on the two
+// detection-circle boundaries and whose major-axis length is L. The paper's
+// Θ(dev_i, dev_j, t_i, t_j) denotes the *complete* region covered by the
+// ellipse, i.e. including the two detection disks themselves.
+
+#ifndef INDOORFLOW_GEOMETRY_EXTENDED_ELLIPSE_H_
+#define INDOORFLOW_GEOMETRY_EXTENDED_ELLIPSE_H_
+
+#include "src/geometry/box.h"
+#include "src/geometry/circle.h"
+#include "src/geometry/point.h"
+
+namespace indoorflow {
+
+class ExtendedEllipse {
+ public:
+  /// Builds Θ(disk_a, disk_b, L) where `max_travel` is L = Vmax * gap.
+  /// `include_disks` selects the paper's "complete region" (default) versus
+  /// the between-detections variant that excludes both detection disks.
+  ExtendedEllipse(Circle disk_a, Circle disk_b, double max_travel,
+                  bool include_disks = true);
+
+  const Circle& disk_a() const { return disk_a_; }
+  const Circle& disk_b() const { return disk_b_; }
+  double max_travel() const { return max_travel_; }
+  bool include_disks() const { return include_disks_; }
+
+  /// True when the travel budget cannot bridge the two disks at all. An
+  /// empty Θ indicates data/parameter inconsistency (e.g. Vmax too small for
+  /// the observed movement); callers typically fall back to the disks alone.
+  bool EmptyBridge() const { return empty_bridge_; }
+
+  bool Contains(Point p) const;
+
+  /// Conservative bounding box (superset of the region).
+  Box Bounds() const { return bounds_; }
+
+  /// Lower bound of dist(q, D_a) + dist(q, D_b) over all q in `box`.
+  /// If this exceeds max_travel(), the box is fully outside the bridge part.
+  double MinSumDistance(const Box& box) const;
+
+  /// Upper bound of dist(q, D_a) + dist(q, D_b) over all q in `box`.
+  /// If this is <= max_travel(), the box is fully inside the bridge part.
+  double MaxSumDistance(const Box& box) const;
+
+ private:
+  Circle disk_a_;
+  Circle disk_b_;
+  double max_travel_;
+  bool include_disks_;
+  bool empty_bridge_;
+  Box bounds_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_EXTENDED_ELLIPSE_H_

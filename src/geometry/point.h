@@ -1,0 +1,92 @@
+// Basic 2-D primitives: points/vectors and segments.
+//
+// indoorflow models one building floor as a Euclidean plane (the paper's
+// setting; multi-floor spaces are handled by running one engine per floor).
+// Coordinates are in meters, stored as double.
+
+#ifndef INDOORFLOW_GEOMETRY_POINT_H_
+#define INDOORFLOW_GEOMETRY_POINT_H_
+
+#include <cmath>
+
+namespace indoorflow {
+
+/// Geometric comparison tolerance (meters). Two coordinates closer than
+/// kGeomEpsilon are considered equal.
+inline constexpr double kGeomEpsilon = 1e-9;
+
+/// A 2-D point (also used as a vector where convenient).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point operator+(Point o) const { return {x + o.x, y + o.y}; }
+  Point operator-(Point o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+  Point operator/(double s) const { return {x / s, y / s}; }
+
+  friend bool operator==(Point a, Point b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// Z-component of the 3-D cross product; > 0 when b is counter-clockwise
+/// from a.
+inline double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+inline double LengthSquared(Point a) { return Dot(a, a); }
+inline double Length(Point a) { return std::sqrt(LengthSquared(a)); }
+
+inline double DistanceSquared(Point a, Point b) {
+  return LengthSquared(a - b);
+}
+inline double Distance(Point a, Point b) { return Length(a - b); }
+
+/// Returns a unit-length copy of `a` (or {0,0} if `a` is ~zero).
+inline Point Normalized(Point a) {
+  const double len = Length(a);
+  if (len < kGeomEpsilon) return {0.0, 0.0};
+  return a / len;
+}
+
+/// `a` rotated 90 degrees counter-clockwise.
+inline Point Perp(Point a) { return {-a.y, a.x}; }
+
+/// A line segment between two points.
+struct Segment {
+  Point a;
+  Point b;
+
+  Point Midpoint() const { return (a + b) * 0.5; }
+  double Length() const { return Distance(a, b); }
+};
+
+/// Orientation of the triangle (a, b, c): > 0 counter-clockwise, < 0
+/// clockwise, ~0 collinear.
+inline double Orient(Point a, Point b, Point c) {
+  return Cross(b - a, c - a);
+}
+
+/// Closest point on segment `s` to point `p`.
+inline Point ClosestPointOnSegment(Segment s, Point p) {
+  const Point d = s.b - s.a;
+  const double len2 = LengthSquared(d);
+  if (len2 < kGeomEpsilon * kGeomEpsilon) return s.a;
+  double t = Dot(p - s.a, d) / len2;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return s.a + d * t;
+}
+
+inline double DistancePointSegment(Point p, Segment s) {
+  return Distance(p, ClosestPointOnSegment(s, p));
+}
+
+/// Whether segments `s1` and `s2` intersect (including touching endpoints
+/// within kGeomEpsilon).
+bool SegmentsIntersect(Segment s1, Segment s2);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_POINT_H_

@@ -1,0 +1,172 @@
+#include "src/geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+bool SegmentsIntersect(Segment s1, Segment s2) {
+  const double d1 = Orient(s2.a, s2.b, s1.a);
+  const double d2 = Orient(s2.a, s2.b, s1.b);
+  const double d3 = Orient(s1.a, s1.b, s2.a);
+  const double d4 = Orient(s1.a, s1.b, s2.b);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  // Collinear / touching cases: a point lies on the other segment.
+  auto on_segment = [](Point p, Segment s) {
+    if (std::abs(Orient(s.a, s.b, p)) > kGeomEpsilon) return false;
+    return p.x >= std::min(s.a.x, s.b.x) - kGeomEpsilon &&
+           p.x <= std::max(s.a.x, s.b.x) + kGeomEpsilon &&
+           p.y >= std::min(s.a.y, s.b.y) - kGeomEpsilon &&
+           p.y <= std::max(s.a.y, s.b.y) + kGeomEpsilon;
+  };
+  return on_segment(s1.a, s2) || on_segment(s1.b, s2) ||
+         on_segment(s2.a, s1) || on_segment(s2.b, s1);
+}
+
+namespace {
+
+// Four vertices, each on a corner of the bounds, covering all corners.
+bool DetectAxisAlignedRectangle(const std::vector<Point>& vertices,
+                                const Box& bounds) {
+  if (vertices.size() != 4) return false;
+  bool corner_seen[4] = {false, false, false, false};
+  for (const Point& v : vertices) {
+    const bool at_min_x = v.x == bounds.min_x;
+    const bool at_max_x = v.x == bounds.max_x;
+    const bool at_min_y = v.y == bounds.min_y;
+    const bool at_max_y = v.y == bounds.max_y;
+    if (!(at_min_x || at_max_x) || !(at_min_y || at_max_y)) return false;
+    corner_seen[(at_max_x ? 1 : 0) + (at_max_y ? 2 : 0)] = true;
+  }
+  return corner_seen[0] && corner_seen[1] && corner_seen[2] &&
+         corner_seen[3];
+}
+
+}  // namespace
+
+Polygon::Polygon(std::vector<Point> vertices)
+    : vertices_(std::move(vertices)) {
+  INDOORFLOW_CHECK(vertices_.size() >= 3);
+  for (Point p : vertices_) bounds_.ExpandToInclude(p);
+  is_rectangle_ = DetectAxisAlignedRectangle(vertices_, bounds_);
+}
+
+Polygon Polygon::Rectangle(double min_x, double min_y, double max_x,
+                           double max_y) {
+  return Polygon({{min_x, min_y},
+                  {max_x, min_y},
+                  {max_x, max_y},
+                  {min_x, max_y}});
+}
+
+double Polygon::SignedArea() const {
+  double twice = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point a = vertices_[i];
+    const Point b = vertices_[(i + 1) % vertices_.size()];
+    twice += Cross(a, b);
+  }
+  return twice * 0.5;
+}
+
+double Polygon::Area() const { return std::abs(SignedArea()); }
+
+Point Polygon::Centroid() const {
+  // Area-weighted centroid; falls back to the vertex mean for degenerate
+  // (near-zero-area) polygons.
+  double twice_area = 0.0;
+  Point c{0.0, 0.0};
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point a = vertices_[i];
+    const Point b = vertices_[(i + 1) % vertices_.size()];
+    const double w = Cross(a, b);
+    twice_area += w;
+    c = c + (a + b) * w;
+  }
+  if (std::abs(twice_area) < kGeomEpsilon) {
+    Point mean{0.0, 0.0};
+    for (Point p : vertices_) mean = mean + p;
+    return mean / static_cast<double>(vertices_.size());
+  }
+  return c / (3.0 * twice_area);
+}
+
+double Polygon::Perimeter() const {
+  double total = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) total += edge(i).Length();
+  return total;
+}
+
+void Polygon::Normalize() {
+  if (SignedArea() < 0.0) std::reverse(vertices_.begin(), vertices_.end());
+}
+
+bool Polygon::IsConvex() const {
+  int sign = 0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point a = vertices_[i];
+    const Point b = vertices_[(i + 1) % vertices_.size()];
+    const Point c = vertices_[(i + 2) % vertices_.size()];
+    const double o = Orient(a, b, c);
+    if (std::abs(o) < kGeomEpsilon) continue;
+    const int s = o > 0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Polygon::Contains(Point p) const {
+  if (!bounds_.Contains(p)) return false;
+  if (is_rectangle_) return true;  // bounds == shape
+  // Boundary counts as inside.
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Segment e = edge(i);
+    if (DistancePointSegment(p, e) < kGeomEpsilon) return true;
+  }
+  // Ray casting toward +x.
+  bool inside = false;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point a = vertices_[i];
+    const Point b = vertices_[(i + 1) % vertices_.size()];
+    const bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (!crosses) continue;
+    const double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+    if (x_at > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+bool Polygon::EdgeIntersects(Segment s) const {
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (SegmentsIntersect(edge(i), s)) return true;
+  }
+  return false;
+}
+
+bool Polygon::Intersects(const Polygon& other) const {
+  if (!bounds_.Intersects(other.bounds_)) return false;
+  if (Contains(other.vertex(0)) || other.Contains(vertex(0))) return true;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (other.EdgeIntersects(edge(i))) return true;
+  }
+  return false;
+}
+
+double Polygon::BoundaryDistance(Point p) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    best = std::min(best, DistancePointSegment(p, edge(i)));
+  }
+  return best;
+}
+
+}  // namespace indoorflow

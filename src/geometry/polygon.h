@@ -1,0 +1,77 @@
+// Simple polygons: POI extents, rooms, hallways.
+
+#ifndef INDOORFLOW_GEOMETRY_POLYGON_H_
+#define INDOORFLOW_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/geometry/point.h"
+
+namespace indoorflow {
+
+/// A simple (non-self-intersecting) polygon. Vertices may be given in either
+/// orientation; SignedArea() reveals it and Normalize() enforces CCW.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  /// Axis-aligned rectangle polygon.
+  static Polygon Rectangle(double min_x, double min_y, double max_x,
+                           double max_y);
+  static Polygon FromBox(const Box& b) {
+    return Rectangle(b.min_x, b.min_y, b.max_x, b.max_y);
+  }
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  Point vertex(size_t i) const { return vertices_[i]; }
+  Segment edge(size_t i) const {
+    return Segment{vertices_[i], vertices_[(i + 1) % vertices_.size()]};
+  }
+
+  /// Shoelace area: positive when CCW.
+  double SignedArea() const;
+  double Area() const;
+  Point Centroid() const;
+  double Perimeter() const;
+  Box Bounds() const { return bounds_; }
+
+  /// Reorders vertices to counter-clockwise if needed.
+  void Normalize();
+
+  bool IsConvex() const;
+
+  /// Whether the polygon is exactly an axis-aligned rectangle (any vertex
+  /// order). Detected at construction; rectangle polygons take O(1) fast
+  /// paths in Contains and related predicates.
+  bool IsAxisAlignedRectangle() const { return is_rectangle_; }
+
+  /// Point-in-polygon (boundary counts as inside).
+  bool Contains(Point p) const;
+
+  /// Whether any polygon edge intersects segment `s`.
+  bool EdgeIntersects(Segment s) const;
+
+  /// Whether this polygon and `other` overlap (share interior or boundary).
+  bool Intersects(const Polygon& other) const;
+
+  /// Minimum distance from `p` to the polygon boundary.
+  double BoundaryDistance(Point p) const;
+
+  /// Distance from `p` to the polygon as a region: 0 when inside, otherwise
+  /// distance to the boundary.
+  double Distance(Point p) const {
+    return Contains(p) ? 0.0 : BoundaryDistance(p);
+  }
+
+ private:
+  std::vector<Point> vertices_;
+  Box bounds_;
+  bool is_rectangle_ = false;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_POLYGON_H_

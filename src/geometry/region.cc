@@ -1,0 +1,391 @@
+#include "src/geometry/region.h"
+
+#include "src/common/status.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace indoorflow {
+namespace region_internal {
+namespace {
+
+class EmptyNode final : public Node {
+ public:
+  bool Contains(Point) const override { return false; }
+  Box Bounds() const override { return Box{}; }
+  BoxClass Classify(const Box&) const override { return BoxClass::kOutside; }
+};
+
+class CircleNode final : public Node {
+ public:
+  explicit CircleNode(Circle c) : circle_(c) {}
+
+  bool Contains(Point p) const override { return circle_.Contains(p); }
+  Box Bounds() const override { return circle_.Bounds(); }
+  const Circle* AsCircle() const override { return &circle_; }
+
+  BoxClass Classify(const Box& box) const override {
+    const double min_d = MinDistance(box, circle_.center);
+    if (min_d > circle_.radius) return BoxClass::kOutside;
+    const double max_d = MaxDistance(box, circle_.center);
+    if (max_d <= circle_.radius) return BoxClass::kInside;
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  Circle circle_;
+};
+
+class RingNode final : public Node {
+ public:
+  explicit RingNode(Ring r) : ring_(r) {}
+
+  bool Contains(Point p) const override { return ring_.Contains(p); }
+  Box Bounds() const override { return ring_.Bounds(); }
+  const Ring* AsRing() const override { return &ring_; }
+
+  BoxClass Classify(const Box& box) const override {
+    const double min_d = MinDistance(box, ring_.center);
+    const double max_d = MaxDistance(box, ring_.center);
+    if (min_d > ring_.outer_radius || max_d < ring_.inner_radius) {
+      return BoxClass::kOutside;
+    }
+    if (min_d >= ring_.inner_radius && max_d <= ring_.outer_radius) {
+      return BoxClass::kInside;
+    }
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  Ring ring_;
+};
+
+// A complete extended-ellipse region Θ in one node: bridge ∪ disks (or
+// bridge \ disks for the include_disks=false variant). Collapsing the CSG
+// into one primitive matters: Θ pieces dominate interval uncertainty
+// regions and are classified once per quadtree cell.
+class ThetaNode final : public Node {
+ public:
+  explicit ThetaNode(const ExtendedEllipse& e)
+      : ellipse_(e), bounds_(e.Bounds()) {}
+
+  bool Contains(Point p) const override { return ellipse_.Contains(p); }
+
+  Box Bounds() const override { return bounds_; }
+
+  BoxClass Classify(const Box& box) const override {
+    if (!bounds_.Intersects(box)) return BoxClass::kOutside;
+    const BoxClass in_a = ClassifyDisk(ellipse_.disk_a(), box);
+    const BoxClass in_b = ClassifyDisk(ellipse_.disk_b(), box);
+    BoxClass bridge = BoxClass::kOutside;
+    if (!ellipse_.EmptyBridge()) {
+      if (ellipse_.MaxSumDistance(box) <= ellipse_.max_travel()) {
+        bridge = BoxClass::kInside;
+      } else if (ellipse_.MinSumDistance(box) <= ellipse_.max_travel()) {
+        bridge = BoxClass::kBoundary;
+      }
+    }
+    if (ellipse_.include_disks() || ellipse_.EmptyBridge()) {
+      // Union semantics: bridge ∪ disk_a ∪ disk_b.
+      if (bridge == BoxClass::kInside || in_a == BoxClass::kInside ||
+          in_b == BoxClass::kInside) {
+        return BoxClass::kInside;
+      }
+      if (bridge == BoxClass::kOutside && in_a == BoxClass::kOutside &&
+          in_b == BoxClass::kOutside) {
+        return BoxClass::kOutside;
+      }
+      return BoxClass::kBoundary;
+    }
+    // Difference semantics: bridge \ (disk_a ∪ disk_b).
+    if (bridge == BoxClass::kOutside || in_a == BoxClass::kInside ||
+        in_b == BoxClass::kInside) {
+      return BoxClass::kOutside;
+    }
+    if (bridge == BoxClass::kInside && in_a == BoxClass::kOutside &&
+        in_b == BoxClass::kOutside) {
+      return BoxClass::kInside;
+    }
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  static BoxClass ClassifyDisk(const Circle& disk, const Box& box) {
+    const double min_d = MinDistance(box, disk.center);
+    if (min_d > disk.radius) return BoxClass::kOutside;
+    if (MaxDistance(box, disk.center) <= disk.radius) {
+      return BoxClass::kInside;
+    }
+    return BoxClass::kBoundary;
+  }
+
+  ExtendedEllipse ellipse_;
+  Box bounds_;
+};
+
+// Axis-aligned rectangles (rooms, rectangular POIs) get exact O(1)
+// classification instead of polygon edge tests.
+class BoxNode final : public Node {
+ public:
+  explicit BoxNode(Box box) : box_(box) {}
+
+  bool Contains(Point p) const override { return box_.Contains(p); }
+  Box Bounds() const override { return box_; }
+  const Box* AsBox() const override { return &box_; }
+
+  BoxClass Classify(const Box& query) const override {
+    if (!box_.Intersects(query)) return BoxClass::kOutside;
+    if (box_.Contains(query)) return BoxClass::kInside;
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  Box box_;
+};
+
+class PolygonNode final : public Node {
+ public:
+  explicit PolygonNode(Polygon p) : polygon_(std::move(p)) {}
+
+  bool Contains(Point p) const override { return polygon_.Contains(p); }
+  Box Bounds() const override { return polygon_.Bounds(); }
+
+  BoxClass Classify(const Box& box) const override {
+    if (!box.Intersects(polygon_.Bounds())) return BoxClass::kOutside;
+    // A box is fully inside/outside iff its corners all are and no polygon
+    // edge crosses it.
+    const Point corners[4] = {{box.min_x, box.min_y},
+                              {box.max_x, box.min_y},
+                              {box.max_x, box.max_y},
+                              {box.min_x, box.max_y}};
+    int inside_corners = 0;
+    for (Point c : corners) inside_corners += polygon_.Contains(c) ? 1 : 0;
+    if (inside_corners != 0 && inside_corners != 4) {
+      return BoxClass::kBoundary;
+    }
+    const Segment box_edges[4] = {{corners[0], corners[1]},
+                                  {corners[1], corners[2]},
+                                  {corners[2], corners[3]},
+                                  {corners[3], corners[0]}};
+    for (const Segment& e : box_edges) {
+      if (polygon_.EdgeIntersects(e)) return BoxClass::kBoundary;
+    }
+    if (inside_corners == 4) return BoxClass::kInside;
+    // All corners outside, no edge crossing: the polygon is either disjoint
+    // from the box or entirely within it.
+    if (box.Contains(polygon_.Bounds())) return BoxClass::kBoundary;
+    return BoxClass::kOutside;
+  }
+
+ private:
+  Polygon polygon_;
+};
+
+class IntersectionNode final : public Node {
+ public:
+  IntersectionNode(std::shared_ptr<const Node> a,
+                   std::shared_ptr<const Node> b)
+      : a_(std::move(a)), b_(std::move(b)) {
+    bounds_ = indoorflow::Intersection(a_->Bounds(), b_->Bounds());
+  }
+
+  bool Contains(Point p) const override {
+    return a_->Contains(p) && b_->Contains(p);
+  }
+  Box Bounds() const override { return bounds_; }
+
+  BoxClass Classify(const Box& box) const override {
+    const BoxClass ca = a_->Classify(box);
+    if (ca == BoxClass::kOutside) return BoxClass::kOutside;
+    const BoxClass cb = b_->Classify(box);
+    if (cb == BoxClass::kOutside) return BoxClass::kOutside;
+    if (ca == BoxClass::kInside && cb == BoxClass::kInside) {
+      return BoxClass::kInside;
+    }
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  std::shared_ptr<const Node> a_;
+  std::shared_ptr<const Node> b_;
+  Box bounds_;
+};
+
+class UnionNode final : public Node {
+ public:
+  explicit UnionNode(std::vector<std::shared_ptr<const Node>> parts)
+      : parts_(std::move(parts)) {
+    part_bounds_.reserve(parts_.size());
+    for (const auto& p : parts_) {
+      part_bounds_.push_back(p->Bounds());
+      bounds_.ExpandToInclude(part_bounds_.back());
+    }
+  }
+
+  bool Contains(Point p) const override {
+    if (!bounds_.Contains(p)) return false;
+    // Uncertainty regions are unions of many *localized* pieces (one per
+    // trajectory ellipse); the cached per-part bounds skip the rest.
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      if (part_bounds_[i].Contains(p) && parts_[i]->Contains(p)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Box Bounds() const override { return bounds_; }
+
+  BoxClass Classify(const Box& box) const override {
+    if (!bounds_.Intersects(box)) return BoxClass::kOutside;
+    bool any_boundary = false;
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      if (!part_bounds_[i].Intersects(box)) continue;
+      switch (parts_[i]->Classify(box)) {
+        case BoxClass::kInside:
+          return BoxClass::kInside;
+        case BoxClass::kBoundary:
+          any_boundary = true;
+          break;
+        case BoxClass::kOutside:
+          break;
+      }
+    }
+    return any_boundary ? BoxClass::kBoundary : BoxClass::kOutside;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const Node>> parts_;
+  std::vector<Box> part_bounds_;
+  Box bounds_;
+};
+
+class DifferenceNode final : public Node {
+ public:
+  DifferenceNode(std::shared_ptr<const Node> a,
+                 std::shared_ptr<const Node> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+
+  bool Contains(Point p) const override {
+    return a_->Contains(p) && !b_->Contains(p);
+  }
+  Box Bounds() const override { return a_->Bounds(); }
+
+  BoxClass Classify(const Box& box) const override {
+    const BoxClass ca = a_->Classify(box);
+    if (ca == BoxClass::kOutside) return BoxClass::kOutside;
+    const BoxClass cb = b_->Classify(box);
+    if (cb == BoxClass::kInside) return BoxClass::kOutside;
+    if (ca == BoxClass::kInside && cb == BoxClass::kOutside) {
+      return BoxClass::kInside;
+    }
+    return BoxClass::kBoundary;
+  }
+
+ private:
+  std::shared_ptr<const Node> a_;
+  std::shared_ptr<const Node> b_;
+};
+
+}  // namespace
+}  // namespace region_internal
+
+namespace {
+using region_internal::Node;
+
+const std::shared_ptr<const Node>& EmptySingleton() {
+  static const auto* kEmpty = new std::shared_ptr<const Node>(
+      std::make_shared<region_internal::EmptyNode>());
+  return *kEmpty;
+}
+}  // namespace
+
+Region::Region() : node_(EmptySingleton()) {}
+
+Region::Region(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Region Region::Make(const Circle& c) {
+  if (c.radius <= 0.0) return Region();
+  return Region(std::make_shared<region_internal::CircleNode>(c));
+}
+
+Region Region::Make(const Ring& r) {
+  if (r.outer_radius <= 0.0 || r.outer_radius < r.inner_radius) {
+    return Region();
+  }
+  return Region(std::make_shared<region_internal::RingNode>(r));
+}
+
+Region Region::Make(const ExtendedEllipse& e) {
+  if (e.Bounds().Empty()) return Region();
+  return Region(std::make_shared<region_internal::ThetaNode>(e));
+}
+
+Region Region::Make(const Polygon& p) {
+  if (p.IsAxisAlignedRectangle()) {
+    return Region(
+        std::make_shared<region_internal::BoxNode>(p.Bounds()));
+  }
+  return Region(std::make_shared<region_internal::PolygonNode>(p));
+}
+
+Region Region::Make(const Box& b) {
+  if (b.Empty()) return Region();
+  return Region(std::make_shared<region_internal::BoxNode>(b));
+}
+
+Region Region::FromNode(std::shared_ptr<const region_internal::Node> node) {
+  INDOORFLOW_CHECK(node != nullptr);
+  return Region(std::move(node));
+}
+
+Region Region::Intersect(Region a, Region b) {
+  if (a.IsEmpty() || b.IsEmpty()) return Region();
+  return Region(std::make_shared<region_internal::IntersectionNode>(
+      std::move(a.node_), std::move(b.node_)));
+}
+
+Region Region::Union(Region a, Region b) {
+  if (a.IsEmpty()) return b;
+  if (b.IsEmpty()) return a;
+  std::vector<std::shared_ptr<const Node>> parts;
+  parts.push_back(std::move(a.node_));
+  parts.push_back(std::move(b.node_));
+  return Region(
+      std::make_shared<region_internal::UnionNode>(std::move(parts)));
+}
+
+Region Region::Union(std::vector<Region> parts) {
+  std::vector<std::shared_ptr<const Node>> nodes;
+  nodes.reserve(parts.size());
+  for (Region& r : parts) {
+    if (!r.IsEmpty()) nodes.push_back(std::move(r.node_));
+  }
+  if (nodes.empty()) return Region();
+  if (nodes.size() == 1) return Region(std::move(nodes[0]));
+  return Region(
+      std::make_shared<region_internal::UnionNode>(std::move(nodes)));
+}
+
+Region Region::Subtract(Region a, Region b) {
+  if (a.IsEmpty()) return Region();
+  if (b.IsEmpty()) return a;
+  return Region(std::make_shared<region_internal::DifferenceNode>(
+      std::move(a.node_), std::move(b.node_)));
+}
+
+bool Region::IsEmpty() const { return node_->Bounds().Empty(); }
+
+bool Region::Contains(Point p) const { return node_->Contains(p); }
+
+Box Region::Bounds() const { return node_->Bounds(); }
+
+BoxClass Region::Classify(const Box& box) const {
+  return node_->Classify(box);
+}
+
+const Circle* Region::AsCircle() const { return node_->AsCircle(); }
+const Ring* Region::AsRing() const { return node_->AsRing(); }
+const Box* Region::AsBox() const { return node_->AsBox(); }
+
+}  // namespace indoorflow

@@ -1,0 +1,80 @@
+// CSG regions: the representation of object uncertainty regions.
+//
+// An uncertainty region (paper Section 3) is built from circles, rings, and
+// extended ellipses combined by intersection, union, and difference — e.g.
+// "Ring(dev_pre, ...) ∩ dev_cov.range" for a snapshot in the active state, or
+// a union of Θ-regions for an interval. Clipping such curved CSG shapes
+// against POI polygons analytically is brittle; instead, Region exposes
+//   * exact point containment,
+//   * a conservative bounding box, and
+//   * conservative box classification (inside / outside / boundary),
+// which is exactly what the adaptive area integrator (area_integrator.h)
+// needs to compute area(UR ∩ p) to a configurable error bound.
+
+#ifndef INDOORFLOW_GEOMETRY_REGION_H_
+#define INDOORFLOW_GEOMETRY_REGION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/geometry/box.h"
+#include "src/geometry/circle.h"
+#include "src/geometry/extended_ellipse.h"
+#include "src/geometry/point.h"
+#include "src/geometry/polygon.h"
+#include "src/geometry/region_node.h"
+
+namespace indoorflow {
+
+/// Conservative classification of a box against a region.
+enum class BoxClass {
+  kInside,    // every point of the box is in the region
+  kOutside,   // no point of the box is in the region
+  kBoundary,  // undetermined / mixed
+};
+
+/// An immutable 2-D point set built from geometric primitives and boolean
+/// operations. Cheap to copy (shared immutable nodes).
+class Region {
+ public:
+  /// The empty region.
+  Region();
+
+  static Region Make(const Circle& c);
+  static Region Make(const Ring& r);
+  static Region Make(const ExtendedEllipse& e);
+  static Region Make(const Polygon& p);
+  static Region Make(const Box& b);
+
+  /// Wraps a custom CSG node (see region_node.h). For library-internal
+  /// extensions such as the indoor reachability predicate.
+  static Region FromNode(std::shared_ptr<const region_internal::Node> node);
+
+  static Region Intersect(Region a, Region b);
+  static Region Union(Region a, Region b);
+  static Region Union(std::vector<Region> parts);
+  static Region Subtract(Region a, Region b);
+
+  /// Structurally empty (no primitive, or known-empty bounds). A false
+  /// return does not guarantee positive area.
+  bool IsEmpty() const;
+
+  bool Contains(Point p) const;
+  Box Bounds() const;
+  BoxClass Classify(const Box& box) const;
+
+  /// Shape introspection (non-null only for exactly-primitive regions);
+  /// enables the integrator's exact-area fast paths.
+  const Circle* AsCircle() const;
+  const Ring* AsRing() const;
+  const Box* AsBox() const;
+
+ private:
+  explicit Region(std::shared_ptr<const region_internal::Node> node);
+
+  std::shared_ptr<const region_internal::Node> node_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_REGION_H_

@@ -1,0 +1,44 @@
+// Internal extension point for Region: the CSG node interface.
+//
+// Most users never touch this; it exists so that higher layers can
+// contribute custom primitives to the CSG machinery (e.g. the indoor
+// reachability predicate used by the topology check) without the geometry
+// layer depending on them.
+
+#ifndef INDOORFLOW_GEOMETRY_REGION_NODE_H_
+#define INDOORFLOW_GEOMETRY_REGION_NODE_H_
+
+#include "src/geometry/box.h"
+#include "src/geometry/circle.h"
+#include "src/geometry/point.h"
+
+namespace indoorflow {
+
+enum class BoxClass;
+
+namespace region_internal {
+
+/// A CSG node: an immutable point set with exact containment and
+/// conservative box classification. Implementations must be thread-safe for
+/// concurrent reads.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual bool Contains(Point p) const = 0;
+  /// Conservative bounding box (superset of the point set).
+  virtual Box Bounds() const = 0;
+  /// Conservative: kInside/kOutside only when certain.
+  virtual BoxClass Classify(const Box& box) const = 0;
+
+  // Optional shape introspection, enabling exact-area fast paths in the
+  // integrator. Non-null only when the node is exactly that primitive.
+  virtual const Circle* AsCircle() const { return nullptr; }
+  virtual const Ring* AsRing() const { return nullptr; }
+  /// For axis-aligned-rectangle nodes: the rectangle.
+  virtual const Box* AsBox() const { return nullptr; }
+};
+
+}  // namespace region_internal
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_REGION_NODE_H_

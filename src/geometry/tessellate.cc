@@ -1,0 +1,58 @@
+#include "src/geometry/tessellate.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+Polygon TessellateCircle(const Circle& circle, int segments) {
+  INDOORFLOW_CHECK(segments >= 3);
+  std::vector<Point> vertices;
+  vertices.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / segments;
+    vertices.push_back({circle.center.x + circle.radius * std::cos(angle),
+                        circle.center.y + circle.radius * std::sin(angle)});
+  }
+  return Polygon(std::move(vertices));
+}
+
+Polygon TessellateExtendedEllipse(const ExtendedEllipse& ellipse,
+                                  int segments) {
+  INDOORFLOW_CHECK(segments >= 8);
+  const Point origin =
+      (ellipse.disk_a().center + ellipse.disk_b().center) * 0.5;
+  const Box bounds = ellipse.Bounds();
+  const double max_radius =
+      MaxDistance(bounds, origin) + 1.0;  // strictly outside
+  std::vector<Point> vertices;
+  vertices.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / segments;
+    const Point dir{std::cos(angle), std::sin(angle)};
+    // Bisect [lo, hi] with origin + lo*dir inside, origin + hi*dir outside.
+    double lo = 0.0;
+    double hi = max_radius;
+    if (!ellipse.Contains(origin)) {
+      // Degenerate (empty bridge with origin between disjoint disks):
+      // collapse this ray to the origin.
+      vertices.push_back(origin);
+      continue;
+    }
+    for (int iter = 0; iter < 48; ++iter) {
+      const double mid = (lo + hi) * 0.5;
+      if (ellipse.Contains(origin + dir * mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    vertices.push_back(origin + dir * lo);
+  }
+  return Polygon(std::move(vertices));
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,31 @@
+// Polygonal approximations of curved primitives.
+//
+// Used for visualization, for building floor plans, and as an alternative
+// area oracle in tests. The approximations are inscribed (circle) or
+// radially sampled (extended ellipse), with accuracy controlled by the
+// segment count.
+
+#ifndef INDOORFLOW_GEOMETRY_TESSELLATE_H_
+#define INDOORFLOW_GEOMETRY_TESSELLATE_H_
+
+#include "src/geometry/circle.h"
+#include "src/geometry/extended_ellipse.h"
+#include "src/geometry/polygon.h"
+
+namespace indoorflow {
+
+/// Regular n-gon inscribed in `circle` (n >= 3).
+Polygon TessellateCircle(const Circle& circle, int segments);
+
+/// Radial approximation of a (complete, disk-including) extended ellipse:
+/// for `segments` directions from the midpoint of the two disk centers, the
+/// boundary radius is located by bisection. Exact when the region is
+/// star-shaped from the midpoint, which holds for all feasible Θ-regions
+/// produced by tracking data (the bridge is convex and contains the
+/// midpoint, and both disks overlap it).
+Polygon TessellateExtendedEllipse(const ExtendedEllipse& ellipse,
+                                  int segments);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_GEOMETRY_TESSELLATE_H_

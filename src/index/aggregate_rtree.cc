@@ -1,0 +1,19 @@
+#include "src/index/aggregate_rtree.h"
+
+namespace indoorflow {
+
+AggregateRTree AggregateRTree::Build(std::vector<ObjectEntry> objects,
+                                     int fanout) {
+  AggregateRTree agg;
+  agg.entries_ = std::move(objects);
+  std::vector<RTree::Item> items;
+  items.reserve(agg.entries_.size());
+  for (size_t i = 0; i < agg.entries_.size(); ++i) {
+    items.push_back(
+        RTree::Item{static_cast<int32_t>(i), agg.entries_[i].mbr});
+  }
+  agg.tree_ = RTree::BulkLoad(std::move(items), fanout);
+  return agg;
+}
+
+}  // namespace indoorflow

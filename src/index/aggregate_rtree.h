@@ -1,0 +1,61 @@
+// The per-query aggregate object R-tree R_I (paper Section 4.2/4.3).
+//
+// Each item is one object relevant to the query, boxed by its uncertainty-
+// region MBR. Node entries carry subtree object counts (via RTree). For
+// interval queries, a leaf item may additionally carry a list of *sub-MBRs*,
+// one per extended ellipse of the object's trajectory — the paper's
+// improvement (Section 4.3.2) that replaces a single dead-space-dominated
+// trajectory MBR by finer boxes during join-list admission (Figure 9).
+
+#ifndef INDOORFLOW_INDEX_AGGREGATE_RTREE_H_
+#define INDOORFLOW_INDEX_AGGREGATE_RTREE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/index/rtree.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+class AggregateRTree {
+ public:
+  struct ObjectEntry {
+    ObjectId object = -1;
+    Box mbr;
+    /// Optional finer boxes (empty = none; admission falls back to `mbr`).
+    std::vector<Box> sub_mbrs;
+  };
+
+  static AggregateRTree Build(std::vector<ObjectEntry> objects,
+                              int fanout = 8);
+
+  const RTree& tree() const { return tree_; }
+  size_t num_objects() const { return entries_.size(); }
+
+  /// The object behind item id `slot` (item ids index `entries_`).
+  const ObjectEntry& entry(int32_t slot) const {
+    return entries_[static_cast<size_t>(slot)];
+  }
+
+  /// Admission test for joining a POI box against leaf item `slot`: true
+  /// when `box` intersects the item's MBR and, if sub-MBRs exist, at least
+  /// one sub-MBR.
+  bool Admits(int32_t slot, const Box& box) const {
+    const ObjectEntry& e = entry(slot);
+    if (!e.mbr.Intersects(box)) return false;
+    if (e.sub_mbrs.empty()) return true;
+    for (const Box& sub : e.sub_mbrs) {
+      if (sub.Intersects(box)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<ObjectEntry> entries_;
+  RTree tree_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDEX_AGGREGATE_RTREE_H_

@@ -1,0 +1,131 @@
+#include "src/index/artree.h"
+
+#include <algorithm>
+
+namespace indoorflow {
+
+ARTree ARTree::Build(const ObjectTrackingTable& table, int fanout) {
+  INDOORFLOW_CHECK(table.finalized());
+  INDOORFLOW_CHECK(fanout >= 2);
+
+  ARTree tree;
+  tree.entries_.reserve(table.size());
+  for (ObjectId object : table.objects()) {
+    for (RecordIndex idx : table.ChainOf(object)) {
+      const TrackingRecord& cur = table.record(idx);
+      const RecordIndex pre = table.PrevOf(idx);
+      ARTreeEntry entry;
+      entry.pre = pre;
+      entry.cur = idx;
+      entry.t2 = cur.te;
+      if (pre == kInvalidRecord) {
+        entry.t1 = cur.ts;
+        entry.closed_start = true;
+      } else if (cur.ts < table.record(pre).te) {
+        // Overlapping-range deployments: no inactive prefix exists; the
+        // augmented interval is just the record's own span.
+        entry.t1 = cur.ts;
+        entry.closed_start = true;
+      } else {
+        entry.t1 = table.record(pre).te;
+        entry.closed_start = false;
+      }
+      if (entry.t2 < entry.t1) continue;  // record nested inside its pre
+      tree.entries_.push_back(entry);
+    }
+  }
+  std::sort(tree.entries_.begin(), tree.entries_.end(),
+            [](const ARTreeEntry& a, const ARTreeEntry& b) {
+              return a.t1 < b.t1;
+            });
+
+  if (tree.entries_.empty()) return tree;
+
+  // Packed bottom-up build.
+  const int32_t n = static_cast<int32_t>(tree.entries_.size());
+  std::vector<int32_t> level;  // node ids of the level being built
+  for (int32_t i = 0; i < n; i += fanout) {
+    Node node;
+    node.leaf = true;
+    node.first = i;
+    node.count = std::min<int32_t>(fanout, n - i);
+    node.t_min = tree.entries_[static_cast<size_t>(i)].t1;
+    node.t_max = tree.entries_[static_cast<size_t>(i)].t2;
+    for (int32_t j = 1; j < node.count; ++j) {
+      const ARTreeEntry& e = tree.entries_[static_cast<size_t>(i + j)];
+      node.t_min = std::min(node.t_min, e.t1);
+      node.t_max = std::max(node.t_max, e.t2);
+    }
+    level.push_back(static_cast<int32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(node);
+  }
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (size_t i = 0; i < level.size(); i += static_cast<size_t>(fanout)) {
+      Node node;
+      node.leaf = false;
+      node.first = level[i];
+      node.count = static_cast<int32_t>(
+          std::min<size_t>(fanout, level.size() - i));
+      // Children of one internal node are contiguous in nodes_.
+      node.t_min = tree.nodes_[static_cast<size_t>(node.first)].t_min;
+      node.t_max = tree.nodes_[static_cast<size_t>(node.first)].t_max;
+      for (int32_t j = 1; j < node.count; ++j) {
+        const Node& child =
+            tree.nodes_[static_cast<size_t>(node.first + j)];
+        node.t_min = std::min(node.t_min, child.t_min);
+        node.t_max = std::max(node.t_max, child.t_max);
+      }
+      next.push_back(static_cast<int32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(node);
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+void ARTree::PointQuery(Timestamp t, std::vector<ARTreeEntry>* out) const {
+  out->clear();
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (t < node.t_min || t > node.t_max) continue;
+    if (node.leaf) {
+      for (int32_t j = 0; j < node.count; ++j) {
+        const ARTreeEntry& e = entries_[static_cast<size_t>(node.first + j)];
+        if (e.CoversTime(t)) out->push_back(e);
+      }
+    } else {
+      for (int32_t j = 0; j < node.count; ++j) {
+        stack.push_back(node.first + j);
+      }
+    }
+  }
+}
+
+void ARTree::RangeQuery(Timestamp ts, Timestamp te,
+                        std::vector<ARTreeEntry>* out) const {
+  out->clear();
+  if (root_ < 0 || te < ts) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (te < node.t_min || ts > node.t_max) continue;
+    if (node.leaf) {
+      for (int32_t j = 0; j < node.count; ++j) {
+        const ARTreeEntry& e = entries_[static_cast<size_t>(node.first + j)];
+        if (e.OverlapsInterval(ts, te)) out->push_back(e);
+      }
+    } else {
+      for (int32_t j = 0; j < node.count; ++j) {
+        stack.push_back(node.first + j);
+      }
+    }
+  }
+}
+
+}  // namespace indoorflow

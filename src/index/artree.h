@@ -1,0 +1,76 @@
+// AR-tree: the temporal index over the OTT (paper Section 4.1).
+//
+// Each pair of consecutive tracking records (rd_p, rd_c) of an object is
+// indexed by a leaf entry (t1, t2, pre, cur) with t1 = rd_p.te and
+// t2 = rd_c.te; the *augmented tracking time interval* (t1, t2] covers both
+// the undetected gap and rd_c's own detection span. An object's first record
+// produces an entry with pre = kInvalidRecord over the closed interval
+// [rd.ts, rd.te].
+//
+// A point query at time t returns, per object, the entry whose augmented
+// interval covers t — from which the object's tracking state at t (active /
+// inactive, with rd_pre / rd_cov / rd_suc) follows directly. A range query
+// returns all entries overlapping [ts, te], i.e. the record chains needed
+// for interval uncertainty regions.
+//
+// The structure is a packed (bulk-loaded) R-tree over the time axis: the
+// paper's 2-D AR-tree with only the temporal attributes populated.
+
+#ifndef INDOORFLOW_INDEX_ARTREE_H_
+#define INDOORFLOW_INDEX_ARTREE_H_
+
+#include <vector>
+
+#include "src/tracking/ott.h"
+
+namespace indoorflow {
+
+struct ARTreeEntry {
+  Timestamp t1 = 0.0;
+  Timestamp t2 = 0.0;
+  /// Predecessor record (rd_p), kInvalidRecord for an object's first entry.
+  RecordIndex pre = kInvalidRecord;
+  /// Covering / successor record (rd_c).
+  RecordIndex cur = kInvalidRecord;
+  /// Whether the interval start is closed ([t1, t2] vs (t1, t2]).
+  bool closed_start = false;
+
+  bool CoversTime(Timestamp t) const {
+    return (closed_start ? t >= t1 : t > t1) && t <= t2;
+  }
+  bool OverlapsInterval(Timestamp ts, Timestamp te) const {
+    return (closed_start ? t1 <= te : t1 < te) && t2 >= ts;
+  }
+};
+
+class ARTree {
+ public:
+  /// Builds the index over a finalized OTT.
+  static ARTree Build(const ObjectTrackingTable& table, int fanout = 32);
+
+  /// All entries whose augmented interval covers `t`.
+  void PointQuery(Timestamp t, std::vector<ARTreeEntry>* out) const;
+
+  /// All entries whose augmented interval overlaps [ts, te].
+  void RangeQuery(Timestamp ts, Timestamp te,
+                  std::vector<ARTreeEntry>* out) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Node {
+    Timestamp t_min = 0.0;
+    Timestamp t_max = 0.0;
+    bool leaf = false;
+    int32_t first = 0;  // into entries_ (leaf) or nodes_ (internal)
+    int32_t count = 0;
+  };
+
+  std::vector<ARTreeEntry> entries_;  // sorted by t1
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDEX_ARTREE_H_

@@ -1,0 +1,235 @@
+#include "src/index/dynamic_rtree.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace indoorflow {
+
+namespace {
+
+double Enlargement(const Box& box, const Box& add) {
+  return Union(box, add).Area() - box.Area();
+}
+
+}  // namespace
+
+DynamicRTree::DynamicRTree(int max_entries)
+    : max_entries_(max_entries), min_entries_(std::max(1, max_entries / 2)) {
+  INDOORFLOW_CHECK(max_entries_ >= 2);
+  root_ = std::make_unique<Node>();
+}
+
+void DynamicRTree::Insert(int32_t id, const Box& box) {
+  INDOORFLOW_CHECK(!box.Empty());
+  Entry entry;
+  entry.box = box;
+  entry.id = id;
+  std::unique_ptr<Node> sibling = InsertInto(root_.get(), std::move(entry));
+  if (sibling != nullptr) {
+    // Root split: grow the tree by one level.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+    Entry left;
+    left.box = root_->ComputeBox();
+    left.child = std::move(root_);
+    Entry right;
+    right.box = sibling->ComputeBox();
+    right.child = std::move(sibling);
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+  }
+  ++size_;
+}
+
+std::unique_ptr<DynamicRTree::Node> DynamicRTree::InsertInto(Node* node,
+                                                             Entry entry) {
+  if (node->leaf) {
+    node->entries.push_back(std::move(entry));
+  } else {
+    // ChooseSubtree: least enlargement, ties by smaller area.
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (Entry& child : node->entries) {
+      const double enlargement = Enlargement(child.box, entry.box);
+      const double area = child.box.Area();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best = &child;
+        best_enlargement = enlargement;
+        best_area = area;
+      }
+    }
+    INDOORFLOW_CHECK(best != nullptr);
+    best->box.ExpandToInclude(entry.box);
+    std::unique_ptr<Node> split =
+        InsertInto(best->child.get(), std::move(entry));
+    best->box = best->child->ComputeBox();
+    if (split != nullptr) {
+      Entry sibling;
+      sibling.box = split->ComputeBox();
+      sibling.child = std::move(split);
+      node->entries.push_back(std::move(sibling));
+    }
+  }
+  if (static_cast<int>(node->entries.size()) > max_entries_) {
+    return SplitNode(node);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<DynamicRTree::Node> DynamicRTree::SplitNode(Node* node) {
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  // Quadratic PickSeeds: the pair wasting the most area together.
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = Union(entries[i].box, entries[j].box).Area() -
+                           entries[i].box.Area() - entries[j].box.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+  Box box_a = entries[seed_a].box;
+  Box box_b = entries[seed_b].box;
+  node->entries.push_back(std::move(entries[seed_a]));
+  sibling->entries.push_back(std::move(entries[seed_b]));
+
+  std::vector<Entry> rest;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != seed_a && i != seed_b) rest.push_back(std::move(entries[i]));
+  }
+
+  // PickNext: assign the entry with the largest preference difference.
+  while (!rest.empty()) {
+    const int remaining = static_cast<int>(rest.size());
+    // Force-assign when one side must take all the rest to reach min fill.
+    if (static_cast<int>(node->entries.size()) + remaining <= min_entries_) {
+      for (Entry& e : rest) {
+        box_a.ExpandToInclude(e.box);
+        node->entries.push_back(std::move(e));
+      }
+      break;
+    }
+    if (static_cast<int>(sibling->entries.size()) + remaining <=
+        min_entries_) {
+      for (Entry& e : rest) {
+        box_b.ExpandToInclude(e.box);
+        sibling->entries.push_back(std::move(e));
+      }
+      break;
+    }
+    size_t pick = 0;
+    double best_diff = -1.0;
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const double diff = std::abs(Enlargement(box_a, rest[i].box) -
+                                   Enlargement(box_b, rest[i].box));
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+      }
+    }
+    Entry chosen = std::move(rest[pick]);
+    rest.erase(rest.begin() + static_cast<ptrdiff_t>(pick));
+    const double grow_a = Enlargement(box_a, chosen.box);
+    const double grow_b = Enlargement(box_b, chosen.box);
+    const bool to_a =
+        grow_a < grow_b ||
+        (grow_a == grow_b && node->entries.size() <= sibling->entries.size());
+    if (to_a) {
+      box_a.ExpandToInclude(chosen.box);
+      node->entries.push_back(std::move(chosen));
+    } else {
+      box_b.ExpandToInclude(chosen.box);
+      sibling->entries.push_back(std::move(chosen));
+    }
+  }
+  return sibling;
+}
+
+void DynamicRTree::IntersectionQuery(const Box& query,
+                                     std::vector<int32_t>* out) const {
+  out->clear();
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!e.box.Intersects(query)) continue;
+      if (node->leaf) {
+        out->push_back(e.id);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+}
+
+Box DynamicRTree::Bounds() const { return root_->ComputeBox(); }
+
+int DynamicRTree::Height() const {
+  if (size_ == 0) return 0;
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    ++height;
+    node = node->entries.front().child.get();
+  }
+  return height;
+}
+
+Status DynamicRTree::CheckInvariants() const {
+  struct Frame {
+    const Node* node;
+    int depth;
+  };
+  int leaf_depth = -1;
+  std::vector<Frame> stack = {{root_.get(), 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node* node = frame.node;
+    // Occupancy: non-root nodes have [min, max] entries.
+    if (node != root_.get()) {
+      if (static_cast<int>(node->entries.size()) < min_entries_ ||
+          static_cast<int>(node->entries.size()) > max_entries_) {
+        return Status::Internal(
+            "node occupancy " + std::to_string(node->entries.size()) +
+            " outside [" + std::to_string(min_entries_) + ", " +
+            std::to_string(max_entries_) + "]");
+      }
+    }
+    if (node->leaf) {
+      if (leaf_depth < 0) leaf_depth = frame.depth;
+      if (leaf_depth != frame.depth) {
+        return Status::Internal("leaves at different depths");
+      }
+      continue;
+    }
+    for (const Entry& e : node->entries) {
+      if (e.child == nullptr) {
+        return Status::Internal("internal entry without child");
+      }
+      const Box child_box = e.child->ComputeBox();
+      if (!e.box.Contains(child_box)) {
+        return Status::Internal("entry box does not cover its child");
+      }
+      stack.push_back({e.child.get(), frame.depth + 1});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,134 @@
+#include "src/index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indoorflow {
+
+RTree RTree::BulkLoad(std::vector<Item> items, int fanout) {
+  INDOORFLOW_CHECK(fanout >= 2);
+  RTree tree;
+  tree.items_ = std::move(items);
+  if (tree.items_.empty()) return tree;
+
+  // STR: sort by x-center, slice into vertical strips of ~sqrt(n/fanout)
+  // leaves each, sort each strip by y-center.
+  const size_t n = tree.items_.size();
+  std::sort(tree.items_.begin(), tree.items_.end(),
+            [](const Item& a, const Item& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+  const size_t num_leaves =
+      (n + static_cast<size_t>(fanout) - 1) / static_cast<size_t>(fanout);
+  const size_t strips = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t strip_size =
+      (n + strips - 1) / strips;  // items per vertical strip
+  for (size_t s = 0; s < n; s += strip_size) {
+    const size_t end = std::min(n, s + strip_size);
+    std::sort(tree.items_.begin() + static_cast<ptrdiff_t>(s),
+              tree.items_.begin() + static_cast<ptrdiff_t>(end),
+              [](const Item& a, const Item& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+  }
+
+  // Leaves over the permuted items.
+  std::vector<NodeId> level;
+  for (size_t i = 0; i < n; i += static_cast<size_t>(fanout)) {
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<int32_t>(i);
+    node.count =
+        static_cast<int32_t>(std::min<size_t>(fanout, n - i));
+    node.total = node.count;
+    node.min_value = tree.items_[i].value;
+    for (int32_t j = 0; j < node.count; ++j) {
+      const Item& item = tree.items_[i + static_cast<size_t>(j)];
+      node.box.ExpandToInclude(item.box);
+      node.min_value = std::min(node.min_value, item.value);
+    }
+    level.push_back(static_cast<NodeId>(tree.nodes_.size()));
+    tree.nodes_.push_back(node);
+  }
+  // Upper levels group contiguous nodes (children of one parent are
+  // contiguous in nodes_).
+  while (level.size() > 1) {
+    std::vector<NodeId> next;
+    for (size_t i = 0; i < level.size(); i += static_cast<size_t>(fanout)) {
+      Node node;
+      node.leaf = false;
+      node.first = level[i];
+      node.count = static_cast<int32_t>(
+          std::min<size_t>(fanout, level.size() - i));
+      node.min_value =
+          tree.nodes_[static_cast<size_t>(node.first)].min_value;
+      for (int32_t j = 0; j < node.count; ++j) {
+        const Node& child =
+            tree.nodes_[static_cast<size_t>(node.first + j)];
+        node.box.ExpandToInclude(child.box);
+        node.total += child.total;
+        node.min_value = std::min(node.min_value, child.min_value);
+      }
+      next.push_back(static_cast<NodeId>(tree.nodes_.size()));
+      tree.nodes_.push_back(node);
+    }
+    level = std::move(next);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+void RTree::IntersectionQuery(const Box& query,
+                              std::vector<int32_t>* out) const {
+  out->clear();
+  if (root_ < 0) return;
+  std::vector<NodeId> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      for (int32_t j = 0; j < node.count; ++j) {
+        const Item& item = items_[static_cast<size_t>(node.first + j)];
+        if (item.box.Intersects(query)) out->push_back(item.id);
+      }
+    } else {
+      for (int32_t j = 0; j < node.count; ++j) {
+        stack.push_back(node.first + j);
+      }
+    }
+  }
+}
+
+const Box& RTree::EntryBox(NodeId node, int slot) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.leaf) return items_[static_cast<size_t>(n.first + slot)].box;
+  return nodes_[static_cast<size_t>(n.first + slot)].box;
+}
+
+int64_t RTree::EntryCount(NodeId node, int slot) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.leaf) return 1;
+  return nodes_[static_cast<size_t>(n.first + slot)].total;
+}
+
+double RTree::EntryMinValue(NodeId node, int slot) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  if (n.leaf) return items_[static_cast<size_t>(n.first + slot)].value;
+  return nodes_[static_cast<size_t>(n.first + slot)].min_value;
+}
+
+RTree::NodeId RTree::EntryChild(NodeId node, int slot) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  INDOORFLOW_CHECK(!n.leaf);
+  return n.first + slot;
+}
+
+int32_t RTree::EntryItem(NodeId node, int slot) const {
+  const Node& n = nodes_[static_cast<size_t>(node)];
+  INDOORFLOW_CHECK(n.leaf);
+  return items_[static_cast<size_t>(n.first + slot)].id;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,86 @@
+// Static 2-D R-tree with count-augmented entries.
+//
+// Serves two roles from the paper (Section 4):
+//   * R_P — the R-tree over the query POIs;
+//   * the structural core of R_I — the in-memory aggregate R-tree over
+//     object MBRs, whose node entries carry `count`, "the number of all
+//     objects in the corresponding sub-tree", used as flow upper bounds in
+//     the join algorithms.
+//
+// Built by STR (sort-tile-recursive) bulk loading. Besides box search, the
+// tree exposes node/entry navigation so the join algorithms can descend both
+// trees level by level.
+
+#ifndef INDOORFLOW_INDEX_RTREE_H_
+#define INDOORFLOW_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/box.h"
+
+namespace indoorflow {
+
+class RTree {
+ public:
+  using NodeId = int32_t;
+
+  struct Item {
+    int32_t id = -1;  // caller-defined (PoiId, object slot, ...)
+    Box box;
+    /// Optional per-item scalar aggregated as a subtree minimum (e.g. POI
+    /// area, used by area-aware join bounds). Defaults keep it inert.
+    double value = 0.0;
+  };
+
+  RTree() = default;
+
+  static RTree BulkLoad(std::vector<Item> items, int fanout = 8);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t num_items() const { return items_.size(); }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Ids of all items whose box intersects `query`.
+  void IntersectionQuery(const Box& query, std::vector<int32_t>* out) const;
+
+  // --- Navigation (join algorithms) -------------------------------------
+
+  NodeId root() const { return root_; }
+  bool IsLeaf(NodeId node) const {
+    return nodes_[static_cast<size_t>(node)].leaf;
+  }
+  int NumEntries(NodeId node) const {
+    return nodes_[static_cast<size_t>(node)].count;
+  }
+  /// MBR of entry `slot` of `node`.
+  const Box& EntryBox(NodeId node, int slot) const;
+  /// Number of items under entry `slot` of `node` (1 for leaf entries).
+  int64_t EntryCount(NodeId node, int slot) const;
+  /// Minimum Item::value under entry `slot` of `node` (the item's own value
+  /// for leaf entries).
+  double EntryMinValue(NodeId node, int slot) const;
+  /// Child node of an internal entry.
+  NodeId EntryChild(NodeId node, int slot) const;
+  /// Item id of a leaf entry.
+  int32_t EntryItem(NodeId node, int slot) const;
+
+ private:
+  struct Node {
+    Box box;
+    int64_t total = 0;      // items in subtree
+    double min_value = 0.0;  // min Item::value in subtree
+    bool leaf = false;
+    int32_t first = 0;  // into items_ (leaf) or nodes_ (internal)
+    int32_t count = 0;
+  };
+
+  std::vector<Item> items_;  // permuted by the STR order
+  std::vector<Node> nodes_;
+  NodeId root_ = -1;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDEX_RTREE_H_

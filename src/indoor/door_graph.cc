@@ -1,0 +1,69 @@
+#include "src/indoor/door_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace indoorflow {
+
+DoorGraph::DoorGraph(const FloorPlan& plan) {
+  const size_t n = plan.doors().size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Adjacency: doors sharing a partition.
+  std::vector<std::vector<std::pair<DoorId, double>>> adj(n);
+  for (const Partition& part : plan.partitions()) {
+    const std::vector<DoorId>& doors = plan.DoorsOf(part.id);
+    for (size_t i = 0; i < doors.size(); ++i) {
+      for (size_t j = i + 1; j < doors.size(); ++j) {
+        const double w = Distance(plan.door(doors[i]).position,
+                                  plan.door(doors[j]).position);
+        adj[static_cast<size_t>(doors[i])].push_back({doors[j], w});
+        adj[static_cast<size_t>(doors[j])].push_back({doors[i], w});
+      }
+    }
+  }
+
+  dist_.assign(n, std::vector<double>(n, kInf));
+  parent_.assign(n, std::vector<DoorId>(n, -1));
+  // Dijkstra from every door. Door counts are small (tens to low hundreds),
+  // so n * (E log V) is cheap and done once per plan.
+  using QueueItem = std::pair<double, DoorId>;
+  for (size_t src = 0; src < n; ++src) {
+    std::vector<double>& dist = dist_[src];
+    dist[src] = 0.0;
+    std::priority_queue<QueueItem, std::vector<QueueItem>,
+                        std::greater<QueueItem>>
+        queue;
+    queue.push({0.0, static_cast<DoorId>(src)});
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d > dist[static_cast<size_t>(u)]) continue;
+      for (const auto& [v, w] : adj[static_cast<size_t>(u)]) {
+        const double nd = d + w;
+        if (nd < dist[static_cast<size_t>(v)]) {
+          dist[static_cast<size_t>(v)] = nd;
+          parent_[src][static_cast<size_t>(v)] = u;
+          queue.push({nd, v});
+        }
+      }
+    }
+  }
+}
+
+std::vector<DoorId> DoorGraph::PathBetween(DoorId a, DoorId b) const {
+  if (a == b) return {a};
+  if (Between(a, b) == std::numeric_limits<double>::infinity()) return {};
+  std::vector<DoorId> path;
+  for (DoorId v = b; v != a; v = parent_[static_cast<size_t>(a)]
+                                        [static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  path.push_back(a);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,40 @@
+// Door-to-door connectivity graph with precomputed shortest walking
+// distances.
+
+#ifndef INDOORFLOW_INDOOR_DOOR_GRAPH_H_
+#define INDOORFLOW_INDOOR_DOOR_GRAPH_H_
+
+#include <vector>
+
+#include "src/indoor/floor_plan.h"
+
+namespace indoorflow {
+
+/// Shortest-path distances between all pairs of doors, walking through
+/// partitions. Two doors incident to the same partition are connected by an
+/// edge weighted with their Euclidean distance (partitions are convex, so
+/// the straight line stays inside).
+class DoorGraph {
+ public:
+  explicit DoorGraph(const FloorPlan& plan);
+
+  /// Shortest walking distance between two doors (infinity if unreachable).
+  double Between(DoorId a, DoorId b) const {
+    return dist_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  }
+
+  /// Shortest door sequence from `a` to `b`, inclusive of both endpoints.
+  /// Empty when unreachable; {a} when a == b.
+  std::vector<DoorId> PathBetween(DoorId a, DoorId b) const;
+
+  size_t num_doors() const { return dist_.size(); }
+
+ private:
+  std::vector<std::vector<double>> dist_;
+  // parent_[src][v]: predecessor of v on the shortest path from src.
+  std::vector<std::vector<DoorId>> parent_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDOOR_DOOR_GRAPH_H_

@@ -1,0 +1,93 @@
+#include "src/indoor/floor_plan.h"
+
+#include <queue>
+#include <utility>
+
+namespace indoorflow {
+
+namespace {
+// A door may sit slightly off a partition boundary due to floating-point
+// plan construction; accept up to this gap (meters).
+constexpr double kDoorSnapTolerance = 0.5;
+}  // namespace
+
+PartitionId FloorPlan::AddPartition(std::string name, Polygon shape) {
+  const PartitionId id = static_cast<PartitionId>(partitions_.size());
+  shape.Normalize();
+  bounds_.ExpandToInclude(shape.Bounds());
+  partitions_.push_back(Partition{id, std::move(name), std::move(shape)});
+  doors_of_.emplace_back();
+  return id;
+}
+
+Result<DoorId> FloorPlan::AddDoor(Point position, PartitionId a,
+                                  PartitionId b) {
+  const auto n = static_cast<PartitionId>(partitions_.size());
+  if (a < 0 || a >= n || b < 0 || b >= n || a == b) {
+    return Status::InvalidArgument("door endpoints must be distinct valid "
+                                   "partitions");
+  }
+  const DoorId id = static_cast<DoorId>(doors_.size());
+  doors_.push_back(Door{id, position, a, b});
+  doors_of_[static_cast<size_t>(a)].push_back(id);
+  doors_of_[static_cast<size_t>(b)].push_back(id);
+  return id;
+}
+
+PartitionId FloorPlan::PartitionAt(Point p) const {
+  for (const Partition& part : partitions_) {
+    if (part.shape.Contains(p)) return part.id;
+  }
+  return kInvalidPartition;
+}
+
+std::vector<PartitionId> FloorPlan::PartitionsAt(Point p) const {
+  std::vector<PartitionId> result;
+  for (const Partition& part : partitions_) {
+    if (part.shape.Contains(p)) result.push_back(part.id);
+  }
+  return result;
+}
+
+Status FloorPlan::Validate() const {
+  if (partitions_.empty()) {
+    return Status::FailedPrecondition("floor plan has no partitions");
+  }
+  for (const Door& door : doors_) {
+    const Polygon& pa = partition(door.partition_a).shape;
+    const Polygon& pb = partition(door.partition_b).shape;
+    if (pa.Distance(door.position) > kDoorSnapTolerance ||
+        pb.Distance(door.position) > kDoorSnapTolerance) {
+      return Status::FailedPrecondition(
+          "door " + std::to_string(door.id) +
+          " is not on the boundary of both partitions");
+    }
+  }
+  // Connectivity: BFS over the door graph from partition 0.
+  std::vector<bool> seen(partitions_.size(), false);
+  std::queue<PartitionId> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  size_t reached = 1;
+  while (!frontier.empty()) {
+    const PartitionId cur = frontier.front();
+    frontier.pop();
+    for (DoorId d : DoorsOf(cur)) {
+      const PartitionId next = door(d).OtherSide(cur);
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        ++reached;
+        frontier.push(next);
+      }
+    }
+  }
+  if (reached != partitions_.size()) {
+    return Status::FailedPrecondition(
+        "floor plan is not connected: only " + std::to_string(reached) +
+        " of " + std::to_string(partitions_.size()) +
+        " partitions reachable from partition 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace indoorflow

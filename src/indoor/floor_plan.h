@@ -1,0 +1,92 @@
+// Indoor space model: partitions (rooms, hallways) connected by doors.
+//
+// The paper's setting is a symbolic indoor space: movement is enabled and
+// constrained by rooms, hallways and doors, and the indoor *walking*
+// distance between two positions (through doors) can far exceed their
+// Euclidean distance — the basis of the indoor topology check (paper
+// Section 3.3).
+
+#ifndef INDOORFLOW_INDOOR_FLOOR_PLAN_H_
+#define INDOORFLOW_INDOOR_FLOOR_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/polygon.h"
+
+namespace indoorflow {
+
+using PartitionId = int32_t;
+using DoorId = int32_t;
+
+inline constexpr PartitionId kInvalidPartition = -1;
+
+/// A topological unit of the indoor space (a room or a hallway segment),
+/// modeled as a convex polygon. Convexity keeps intra-partition distances
+/// Euclidean; non-convex rooms are modeled as several convex partitions
+/// joined by zero-width "open doors".
+struct Partition {
+  PartitionId id = kInvalidPartition;
+  std::string name;
+  Polygon shape;
+};
+
+/// A door connecting two partitions, located at `position` (the midpoint of
+/// the physical doorway). `partition_a/b` are the two sides.
+struct Door {
+  DoorId id = -1;
+  Point position;
+  PartitionId partition_a = kInvalidPartition;
+  PartitionId partition_b = kInvalidPartition;
+
+  PartitionId OtherSide(PartitionId from) const {
+    return from == partition_a ? partition_b : partition_a;
+  }
+};
+
+/// An immutable-after-construction floor plan. Build with AddPartition /
+/// AddDoor, then call Validate() once before use.
+class FloorPlan {
+ public:
+  PartitionId AddPartition(std::string name, Polygon shape);
+  /// Adds a door between partitions `a` and `b` at `position`. The position
+  /// should lie on (or within tolerance of) both partitions' boundaries.
+  Result<DoorId> AddDoor(Point position, PartitionId a, PartitionId b);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Door>& doors() const { return doors_; }
+  const Partition& partition(PartitionId id) const {
+    return partitions_[static_cast<size_t>(id)];
+  }
+  const Door& door(DoorId id) const { return doors_[static_cast<size_t>(id)]; }
+
+  /// Door ids incident to a partition.
+  const std::vector<DoorId>& DoorsOf(PartitionId id) const {
+    return doors_of_[static_cast<size_t>(id)];
+  }
+
+  /// The partition containing `p`, or kInvalidPartition. Points on shared
+  /// walls resolve to the lowest-id containing partition.
+  PartitionId PartitionAt(Point p) const;
+
+  /// All partitions containing `p` (points on walls/doors belong to both).
+  std::vector<PartitionId> PartitionsAt(Point p) const;
+
+  Box Bounds() const { return bounds_; }
+
+  /// Checks structural consistency: door endpoints valid, door positions
+  /// near both partitions, every partition reachable from partition 0.
+  Status Validate() const;
+
+ private:
+  std::vector<Partition> partitions_;
+  std::vector<Door> doors_;
+  std::vector<std::vector<DoorId>> doors_of_;
+  Box bounds_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDOOR_FLOOR_PLAN_H_

@@ -1,0 +1,65 @@
+#include "src/indoor/indoor_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace indoorflow {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double IndoorDistance::Between(Point p, Point q) const {
+  const std::vector<PartitionId> parts_p = plan_.PartitionsAt(p);
+  const std::vector<PartitionId> parts_q = plan_.PartitionsAt(q);
+  if (parts_p.empty() || parts_q.empty()) return kInf;
+
+  // Same partition: straight line (partitions are convex).
+  for (PartitionId a : parts_p) {
+    for (PartitionId b : parts_q) {
+      if (a == b) return Distance(p, q);
+    }
+  }
+
+  // Otherwise: leave via some door of p's partition(s), walk the door
+  // graph, enter via some door of q's partition(s).
+  double best = kInf;
+  for (PartitionId a : parts_p) {
+    for (DoorId da : plan_.DoorsOf(a)) {
+      const double leg_p = Distance(p, plan_.door(da).position);
+      if (leg_p >= best) continue;
+      for (PartitionId b : parts_q) {
+        for (DoorId db : plan_.DoorsOf(b)) {
+          const double through = graph_.Between(da, db);
+          if (through == kInf) continue;
+          const double total =
+              leg_p + through + Distance(plan_.door(db).position, q);
+          best = std::min(best, total);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+double IndoorDistance::ToDoor(Point p, DoorId d) const {
+  const std::vector<PartitionId> parts_p = plan_.PartitionsAt(p);
+  if (parts_p.empty()) return kInf;
+  const Door& target = plan_.door(d);
+  double best = kInf;
+  for (PartitionId a : parts_p) {
+    if (a == target.partition_a || a == target.partition_b) {
+      best = std::min(best, Distance(p, target.position));
+      continue;
+    }
+    for (DoorId da : plan_.DoorsOf(a)) {
+      const double through = graph_.Between(da, d);
+      if (through == kInf) continue;
+      best = std::min(best,
+                      Distance(p, plan_.door(da).position) + through);
+    }
+  }
+  return best;
+}
+
+}  // namespace indoorflow

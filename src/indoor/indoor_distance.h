@@ -1,0 +1,41 @@
+// Indoor walking distance between arbitrary positions.
+
+#ifndef INDOORFLOW_INDOOR_INDOOR_DISTANCE_H_
+#define INDOORFLOW_INDOOR_INDOOR_DISTANCE_H_
+
+#include <memory>
+
+#include "src/indoor/door_graph.h"
+#include "src/indoor/floor_plan.h"
+
+namespace indoorflow {
+
+/// Computes the shortest *indoor walking* distance between two positions:
+/// Euclidean within a partition, otherwise through the door graph. This is
+/// the distance the topology check (paper Section 3.3) compares against the
+/// maximum Euclidean distance Vmax * dt an object can cover.
+class IndoorDistance {
+ public:
+  /// Keeps references to `plan` and `graph`; both must outlive this object.
+  IndoorDistance(const FloorPlan& plan, const DoorGraph& graph)
+      : plan_(plan), graph_(graph) {}
+
+  /// Walking distance from `p` to `q`. Returns +infinity when either point
+  /// is outside every partition or no door path connects them.
+  double Between(Point p, Point q) const;
+
+  /// Walking distance from `p` to the nearest point "through" door `d`,
+  /// i.e. |p - d| routed through partitions. Equal to Between(p, d.position)
+  /// but cheaper (no destination partition resolution).
+  double ToDoor(Point p, DoorId d) const;
+
+  const FloorPlan& plan() const { return plan_; }
+
+ private:
+  const FloorPlan& plan_;
+  const DoorGraph& graph_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDOOR_INDOOR_DISTANCE_H_

@@ -1,0 +1,336 @@
+#include "src/indoor/plan_builders.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace indoorflow {
+
+namespace {
+
+PartitionId AddRect(FloorPlan& plan, const std::string& name, double min_x,
+                    double min_y, double max_x, double max_y) {
+  return plan.AddPartition(name,
+                           Polygon::Rectangle(min_x, min_y, max_x, max_y));
+}
+
+void MustAddDoor(FloorPlan& plan, Point position, PartitionId a,
+                 PartitionId b) {
+  Result<DoorId> door = plan.AddDoor(position, a, b);
+  INDOORFLOW_CHECK(door.ok());
+}
+
+}  // namespace
+
+namespace {
+
+/// Total height of one office floor for the given layout.
+double OfficeFloorHeight(const OfficePlanConfig& config) {
+  const double pitch =
+      2.0 * config.room_height + config.hallway_height + 2.0;
+  return config.room_height + (config.num_rows - 1) * pitch +
+         config.hallway_height + config.room_height;
+}
+
+/// Appends one office floor to `built`, offset by `origin` in the shared
+/// coordinate plane, tagging partitions with `floor_index`. Returns the
+/// spine partition id.
+PartitionId AppendOfficeFloor(BuiltPlan& built,
+                              const OfficePlanConfig& config, Point origin,
+                              int floor_index, const std::string& prefix) {
+  FloorPlan& plan = built.plan;
+  const double pitch =
+      2.0 * config.room_height + config.hallway_height + 2.0;
+  const double total_height = OfficeFloorHeight(config);
+
+  const auto tag = [&](PartitionId id) {
+    built.partition_floor.resize(static_cast<size_t>(id) + 1, 0);
+    built.partition_floor[static_cast<size_t>(id)] = floor_index;
+    return id;
+  };
+
+  // Vertical spine hallway on the left.
+  const PartitionId spine =
+      tag(AddRect(plan, prefix + "spine", origin.x, origin.y,
+                  origin.x + config.spine_width, origin.y + total_height));
+  built.hallway_ids.push_back(spine);
+
+  for (int row = 0; row < config.num_rows; ++row) {
+    const double hall_y0 = origin.y + config.room_height + row * pitch;
+    const double hall_y1 = hall_y0 + config.hallway_height;
+    const double hall_x0 = origin.x + config.spine_width;
+    const double hall_x1 =
+        hall_x0 + config.rooms_per_side * config.room_width;
+
+    const PartitionId hallway =
+        tag(AddRect(plan, prefix + "hallway_" + std::to_string(row),
+                    hall_x0, hall_y0, hall_x1, hall_y1));
+    built.hallway_ids.push_back(hallway);
+    // Opening between the spine and this hallway.
+    MustAddDoor(plan, {hall_x0, (hall_y0 + hall_y1) * 0.5}, spine, hallway);
+
+    for (int i = 0; i < config.rooms_per_side; ++i) {
+      const double x0 = hall_x0 + i * config.room_width;
+      const double x1 = x0 + config.room_width;
+      // Doors of facing rooms are staggered (30% vs 70% along the wall) so
+      // that door-mounted readers with ranges up to 2.5 m stay disjoint
+      // across a 4 m hallway (the paper's non-overlap assumption).
+      const double door_above_x = x0 + 0.3 * config.room_width;
+      const double door_below_x = x0 + 0.7 * config.room_width;
+
+      const PartitionId above = tag(AddRect(
+          plan, prefix + "room_" + std::to_string(row) + "a" +
+                    std::to_string(i),
+          x0, hall_y1, x1, hall_y1 + config.room_height));
+      built.room_ids.push_back(above);
+      MustAddDoor(plan, {door_above_x, hall_y1}, above, hallway);
+
+      const PartitionId below = tag(AddRect(
+          plan, prefix + "room_" + std::to_string(row) + "b" +
+                    std::to_string(i),
+          x0, hall_y0 - config.room_height, x1, hall_y0));
+      built.room_ids.push_back(below);
+      MustAddDoor(plan, {door_below_x, hall_y0}, below, hallway);
+    }
+  }
+  return spine;
+}
+
+}  // namespace
+
+BuiltPlan BuildOfficePlan(const OfficePlanConfig& config) {
+  BuiltPlan built;
+  AppendOfficeFloor(built, config, {0.0, 0.0}, 0, "");
+  built.partition_floor.clear();  // single floor: keep the compact default
+  INDOORFLOW_CHECK(built.plan.Validate().ok());
+  return built;
+}
+
+BuiltPlan BuildMultiFloorOfficePlan(const MultiFloorConfig& config) {
+  INDOORFLOW_CHECK(config.num_floors >= 1);
+  INDOORFLOW_CHECK(config.stair_length > 0.0);
+  BuiltPlan built;
+  const double floor_height = OfficeFloorHeight(config.floor);
+  PartitionId prev_spine = kInvalidPartition;
+  for (int floor = 0; floor < config.num_floors; ++floor) {
+    const double y0 = floor * (floor_height + config.stair_length);
+    const PartitionId spine = AppendOfficeFloor(
+        built, config.floor, {0.0, y0}, floor,
+        "f" + std::to_string(floor) + "_");
+    if (floor > 0) {
+      // Staircase partition spanning the inter-floor band, joined to both
+      // spines by doors at its ends. Walking between floors costs exactly
+      // stair_length (plus the horizontal approach).
+      const double stair_y0 = y0 - config.stair_length;
+      const PartitionId stairs = built.plan.AddPartition(
+          "stairs_" + std::to_string(floor - 1) + "_" +
+              std::to_string(floor),
+          Polygon::Rectangle(0.0, stair_y0, config.stair_width, y0));
+      built.partition_floor.resize(static_cast<size_t>(stairs) + 1, 0);
+      built.partition_floor[static_cast<size_t>(stairs)] = floor - 1;
+      MustAddDoor(built.plan, {config.stair_width / 2.0, stair_y0},
+                  prev_spine, stairs);
+      MustAddDoor(built.plan, {config.stair_width / 2.0, y0}, stairs,
+                  spine);
+    }
+    prev_spine = spine;
+  }
+  INDOORFLOW_CHECK(built.plan.Validate().ok());
+  return built;
+}
+
+BuiltPlan BuildAirportPlan(const AirportPlanConfig& config) {
+  BuiltPlan built;
+  FloorPlan& plan = built.plan;
+
+  const double h0 = config.room_height;  // concourse sits above south rooms
+  const double h1 = h0 + config.concourse_height;
+
+  // Concourse: a chain of convex hallway segments joined by full-width
+  // openings (modeled as doors at the joint midpoints).
+  std::vector<PartitionId> segments;
+  for (int s = 0; s < config.num_segments; ++s) {
+    const double x0 = s * config.segment_length;
+    const double x1 = x0 + config.segment_length;
+    const PartitionId seg = AddRect(
+        plan, "concourse_" + std::to_string(s), x0, h0, x1, h1);
+    segments.push_back(seg);
+    built.hallway_ids.push_back(seg);
+    if (s > 0) {
+      MustAddDoor(plan, {x0, (h0 + h1) * 0.5}, segments[s - 1], seg);
+    }
+  }
+
+  // Gate lounges / shops on both sides of each segment.
+  for (int s = 0; s < config.num_segments; ++s) {
+    const double seg_x0 = s * config.segment_length;
+    for (int i = 0; i < config.rooms_per_segment_side; ++i) {
+      const double gap = (config.segment_length -
+                          config.rooms_per_segment_side * config.room_width) /
+                         (config.rooms_per_segment_side + 1);
+      const double x0 = seg_x0 + gap + i * (config.room_width + gap);
+      const double x1 = x0 + config.room_width;
+      const double door_x = (x0 + x1) * 0.5;
+
+      const PartitionId north = AddRect(
+          plan, "gate_" + std::to_string(s) + "n" + std::to_string(i), x0,
+          h1, x1, h1 + config.room_height);
+      built.room_ids.push_back(north);
+      MustAddDoor(plan, {door_x, h1}, north, segments[s]);
+
+      const PartitionId south = AddRect(
+          plan, "shop_" + std::to_string(s) + "s" + std::to_string(i), x0,
+          0.0, x1, h0);
+      built.room_ids.push_back(south);
+      MustAddDoor(plan, {door_x, h0}, south, segments[s]);
+    }
+  }
+
+  INDOORFLOW_CHECK(plan.Validate().ok());
+  return built;
+}
+
+BuiltPlan BuildMallPlan(const MallPlanConfig& config) {
+  INDOORFLOW_CHECK(config.shops_per_row >= 1);
+  INDOORFLOW_CHECK(config.shops_per_side >= 1);
+  INDOORFLOW_CHECK(config.anchor_fraction > 0.0 &&
+                   config.anchor_fraction < 0.5);
+  const double d = config.shop_depth;
+  const double c = config.corridor_width;
+  const double width = 2.0 * d + config.shops_per_row * config.shop_frontage;
+  const double height =
+      2.0 * (d + c) + config.shops_per_side * config.side_shop_frontage;
+  INDOORFLOW_CHECK(width - 2.0 * (d + c) > 1.0);  // central block exists
+
+  BuiltPlan built;
+  FloorPlan& plan = built.plan;
+
+  // Corridor loop. The south/north segments span the full inner width; the
+  // west/east segments fill the gap between them, meeting at corner doors.
+  const PartitionId south =
+      AddRect(plan, "corridor_south", d, d, width - d, d + c);
+  const PartitionId north = AddRect(plan, "corridor_north", d,
+                                    height - d - c, width - d, height - d);
+  const PartitionId west =
+      AddRect(plan, "corridor_west", d, d + c, d + c, height - d - c);
+  const PartitionId east = AddRect(plan, "corridor_east", width - d - c,
+                                   d + c, width - d, height - d - c);
+  for (PartitionId corridor : {south, west, north, east}) {
+    built.hallway_ids.push_back(corridor);
+  }
+  MustAddDoor(plan, {d + c * 0.5, d + c}, south, west);
+  MustAddDoor(plan, {width - d - c * 0.5, d + c}, south, east);
+  MustAddDoor(plan, {d + c * 0.5, height - d - c}, west, north);
+  MustAddDoor(plan, {width - d - c * 0.5, height - d - c}, east, north);
+
+  // Shops along the south and north rows, opening onto their corridor.
+  for (int i = 0; i < config.shops_per_row; ++i) {
+    const double x0 = d + i * config.shop_frontage;
+    const double x1 = x0 + config.shop_frontage;
+    const double door_x = (x0 + x1) * 0.5;
+    const PartitionId s = AddRect(plan, "shop_s" + std::to_string(i), x0,
+                                  0.0, x1, d);
+    built.room_ids.push_back(s);
+    MustAddDoor(plan, {door_x, d}, s, south);
+    const PartitionId n = AddRect(plan, "shop_n" + std::to_string(i), x0,
+                                  height - d, x1, height);
+    built.room_ids.push_back(n);
+    MustAddDoor(plan, {door_x, height - d}, n, north);
+  }
+  // Shops along the west and east sides.
+  for (int j = 0; j < config.shops_per_side; ++j) {
+    const double y0 = d + c + j * config.side_shop_frontage;
+    const double y1 = y0 + config.side_shop_frontage;
+    const double door_y = (y0 + y1) * 0.5;
+    const PartitionId w = AddRect(plan, "shop_w" + std::to_string(j), 0.0,
+                                  y0, d, y1);
+    built.room_ids.push_back(w);
+    MustAddDoor(plan, {d, door_y}, w, west);
+    const PartitionId e = AddRect(plan, "shop_e" + std::to_string(j),
+                                  width - d, y0, width, y1);
+    built.room_ids.push_back(e);
+    MustAddDoor(plan, {width - d, door_y}, e, east);
+  }
+
+  // Central block inside the loop: anchor | food court | anchor.
+  const double inner_x0 = d + c;
+  const double inner_x1 = width - d - c;
+  const double inner_y0 = d + c;
+  const double inner_y1 = height - d - c;
+  const double inner_w = inner_x1 - inner_x0;
+  const double mid_y = (inner_y0 + inner_y1) * 0.5;
+  const double a_w = inner_w * config.anchor_fraction;
+
+  const PartitionId anchor_west = AddRect(
+      plan, "anchor_west", inner_x0, inner_y0, inner_x0 + a_w, inner_y1);
+  built.room_ids.push_back(anchor_west);
+  MustAddDoor(plan, {inner_x0, mid_y}, anchor_west, west);
+
+  const PartitionId food_court =
+      AddRect(plan, "food_court", inner_x0 + a_w, inner_y0, inner_x1 - a_w,
+              inner_y1);
+  built.room_ids.push_back(food_court);
+  const double court_mid_x = (inner_x0 + a_w + inner_x1 - a_w) * 0.5;
+  MustAddDoor(plan, {court_mid_x, inner_y0}, food_court, south);
+  MustAddDoor(plan, {court_mid_x, inner_y1}, food_court, north);
+
+  const PartitionId anchor_east = AddRect(
+      plan, "anchor_east", inner_x1 - a_w, inner_y0, inner_x1, inner_y1);
+  built.room_ids.push_back(anchor_east);
+  MustAddDoor(plan, {inner_x1, mid_y}, anchor_east, east);
+
+  INDOORFLOW_CHECK(plan.Validate().ok());
+  return built;
+}
+
+PoiSet GeneratePois(const BuiltPlan& built, int count, Rng& rng) {
+  INDOORFLOW_CHECK(count > 0);
+  PoiSet pois;
+  pois.reserve(count);
+  // Roughly one POI in five is a hallway slice (popular pass-by spots); the
+  // rest are sub-rectangles of rooms with varied sizes and anchors.
+  int room_cursor = 0;
+  int hall_cursor = 0;
+  for (int i = 0; i < count; ++i) {
+    const bool hallway_poi = (i % 5 == 4) && !built.hallway_ids.empty();
+    PartitionId part;
+    if (hallway_poi) {
+      part = built.hallway_ids[hall_cursor % built.hallway_ids.size()];
+      ++hall_cursor;
+    } else {
+      part = built.room_ids[room_cursor % built.room_ids.size()];
+      ++room_cursor;
+    }
+    const Box b = built.plan.partition(part).shape.Bounds();
+    // A sub-rectangle covering 25%..90% of each extent, randomly anchored.
+    const double fx = rng.Uniform(0.25, 0.9);
+    const double fy = rng.Uniform(0.25, 0.9);
+    const double w = b.Width() * fx;
+    const double h = b.Height() * fy;
+    const double x0 = b.min_x + rng.Uniform(0.0, b.Width() - w);
+    const double y0 = b.min_y + rng.Uniform(0.0, b.Height() - h);
+    pois.push_back(Poi{static_cast<PoiId>(i),
+                       (hallway_poi ? "hallway_poi_" : "poi_") +
+                           std::to_string(i),
+                       Polygon::Rectangle(x0, y0, x0 + w, y0 + h)});
+  }
+  return pois;
+}
+
+BuiltPlan BuildTinyPlan() {
+  BuiltPlan built;
+  FloorPlan& plan = built.plan;
+  // Two 10x8 rooms north of a 20x4 hallway.
+  const PartitionId hallway = AddRect(plan, "hallway", 0, 0, 20, 4);
+  const PartitionId room_a = AddRect(plan, "room_a", 0, 4, 10, 12);
+  const PartitionId room_b = AddRect(plan, "room_b", 10, 4, 20, 12);
+  built.hallway_ids.push_back(hallway);
+  built.room_ids.push_back(room_a);
+  built.room_ids.push_back(room_b);
+  MustAddDoor(plan, {5, 4}, room_a, hallway);
+  MustAddDoor(plan, {15, 4}, room_b, hallway);
+  INDOORFLOW_CHECK(plan.Validate().ok());
+  return built;
+}
+
+}  // namespace indoorflow

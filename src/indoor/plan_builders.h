@@ -1,0 +1,118 @@
+// Parametric floor-plan builders for the paper's two experimental settings.
+//
+// * Office plan (synthetic data, paper Section 5.1): rooms on both sides of
+//   horizontal hallways that branch off a vertical spine hallway; every room
+//   connects to its hallway by one door.
+// * Airport plan (CPH substitute, see DESIGN.md): a long concourse made of
+//   hallway segments with gate lounges and shops on both sides.
+//
+// Both builders also generate POI sets: "75 POIs ... at distinctive
+// locations and with different areas. Multiple POIs may come from the same
+// large room" (paper Section 5.1).
+
+#ifndef INDOORFLOW_INDOOR_PLAN_BUILDERS_H_
+#define INDOORFLOW_INDOOR_PLAN_BUILDERS_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/indoor/floor_plan.h"
+#include "src/indoor/poi.h"
+
+namespace indoorflow {
+
+/// A floor plan plus the partition roles needed by data generators.
+struct BuiltPlan {
+  FloorPlan plan;
+  std::vector<PartitionId> room_ids;
+  std::vector<PartitionId> hallway_ids;
+  /// Floor index per partition (empty for single-floor plans; staircases
+  /// carry the lower of the two floors they join).
+  std::vector<int> partition_floor;
+
+  int FloorOf(PartitionId id) const {
+    return partition_floor.empty() ? 0
+                                   : partition_floor[static_cast<size_t>(id)];
+  }
+};
+
+struct OfficePlanConfig {
+  int num_rows = 2;        // horizontal hallway rows
+  int rooms_per_side = 8;  // rooms above and below each hallway
+  double room_width = 10.0;
+  double room_height = 8.0;
+  double hallway_height = 4.0;
+  double spine_width = 4.0;
+};
+
+/// Builds the office plan. With defaults: 32 rooms ("about 30"), 3 hallway
+/// partitions, all connected by doors (paper Section 5.1).
+BuiltPlan BuildOfficePlan(const OfficePlanConfig& config = {});
+
+struct AirportPlanConfig {
+  int num_segments = 8;       // concourse hallway segments
+  double segment_length = 50.0;
+  double concourse_height = 12.0;
+  int rooms_per_segment_side = 2;  // lounges/shops per side per segment
+  double room_width = 20.0;
+  double room_height = 15.0;
+};
+
+/// Builds the airport concourse plan (CPH substitute).
+BuiltPlan BuildAirportPlan(const AirportPlanConfig& config = {});
+
+struct MultiFloorConfig {
+  OfficePlanConfig floor;  // layout of each floor
+  int num_floors = 2;
+  /// Staircase length (meters of walking between floors); also the
+  /// coordinate gap separating the floors' areas in the shared plane.
+  double stair_length = 8.0;
+  double stair_width = 2.0;
+};
+
+/// Builds a multi-floor office: each floor is an office plan placed in its
+/// own band of the shared coordinate plane ("unfolded building"), and
+/// consecutive floors' spine hallways are joined by a staircase partition
+/// spanning the inter-floor band. All indoor walking distances are exact.
+///
+/// IMPORTANT: because floors share one Euclidean plane, a raw (Euclidean)
+/// uncertainty region can spuriously reach another floor's band whenever
+/// Vmax · Δt exceeds the band gap; the indoor topology check prunes exactly
+/// those parts. Run engines over multi-floor plans with
+/// TopologyMode::kPartition or kExact — never kOff (the paper's uncertainty
+/// analysis assumes a single floor otherwise).
+BuiltPlan BuildMultiFloorOfficePlan(const MultiFloorConfig& config = {});
+
+struct MallPlanConfig {
+  int shops_per_row = 10;   // shops along the north and south rows
+  int shops_per_side = 4;   // shops along the west and east sides
+  double shop_depth = 12.0;
+  double shop_frontage = 14.0;       // north/south shop width
+  double side_shop_frontage = 14.0;  // west/east shop height
+  double corridor_width = 6.0;
+  /// Central block split: anchor stores take this fraction of its width
+  /// each; the food court takes the rest. Must leave the block non-empty.
+  double anchor_fraction = 0.3;
+};
+
+/// Builds a single-floor shopping mall: a rectangular corridor *loop*
+/// (south/west/north/east segments joined at the corners) with shops on its
+/// outer side and, inside the loop, two anchor stores flanking a central
+/// food court. Unlike the office and airport plans the door graph here is
+/// cyclic — between any two shops there are two routes around the loop, so
+/// indoor distances and the topology check exercise non-tree shortest
+/// paths. Roles: corridors -> hallway_ids; shops/anchors/food court ->
+/// room_ids.
+BuiltPlan BuildMallPlan(const MallPlanConfig& config = {});
+
+/// Generates `count` POIs over the plan: sub-rectangles of rooms with varied
+/// sizes/positions plus hallway slices, deterministically from `rng`.
+PoiSet GeneratePois(const BuiltPlan& built, int count, Rng& rng);
+
+/// A minimal 3-partition plan (two rooms joined to one hallway) for unit
+/// tests and the quickstart example.
+BuiltPlan BuildTinyPlan();
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDOOR_PLAN_BUILDERS_H_

@@ -1,0 +1,156 @@
+#include "src/indoor/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace indoorflow {
+
+namespace {
+
+constexpr char kPlanHeader[] = "# indoorflow plan v1";
+constexpr char kPoisHeader[] = "# indoorflow pois v1";
+
+void StripCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+Status BadLine(int line_no, const std::string& what) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 what);
+}
+
+/// Parses "<name> x1 y1 x2 y2 ..." from `in` (>= 3 vertices).
+Status ParseNamedPolygon(std::istringstream& in, int line_no,
+                         std::string* name, std::vector<Point>* vertices) {
+  if (!(in >> *name)) return BadLine(line_no, "missing name");
+  vertices->clear();
+  double x = 0.0;
+  double y = 0.0;
+  while (in >> x) {
+    if (!(in >> y)) return BadLine(line_no, "odd number of coordinates");
+    vertices->push_back({x, y});
+  }
+  if (!in.eof()) return BadLine(line_no, "bad coordinate");
+  if (vertices->size() < 3) {
+    return BadLine(line_no, "polygon needs at least 3 vertices");
+  }
+  return Status::OK();
+}
+
+void WriteNamedPolygon(std::ofstream& out, const std::string& kind,
+                       const std::string& name, const Polygon& shape) {
+  out << kind << ' ' << name;
+  for (const Point& p : shape.vertices()) {
+    out << ' ' << p.x << ' ' << p.y;
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+Status WritePlanFile(const FloorPlan& plan, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.precision(17);
+  out << kPlanHeader << '\n';
+  for (const Partition& part : plan.partitions()) {
+    WriteNamedPolygon(out, "partition", part.name, part.shape);
+  }
+  for (const Door& door : plan.doors()) {
+    out << "door " << door.position.x << ' ' << door.position.y << ' '
+        << door.partition_a << ' ' << door.partition_b << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<FloorPlan> ReadPlanFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  if (std::getline(in, line)) StripCr(&line);
+  if (line != kPlanHeader) {
+    return Status::InvalidArgument(path + ": expected header '" +
+                                   kPlanHeader + "'");
+  }
+  FloorPlan plan;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripCr(&line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "partition") {
+      std::string name;
+      std::vector<Point> vertices;
+      INDOORFLOW_RETURN_IF_ERROR(
+          ParseNamedPolygon(fields, line_no, &name, &vertices));
+      plan.AddPartition(std::move(name), Polygon(std::move(vertices)));
+    } else if (kind == "door") {
+      Point position;
+      PartitionId a = kInvalidPartition;
+      PartitionId b = kInvalidPartition;
+      if (!(fields >> position.x >> position.y >> a >> b)) {
+        return BadLine(line_no, "door needs x y partition_a partition_b");
+      }
+      Result<DoorId> door = plan.AddDoor(position, a, b);
+      if (!door.ok()) {
+        return BadLine(line_no, door.status().message());
+      }
+    } else {
+      return BadLine(line_no, "unknown entity '" + kind + "'");
+    }
+  }
+  INDOORFLOW_RETURN_IF_ERROR(plan.Validate());
+  return plan;
+}
+
+Status WritePoisFile(const PoiSet& pois, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.precision(17);
+  out << kPoisHeader << '\n';
+  for (const Poi& poi : pois) {
+    WriteNamedPolygon(out, "poi", poi.name, poi.shape);
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<PoiSet> ReadPoisFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string line;
+  if (std::getline(in, line)) StripCr(&line);
+  if (line != kPoisHeader) {
+    return Status::InvalidArgument(path + ": expected header '" +
+                                   kPoisHeader + "'");
+  }
+  PoiSet pois;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripCr(&line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind != "poi") {
+      return BadLine(line_no, "unknown entity '" + kind + "'");
+    }
+    std::string name;
+    std::vector<Point> vertices;
+    INDOORFLOW_RETURN_IF_ERROR(
+        ParseNamedPolygon(fields, line_no, &name, &vertices));
+    pois.push_back(Poi{static_cast<PoiId>(pois.size()), std::move(name),
+                       Polygon(std::move(vertices))});
+  }
+  return pois;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,35 @@
+// Text serialization for floor plans and POI sets.
+//
+// A small line-oriented format (one entity per line, '#' comments):
+//
+//   # indoorflow plan v1
+//   partition <name> <x1> <y1> <x2> <y2> <x3> <y3> [...]
+//   door <x> <y> <partition_index_a> <partition_index_b>
+//
+//   # indoorflow pois v1
+//   poi <name> <x1> <y1> <x2> <y2> <x3> <y3> [...]
+//
+// Names must not contain whitespace; partition/poi indices follow file
+// order. Together with the CSV helpers in tracking/io.h this makes a whole
+// dataset round-trippable through flat files (see tools/indoorflow_cli).
+
+#ifndef INDOORFLOW_INDOOR_PLAN_IO_H_
+#define INDOORFLOW_INDOOR_PLAN_IO_H_
+
+#include <string>
+
+#include "src/indoor/floor_plan.h"
+#include "src/indoor/poi.h"
+
+namespace indoorflow {
+
+Status WritePlanFile(const FloorPlan& plan, const std::string& path);
+/// Returns a validated plan.
+Result<FloorPlan> ReadPlanFile(const std::string& path);
+
+Status WritePoisFile(const PoiSet& pois, const std::string& path);
+Result<PoiSet> ReadPoisFile(const std::string& path);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDOOR_PLAN_IO_H_

@@ -1,0 +1,30 @@
+// Indoor points of interest.
+
+#ifndef INDOORFLOW_INDOOR_POI_H_
+#define INDOORFLOW_INDOOR_POI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/geometry/polygon.h"
+
+namespace indoorflow {
+
+using PoiId = int32_t;
+
+/// An indoor POI: a named polygonal extent (paper Section 2.2 equates a POI
+/// with its polygon). Multiple POIs may subdivide one large room.
+struct Poi {
+  PoiId id = -1;
+  std::string name;
+  Polygon shape;
+
+  double Area() const { return shape.Area(); }
+};
+
+using PoiSet = std::vector<Poi>;
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_INDOOR_POI_H_

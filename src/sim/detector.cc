@@ -1,0 +1,139 @@
+#include "src/sim/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indoorflow {
+
+namespace {
+
+struct DetectionInterval {
+  DeviceId device = -1;
+  Timestamp ta = 0.0;
+  Timestamp tb = 0.0;
+};
+
+// Intersection of the moving point a + s*(b-a), s in [0,1], with `circle`,
+// as an s-range. Returns false when there is no intersection.
+bool SegmentCircleOverlap(Point a, Point b, const Circle& circle,
+                          double* s_lo, double* s_hi) {
+  const Point d = b - a;
+  const Point f = a - circle.center;
+  const double qa = Dot(d, d);
+  const double qc = Dot(f, f) - circle.radius * circle.radius;
+  if (qa < kGeomEpsilon * kGeomEpsilon) {
+    // Stationary leg: in or out for its whole duration.
+    if (qc > 0.0) return false;
+    *s_lo = 0.0;
+    *s_hi = 1.0;
+    return true;
+  }
+  const double qb = 2.0 * Dot(f, d);
+  const double disc = qb * qb - 4.0 * qa * qc;
+  if (disc < 0.0) return false;
+  const double sqrt_disc = std::sqrt(disc);
+  double lo = (-qb - sqrt_disc) / (2.0 * qa);
+  double hi = (-qb + sqrt_disc) / (2.0 * qa);
+  lo = std::max(lo, 0.0);
+  hi = std::min(hi, 1.0);
+  if (lo > hi) return false;
+  *s_lo = lo;
+  *s_hi = hi;
+  return true;
+}
+
+}  // namespace
+
+void ProximityDetector::DetectReadings(const Trajectory& traj,
+                                       const DetectionOptions& options,
+                                       std::vector<RawReading>* out) const {
+  INDOORFLOW_CHECK(options.sampling_period > 0.0);
+  const double period = options.sampling_period;
+  std::vector<DeviceId> near;
+  const Timestamp first_tick =
+      std::ceil(traj.start_time() / period - 1e-9) * period;
+  for (Timestamp t = first_tick; t <= traj.end_time() + 1e-9; t += period) {
+    const Point pos = traj.At(t);
+    deployment_.DevicesNear(pos, 0.0, &near);
+    for (DeviceId id : near) {
+      if (deployment_.device(id).range.Contains(pos)) {
+        out->push_back(RawReading{traj.object, id, t});
+      }
+    }
+  }
+}
+
+void ProximityDetector::DetectRecords(const Trajectory& traj,
+                                      const DetectionOptions& options,
+                                      std::vector<TrackingRecord>* out) const {
+  INDOORFLOW_CHECK(options.sampling_period > 0.0);
+  std::vector<DetectionInterval> intervals;
+  std::vector<DeviceId> near;
+
+  for (size_t i = 0; i + 1 < traj.points.size(); ++i) {
+    const TrajectoryPoint& a = traj.points[i];
+    const TrajectoryPoint& b = traj.points[i + 1];
+    if (b.t <= a.t) continue;
+    const Point mid = (a.position + b.position) * 0.5;
+    const double half_len = Distance(a.position, b.position) * 0.5;
+    deployment_.DevicesNear(mid, half_len, &near);
+    for (DeviceId id : near) {
+      double s_lo = 0.0;
+      double s_hi = 0.0;
+      if (!SegmentCircleOverlap(a.position, b.position,
+                                deployment_.device(id).range, &s_lo,
+                                &s_hi)) {
+        continue;
+      }
+      intervals.push_back(DetectionInterval{
+          id, a.t + s_lo * (b.t - a.t), a.t + s_hi * (b.t - a.t)});
+    }
+  }
+
+  std::sort(intervals.begin(), intervals.end(),
+            [](const DetectionInterval& x, const DetectionInterval& y) {
+              if (x.device != y.device) return x.device < y.device;
+              return x.ta < y.ta;
+            });
+
+  // Merge continuous intervals of the same device: legs that abut at a
+  // trajectory vertex produce back-to-back intervals.
+  std::vector<DetectionInterval> merged;
+  for (const DetectionInterval& iv : intervals) {
+    if (!merged.empty() && merged.back().device == iv.device &&
+        iv.ta <= merged.back().tb + 1e-9) {
+      merged.back().tb = std::max(merged.back().tb, iv.tb);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+
+  const double period = options.sampling_period;
+  const double merge_gap = 1.5 * period;  // matches MergerOptions default
+  std::vector<TrackingRecord> records;
+  for (const DetectionInterval& iv : merged) {
+    Timestamp ts = iv.ta;
+    Timestamp te = iv.tb;
+    if (options.quantize) {
+      ts = std::ceil(iv.ta / period - 1e-9) * period;
+      te = std::floor(iv.tb / period + 1e-9) * period;
+      if (te < ts) continue;  // crossed the range between two ticks
+    }
+    if (!records.empty() && records.back().device_id == iv.device &&
+        ts - records.back().te <= merge_gap && ts >= records.back().te) {
+      records.back().te = te;
+    } else {
+      records.push_back(TrackingRecord{traj.object, iv.device, ts, te});
+    }
+  }
+  // The per-device merge pass above produced device-major order; tracking
+  // records are conventionally chronological (ranges are disjoint, so start
+  // order is total).
+  std::sort(records.begin(), records.end(),
+            [](const TrackingRecord& a, const TrackingRecord& b) {
+              return a.ts < b.ts;
+            });
+  out->insert(out->end(), records.begin(), records.end());
+}
+
+}  // namespace indoorflow

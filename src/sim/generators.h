@@ -1,0 +1,105 @@
+// End-to-end dataset generators for the paper's two experimental settings.
+//
+// Office dataset  — paper Section 5.1 "Synthetic data set": an office floor
+// plan whose rooms all connect to hallways, RFID readers by doors and along
+// the hallways, random-waypoint movement at a fixed speed (= Vmax).
+//
+// CPH-like dataset — substitute for the proprietary Copenhagen Airport
+// Bluetooth data (paper Section 5.1 "Real-world data set"): a long
+// concourse, sparse Bluetooth radios, passengers arriving in waves with
+// heavy gate dwell times. See DESIGN.md §4 for the substitution rationale.
+
+#ifndef INDOORFLOW_SIM_GENERATORS_H_
+#define INDOORFLOW_SIM_GENERATORS_H_
+
+#include <memory>
+
+#include "src/indoor/plan_builders.h"
+#include "src/sim/detector.h"
+#include "src/sim/waypoint.h"
+#include "src/tracking/deployment.h"
+#include "src/tracking/ott.h"
+
+namespace indoorflow {
+
+/// Everything a query engine needs: space, devices, data, POIs, Vmax.
+struct Dataset {
+  BuiltPlan built;
+  std::unique_ptr<DoorGraph> door_graph;
+  Deployment deployment;
+  ObjectTrackingTable ott;
+  PoiSet pois;
+  double vmax = 1.1;
+  double sampling_period = 1.0;
+  Timestamp window_start = 0.0;
+  Timestamp window_end = 0.0;
+};
+
+struct OfficeDatasetConfig {
+  OfficePlanConfig plan;
+  int num_objects = 1000;        // |O|
+  double detection_range = 1.5;  // m (paper Table 4: 1 .. 2.5)
+  double duration = 3600.0;      // observation period (s)
+  double speed = 1.1;            // m/s, = Vmax
+  double hallway_device_spacing = 15.0;
+  /// Also place a reader at each room's centroid (e.g. per-shop beacons in
+  /// a mall). Keeps dwelling objects detected, so uncertainty regions stay
+  /// tight during long pauses.
+  bool devices_in_rooms = false;
+  double sampling_period = 1.0;
+  int num_pois = 75;  // paper: "75 POIs are determined in the indoor space"
+  /// Dwell time at each waypoint ~ Uniform[min_pause, max_pause]. Office
+  /// occupants spend most time in rooms, not walking; the defaults keep
+  /// uncertainty regions localized like real office tracking data.
+  double min_pause = 30.0;
+  double max_pause = 600.0;
+  uint64_t seed = 42;
+};
+
+Dataset GenerateOfficeDataset(const OfficeDatasetConfig& config = {});
+
+struct CphDatasetConfig {
+  AirportPlanConfig plan;
+  int num_passengers = 2000;
+  double detection_range = 5.0;  // Bluetooth radios cover more than RFID
+  /// Dense deployment with overlapping coverage (real Bluetooth
+  /// installations overlap; see the paper's Section 3 Remark). The
+  /// resulting OTT has has_overlaps() == true.
+  bool overlapping_radios = false;
+  double window = 4.0 * 3600.0;  // arrival/observation window (s)
+  double min_stay = 1200.0;      // per-passenger active time
+  double max_stay = 3600.0;
+  double speed = 1.1;
+  double sampling_period = 1.0;
+  int num_pois = 75;
+  uint64_t seed = 7;
+};
+
+Dataset GenerateCphLikeDataset(const CphDatasetConfig& config = {});
+
+struct MallDatasetConfig {
+  MallPlanConfig plan;
+  int num_shoppers = 500;
+  double detection_range = 1.5;
+  /// Beacon at each shop/anchor/food-court centroid — the standard retail
+  /// analytics deployment; keeps browsing shoppers detected.
+  bool beacons_in_shops = true;
+  double corridor_device_spacing = 15.0;
+  double window = 4.0 * 3600.0;  // opening hours covered (s)
+  double min_stay = 900.0;       // per-shopper time in the mall
+  double max_stay = 5400.0;
+  double speed = 1.1;
+  double sampling_period = 1.0;
+  int num_pois = 75;
+  uint64_t seed = 2016;
+};
+
+/// Shopping-mall dataset (an indoorflow extension scenario): the cyclic
+/// corridor loop of BuildMallPlan, door readers plus optional per-shop
+/// beacons, and shoppers arriving throughout the window with heavy
+/// in-shop dwell.
+Dataset GenerateMallDataset(const MallDatasetConfig& config = {});
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_SIM_GENERATORS_H_

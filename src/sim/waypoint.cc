@@ -1,0 +1,142 @@
+#include "src/sim/waypoint.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace indoorflow {
+
+Point Trajectory::At(Timestamp t) const {
+  INDOORFLOW_CHECK(!points.empty());
+  if (t <= points.front().t) return points.front().position;
+  if (t >= points.back().t) return points.back().position;
+  // Binary search for the segment containing t.
+  const auto it = std::upper_bound(
+      points.begin(), points.end(), t,
+      [](Timestamp value, const TrajectoryPoint& p) { return value < p.t; });
+  const TrajectoryPoint& b = *it;
+  const TrajectoryPoint& a = *(it - 1);
+  if (b.t <= a.t) return a.position;
+  const double f = (t - a.t) / (b.t - a.t);
+  return a.position + (b.position - a.position) * f;
+}
+
+Point RandomWaypointModel::SamplePointIn(PartitionId part, Rng& rng) const {
+  const Polygon& shape = built_.plan.partition(part).shape;
+  const Box b = shape.Bounds();
+  // Rejection sampling; partitions are convex and reasonably box-filling,
+  // so this terminates in a couple of iterations.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const Point p{rng.Uniform(b.min_x, b.max_x),
+                  rng.Uniform(b.min_y, b.max_y)};
+    if (shape.Contains(p)) return p;
+  }
+  return shape.Centroid();
+}
+
+PartitionId RandomWaypointModel::SampleDestinationPartition(
+    const WaypointOptions& options, Rng& rng) const {
+  const bool pick_room =
+      !built_.room_ids.empty() &&
+      (built_.hallway_ids.empty() || rng.Bernoulli(options.room_bias));
+  const std::vector<PartitionId>& pool =
+      pick_room ? built_.room_ids : built_.hallway_ids;
+  return pool[rng.UniformInt(static_cast<uint64_t>(pool.size()))];
+}
+
+void RandomWaypointModel::AppendRoute(
+    Point from, Point to, double speed, Timestamp* t,
+    std::vector<TrajectoryPoint>* out) const {
+  const FloorPlan& plan = built_.plan;
+  std::vector<Point> stops;
+
+  const std::vector<PartitionId> parts_from = plan.PartitionsAt(from);
+  const std::vector<PartitionId> parts_to = plan.PartitionsAt(to);
+  INDOORFLOW_CHECK(!parts_from.empty() && !parts_to.empty());
+
+  bool same_partition = false;
+  for (PartitionId a : parts_from) {
+    for (PartitionId b : parts_to) {
+      same_partition |= (a == b);
+    }
+  }
+  if (!same_partition) {
+    // Pick the cheapest exit/entry door pair, then the door path between.
+    double best = std::numeric_limits<double>::infinity();
+    DoorId best_exit = -1;
+    DoorId best_entry = -1;
+    for (PartitionId a : parts_from) {
+      for (DoorId da : plan.DoorsOf(a)) {
+        const double leg = Distance(from, plan.door(da).position);
+        for (PartitionId b : parts_to) {
+          for (DoorId db : plan.DoorsOf(b)) {
+            const double through = graph_.Between(da, db);
+            if (through == std::numeric_limits<double>::infinity()) continue;
+            const double total =
+                leg + through + Distance(plan.door(db).position, to);
+            if (total < best) {
+              best = total;
+              best_exit = da;
+              best_entry = db;
+            }
+          }
+        }
+      }
+    }
+    INDOORFLOW_CHECK(best_exit >= 0);
+    for (DoorId d : graph_.PathBetween(best_exit, best_entry)) {
+      stops.push_back(plan.door(d).position);
+    }
+  }
+  stops.push_back(to);
+
+  Point cur = from;
+  for (Point next : stops) {
+    const double len = Distance(cur, next);
+    if (len > kGeomEpsilon) {
+      *t += len / speed;
+      out->push_back({*t, next});
+    }
+    cur = next;
+  }
+}
+
+Trajectory RandomWaypointModel::Generate(ObjectId object,
+                                         const WaypointOptions& options,
+                                         Rng& rng) const {
+  INDOORFLOW_CHECK(options.speed > 0.0);
+  Trajectory traj;
+  traj.object = object;
+
+  Timestamp t = options.start;
+  const Timestamp end = options.start + options.duration;
+  Point position = SamplePointIn(SampleDestinationPartition(options, rng),
+                                 rng);
+  traj.points.push_back({t, position});
+
+  while (t < end) {
+    const PartitionId dest_part = SampleDestinationPartition(options, rng);
+    const Point dest = SamplePointIn(dest_part, rng);
+    AppendRoute(position, dest, options.speed, &t, &traj.points);
+    position = dest;
+    const double pause = rng.Uniform(options.min_pause, options.max_pause);
+    if (pause > 0.0) {
+      t += pause;
+      traj.points.push_back({t, position});
+    }
+  }
+  // Trim the overshoot past `end` so all trajectories share the window.
+  if (traj.points.back().t > end) {
+    const Point at_end = traj.At(end);
+    while (traj.points.size() > 1 && traj.points.back().t > end) {
+      traj.points.pop_back();
+    }
+    if (traj.points.back().t > end) {
+      traj.points.back() = {end, at_end};
+    } else {
+      traj.points.push_back({end, at_end});
+    }
+  }
+  return traj;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,75 @@
+// Indoor random waypoint movement model (paper Section 5.1: "We generate
+// object movements using the random waypoint model. All objects move with a
+// fixed speed ... which is also used as the maximum speed Vmax.").
+//
+// Destinations are sampled uniformly inside random partitions; the object
+// walks there along the door graph (straight legs within convex partitions,
+// door-to-door legs between them), optionally pauses, and repeats.
+
+#ifndef INDOORFLOW_SIM_WAYPOINT_H_
+#define INDOORFLOW_SIM_WAYPOINT_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/indoor/door_graph.h"
+#include "src/indoor/plan_builders.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+/// A trajectory vertex: the object is at `position` at time `t`.
+struct TrajectoryPoint {
+  Timestamp t = 0.0;
+  Point position;
+};
+
+/// A piecewise-linear indoor trajectory (times nondecreasing; equal
+/// consecutive times encode a pause).
+struct Trajectory {
+  ObjectId object = -1;
+  std::vector<TrajectoryPoint> points;
+
+  Timestamp start_time() const { return points.front().t; }
+  Timestamp end_time() const { return points.back().t; }
+
+  /// Position at time `t` by linear interpolation (clamped to endpoints).
+  Point At(Timestamp t) const;
+};
+
+struct WaypointOptions {
+  double speed = 1.1;  // m/s; equals Vmax in the experiments
+  Timestamp start = 0.0;
+  Timestamp duration = 3600.0;
+  /// Pause at each destination ~ Uniform[min_pause, max_pause].
+  double min_pause = 0.0;
+  double max_pause = 60.0;
+  /// Probability that the next destination is a room (vs a hallway).
+  double room_bias = 0.8;
+};
+
+class RandomWaypointModel {
+ public:
+  /// Keeps references; `built` and `graph` must outlive the model.
+  RandomWaypointModel(const BuiltPlan& built, const DoorGraph& graph)
+      : built_(built), graph_(graph) {}
+
+  Trajectory Generate(ObjectId object, const WaypointOptions& options,
+                      Rng& rng) const;
+
+ private:
+  Point SamplePointIn(PartitionId part, Rng& rng) const;
+  PartitionId SampleDestinationPartition(const WaypointOptions& options,
+                                         Rng& rng) const;
+  /// Appends the walking legs from `from` to `to` (through doors as
+  /// needed) to `out`, advancing `*t` with leg travel times.
+  void AppendRoute(Point from, Point to, double speed, Timestamp* t,
+                   std::vector<TrajectoryPoint>* out) const;
+
+  const BuiltPlan& built_;
+  const DoorGraph& graph_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_SIM_WAYPOINT_H_

@@ -1,0 +1,110 @@
+#include "src/tracking/cleansing.h"
+
+#include <algorithm>
+
+namespace indoorflow {
+
+std::vector<RawReading> InjectNoise(const std::vector<RawReading>& readings,
+                                    const Deployment& deployment,
+                                    const NoiseOptions& options) {
+  INDOORFLOW_CHECK(options.miss_rate >= 0.0 && options.miss_rate < 1.0);
+  INDOORFLOW_CHECK(options.ghost_rate >= 0.0);
+  Rng rng(options.seed);
+  std::vector<RawReading> noisy;
+  noisy.reserve(readings.size());
+  const size_t num_devices = deployment.size();
+  for (const RawReading& r : readings) {
+    if (!rng.Bernoulli(options.miss_rate)) noisy.push_back(r);
+    if (num_devices > 1 && rng.Bernoulli(options.ghost_rate)) {
+      // Cross-read: some other device spuriously reports the tag.
+      DeviceId ghost_dev = static_cast<DeviceId>(
+          rng.UniformInt(static_cast<uint64_t>(num_devices)));
+      if (ghost_dev == r.device_id) {
+        ghost_dev = static_cast<DeviceId>((ghost_dev + 1) %
+                                          static_cast<DeviceId>(num_devices));
+      }
+      noisy.push_back(RawReading{r.object_id, ghost_dev, r.t});
+    }
+  }
+  return noisy;
+}
+
+bool ReadingsFeasible(const Device& a, Timestamp ta, const Device& b,
+                      Timestamp tb, const CleansingOptions& options) {
+  if (a.id == b.id) return true;
+  const double min_travel =
+      std::max(0.0, Distance(a.range.center, b.range.center) -
+                        a.range.radius - b.range.radius);
+  const double budget =
+      options.vmax * (std::abs(tb - ta) + options.slack_seconds);
+  return min_travel <= budget;
+}
+
+std::vector<RawReading> CleanseReadings(std::vector<RawReading> readings,
+                                        const Deployment& deployment,
+                                        const CleansingOptions& options) {
+  INDOORFLOW_CHECK(options.vmax > 0.0);
+  std::sort(readings.begin(), readings.end(),
+            [](const RawReading& a, const RawReading& b) {
+              if (a.object_id != b.object_id) return a.object_id < b.object_id;
+              if (a.t != b.t) return a.t < b.t;
+              return a.device_id < b.device_id;
+            });
+
+  const auto feasible = [&](const RawReading& a, const RawReading& b) {
+    return ReadingsFeasible(deployment.device(a.device_id), a.t,
+                            deployment.device(b.device_id), b.t, options);
+  };
+
+  std::vector<RawReading> cleansed;
+  cleansed.reserve(readings.size());
+  for (size_t i = 0; i < readings.size(); ++i) {
+    const RawReading& cur = readings[i];
+    // Temporal neighbors within the same object's stream. The previous
+    // neighbor is the last *kept* reading, so ghost bursts cannot vouch
+    // for each other.
+    const RawReading* prev =
+        !cleansed.empty() && cleansed.back().object_id == cur.object_id
+            ? &cleansed.back()
+            : nullptr;
+    const RawReading* next =
+        i + 1 < readings.size() &&
+                readings[i + 1].object_id == cur.object_id
+            ? &readings[i + 1]
+            : nullptr;
+
+    bool drop = false;
+    if (prev != nullptr && next != nullptr) {
+      // Classic isolated-outlier rule: cur contradicts both neighbors,
+      // which agree with each other.
+      drop = !feasible(*prev, cur) && !feasible(cur, *next) &&
+             feasible(*prev, *next);
+    } else if (prev != nullptr) {
+      // Stream tail: drop cur only when prev is *supported* — kept after a
+      // feasible predecessor of its own. An unsupported prev (e.g. a lone
+      // ambiguous head reading) cannot convict anyone.
+      bool prev_supported = false;
+      if (cleansed.size() >= 2) {
+        const RawReading& before_prev = cleansed[cleansed.size() - 2];
+        prev_supported = before_prev.object_id == prev->object_id &&
+                         feasible(before_prev, *prev);
+      }
+      drop = prev_supported && !feasible(*prev, cur);
+    } else if (next != nullptr && !feasible(cur, *next)) {
+      // Stream head: cur and next disagree — drop cur only when a second
+      // witness corroborates next; with no witness, keep both (cannot
+      // adjudicate which one is the ghost).
+      const RawReading* witness =
+          i + 2 < readings.size() &&
+                  readings[i + 2].object_id == cur.object_id
+              ? &readings[i + 2]
+              : nullptr;
+      drop = witness != nullptr && feasible(*next, *witness) &&
+             !feasible(cur, *witness);
+    }
+    if (!drop) cleansed.push_back(cur);
+  }
+  return cleansed;
+}
+
+}  // namespace indoorflow

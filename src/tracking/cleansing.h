@@ -1,0 +1,63 @@
+// Raw-reading noise models and cleansing.
+//
+// Real RFID/Bluetooth streams are dirty: readers miss tags that are in
+// range (false negatives) and occasionally report tags that are not
+// (false positives / cross-reads). The paper's pipeline assumes merged,
+// clean tracking records; this module provides
+//   * InjectNoise    — a reading-level noise model for robustness studies,
+//   * CleanseReadings — a speed-constraint outlier filter that removes
+//     physically impossible readings before merging (an object cannot ping
+//     device B if it could not have traveled there from its surrounding
+//     readings at Vmax).
+//
+// Missed single samples are already tolerated downstream by
+// MergerOptions::max_gap_factor.
+
+#ifndef INDOORFLOW_TRACKING_CLEANSING_H_
+#define INDOORFLOW_TRACKING_CLEANSING_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/tracking/deployment.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+struct NoiseOptions {
+  /// Probability of dropping a genuine reading (reader miss).
+  double miss_rate = 0.0;
+  /// Expected spurious readings injected per genuine reading; each ghost
+  /// reports a uniformly random *other* device at the same tick.
+  double ghost_rate = 0.0;
+  uint64_t seed = 1;
+};
+
+/// Returns a corrupted copy of `readings`.
+std::vector<RawReading> InjectNoise(const std::vector<RawReading>& readings,
+                                    const Deployment& deployment,
+                                    const NoiseOptions& options);
+
+struct CleansingOptions {
+  /// The object speed bound used for feasibility (the query Vmax).
+  double vmax = 1.1;
+  /// Slack added to each feasibility budget, in seconds of travel —
+  /// absorbs sampling quantization.
+  double slack_seconds = 2.0;
+};
+
+/// Whether an object seen at device `a` at `ta` can be seen at device `b`
+/// at `tb` without exceeding vmax (range-to-range travel).
+bool ReadingsFeasible(const Device& a, Timestamp ta, const Device& b,
+                      Timestamp tb, const CleansingOptions& options);
+
+/// Removes isolated readings that are speed-infeasible with both temporal
+/// neighbors while the neighbors are feasible with each other. Returns the
+/// cleansed stream (stably ordered by object, then time).
+std::vector<RawReading> CleanseReadings(std::vector<RawReading> readings,
+                                        const Deployment& deployment,
+                                        const CleansingOptions& options);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_TRACKING_CLEANSING_H_

@@ -1,0 +1,102 @@
+#include "src/tracking/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace indoorflow {
+
+DeviceId Deployment::AddDevice(Circle range) {
+  INDOORFLOW_CHECK(range.radius > 0.0);
+  const DeviceId id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(Device{id, range});
+  max_radius_ = std::max(max_radius_, range.radius);
+  indexed_ = false;
+  return id;
+}
+
+void Deployment::BuildIndex() {
+  grid_bounds_ = Box{};
+  for (const Device& d : devices_) {
+    grid_bounds_.ExpandToInclude(d.range.Bounds());
+  }
+  if (grid_bounds_.Empty()) {
+    cols_ = rows_ = 0;
+    cells_.clear();
+    indexed_ = true;
+    return;
+  }
+  // Cells sized to the largest detection diameter keep the per-cell device
+  // lists short while bounding the lookup to a 3x3 neighborhood.
+  cell_size_ = std::max(2.0 * max_radius_, 1.0);
+  cols_ = std::max(
+      1, static_cast<int>(std::ceil(grid_bounds_.Width() / cell_size_)));
+  rows_ = std::max(
+      1, static_cast<int>(std::ceil(grid_bounds_.Height() / cell_size_)));
+  cells_.assign(static_cast<size_t>(cols_) * rows_, {});
+  for (const Device& d : devices_) {
+    const Box b = d.range.Bounds();
+    const int c0 = std::clamp(
+        static_cast<int>((b.min_x - grid_bounds_.min_x) / cell_size_), 0,
+        cols_ - 1);
+    const int c1 = std::clamp(
+        static_cast<int>((b.max_x - grid_bounds_.min_x) / cell_size_), 0,
+        cols_ - 1);
+    const int r0 = std::clamp(
+        static_cast<int>((b.min_y - grid_bounds_.min_y) / cell_size_), 0,
+        rows_ - 1);
+    const int r1 = std::clamp(
+        static_cast<int>((b.max_y - grid_bounds_.min_y) / cell_size_), 0,
+        rows_ - 1);
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        cells_[static_cast<size_t>(r) * cols_ + c].push_back(d.id);
+      }
+    }
+  }
+  indexed_ = true;
+}
+
+void Deployment::DevicesNear(Point p, double margin,
+                             std::vector<DeviceId>* out) const {
+  INDOORFLOW_CHECK(indexed_);
+  out->clear();
+  if (cells_.empty()) return;
+  const int c0 = std::clamp(
+      static_cast<int>((p.x - margin - grid_bounds_.min_x) / cell_size_), 0,
+      cols_ - 1);
+  const int c1 = std::clamp(
+      static_cast<int>((p.x + margin - grid_bounds_.min_x) / cell_size_), 0,
+      cols_ - 1);
+  const int r0 = std::clamp(
+      static_cast<int>((p.y - margin - grid_bounds_.min_y) / cell_size_), 0,
+      rows_ - 1);
+  const int r1 = std::clamp(
+      static_cast<int>((p.y + margin - grid_bounds_.min_y) / cell_size_), 0,
+      rows_ - 1);
+  for (int r = r0; r <= r1; ++r) {
+    for (int c = c0; c <= c1; ++c) {
+      for (DeviceId id : cells_[static_cast<size_t>(r) * cols_ + c]) {
+        const Device& d = devices_[static_cast<size_t>(id)];
+        if (Distance(d.range.center, p) <= d.range.radius + margin) {
+          out->push_back(id);
+        }
+      }
+    }
+  }
+  // Devices can appear in several cells; de-duplicate.
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+bool Deployment::RangesDisjoint() const {
+  for (size_t i = 0; i < devices_.size(); ++i) {
+    for (size_t j = i + 1; j < devices_.size(); ++j) {
+      const Circle& a = devices_[i].range;
+      const Circle& b = devices_[j].range;
+      if (Distance(a.center, b.center) < a.radius + b.radius) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,63 @@
+// Proximity-detection device deployment.
+
+#ifndef INDOORFLOW_TRACKING_DEPLOYMENT_H_
+#define INDOORFLOW_TRACKING_DEPLOYMENT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geometry/circle.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+/// A proximity detection device (RFID reader, Bluetooth radio) with a
+/// circular detection range.
+struct Device {
+  DeviceId id = -1;
+  Circle range;
+};
+
+/// The set of deployed devices, with a uniform grid for fast "which devices
+/// can see this point" lookups during simulation and query processing.
+class Deployment {
+ public:
+  DeviceId AddDevice(Circle range);
+
+  const std::vector<Device>& devices() const { return devices_; }
+  const Device& device(DeviceId id) const {
+    return devices_[static_cast<size_t>(id)];
+  }
+  size_t size() const { return devices_.size(); }
+
+  /// Builds the lookup grid; call once after all AddDevice calls.
+  void BuildIndex();
+
+  /// Devices whose range could contain a point within `margin` of `p`
+  /// (superset; callers re-check exactly). Requires BuildIndex().
+  void DevicesNear(Point p, double margin,
+                   std::vector<DeviceId>* out) const;
+
+  /// Largest detection radius in the deployment.
+  double max_radius() const { return max_radius_; }
+
+  /// True when no two detection ranges overlap (the paper's simplifying
+  /// assumption, Section 3 Remark).
+  bool RangesDisjoint() const;
+
+ private:
+  std::vector<Device> devices_;
+  double max_radius_ = 0.0;
+
+  // Uniform grid over the device bounding box.
+  Box grid_bounds_;
+  double cell_size_ = 1.0;
+  int cols_ = 0;
+  int rows_ = 0;
+  std::vector<std::vector<DeviceId>> cells_;
+  bool indexed_ = false;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_TRACKING_DEPLOYMENT_H_

@@ -1,0 +1,352 @@
+#include "src/tracking/io.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+namespace indoorflow {
+
+namespace {
+
+// Splits a CSV line on commas (no quoting — the schemas are numeric).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.push_back("");
+  return fields;
+}
+
+Status ParseDouble(const std::string& text, int line_no, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": bad number '" + text + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseInt(const std::string& text, int line_no, int32_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      value < INT32_MIN || value > INT32_MAX) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": bad integer '" + text + "'");
+  }
+  *out = static_cast<int32_t>(value);
+  return Status::OK();
+}
+
+// Strips a trailing '\r' (files written on Windows).
+void StripCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
+Status ExpectHeader(std::ifstream& in, const std::string& expected,
+                    const std::string& path) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::InvalidArgument(path + ": empty file");
+  }
+  StripCr(&header);
+  if (header != expected) {
+    return Status::InvalidArgument(path + ": expected header '" + expected +
+                                   "', got '" + header + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteReadingsCsv(const std::vector<RawReading>& readings,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << "object_id,device_id,t\n";
+  out.precision(17);
+  for (const RawReading& r : readings) {
+    out << r.object_id << ',' << r.device_id << ',' << r.t << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::vector<RawReading>> ReadReadingsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  INDOORFLOW_RETURN_IF_ERROR(ExpectHeader(in, "object_id,device_id,t",
+                                          path));
+  std::vector<RawReading> readings;
+  std::string line;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripCr(&line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 3 fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    RawReading r;
+    INDOORFLOW_RETURN_IF_ERROR(ParseInt(fields[0], line_no, &r.object_id));
+    INDOORFLOW_RETURN_IF_ERROR(ParseInt(fields[1], line_no, &r.device_id));
+    INDOORFLOW_RETURN_IF_ERROR(ParseDouble(fields[2], line_no, &r.t));
+    readings.push_back(r);
+  }
+  return readings;
+}
+
+Status WriteOttCsv(const ObjectTrackingTable& table,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << "object_id,device_id,ts,te\n";
+  out.precision(17);
+  for (ObjectId object : table.objects()) {
+    for (RecordIndex idx : table.ChainOf(object)) {
+      const TrackingRecord& r = table.record(idx);
+      out << r.object_id << ',' << r.device_id << ',' << r.ts << ','
+          << r.te << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<ObjectTrackingTable> ReadOttCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  INDOORFLOW_RETURN_IF_ERROR(
+      ExpectHeader(in, "object_id,device_id,ts,te", path));
+  ObjectTrackingTable table;
+  std::string line;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripCr(&line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 4 fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    TrackingRecord r;
+    INDOORFLOW_RETURN_IF_ERROR(ParseInt(fields[0], line_no, &r.object_id));
+    INDOORFLOW_RETURN_IF_ERROR(ParseInt(fields[1], line_no, &r.device_id));
+    INDOORFLOW_RETURN_IF_ERROR(ParseDouble(fields[2], line_no, &r.ts));
+    INDOORFLOW_RETURN_IF_ERROR(ParseDouble(fields[3], line_no, &r.te));
+    table.Append(r);
+  }
+  INDOORFLOW_RETURN_IF_ERROR(table.Finalize());
+  return table;
+}
+
+Status WriteDeploymentCsv(const Deployment& deployment,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << "device_id,x,y,radius\n";
+  out.precision(17);
+  for (const Device& d : deployment.devices()) {
+    out << d.id << ',' << d.range.center.x << ',' << d.range.center.y << ','
+        << d.range.radius << '\n';
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<Deployment> ReadDeploymentCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  INDOORFLOW_RETURN_IF_ERROR(ExpectHeader(in, "device_id,x,y,radius",
+                                          path));
+  Deployment deployment;
+  std::string line;
+  int line_no = 1;
+  DeviceId expected_id = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    StripCr(&line);
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": expected 4 fields, got " +
+                                     std::to_string(fields.size()));
+    }
+    int32_t id = 0;
+    Circle range;
+    INDOORFLOW_RETURN_IF_ERROR(ParseInt(fields[0], line_no, &id));
+    INDOORFLOW_RETURN_IF_ERROR(
+        ParseDouble(fields[1], line_no, &range.center.x));
+    INDOORFLOW_RETURN_IF_ERROR(
+        ParseDouble(fields[2], line_no, &range.center.y));
+    INDOORFLOW_RETURN_IF_ERROR(
+        ParseDouble(fields[3], line_no, &range.radius));
+    if (id != expected_id) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": device ids must be dense "
+          "and ordered (expected " + std::to_string(expected_id) + ", got " +
+          std::to_string(id) + ")");
+    }
+    if (range.radius <= 0.0) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": radius must be positive");
+    }
+    deployment.AddDevice(range);
+    ++expected_id;
+  }
+  deployment.BuildIndex();
+  return deployment;
+}
+
+// ---------------------------------------------------------------------------
+// Binary OTT.
+//
+// Layout (all integers little-endian):
+//   bytes 0..3   magic "IFBO"
+//   byte  4      format version (1)
+//   byte  5      flags: bit 0 = table was finalized with allow_overlap
+//   bytes 6..13  record count (u64)
+//   then count * 24-byte records: i32 object, i32 device, f64 ts, f64 te
+//   trailer      FNV-1a 64 over the record bytes (u64)
+
+namespace {
+
+constexpr char kOttMagic[4] = {'I', 'F', 'B', 'O'};
+constexpr uint8_t kOttVersion = 1;
+constexpr size_t kOttRecordBytes = 24;
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Status WriteOttBinary(const ObjectTrackingTable& table,
+                      const std::string& path) {
+  if (!table.finalized()) {
+    return Status::InvalidArgument("table must be finalized before writing");
+  }
+  std::string body;
+  body.reserve(table.size() * kOttRecordBytes);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const TrackingRecord& r = table.record(static_cast<RecordIndex>(i));
+    PutU32(body, static_cast<uint32_t>(r.object_id));
+    PutU32(body, static_cast<uint32_t>(r.device_id));
+    PutU64(body, std::bit_cast<uint64_t>(r.ts));
+    PutU64(body, std::bit_cast<uint64_t>(r.te));
+  }
+
+  std::string header;
+  header.append(kOttMagic, sizeof(kOttMagic));
+  header.push_back(static_cast<char>(kOttVersion));
+  header.push_back(static_cast<char>(table.has_overlaps() ? 1 : 0));
+  PutU64(header, static_cast<uint64_t>(table.size()));
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  std::string trailer;
+  PutU64(trailer, Fnv1a(body));
+  out.write(trailer.data(), static_cast<std::streamsize>(trailer.size()));
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<ObjectTrackingTable> ReadOttBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  constexpr size_t kHeaderBytes = 4 + 1 + 1 + 8;
+  if (data.size() < kHeaderBytes + 8) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  if (std::memcmp(data.data(), kOttMagic, sizeof(kOttMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a binary OTT file");
+  }
+  const uint8_t version = static_cast<uint8_t>(data[4]);
+  if (version != kOttVersion) {
+    return Status::InvalidArgument(path + ": unsupported version " +
+                                   std::to_string(version));
+  }
+  const bool allow_overlap = (static_cast<uint8_t>(data[5]) & 1) != 0;
+  const uint64_t count = GetU64(data.data() + 6);
+  const size_t expected = kHeaderBytes + count * kOttRecordBytes + 8;
+  if (data.size() != expected) {
+    return Status::InvalidArgument(
+        path + ": size mismatch (expected " + std::to_string(expected) +
+        " bytes for " + std::to_string(count) + " records, got " +
+        std::to_string(data.size()) + ")");
+  }
+  const std::string body =
+      data.substr(kHeaderBytes, count * kOttRecordBytes);
+  const uint64_t stored_checksum =
+      GetU64(data.data() + data.size() - 8);
+  if (Fnv1a(body) != stored_checksum) {
+    return Status::InvalidArgument(path + ": checksum mismatch");
+  }
+
+  ObjectTrackingTable table;
+  const char* p = body.data();
+  for (uint64_t i = 0; i < count; ++i, p += kOttRecordBytes) {
+    TrackingRecord r;
+    r.object_id = static_cast<ObjectId>(GetU32(p));
+    r.device_id = static_cast<DeviceId>(GetU32(p + 4));
+    r.ts = std::bit_cast<double>(GetU64(p + 8));
+    r.te = std::bit_cast<double>(GetU64(p + 16));
+    table.Append(r);
+  }
+  INDOORFLOW_RETURN_IF_ERROR(table.Finalize(allow_overlap));
+  return table;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,53 @@
+// CSV import/export for tracking data and deployments.
+//
+// Real deployments produce tracking data in flat files; these helpers move
+// indoorflow's core relations in and out of simple CSVs so the engine can
+// run on external data:
+//
+//   readings.csv    object_id,device_id,t
+//   ott.csv         object_id,device_id,ts,te
+//   deployment.csv  device_id,x,y,radius
+//
+// All readers validate structure and report the offending line in the
+// Status message. Device ids in deployment.csv must be dense (0..n-1), as
+// everywhere else in the library.
+
+#ifndef INDOORFLOW_TRACKING_IO_H_
+#define INDOORFLOW_TRACKING_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tracking/deployment.h"
+#include "src/tracking/ott.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+Status WriteReadingsCsv(const std::vector<RawReading>& readings,
+                        const std::string& path);
+Result<std::vector<RawReading>> ReadReadingsCsv(const std::string& path);
+
+Status WriteOttCsv(const ObjectTrackingTable& table,
+                   const std::string& path);
+/// Returns a finalized table.
+Result<ObjectTrackingTable> ReadOttCsv(const std::string& path);
+
+Status WriteDeploymentCsv(const Deployment& deployment,
+                          const std::string& path);
+/// Returns an indexed deployment.
+Result<Deployment> ReadDeploymentCsv(const std::string& path);
+
+/// Compact binary OTT: fixed 24-byte little-endian records behind a small
+/// header (magic, version, overlap flag, count) and an FNV-1a checksum
+/// trailer that detects truncation and corruption. Roughly 2x smaller and
+/// an order of magnitude faster to parse than the CSV — use it for large
+/// OTTs moved between runs; use the CSV for interchange with other tools.
+Status WriteOttBinary(const ObjectTrackingTable& table,
+                      const std::string& path);
+/// Returns a finalized table (overlap mode restored from the header).
+Result<ObjectTrackingTable> ReadOttBinary(const std::string& path);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_TRACKING_IO_H_

@@ -1,0 +1,60 @@
+#include "src/tracking/merger.h"
+
+#include <algorithm>
+
+namespace indoorflow {
+
+Result<ObjectTrackingTable> MergeReadings(std::vector<RawReading> readings,
+                                          const MergerOptions& options) {
+  if (options.sampling_period <= 0.0) {
+    return Status::InvalidArgument("sampling_period must be positive");
+  }
+  const double max_gap = options.max_gap_factor * options.sampling_period;
+
+  // In overlap mode, readings are grouped per (object, device) so that
+  // interleaved detections by two devices merge into two overlapping
+  // records instead of fragmenting each other.
+  if (options.allow_overlap) {
+    std::sort(readings.begin(), readings.end(),
+              [](const RawReading& a, const RawReading& b) {
+                if (a.object_id != b.object_id) {
+                  return a.object_id < b.object_id;
+                }
+                if (a.device_id != b.device_id) {
+                  return a.device_id < b.device_id;
+                }
+                return a.t < b.t;
+              });
+  } else {
+    std::sort(readings.begin(), readings.end(),
+              [](const RawReading& a, const RawReading& b) {
+                if (a.object_id != b.object_id) {
+                  return a.object_id < b.object_id;
+                }
+                if (a.t != b.t) return a.t < b.t;
+                return a.device_id < b.device_id;
+              });
+  }
+
+  ObjectTrackingTable table;
+  bool open = false;
+  TrackingRecord current;
+  for (const RawReading& r : readings) {
+    const bool continues = open && current.object_id == r.object_id &&
+                           current.device_id == r.device_id &&
+                           r.t - current.te <= max_gap;
+    if (continues) {
+      current.te = r.t;
+      continue;
+    }
+    if (open) table.Append(current);
+    current = TrackingRecord{r.object_id, r.device_id, r.t, r.t};
+    open = true;
+  }
+  if (open) table.Append(current);
+
+  INDOORFLOW_RETURN_IF_ERROR(table.Finalize(options.allow_overlap));
+  return table;
+}
+
+}  // namespace indoorflow

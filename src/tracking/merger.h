@@ -1,0 +1,36 @@
+// Merging raw readings into tracking records.
+
+#ifndef INDOORFLOW_TRACKING_MERGER_H_
+#define INDOORFLOW_TRACKING_MERGER_H_
+
+#include <vector>
+
+#include "src/tracking/ott.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+struct MergerOptions {
+  /// Positioning sampling period (seconds between raw readings while an
+  /// object stays in range).
+  double sampling_period = 1.0;
+  /// Two consecutive readings of the same (object, device) pair merge into
+  /// one record when their gap is at most `max_gap_factor * sampling_period`
+  /// (tolerates occasional missed samples).
+  double max_gap_factor = 1.5;
+  /// Group readings per (object, device) before merging and allow the
+  /// resulting records to overlap in time — required for overlapping
+  /// detection ranges and for noisy streams (cross-reads interleave with
+  /// genuine readings).
+  bool allow_overlap = false;
+};
+
+/// Merges raw readings into an OTT: consecutive readings of the same object
+/// by the same device become one record [first.t, last.t] (paper Section
+/// 2.1). Readings may arrive in any order. The returned table is finalized.
+Result<ObjectTrackingTable> MergeReadings(std::vector<RawReading> readings,
+                                          const MergerOptions& options = {});
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_TRACKING_MERGER_H_

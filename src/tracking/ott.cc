@@ -1,0 +1,84 @@
+#include "src/tracking/ott.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace indoorflow {
+
+Status ObjectTrackingTable::Finalize(bool allow_overlap) {
+  if (finalized_) {
+    return Status::FailedPrecondition("OTT already finalized");
+  }
+  const size_t n = records_.size();
+  chain_index_.resize(n);
+  std::iota(chain_index_.begin(), chain_index_.end(), RecordIndex{0});
+  std::sort(chain_index_.begin(), chain_index_.end(),
+            [&](RecordIndex a, RecordIndex b) {
+              const TrackingRecord& ra = records_[static_cast<size_t>(a)];
+              const TrackingRecord& rb = records_[static_cast<size_t>(b)];
+              if (ra.object_id != rb.object_id) {
+                return ra.object_id < rb.object_id;
+              }
+              return ra.ts < rb.ts;
+            });
+
+  prev_.assign(n, kInvalidRecord);
+  next_.assign(n, kInvalidRecord);
+  min_time_ = n == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  max_time_ = n == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+
+  size_t run_start = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const TrackingRecord& cur = records_[static_cast<size_t>(chain_index_[i])];
+    if (cur.te < cur.ts) {
+      return Status::InvalidArgument("tracking record with te < ts");
+    }
+    min_time_ = std::min(min_time_, cur.ts);
+    max_time_ = std::max(max_time_, cur.te);
+    const bool new_object =
+        i == 0 ||
+        records_[static_cast<size_t>(chain_index_[i - 1])].object_id !=
+            cur.object_id;
+    if (new_object) {
+      if (i > 0) {
+        const ObjectId prev_obj =
+            records_[static_cast<size_t>(chain_index_[i - 1])].object_id;
+        chain_of_[prev_obj] = {run_start, i};
+      }
+      run_start = i;
+      objects_.push_back(cur.object_id);
+    } else {
+      const RecordIndex prev_idx = chain_index_[i - 1];
+      const TrackingRecord& prev =
+          records_[static_cast<size_t>(prev_idx)];
+      if (cur.ts < prev.te) {
+        if (!allow_overlap) {
+          return Status::InvalidArgument(
+              "overlapping tracking records for object " +
+              std::to_string(cur.object_id));
+        }
+        has_overlaps_ = true;
+      }
+      prev_[static_cast<size_t>(chain_index_[i])] = prev_idx;
+      next_[static_cast<size_t>(prev_idx)] = chain_index_[i];
+    }
+  }
+  if (n > 0) {
+    const ObjectId last_obj =
+        records_[static_cast<size_t>(chain_index_[n - 1])].object_id;
+    chain_of_[last_obj] = {run_start, n};
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+std::span<const RecordIndex> ObjectTrackingTable::ChainOf(
+    ObjectId object) const {
+  const auto it = chain_of_.find(object);
+  if (it == chain_of_.end()) return {};
+  return std::span<const RecordIndex>(chain_index_.data() + it->second.first,
+                                      it->second.second - it->second.first);
+}
+
+}  // namespace indoorflow

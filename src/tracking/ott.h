@@ -1,0 +1,80 @@
+// The Object Tracking Table (OTT): historical tracking records.
+
+#ifndef INDOORFLOW_TRACKING_OTT_H_
+#define INDOORFLOW_TRACKING_OTT_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/tracking/reading.h"
+
+namespace indoorflow {
+
+/// Stores tracking records grouped per object and ordered by start time,
+/// like the paper's OTT (Table 2). Build with Append + Finalize; queries are
+/// valid only after Finalize.
+class ObjectTrackingTable {
+ public:
+  void Append(TrackingRecord record) { records_.push_back(record); }
+
+  /// Sorts records into per-object chains. By default each object's records
+  /// must be temporally disjoint (te_i <= ts_{i+1}) — the paper's
+  /// non-overlapping detection-range assumption. With `allow_overlap`
+  /// (deployments whose ranges overlap; see the paper's Section 3 Remark),
+  /// records of one object may overlap in time; has_overlaps() reports
+  /// whether any actually do.
+  Status Finalize(bool allow_overlap = false);
+
+  /// Whether any two records of one object overlap in time (always false
+  /// without allow_overlap).
+  bool has_overlaps() const { return has_overlaps_; }
+
+  bool finalized() const { return finalized_; }
+  size_t size() const { return records_.size(); }
+  const TrackingRecord& record(RecordIndex i) const {
+    return records_[static_cast<size_t>(i)];
+  }
+
+  /// Record indices of `object`'s chain, in time order (empty span for an
+  /// unknown object).
+  std::span<const RecordIndex> ChainOf(ObjectId object) const;
+
+  /// The record preceding record `i` in its object's chain, or
+  /// kInvalidRecord for the first record.
+  RecordIndex PrevOf(RecordIndex i) const {
+    return prev_[static_cast<size_t>(i)];
+  }
+  /// The record following record `i` in its object's chain, or
+  /// kInvalidRecord for the last record.
+  RecordIndex NextOf(RecordIndex i) const {
+    return next_[static_cast<size_t>(i)];
+  }
+
+  /// Distinct tracked objects.
+  const std::vector<ObjectId>& objects() const { return objects_; }
+
+  /// [min ts, max te] over all records (0,0 when empty).
+  Timestamp min_time() const { return min_time_; }
+  Timestamp max_time() const { return max_time_; }
+
+ private:
+  std::vector<TrackingRecord> records_;
+  // chain_index_ lists all record indices sorted by (object, ts); each
+  // object's run is contiguous. chain_of_ maps object -> [begin, end) into
+  // chain_index_.
+  std::vector<RecordIndex> chain_index_;
+  std::unordered_map<ObjectId, std::pair<size_t, size_t>> chain_of_;
+  std::vector<RecordIndex> prev_;
+  std::vector<RecordIndex> next_;
+  std::vector<ObjectId> objects_;
+  Timestamp min_time_ = 0.0;
+  Timestamp max_time_ = 0.0;
+  bool finalized_ = false;
+  bool has_overlaps_ = false;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_TRACKING_OTT_H_

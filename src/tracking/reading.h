@@ -1,0 +1,45 @@
+// Symbolic indoor tracking data model: raw readings and tracking records.
+//
+// Raw position readings have the form (objectId, deviceId, t) — "the object
+// identified by objectId is seen by the device deviceId at time t". The
+// positioning works at a configured sampling frequency, so consecutive raw
+// readings by the same device are merged into tracking records
+// (id, objectId, deviceId, ts, te): the object is continuously seen by the
+// device from ts to te (paper Section 2.1, Tables 1-2).
+
+#ifndef INDOORFLOW_TRACKING_READING_H_
+#define INDOORFLOW_TRACKING_READING_H_
+
+#include <cstdint>
+
+namespace indoorflow {
+
+using ObjectId = int32_t;
+using DeviceId = int32_t;
+using RecordIndex = int64_t;
+
+inline constexpr RecordIndex kInvalidRecord = -1;
+
+/// Time is measured in seconds from the start of the observation period.
+using Timestamp = double;
+
+/// A raw proximity reading: object seen by device at time t.
+struct RawReading {
+  ObjectId object_id = -1;
+  DeviceId device_id = -1;
+  Timestamp t = 0.0;
+};
+
+/// A merged tracking record: object continuously seen by device in [ts, te].
+struct TrackingRecord {
+  ObjectId object_id = -1;
+  DeviceId device_id = -1;
+  Timestamp ts = 0.0;
+  Timestamp te = 0.0;
+
+  bool Covers(Timestamp t) const { return t >= ts && t <= te; }
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_TRACKING_READING_H_

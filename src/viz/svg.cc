@@ -1,0 +1,166 @@
+#include "src/viz/svg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace indoorflow {
+
+namespace {
+
+std::string Num(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string HeatColor(double v) {
+  v = std::clamp(v, 0.0, 1.0);
+  // White (1,1,1) -> red (0.86, 0.08, 0.08).
+  const int r = static_cast<int>(std::lround(255.0 * (1.0 - 0.14 * v)));
+  const int g = static_cast<int>(std::lround(255.0 * (1.0 - 0.92 * v)));
+  const int b = static_cast<int>(std::lround(255.0 * (1.0 - 0.92 * v)));
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "#%02x%02x%02x", r, g, b);
+  return buffer;
+}
+
+SvgCanvas::SvgCanvas(const Box& world, double pixels_per_meter)
+    : world_(world), scale_(pixels_per_meter) {
+  INDOORFLOW_CHECK(!world.Empty());
+  INDOORFLOW_CHECK(pixels_per_meter > 0.0);
+}
+
+void SvgCanvas::DrawPolygon(const Polygon& polygon, const Style& style) {
+  body_ += "<polygon points=\"";
+  for (const Point& p : polygon.vertices()) {
+    body_ += Num(X(p.x)) + "," + Num(Y(p.y)) + " ";
+  }
+  body_ += "\" fill=\"" + style.fill + "\" fill-opacity=\"" +
+           Num(style.fill_opacity) + "\" stroke=\"" + style.stroke +
+           "\" stroke-width=\"" + Num(style.stroke_width * scale_) +
+           "\"/>\n";
+}
+
+void SvgCanvas::DrawCircle(const Circle& circle, const Style& style) {
+  body_ += "<circle cx=\"" + Num(X(circle.center.x)) + "\" cy=\"" +
+           Num(Y(circle.center.y)) + "\" r=\"" + Num(circle.radius * scale_) +
+           "\" fill=\"" + style.fill + "\" fill-opacity=\"" +
+           Num(style.fill_opacity) + "\" stroke=\"" + style.stroke +
+           "\" stroke-width=\"" + Num(style.stroke_width * scale_) +
+           "\" stroke-dasharray=\"" + Num(0.3 * scale_) + "\"/>\n";
+}
+
+void SvgCanvas::DrawSegment(Segment segment, const Style& style) {
+  body_ += "<line x1=\"" + Num(X(segment.a.x)) + "\" y1=\"" +
+           Num(Y(segment.a.y)) + "\" x2=\"" + Num(X(segment.b.x)) +
+           "\" y2=\"" + Num(Y(segment.b.y)) + "\" stroke=\"" + style.stroke +
+           "\" stroke-width=\"" + Num(style.stroke_width * scale_) +
+           "\"/>\n";
+}
+
+void SvgCanvas::DrawText(Point at, const std::string& text, double size,
+                         const std::string& color) {
+  body_ += "<text x=\"" + Num(X(at.x)) + "\" y=\"" + Num(Y(at.y)) +
+           "\" font-size=\"" + Num(size * scale_) + "\" fill=\"" + color +
+           "\" font-family=\"sans-serif\">" + text + "</text>\n";
+}
+
+void SvgCanvas::DrawRegion(const Region& region, const std::string& color,
+                           double opacity, double cell) {
+  INDOORFLOW_CHECK(cell > 0.0);
+  const Box bounds = Intersection(region.Bounds(), world_);
+  if (bounds.Empty()) return;
+  // One path of axis-aligned cell squares whose centers are members.
+  std::string path;
+  for (double y = bounds.min_y; y < bounds.max_y; y += cell) {
+    for (double x = bounds.min_x; x < bounds.max_x; x += cell) {
+      const Box cell_box{x, y, x + cell, y + cell};
+      const BoxClass cls = region.Classify(cell_box);
+      const bool in =
+          cls == BoxClass::kInside ||
+          (cls == BoxClass::kBoundary &&
+           region.Contains({x + cell / 2.0, y + cell / 2.0}));
+      if (!in) continue;
+      path += "M" + Num(X(x)) + " " + Num(Y(y + cell)) + "h" +
+              Num(cell * scale_) + "v" + Num(cell * scale_) + "h-" +
+              Num(cell * scale_) + "z";
+    }
+  }
+  if (path.empty()) return;
+  body_ += "<path d=\"" + path + "\" fill=\"" + color +
+           "\" fill-opacity=\"" + Num(opacity) + "\" stroke=\"none\"/>\n";
+}
+
+void SvgCanvas::DrawFloorPlan(const FloorPlan& plan) {
+  for (const Partition& part : plan.partitions()) {
+    Style style;
+    style.fill = "#f7f4ee";
+    style.stroke = "#444444";
+    style.stroke_width = 0.12;
+    DrawPolygon(part.shape, style);
+  }
+  for (const Door& door : plan.doors()) {
+    Style style;
+    style.fill = "#8a5a2b";
+    style.stroke = "none";
+    DrawCircle(Circle{door.position, 0.35}, style);
+  }
+}
+
+void SvgCanvas::DrawDeployment(const Deployment& deployment) {
+  for (const Device& device : deployment.devices()) {
+    Style style;
+    style.stroke = "#2060c0";
+    style.stroke_width = 0.06;
+    DrawCircle(device.range, style);
+    DrawText(device.range.center + Point{0.2, 0.2},
+             std::to_string(device.id), 0.9, "#2060c0");
+  }
+}
+
+void SvgCanvas::DrawFlowHeatmap(const PoiSet& pois,
+                                const std::vector<PoiFlow>& flows) {
+  double max_flow = 0.0;
+  for (const PoiFlow& f : flows) max_flow = std::max(max_flow, f.flow);
+  for (const PoiFlow& f : flows) {
+    const Poi& poi = pois[static_cast<size_t>(f.poi)];
+    Style style;
+    style.fill = HeatColor(max_flow > 0.0 ? f.flow / max_flow : 0.0);
+    style.fill_opacity = 0.85;
+    style.stroke = "#993333";
+    style.stroke_width = 0.05;
+    DrawPolygon(poi.shape, style);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.2f", f.flow);
+    DrawText(poi.shape.Centroid() + Point{-0.8, -0.3}, label, 0.9,
+             "#5a1010");
+  }
+}
+
+std::string SvgCanvas::ToString() const {
+  const double width = world_.Width() * scale_;
+  const double height = world_.Height() * scale_;
+  std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+                    Num(width) + "\" height=\"" + Num(height) +
+                    "\" viewBox=\"0 0 " + Num(width) + " " + Num(height) +
+                    "\">\n<rect width=\"100%\" height=\"100%\" "
+                    "fill=\"#ffffff\"/>\n";
+  out += body_;
+  out += "</svg>\n";
+  return out;
+}
+
+Status SvgCanvas::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << ToString();
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace indoorflow

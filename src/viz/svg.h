@@ -1,0 +1,82 @@
+// SVG rendering of floor plans, deployments, uncertainty regions, and flow
+// heatmaps.
+//
+// Understanding symbolic-tracking uncertainty is much easier with a
+// picture; this module renders the library's core objects to standalone
+// SVG documents (viewable in any browser). Regions are drawn by marching
+// the adaptive classifier over a pixel grid, so anything with a Region CSG
+// representation — including topology-checked uncertainty regions — renders
+// faithfully.
+
+#ifndef INDOORFLOW_VIZ_SVG_H_
+#define INDOORFLOW_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/flow.h"
+#include "src/geometry/region.h"
+#include "src/indoor/floor_plan.h"
+#include "src/indoor/poi.h"
+#include "src/tracking/deployment.h"
+
+namespace indoorflow {
+
+/// Builds one SVG document over a fixed world-coordinate viewport.
+/// Layers are painted in call order.
+class SvgCanvas {
+ public:
+  struct Style {
+    std::string fill = "none";
+    std::string stroke = "#333333";
+    double stroke_width = 0.08;  // world units (meters)
+    double fill_opacity = 1.0;
+  };
+
+  /// `world` is the visible extent (meters); `pixels_per_meter` sets the
+  /// output resolution.
+  SvgCanvas(const Box& world, double pixels_per_meter = 12.0);
+
+  // --- primitive layers --------------------------------------------------
+  void DrawPolygon(const Polygon& polygon, const Style& style);
+  void DrawCircle(const Circle& circle, const Style& style);
+  void DrawSegment(Segment segment, const Style& style);
+  void DrawText(Point at, const std::string& text, double size = 1.2,
+                const std::string& color = "#222222");
+
+  /// Rasterizes `region` at `cell` meter resolution (union of cells whose
+  /// centers are inside), emitted as one path. Coarse but faithful for
+  /// arbitrary CSG regions.
+  void DrawRegion(const Region& region, const std::string& color,
+                  double opacity = 0.5, double cell = 0.25);
+
+  // --- composite layers --------------------------------------------------
+  /// Partitions (rooms shaded, hallways lighter) and doors.
+  void DrawFloorPlan(const FloorPlan& plan);
+  /// Detection ranges as dashed circles with device ids.
+  void DrawDeployment(const Deployment& deployment);
+  /// POIs colored by flow on a white->red ramp (flows normalized to the
+  /// maximum in `flows`); labels show the flow value.
+  void DrawFlowHeatmap(const PoiSet& pois, const std::vector<PoiFlow>& flows);
+
+  /// The finished document.
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  double X(double wx) const { return (wx - world_.min_x) * scale_; }
+  double Y(double wy) const { return (world_.max_y - wy) * scale_; }
+
+  Box world_;
+  double scale_;
+  std::string body_;
+};
+
+/// Linear white->red heat color for v in [0, 1], as "#rrggbb".
+std::string HeatColor(double v);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_VIZ_SVG_H_

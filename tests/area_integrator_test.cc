@@ -1,0 +1,198 @@
+// Tests for the adaptive quadtree area integrator, cross-validated against
+// closed-form areas and the exact convex polygon clipper.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/geometry/area_integrator.h"
+#include "src/geometry/circle_area.h"
+#include "src/geometry/clip.h"
+#include "src/geometry/region.h"
+#include "src/geometry/tessellate.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(AreaIntegratorTest, CircleArea) {
+  const Circle c{{0, 0}, 2.0};
+  const AreaEstimate est = Area(Region::Make(c));
+  EXPECT_NEAR(est.area, c.Area(), est.error_bound + 1e-9);
+  EXPECT_LT(est.error_bound, 0.06);
+}
+
+TEST(AreaIntegratorTest, TighterToleranceTightensError) {
+  const Circle c{{0, 0}, 2.0};
+  AreaOptions loose;
+  loose.abs_tolerance = 0.5;
+  AreaOptions tight;
+  tight.abs_tolerance = 0.005;
+  tight.max_depth = 20;
+  const AreaEstimate l = Area(Region::Make(c), loose);
+  const AreaEstimate t = Area(Region::Make(c), tight);
+  EXPECT_LE(t.error_bound, l.error_bound);
+  EXPECT_NEAR(t.area, c.Area(), 0.01);
+}
+
+TEST(AreaIntegratorTest, RingArea) {
+  const Ring ring{{1, 1}, 1.0, 3.0};
+  const AreaEstimate est = Area(Region::Make(ring));
+  EXPECT_NEAR(est.area, ring.Area(), est.error_bound + 1e-9);
+}
+
+TEST(AreaIntegratorTest, PolygonAreaExactOnBoxes) {
+  // A rectangle polygon maps to the exact box node: kInside at the root.
+  const Region r = Region::Make(Polygon::Rectangle(0, 0, 4, 2));
+  const AreaEstimate est = Area(r);
+  EXPECT_DOUBLE_EQ(est.area, 8.0);
+  EXPECT_DOUBLE_EQ(est.error_bound, 0.0);
+  // A rotated (non-axis-aligned) quadrilateral takes the generic path but
+  // still converges within its certified bound.
+  const Polygon diamond({{2, 0}, {4, 2}, {2, 4}, {0, 2}});
+  const AreaEstimate d = Area(Region::Make(diamond));
+  EXPECT_NEAR(d.area, 8.0, d.error_bound + 1e-9);
+  EXPECT_LT(d.error_bound, 0.06);
+}
+
+TEST(AreaIntegratorTest, DisjointIntersectionIsZero) {
+  const Region a = Region::Make(Circle{{0, 0}, 1.0});
+  const Region b = Region::Make(Circle{{5, 0}, 1.0});
+  const AreaEstimate est = AreaOfIntersection(a, b);
+  EXPECT_DOUBLE_EQ(est.area, 0.0);
+  EXPECT_DOUBLE_EQ(est.error_bound, 0.0);
+}
+
+TEST(AreaIntegratorTest, CirclePolygonIntersection) {
+  // Circle centered on a rectangle corner: exactly a quarter disk inside.
+  const Circle c{{0, 0}, 2.0};
+  const Region circle = Region::Make(c);
+  const Region rect = Region::Make(Polygon::Rectangle(0, 0, 10, 10));
+  const AreaEstimate est = AreaOfIntersection(circle, rect);
+  EXPECT_NEAR(est.area, c.Area() / 4.0, est.error_bound + 1e-9);
+}
+
+TEST(AreaIntegratorTest, LensAreaClosedForm) {
+  // Two unit circles at distance 1: lens area = 2r^2 cos^-1(d/2r) -
+  // d/2 * sqrt(4r^2 - d^2).
+  const double d = 1.0;
+  const double expected =
+      2.0 * std::acos(d / 2.0) - d / 2.0 * std::sqrt(4.0 - d * d);
+  const Region a = Region::Make(Circle{{0, 0}, 1.0});
+  const Region b = Region::Make(Circle{{d, 0}, 1.0});
+  AreaOptions options;
+  options.abs_tolerance = 0.002;
+  options.max_depth = 18;
+  const AreaEstimate est = AreaOfIntersection(a, b, options);
+  EXPECT_NEAR(est.area, expected, est.error_bound + 1e-9);
+  EXPECT_LT(est.error_bound, 0.01);
+}
+
+TEST(AreaIntegratorTest, MatchesConvexClipperOnPolygonPairs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double x0 = rng.Uniform(-5, 5);
+    const double y0 = rng.Uniform(-5, 5);
+    const Polygon a = Polygon::Rectangle(x0, y0, x0 + rng.Uniform(1, 6),
+                                         y0 + rng.Uniform(1, 6));
+    const double x1 = rng.Uniform(-5, 5);
+    const double y1 = rng.Uniform(-5, 5);
+    const Polygon b = Polygon::Rectangle(x1, y1, x1 + rng.Uniform(1, 6),
+                                         y1 + rng.Uniform(1, 6));
+    const double exact = ClippedArea(a, b);
+    const AreaEstimate est =
+        AreaOfIntersection(Region::Make(a), Region::Make(b));
+    EXPECT_NEAR(est.area, exact, est.error_bound + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(AreaIntegratorTest, MatchesClipperOnTessellatedEllipse) {
+  // Integrate Θ ∩ rectangle and compare against clipping a fine polygonal
+  // approximation of Θ.
+  const ExtendedEllipse theta(Circle{{0, 0}, 1.0}, Circle{{7, 0}, 1.0},
+                              8.0);
+  const Polygon approx = TessellateExtendedEllipse(theta, 512);
+  const Polygon window = Polygon::Rectangle(2, -1, 9, 2);
+  double expected = 0.0;
+  {
+    // approx may be non-convex in principle; the window is convex, so clip
+    // approx against it.
+    expected = ClippedArea(approx, window);
+  }
+  AreaOptions options;
+  options.abs_tolerance = 0.01;
+  options.max_depth = 16;
+  const AreaEstimate est = AreaOfIntersection(
+      Region::Make(theta), Region::Make(window), options);
+  // The tessellation itself has ~0.1% area error; allow both tolerances.
+  EXPECT_NEAR(est.area, expected, est.error_bound + 0.05);
+}
+
+TEST(AreaIntegratorTest, ErrorBoundIsSound) {
+  // Monte-Carlo ground truth for a nontrivial CSG shape.
+  const Region shape = Region::Subtract(
+      Region::Intersect(Region::Make(Circle{{0, 0}, 3.0}),
+                        Region::Make(Circle{{2, 0}, 3.0})),
+      Region::Make(Circle{{1, 0}, 1.0}));
+  const Box domain = shape.Bounds();
+  Rng rng(7);
+  const int n = 400000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.Uniform(domain.min_x, domain.max_x),
+                  rng.Uniform(domain.min_y, domain.max_y)};
+    hits += shape.Contains(p) ? 1 : 0;
+  }
+  const double mc_area = domain.Area() * hits / n;
+  const AreaEstimate est = Area(shape);
+  // Monte-Carlo standard error ~ area * sqrt(p(1-p)/n); 4 sigma margin.
+  const double mc_sigma =
+      domain.Area() * std::sqrt(0.25 / static_cast<double>(n));
+  EXPECT_NEAR(est.area, mc_area, est.error_bound + 4.0 * mc_sigma);
+}
+
+TEST(AreaIntegratorTest, MaxCellsCapStillReturnsBound) {
+  AreaOptions options;
+  options.abs_tolerance = 1e-9;  // unreachable
+  options.max_cells = 500;
+  // A Θ-region has no exact fast path, so the adaptive loop must engage
+  // and stop at the cell cap with a certified bound.
+  const ExtendedEllipse theta(Circle{{0, 0}, 1.0}, Circle{{8, 0}, 1.0},
+                              9.0);
+  const AreaEstimate est = Area(Region::Make(theta), options);
+  EXPECT_GT(est.error_bound, 0.0);
+  // Reference value from a fully-converged run.
+  AreaOptions tight;
+  tight.abs_tolerance = 0.001;
+  tight.max_depth = 20;
+  tight.max_cells = 2000000;
+  const AreaEstimate reference = Area(Region::Make(theta), tight);
+  EXPECT_NEAR(est.area, reference.area,
+              est.error_bound + reference.error_bound + 1e-9);
+}
+
+TEST(AreaIntegratorTest, ExactFastPathsAreExact) {
+  // circle x rectangle
+  const Circle c{{1, 1}, 2.0};
+  const Region rect = Region::Make(Polygon::Rectangle(0, 0, 10, 10));
+  const AreaEstimate circle_est =
+      AreaOfIntersection(Region::Make(c), rect);
+  EXPECT_DOUBLE_EQ(circle_est.error_bound, 0.0);
+  EXPECT_NEAR(circle_est.area, CircleBoxIntersectionArea(c, Box{0, 0, 10, 10}),
+              1e-12);
+  // ring x rectangle
+  const Ring ring{{1, 1}, 0.5, 2.0};
+  const AreaEstimate ring_est =
+      AreaOfIntersection(rect, Region::Make(ring));  // order-independent
+  EXPECT_DOUBLE_EQ(ring_est.error_bound, 0.0);
+  // rectangle x rectangle
+  const AreaEstimate boxes = AreaOfIntersection(
+      Region::Make(Box{0, 0, 4, 4}), Region::Make(Box{2, 2, 6, 6}));
+  EXPECT_DOUBLE_EQ(boxes.area, 4.0);
+  EXPECT_DOUBLE_EQ(boxes.error_bound, 0.0);
+}
+
+}  // namespace
+}  // namespace indoorflow

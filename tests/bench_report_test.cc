@@ -1,0 +1,115 @@
+// Tests for the bench_report parser/renderer (tools/bench_report).
+
+#include <gtest/gtest.h>
+
+#include "tools/bench_report.h"
+
+namespace indoorflow::benchreport {
+namespace {
+
+TEST(BenchLineTest, ParsesPlainRow) {
+  const auto row = ParseBenchLine(
+      "BM_Ablation_ARTreePointQuery                       5.25 us         "
+      "5.24 us       133429");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->family, "BM_Ablation_ARTreePointQuery");
+  EXPECT_TRUE(row->args.empty());
+  EXPECT_NEAR(row->wall_ms, 5.25e-3, 1e-9);
+  EXPECT_NEAR(row->cpu_ms, 5.24e-3, 1e-9);
+  EXPECT_EQ(row->iterations, 133429);
+  EXPECT_TRUE(row->label.empty());
+  EXPECT_TRUE(row->counters.empty());
+}
+
+TEST(BenchLineTest, ParsesArgsLabelAndCounters) {
+  const auto row = ParseBenchLine(
+      "BM_Ablation_ThresholdQuery/join:1/tau_pct:99/area:0    16.6 ms      "
+      "   15.4 ms           49 pois_eval=75 presences=14.166k join");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->family, "BM_Ablation_ThresholdQuery");
+  ASSERT_EQ(row->args.size(), 3u);
+  EXPECT_EQ(row->args[0].first, "join");
+  EXPECT_EQ(row->args[0].second, "1");
+  EXPECT_EQ(row->args[2].first, "area");
+  EXPECT_DOUBLE_EQ(row->wall_ms, 16.6);
+  EXPECT_DOUBLE_EQ(row->cpu_ms, 15.4);
+  EXPECT_EQ(row->label, "join");
+  EXPECT_DOUBLE_EQ(row->counters.at("pois_eval"), 75.0);
+  EXPECT_DOUBLE_EQ(row->counters.at("presences"), 14166.0);
+}
+
+TEST(BenchLineTest, ParsesUnnamedArgsAndUnits) {
+  const auto ns_row = ParseBenchLine(
+      "BM_Tiny/0         812 ns        810 ns      800000");
+  ASSERT_TRUE(ns_row.has_value());
+  ASSERT_EQ(ns_row->args.size(), 1u);
+  EXPECT_EQ(ns_row->args[0].first, "");
+  EXPECT_EQ(ns_row->args[0].second, "0");
+  EXPECT_NEAR(ns_row->wall_ms, 812e-6, 1e-12);
+
+  const auto s_row =
+      ParseBenchLine("BM_Big        1.20 s        1.19 s      1");
+  ASSERT_TRUE(s_row.has_value());
+  EXPECT_DOUBLE_EQ(s_row->wall_ms, 1200.0);
+}
+
+TEST(BenchLineTest, RejectsNonBenchmarkLines) {
+  EXPECT_FALSE(ParseBenchLine("").has_value());
+  EXPECT_FALSE(ParseBenchLine("-----------------------------").has_value());
+  EXPECT_FALSE(
+      ParseBenchLine("Benchmark      Time       CPU  Iterations").has_value());
+  EXPECT_FALSE(ParseBenchLine("Run on (1 X 2200 MHz CPU s)").has_value());
+  EXPECT_FALSE(ParseBenchLine("BM_TooShort 1.0 ms").has_value());
+}
+
+TEST(BenchOutputTest, ParsesWholeDump) {
+  const std::string dump =
+      "2026-07-05T00:00:00+00:00\n"
+      "Running ./bench_x\n"
+      "---------------------------------------------------------\n"
+      "Benchmark               Time             CPU   Iterations\n"
+      "---------------------------------------------------------\n"
+      "BM_A/k:1            1.00 ms         0.90 ms          100 iter\n"
+      "BM_A/k:5            2.00 ms         1.90 ms           50 iter\n"
+      "BM_B               10.0 us          9.0 us          999\n";
+  const auto rows = ParseBenchOutput(dump);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].family, "BM_A");
+  EXPECT_EQ(rows[2].family, "BM_B");
+  EXPECT_NEAR(rows[2].cpu_ms, 9e-3, 1e-9);
+}
+
+TEST(RenderMarkdownTest, GroupsByFamilyWithColumns) {
+  const std::string dump =
+      "BM_A/k:1/algo:0     1.00 ms         0.90 ms          100 iterative\n"
+      "BM_A/k:1/algo:1     0.50 ms         0.45 ms          200 join\n"
+      "BM_C                3.00 ms         2.90 ms           10 x=5\n";
+  const std::string md = RenderMarkdown(ParseBenchOutput(dump));
+  // Two family sections.
+  EXPECT_NE(md.find("## BM_A"), std::string::npos);
+  EXPECT_NE(md.find("## BM_C"), std::string::npos);
+  // Argument columns and variant labels.
+  EXPECT_NE(md.find("| k | algo | variant | cpu (ms) |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 0 | iterative | 0.9 |"), std::string::npos);
+  EXPECT_NE(md.find("| 1 | 1 | join | 0.45 |"), std::string::npos);
+  // Counter column for BM_C.
+  EXPECT_NE(md.find(" x |"), std::string::npos);
+  EXPECT_NE(md.find(" 5 |"), std::string::npos);
+}
+
+TEST(RenderMarkdownTest, EmptyInputRendersNothing) {
+  EXPECT_TRUE(RenderMarkdown({}).empty());
+}
+
+TEST(RenderMarkdownTest, MissingCounterCellsStayEmpty) {
+  const std::string dump =
+      "BM_A/k:1     1.00 ms    0.90 ms    100 hits=3\n"
+      "BM_A/k:2     1.00 ms    0.90 ms    100\n";
+  const std::string md = RenderMarkdown(ParseBenchOutput(dump));
+  EXPECT_NE(md.find("| 3 |"), std::string::npos);
+  // The second row has an empty hits cell, not a stale value.
+  EXPECT_NE(md.find("100 |  |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indoorflow::benchreport

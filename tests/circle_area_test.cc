@@ -1,0 +1,178 @@
+// Tests for the exact circle-rectangle intersection area, including a
+// differential check against the adaptive quadtree integrator.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/geometry/area_integrator.h"
+#include "src/geometry/circle_area.h"
+#include "src/geometry/region.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(CircleBoxAreaTest, ContainmentCases) {
+  const Circle c{{0, 0}, 2.0};
+  // Box contains the whole circle.
+  EXPECT_NEAR(CircleBoxIntersectionArea(c, Box{-5, -5, 5, 5}), c.Area(),
+              1e-12);
+  // Circle contains the whole box.
+  EXPECT_NEAR(CircleBoxIntersectionArea(c, Box{-0.5, -0.5, 0.5, 0.5}), 1.0,
+              1e-12);
+  // Disjoint.
+  EXPECT_DOUBLE_EQ(CircleBoxIntersectionArea(c, Box{5, 5, 6, 6}), 0.0);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(CircleBoxIntersectionArea(c, Box{}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      CircleBoxIntersectionArea(Circle{{0, 0}, 0.0}, Box{-1, -1, 1, 1}),
+      0.0);
+}
+
+TEST(CircleBoxAreaTest, HalfAndQuarterDisk) {
+  const Circle c{{0, 0}, 3.0};
+  // Half-plane-like boxes.
+  EXPECT_NEAR(CircleBoxIntersectionArea(c, Box{0, -10, 10, 10}),
+              c.Area() / 2.0, 1e-12);
+  EXPECT_NEAR(CircleBoxIntersectionArea(c, Box{-10, 0, 10, 10}),
+              c.Area() / 2.0, 1e-12);
+  // Quarter disk.
+  EXPECT_NEAR(CircleBoxIntersectionArea(c, Box{0, 0, 10, 10}),
+              c.Area() / 4.0, 1e-12);
+}
+
+TEST(CircleBoxAreaTest, CircularSegment) {
+  // Box cutting a segment at distance d from the center: area =
+  // r^2 acos(d/r) - d sqrt(r^2 - d^2).
+  const double r = 2.0;
+  const double d = 0.7;
+  const Circle c{{0, 0}, r};
+  const double expected =
+      r * r * std::acos(d / r) - d * std::sqrt(r * r - d * d);
+  EXPECT_NEAR(CircleBoxIntersectionArea(c, Box{d, -10, 10, 10}), expected,
+              1e-12);
+}
+
+TEST(CircleBoxAreaTest, TranslationInvariance) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const Circle c{{0, 0}, rng.Uniform(0.5, 4.0)};
+    const double x = rng.Uniform(-3, 3);
+    const double y = rng.Uniform(-3, 3);
+    const Box box{x, y, x + rng.Uniform(0.2, 5), y + rng.Uniform(0.2, 5)};
+    const double base = CircleBoxIntersectionArea(c, box);
+    const Point shift{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const Circle moved{c.center + shift, c.radius};
+    const Box moved_box{box.min_x + shift.x, box.min_y + shift.y,
+                        box.max_x + shift.x, box.max_y + shift.y};
+    EXPECT_NEAR(CircleBoxIntersectionArea(moved, moved_box), base, 1e-9);
+  }
+}
+
+TEST(CircleBoxAreaTest, AdditiveOverSplitBoxes) {
+  Rng rng(15);
+  for (int i = 0; i < 50; ++i) {
+    const Circle c{{rng.Uniform(-2, 2), rng.Uniform(-2, 2)},
+                   rng.Uniform(0.5, 3.0)};
+    const Box box{-2, -2, 3, 3};
+    const double split_x = rng.Uniform(box.min_x, box.max_x);
+    const Box left{box.min_x, box.min_y, split_x, box.max_y};
+    const Box right{split_x, box.min_y, box.max_x, box.max_y};
+    EXPECT_NEAR(CircleBoxIntersectionArea(c, box),
+                CircleBoxIntersectionArea(c, left) +
+                    CircleBoxIntersectionArea(c, right),
+                1e-10);
+  }
+}
+
+TEST(CircleBoxAreaTest, MatchesQuadtreeIntegrator) {
+  Rng rng(22);
+  for (int i = 0; i < 30; ++i) {
+    const Circle c{{rng.Uniform(-5, 5), rng.Uniform(-5, 5)},
+                   rng.Uniform(0.5, 4.0)};
+    const double x = rng.Uniform(-6, 4);
+    const double y = rng.Uniform(-6, 4);
+    const Box box{x, y, x + rng.Uniform(0.5, 6), y + rng.Uniform(0.5, 6)};
+    const double exact = CircleBoxIntersectionArea(c, box);
+    AreaOptions options;
+    options.abs_tolerance = 0.005;
+    options.max_depth = 18;
+    const AreaEstimate est = AreaOfIntersection(
+        Region::Make(c), Region::Make(box), options);
+    EXPECT_NEAR(est.area, exact, est.error_bound + 1e-9) << "trial " << i;
+  }
+}
+
+TEST(CirclePolygonAreaTest, AgreesWithBoxFormulaOnRectangles) {
+  Rng rng(31);
+  for (int i = 0; i < 60; ++i) {
+    const Circle c{{rng.Uniform(-4, 4), rng.Uniform(-4, 4)},
+                   rng.Uniform(0.5, 4.0)};
+    const double x = rng.Uniform(-5, 3);
+    const double y = rng.Uniform(-5, 3);
+    const Box box{x, y, x + rng.Uniform(0.5, 6), y + rng.Uniform(0.5, 6)};
+    EXPECT_NEAR(CirclePolygonIntersectionArea(c, Polygon::FromBox(box)),
+                CircleBoxIntersectionArea(c, box), 1e-9)
+        << "trial " << i;
+  }
+}
+
+TEST(CirclePolygonAreaTest, ClockwisePolygonsHandled) {
+  const Circle c{{2, 2}, 1.5};
+  Polygon ccw = Polygon::Rectangle(0, 0, 4, 4);
+  Polygon cw({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  EXPECT_LT(cw.SignedArea(), 0.0);
+  EXPECT_NEAR(CirclePolygonIntersectionArea(c, cw),
+              CirclePolygonIntersectionArea(c, ccw), 1e-12);
+}
+
+TEST(CirclePolygonAreaTest, TriangleCases) {
+  // Circle fully inside a big triangle.
+  const Circle inside{{2, 1.2}, 0.5};
+  const Polygon tri({{0, 0}, {8, 0}, {0, 8}});
+  EXPECT_NEAR(CirclePolygonIntersectionArea(inside, tri), inside.Area(),
+              1e-12);
+  // Triangle fully inside a big circle.
+  const Circle big{{2, 2}, 50.0};
+  EXPECT_NEAR(CirclePolygonIntersectionArea(big, tri), tri.Area(), 1e-9);
+  // Disjoint.
+  const Circle far{{100, 100}, 1.0};
+  EXPECT_DOUBLE_EQ(CirclePolygonIntersectionArea(far, tri), 0.0);
+}
+
+TEST(CirclePolygonAreaTest, NonConvexPolygon) {
+  // L-shape with a circle centered in its notch: compare against the
+  // integrator.
+  const Polygon ell({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  Rng rng(44);
+  for (int i = 0; i < 30; ++i) {
+    const Circle c{{rng.Uniform(-1, 5), rng.Uniform(-1, 5)},
+                   rng.Uniform(0.4, 3.0)};
+    const double exact = CirclePolygonIntersectionArea(c, ell);
+    AreaOptions options;
+    options.abs_tolerance = 0.004;
+    options.max_depth = 18;
+    const AreaEstimate est = AreaOfIntersection(
+        Region::Make(c), Region::Make(ell), options);
+    EXPECT_NEAR(est.area, exact, est.error_bound + 1e-9) << "trial " << i;
+  }
+}
+
+TEST(CirclePolygonAreaTest, RingPolygonArea) {
+  const Ring ring{{2, 2}, 1.0, 2.0};
+  // A huge polygon captures the full annulus.
+  const Polygon all = Polygon::Rectangle(-10, -10, 14, 14);
+  EXPECT_NEAR(RingPolygonIntersectionArea(ring, all), ring.Area(), 1e-9);
+  // Quarter-plane through the center: a quarter of the annulus.
+  const Polygon quarter = Polygon::Rectangle(2, 2, 14, 14);
+  EXPECT_NEAR(RingPolygonIntersectionArea(ring, quarter),
+              ring.Area() / 4.0, 1e-9);
+  // Entirely inside the hole.
+  const Polygon hole = Polygon::Rectangle(1.6, 1.6, 2.4, 2.4);
+  EXPECT_NEAR(RingPolygonIntersectionArea(ring, hole), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,174 @@
+// Tests for reading-noise injection and speed-constraint cleansing.
+
+#include <gtest/gtest.h>
+
+#include "src/indoor/plan_builders.h"
+#include "src/sim/detector.h"
+#include "src/tracking/cleansing.h"
+#include "src/tracking/merger.h"
+
+namespace indoorflow {
+namespace {
+
+// Two far-apart devices (80m at Vmax 1.1 m/s needs ~71s) plus one nearby.
+class CleansingFixture : public ::testing::Test {
+ protected:
+  CleansingFixture() {
+    deployment_.AddDevice(Circle{{0, 0}, 1.5});    // dev 0
+    deployment_.AddDevice(Circle{{10, 0}, 1.5});   // dev 1 (near dev 0)
+    deployment_.AddDevice(Circle{{80, 0}, 1.5});   // dev 2 (far)
+    deployment_.BuildIndex();
+  }
+  Deployment deployment_;
+  CleansingOptions options_;  // vmax 1.1, slack 2s
+};
+
+TEST_F(CleansingFixture, FeasibilityPredicate) {
+  const Device& d0 = deployment_.device(0);
+  const Device& d1 = deployment_.device(1);
+  const Device& d2 = deployment_.device(2);
+  // 10m apart, 7m range-to-range: needs ~6.4s at 1.1 m/s.
+  EXPECT_TRUE(ReadingsFeasible(d0, 0.0, d1, 10.0, options_));
+  EXPECT_FALSE(ReadingsFeasible(d0, 0.0, d1, 2.0, options_));
+  // Symmetric in time order.
+  EXPECT_TRUE(ReadingsFeasible(d1, 10.0, d0, 0.0, options_));
+  // Same device always feasible.
+  EXPECT_TRUE(ReadingsFeasible(d0, 0.0, d0, 0.0, options_));
+  // 80m in 5s: impossible.
+  EXPECT_FALSE(ReadingsFeasible(d0, 0.0, d2, 5.0, options_));
+}
+
+TEST_F(CleansingFixture, RemovesIsolatedGhost) {
+  // Genuine stream at dev0 with one impossible cross-read at dev2.
+  std::vector<RawReading> readings = {
+      {1, 0, 0.0}, {1, 0, 1.0}, {1, 2, 1.5}, {1, 0, 2.0}, {1, 0, 3.0}};
+  const auto cleansed = CleanseReadings(readings, deployment_, options_);
+  ASSERT_EQ(cleansed.size(), 4u);
+  for (const RawReading& r : cleansed) EXPECT_EQ(r.device_id, 0);
+}
+
+TEST_F(CleansingFixture, KeepsGenuineTransition) {
+  // A real walk dev0 -> dev1 taking 12s is feasible and must survive.
+  std::vector<RawReading> readings = {
+      {1, 0, 0.0}, {1, 0, 1.0}, {1, 1, 13.0}, {1, 1, 14.0}};
+  const auto cleansed = CleanseReadings(readings, deployment_, options_);
+  EXPECT_EQ(cleansed.size(), 4u);
+}
+
+TEST_F(CleansingFixture, GhostAtStreamHeadNeedsWitness) {
+  // Ghost at dev2 before a genuine dev0 stream: dropped (two witnesses).
+  std::vector<RawReading> with_witness = {
+      {1, 2, 0.0}, {1, 0, 1.0}, {1, 0, 2.0}};
+  const auto cleansed =
+      CleanseReadings(with_witness, deployment_, options_);
+  ASSERT_EQ(cleansed.size(), 2u);
+  EXPECT_EQ(cleansed[0].device_id, 0);
+  // With only two contradicting readings there is no way to adjudicate:
+  // both are kept.
+  std::vector<RawReading> ambiguous = {{1, 2, 0.0}, {1, 0, 1.0}};
+  EXPECT_EQ(CleanseReadings(ambiguous, deployment_, options_).size(), 2u);
+}
+
+TEST_F(CleansingFixture, GhostAtStreamTailDropped) {
+  std::vector<RawReading> readings = {
+      {1, 0, 0.0}, {1, 0, 1.0}, {1, 2, 2.0}};
+  const auto cleansed = CleanseReadings(readings, deployment_, options_);
+  ASSERT_EQ(cleansed.size(), 2u);
+  EXPECT_EQ(cleansed.back().device_id, 0);
+}
+
+TEST_F(CleansingFixture, StreamsAreIndependentPerObject) {
+  // Object 2's far reading must not be judged against object 1's stream.
+  std::vector<RawReading> readings = {
+      {1, 0, 0.0}, {1, 0, 1.0}, {2, 2, 1.5}, {2, 2, 2.0}};
+  const auto cleansed = CleanseReadings(readings, deployment_, options_);
+  EXPECT_EQ(cleansed.size(), 4u);
+}
+
+TEST_F(CleansingFixture, NoiseInjectionRates) {
+  std::vector<RawReading> readings;
+  for (int i = 0; i < 10000; ++i) {
+    readings.push_back({1, 0, static_cast<double>(i)});
+  }
+  NoiseOptions noise;
+  noise.miss_rate = 0.2;
+  noise.ghost_rate = 0.1;
+  noise.seed = 5;
+  const auto noisy = InjectNoise(readings, deployment_, noise);
+  size_t kept = 0;
+  size_t ghosts = 0;
+  for (const RawReading& r : noisy) {
+    if (r.device_id == 0) {
+      ++kept;
+    } else {
+      ++ghosts;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept), 8000.0, 150.0);
+  EXPECT_NEAR(static_cast<double>(ghosts), 1000.0, 120.0);
+}
+
+TEST_F(CleansingFixture, NoNoiseIsIdentity) {
+  std::vector<RawReading> readings = {{1, 0, 0.0}, {1, 1, 10.0}};
+  const auto noisy = InjectNoise(readings, deployment_, NoiseOptions{});
+  ASSERT_EQ(noisy.size(), readings.size());
+}
+
+// End-to-end robustness: a realistic walk, corrupted with ghosts, cleansed,
+// merged — the recovered OTT matches the clean OTT closely.
+TEST(CleansingPipelineTest, RecoversCleanRecords) {
+  const BuiltPlan built = BuildOfficePlan({});
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  for (const Door& door : built.plan.doors()) {
+    deployment.AddDevice(Circle{door.position, 1.5});
+  }
+  deployment.BuildIndex();
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+
+  int total_clean = 0;
+  int total_recovered = 0;
+  int total_dirty = 0;
+  for (int object = 0; object < 8; ++object) {
+    Rng rng(4000 + static_cast<uint64_t>(object));
+    WaypointOptions options;
+    options.duration = 400.0;
+    options.max_pause = 60.0;
+    const Trajectory traj = model.Generate(object, options, rng);
+
+    std::vector<RawReading> clean;
+    detector.DetectReadings(traj, DetectionOptions{}, &clean);
+    if (clean.empty()) continue;
+
+    NoiseOptions noise;
+    noise.ghost_rate = 0.05;
+    noise.seed = 77 + static_cast<uint64_t>(object);
+    const auto noisy = InjectNoise(clean, deployment, noise);
+
+    CleansingOptions cleanse;
+    cleanse.vmax = 1.1;
+    const auto recovered = CleanseReadings(noisy, deployment, cleanse);
+
+    MergerOptions merge;
+    merge.allow_overlap = true;  // ghosts interleave with genuine readings
+    auto clean_table = MergeReadings(clean, merge);
+    auto dirty_table = MergeReadings(noisy, merge);
+    auto recovered_table = MergeReadings(recovered, merge);
+    ASSERT_TRUE(clean_table.ok());
+    ASSERT_TRUE(dirty_table.ok());
+    ASSERT_TRUE(recovered_table.ok());
+    total_clean += static_cast<int>(clean_table->size());
+    total_dirty += static_cast<int>(dirty_table->size());
+    total_recovered += static_cast<int>(recovered_table->size());
+  }
+  ASSERT_GT(total_clean, 20);
+  // Each surviving ghost becomes a spurious record; cleansing restores the
+  // record count to within 15% of the clean stream.
+  EXPECT_GT(total_dirty, total_clean + 10);
+  EXPECT_LT(std::abs(total_recovered - total_clean),
+            total_clean * 15 / 100 + 2);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,142 @@
+// Tests for the common layer: Status/Result and the deterministic PRNG.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/common/status.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(StatusTest, OkState) {
+  const Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+  EXPECT_TRUE(ok.message().empty());
+}
+
+TEST(StatusTest, ErrorStates) {
+  const Status err = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.message(), "bad k");
+  EXPECT_EQ(err.ToString(), "InvalidArgument: bad k");
+
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(ResultTest, ValuePath) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, ErrorPath) {
+  const Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> moved = std::move(r).value();
+  EXPECT_EQ(*moved, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(43);
+  Rng d(42);
+  int differs = 0;
+  for (int i = 0; i < 100; ++i) {
+    differs += c.Next() != d.Next() ? 1 : 0;
+  }
+  EXPECT_GT(differs, 95);
+}
+
+TEST(RngTest, UniformDoubleRangeAndMean) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean of U[0,1): 0.5 +- ~5 sigma of 1/sqrt(12 n).
+  EXPECT_NEAR(sum / n, 0.5, 5.0 / std::sqrt(12.0 * n));
+}
+
+TEST(RngTest, UniformIntBoundsAndCoverage) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(10ULL);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all buckets hit
+
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3,
+              5.0 * std::sqrt(0.3 * 0.7 / n));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  // Exponential(mean 4): sd 4, so 5 sigma of the mean estimate.
+  EXPECT_NEAR(sum / n, 4.0, 5.0 * 4.0 / std::sqrt(n));
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.5, 7.5);
+    ASSERT_GE(v, -2.5);
+    ASSERT_LT(v, 7.5);
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,138 @@
+// Tests for the insert-based (Guttman) R-tree: structural invariants,
+// query correctness against brute force, and agreement with the
+// bulk-loaded RTree.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/index/dynamic_rtree.h"
+#include "src/index/rtree.h"
+
+namespace indoorflow {
+namespace {
+
+Box RandomBox(Rng& rng, double extent = 100.0) {
+  const double x = rng.Uniform(0, extent);
+  const double y = rng.Uniform(0, extent);
+  return Box{x, y, x + rng.Uniform(0.2, extent / 12),
+             y + rng.Uniform(0.2, extent / 12)};
+}
+
+TEST(DynamicRTreeTest, EmptyTree) {
+  const DynamicRTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.Bounds().Empty());
+  std::vector<int32_t> out;
+  tree.IntersectionQuery(Box{0, 0, 1, 1}, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(DynamicRTreeTest, SingleItem) {
+  DynamicRTree tree;
+  tree.Insert(7, Box{1, 1, 2, 2});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  std::vector<int32_t> out;
+  tree.IntersectionQuery(Box{0, 0, 3, 3}, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 7);
+  tree.IntersectionQuery(Box{5, 5, 6, 6}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DynamicRTreeTest, GrowsAndKeepsInvariants) {
+  DynamicRTree tree(4);
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(i, RandomBox(rng));
+    if (i % 50 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after insert " << i;
+    }
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GE(tree.Height(), 3);  // fanout 4 over 500 items
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+class DynamicRTreeFanout : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicRTreeFanout, QueriesMatchBruteForce) {
+  const int fanout = GetParam();
+  DynamicRTree tree(fanout);
+  Rng rng(41 + static_cast<uint64_t>(fanout));
+  std::vector<std::pair<int32_t, Box>> reference;
+  for (int i = 0; i < 400; ++i) {
+    const Box box = RandomBox(rng);
+    tree.Insert(i, box);
+    reference.push_back({i, box});
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  std::vector<int32_t> out;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Box query = RandomBox(rng, 120.0);
+    tree.IntersectionQuery(query, &out);
+    std::set<int32_t> got(out.begin(), out.end());
+    EXPECT_EQ(got.size(), out.size()) << "duplicate results";
+    std::set<int32_t> expected;
+    for (const auto& [id, box] : reference) {
+      if (box.Intersects(query)) expected.insert(id);
+    }
+    EXPECT_EQ(got, expected) << "fanout " << fanout << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, DynamicRTreeFanout,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(DynamicRTreeTest, AgreesWithBulkLoadedRTree) {
+  Rng rng(77);
+  DynamicRTree dynamic(8);
+  std::vector<RTree::Item> items;
+  for (int i = 0; i < 300; ++i) {
+    const Box box = RandomBox(rng);
+    dynamic.Insert(i, box);
+    items.push_back(RTree::Item{i, box});
+  }
+  const RTree packed = RTree::BulkLoad(std::move(items), 8);
+
+  std::vector<int32_t> a;
+  std::vector<int32_t> b;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Box query = RandomBox(rng, 120.0);
+    dynamic.IntersectionQuery(query, &a);
+    packed.IntersectionQuery(query, &b);
+    EXPECT_EQ(std::set<int32_t>(a.begin(), a.end()),
+              std::set<int32_t>(b.begin(), b.end()))
+        << "trial " << trial;
+  }
+}
+
+TEST(DynamicRTreeTest, DuplicateBoxesAllowed) {
+  DynamicRTree tree(4);
+  const Box box{0, 0, 1, 1};
+  for (int i = 0; i < 20; ++i) tree.Insert(i, box);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<int32_t> out;
+  tree.IntersectionQuery(box, &out);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(DynamicRTreeTest, BoundsCoverEverything) {
+  DynamicRTree tree(6);
+  Rng rng(3);
+  Box expected;
+  for (int i = 0; i < 100; ++i) {
+    const Box box = RandomBox(rng);
+    expected.ExpandToInclude(box);
+    tree.Insert(i, box);
+  }
+  EXPECT_EQ(tree.Bounds(), expected);
+}
+
+}  // namespace
+}  // namespace indoorflow

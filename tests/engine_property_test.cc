@@ -1,0 +1,195 @@
+// Parameterized end-to-end properties of the query engine, swept over
+// dataset seeds, detection ranges, and topology modes:
+//   * iterative / join parity on both query types;
+//   * topology-mode monotonicity (exact ⊆ partition ⊆ off, flow-wise);
+//   * flow bounds and subset independence.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+
+namespace indoorflow {
+namespace {
+
+struct EngineCase {
+  uint64_t seed;
+  double detection_range;
+  TopologyMode mode;
+};
+
+void PrintTo(const EngineCase& c, std::ostream* os) {
+  *os << "seed" << c.seed << "_range" << c.detection_range << "_mode"
+      << static_cast<int>(c.mode);
+}
+
+class EngineSweep : public ::testing::TestWithParam<EngineCase> {
+ protected:
+  EngineSweep() {
+    OfficeDatasetConfig config;
+    config.num_objects = 25;
+    config.duration = 900.0;
+    config.detection_range = GetParam().detection_range;
+    config.seed = GetParam().seed;
+    dataset_ = GenerateOfficeDataset(config);
+    EngineConfig engine_config;
+    engine_config.topology = GetParam().mode;
+    engine_ = std::make_unique<QueryEngine>(dataset_, engine_config);
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+std::map<PoiId, double> AsMap(const std::vector<PoiFlow>& flows) {
+  std::map<PoiId, double> out;
+  for (const PoiFlow& f : flows) out[f.poi] = f.flow;
+  return out;
+}
+
+TEST_P(EngineSweep, SnapshotParity) {
+  const int k = static_cast<int>(dataset_.pois.size());
+  for (const Timestamp t : {300.0, 600.0}) {
+    const auto iter = AsMap(engine_->SnapshotTopK(t, k, Algorithm::kIterative));
+    const auto join = AsMap(engine_->SnapshotTopK(t, k, Algorithm::kJoin));
+    ASSERT_EQ(iter.size(), join.size());
+    for (const auto& [poi, flow] : iter) {
+      ASSERT_TRUE(join.contains(poi)) << "poi " << poi;
+      EXPECT_NEAR(flow, join.at(poi), 1e-9) << "poi " << poi << " t " << t;
+    }
+  }
+}
+
+TEST_P(EngineSweep, IntervalParity) {
+  const int k = static_cast<int>(dataset_.pois.size());
+  const auto iter =
+      AsMap(engine_->IntervalTopK(200.0, 700.0, k, Algorithm::kIterative));
+  const auto join =
+      AsMap(engine_->IntervalTopK(200.0, 700.0, k, Algorithm::kJoin));
+  ASSERT_EQ(iter.size(), join.size());
+  for (const auto& [poi, flow] : iter) {
+    EXPECT_NEAR(flow, join.at(poi), 1e-9) << "poi " << poi;
+  }
+}
+
+TEST_P(EngineSweep, FlowsBoundedByObjectCount) {
+  const int k = static_cast<int>(dataset_.pois.size());
+  const double num_objects =
+      static_cast<double>(dataset_.ott.objects().size());
+  for (const PoiFlow& f :
+       engine_->IntervalTopK(200.0, 700.0, k, Algorithm::kIterative)) {
+    EXPECT_GE(f.flow, 0.0);
+    // Each object's presence is at most 1 (Definition 1).
+    EXPECT_LE(f.flow, num_objects + 1e-6);
+  }
+}
+
+TEST_P(EngineSweep, FlowIndependentOfSubset) {
+  // A POI's flow must not depend on which other POIs are queried.
+  const std::vector<PoiId> small = {2, 9, 30};
+  const std::vector<PoiId> large = {0, 2, 5, 9, 14, 22, 30, 41, 60};
+  for (const Algorithm algo : {Algorithm::kIterative, Algorithm::kJoin}) {
+    const auto from_small = AsMap(engine_->SnapshotTopK(
+        450.0, static_cast<int>(small.size()), algo, &small));
+    const auto from_large = AsMap(engine_->SnapshotTopK(
+        450.0, static_cast<int>(large.size()), algo, &large));
+    for (PoiId id : small) {
+      ASSERT_TRUE(from_small.contains(id));
+      ASSERT_TRUE(from_large.contains(id));
+      EXPECT_NEAR(from_small.at(id), from_large.at(id), 1e-9)
+          << "poi " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EngineSweep,
+    ::testing::Values(
+        EngineCase{11, 1.5, TopologyMode::kOff},
+        EngineCase{11, 1.5, TopologyMode::kPartition},
+        EngineCase{11, 1.5, TopologyMode::kExact},
+        EngineCase{12, 1.0, TopologyMode::kPartition},
+        EngineCase{13, 2.5, TopologyMode::kPartition},
+        EngineCase{14, 2.0, TopologyMode::kOff}));
+
+// ---------------------------------------------------------------------------
+// Topology-mode monotonicity: exact point-wise regions are subsets of the
+// paper's partition-level regions, which are subsets of the unchecked
+// regions — so the flows must not increase as the mode tightens.
+
+class TopologyMonotonicity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TopologyMonotonicity, FlowsShrinkAsModesTighten) {
+  OfficeDatasetConfig config;
+  config.num_objects = 20;
+  config.duration = 900.0;
+  config.seed = GetParam();
+  const Dataset dataset = GenerateOfficeDataset(config);
+
+  auto flows_for = [&](TopologyMode mode) {
+    EngineConfig engine_config;
+    engine_config.topology = mode;
+    const QueryEngine engine(dataset, engine_config);
+    return AsMap(engine.SnapshotTopK(
+        500.0, static_cast<int>(dataset.pois.size()),
+        Algorithm::kIterative));
+  };
+  const auto off = flows_for(TopologyMode::kOff);
+  const auto partition = flows_for(TopologyMode::kPartition);
+  const auto exact = flows_for(TopologyMode::kExact);
+
+  // Integration tolerance: each presence is computed to ~1% of the POI, so
+  // allow a small cushion per comparison.
+  constexpr double kSlack = 0.05;
+  for (const auto& [poi, flow_off] : off) {
+    EXPECT_LE(partition.at(poi), flow_off + kSlack) << "poi " << poi;
+    EXPECT_LE(exact.at(poi), partition.at(poi) + kSlack) << "poi " << poi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyMonotonicity,
+                         ::testing::Values(21u, 22u, 23u));
+
+// ---------------------------------------------------------------------------
+// k sweep: results are always sorted, sized min(k, |P|), and prefixes agree.
+
+class KSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KSweep, SortedAndPrefixConsistent) {
+  static const Dataset* dataset = [] {
+    OfficeDatasetConfig config;
+    config.num_objects = 25;
+    config.duration = 900.0;
+    config.seed = 31;
+    return new Dataset(GenerateOfficeDataset(config));
+  }();
+  static const QueryEngine* engine = [] {
+    EngineConfig engine_config;
+    engine_config.topology = TopologyMode::kPartition;
+    return new QueryEngine(*dataset, engine_config);
+  }();
+
+  const int k = GetParam();
+  const auto top = engine->SnapshotTopK(450.0, k, Algorithm::kJoin);
+  EXPECT_EQ(top.size(),
+            std::min<size_t>(static_cast<size_t>(k),
+                             dataset->pois.size()));
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].flow, top[i - 1].flow + 1e-12);
+  }
+  // Prefix property versus the full ranking.
+  const auto full = engine->SnapshotTopK(
+      450.0, static_cast<int>(dataset->pois.size()), Algorithm::kJoin);
+  for (size_t i = 0; i < top.size(); ++i) {
+    EXPECT_NEAR(top[i].flow, full[i].flow, 1e-9) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KSweep,
+                         ::testing::Values(1, 5, 10, 20, 30, 40, 50, 75,
+                                           100));
+
+}  // namespace
+}  // namespace indoorflow

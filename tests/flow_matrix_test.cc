@@ -1,0 +1,124 @@
+// Tests for the materialized flow matrix.
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow_matrix.h"
+#include "src/core/timeline.h"
+#include "src/indoor/plan_builders.h"
+
+namespace indoorflow {
+namespace {
+
+// Controlled occupancy: 2 objects in room_a during [0,100], 1 object in
+// room_b during [150,250].
+class FlowMatrixFixture : public ::testing::Test {
+ protected:
+  FlowMatrixFixture() : built_(BuildTinyPlan()), graph_(built_.plan) {
+    deployment_.AddDevice(Circle{{5, 8}, 1.0});
+    deployment_.AddDevice(Circle{{15, 8}, 1.0});
+    deployment_.BuildIndex();
+    pois_.push_back(Poi{0, "room_a", Polygon::Rectangle(0, 4, 10, 12)});
+    pois_.push_back(Poi{1, "room_b", Polygon::Rectangle(10, 4, 20, 12)});
+    table_.Append({0, 0, 0, 100});
+    table_.Append({1, 0, 0, 100});
+    table_.Append({2, 1, 150, 250});
+    INDOORFLOW_CHECK(table_.Finalize().ok());
+    EngineConfig config;
+    config.vmax = 1.0;
+    config.topology = TopologyMode::kOff;
+    engine_ = std::make_unique<QueryEngine>(built_.plan, graph_,
+                                            deployment_, table_, pois_,
+                                            config);
+  }
+
+  BuiltPlan built_;
+  DoorGraph graph_;
+  Deployment deployment_;
+  ObjectTrackingTable table_;
+  PoiSet pois_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(FlowMatrixFixture, BuildShape) {
+  FlowMatrixOptions options;
+  options.bucket_seconds = 50.0;
+  const FlowMatrix matrix =
+      FlowMatrix::Build(*engine_, 0.0, 300.0, options);
+  EXPECT_EQ(matrix.num_buckets(), 6u);
+  EXPECT_EQ(matrix.num_pois(), 2u);
+  EXPECT_DOUBLE_EQ(matrix.bucket_time(0), 25.0);
+  EXPECT_DOUBLE_EQ(matrix.bucket_time(5), 275.0);
+}
+
+TEST_F(FlowMatrixFixture, MatchesExactQueriesAtBucketCenters) {
+  FlowMatrixOptions options;
+  options.bucket_seconds = 50.0;
+  const FlowMatrix matrix =
+      FlowMatrix::Build(*engine_, 0.0, 300.0, options);
+  for (size_t bucket = 0; bucket < matrix.num_buckets(); ++bucket) {
+    const auto exact = engine_->SnapshotTopK(matrix.bucket_time(bucket), 2,
+                                             Algorithm::kJoin);
+    for (const PoiFlow& f : exact) {
+      EXPECT_NEAR(matrix.FlowAt(bucket, f.poi), f.flow, 1e-12)
+          << "bucket " << bucket << " poi " << f.poi;
+    }
+  }
+}
+
+TEST_F(FlowMatrixFixture, ApproxTopKTracksOccupancy) {
+  FlowMatrixOptions options;
+  options.bucket_seconds = 25.0;
+  const FlowMatrix matrix =
+      FlowMatrix::Build(*engine_, 0.0, 300.0, options);
+  // During [0,100]: room_a leads; during [150,250]: room_b leads.
+  const auto early = matrix.ApproxSnapshotTopK(50.0, 1);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].poi, 0);
+  EXPECT_GT(early[0].flow, 0.0);
+  const auto late = matrix.ApproxSnapshotTopK(200.0, 1);
+  EXPECT_EQ(late[0].poi, 1);
+}
+
+TEST_F(FlowMatrixFixture, InterpolationIsClampedAndContinuous) {
+  FlowMatrixOptions options;
+  options.bucket_seconds = 100.0;
+  const FlowMatrix matrix =
+      FlowMatrix::Build(*engine_, 0.0, 300.0, options);
+  // Beyond the grid: clamped to the edge buckets.
+  EXPECT_DOUBLE_EQ(matrix.ApproxFlow(0, -100.0), matrix.FlowAt(0, 0));
+  EXPECT_DOUBLE_EQ(matrix.ApproxFlow(0, 1000.0),
+                   matrix.FlowAt(matrix.num_buckets() - 1, 0));
+  // Midpoint between buckets = average of the two bucket values.
+  const double mid =
+      (matrix.bucket_time(0) + matrix.bucket_time(1)) / 2.0;
+  EXPECT_NEAR(matrix.ApproxFlow(0, mid),
+              0.5 * (matrix.FlowAt(0, 0) + matrix.FlowAt(1, 0)), 1e-12);
+}
+
+TEST_F(FlowMatrixFixture, AverageOccupancyAgreesWithTimeline) {
+  FlowMatrixOptions options;
+  options.bucket_seconds = 20.0;
+  const FlowMatrix matrix =
+      FlowMatrix::Build(*engine_, 0.0, 300.0, options);
+  const auto ranked = matrix.AverageOccupancyTopK(0.0, 300.0, 2);
+  ASSERT_EQ(ranked.size(), 2u);
+  // room_a hosts 2 objects for 1/3 of the window; room_b 1 object for 1/3:
+  // room_a's average occupancy is ~2x room_b's.
+  EXPECT_EQ(ranked[0].poi, 0);
+  EXPECT_NEAR(ranked[0].flow / ranked[1].flow, 2.0, 0.35);
+  // Cross-check against the exact timeline average.
+  const auto series = FlowTimeline(*engine_, 0, 0.0, 300.0, 20.0);
+  EXPECT_NEAR(ranked[0].flow, AverageFlow(series), 0.05);
+}
+
+TEST_F(FlowMatrixFixture, DegenerateWindows) {
+  FlowMatrixOptions options;
+  options.bucket_seconds = 50.0;
+  const FlowMatrix matrix = FlowMatrix::Build(*engine_, 0.0, 0.0, options);
+  EXPECT_EQ(matrix.num_buckets(), 1u);
+  const auto top = matrix.AverageOccupancyTopK(10.0, 10.0, 2);
+  EXPECT_EQ(top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace indoorflow

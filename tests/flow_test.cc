@@ -1,0 +1,92 @@
+// Tests for presence/flow computation and top-k selection.
+
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/core/flow.h"
+
+namespace indoorflow {
+namespace {
+
+Poi MakePoi(PoiId id, double min_x, double min_y, double max_x,
+            double max_y) {
+  return Poi{id, "poi", Polygon::Rectangle(min_x, min_y, max_x, max_y)};
+}
+
+TEST(PresenceTest, RegionInsidePoi) {
+  const Poi poi = MakePoi(0, 0, 0, 10, 8);  // area 80
+  const Region poi_region = Region::Make(poi.shape);
+  const Circle c{{5, 4}, 1.0};
+  const double p = Presence(Region::Make(c), poi.Area(), poi_region, FlowConfig{});
+  EXPECT_NEAR(p, c.Area() / 80.0, 0.002);
+}
+
+TEST(PresenceTest, RegionCoversPoi) {
+  const Poi poi = MakePoi(0, 4, 4, 6, 6);
+  const Region poi_region = Region::Make(poi.shape);
+  const double p = Presence(Region::Make(Circle{{5, 5}, 10.0}), poi.Area(),
+                            poi_region, FlowConfig{});
+  EXPECT_NEAR(p, 1.0, 1e-9);
+}
+
+TEST(PresenceTest, DisjointIsZero) {
+  const Poi poi = MakePoi(0, 0, 0, 2, 2);
+  const Region poi_region = Region::Make(poi.shape);
+  const double p = Presence(Region::Make(Circle{{50, 50}, 1.0}), poi.Area(),
+                            poi_region, FlowConfig{});
+  EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(PresenceTest, EmptyRegionIsZero) {
+  const Poi poi = MakePoi(0, 0, 0, 2, 2);
+  const Region poi_region = Region::Make(poi.shape);
+  EXPECT_DOUBLE_EQ(Presence(Region(), poi.Area(), poi_region, FlowConfig{}), 0.0);
+}
+
+TEST(PresenceTest, HalfOverlap) {
+  const Poi poi = MakePoi(0, 0, 0, 4, 4);
+  const Region poi_region = Region::Make(poi.shape);
+  const Region half = Region::Make(Polygon::Rectangle(2, 0, 6, 4));
+  EXPECT_NEAR(Presence(half, poi.Area(), poi_region, FlowConfig{}), 0.5, 0.01);
+}
+
+TEST(PresenceTest, ToleranceScalesWithPoiArea) {
+  // A 1% presence tolerance on a large POI must still resolve a small
+  // region reasonably (relative to the POI, not the region).
+  const Poi poi = MakePoi(0, 0, 0, 100, 100);  // area 10000
+  const Region poi_region = Region::Make(poi.shape);
+  const Circle c{{50, 50}, 5.0};
+  const double p = Presence(Region::Make(c), poi.Area(), poi_region, FlowConfig{});
+  EXPECT_NEAR(p, c.Area() / 10000.0, 0.01);
+}
+
+TEST(TopKTest, OrdersByFlowDescending) {
+  std::vector<PoiFlow> flows = {{0, 1.0}, {1, 3.0}, {2, 2.0}};
+  const std::vector<PoiFlow> top = TopK(std::move(flows), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].poi, 1);
+  EXPECT_EQ(top[1].poi, 2);
+}
+
+TEST(TopKTest, TieBreaksByPoiId) {
+  std::vector<PoiFlow> flows = {{5, 1.0}, {1, 1.0}, {3, 1.0}};
+  const std::vector<PoiFlow> top = TopK(std::move(flows), 3);
+  EXPECT_EQ(top[0].poi, 1);
+  EXPECT_EQ(top[1].poi, 3);
+  EXPECT_EQ(top[2].poi, 5);
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  std::vector<PoiFlow> flows = {{0, 1.0}};
+  EXPECT_EQ(TopK(std::move(flows), 10).size(), 1u);
+}
+
+TEST(TopKTest, NonPositiveK) {
+  std::vector<PoiFlow> flows = {{0, 1.0}};
+  EXPECT_TRUE(TopK(flows, 0).empty());
+  EXPECT_TRUE(TopK(flows, -3).empty());
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,302 @@
+// Unit tests for the basic geometry primitives: points, boxes, circles,
+// rings, polygons, clipping, tessellation, extended ellipses.
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/geometry/box.h"
+#include "src/geometry/circle.h"
+#include "src/geometry/clip.h"
+#include "src/geometry/extended_ellipse.h"
+#include "src/geometry/point.h"
+#include "src/geometry/polygon.h"
+#include "src/geometry/tessellate.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(PointTest, BasicOps) {
+  const Point a{1.0, 2.0};
+  const Point b{4.0, 6.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Dot(a, b), 16.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -2.0);
+  const Point u = Normalized(b - a);
+  EXPECT_NEAR(Length(u), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Cross(u, Perp(u)), 1.0);
+}
+
+TEST(PointTest, ClosestPointOnSegment) {
+  const Segment s{{0, 0}, {10, 0}};
+  EXPECT_EQ(ClosestPointOnSegment(s, {5, 3}), (Point{5, 0}));
+  EXPECT_EQ(ClosestPointOnSegment(s, {-2, 1}), (Point{0, 0}));
+  EXPECT_EQ(ClosestPointOnSegment(s, {14, -1}), (Point{10, 0}));
+  EXPECT_DOUBLE_EQ(DistancePointSegment({5, 3}, s), 3.0);
+}
+
+TEST(PointTest, SegmentsIntersect) {
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  // Touching at an endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+  // Collinear overlap.
+  EXPECT_TRUE(SegmentsIntersect({{0, 0}, {3, 0}}, {{2, 0}, {5, 0}}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(BoxTest, EmptyAndAccumulate) {
+  Box b;
+  EXPECT_TRUE(b.Empty());
+  EXPECT_DOUBLE_EQ(b.Area(), 0.0);
+  b.ExpandToInclude(Point{1, 1});
+  EXPECT_FALSE(b.Empty());
+  EXPECT_DOUBLE_EQ(b.Area(), 0.0);
+  b.ExpandToInclude(Point{3, 5});
+  EXPECT_DOUBLE_EQ(b.Area(), 8.0);
+  EXPECT_TRUE(b.Contains(Point{2, 3}));
+  EXPECT_FALSE(b.Contains(Point{0, 0}));
+}
+
+TEST(BoxTest, IntersectionAndUnion) {
+  const Box a{0, 0, 4, 4};
+  const Box b{2, 2, 6, 6};
+  const Box i = Intersection(a, b);
+  EXPECT_DOUBLE_EQ(i.Area(), 4.0);
+  const Box u = Union(a, b);
+  EXPECT_DOUBLE_EQ(u.Area(), 36.0);
+  const Box far{10, 10, 11, 11};
+  EXPECT_TRUE(Intersection(a, far).Empty());
+  EXPECT_FALSE(a.Intersects(far));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BoxTest, MinMaxDistance) {
+  const Box b{0, 0, 2, 2};
+  EXPECT_DOUBLE_EQ(MinDistance(b, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(b, {5, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(MinDistance(b, {5, 6}), 5.0);
+  EXPECT_DOUBLE_EQ(MaxDistance(b, {1, 1}), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(MaxDistance(b, {-1, -1}), std::sqrt(18.0));
+}
+
+TEST(CircleTest, ContainsAndBounds) {
+  const Circle c{{2, 3}, 2.0};
+  EXPECT_TRUE(c.Contains({2, 3}));
+  EXPECT_TRUE(c.Contains({4, 3}));  // boundary
+  EXPECT_FALSE(c.Contains({4.1, 3}));
+  EXPECT_EQ(c.Bounds(), (Box{0, 1, 4, 5}));
+  EXPECT_NEAR(c.Area(), 4.0 * std::numbers::pi, 1e-12);
+  EXPECT_DOUBLE_EQ(c.DistanceToDisk({2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(c.DistanceToDisk({7, 3}), 3.0);
+}
+
+TEST(RingTest, AroundDetectionRange) {
+  const Circle range{{0, 0}, 1.5};
+  const Ring ring = Ring::Around(range, 2.0);
+  EXPECT_DOUBLE_EQ(ring.inner_radius, 1.5);
+  EXPECT_DOUBLE_EQ(ring.outer_radius, 3.5);
+  EXPECT_FALSE(ring.Contains({0, 0}));       // inside the detection range
+  EXPECT_TRUE(ring.Contains({2.0, 0}));      // in the annulus
+  EXPECT_TRUE(ring.Contains({1.5, 0}));      // inner boundary
+  EXPECT_TRUE(ring.Contains({3.5, 0}));      // outer boundary
+  EXPECT_FALSE(ring.Contains({3.6, 0}));
+  EXPECT_NEAR(ring.Area(),
+              std::numbers::pi * (3.5 * 3.5 - 1.5 * 1.5), 1e-9);
+}
+
+TEST(PolygonTest, AreaCentroidPerimeter) {
+  const Polygon rect = Polygon::Rectangle(0, 0, 4, 2);
+  EXPECT_DOUBLE_EQ(rect.Area(), 8.0);
+  EXPECT_DOUBLE_EQ(rect.SignedArea(), 8.0);  // CCW
+  EXPECT_EQ(rect.Centroid(), (Point{2, 1}));
+  EXPECT_DOUBLE_EQ(rect.Perimeter(), 12.0);
+  EXPECT_TRUE(rect.IsConvex());
+}
+
+TEST(PolygonTest, NormalizeReversesClockwise) {
+  Polygon cw({{0, 0}, {0, 2}, {2, 2}, {2, 0}});
+  EXPECT_LT(cw.SignedArea(), 0.0);
+  cw.Normalize();
+  EXPECT_GT(cw.SignedArea(), 0.0);
+}
+
+TEST(PolygonTest, ContainsWithBoundary) {
+  const Polygon rect = Polygon::Rectangle(0, 0, 4, 2);
+  EXPECT_TRUE(rect.Contains({2, 1}));
+  EXPECT_TRUE(rect.Contains({0, 0}));    // corner
+  EXPECT_TRUE(rect.Contains({2, 0}));    // edge
+  EXPECT_FALSE(rect.Contains({4.01, 1}));
+  EXPECT_FALSE(rect.Contains({-1, 1}));
+}
+
+TEST(PolygonTest, NonConvexContains) {
+  // An L-shape.
+  const Polygon ell(
+      {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  EXPECT_FALSE(ell.IsConvex());
+  EXPECT_TRUE(ell.Contains({1, 3}));
+  EXPECT_TRUE(ell.Contains({3, 1}));
+  EXPECT_FALSE(ell.Contains({3, 3}));
+  EXPECT_DOUBLE_EQ(ell.Area(), 12.0);
+}
+
+TEST(PolygonTest, IntersectsOther) {
+  const Polygon a = Polygon::Rectangle(0, 0, 2, 2);
+  const Polygon b = Polygon::Rectangle(1, 1, 3, 3);
+  const Polygon c = Polygon::Rectangle(5, 5, 6, 6);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  // Containment counts as intersection.
+  const Polygon inner = Polygon::Rectangle(0.5, 0.5, 1.0, 1.0);
+  EXPECT_TRUE(a.Intersects(inner));
+  EXPECT_TRUE(inner.Intersects(a));
+}
+
+TEST(PolygonTest, DistanceToRegion) {
+  const Polygon rect = Polygon::Rectangle(0, 0, 2, 2);
+  EXPECT_DOUBLE_EQ(rect.Distance({1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(rect.Distance({4, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(rect.Distance({5, 6}), 5.0);
+}
+
+TEST(ClipTest, HalfPlane) {
+  const Polygon rect = Polygon::Rectangle(0, 0, 4, 4);
+  // Keep the left of the upward line x = 2.
+  const auto clipped = ClipToHalfPlane(rect, {2, 0}, {2, 4});
+  ASSERT_TRUE(clipped.has_value());
+  EXPECT_DOUBLE_EQ(clipped->Area(), 8.0);
+  // Clip away everything: keep the left of the upward line x = -1.
+  const auto empty = ClipToHalfPlane(rect, {-1, 0}, {-1, 4});
+  EXPECT_FALSE(empty.has_value());
+}
+
+TEST(ClipTest, ConvexIntersectionArea) {
+  const Polygon a = Polygon::Rectangle(0, 0, 4, 4);
+  const Polygon b = Polygon::Rectangle(2, 2, 6, 6);
+  EXPECT_DOUBLE_EQ(ClippedArea(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(ClippedArea(b, a), 4.0);
+  const Polygon c = Polygon::Rectangle(10, 10, 12, 12);
+  EXPECT_DOUBLE_EQ(ClippedArea(a, c), 0.0);
+  // Triangle clipped by a square: [0,4]^2 lies entirely under x + y <= 8,
+  // while the triangle clipped by [2,6]^2 loses the corner above the line.
+  const Polygon tri({{0, 0}, {8, 0}, {0, 8}});
+  EXPECT_DOUBLE_EQ(ClippedArea(tri, a), 16.0);
+  // [2,6]^2 minus the half above x + y = 8: 16 - (1/2 * 4 * 4) = 8.
+  const Polygon shifted = Polygon::Rectangle(2, 2, 6, 6);
+  EXPECT_DOUBLE_EQ(ClippedArea(tri, shifted), 8.0);
+}
+
+TEST(ClipTest, ClockwiseClipWindowIsNormalized) {
+  const Polygon subject = Polygon::Rectangle(0, 0, 4, 4);
+  Polygon cw_clip({{2, 2}, {2, 6}, {6, 6}, {6, 2}});
+  EXPECT_LT(cw_clip.SignedArea(), 0.0);
+  EXPECT_DOUBLE_EQ(ClippedArea(subject, cw_clip), 4.0);
+}
+
+TEST(TessellateTest, CircleAreaConverges) {
+  const Circle c{{1, 1}, 3.0};
+  const Polygon poly = TessellateCircle(c, 256);
+  EXPECT_NEAR(poly.Area(), c.Area(), c.Area() * 1e-3);
+  EXPECT_TRUE(poly.IsConvex());
+}
+
+TEST(ExtendedEllipseTest, DegenerateSameDevice) {
+  // Same device on both ends: the object wandered at most L/2 away.
+  const Circle range{{0, 0}, 1.0};
+  const ExtendedEllipse theta(range, range, 4.0);
+  EXPECT_FALSE(theta.EmptyBridge());
+  EXPECT_TRUE(theta.Contains({0, 0}));
+  EXPECT_TRUE(theta.Contains({3.0, 0}));   // r + L/2 = 3
+  EXPECT_FALSE(theta.Contains({3.1, 0}));
+}
+
+TEST(ExtendedEllipseTest, BridgeMembership) {
+  const Circle a{{0, 0}, 1.0};
+  const Circle b{{10, 0}, 1.0};
+  // Gap between disks is 8; budget 9 leaves 1m of slack.
+  const ExtendedEllipse theta(a, b, 9.0);
+  EXPECT_FALSE(theta.EmptyBridge());
+  EXPECT_TRUE(theta.Contains({5, 0}));
+  EXPECT_TRUE(theta.Contains({0, 0}));    // disk included (complete region)
+  EXPECT_TRUE(theta.Contains({5, 0.4}));
+  EXPECT_FALSE(theta.Contains({5, 3.0}));
+  // On-axis behind disk a: at (-x, 0) with x > 1 the distance sum is
+  // (x - 1) + (x + 9) = 2x + 8, so only x <= 0.5 would fit — i.e. nothing
+  // outside the disk qualifies with just 1m of slack.
+  EXPECT_TRUE(theta.Contains({-0.9, 0}));   // still inside disk a
+  EXPECT_FALSE(theta.Contains({-1.5, 0}));
+  // Off-axis at the midpoint: 2*(sqrt(25 + y^2) - 1) <= 9 iff y <= ~2.29.
+  EXPECT_TRUE(theta.Contains({5, 2.0}));
+  EXPECT_FALSE(theta.Contains({5, 2.5}));
+}
+
+TEST(ExtendedEllipseTest, ExcludeDisksVariant) {
+  const Circle a{{0, 0}, 1.0};
+  const Circle b{{10, 0}, 1.0};
+  const ExtendedEllipse theta(a, b, 9.0, /*include_disks=*/false);
+  EXPECT_FALSE(theta.Contains({0, 0}));
+  EXPECT_TRUE(theta.Contains({5, 0}));
+}
+
+TEST(ExtendedEllipseTest, EmptyBridgeFallsBackToDisks) {
+  const Circle a{{0, 0}, 1.0};
+  const Circle b{{10, 0}, 1.0};
+  const ExtendedEllipse theta(a, b, 2.0);  // cannot bridge an 8m gap
+  EXPECT_TRUE(theta.EmptyBridge());
+  EXPECT_TRUE(theta.Contains({0, 0}));
+  EXPECT_TRUE(theta.Contains({10, 0}));
+  EXPECT_FALSE(theta.Contains({5, 0}));
+}
+
+TEST(ExtendedEllipseTest, BoundsCoverRegion) {
+  const Circle a{{0, 0}, 1.5};
+  const Circle b{{7, 3}, 1.0};
+  const ExtendedEllipse theta(a, b, 12.0);
+  const Box bounds = theta.Bounds();
+  // Sample the region boundary radially and check box coverage.
+  const Polygon approx = TessellateExtendedEllipse(theta, 128);
+  for (const Point& p : approx.vertices()) {
+    EXPECT_TRUE(bounds.Contains(p))
+        << "(" << p.x << ", " << p.y << ") outside bounds";
+  }
+}
+
+TEST(ExtendedEllipseTest, TessellationMatchesMembership) {
+  const Circle a{{0, 0}, 1.0};
+  const Circle b{{6, 0}, 1.0};
+  const ExtendedEllipse theta(a, b, 7.0);
+  const Polygon approx = TessellateExtendedEllipse(theta, 256);
+  // Every tessellation vertex must be (approximately) on the boundary:
+  // inside the region, but outside when pushed 1% outward.
+  const Point origin{3, 0};
+  for (const Point& p : approx.vertices()) {
+    EXPECT_TRUE(theta.Contains(p));
+    const Point outward = origin + (p - origin) * 1.02;
+    EXPECT_FALSE(theta.Contains(outward));
+  }
+}
+
+TEST(ExtendedEllipseTest, SumDistanceBoundsAreConservative) {
+  const Circle a{{0, 0}, 1.0};
+  const Circle b{{8, 0}, 1.5};
+  const ExtendedEllipse theta(a, b, 10.0);
+  const Box box{2, 1, 4, 2};
+  const double min_sum = theta.MinSumDistance(box);
+  const double max_sum = theta.MaxSumDistance(box);
+  // Check against a dense sample of the box.
+  for (int i = 0; i <= 10; ++i) {
+    for (int j = 0; j <= 10; ++j) {
+      const Point p{box.min_x + box.Width() * i / 10.0,
+                    box.min_y + box.Height() * j / 10.0};
+      const double sum = a.DistanceToDisk(p) + b.DistanceToDisk(p);
+      EXPECT_GE(sum + 1e-9, min_sum);
+      EXPECT_LE(sum - 1e-9, max_sum);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

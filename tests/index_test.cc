@@ -1,0 +1,266 @@
+// Tests for the index layer: AR-tree, R-tree, aggregate R-tree.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/index/aggregate_rtree.h"
+#include "src/index/artree.h"
+#include "src/index/rtree.h"
+
+namespace indoorflow {
+namespace {
+
+ObjectTrackingTable MakeTable() {
+  // Object 1: records at [10,20], [40,50], [80,90].
+  // Object 2: records at [15,25], [60,70].
+  ObjectTrackingTable table;
+  table.Append({1, 100, 10, 20});
+  table.Append({1, 101, 40, 50});
+  table.Append({1, 102, 80, 90});
+  table.Append({2, 200, 15, 25});
+  table.Append({2, 201, 60, 70});
+  INDOORFLOW_CHECK(table.Finalize().ok());
+  return table;
+}
+
+TEST(ARTreeTest, EntriesPerRecord) {
+  const ObjectTrackingTable table = MakeTable();
+  const ARTree tree = ARTree::Build(table);
+  EXPECT_EQ(tree.num_entries(), 5u);
+}
+
+TEST(ARTreeTest, PointQueryActive) {
+  const ObjectTrackingTable table = MakeTable();
+  const ARTree tree = ARTree::Build(table);
+  std::vector<ARTreeEntry> out;
+  // t=45: object 1 active at device 101; object 2 inactive (gap 25..60).
+  tree.PointQuery(45.0, &out);
+  ASSERT_EQ(out.size(), 2u);
+  std::set<ObjectId> objects;
+  for (const ARTreeEntry& e : out) {
+    objects.insert(table.record(e.cur).object_id);
+    if (table.record(e.cur).object_id == 1) {
+      EXPECT_TRUE(table.record(e.cur).Covers(45.0));
+      EXPECT_EQ(table.record(e.cur).device_id, 101);
+      ASSERT_NE(e.pre, kInvalidRecord);
+      EXPECT_EQ(table.record(e.pre).device_id, 100);
+    } else {
+      EXPECT_FALSE(table.record(e.cur).Covers(45.0));  // inactive
+      EXPECT_EQ(table.record(e.cur).device_id, 201);   // rd_suc
+      EXPECT_EQ(table.record(e.pre).device_id, 200);   // rd_pre
+    }
+  }
+  EXPECT_EQ(objects.size(), 2u);
+}
+
+TEST(ARTreeTest, PointQueryFirstRecordClosedStart) {
+  const ObjectTrackingTable table = MakeTable();
+  const ARTree tree = ARTree::Build(table);
+  std::vector<ARTreeEntry> out;
+  // t=10 is the very start of object 1's first record.
+  tree.PointQuery(10.0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].pre, kInvalidRecord);
+  EXPECT_TRUE(out[0].closed_start);
+}
+
+TEST(ARTreeTest, PointQueryBeforeAndAfterData) {
+  const ObjectTrackingTable table = MakeTable();
+  const ARTree tree = ARTree::Build(table);
+  std::vector<ARTreeEntry> out;
+  tree.PointQuery(5.0, &out);
+  EXPECT_TRUE(out.empty());
+  tree.PointQuery(95.0, &out);  // after all records: objects unseen
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ARTreeTest, AugmentedIntervalBoundaries) {
+  const ObjectTrackingTable table = MakeTable();
+  const ARTree tree = ARTree::Build(table);
+  std::vector<ARTreeEntry> out;
+  // t = 20 is the end of object 1's first record: covered by the first
+  // entry ((-inf...] no — [10,20]), not by the second ((20, 50]).
+  tree.PointQuery(20.0, &out);
+  ASSERT_EQ(out.size(), 2u);  // object 1 first entry + object 2 entry
+  for (const ARTreeEntry& e : out) {
+    if (table.record(e.cur).object_id == 1) {
+      EXPECT_EQ(e.pre, kInvalidRecord);
+    }
+  }
+  // Just after 20: the gap entry (20, 50] takes over.
+  tree.PointQuery(20.5, &out);
+  for (const ARTreeEntry& e : out) {
+    if (table.record(e.cur).object_id == 1) {
+      EXPECT_NE(e.pre, kInvalidRecord);
+      EXPECT_EQ(table.record(e.cur).device_id, 101);
+    }
+  }
+}
+
+TEST(ARTreeTest, RangeQueryFindsOverlaps) {
+  const ObjectTrackingTable table = MakeTable();
+  const ARTree tree = ARTree::Build(table);
+  std::vector<ARTreeEntry> out;
+  tree.RangeQuery(42.0, 65.0, &out);
+  // Object 1: entry (20,50] overlaps; entry (50,90] overlaps.
+  // Object 2: entry (25,70] overlaps.
+  EXPECT_EQ(out.size(), 3u);
+  tree.RangeQuery(0.0, 5.0, &out);
+  EXPECT_TRUE(out.empty());
+  tree.RangeQuery(0.0, 1000.0, &out);
+  EXPECT_EQ(out.size(), tree.num_entries());
+}
+
+TEST(ARTreeTest, LargeRandomConsistentWithScan) {
+  // Property test: AR-tree results match a brute-force scan of entries.
+  Rng rng(5);
+  ObjectTrackingTable table;
+  for (ObjectId o = 0; o < 50; ++o) {
+    double t = rng.Uniform(0, 100);
+    for (int r = 0; r < 20; ++r) {
+      const double ts = t + rng.Uniform(1, 20);
+      const double te = ts + rng.Uniform(1, 30);
+      table.Append({o, static_cast<DeviceId>(rng.UniformInt(10ULL)), ts,
+                    te});
+      t = te;
+    }
+  }
+  ASSERT_TRUE(table.Finalize().ok());
+  const ARTree tree = ARTree::Build(table, 8);
+
+  // Rebuild the expected entries by hand.
+  std::vector<ARTreeEntry> expected;
+  for (ObjectId o : table.objects()) {
+    for (RecordIndex idx : table.ChainOf(o)) {
+      ARTreeEntry e;
+      e.cur = idx;
+      e.pre = table.PrevOf(idx);
+      e.t2 = table.record(idx).te;
+      e.closed_start = e.pre == kInvalidRecord;
+      e.t1 = e.closed_start ? table.record(idx).ts
+                            : table.record(e.pre).te;
+      expected.push_back(e);
+    }
+  }
+
+  std::vector<ARTreeEntry> out;
+  for (int trial = 0; trial < 200; ++trial) {
+    const double t = rng.Uniform(0, 1200);
+    tree.PointQuery(t, &out);
+    size_t expected_count = 0;
+    for (const ARTreeEntry& e : expected) {
+      expected_count += e.CoversTime(t) ? 1 : 0;
+    }
+    EXPECT_EQ(out.size(), expected_count) << "t=" << t;
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const double ts = rng.Uniform(0, 1100);
+    const double te = ts + rng.Uniform(0, 200);
+    tree.RangeQuery(ts, te, &out);
+    size_t expected_count = 0;
+    for (const ARTreeEntry& e : expected) {
+      expected_count += e.OverlapsInterval(ts, te) ? 1 : 0;
+    }
+    EXPECT_EQ(out.size(), expected_count) << "[" << ts << "," << te << "]";
+  }
+}
+
+TEST(RTreeTest, EmptyTree) {
+  const RTree tree = RTree::BulkLoad({});
+  EXPECT_TRUE(tree.empty());
+  std::vector<int32_t> out;
+  tree.IntersectionQuery(Box{0, 0, 1, 1}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, IntersectionQueryMatchesScan) {
+  Rng rng(17);
+  std::vector<RTree::Item> items;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.Uniform(0, 100);
+    const double y = rng.Uniform(0, 100);
+    items.push_back(
+        RTree::Item{i, Box{x, y, x + rng.Uniform(0.5, 8), y +
+                           rng.Uniform(0.5, 8)}});
+  }
+  const std::vector<RTree::Item> reference = items;
+  const RTree tree = RTree::BulkLoad(std::move(items), 8);
+  EXPECT_EQ(tree.num_items(), 500u);
+
+  std::vector<int32_t> out;
+  for (int trial = 0; trial < 100; ++trial) {
+    const double x = rng.Uniform(-10, 100);
+    const double y = rng.Uniform(-10, 100);
+    const Box query{x, y, x + rng.Uniform(1, 20), y + rng.Uniform(1, 20)};
+    tree.IntersectionQuery(query, &out);
+    std::set<int32_t> got(out.begin(), out.end());
+    std::set<int32_t> expected;
+    for (const RTree::Item& item : reference) {
+      if (item.box.Intersects(query)) expected.insert(item.id);
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, NavigationCountsAndBoxes) {
+  std::vector<RTree::Item> items;
+  for (int i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i % 10);
+    const double y = static_cast<double>(i / 10);
+    items.push_back(RTree::Item{i, Box{x, y, x + 0.5, y + 0.5}});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(items), 4);
+  const RTree::NodeId root = tree.root();
+  EXPECT_FALSE(tree.IsLeaf(root));
+  // Total count across root entries equals the item count, and every
+  // entry's box is inside the root box region.
+  int64_t total = 0;
+  for (int s = 0; s < tree.NumEntries(root); ++s) {
+    total += tree.EntryCount(root, s);
+  }
+  EXPECT_EQ(total, 100);
+  // Descend to leaves and collect item ids.
+  std::set<int32_t> ids;
+  std::vector<RTree::NodeId> stack{root};
+  while (!stack.empty()) {
+    const RTree::NodeId node = stack.back();
+    stack.pop_back();
+    for (int s = 0; s < tree.NumEntries(node); ++s) {
+      if (tree.IsLeaf(node)) {
+        ids.insert(tree.EntryItem(node, s));
+        EXPECT_EQ(tree.EntryCount(node, s), 1);
+      } else {
+        stack.push_back(tree.EntryChild(node, s));
+      }
+    }
+  }
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(AggregateRTreeTest, AdmitsUsesSubMbrs) {
+  std::vector<AggregateRTree::ObjectEntry> objects(1);
+  objects[0].object = 7;
+  objects[0].mbr = Box{0, 0, 10, 10};
+  objects[0].sub_mbrs = {Box{0, 0, 2, 2}, Box{8, 8, 10, 10}};
+  const AggregateRTree agg = AggregateRTree::Build(std::move(objects));
+  // Dead space in the overall MBR is rejected by the sub-MBR check
+  // (the paper's Figure 9 scenario).
+  EXPECT_FALSE(agg.Admits(0, Box{4, 4, 6, 6}));
+  EXPECT_TRUE(agg.Admits(0, Box{1, 1, 3, 3}));
+  EXPECT_TRUE(agg.Admits(0, Box{9, 9, 12, 12}));
+  EXPECT_FALSE(agg.Admits(0, Box{20, 20, 30, 30}));  // outside overall MBR
+}
+
+TEST(AggregateRTreeTest, AdmitsWithoutSubMbrsFallsBackToMbr) {
+  std::vector<AggregateRTree::ObjectEntry> objects(1);
+  objects[0].object = 7;
+  objects[0].mbr = Box{0, 0, 10, 10};
+  const AggregateRTree agg = AggregateRTree::Build(std::move(objects));
+  EXPECT_TRUE(agg.Admits(0, Box{4, 4, 6, 6}));
+}
+
+}  // namespace
+}  // namespace indoorflow

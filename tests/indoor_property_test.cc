@@ -1,0 +1,167 @@
+// Parameterized property tests for the indoor space model: metric
+// properties of the indoor walking distance and structural invariants of
+// the generated plans, across plan families and sizes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/indoor/door_graph.h"
+#include "src/indoor/indoor_distance.h"
+#include "src/indoor/plan_builders.h"
+
+namespace indoorflow {
+namespace {
+
+enum class PlanKind { kTiny, kOffice, kOfficeLarge, kAirport };
+
+BuiltPlan MakePlan(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kTiny:
+      return BuildTinyPlan();
+    case PlanKind::kOffice:
+      return BuildOfficePlan({});
+    case PlanKind::kOfficeLarge: {
+      OfficePlanConfig config;
+      config.num_rows = 3;
+      config.rooms_per_side = 10;
+      return BuildOfficePlan(config);
+    }
+    case PlanKind::kAirport:
+      return BuildAirportPlan({});
+  }
+  return BuildTinyPlan();
+}
+
+Point RandomPointInPlan(const BuiltPlan& built, Rng& rng) {
+  const std::vector<PartitionId>& pool =
+      rng.Bernoulli(0.5) && !built.room_ids.empty() ? built.room_ids
+                                                    : built.hallway_ids;
+  const Polygon& shape =
+      built.plan.partition(pool[rng.UniformInt(
+                               static_cast<uint64_t>(pool.size()))])
+          .shape;
+  const Box b = shape.Bounds();
+  for (int i = 0; i < 100; ++i) {
+    const Point p{rng.Uniform(b.min_x, b.max_x),
+                  rng.Uniform(b.min_y, b.max_y)};
+    if (shape.Contains(p)) return p;
+  }
+  return shape.Centroid();
+}
+
+class IndoorMetric : public ::testing::TestWithParam<PlanKind> {};
+
+TEST_P(IndoorMetric, PlanIsValid) {
+  const BuiltPlan built = MakePlan(GetParam());
+  EXPECT_TRUE(built.plan.Validate().ok());
+  // All partitions convex (intra-partition Euclidean assumption).
+  for (const Partition& part : built.plan.partitions()) {
+    EXPECT_TRUE(part.shape.IsConvex()) << part.name;
+    EXPECT_GT(part.shape.Area(), 0.0) << part.name;
+  }
+  // Doors belong to exactly the two partitions they connect.
+  for (const Door& door : built.plan.doors()) {
+    const std::vector<PartitionId> at = built.plan.PartitionsAt(door.position);
+    EXPECT_GE(at.size(), 2u) << "door " << door.id;
+  }
+}
+
+TEST_P(IndoorMetric, DistanceIsAMetricOnSamples) {
+  const BuiltPlan built = MakePlan(GetParam());
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  Rng rng(17 + static_cast<uint64_t>(GetParam()));
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point a = RandomPointInPlan(built, rng);
+    const Point b = RandomPointInPlan(built, rng);
+    const Point c = RandomPointInPlan(built, rng);
+    const double ab = dist.Between(a, b);
+    const double ba = dist.Between(b, a);
+    const double ac = dist.Between(a, c);
+    const double cb = dist.Between(c, b);
+    ASSERT_FALSE(std::isinf(ab));
+    // Symmetry.
+    EXPECT_NEAR(ab, ba, 1e-9);
+    // Identity.
+    EXPECT_NEAR(dist.Between(a, a), 0.0, 1e-12);
+    // Never shorter than Euclidean.
+    EXPECT_GE(ab + 1e-9, Distance(a, b));
+    // Triangle inequality (the route through c is one feasible walk).
+    EXPECT_LE(ab, ac + cb + 1e-6);
+  }
+}
+
+TEST_P(IndoorMetric, DoorPathLegsSumToDistance) {
+  const BuiltPlan built = MakePlan(GetParam());
+  const DoorGraph graph(built.plan);
+  const size_t n = graph.num_doors();
+  ASSERT_GT(n, 1u);
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      const std::vector<DoorId> path =
+          graph.PathBetween(static_cast<DoorId>(a), static_cast<DoorId>(b));
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), static_cast<DoorId>(a));
+      EXPECT_EQ(path.back(), static_cast<DoorId>(b));
+      double total = 0.0;
+      for (size_t i = 0; i + 1 < path.size(); ++i) {
+        total += Distance(built.plan.door(path[i]).position,
+                          built.plan.door(path[i + 1]).position);
+      }
+      EXPECT_NEAR(total,
+                  graph.Between(static_cast<DoorId>(a),
+                                static_cast<DoorId>(b)),
+                  1e-9);
+    }
+  }
+}
+
+TEST_P(IndoorMetric, PartitionLookupConsistency) {
+  const BuiltPlan built = MakePlan(GetParam());
+  Rng rng(23);
+  const Box bounds = built.plan.Bounds();
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(bounds.min_x - 2, bounds.max_x + 2),
+                  rng.Uniform(bounds.min_y - 2, bounds.max_y + 2)};
+    const PartitionId single = built.plan.PartitionAt(p);
+    const std::vector<PartitionId> all = built.plan.PartitionsAt(p);
+    if (single == kInvalidPartition) {
+      EXPECT_TRUE(all.empty());
+    } else {
+      ASSERT_FALSE(all.empty());
+      // PartitionAt returns the lowest-id containing partition.
+      EXPECT_EQ(single, all.front());
+      for (PartitionId id : all) {
+        EXPECT_TRUE(built.plan.partition(id).shape.Contains(p));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, IndoorMetric,
+                         ::testing::Values(PlanKind::kTiny, PlanKind::kOffice,
+                                           PlanKind::kOfficeLarge,
+                                           PlanKind::kAirport));
+
+// POI generation sweep: counts, containment, determinism across sizes.
+class PoiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoiSweep, GeneratesRequestedCount) {
+  const BuiltPlan built = BuildOfficePlan({});
+  Rng rng(5);
+  const PoiSet pois = GeneratePois(built, GetParam(), rng);
+  ASSERT_EQ(pois.size(), static_cast<size_t>(GetParam()));
+  for (const Poi& poi : pois) {
+    EXPECT_GT(poi.Area(), 0.0);
+    EXPECT_FALSE(poi.name.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, PoiSweep,
+                         ::testing::Values(1, 10, 75, 200));
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,182 @@
+// Tests for the indoor-space model: floor plans, door graphs, indoor
+// distances, plan builders, and POI generation.
+
+#include <gtest/gtest.h>
+
+#include "src/indoor/door_graph.h"
+#include "src/indoor/floor_plan.h"
+#include "src/indoor/indoor_distance.h"
+#include "src/indoor/plan_builders.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(FloorPlanTest, TinyPlanStructure) {
+  const BuiltPlan built = BuildTinyPlan();
+  const FloorPlan& plan = built.plan;
+  EXPECT_EQ(plan.partitions().size(), 3u);
+  EXPECT_EQ(plan.doors().size(), 2u);
+  EXPECT_TRUE(plan.Validate().ok());
+  // Partition lookup.
+  EXPECT_EQ(plan.PartitionAt({10, 2}), built.hallway_ids[0]);
+  EXPECT_EQ(plan.PartitionAt({5, 8}), built.room_ids[0]);
+  EXPECT_EQ(plan.PartitionAt({15, 8}), built.room_ids[1]);
+  EXPECT_EQ(plan.PartitionAt({100, 100}), kInvalidPartition);
+  // Door points belong to both sides.
+  const std::vector<PartitionId> at_door = plan.PartitionsAt({5, 4});
+  EXPECT_EQ(at_door.size(), 2u);
+}
+
+TEST(FloorPlanTest, AddDoorValidation) {
+  FloorPlan plan;
+  const PartitionId a =
+      plan.AddPartition("a", Polygon::Rectangle(0, 0, 2, 2));
+  EXPECT_FALSE(plan.AddDoor({1, 1}, a, a).ok());
+  EXPECT_FALSE(plan.AddDoor({1, 1}, a, 99).ok());
+}
+
+TEST(FloorPlanTest, ValidateRejectsFloatingDoor) {
+  FloorPlan plan;
+  const PartitionId a =
+      plan.AddPartition("a", Polygon::Rectangle(0, 0, 2, 2));
+  const PartitionId b =
+      plan.AddPartition("b", Polygon::Rectangle(10, 10, 12, 12));
+  ASSERT_TRUE(plan.AddDoor({5, 5}, a, b).ok());  // not on either boundary
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(FloorPlanTest, ValidateRejectsDisconnectedPlan) {
+  FloorPlan plan;
+  plan.AddPartition("a", Polygon::Rectangle(0, 0, 2, 2));
+  plan.AddPartition("b", Polygon::Rectangle(10, 10, 12, 12));
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(DoorGraphTest, TinyPlanDistances) {
+  const BuiltPlan built = BuildTinyPlan();
+  const DoorGraph graph(built.plan);
+  ASSERT_EQ(graph.num_doors(), 2u);
+  // Doors at (5,4) and (15,4) share the hallway: distance 10.
+  EXPECT_DOUBLE_EQ(graph.Between(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(graph.Between(0, 0), 0.0);
+  const std::vector<DoorId> path = graph.PathBetween(0, 1);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 1);
+}
+
+TEST(IndoorDistanceTest, SamePartitionIsEuclidean) {
+  const BuiltPlan built = BuildTinyPlan();
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  EXPECT_DOUBLE_EQ(dist.Between({1, 1}, {4, 1}), 3.0);
+}
+
+TEST(IndoorDistanceTest, CrossRoomGoesThroughDoors) {
+  const BuiltPlan built = BuildTinyPlan();
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  // room_a center to room_b center: through door (5,4), hallway, door
+  // (15,4).
+  const Point a{5, 8};
+  const Point b{15, 8};
+  const double expected = Distance(a, Point{5, 4}) + 10.0 +
+                          Distance(Point{15, 4}, b);
+  EXPECT_DOUBLE_EQ(dist.Between(a, b), expected);
+  // Far longer than the Euclidean distance through the wall.
+  EXPECT_GT(dist.Between(a, b), Distance(a, b));
+}
+
+TEST(IndoorDistanceTest, UnreachableOutsidePlan) {
+  const BuiltPlan built = BuildTinyPlan();
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  EXPECT_TRUE(std::isinf(dist.Between({1, 1}, {100, 100})));
+  EXPECT_TRUE(std::isinf(dist.Between({-5, -5}, {1, 1})));
+}
+
+TEST(IndoorDistanceTest, ToDoorMatchesBetween) {
+  const BuiltPlan built = BuildTinyPlan();
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  const Point p{5, 8};  // in room_a
+  EXPECT_DOUBLE_EQ(dist.ToDoor(p, 0),
+                   dist.Between(p, built.plan.door(0).position));
+  EXPECT_DOUBLE_EQ(dist.ToDoor(p, 1),
+                   dist.Between(p, built.plan.door(1).position));
+}
+
+TEST(PlanBuildersTest, OfficePlanShape) {
+  const OfficePlanConfig config;
+  const BuiltPlan built = BuildOfficePlan(config);
+  // 2 rows x 2 sides x 8 rooms = 32 rooms, spine + 2 hallways.
+  EXPECT_EQ(built.room_ids.size(), 32u);
+  EXPECT_EQ(built.hallway_ids.size(), 3u);
+  EXPECT_TRUE(built.plan.Validate().ok());
+  // One door per room plus one per hallway row.
+  EXPECT_EQ(built.plan.doors().size(), 34u);
+  // Every room is reachable from the spine via exactly its hallway.
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  const Point spine_point{2.0, 1.0};
+  for (PartitionId room : built.room_ids) {
+    const Point target = built.plan.partition(room).shape.Centroid();
+    EXPECT_FALSE(std::isinf(dist.Between(spine_point, target)));
+  }
+}
+
+TEST(PlanBuildersTest, OfficePlanScalesWithConfig) {
+  OfficePlanConfig config;
+  config.num_rows = 3;
+  config.rooms_per_side = 5;
+  const BuiltPlan built = BuildOfficePlan(config);
+  EXPECT_EQ(built.room_ids.size(), 30u);
+  EXPECT_EQ(built.hallway_ids.size(), 4u);
+  EXPECT_TRUE(built.plan.Validate().ok());
+}
+
+TEST(PlanBuildersTest, AirportPlanShape) {
+  const AirportPlanConfig config;
+  const BuiltPlan built = BuildAirportPlan(config);
+  EXPECT_EQ(built.hallway_ids.size(), 8u);
+  EXPECT_EQ(built.room_ids.size(), 32u);
+  EXPECT_TRUE(built.plan.Validate().ok());
+}
+
+TEST(PlanBuildersTest, GeneratePoisDeterministicAndInPlan) {
+  const BuiltPlan built = BuildOfficePlan({});
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const PoiSet a = GeneratePois(built, 75, rng_a);
+  const PoiSet b = GeneratePois(built, 75, rng_b);
+  ASSERT_EQ(a.size(), 75u);
+  ASSERT_EQ(b.size(), 75u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<PoiId>(i));
+    EXPECT_EQ(a[i].shape.Bounds(), b[i].shape.Bounds());
+    EXPECT_GT(a[i].Area(), 0.0);
+    // Each POI must be inside its host partition (hence inside the plan).
+    const PartitionId host = built.plan.PartitionAt(a[i].shape.Centroid());
+    EXPECT_NE(host, kInvalidPartition) << "POI " << i;
+    EXPECT_TRUE(built.plan.partition(host).shape.Bounds().Contains(
+        a[i].shape.Bounds()))
+        << "POI " << i;
+  }
+}
+
+TEST(PlanBuildersTest, PoisHaveVariedAreas) {
+  const BuiltPlan built = BuildOfficePlan({});
+  Rng rng(13);
+  const PoiSet pois = GeneratePois(built, 75, rng);
+  double min_area = 1e18;
+  double max_area = 0.0;
+  for (const Poi& p : pois) {
+    min_area = std::min(min_area, p.Area());
+    max_area = std::max(max_area, p.Area());
+  }
+  // "with different areas" — expect meaningful spread.
+  EXPECT_GT(max_area, 2.0 * min_area);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,329 @@
+// Tests for CSV import/export of tracking data and deployments.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/sim/generators.h"
+#include "src/tracking/io.h"
+
+namespace indoorflow {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(ReadingsCsvTest, RoundTrip) {
+  const std::vector<RawReading> readings = {
+      {1, 2, 0.5}, {1, 2, 1.5}, {3, 0, 10.25}};
+  const std::string path = TempPath("readings_roundtrip.csv");
+  ASSERT_TRUE(WriteReadingsCsv(readings, path).ok());
+  auto loaded = ReadReadingsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), readings.size());
+  for (size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].object_id, readings[i].object_id);
+    EXPECT_EQ((*loaded)[i].device_id, readings[i].device_id);
+    EXPECT_DOUBLE_EQ((*loaded)[i].t, readings[i].t);
+  }
+}
+
+TEST(ReadingsCsvTest, MissingFile) {
+  EXPECT_EQ(ReadReadingsCsv(TempPath("no_such_file.csv")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ReadingsCsvTest, BadHeader) {
+  const std::string path = TempPath("bad_header.csv");
+  WriteFile(path, "object,device,time\n1,2,3\n");
+  const auto result = ReadReadingsCsv(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReadingsCsvTest, BadFieldCountReportsLine) {
+  const std::string path = TempPath("bad_fields.csv");
+  WriteFile(path, "object_id,device_id,t\n1,2,3\n4,5\n");
+  const auto result = ReadReadingsCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ReadingsCsvTest, BadNumberReportsLine) {
+  const std::string path = TempPath("bad_number.csv");
+  WriteFile(path, "object_id,device_id,t\n1,2,oops\n");
+  const auto result = ReadReadingsCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("oops"), std::string::npos);
+}
+
+TEST(ReadingsCsvTest, ToleratesCrLfAndBlankLines) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "object_id,device_id,t\r\n1,2,3.5\r\n\r\n");
+  const auto result = ReadReadingsCsv(path);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ((*result)[0].t, 3.5);
+}
+
+TEST(OttCsvTest, RoundTripPreservesChains) {
+  ObjectTrackingTable table;
+  table.Append({1, 10, 0.0, 5.5});
+  table.Append({1, 11, 8.0, 9.0});
+  table.Append({2, 10, 1.0, 2.0});
+  ASSERT_TRUE(table.Finalize().ok());
+  const std::string path = TempPath("ott_roundtrip.csv");
+  ASSERT_TRUE(WriteOttCsv(table, path).ok());
+  auto loaded = ReadOttCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(loaded->finalized());
+  ASSERT_EQ(loaded->size(), table.size());
+  for (ObjectId o : table.objects()) {
+    const auto original = table.ChainOf(o);
+    const auto restored = loaded->ChainOf(o);
+    ASSERT_EQ(original.size(), restored.size()) << "object " << o;
+    for (size_t i = 0; i < original.size(); ++i) {
+      const TrackingRecord& a = table.record(original[i]);
+      const TrackingRecord& b = loaded->record(restored[i]);
+      EXPECT_EQ(a.device_id, b.device_id);
+      EXPECT_DOUBLE_EQ(a.ts, b.ts);
+      EXPECT_DOUBLE_EQ(a.te, b.te);
+    }
+  }
+}
+
+TEST(OttCsvTest, RejectsOverlappingRecords) {
+  const std::string path = TempPath("ott_overlap.csv");
+  WriteFile(path,
+            "object_id,device_id,ts,te\n"
+            "1,10,0,5\n"
+            "1,11,3,8\n");
+  const auto result = ReadOttCsv(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OttCsvTest, GeneratedDatasetRoundTrip) {
+  OfficeDatasetConfig config;
+  config.num_objects = 10;
+  config.duration = 300.0;
+  const Dataset ds = GenerateOfficeDataset(config);
+  const std::string path = TempPath("ott_generated.csv");
+  ASSERT_TRUE(WriteOttCsv(ds.ott, path).ok());
+  auto loaded = ReadOttCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), ds.ott.size());
+  EXPECT_EQ(loaded->objects().size(), ds.ott.objects().size());
+  EXPECT_DOUBLE_EQ(loaded->min_time(), ds.ott.min_time());
+  EXPECT_DOUBLE_EQ(loaded->max_time(), ds.ott.max_time());
+}
+
+TEST(DeploymentCsvTest, RoundTrip) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{1.5, 2.5}, 1.0});
+  deployment.AddDevice(Circle{{10.0, -3.0}, 2.5});
+  deployment.BuildIndex();
+  const std::string path = TempPath("deployment_roundtrip.csv");
+  ASSERT_TRUE(WriteDeploymentCsv(deployment, path).ok());
+  auto loaded = ReadDeploymentCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    const Device& a = deployment.device(static_cast<DeviceId>(i));
+    const Device& b = loaded->device(static_cast<DeviceId>(i));
+    EXPECT_EQ(a.range.center, b.range.center);
+    EXPECT_DOUBLE_EQ(a.range.radius, b.range.radius);
+  }
+  // Loaded deployment is indexed and usable immediately.
+  std::vector<DeviceId> near;
+  loaded->DevicesNear({1.5, 2.5}, 0.0, &near);
+  EXPECT_EQ(near.size(), 1u);
+}
+
+TEST(DeploymentCsvTest, RejectsNonDenseIds) {
+  const std::string path = TempPath("deployment_sparse.csv");
+  WriteFile(path, "device_id,x,y,radius\n0,0,0,1\n2,5,5,1\n");
+  EXPECT_FALSE(ReadDeploymentCsv(path).ok());
+}
+
+TEST(DeploymentCsvTest, RejectsNonPositiveRadius) {
+  const std::string path = TempPath("deployment_radius.csv");
+  WriteFile(path, "device_id,x,y,radius\n0,0,0,0\n");
+  EXPECT_FALSE(ReadDeploymentCsv(path).ok());
+}
+
+// End-to-end: export a generated dataset, re-import it, and verify queries
+// produce identical results — the external-data workflow from README.
+TEST(CsvPipelineTest, QueriesMatchAfterRoundTrip) {
+  OfficeDatasetConfig config;
+  config.num_objects = 15;
+  config.duration = 600.0;
+  const Dataset ds = GenerateOfficeDataset(config);
+
+  const std::string ott_path = TempPath("pipeline_ott.csv");
+  const std::string dep_path = TempPath("pipeline_dep.csv");
+  ASSERT_TRUE(WriteOttCsv(ds.ott, ott_path).ok());
+  ASSERT_TRUE(WriteDeploymentCsv(ds.deployment, dep_path).ok());
+  auto table = ReadOttCsv(ott_path);
+  auto deployment = ReadDeploymentCsv(dep_path);
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(deployment.ok());
+
+  EngineConfig engine_config;
+  engine_config.topology = TopologyMode::kOff;
+  engine_config.vmax = ds.vmax;
+  const QueryEngine original(ds.built.plan, *ds.door_graph, ds.deployment,
+                             ds.ott, ds.pois, engine_config);
+  const QueryEngine reloaded(ds.built.plan, *ds.door_graph, *deployment,
+                             *table, ds.pois, engine_config);
+  const auto a = original.SnapshotTopK(300.0, 10, Algorithm::kIterative);
+  const auto b = reloaded.SnapshotTopK(300.0, 10, Algorithm::kIterative);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].poi, b[i].poi);
+    EXPECT_NEAR(a[i].flow, b[i].flow, 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binary OTT format.
+
+TEST(OttBinaryTest, RoundTripExactBits) {
+  ObjectTrackingTable table;
+  table.Append({7, 0, 100.125, 200.375});
+  table.Append({7, 1, 300.0, 400.0});
+  table.Append({9, 2, 0.1, 0.30000000000000004});  // not representable short
+  ASSERT_TRUE(table.Finalize().ok());
+  const std::string path = TempPath("ott.bin");
+  ASSERT_TRUE(WriteOttBinary(table, path).ok());
+  auto loaded = ReadOttBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), table.size());
+  EXPECT_FALSE(loaded->has_overlaps());
+  for (size_t i = 0; i < table.size(); ++i) {
+    const TrackingRecord& a = table.record(static_cast<RecordIndex>(i));
+    const TrackingRecord& b = loaded->record(static_cast<RecordIndex>(i));
+    EXPECT_EQ(a.object_id, b.object_id);
+    EXPECT_EQ(a.device_id, b.device_id);
+    // Bit-exact: doubles survive unchanged (unlike decimal CSV).
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.te, b.te);
+  }
+}
+
+TEST(OttBinaryTest, PreservesOverlapMode) {
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0.0, 100.0});
+  table.Append({1, 1, 50.0, 150.0});  // overlapping records
+  ASSERT_TRUE(table.Finalize(/*allow_overlap=*/true).ok());
+  ASSERT_TRUE(table.has_overlaps());
+  const std::string path = TempPath("ott_overlap.bin");
+  ASSERT_TRUE(WriteOttBinary(table, path).ok());
+  auto loaded = ReadOttBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->has_overlaps());
+}
+
+TEST(OttBinaryTest, EmptyTableRoundTrips) {
+  ObjectTrackingTable table;
+  ASSERT_TRUE(table.Finalize().ok());
+  const std::string path = TempPath("ott_empty.bin");
+  ASSERT_TRUE(WriteOttBinary(table, path).ok());
+  auto loaded = ReadOttBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 0u);
+}
+
+TEST(OttBinaryTest, RejectsUnfinalizedTable) {
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0.0, 10.0});
+  EXPECT_FALSE(WriteOttBinary(table, TempPath("nope.bin")).ok());
+}
+
+TEST(OttBinaryTest, RejectsWrongMagic) {
+  const std::string path = TempPath("bad_magic.bin");
+  WriteFile(path, "not a binary ott, definitely long enough to parse");
+  const auto result = ReadOttBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("not a binary OTT"),
+            std::string::npos);
+}
+
+TEST(OttBinaryTest, RejectsTruncation) {
+  ObjectTrackingTable table;
+  table.Append({7, 0, 100.0, 200.0});
+  table.Append({7, 1, 300.0, 400.0});
+  ASSERT_TRUE(table.Finalize().ok());
+  const std::string path = TempPath("ott_trunc.bin");
+  ASSERT_TRUE(WriteOttBinary(table, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  // Drop the final 10 bytes (half the trailer plus part of a record).
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size() - 10));
+  out.close();
+  const auto result = ReadOttBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("size mismatch"),
+            std::string::npos);
+}
+
+TEST(OttBinaryTest, RejectsCorruption) {
+  ObjectTrackingTable table;
+  table.Append({7, 0, 100.0, 200.0});
+  ASSERT_TRUE(table.Finalize().ok());
+  const std::string path = TempPath("ott_corrupt.bin");
+  ASSERT_TRUE(WriteOttBinary(table, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data[20] = static_cast<char>(data[20] ^ 0x40);  // flip a record bit
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.close();
+  const auto result = ReadOttBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("checksum"), std::string::npos);
+}
+
+TEST(OttBinaryTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadOttBinary(TempPath("missing.bin")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(OttBinaryTest, AgreesWithCsvOnGeneratedData) {
+  OfficeDatasetConfig config;
+  config.num_objects = 20;
+  config.duration = 900.0;
+  const Dataset ds = GenerateOfficeDataset(config);
+  const std::string bin_path = TempPath("ott_gen.bin");
+  const std::string csv_path = TempPath("ott_gen.csv");
+  ASSERT_TRUE(WriteOttBinary(ds.ott, bin_path).ok());
+  ASSERT_TRUE(WriteOttCsv(ds.ott, csv_path).ok());
+  auto bin = ReadOttBinary(bin_path);
+  auto csv = ReadOttCsv(csv_path);
+  ASSERT_TRUE(bin.ok());
+  ASSERT_TRUE(csv.ok());
+  ASSERT_EQ(bin->size(), csv->size());
+  for (size_t i = 0; i < bin->size(); ++i) {
+    const TrackingRecord& a = bin->record(static_cast<RecordIndex>(i));
+    const TrackingRecord& b = csv->record(static_cast<RecordIndex>(i));
+    EXPECT_EQ(a.object_id, b.object_id);
+    EXPECT_EQ(a.device_id, b.device_id);
+    EXPECT_DOUBLE_EQ(a.ts, b.ts);
+    EXPECT_DOUBLE_EQ(a.te, b.te);
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,213 @@
+// Tests for per-object visit reconstruction (BuildItinerary) and the
+// engine's per-object accessors (ObjectRegionAt / ActiveObjects).
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "src/core/itinerary.h"
+#include "src/indoor/plan_builders.h"
+
+namespace indoorflow {
+namespace {
+
+// Manual scenario with known geometry: object 7 is pinned at device 0
+// (range disk inside POI 0) over [100, 200], then at device 1 (inside POI
+// 1) over [300, 400]. The POIs are 2x2 squares circumscribing the 1m
+// ranges, so presence while detected is pi/4 and drops to (4-pi)/4 (the
+// square's corners) the moment the object goes undetected.
+class ItineraryFixture : public ::testing::Test {
+ protected:
+  ItineraryFixture() : built_(BuildTinyPlan()), graph_(built_.plan) {
+    deployment_.AddDevice(Circle{{5, 8}, 1.0});
+    deployment_.AddDevice(Circle{{15, 8}, 1.0});
+    deployment_.BuildIndex();
+    pois_.push_back(Poi{0, "desk_a", Polygon::Rectangle(4, 7, 6, 9)});
+    pois_.push_back(Poi{1, "desk_b", Polygon::Rectangle(14, 7, 16, 9)});
+    table_.Append({7, 0, 100, 200});
+    table_.Append({7, 1, 300, 400});
+    EXPECT_TRUE(table_.Finalize().ok());
+    EngineConfig config;
+    config.vmax = 1.0;
+    config.topology = TopologyMode::kOff;
+    engine_ = std::make_unique<QueryEngine>(built_.plan, graph_, deployment_,
+                                            table_, pois_, config);
+  }
+
+  BuiltPlan built_;
+  DoorGraph graph_;
+  Deployment deployment_;
+  PoiSet pois_;
+  ObjectTrackingTable table_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+constexpr double kDetectedPresence = std::numbers::pi / 4.0;
+
+TEST_F(ItineraryFixture, ReconstructsBothVisits) {
+  ItineraryOptions options;
+  options.step = 10.0;
+  options.min_presence = 0.5;  // above the corner presence (4-pi)/4
+  // Window the reconstruction to the tracked period: outside it the
+  // successor/predecessor rings grow without bound and legitimately cover
+  // far-away POIs (tested separately below).
+  const Itinerary it = BuildItinerary(*engine_, 7, 100.0, 400.0, options);
+  ASSERT_EQ(it.visits.size(), 2u);
+  EXPECT_EQ(it.object, 7);
+
+  const ItineraryVisit& a = it.visits[0];
+  EXPECT_EQ(a.poi, 0);
+  EXPECT_DOUBLE_EQ(a.start, 100.0);
+  EXPECT_DOUBLE_EQ(a.end, 200.0);
+  EXPECT_NEAR(a.mean_presence, kDetectedPresence, 0.03);
+  EXPECT_NEAR(a.peak_presence, kDetectedPresence, 0.03);
+  EXPECT_GE(a.peak_presence, a.mean_presence - 1e-12);
+
+  const ItineraryVisit& b = it.visits[1];
+  EXPECT_EQ(b.poi, 1);
+  EXPECT_DOUBLE_EQ(b.start, 300.0);
+  EXPECT_DOUBLE_EQ(b.end, 400.0);
+  EXPECT_NEAR(b.mean_presence, kDetectedPresence, 0.03);
+}
+
+TEST_F(ItineraryFixture, LowThresholdPicksUpUncertaintyTails) {
+  // Below the corner presence the visit extends into the undetected gap on
+  // both sides (the ring still overlaps the POI's corners).
+  ItineraryOptions options;
+  options.step = 10.0;
+  options.min_presence = 0.1;
+  const Itinerary it = BuildItinerary(*engine_, 7, 0.0, 500.0, options);
+  ASSERT_GE(it.visits.size(), 2u);
+  const ItineraryVisit& a = it.visits[0];
+  EXPECT_EQ(a.poi, 0);
+  EXPECT_LT(a.start, 100.0);  // ring overlap before the first detection
+  EXPECT_GT(a.end, 200.0);    // and after it ends
+  EXPECT_NEAR(a.peak_presence, kDetectedPresence, 0.03);
+  EXPECT_LT(a.mean_presence, a.peak_presence);
+}
+
+TEST_F(ItineraryFixture, MinDurationDropsShortVisits) {
+  ItineraryOptions options;
+  options.step = 10.0;
+  options.min_presence = 0.5;
+  options.min_duration = 150.0;  // both visits span exactly 100s
+  const Itinerary it = BuildItinerary(*engine_, 7, 0.0, 500.0, options);
+  EXPECT_TRUE(it.visits.empty());
+}
+
+TEST_F(ItineraryFixture, PreTrackingRingsCoverDistantPois) {
+  // Before the first detection only rd_suc constrains the object: the ring
+  // around device 0 grows as t recedes and soon covers desk_b (10m away)
+  // almost completely — the honest "could have been anywhere" answer.
+  ItineraryOptions options;
+  options.step = 10.0;
+  options.min_presence = 0.9;
+  const Itinerary it = BuildItinerary(*engine_, 7, 0.0, 90.0, options);
+  ASSERT_EQ(it.visits.size(), 1u);
+  EXPECT_EQ(it.visits[0].poi, 1);
+  EXPECT_GT(it.visits[0].mean_presence, 0.9);
+}
+
+TEST_F(ItineraryFixture, UnknownObjectHasNoVisits) {
+  const Itinerary it = BuildItinerary(*engine_, 999, 0.0, 500.0);
+  EXPECT_EQ(it.object, 999);
+  EXPECT_TRUE(it.visits.empty());
+}
+
+TEST_F(ItineraryFixture, WindowClipsSampling) {
+  // Sampling only the gap between the two detections finds neither desk at
+  // a high threshold.
+  ItineraryOptions options;
+  options.step = 5.0;
+  options.min_presence = 0.5;
+  const Itinerary it = BuildItinerary(*engine_, 7, 210.0, 290.0, options);
+  EXPECT_TRUE(it.visits.empty());
+}
+
+TEST_F(ItineraryFixture, ObjectRegionAtMatchesDetectionState) {
+  // Detected: the UR is (contained in) the device's range disk.
+  const Region detected = engine_->ObjectRegionAt(7, 150.0);
+  ASSERT_FALSE(detected.IsEmpty());
+  const Box bounds = detected.Bounds();
+  EXPECT_GE(bounds.min_x, 4.0 - 1e-9);
+  EXPECT_LE(bounds.max_x, 6.0 + 1e-9);
+  EXPECT_TRUE(detected.Contains({5.0, 8.0}));
+
+  // Undetected between records: the region excludes both range disks'
+  // centers but is nonempty.
+  const Region gap = engine_->ObjectRegionAt(7, 250.0);
+  ASSERT_FALSE(gap.IsEmpty());
+  EXPECT_FALSE(gap.Contains({5.0, 8.0}));
+  EXPECT_FALSE(gap.Contains({15.0, 8.0}));
+
+  // Unknown object: empty.
+  EXPECT_TRUE(engine_->ObjectRegionAt(999, 150.0).IsEmpty());
+}
+
+TEST_F(ItineraryFixture, ActiveObjectsFollowsAugmentedIntervals) {
+  const auto during = engine_->ActiveObjects(150.0);
+  ASSERT_EQ(during.size(), 1u);
+  EXPECT_EQ(during[0], 7);
+  // The gap is covered by the successor record's augmented interval.
+  EXPECT_EQ(engine_->ActiveObjects(250.0).size(), 1u);
+  // Long after the last record nothing is tracked.
+  EXPECT_TRUE(engine_->ActiveObjects(10000.0).empty());
+}
+
+// Generated-dataset invariants: visits stay inside the window, presences
+// stay in range, visits are ordered, and per-POI visits are separated by at
+// least two sampling periods (one failing sample closes a visit).
+class ItinerarySweep : public ::testing::TestWithParam<ObjectId> {
+ protected:
+  static void SetUpTestSuite() {
+    OfficeDatasetConfig config;
+    config.num_objects = 8;
+    config.duration = 1200.0;
+    config.seed = 99;
+    dataset_ = new Dataset(GenerateOfficeDataset(config));
+    engine_ = new QueryEngine(*dataset_, EngineConfig{});
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete dataset_;
+    engine_ = nullptr;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static QueryEngine* engine_;
+};
+
+Dataset* ItinerarySweep::dataset_ = nullptr;
+QueryEngine* ItinerarySweep::engine_ = nullptr;
+
+TEST_P(ItinerarySweep, VisitInvariants) {
+  ItineraryOptions options;
+  options.step = 15.0;
+  options.min_presence = 0.25;
+  const Timestamp ts = 100.0, te = 1100.0;
+  const Itinerary it = BuildItinerary(*engine_, GetParam(), ts, te, options);
+  std::map<PoiId, Timestamp> last_end;
+  Timestamp prev_start = -1.0;
+  for (const ItineraryVisit& v : it.visits) {
+    EXPECT_GE(v.start, ts);
+    EXPECT_LE(v.end, te + options.step);
+    EXPECT_LE(v.start, v.end);
+    EXPECT_GE(v.mean_presence, options.min_presence);
+    EXPECT_LE(v.peak_presence, 1.0 + 1e-9);
+    EXPECT_GE(v.peak_presence, v.mean_presence - 1e-12);
+    EXPECT_GE(v.start, prev_start);  // sorted by start
+    prev_start = v.start;
+    const auto it_prev = last_end.find(v.poi);
+    if (it_prev != last_end.end()) {
+      EXPECT_GE(v.start - it_prev->second, 2.0 * options.step - 1e-6)
+          << "POI " << v.poi << " visits not separated";
+    }
+    last_end[v.poi] = v.end;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Objects, ItinerarySweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace indoorflow

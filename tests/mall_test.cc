@@ -1,0 +1,176 @@
+// Tests for the shopping-mall plan family: loop topology (cyclic door
+// graph, two routes between shops), structural counts, dataset generation,
+// and end-to-end queries over a cyclic plan.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/indoor/indoor_distance.h"
+
+namespace indoorflow {
+namespace {
+
+PartitionId FindPartition(const FloorPlan& plan, const std::string& name) {
+  for (PartitionId id = 0; id < static_cast<PartitionId>(plan.partitions().size());
+       ++id) {
+    if (plan.partition(id).name == name) return id;
+  }
+  ADD_FAILURE() << "no partition named " << name;
+  return kInvalidPartition;
+}
+
+TEST(MallPlanTest, StructuralCounts) {
+  MallPlanConfig config;
+  const BuiltPlan built = BuildMallPlan(config);
+  // 2 shop rows + 2 shop sides + 4 corridors + 2 anchors + food court.
+  const size_t expected_partitions =
+      2 * static_cast<size_t>(config.shops_per_row) +
+      2 * static_cast<size_t>(config.shops_per_side) + 4 + 3;
+  EXPECT_EQ(built.plan.partitions().size(), expected_partitions);
+  EXPECT_EQ(built.hallway_ids.size(), 4u);
+  EXPECT_EQ(built.room_ids.size(), expected_partitions - 4);
+  // One door per shop, 4 corner doors, 1 per anchor, 2 for the food court.
+  const size_t expected_doors =
+      2 * static_cast<size_t>(config.shops_per_row) +
+      2 * static_cast<size_t>(config.shops_per_side) + 4 + 2 + 2;
+  EXPECT_EQ(built.plan.doors().size(), expected_doors);
+  EXPECT_TRUE(built.plan.Validate().ok());
+}
+
+TEST(MallPlanTest, ParametersScaleTheLayout) {
+  MallPlanConfig small;
+  small.shops_per_row = 3;
+  small.shops_per_side = 1;
+  const BuiltPlan tiny = BuildMallPlan(small);
+  EXPECT_EQ(tiny.plan.partitions().size(), 3u + 3u + 2u + 4u + 3u);
+  MallPlanConfig wide;
+  wide.shops_per_row = 20;
+  const BuiltPlan big = BuildMallPlan(wide);
+  EXPECT_GT(big.plan.Bounds().Width(), tiny.plan.Bounds().Width());
+}
+
+TEST(MallPlanTest, DoorGraphIsFullyConnected) {
+  const BuiltPlan built = BuildMallPlan({});
+  const DoorGraph graph(built.plan);
+  const IndoorDistance distance(built.plan, graph);
+  const PartitionId origin = built.room_ids.front();
+  const Point start = built.plan.partition(origin).shape.Centroid();
+  for (PartitionId id = 0; id < static_cast<PartitionId>(built.plan.partitions().size());
+       ++id) {
+    const Point goal = built.plan.partition(id).shape.Centroid();
+    const double dist = distance.Between(start, goal);
+    EXPECT_TRUE(std::isfinite(dist)) << built.plan.partition(id).name;
+  }
+}
+
+TEST(MallPlanTest, LoopOffersTwoRoutes) {
+  // The corridor ring is a cycle: walking from a south shop to the *north*
+  // shop directly above it can go around either side of the central block,
+  // and the shortest route must beat walking the full other way around.
+  MallPlanConfig config;
+  const BuiltPlan built = BuildMallPlan(config);
+  const DoorGraph graph(built.plan);
+  const FloorPlan& plan = built.plan;
+
+  const PartitionId s0 = FindPartition(plan, "shop_s0");
+  const PartitionId n0 = FindPartition(plan, "shop_n0");
+  const PartitionId s_last = FindPartition(
+      plan, "shop_s" + std::to_string(config.shops_per_row - 1));
+
+  const Point a = plan.partition(s0).shape.Centroid();
+  const Point b = plan.partition(n0).shape.Centroid();
+  const Point far = plan.partition(s_last).shape.Centroid();
+
+  const IndoorDistance distance(plan, graph);
+  const double up_west = distance.Between(a, b);
+  ASSERT_TRUE(std::isfinite(up_west));
+  // Going around the east side means crossing the full mall width twice;
+  // the shortest path (west corner) must be much shorter than that detour.
+  const double mall_width = plan.Bounds().Width();
+  EXPECT_LT(up_west, mall_width * 2.0);
+  // And the far-corner trip is strictly longer than the adjacent one.
+  EXPECT_GT(distance.Between(a, far), up_west * 0.5);
+}
+
+TEST(MallPlanTest, CornerDistanceUsesTheRing) {
+  // Between two adjacent corners of the loop the path stays inside the two
+  // corridor segments: distance ~ sum of the leg lengths, not a detour
+  // through shops.
+  const MallPlanConfig config;
+  const BuiltPlan built = BuildMallPlan(config);
+  const DoorGraph graph(built.plan);
+  const FloorPlan& plan = built.plan;
+  const PartitionId south = FindPartition(plan, "corridor_south");
+  const PartitionId north = FindPartition(plan, "corridor_north");
+  const Point a = plan.partition(south).shape.Centroid();
+  const Point b = plan.partition(north).shape.Centroid();
+  const IndoorDistance distance(plan, graph);
+  const double dist = distance.Between(a, b);
+  // The shortest route cuts straight through the food court (its two
+  // doors join the south and north corridors), so the distance is close
+  // to the Euclidean one — and never below it.
+  const Box bounds = plan.Bounds();
+  EXPECT_LT(dist, bounds.Width() + 2.0 * bounds.Height());
+  EXPECT_GE(dist, Distance(a, b) - 1e-9);
+  EXPECT_LT(dist, Distance(a, b) + 2.0 * config.corridor_width +
+                      2.0 * config.shop_depth);
+}
+
+TEST(MallDatasetTest, GeneratesWellFormedData) {
+  MallDatasetConfig config;
+  config.num_shoppers = 30;
+  config.window = 1800.0;
+  config.seed = 31;
+  const Dataset mall = GenerateMallDataset(config);
+  EXPECT_TRUE(mall.deployment.RangesDisjoint());
+  EXPECT_EQ(mall.pois.size(), static_cast<size_t>(config.num_pois));
+  EXPECT_GT(mall.ott.size(), 0u);
+  for (size_t i = 0; i < mall.ott.size(); ++i) {
+    const TrackingRecord& r =
+        mall.ott.record(static_cast<RecordIndex>(i));
+    EXPECT_GE(r.ts, 0.0);
+    EXPECT_LE(r.te, config.window + 1e-9);
+    EXPECT_LT(r.device_id,
+              static_cast<DeviceId>(mall.deployment.size()));
+  }
+}
+
+TEST(MallDatasetTest, BeaconsAddDevices) {
+  MallDatasetConfig with;
+  with.num_shoppers = 0;
+  MallDatasetConfig without = with;
+  without.beacons_in_shops = false;
+  const Dataset a = GenerateMallDataset(with);
+  const Dataset b = GenerateMallDataset(without);
+  EXPECT_GT(a.deployment.size(), b.deployment.size());
+}
+
+TEST(MallDatasetTest, QueriesRunOverTheCyclicPlan) {
+  MallDatasetConfig config;
+  config.num_shoppers = 40;
+  config.window = 1800.0;
+  config.seed = 8;
+  const Dataset mall = GenerateMallDataset(config);
+  EngineConfig engine_config;
+  engine_config.topology = TopologyMode::kPartition;
+  const QueryEngine engine(mall, engine_config);
+
+  const Timestamp t = config.window / 2.0;
+  const auto iter = engine.SnapshotTopK(t, 5, Algorithm::kIterative);
+  const auto join = engine.SnapshotTopK(t, 5, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), join.size());
+  for (size_t i = 0; i < iter.size(); ++i) {
+    EXPECT_EQ(iter[i].poi, join[i].poi) << "rank " << i;
+    EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9);
+  }
+
+  const auto interval =
+      engine.IntervalTopK(t - 300.0, t + 300.0, 5, Algorithm::kJoin);
+  ASSERT_EQ(interval.size(), 5u);
+  EXPECT_GT(interval[0].flow, 0.0);
+}
+
+}  // namespace
+}  // namespace indoorflow

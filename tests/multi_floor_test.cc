@@ -1,0 +1,226 @@
+// Tests for multi-floor support: the "unfolded building" plan, cross-floor
+// walking distances, topology-check pruning of cross-floor Euclidean
+// leakage, and end-to-end queries on a two-floor dataset.
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/indoor/indoor_distance.h"
+#include "src/indoor/plan_builders.h"
+#include "src/sim/detector.h"
+
+namespace indoorflow {
+namespace {
+
+MultiFloorConfig SmallTwoFloor() {
+  MultiFloorConfig config;
+  config.floor.num_rows = 1;
+  config.floor.rooms_per_side = 3;
+  config.num_floors = 2;
+  config.stair_length = 8.0;
+  return config;
+}
+
+TEST(MultiFloorPlanTest, StructureAndFloors) {
+  const BuiltPlan built = BuildMultiFloorOfficePlan(SmallTwoFloor());
+  EXPECT_TRUE(built.plan.Validate().ok());
+  // 2 floors x (1 spine + 1 hallway + 6 rooms) + 1 staircase.
+  EXPECT_EQ(built.room_ids.size(), 12u);
+  EXPECT_EQ(built.hallway_ids.size(), 4u);
+  EXPECT_EQ(built.plan.partitions().size(), 17u);
+  ASSERT_EQ(built.partition_floor.size(), built.plan.partitions().size());
+  // Floors tagged 0 and 1.
+  int floor0 = 0;
+  int floor1 = 0;
+  for (const Partition& part : built.plan.partitions()) {
+    (built.FloorOf(part.id) == 0 ? floor0 : floor1) += 1;
+  }
+  EXPECT_EQ(floor0, 9);  // 8 floor-0 partitions + the staircase
+  EXPECT_EQ(floor1, 8);
+}
+
+TEST(MultiFloorPlanTest, SingleFloorDegeneratesToOffice) {
+  MultiFloorConfig config = SmallTwoFloor();
+  config.num_floors = 1;
+  const BuiltPlan multi = BuildMultiFloorOfficePlan(config);
+  const BuiltPlan single = BuildOfficePlan(config.floor);
+  EXPECT_EQ(multi.plan.partitions().size(), single.plan.partitions().size());
+  EXPECT_EQ(multi.plan.doors().size(), single.plan.doors().size());
+}
+
+TEST(MultiFloorPlanTest, CrossFloorDistanceGoesThroughStairs) {
+  const BuiltPlan built = BuildMultiFloorOfficePlan(SmallTwoFloor());
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  // Centroids of a floor-0 room and the corresponding floor-1 room.
+  PartitionId room0 = kInvalidPartition;
+  PartitionId room1 = kInvalidPartition;
+  for (PartitionId id : built.room_ids) {
+    if (built.plan.partition(id).name == "f0_room_0a0") room0 = id;
+    if (built.plan.partition(id).name == "f1_room_0a0") room1 = id;
+  }
+  ASSERT_NE(room0, kInvalidPartition);
+  ASSERT_NE(room1, kInvalidPartition);
+  const Point p0 = built.plan.partition(room0).shape.Centroid();
+  const Point p1 = built.plan.partition(room1).shape.Centroid();
+  const double d = dist.Between(p0, p1);
+  ASSERT_FALSE(std::isinf(d));
+  // The walk must cover at least the stair length plus both room-to-spine
+  // approaches; it is far longer than the bogus straight line between the
+  // floors' coordinate bands.
+  EXPECT_GT(d, 8.0 + 10.0);
+  EXPECT_GT(d, Distance(p0, p1));
+}
+
+TEST(MultiFloorPlanTest, TopologyCheckPrunesCrossFloorLeakage) {
+  const BuiltPlan built = BuildMultiFloorOfficePlan(SmallTwoFloor());
+  const DoorGraph graph(built.plan);
+  const IndoorDistance distance(built.plan, graph);
+  Deployment deployment;
+  const Box f0_spine = built.plan.partition(built.hallway_ids[0])
+                           .shape.Bounds();
+  const Point dev_pos{f0_spine.Center().x, f0_spine.max_y - 2.0};
+  deployment.AddDevice(Circle{dev_pos, 1.0});
+  deployment.BuildIndex();
+
+  // Target: the far floor-1 room, whose straight-line distance across the
+  // band gap is much shorter than the walk via the staircase. Pick the ring
+  // budget strictly between the two so the Euclidean region leaks into the
+  // room while no indoor walk can reach it.
+  PartitionId far_room = kInvalidPartition;
+  for (PartitionId id : built.room_ids) {
+    if (built.plan.partition(id).name == "f1_room_0b2") far_room = id;
+  }
+  ASSERT_NE(far_room, kInvalidPartition);
+  const Point target = built.plan.partition(far_room).shape.Centroid();
+  const double euclid_dist = Distance(dev_pos, target);
+  const double indoor_dist = distance.Between(dev_pos, target);
+  // The gap must be wide enough that even the partition's nearest point
+  // (its door) is beyond the budget.
+  ASSERT_LT(euclid_dist + 12.0, indoor_dist)
+      << "test geometry must have a wide Euclid/indoor gap";
+  const double budget = (euclid_dist + indoor_dist) / 2.0;  // Vmax = 1
+
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0, 0});
+  table.Append({1, 0, 2.0 * budget, 2.0 * budget});
+  ASSERT_TRUE(table.Finalize().ok());
+
+  const TopologyChecker checker(built.plan, graph, deployment);
+  const UncertaintyModel euclid(table, deployment, 1.0);
+  const UncertaintyModel partition_mode(table, deployment, 1.0, &checker,
+                                        TopologyMode::kPartition);
+  const UncertaintyModel exact_mode(table, deployment, 1.0, &checker,
+                                    TopologyMode::kExact);
+
+  const SnapshotState state = ResolveSnapshotStateAt(table, 1, budget);
+  ASSERT_FALSE(state.active());
+  const Region ur_euclid = euclid.Snapshot(state, budget);
+  const Region ur_partition = partition_mode.Snapshot(state, budget);
+  const Region ur_exact = exact_mode.Snapshot(state, budget);
+
+  EXPECT_TRUE(ur_euclid.Contains(target));      // the documented leak
+  EXPECT_FALSE(ur_partition.Contains(target));  // pruned (paper's check)
+  EXPECT_FALSE(ur_exact.Contains(target));      // pruned (point-wise)
+
+  // Same-floor points near the device survive the check.
+  const Point same_floor{dev_pos.x, dev_pos.y - 5.0};
+  EXPECT_TRUE(ur_euclid.Contains(same_floor));
+  EXPECT_TRUE(ur_partition.Contains(same_floor));
+}
+
+TEST(MultiFloorPipelineTest, TwoFloorQueriesEndToEnd) {
+  const BuiltPlan built = BuildMultiFloorOfficePlan(SmallTwoFloor());
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  for (const Door& door : built.plan.doors()) {
+    bool conflict = false;
+    for (const Device& d : deployment.devices()) {
+      conflict |= Distance(d.range.center, door.position) <= 3.1;
+    }
+    if (!conflict) deployment.AddDevice(Circle{door.position, 1.5});
+  }
+  deployment.BuildIndex();
+  ASSERT_TRUE(deployment.RangesDisjoint());
+
+  // Objects walk across both floors.
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+  ObjectTrackingTable table;
+  std::vector<TrackingRecord> records;
+  int cross_floor_objects = 0;
+  for (ObjectId o = 0; o < 10; ++o) {
+    Rng rng(6000 + static_cast<uint64_t>(o));
+    WaypointOptions options;
+    options.duration = 600.0;
+    options.max_pause = 60.0;
+    const Trajectory traj = model.Generate(o, options, rng);
+    // Count objects that visit both floors.
+    bool on0 = false;
+    bool on1 = false;
+    for (const TrajectoryPoint& p : traj.points) {
+      const PartitionId part = built.plan.PartitionAt(p.position);
+      if (part == kInvalidPartition) continue;
+      (built.FloorOf(part) == 0 ? on0 : on1) = true;
+    }
+    cross_floor_objects += (on0 && on1) ? 1 : 0;
+    records.clear();
+    detector.DetectRecords(traj, DetectionOptions{}, &records);
+    for (const TrackingRecord& r : records) table.Append(r);
+  }
+  EXPECT_GT(cross_floor_objects, 0);  // the stairs are actually used
+  ASSERT_TRUE(table.Finalize().ok());
+
+  // POIs: one room per floor.
+  PoiSet pois;
+  PoiId next = 0;
+  for (PartitionId id : built.room_ids) {
+    const Box b = built.plan.partition(id).shape.Bounds();
+    pois.push_back(Poi{next++, built.plan.partition(id).name,
+                       Polygon::FromBox(b)});
+  }
+
+  EngineConfig config;
+  config.vmax = 1.1;
+  config.topology = TopologyMode::kPartition;  // required for multi-floor
+  const QueryEngine engine(built.plan, graph, deployment, table, pois,
+                           config);
+  const auto iter = engine.IntervalTopK(100.0, 500.0, 6,
+                                        Algorithm::kIterative);
+  const auto join = engine.IntervalTopK(100.0, 500.0, 6, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), join.size());
+  for (size_t i = 0; i < iter.size(); ++i) {
+    EXPECT_EQ(iter[i].poi, join[i].poi);
+    EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9);
+  }
+}
+
+TEST(MultiFloorPlanTest, ThreeFloorsChainThroughBothStairs) {
+  MultiFloorConfig config = SmallTwoFloor();
+  config.num_floors = 3;
+  const BuiltPlan built = BuildMultiFloorOfficePlan(config);
+  EXPECT_TRUE(built.plan.Validate().ok());
+  EXPECT_EQ(built.room_ids.size(), 18u);
+  // Two staircases.
+  int stairs = 0;
+  for (const Partition& part : built.plan.partitions()) {
+    stairs += part.name.rfind("stairs_", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(stairs, 2);
+  // Floor 0 to floor 2 distance includes both stair lengths.
+  const DoorGraph graph(built.plan);
+  const IndoorDistance dist(built.plan, graph);
+  const Point f0 = built.plan.partition(built.hallway_ids[0])
+                       .shape.Centroid();
+  // The last spine added belongs to floor 2.
+  Point f2{0, 0};
+  for (const Partition& part : built.plan.partitions()) {
+    if (part.name == "f2_spine") f2 = part.shape.Centroid();
+  }
+  const double d = dist.Between(f0, f2);
+  ASSERT_FALSE(std::isinf(d));
+  EXPECT_GT(d, 2.0 * config.stair_length);
+}
+
+}  // namespace
+}  // namespace indoorflow

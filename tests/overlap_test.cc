@@ -1,0 +1,342 @@
+// Tests for overlapping detection ranges (paper Section 3 Remark): OTT
+// overlap mode, AR-tree coverage, state resolution with multiple covering
+// records, uncertainty regions, and query parity.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/tracking_state.h"
+#include "src/indoor/plan_builders.h"
+#include "src/sim/detector.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(OverlapOttTest, FinalizeModes) {
+  ObjectTrackingTable strict;
+  strict.Append({1, 0, 0, 10});
+  strict.Append({1, 1, 5, 15});
+  EXPECT_FALSE(strict.Finalize().ok());
+
+  ObjectTrackingTable relaxed;
+  relaxed.Append({1, 0, 0, 10});
+  relaxed.Append({1, 1, 5, 15});
+  ASSERT_TRUE(relaxed.Finalize(/*allow_overlap=*/true).ok());
+  EXPECT_TRUE(relaxed.has_overlaps());
+
+  ObjectTrackingTable disjoint;
+  disjoint.Append({1, 0, 0, 10});
+  disjoint.Append({1, 1, 12, 15});
+  ASSERT_TRUE(disjoint.Finalize(/*allow_overlap=*/true).ok());
+  EXPECT_FALSE(disjoint.has_overlaps());
+}
+
+TEST(OverlapOttTest, NestedRecordsDetected) {
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0, 100});
+  table.Append({1, 1, 10, 20});  // nested inside the first record
+  ASSERT_TRUE(table.Finalize(true).ok());
+  EXPECT_TRUE(table.has_overlaps());
+}
+
+class OverlapFixture : public ::testing::Test {
+ protected:
+  OverlapFixture() {
+    // Two overlapping ranges around x = 5..9 (centers 4m apart, radius 3),
+    // and a distant third device.
+    deployment_.AddDevice(Circle{{5, 0}, 3.0});
+    deployment_.AddDevice(Circle{{9, 0}, 3.0});
+    deployment_.AddDevice(Circle{{30, 0}, 3.0});
+    deployment_.BuildIndex();
+    EXPECT_FALSE(deployment_.RangesDisjoint());
+
+    // Object 1 walks through the overlap zone and later reaches dev2:
+    // dev0 sees it during [0, 10], dev1 during [6, 16] (overlap [6, 10]),
+    // dev2 during [40, 50].
+    table_.Append({1, 0, 0, 10});
+    table_.Append({1, 1, 6, 16});
+    table_.Append({1, 2, 40, 50});
+    INDOORFLOW_CHECK(table_.Finalize(true).ok());
+    artree_ = ARTree::Build(table_);
+    model_ = std::make_unique<UncertaintyModel>(table_, deployment_, 1.0);
+  }
+
+  Deployment deployment_;
+  ObjectTrackingTable table_;
+  ARTree artree_;
+  std::unique_ptr<UncertaintyModel> model_;
+};
+
+TEST_F(OverlapFixture, ARTreeCoversAllTrackedTimes) {
+  // Every t in [0, 50] must be covered by at least one entry of object 1.
+  std::vector<ARTreeEntry> out;
+  for (double t = 0.25; t < 50.0; t += 0.5) {
+    artree_.PointQuery(t, &out);
+    EXPECT_FALSE(out.empty()) << "t=" << t;
+  }
+  artree_.PointQuery(55.0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(OverlapFixture, StateWithTwoCoveringRecords) {
+  const SnapshotState state = ResolveSnapshotStateAt(table_, 1, 8.0);
+  ASSERT_TRUE(state.active());
+  ASSERT_EQ(state.covering.size(), 2u);
+  std::set<DeviceId> devices;
+  for (RecordIndex idx : state.covering) {
+    devices.insert(table_.record(idx).device_id);
+  }
+  EXPECT_EQ(devices, (std::set<DeviceId>{0, 1}));
+  EXPECT_EQ(state.pre, kInvalidRecord);
+}
+
+TEST_F(OverlapFixture, DoubleCoverageShrinksUncertainty) {
+  // At t=8 the object is in BOTH ranges: UR = lens of the two disks.
+  const SnapshotState state = ResolveSnapshotStateAt(table_, 1, 8.0);
+  const Region ur = model_->Snapshot(state, 8.0);
+  EXPECT_TRUE(ur.Contains({7, 0}));    // in the lens
+  EXPECT_FALSE(ur.Contains({3, 0}));   // only in dev0's range
+  EXPECT_FALSE(ur.Contains({11, 0}));  // only in dev1's range
+}
+
+TEST_F(OverlapFixture, SingleCoverageKeepsFullRange) {
+  // At t=2 only dev0 covers; UR = dev0's range (no pre).
+  const SnapshotState state = ResolveSnapshotStateAt(table_, 1, 2.0);
+  ASSERT_EQ(state.covering.size(), 1u);
+  const Region ur = model_->Snapshot(state, 2.0);
+  EXPECT_TRUE(ur.Contains({3, 0}));
+  EXPECT_FALSE(ur.Contains({8.5, 0.0}));  // outside dev0's range
+}
+
+TEST_F(OverlapFixture, InactiveGapAfterOverlap) {
+  // t=25 in the gap (16, 40): pre = dev1 record, suc = dev2 record.
+  const SnapshotState state = ResolveSnapshotStateAt(table_, 1, 25.0);
+  EXPECT_FALSE(state.active());
+  EXPECT_EQ(table_.record(state.pre).device_id, 1);
+  EXPECT_EQ(table_.record(state.suc).device_id, 2);
+  const Region ur = model_->Snapshot(state, 25.0);
+  // Ring(dev1, 9) ∩ Ring(dev2, 15): e.g. (17, 0) is 8m from dev1's center
+  // (in [3,12]) and 13m from dev2's (in [3,18]).
+  EXPECT_TRUE(ur.Contains({17, 0}));
+  EXPECT_FALSE(ur.Contains({9, 0}));  // inside dev1's range: undetected
+}
+
+TEST_F(OverlapFixture, SnapshotMbrCoversUr) {
+  Rng rng(61);
+  for (const Timestamp t : {2.0, 8.0, 14.0, 25.0, 45.0}) {
+    const SnapshotState state = ResolveSnapshotStateAt(table_, 1, t);
+    const Region ur = model_->Snapshot(state, t);
+    const Box mbr = model_->SnapshotMbr(state, t);
+    const Box domain = ur.Bounds();
+    for (int i = 0; i < 300; ++i) {
+      const Point p{rng.Uniform(domain.min_x - 1, domain.max_x + 1),
+                    rng.Uniform(domain.min_y - 1, domain.max_y + 1)};
+      if (ur.Contains(p)) {
+        EXPECT_TRUE(mbr.Contains(p)) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST_F(OverlapFixture, IntervalChainIncludesOverlappingRecords) {
+  const IntervalChain chain = RelevantChain(table_, 1, 4.0, 12.0);
+  ASSERT_EQ(chain.records.size(), 2u);  // both overlapping records
+  EXPECT_TRUE(chain.active_at_start);
+  EXPECT_TRUE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 4.0, 12.0);
+  // Both full ranges are possible over the window.
+  EXPECT_TRUE(ur.Contains({3, 0}));
+  EXPECT_TRUE(ur.Contains({11, 0}));
+  EXPECT_FALSE(ur.Contains({20, 0}));
+}
+
+TEST_F(OverlapFixture, IntervalChainAcrossGap) {
+  const IntervalChain chain = RelevantChain(table_, 1, 20.0, 30.0);
+  // Pure-gap window: pre (dev1 record) + suc (dev2 record).
+  ASSERT_EQ(chain.records.size(), 2u);
+  EXPECT_FALSE(chain.active_at_start);
+  EXPECT_FALSE(chain.active_at_end);
+  EXPECT_EQ(table_.record(chain.records[0]).device_id, 1);
+  EXPECT_EQ(table_.record(chain.records[1]).device_id, 2);
+}
+
+TEST_F(OverlapFixture, NestedRecordChain) {
+  ObjectTrackingTable nested;
+  nested.Append({1, 0, 0, 100});
+  nested.Append({1, 1, 10, 20});
+  ASSERT_TRUE(nested.Finalize(true).ok());
+  // Window inside the long record but after the nested one.
+  const IntervalChain chain = RelevantChain(nested, 1, 30.0, 40.0);
+  ASSERT_EQ(chain.records.size(), 1u);
+  EXPECT_EQ(nested.record(chain.records[0]).device_id, 0);
+  EXPECT_TRUE(chain.active_at_start);
+  EXPECT_TRUE(chain.active_at_end);
+  // State at t=50: covered by the long record only; pre is the nested one.
+  const SnapshotState state = ResolveSnapshotStateAt(nested, 1, 50.0);
+  ASSERT_EQ(state.covering.size(), 1u);
+  EXPECT_EQ(nested.record(state.covering[0]).device_id, 0);
+  ASSERT_NE(state.pre, kInvalidRecord);
+  EXPECT_EQ(nested.record(state.pre).device_id, 1);
+}
+
+// End-to-end queries over an overlapping deployment on the tiny plan.
+class OverlapQueryFixture : public ::testing::Test {
+ protected:
+  OverlapQueryFixture() : built_(BuildTinyPlan()), graph_(built_.plan) {
+    // Overlapping readers inside room_a and near its door.
+    deployment_.AddDevice(Circle{{4, 7}, 2.0});
+    deployment_.AddDevice(Circle{{6, 7}, 2.0});  // overlaps dev0
+    deployment_.AddDevice(Circle{{15, 8}, 2.0});  // room_b
+    deployment_.BuildIndex();
+    pois_.push_back(Poi{0, "room_a", Polygon::Rectangle(0, 4, 10, 12)});
+    pois_.push_back(Poi{1, "room_b", Polygon::Rectangle(10, 4, 20, 12)});
+    pois_.push_back(Poi{2, "hallway", Polygon::Rectangle(0, 0, 20, 4)});
+
+    // Objects 0-2 sit in the overlap zone (seen by both dev0 and dev1);
+    // object 3 in room_b.
+    for (ObjectId o = 0; o < 3; ++o) {
+      table_.Append({o, 0, 0, 100});
+      table_.Append({o, 1, 0, 100});
+    }
+    table_.Append({3, 2, 0, 100});
+    INDOORFLOW_CHECK(table_.Finalize(true).ok());
+
+    EngineConfig config;
+    config.vmax = 1.0;
+    config.topology = TopologyMode::kOff;
+    engine_ = std::make_unique<QueryEngine>(built_.plan, graph_,
+                                            deployment_, table_, pois_,
+                                            config);
+  }
+
+  BuiltPlan built_;
+  DoorGraph graph_;
+  Deployment deployment_;
+  ObjectTrackingTable table_;
+  PoiSet pois_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(OverlapQueryFixture, SnapshotParityAndNoDoubleCounting) {
+  const auto iter = engine_->SnapshotTopK(50.0, 3, Algorithm::kIterative);
+  const auto join = engine_->SnapshotTopK(50.0, 3, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), 3u);
+  ASSERT_EQ(join.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(iter[i].poi, join[i].poi);
+    EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9);
+  }
+  // room_a wins with its 3 objects; despite each object having TWO
+  // covering records, flow counts each object once with presence <= 1
+  // (lens area / room area, summed over 3 objects).
+  EXPECT_EQ(iter[0].poi, 0);
+  EXPECT_LE(iter[0].flow, 3.0 + 1e-9);
+  // Lens of the two overlap disks is smaller than a single disk.
+  const double single_disk_presence = std::numbers::pi * 4.0 / 80.0;
+  EXPECT_LT(iter[0].flow, 3.0 * single_disk_presence);
+  EXPECT_GT(iter[0].flow, 0.0);
+}
+
+TEST_F(OverlapQueryFixture, IntervalParity) {
+  const auto iter = engine_->IntervalTopK(10.0, 90.0, 3,
+                                          Algorithm::kIterative);
+  const auto join = engine_->IntervalTopK(10.0, 90.0, 3, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), join.size());
+  for (size_t i = 0; i < iter.size(); ++i) {
+    EXPECT_EQ(iter[i].poi, join[i].poi);
+    EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9);
+  }
+  EXPECT_EQ(iter[0].poi, 0);
+}
+
+// The detector naturally produces overlapping records over an overlapping
+// deployment; the full pipeline works end to end.
+TEST(OverlapPipelineTest, DetectorToQueries) {
+  const BuiltPlan built = BuildTinyPlan();
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  deployment.AddDevice(Circle{{5, 4}, 2.5});   // door of room_a
+  deployment.AddDevice(Circle{{8, 4}, 2.5});   // overlapping neighbor
+  deployment.AddDevice(Circle{{15, 4}, 2.5});  // door of room_b
+  deployment.BuildIndex();
+  EXPECT_FALSE(deployment.RangesDisjoint());
+
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+  ObjectTrackingTable table;
+  std::vector<TrackingRecord> records;
+  for (ObjectId o = 0; o < 8; ++o) {
+    Rng rng(900 + static_cast<uint64_t>(o));
+    WaypointOptions options;
+    options.duration = 300.0;
+    options.max_pause = 30.0;
+    const Trajectory traj = model.Generate(o, options, rng);
+    records.clear();
+    detector.DetectRecords(traj, DetectionOptions{}, &records);
+    for (const TrackingRecord& r : records) table.Append(r);
+  }
+  ASSERT_TRUE(table.Finalize(/*allow_overlap=*/true).ok());
+
+  PoiSet pois;
+  pois.push_back(Poi{0, "room_a", Polygon::Rectangle(0, 4, 10, 12)});
+  pois.push_back(Poi{1, "room_b", Polygon::Rectangle(10, 4, 20, 12)});
+  pois.push_back(Poi{2, "hallway", Polygon::Rectangle(0, 0, 20, 4)});
+  EngineConfig config;
+  config.vmax = 1.1;
+  config.topology = TopologyMode::kPartition;
+  const QueryEngine engine(built.plan, graph, deployment, table, pois,
+                           config);
+  for (const Timestamp t : {60.0, 150.0, 240.0}) {
+    const auto iter = engine.SnapshotTopK(t, 3, Algorithm::kIterative);
+    const auto join = engine.SnapshotTopK(t, 3, Algorithm::kJoin);
+    ASSERT_EQ(iter.size(), join.size());
+    for (size_t i = 0; i < iter.size(); ++i) {
+      EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9) << "t=" << t;
+    }
+  }
+  const auto iter = engine.IntervalTopK(50.0, 250.0, 3,
+                                        Algorithm::kIterative);
+  const auto join = engine.IntervalTopK(50.0, 250.0, 3, Algorithm::kJoin);
+  for (size_t i = 0; i < iter.size(); ++i) {
+    EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9);
+  }
+}
+
+// The generator-level overlapping deployment: real Bluetooth installations
+// with overlapping coverage work through the whole pipeline.
+TEST(OverlapPipelineTest, OverlappingCphGenerator) {
+  CphDatasetConfig config;
+  config.num_passengers = 20;
+  config.window = 1200.0;
+  config.overlapping_radios = true;
+  const Dataset ds = GenerateCphLikeDataset(config);
+  EXPECT_FALSE(ds.deployment.RangesDisjoint());
+  EXPECT_TRUE(ds.ott.finalized());
+  EXPECT_TRUE(ds.ott.has_overlaps());
+  // Denser than the sparse default deployment.
+  CphDatasetConfig sparse = config;
+  sparse.overlapping_radios = false;
+  const Dataset sparse_ds = GenerateCphLikeDataset(sparse);
+  EXPECT_GT(ds.deployment.size(), sparse_ds.deployment.size());
+
+  EngineConfig engine_config;
+  engine_config.topology = TopologyMode::kOff;
+  const QueryEngine engine(ds, engine_config);
+  const auto iter = engine.SnapshotTopK(600.0, 5, Algorithm::kIterative);
+  const auto join = engine.SnapshotTopK(600.0, 5, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), join.size());
+  for (size_t i = 0; i < iter.size(); ++i) {
+    EXPECT_NEAR(iter[i].flow, join[i].flow, 1e-9);
+  }
+  const auto iter_i =
+      engine.IntervalTopK(300.0, 900.0, 5, Algorithm::kIterative);
+  const auto join_i = engine.IntervalTopK(300.0, 900.0, 5, Algorithm::kJoin);
+  for (size_t i = 0; i < iter_i.size(); ++i) {
+    EXPECT_NEAR(iter_i[i].flow, join_i[i].flow, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

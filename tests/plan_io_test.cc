@@ -1,0 +1,249 @@
+// Tests for floor-plan / POI text serialization and concurrent engine use.
+
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/indoor/plan_io.h"
+#include "src/sim/generators.h"
+
+namespace indoorflow {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+void ExpectPlansEqual(const FloorPlan& a, const FloorPlan& b) {
+  ASSERT_EQ(a.partitions().size(), b.partitions().size());
+  for (size_t i = 0; i < a.partitions().size(); ++i) {
+    const Partition& pa = a.partitions()[i];
+    const Partition& pb = b.partitions()[i];
+    EXPECT_EQ(pa.name, pb.name);
+    ASSERT_EQ(pa.shape.size(), pb.shape.size());
+    for (size_t v = 0; v < pa.shape.size(); ++v) {
+      EXPECT_EQ(pa.shape.vertex(v), pb.shape.vertex(v)) << pa.name;
+    }
+  }
+  ASSERT_EQ(a.doors().size(), b.doors().size());
+  for (size_t i = 0; i < a.doors().size(); ++i) {
+    EXPECT_EQ(a.doors()[i].position, b.doors()[i].position);
+    EXPECT_EQ(a.doors()[i].partition_a, b.doors()[i].partition_a);
+    EXPECT_EQ(a.doors()[i].partition_b, b.doors()[i].partition_b);
+  }
+}
+
+class PlanRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanRoundTrip, PreservesStructure) {
+  BuiltPlan built;
+  switch (GetParam()) {
+    case 0:
+      built = BuildTinyPlan();
+      break;
+    case 1:
+      built = BuildOfficePlan({});
+      break;
+    case 2:
+      built = BuildAirportPlan({});
+      break;
+    case 3:
+      built = BuildMallPlan({});
+      break;
+    default:
+      built = BuildMultiFloorOfficePlan({});
+      break;
+  }
+  const std::string path =
+      TempPath("plan_" + std::to_string(GetParam()) + ".txt");
+  ASSERT_TRUE(WritePlanFile(built.plan, path).ok());
+  auto loaded = ReadPlanFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectPlansEqual(built.plan, *loaded);
+  EXPECT_TRUE(loaded->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Plans, PlanRoundTrip, ::testing::Range(0, 5));
+
+TEST(PlanIoTest, PoisRoundTrip) {
+  const BuiltPlan built = BuildOfficePlan({});
+  Rng rng(3);
+  const PoiSet pois = GeneratePois(built, 40, rng);
+  const std::string path = TempPath("pois_roundtrip.txt");
+  ASSERT_TRUE(WritePoisFile(pois, path).ok());
+  auto loaded = ReadPoisFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), pois.size());
+  for (size_t i = 0; i < pois.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, pois[i].id);
+    EXPECT_EQ((*loaded)[i].name, pois[i].name);
+    EXPECT_EQ((*loaded)[i].shape.Bounds(), pois[i].shape.Bounds());
+    EXPECT_DOUBLE_EQ((*loaded)[i].Area(), pois[i].Area());
+  }
+}
+
+TEST(PlanIoTest, RejectsMissingFileAndBadHeader) {
+  EXPECT_EQ(ReadPlanFile(TempPath("nope.txt")).status().code(),
+            StatusCode::kNotFound);
+  const std::string path = TempPath("bad_plan.txt");
+  WriteFile(path, "something else\n");
+  EXPECT_EQ(ReadPlanFile(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanIoTest, RejectsMalformedEntities) {
+  const std::string header = "# indoorflow plan v1\n";
+  const std::string path = TempPath("malformed_plan.txt");
+  // Too few vertices.
+  WriteFile(path, header + "partition a 0 0 1 1\n");
+  EXPECT_FALSE(ReadPlanFile(path).ok());
+  // Odd coordinate count.
+  WriteFile(path, header + "partition a 0 0 1 0 1\n");
+  EXPECT_FALSE(ReadPlanFile(path).ok());
+  // Unknown entity.
+  WriteFile(path, header + "window 0 0 1 1\n");
+  EXPECT_FALSE(ReadPlanFile(path).ok());
+  // Door referencing a missing partition.
+  WriteFile(path, header + "partition a 0 0 4 0 4 4 0 4\ndoor 2 0 0 5\n");
+  EXPECT_FALSE(ReadPlanFile(path).ok());
+}
+
+TEST(PlanIoTest, RejectsInvalidLoadedPlan) {
+  // Two disconnected partitions parse but fail validation.
+  const std::string path = TempPath("disconnected_plan.txt");
+  WriteFile(path,
+            "# indoorflow plan v1\n"
+            "partition a 0 0 4 0 4 4 0 4\n"
+            "partition b 10 10 14 10 14 14 10 14\n");
+  EXPECT_FALSE(ReadPlanFile(path).ok());
+}
+
+TEST(PlanIoTest, CommentsAndCrLfTolerated) {
+  const std::string path = TempPath("crlf_plan.txt");
+  WriteFile(path,
+            "# indoorflow plan v1\r\n"
+            "# a comment\r\n"
+            "partition a 0 0 4 0 4 4 0 4\r\n");
+  auto loaded = ReadPlanFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->partitions().size(), 1u);
+}
+
+// Full-dataset reload: queries over the reloaded plan/POIs match the
+// original bit for bit.
+TEST(PlanIoTest, QueriesMatchAfterFullReload) {
+  OfficeDatasetConfig config;
+  config.num_objects = 15;
+  config.duration = 600.0;
+  const Dataset ds = GenerateOfficeDataset(config);
+  const std::string plan_path = TempPath("reload_plan.txt");
+  const std::string pois_path = TempPath("reload_pois.txt");
+  ASSERT_TRUE(WritePlanFile(ds.built.plan, plan_path).ok());
+  ASSERT_TRUE(WritePoisFile(ds.pois, pois_path).ok());
+  auto plan = ReadPlanFile(plan_path);
+  auto pois = ReadPoisFile(pois_path);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(pois.ok());
+  const DoorGraph graph(*plan);
+
+  EngineConfig engine_config;
+  engine_config.topology = TopologyMode::kPartition;
+  engine_config.vmax = ds.vmax;
+  const QueryEngine original(ds, engine_config);
+  const QueryEngine reloaded(*plan, graph, ds.deployment, ds.ott, *pois,
+                             engine_config);
+  const auto a = original.SnapshotTopK(300.0, 10, Algorithm::kJoin);
+  const auto b = reloaded.SnapshotTopK(300.0, 10, Algorithm::kJoin);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].poi, b[i].poi);
+    EXPECT_DOUBLE_EQ(a[i].flow, b[i].flow);
+  }
+}
+
+// QueryEngine's const interface is safe for concurrent queries: N threads
+// issuing mixed queries get exactly the single-threaded results.
+TEST(ConcurrencyTest, ParallelQueriesMatchSerial) {
+  OfficeDatasetConfig config;
+  config.num_objects = 20;
+  config.duration = 900.0;
+  config.seed = 123;
+  const Dataset ds = GenerateOfficeDataset(config);
+  EngineConfig engine_config;
+  engine_config.topology = TopologyMode::kPartition;
+  const QueryEngine engine(ds, engine_config);
+
+  const Timestamp times[4] = {200.0, 400.0, 600.0, 800.0};
+  std::vector<std::vector<PoiFlow>> expected(4);
+  for (int i = 0; i < 4; ++i) {
+    expected[static_cast<size_t>(i)] =
+        engine.SnapshotTopK(times[i], 10, Algorithm::kJoin);
+  }
+
+  std::vector<std::vector<PoiFlow>> results(8);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int worker = 0; worker < 8; ++worker) {
+    threads.emplace_back([&, worker] {
+      results[static_cast<size_t>(worker)] = engine.SnapshotTopK(
+          times[worker % 4], 10, Algorithm::kJoin);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int worker = 0; worker < 8; ++worker) {
+    const auto& got = results[static_cast<size_t>(worker)];
+    const auto& want = expected[static_cast<size_t>(worker % 4)];
+    ASSERT_EQ(got.size(), want.size()) << "worker " << worker;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].poi, want[i].poi);
+      EXPECT_DOUBLE_EQ(got[i].flow, want[i].flow);
+    }
+  }
+}
+
+TEST(ConcurrencyTest, BatchMatchesSerial) {
+  OfficeDatasetConfig config;
+  config.num_objects = 15;
+  config.duration = 600.0;
+  config.seed = 5;
+  const Dataset ds = GenerateOfficeDataset(config);
+  EngineConfig engine_config;
+  engine_config.topology = TopologyMode::kPartition;
+  const QueryEngine engine(ds, engine_config);
+
+  std::vector<Timestamp> times;
+  for (int i = 1; i <= 9; ++i) times.push_back(i * 60.0);
+  const auto batch =
+      engine.SnapshotTopKBatch(times, 5, Algorithm::kJoin, nullptr, 4);
+  ASSERT_EQ(batch.size(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    const auto serial = engine.SnapshotTopK(times[i], 5, Algorithm::kJoin);
+    ASSERT_EQ(batch[i].size(), serial.size()) << "i=" << i;
+    for (size_t j = 0; j < serial.size(); ++j) {
+      EXPECT_EQ(batch[i][j].poi, serial[j].poi);
+      EXPECT_DOUBLE_EQ(batch[i][j].flow, serial[j].flow);
+    }
+  }
+  // More workers than work, single worker, and empty input all behave.
+  EXPECT_EQ(engine.SnapshotTopKBatch({300.0}, 3, Algorithm::kIterative,
+                                     nullptr, 16)
+                .size(),
+            1u);
+  EXPECT_EQ(engine.SnapshotTopKBatch({300.0, 360.0}, 3,
+                                     Algorithm::kIterative, nullptr, 1)
+                .size(),
+            2u);
+  EXPECT_TRUE(
+      engine.SnapshotTopKBatch({}, 3, Algorithm::kIterative).empty());
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,216 @@
+// Tests for the query algorithms: iterative/join parity on both query
+// types, k semantics, subset handling, and the sub-MBR ablation.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+
+namespace indoorflow {
+namespace {
+
+// A small but nontrivial office dataset shared across tests.
+class QueryFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    OfficeDatasetConfig config;
+    config.num_objects = 40;
+    config.duration = 1200.0;
+    config.seed = 2024;
+    dataset_ = new Dataset(GenerateOfficeDataset(config));
+    EngineConfig engine_config;
+    engine_config.topology = TopologyMode::kOff;  // cheap; topology covered below
+    engine_ = new QueryEngine(*dataset_, engine_config);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete dataset_;
+    engine_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static QueryEngine* engine_;
+};
+
+Dataset* QueryFixture::dataset_ = nullptr;
+QueryEngine* QueryFixture::engine_ = nullptr;
+
+// Normalizes a full ranking for comparison: sort by (flow desc, id asc).
+std::vector<PoiFlow> Normalize(std::vector<PoiFlow> flows) {
+  std::sort(flows.begin(), flows.end(),
+            [](const PoiFlow& a, const PoiFlow& b) {
+              if (a.flow != b.flow) return a.flow > b.flow;
+              return a.poi < b.poi;
+            });
+  return flows;
+}
+
+void ExpectSameRanking(const std::vector<PoiFlow>& a,
+                       const std::vector<PoiFlow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  const std::vector<PoiFlow> na = Normalize(a);
+  const std::vector<PoiFlow> nb = Normalize(b);
+  for (size_t i = 0; i < na.size(); ++i) {
+    EXPECT_EQ(na[i].poi, nb[i].poi) << "rank " << i;
+    EXPECT_NEAR(na[i].flow, nb[i].flow, 1e-9) << "rank " << i;
+  }
+}
+
+TEST_F(QueryFixture, SnapshotIterativeMatchesJoinFullRanking) {
+  const int k = static_cast<int>(dataset_->pois.size());
+  for (const Timestamp t : {120.0, 400.0, 700.0, 1000.0}) {
+    const auto iter = engine_->SnapshotTopK(t, k, Algorithm::kIterative);
+    const auto join = engine_->SnapshotTopK(t, k, Algorithm::kJoin);
+    ExpectSameRanking(iter, join);
+  }
+}
+
+TEST_F(QueryFixture, IntervalIterativeMatchesJoinFullRanking) {
+  const int k = static_cast<int>(dataset_->pois.size());
+  const struct {
+    Timestamp ts, te;
+  } windows[] = {{100, 220}, {300, 600}, {50, 1150}};
+  for (const auto& w : windows) {
+    const auto iter =
+        engine_->IntervalTopK(w.ts, w.te, k, Algorithm::kIterative);
+    const auto join = engine_->IntervalTopK(w.ts, w.te, k, Algorithm::kJoin);
+    ExpectSameRanking(iter, join);
+  }
+}
+
+TEST_F(QueryFixture, SnapshotFlowsArePositiveSomewhere) {
+  const auto top = engine_->SnapshotTopK(400.0, 5, Algorithm::kIterative);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_GT(top[0].flow, 0.0);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].flow, top[i - 1].flow);  // sorted descending
+  }
+}
+
+TEST_F(QueryFixture, TopKIsPrefixOfFullRanking) {
+  const int full_k = static_cast<int>(dataset_->pois.size());
+  const auto full =
+      Normalize(engine_->SnapshotTopK(400.0, full_k, Algorithm::kJoin));
+  const auto top5 =
+      Normalize(engine_->SnapshotTopK(400.0, 5, Algorithm::kJoin));
+  ASSERT_EQ(top5.size(), 5u);
+  for (size_t i = 0; i < top5.size(); ++i) {
+    EXPECT_NEAR(top5[i].flow, full[i].flow, 1e-9);
+  }
+}
+
+TEST_F(QueryFixture, SubsetRestrictsResults) {
+  const std::vector<PoiId> subset = {3, 7, 11, 20, 33, 41, 55, 60};
+  for (const Algorithm algo : {Algorithm::kIterative, Algorithm::kJoin}) {
+    const auto top = engine_->SnapshotTopK(400.0, 4, algo, &subset);
+    EXPECT_EQ(top.size(), 4u);
+    for (const PoiFlow& f : top) {
+      EXPECT_TRUE(std::find(subset.begin(), subset.end(), f.poi) !=
+                  subset.end())
+          << "poi " << f.poi << " not in subset";
+    }
+  }
+}
+
+TEST_F(QueryFixture, QueryBeforeDataReturnsZeroFlows) {
+  // Negative times precede every record: all flows are zero, results are
+  // padded deterministically.
+  const auto iter = engine_->SnapshotTopK(-100.0, 3, Algorithm::kIterative);
+  const auto join = engine_->SnapshotTopK(-100.0, 3, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), 3u);
+  ASSERT_EQ(join.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(iter[i].flow, 0.0);
+    EXPECT_DOUBLE_EQ(join[i].flow, 0.0);
+    EXPECT_EQ(iter[i].poi, join[i].poi);
+  }
+}
+
+TEST_F(QueryFixture, IntervalSubMbrAblationSameResults) {
+  EngineConfig no_sub;
+  no_sub.topology = TopologyMode::kOff;
+  no_sub.interval_sub_mbrs = false;
+  const QueryEngine engine_no_sub(*dataset_, no_sub);
+  const int k = static_cast<int>(dataset_->pois.size());
+  const auto with_sub =
+      engine_->IntervalTopK(300.0, 600.0, k, Algorithm::kJoin);
+  const auto without_sub =
+      engine_no_sub.IntervalTopK(300.0, 600.0, k, Algorithm::kJoin);
+  ExpectSameRanking(with_sub, without_sub);
+}
+
+TEST_F(QueryFixture, AreaBoundsSameResultsLessWork) {
+  EngineConfig tight;
+  tight.topology = TopologyMode::kOff;
+  tight.join_area_bounds = true;
+  const QueryEngine tight_engine(*dataset_, tight);
+  const int k = static_cast<int>(dataset_->pois.size());
+  for (const Timestamp t : {400.0, 700.0}) {
+    const auto base = engine_->SnapshotTopK(t, k, Algorithm::kJoin);
+    const auto bounded = tight_engine.SnapshotTopK(t, k, Algorithm::kJoin);
+    ExpectSameRanking(base, bounded);
+  }
+  QueryStats base_stats;
+  QueryStats bound_stats;
+  engine_->IntervalTopK(300.0, 600.0, 10, Algorithm::kJoin, nullptr,
+                        &base_stats);
+  tight_engine.IntervalTopK(300.0, 600.0, 10, Algorithm::kJoin, nullptr,
+                            &bound_stats);
+  // Never more work, and identical interval results.
+  EXPECT_LE(bound_stats.presence_evaluations,
+            base_stats.presence_evaluations);
+  EXPECT_LE(bound_stats.pois_evaluated, base_stats.pois_evaluated);
+  const auto a = engine_->IntervalTopK(300.0, 600.0, k, Algorithm::kJoin);
+  const auto b = tight_engine.IntervalTopK(300.0, 600.0, k,
+                                           Algorithm::kJoin);
+  ExpectSameRanking(a, b);
+}
+
+TEST_F(QueryFixture, DeterministicAcrossCalls) {
+  const auto a = engine_->IntervalTopK(300.0, 500.0, 10, Algorithm::kJoin);
+  const auto b = engine_->IntervalTopK(300.0, 500.0, 10, Algorithm::kJoin);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].poi, b[i].poi);
+    EXPECT_DOUBLE_EQ(a[i].flow, b[i].flow);
+  }
+}
+
+TEST_F(QueryFixture, TopologyCheckOnlyShrinksFlows) {
+  EngineConfig with_topo;
+  with_topo.topology = TopologyMode::kExact;
+  const QueryEngine topo_engine(*dataset_, with_topo);
+  const int k = static_cast<int>(dataset_->pois.size());
+  const auto euclid =
+      Normalize(engine_->SnapshotTopK(400.0, k, Algorithm::kIterative));
+  const auto indoor =
+      Normalize(topo_engine.SnapshotTopK(400.0, k, Algorithm::kIterative));
+  std::map<PoiId, double> euclid_map;
+  for (const PoiFlow& f : euclid) euclid_map[f.poi] = f.flow;
+  for (const PoiFlow& f : indoor) {
+    // Presence integration has tolerance presence_tolerance per object;
+    // allow generous slack while requiring the monotone trend.
+    EXPECT_LE(f.flow, euclid_map[f.poi] + 0.25) << "poi " << f.poi;
+  }
+}
+
+TEST_F(QueryFixture, TopologyParityIterativeJoin) {
+  EngineConfig with_topo;
+  with_topo.topology = TopologyMode::kExact;
+  const QueryEngine topo_engine(*dataset_, with_topo);
+  const int k = static_cast<int>(dataset_->pois.size());
+  const auto iter = topo_engine.SnapshotTopK(700.0, k, Algorithm::kIterative);
+  const auto join = topo_engine.SnapshotTopK(700.0, k, Algorithm::kJoin);
+  ExpectSameRanking(iter, join);
+  const auto iter_i =
+      topo_engine.IntervalTopK(300.0, 480.0, k, Algorithm::kIterative);
+  const auto join_i =
+      topo_engine.IntervalTopK(300.0, 480.0, k, Algorithm::kJoin);
+  ExpectSameRanking(iter_i, join_i);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,216 @@
+// Randomized property tests over arbitrary Region CSG trees: containment
+// must agree with the set semantics of the tree, the certified area
+// integrator must agree with Monte-Carlo estimation, and bounds/emptiness
+// must be conservative. These are the invariants every uncertainty region
+// in the engine relies on, exercised far outside the shapes the queries
+// happen to build.
+
+#include <cmath>
+#include <functional>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/geometry/area_integrator.h"
+#include "src/geometry/extended_ellipse.h"
+#include "src/geometry/region.h"
+
+namespace indoorflow {
+namespace {
+
+constexpr double kDomain = 20.0;  // shapes live in [0, 20]^2
+
+// A reference evaluator mirroring the CSG tree with plain lambdas, built
+// alongside the Region so containment can be cross-checked independently.
+struct SampleRegion {
+  Region region;
+  std::function<bool(Point)> contains;
+};
+
+// Reference containment for Θ(D_a, D_b, L) with include_disks semantics:
+// the paper's *complete* region is the bridge {q : dist(q, D_a) +
+// dist(q, D_b) <= L} (dist to a closed disk is 0 inside it) united with
+// both detection disks — the disks belong to Θ even when L cannot bridge
+// the gap between them.
+bool ThetaContains(const Circle& a, const Circle& b, double travel,
+                   Point p) {
+  if (a.Contains(p) || b.Contains(p)) return true;
+  const double da = Distance(p, a.center) - a.radius;
+  const double db = Distance(p, b.center) - b.radius;
+  return da + db <= travel;
+}
+
+SampleRegion RandomPrimitive(Rng& rng) {
+  const Point c{rng.Uniform(2.0, kDomain - 2.0),
+                rng.Uniform(2.0, kDomain - 2.0)};
+  switch (rng.UniformInt(5ULL)) {
+    case 0: {
+      const Circle circle{c, rng.Uniform(0.5, 4.0)};
+      return {Region::Make(circle),
+              [circle](Point p) { return circle.Contains(p); }};
+    }
+    case 1: {
+      const double inner = rng.Uniform(0.2, 2.0);
+      const Ring ring{c, inner, inner + rng.Uniform(0.3, 3.0)};
+      return {Region::Make(ring),
+              [ring](Point p) { return ring.Contains(p); }};
+    }
+    case 2: {
+      const double w = rng.Uniform(1.0, 6.0);
+      const double h = rng.Uniform(1.0, 6.0);
+      const Box box{c.x - w / 2.0, c.y - h / 2.0, c.x + w / 2.0,
+                    c.y + h / 2.0};
+      return {Region::Make(box), [box](Point p) { return box.Contains(p); }};
+    }
+    case 3: {
+      // A triangle (simple convex polygon that is NOT a rectangle).
+      const Point a{c.x - rng.Uniform(1.0, 3.0), c.y - rng.Uniform(1.0, 3.0)};
+      const Point b{c.x + rng.Uniform(1.0, 3.0), c.y - rng.Uniform(0.5, 2.0)};
+      const Point t{c.x, c.y + rng.Uniform(1.0, 3.0)};
+      const Polygon tri({a, b, t});
+      return {Region::Make(tri),
+              [tri](Point p) { return tri.Contains(p); }};
+    }
+    default: {
+      // An extended ellipse Θ(D_a, D_b, L) — the paper's bridge region —
+      // with a second focus disk offset from the first and a travel budget
+      // that sometimes bridges the gap and sometimes leaves only disks.
+      const Circle a{c, rng.Uniform(0.5, 1.5)};
+      const Point c2{c.x + rng.Uniform(-5.0, 5.0),
+                     c.y + rng.Uniform(-5.0, 5.0)};
+      const Circle b{c2, rng.Uniform(0.5, 1.5)};
+      const double gap =
+          std::max(0.0, Distance(a.center, b.center) - a.radius - b.radius);
+      // Span the interesting regimes: L below the gap (disconnected
+      // bridge), barely above, and comfortably above.
+      const double travel = gap * rng.Uniform(0.3, 1.8) + 0.2;
+      const ExtendedEllipse theta(a, b, travel);
+      return {Region::Make(theta), [a, b, travel](Point p) {
+                return ThetaContains(a, b, travel, p);
+              }};
+    }
+  }
+}
+
+// Builds a random CSG tree with `ops` combining operations.
+SampleRegion RandomTree(Rng& rng, int ops) {
+  SampleRegion current = RandomPrimitive(rng);
+  for (int i = 0; i < ops; ++i) {
+    SampleRegion next = RandomPrimitive(rng);
+    const auto lhs = current.contains;
+    const auto rhs = next.contains;
+    switch (rng.UniformInt(3ULL)) {
+      case 0:
+        current.region =
+            Region::Intersect(std::move(current.region), std::move(next.region));
+        current.contains = [lhs, rhs](Point p) { return lhs(p) && rhs(p); };
+        break;
+      case 1:
+        current.region =
+            Region::Union(std::move(current.region), std::move(next.region));
+        current.contains = [lhs, rhs](Point p) { return lhs(p) || rhs(p); };
+        break;
+      default:
+        current.region =
+            Region::Subtract(std::move(current.region), std::move(next.region));
+        current.contains = [lhs, rhs](Point p) { return lhs(p) && !rhs(p); };
+        break;
+    }
+  }
+  return current;
+}
+
+class RegionFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RegionFuzz, ContainsMatchesSetSemantics) {
+  Rng rng(GetParam());
+  const SampleRegion sample = RandomTree(rng, 1 + static_cast<int>(
+                                                    rng.UniformInt(4ULL)));
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.Uniform(-1.0, kDomain + 1.0),
+                  rng.Uniform(-1.0, kDomain + 1.0)};
+    EXPECT_EQ(sample.region.Contains(p), sample.contains(p))
+        << "p=(" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST_P(RegionFuzz, BoundsContainTheRegion) {
+  Rng rng(GetParam() ^ 0x5555555555555555ULL);
+  const SampleRegion sample = RandomTree(rng, 2);
+  if (sample.region.IsEmpty()) return;  // nothing to check
+  const Box bounds = sample.region.Bounds();
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.Uniform(-1.0, kDomain + 1.0),
+                  rng.Uniform(-1.0, kDomain + 1.0)};
+    if (sample.region.Contains(p)) {
+      EXPECT_TRUE(bounds.Contains(p))
+          << "point in region escapes Bounds(): (" << p.x << ", " << p.y
+          << ")";
+    }
+  }
+}
+
+TEST_P(RegionFuzz, IntegratorAgreesWithMonteCarlo) {
+  Rng rng(GetParam() ^ 0xaaaaaaaaaaaaaaaaULL);
+  const SampleRegion sample = RandomTree(rng, 2);
+
+  AreaOptions options;
+  options.abs_tolerance = 0.02;
+  options.max_depth = 14;
+  options.max_cells = 200000;
+  const AreaEstimate estimate = Area(sample.region, options);
+
+  // Monte Carlo over the domain box: n samples give a standard error of
+  // area_box * sqrt(p(1-p)/n); use 5 sigma plus the integrator's certified
+  // bound as the comparison tolerance.
+  const double box_area = (kDomain + 2.0) * (kDomain + 2.0);
+  const int n = 60000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    const Point p{rng.Uniform(-1.0, kDomain + 1.0),
+                  rng.Uniform(-1.0, kDomain + 1.0)};
+    hits += sample.contains(p) ? 1 : 0;
+  }
+  const double mc_area = box_area * static_cast<double>(hits) / n;
+  const double p_hat = static_cast<double>(hits) / n;
+  const double sigma =
+      box_area * std::sqrt(std::max(p_hat * (1.0 - p_hat), 1e-9) / n);
+  EXPECT_NEAR(estimate.area, mc_area, 5.0 * sigma + estimate.error_bound)
+      << "integrator=" << estimate.area << " mc=" << mc_area
+      << " sigma=" << sigma << " certified=" << estimate.error_bound;
+}
+
+TEST_P(RegionFuzz, SelfIntersectionIsIdentityForArea) {
+  Rng rng(GetParam() ^ 0x123456789ULL);
+  const SampleRegion sample = RandomTree(rng, 1);
+  AreaOptions options;
+  options.abs_tolerance = 0.02;
+  const AreaEstimate whole = Area(sample.region, options);
+  const AreaEstimate self =
+      AreaOfIntersection(sample.region, sample.region, options);
+  EXPECT_NEAR(whole.area, self.area,
+              whole.error_bound + self.error_bound + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionFuzz,
+                         ::testing::Range<uint64_t>(9000, 9012));
+
+// Deterministic sanity anchors for the fuzz machinery itself.
+TEST(RegionFuzzAnchors, KnownComposition) {
+  // (disk r=2 at (5,5)) minus (box covering its right half): area = half
+  // the disk.
+  const Region disk = Region::Make(Circle{{5, 5}, 2.0});
+  const Region right = Region::Make(Box{5.0, 0.0, 10.0, 10.0});
+  const Region half = Region::Subtract(disk, right);
+  AreaOptions options;
+  options.abs_tolerance = 0.01;
+  const AreaEstimate estimate = Area(half, options);
+  EXPECT_NEAR(estimate.area, 2.0 * std::numbers::pi,
+              0.01 + estimate.error_bound);
+  EXPECT_TRUE(half.Contains({4.0, 5.0}));
+  EXPECT_FALSE(half.Contains({6.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace indoorflow

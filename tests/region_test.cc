@@ -1,0 +1,171 @@
+// Unit tests for the Region CSG machinery: containment, bounds, and the
+// conservativeness of box classification.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/geometry/region.h"
+
+namespace indoorflow {
+namespace {
+
+// Verifies that Classify(box) is consistent with membership of sampled
+// points: kInside boxes contain only members, kOutside boxes none.
+void CheckClassifyConservative(const Region& region, const Box& domain,
+                               uint64_t seed, int boxes = 200,
+                               int samples_per_box = 25) {
+  Rng rng(seed);
+  for (int i = 0; i < boxes; ++i) {
+    const double x0 = rng.Uniform(domain.min_x, domain.max_x);
+    const double y0 = rng.Uniform(domain.min_y, domain.max_y);
+    const double w = rng.Uniform(0.01, domain.Width() / 3.0);
+    const double h = rng.Uniform(0.01, domain.Height() / 3.0);
+    const Box box{x0, y0, x0 + w, y0 + h};
+    const BoxClass cls = region.Classify(box);
+    if (cls == BoxClass::kBoundary) continue;
+    for (int j = 0; j < samples_per_box; ++j) {
+      const Point p{rng.Uniform(box.min_x, box.max_x),
+                    rng.Uniform(box.min_y, box.max_y)};
+      if (cls == BoxClass::kInside) {
+        EXPECT_TRUE(region.Contains(p))
+            << "kInside box contains non-member (" << p.x << "," << p.y
+            << ")";
+      } else {
+        EXPECT_FALSE(region.Contains(p))
+            << "kOutside box contains member (" << p.x << "," << p.y << ")";
+      }
+    }
+  }
+}
+
+TEST(RegionTest, EmptyRegion) {
+  const Region empty;
+  EXPECT_TRUE(empty.IsEmpty());
+  EXPECT_FALSE(empty.Contains({0, 0}));
+  EXPECT_EQ(empty.Classify(Box{0, 0, 1, 1}), BoxClass::kOutside);
+}
+
+TEST(RegionTest, CirclePrimitive) {
+  const Region r = Region::Make(Circle{{0, 0}, 2.0});
+  EXPECT_FALSE(r.IsEmpty());
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_FALSE(r.Contains({2, 2}));
+  EXPECT_EQ(r.Classify(Box{-0.5, -0.5, 0.5, 0.5}), BoxClass::kInside);
+  EXPECT_EQ(r.Classify(Box{3, 3, 4, 4}), BoxClass::kOutside);
+  // Box [1.5,2.5]^2 lies entirely outside (nearest corner at ~2.12).
+  EXPECT_EQ(r.Classify(Box{1.5, 1.5, 2.5, 2.5}), BoxClass::kOutside);
+  EXPECT_EQ(r.Classify(Box{1.0, 1.0, 2.5, 2.5}), BoxClass::kBoundary);
+  CheckClassifyConservative(r, Box{-3, -3, 3, 3}, 1);
+}
+
+TEST(RegionTest, DegenerateCircleIsEmpty) {
+  EXPECT_TRUE(Region::Make(Circle{{0, 0}, 0.0}).IsEmpty());
+  EXPECT_TRUE(Region::Make(Circle{{0, 0}, -1.0}).IsEmpty());
+}
+
+TEST(RegionTest, RingPrimitive) {
+  const Region r = Region::Make(Ring{{0, 0}, 1.0, 2.0});
+  EXPECT_FALSE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({1.5, 0}));
+  EXPECT_FALSE(r.Contains({2.5, 0}));
+  // A box straddling the hole.
+  EXPECT_EQ(r.Classify(Box{-0.3, -0.3, 0.3, 0.3}), BoxClass::kOutside);
+  CheckClassifyConservative(r, Box{-3, -3, 3, 3}, 2);
+}
+
+TEST(RegionTest, PolygonPrimitive) {
+  const Polygon ell({{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}});
+  const Region r = Region::Make(ell);
+  EXPECT_TRUE(r.Contains({1, 3}));
+  EXPECT_FALSE(r.Contains({3, 3}));
+  EXPECT_EQ(r.Classify(Box{0.5, 0.5, 1.5, 1.5}), BoxClass::kInside);
+  EXPECT_EQ(r.Classify(Box{2.5, 2.5, 3.5, 3.5}), BoxClass::kOutside);
+  EXPECT_EQ(r.Classify(Box{1.5, 1.5, 2.5, 2.5}), BoxClass::kBoundary);
+  // A box enclosing the whole polygon is mixed.
+  EXPECT_EQ(r.Classify(Box{-1, -1, 5, 5}), BoxClass::kBoundary);
+  CheckClassifyConservative(r, Box{-1, -1, 5, 5}, 3);
+}
+
+TEST(RegionTest, ExtendedEllipsePrimitive) {
+  const ExtendedEllipse theta(Circle{{0, 0}, 1.0}, Circle{{8, 0}, 1.0},
+                              8.0);
+  const Region r = Region::Make(theta);
+  EXPECT_TRUE(r.Contains({4, 0}));
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_FALSE(r.Contains({4, 5}));
+  CheckClassifyConservative(r, Box{-4, -4, 12, 4}, 4);
+}
+
+TEST(RegionTest, IntersectionSemantics) {
+  const Region a = Region::Make(Circle{{0, 0}, 2.0});
+  const Region b = Region::Make(Circle{{2, 0}, 2.0});
+  const Region i = Region::Intersect(a, b);
+  EXPECT_TRUE(i.Contains({1, 0}));
+  EXPECT_FALSE(i.Contains({-1.5, 0}));
+  EXPECT_FALSE(i.Contains({3.5, 0}));
+  // Bounds of the intersection are within both primitive bounds.
+  EXPECT_TRUE(a.Bounds().Contains(i.Bounds()));
+  EXPECT_TRUE(b.Bounds().Contains(i.Bounds()));
+  CheckClassifyConservative(i, Box{-3, -3, 5, 3}, 5);
+}
+
+TEST(RegionTest, IntersectionWithEmptyIsEmpty) {
+  const Region a = Region::Make(Circle{{0, 0}, 2.0});
+  EXPECT_TRUE(Region::Intersect(a, Region()).IsEmpty());
+  EXPECT_TRUE(Region::Intersect(Region(), a).IsEmpty());
+}
+
+TEST(RegionTest, UnionSemantics) {
+  std::vector<Region> parts;
+  parts.push_back(Region::Make(Circle{{0, 0}, 1.0}));
+  parts.push_back(Region::Make(Circle{{5, 0}, 1.0}));
+  parts.push_back(Region());
+  const Region u = Region::Union(std::move(parts));
+  EXPECT_TRUE(u.Contains({0, 0}));
+  EXPECT_TRUE(u.Contains({5, 0}));
+  EXPECT_FALSE(u.Contains({2.5, 0}));
+  EXPECT_EQ(u.Classify(Box{-0.5, -0.5, 0.5, 0.5}), BoxClass::kInside);
+  EXPECT_EQ(u.Classify(Box{2, -0.2, 3, 0.2}), BoxClass::kOutside);
+  CheckClassifyConservative(u, Box{-2, -2, 7, 2}, 6);
+}
+
+TEST(RegionTest, UnionOfOnePartIsThatPart) {
+  std::vector<Region> parts;
+  parts.push_back(Region::Make(Circle{{0, 0}, 1.0}));
+  const Region u = Region::Union(std::move(parts));
+  EXPECT_TRUE(u.Contains({0.9, 0}));
+  EXPECT_FALSE(u.Contains({1.1, 0}));
+}
+
+TEST(RegionTest, DifferenceSemantics) {
+  const Region a = Region::Make(Circle{{0, 0}, 3.0});
+  const Region b = Region::Make(Circle{{0, 0}, 1.0});
+  const Region d = Region::Subtract(a, b);
+  EXPECT_FALSE(d.Contains({0, 0}));
+  EXPECT_TRUE(d.Contains({2, 0}));
+  EXPECT_FALSE(d.Contains({4, 0}));
+  CheckClassifyConservative(d, Box{-4, -4, 4, 4}, 7);
+}
+
+TEST(RegionTest, SubtractEmptyIsIdentity) {
+  const Region a = Region::Make(Circle{{0, 0}, 3.0});
+  const Region d = Region::Subtract(a, Region());
+  EXPECT_TRUE(d.Contains({0, 0}));
+  EXPECT_TRUE(Region::Subtract(Region(), a).IsEmpty());
+}
+
+TEST(RegionTest, NestedCsgConservative) {
+  // (ringA ∩ ringB) ∪ (circle \ polygon): a shape similar in structure to
+  // real uncertainty regions.
+  const Region ring_a = Region::Make(Ring{{0, 0}, 1.0, 4.0});
+  const Region ring_b = Region::Make(Ring{{5, 0}, 1.0, 4.0});
+  const Region lens = Region::Intersect(ring_a, ring_b);
+  const Region cut = Region::Subtract(
+      Region::Make(Circle{{2.5, 5}, 2.0}),
+      Region::Make(Polygon::Rectangle(1.5, 4, 3.5, 6)));
+  const Region shape = Region::Union(lens, cut);
+  CheckClassifyConservative(shape, Box{-5, -5, 10, 8}, 8, 400);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,235 @@
+// Parameterized property tests for the simulation layer: detector parity
+// across plan families and detection ranges, merger equivalence against a
+// brute-force reference, and physical invariants of generated records.
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/detector.h"
+#include "src/sim/generators.h"
+
+namespace indoorflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Detector parity sweep: continuous-quantized detection must equal the
+// tick-based reference across plan shapes and detection ranges.
+
+class DetectorParity
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DetectorParity, ContinuousEqualsTickBased) {
+  const int plan_kind = std::get<0>(GetParam());
+  const double range = std::get<1>(GetParam());
+
+  const BuiltPlan built =
+      plan_kind == 0 ? BuildOfficePlan({}) : BuildAirportPlan({});
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  for (const Door& door : built.plan.doors()) {
+    bool conflict = false;
+    for (const Device& d : deployment.devices()) {
+      conflict |= Distance(d.range.center, door.position) <=
+                  d.range.radius + range + 0.1;
+    }
+    if (!conflict) deployment.AddDevice(Circle{door.position, range});
+  }
+  deployment.BuildIndex();
+  ASSERT_TRUE(deployment.RangesDisjoint());
+
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+  const DetectionOptions detection{1.0, true};
+
+  int compared = 0;
+  for (int object = 0; object < 6; ++object) {
+    Rng rng(500 + static_cast<uint64_t>(object) * 31 +
+            static_cast<uint64_t>(plan_kind));
+    WaypointOptions options;
+    options.duration = 300.0;
+    options.max_pause = 30.0;
+    const Trajectory traj = model.Generate(object, options, rng);
+
+    std::vector<TrackingRecord> continuous;
+    detector.DetectRecords(traj, detection, &continuous);
+    std::vector<RawReading> readings;
+    detector.DetectReadings(traj, detection, &readings);
+    auto merged = MergeReadings(std::move(readings));
+    ASSERT_TRUE(merged.ok());
+    const auto chain = merged->ChainOf(object);
+    ASSERT_EQ(continuous.size(), chain.size()) << "object " << object;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const TrackingRecord& tick = merged->record(chain[i]);
+      EXPECT_EQ(continuous[i].device_id, tick.device_id);
+      EXPECT_NEAR(continuous[i].ts, tick.ts, 1e-6);
+      EXPECT_NEAR(continuous[i].te, tick.te, 1e-6);
+      ++compared;
+    }
+  }
+  (void)compared;  // zero records is legitimate for tiny ranges
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlansAndRanges, DetectorParity,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(1.0, 1.5, 2.5)));
+
+// ---------------------------------------------------------------------------
+// Merger equivalence against a brute-force reference on random streams.
+
+class MergerFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+// O(n^2) reference: repeatedly glue mergeable reading pairs.
+std::multiset<std::tuple<ObjectId, DeviceId, Timestamp, Timestamp>>
+ReferenceMerge(std::vector<RawReading> readings, double max_gap) {
+  std::sort(readings.begin(), readings.end(),
+            [](const RawReading& a, const RawReading& b) {
+              if (a.object_id != b.object_id) return a.object_id < b.object_id;
+              if (a.t != b.t) return a.t < b.t;
+              return a.device_id < b.device_id;
+            });
+  std::multiset<std::tuple<ObjectId, DeviceId, Timestamp, Timestamp>> out;
+  size_t i = 0;
+  while (i < readings.size()) {
+    size_t j = i;
+    while (j + 1 < readings.size() &&
+           readings[j + 1].object_id == readings[i].object_id &&
+           readings[j + 1].device_id == readings[j].device_id &&
+           readings[j + 1].t - readings[j].t <= max_gap) {
+      ++j;
+    }
+    out.insert({readings[i].object_id, readings[i].device_id, readings[i].t,
+                readings[j].t});
+    i = j + 1;
+  }
+  return out;
+}
+
+TEST_P(MergerFuzz, MatchesReference) {
+  Rng rng(GetParam());
+  // Random streams where objects never ping two devices at once
+  // (non-overlapping detection ranges): object visits devices one after
+  // another with strictly increasing timestamps.
+  std::vector<RawReading> readings;
+  for (ObjectId o = 0; o < 8; ++o) {
+    double t = rng.Uniform(0.0, 5.0);
+    const int visits = static_cast<int>(rng.UniformInt(1, 6));
+    for (int v = 0; v < visits; ++v) {
+      const DeviceId dev = static_cast<DeviceId>(rng.UniformInt(4ULL));
+      const int pings = static_cast<int>(rng.UniformInt(1, 8));
+      for (int p = 0; p < pings; ++p) {
+        readings.push_back({o, dev, t});
+        t += rng.Bernoulli(0.8) ? 1.0 : rng.Uniform(2.0, 10.0);
+      }
+      t += rng.Uniform(2.0, 20.0);
+    }
+  }
+  const auto expected = ReferenceMerge(readings, 1.5);
+  auto table = MergeReadings(readings);
+  ASSERT_TRUE(table.ok());
+  std::multiset<std::tuple<ObjectId, DeviceId, Timestamp, Timestamp>> got;
+  for (size_t i = 0; i < table->size(); ++i) {
+    const TrackingRecord& r = table->record(static_cast<RecordIndex>(i));
+    got.insert({r.object_id, r.device_id, r.ts, r.te});
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergerFuzz,
+                         ::testing::Range<uint64_t>(1000, 1020));
+
+// ---------------------------------------------------------------------------
+// Physical invariants of generated datasets: while a record is open, the
+// object really is inside the device's range (continuous, unquantized
+// detection), and detections follow trajectory order.
+
+class DatasetPhysics : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DatasetPhysics, RecordsTrackTheTrajectory) {
+  const BuiltPlan built = BuildOfficePlan({});
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  for (const Door& door : built.plan.doors()) {
+    deployment.AddDevice(Circle{door.position, 1.5});
+  }
+  deployment.BuildIndex();
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+
+  Rng rng(GetParam());
+  WaypointOptions options;
+  options.duration = 400.0;
+  const Trajectory traj = model.Generate(1, options, rng);
+
+  std::vector<TrackingRecord> records;
+  detector.DetectRecords(traj, DetectionOptions{1.0, /*quantize=*/false},
+                         &records);
+  Timestamp prev_end = -1.0;
+  for (const TrackingRecord& r : records) {
+    EXPECT_LE(r.ts, r.te);
+    EXPECT_GE(r.ts, prev_end - 1e-9);  // chronological, non-overlapping
+    prev_end = r.te;
+    const Circle& range =
+        deployment.device(r.device_id).range;
+    // Sample within the record: position is inside the range.
+    for (int i = 0; i <= 4; ++i) {
+      const Timestamp t = r.ts + (r.te - r.ts) * i / 4.0;
+      EXPECT_LE(Distance(traj.At(t), range.center), range.radius + 1e-6)
+          << "t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetPhysics,
+                         ::testing::Range<uint64_t>(2000, 2010));
+
+// ---------------------------------------------------------------------------
+// Dataset generator sweeps across detection ranges (Table 4's range axis).
+
+class GeneratorRangeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneratorRangeSweep, DatasetWellFormed) {
+  OfficeDatasetConfig config;
+  config.num_objects = 10;
+  config.duration = 400.0;
+  config.detection_range = GetParam();
+  const Dataset ds = GenerateOfficeDataset(config);
+  EXPECT_TRUE(ds.deployment.RangesDisjoint());
+  for (const Device& d : ds.deployment.devices()) {
+    EXPECT_DOUBLE_EQ(d.range.radius, GetParam());
+  }
+  for (size_t i = 0; i < ds.ott.size(); ++i) {
+    const TrackingRecord& r = ds.ott.record(static_cast<RecordIndex>(i));
+    EXPECT_GE(r.ts, 0.0);
+    EXPECT_LE(r.te, config.duration + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, GeneratorRangeSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5));
+
+TEST(GeneratorOptionsTest, DevicesInRoomsAddBeacons) {
+  OfficeDatasetConfig base;
+  base.num_objects = 5;
+  base.duration = 200.0;
+  OfficeDatasetConfig beacons = base;
+  beacons.devices_in_rooms = true;
+  const Dataset without = GenerateOfficeDataset(base);
+  const Dataset with = GenerateOfficeDataset(beacons);
+  EXPECT_GT(with.deployment.size(), without.deployment.size());
+  EXPECT_TRUE(with.deployment.RangesDisjoint());
+  // A beacon sits at (or near) each room centroid when space allows.
+  size_t covered_rooms = 0;
+  std::vector<DeviceId> near;
+  for (PartitionId room : with.built.room_ids) {
+    with.deployment.DevicesNear(
+        with.built.plan.partition(room).shape.Centroid(), 0.5, &near);
+    covered_rooms += near.empty() ? 0 : 1;
+  }
+  EXPECT_GT(covered_rooms, with.built.room_ids.size() / 2);
+}
+
+}  // namespace
+}  // namespace indoorflow

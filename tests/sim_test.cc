@@ -1,0 +1,258 @@
+// Tests for the simulation layer: trajectories, detection, generators.
+// Includes the key parity property: continuous (analytic) detection must
+// agree with tick-based sampling + merging.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/detector.h"
+#include "src/sim/generators.h"
+#include "src/sim/waypoint.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(TrajectoryTest, InterpolationAndClamping) {
+  Trajectory traj;
+  traj.object = 1;
+  traj.points = {{0.0, {0, 0}}, {10.0, {10, 0}}, {15.0, {10, 0}}};
+  EXPECT_EQ(traj.At(-1.0), (Point{0, 0}));
+  EXPECT_EQ(traj.At(0.0), (Point{0, 0}));
+  EXPECT_EQ(traj.At(5.0), (Point{5, 0}));
+  EXPECT_EQ(traj.At(12.0), (Point{10, 0}));  // pausing
+  EXPECT_EQ(traj.At(99.0), (Point{10, 0}));
+}
+
+TEST(WaypointTest, TrajectoryStaysInPlanAndRespectsSpeed) {
+  const BuiltPlan built = BuildOfficePlan({});
+  const DoorGraph graph(built.plan);
+  const RandomWaypointModel model(built, graph);
+  WaypointOptions options;
+  options.duration = 600.0;
+  Rng rng(3);
+  const Trajectory traj = model.Generate(1, options, rng);
+  ASSERT_GE(traj.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(traj.start_time(), 0.0);
+  EXPECT_LE(traj.end_time(), 600.0 + 1e-6);
+
+  for (size_t i = 0; i + 1 < traj.points.size(); ++i) {
+    const TrajectoryPoint& a = traj.points[i];
+    const TrajectoryPoint& b = traj.points[i + 1];
+    EXPECT_LE(a.t, b.t);
+    const double dt = b.t - a.t;
+    const double dist = Distance(a.position, b.position);
+    // Never faster than the configured speed (= Vmax).
+    EXPECT_LE(dist, options.speed * dt + 1e-6);
+    // Positions stay within the plan.
+    EXPECT_NE(built.plan.PartitionAt(a.position), kInvalidPartition)
+        << "point " << i;
+  }
+  // Midpoints of moving legs also stay within the plan (walls respected).
+  for (size_t i = 0; i + 1 < traj.points.size(); ++i) {
+    const Point mid =
+        (traj.points[i].position + traj.points[i + 1].position) * 0.5;
+    EXPECT_NE(built.plan.PartitionAt(mid), kInvalidPartition);
+  }
+}
+
+TEST(WaypointTest, DeterministicGivenSeed) {
+  const BuiltPlan built = BuildOfficePlan({});
+  const DoorGraph graph(built.plan);
+  const RandomWaypointModel model(built, graph);
+  WaypointOptions options;
+  options.duration = 300.0;
+  Rng rng_a(12);
+  Rng rng_b(12);
+  const Trajectory a = model.Generate(1, options, rng_a);
+  const Trajectory b = model.Generate(1, options, rng_b);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].position, b.points[i].position);
+    EXPECT_DOUBLE_EQ(a.points[i].t, b.points[i].t);
+  }
+}
+
+TEST(DetectorTest, StraightPassThroughRange) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{10, 0}, 2.0});
+  deployment.BuildIndex();
+  const ProximityDetector detector(deployment);
+
+  Trajectory traj;
+  traj.object = 5;
+  traj.points = {{0.0, {0, 0}}, {20.0, {20, 0}}};  // 1 m/s along the x-axis
+
+  std::vector<TrackingRecord> records;
+  detector.DetectRecords(traj, DetectionOptions{1.0, /*quantize=*/false},
+                         &records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].object_id, 5);
+  EXPECT_EQ(records[0].device_id, 0);
+  EXPECT_NEAR(records[0].ts, 8.0, 1e-9);
+  EXPECT_NEAR(records[0].te, 12.0, 1e-9);
+}
+
+TEST(DetectorTest, QuantizationSnapsToSamplingGrid) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{10.3, 0}, 2.0});
+  deployment.BuildIndex();
+  const ProximityDetector detector(deployment);
+  Trajectory traj;
+  traj.object = 5;
+  traj.points = {{0.0, {0, 0}}, {20.0, {20, 0}}};
+  std::vector<TrackingRecord> records;
+  detector.DetectRecords(traj, DetectionOptions{1.0, true}, &records);
+  ASSERT_EQ(records.size(), 1u);
+  // Continuous interval is [8.3, 12.3]; quantized to [9, 12].
+  EXPECT_DOUBLE_EQ(records[0].ts, 9.0);
+  EXPECT_DOUBLE_EQ(records[0].te, 12.0);
+}
+
+TEST(DetectorTest, FastCrossingMissedBetweenTicks) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{10.5, 0}, 0.3});
+  deployment.BuildIndex();
+  const ProximityDetector detector(deployment);
+  Trajectory traj;
+  traj.object = 5;
+  // 2 m/s: inside the 0.6m-wide range during t in [5.1, 5.4] — between
+  // the 1 Hz ticks at 5 and 6.
+  traj.points = {{0.0, {0, 0}}, {10.0, {20, 0}}};
+  std::vector<TrackingRecord> quantized;
+  detector.DetectRecords(traj, DetectionOptions{1.0, true}, &quantized);
+  EXPECT_TRUE(quantized.empty());
+  std::vector<TrackingRecord> continuous;
+  detector.DetectRecords(traj, DetectionOptions{1.0, false}, &continuous);
+  EXPECT_EQ(continuous.size(), 1u);
+}
+
+TEST(DetectorTest, StationaryInsideRange) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 2.0});
+  deployment.BuildIndex();
+  const ProximityDetector detector(deployment);
+  Trajectory traj;
+  traj.object = 1;
+  traj.points = {{0.0, {1, 0}}, {30.0, {1, 0}}};  // parked inside
+  std::vector<TrackingRecord> records;
+  detector.DetectRecords(traj, DetectionOptions{1.0, true}, &records);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(records[0].te, 30.0);
+}
+
+// The parity property: continuous quantized detection == tick sampling +
+// merger, on realistic office trajectories.
+TEST(DetectorTest, ContinuousMatchesTickBasedOnOfficePlan) {
+  const BuiltPlan built = BuildOfficePlan({});
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  for (const Door& door : built.plan.doors()) {
+    deployment.AddDevice(Circle{door.position, 1.5});
+  }
+  deployment.BuildIndex();
+  ASSERT_TRUE(deployment.RangesDisjoint());
+
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+  const DetectionOptions detection{1.0, true};
+
+  int compared_records = 0;
+  for (int object = 0; object < 10; ++object) {
+    Rng rng(1000 + static_cast<uint64_t>(object));
+    WaypointOptions options;
+    options.duration = 400.0;
+    const Trajectory traj = model.Generate(object, options, rng);
+
+    std::vector<TrackingRecord> continuous;
+    detector.DetectRecords(traj, detection, &continuous);
+
+    std::vector<RawReading> readings;
+    detector.DetectReadings(traj, detection, &readings);
+    auto merged = MergeReadings(std::move(readings));
+    ASSERT_TRUE(merged.ok());
+
+    const auto chain = merged->ChainOf(object);
+    ASSERT_EQ(continuous.size(), chain.size()) << "object " << object;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      const TrackingRecord& tick = merged->record(chain[i]);
+      EXPECT_EQ(continuous[i].device_id, tick.device_id);
+      EXPECT_NEAR(continuous[i].ts, tick.ts, 1e-6);
+      EXPECT_NEAR(continuous[i].te, tick.te, 1e-6);
+      ++compared_records;
+    }
+  }
+  EXPECT_GT(compared_records, 20);  // the walk actually produced data
+}
+
+TEST(GeneratorTest, OfficeDatasetBasicInvariants) {
+  OfficeDatasetConfig config;
+  config.num_objects = 30;
+  config.duration = 600.0;
+  const Dataset ds = GenerateOfficeDataset(config);
+  EXPECT_TRUE(ds.deployment.RangesDisjoint());
+  EXPECT_GT(ds.deployment.size(), 30u);  // door + hallway readers
+  EXPECT_EQ(ds.pois.size(), 75u);
+  EXPECT_TRUE(ds.ott.finalized());
+  EXPECT_GT(ds.ott.size(), 0u);
+  EXPECT_LE(ds.ott.objects().size(), 30u);
+  EXPECT_DOUBLE_EQ(ds.vmax, 1.1);
+  // All records reference valid devices and lie within the window.
+  for (size_t i = 0; i < ds.ott.size(); ++i) {
+    const TrackingRecord& r = ds.ott.record(static_cast<RecordIndex>(i));
+    EXPECT_GE(r.device_id, 0);
+    EXPECT_LT(static_cast<size_t>(r.device_id), ds.deployment.size());
+    EXPECT_GE(r.ts, ds.window_start - 1e-9);
+    EXPECT_LE(r.te, ds.window_end + 1e-9);
+  }
+}
+
+TEST(GeneratorTest, ObjectPrefixStableAcrossDatasetSizes) {
+  OfficeDatasetConfig small;
+  small.num_objects = 5;
+  small.duration = 300.0;
+  OfficeDatasetConfig large = small;
+  large.num_objects = 10;
+  const Dataset a = GenerateOfficeDataset(small);
+  const Dataset b = GenerateOfficeDataset(large);
+  // Object 3's records identical in both datasets (per-object streams).
+  const auto chain_a = a.ott.ChainOf(3);
+  const auto chain_b = b.ott.ChainOf(3);
+  ASSERT_EQ(chain_a.size(), chain_b.size());
+  for (size_t i = 0; i < chain_a.size(); ++i) {
+    EXPECT_EQ(a.ott.record(chain_a[i]).device_id,
+              b.ott.record(chain_b[i]).device_id);
+    EXPECT_DOUBLE_EQ(a.ott.record(chain_a[i]).ts,
+                     b.ott.record(chain_b[i]).ts);
+  }
+}
+
+TEST(GeneratorTest, DetectionRangeScalesRecordCounts) {
+  OfficeDatasetConfig narrow;
+  narrow.num_objects = 20;
+  narrow.duration = 600.0;
+  narrow.detection_range = 1.0;
+  OfficeDatasetConfig wide = narrow;
+  wide.detection_range = 2.5;
+  const Dataset a = GenerateOfficeDataset(narrow);
+  const Dataset b = GenerateOfficeDataset(wide);
+  // Wider ranges see objects longer; record count should not collapse.
+  EXPECT_GT(a.ott.size(), 0u);
+  EXPECT_GT(b.ott.size(), 0u);
+}
+
+TEST(GeneratorTest, CphDatasetShape) {
+  CphDatasetConfig config;
+  config.num_passengers = 40;
+  config.window = 3600.0;
+  const Dataset ds = GenerateCphLikeDataset(config);
+  EXPECT_TRUE(ds.deployment.RangesDisjoint());
+  EXPECT_EQ(ds.pois.size(), 75u);
+  EXPECT_GT(ds.ott.size(), 0u);
+  // Sparse deployment: far fewer devices than the office default.
+  EXPECT_LT(ds.deployment.size(), 40u);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,176 @@
+// Tests for the live streaming monitor.
+
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/streaming.h"
+#include "src/indoor/plan_builders.h"
+#include "src/sim/detector.h"
+
+namespace indoorflow {
+namespace {
+
+class StreamingFixture : public ::testing::Test {
+ protected:
+  StreamingFixture() : built_(BuildTinyPlan()), graph_(built_.plan) {
+    deployment_.AddDevice(Circle{{5, 8}, 1.0});   // room_a
+    deployment_.AddDevice(Circle{{15, 8}, 1.0});  // room_b
+    deployment_.BuildIndex();
+    pois_.push_back(Poi{0, "room_a", Polygon::Rectangle(0, 4, 10, 12)});
+    pois_.push_back(Poi{1, "room_b", Polygon::Rectangle(10, 4, 20, 12)});
+    pois_.push_back(Poi{2, "hallway", Polygon::Rectangle(0, 0, 20, 4)});
+  }
+
+  StreamingMonitor MakeMonitor(const TopologyChecker* topology = nullptr) {
+    StreamingOptions options;
+    options.vmax = 1.0;
+    options.expiry_seconds = 100.0;
+    return StreamingMonitor(deployment_, pois_, options, topology);
+  }
+
+  BuiltPlan built_;
+  DoorGraph graph_;
+  Deployment deployment_;
+  PoiSet pois_;
+};
+
+TEST_F(StreamingFixture, IngestValidation) {
+  StreamingMonitor monitor = MakeMonitor();
+  EXPECT_TRUE(monitor.Ingest({1, 0, 10.0}).ok());
+  EXPECT_FALSE(monitor.Ingest({1, 99, 11.0}).ok());  // unknown device
+  EXPECT_FALSE(monitor.Ingest({1, 0, 5.0}).ok());    // out of order
+  EXPECT_TRUE(monitor.Ingest({2, 1, 3.0}).ok());     // other objects free
+  EXPECT_DOUBLE_EQ(monitor.now(), 10.0);
+}
+
+TEST_F(StreamingFixture, DetectedObjectContributesItsRange) {
+  StreamingMonitor monitor = MakeMonitor();
+  for (double t = 0.0; t <= 10.0; t += 1.0) {
+    ASSERT_TRUE(monitor.Ingest({1, 0, t}).ok());
+  }
+  EXPECT_EQ(monitor.ActiveObjects(10.0), 1u);
+  const auto top = monitor.CurrentTopK(10.0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].poi, 0);  // room_a
+  // Presence = device range / room area, exactly (fast path).
+  EXPECT_NEAR(top[0].flow, std::numbers::pi / 80.0, 1e-9);
+  EXPECT_DOUBLE_EQ(top[1].flow, 0.0);
+}
+
+TEST_F(StreamingFixture, UndetectedRegionGrowsThenExpires) {
+  StreamingMonitor monitor = MakeMonitor();
+  ASSERT_TRUE(monitor.Ingest({1, 0, 0.0}).ok());
+  // Shortly after: small ring around the last device.
+  const Region early = monitor.LiveRegion(1, 5.0);
+  EXPECT_TRUE(early.Contains({5, 4}));      // ~4m away
+  EXPECT_FALSE(early.Contains({15, 8}));    // room_b, 10m away
+  // Later: the ring covers room_b's device too.
+  const Region late = monitor.LiveRegion(1, 40.0);
+  EXPECT_TRUE(late.Contains({15, 8}));
+  // Past expiry: gone.
+  EXPECT_TRUE(monitor.LiveRegion(1, 200.0).IsEmpty());
+  EXPECT_EQ(monitor.ActiveObjects(200.0), 0u);
+  const auto top = monitor.CurrentTopK(200.0, 1);
+  EXPECT_DOUBLE_EQ(top[0].flow, 0.0);
+}
+
+TEST_F(StreamingFixture, DeviceHandoffKeepsPreviousConstraint) {
+  StreamingMonitor monitor = MakeMonitor();
+  ASSERT_TRUE(monitor.Ingest({1, 0, 0.0}).ok());
+  ASSERT_TRUE(monitor.Ingest({1, 1, 12.0}).ok());
+  // Active at dev1 now; the ring from dev0 (budget 12) intersects.
+  const Region region = monitor.LiveRegion(1, 12.0);
+  EXPECT_TRUE(region.Contains({15, 8}));
+  EXPECT_FALSE(region.Contains({5, 8}));  // not at dev0 anymore
+}
+
+TEST_F(StreamingFixture, TopologyPruningApplies) {
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  StreamingMonitor plain = MakeMonitor();
+  StreamingMonitor checked = MakeMonitor(&checker);
+  for (StreamingMonitor* m : {&plain, &checked}) {
+    ASSERT_TRUE(m->Ingest({1, 0, 0.0}).ok());
+  }
+  // 9 seconds after leaving dev0 (room_a): Euclidean ring reaches room_b's
+  // area across the wall, but the walk through both doors is ~16m.
+  const Point room_b_point{12, 6};
+  const Region euclid = plain.LiveRegion(1, 9.0);
+  const Region indoor = checked.LiveRegion(1, 9.0);
+  EXPECT_TRUE(euclid.Contains(room_b_point));
+  EXPECT_FALSE(indoor.Contains(room_b_point));
+}
+
+// Live states must agree with the historical engine where both are defined:
+// at a time inside a detection, the live region equals the historical
+// snapshot UR, so flows match.
+TEST_F(StreamingFixture, AgreesWithHistoricalEngineWhileDetected) {
+  StreamingMonitor monitor = MakeMonitor();
+  ObjectTrackingTable table;
+  for (ObjectId o = 0; o < 3; ++o) {
+    for (double t = 0.0; t <= 50.0; t += 1.0) {
+      ASSERT_TRUE(monitor.Ingest({o, o % 2, t}).ok());
+    }
+    table.Append({o, o % 2, 0.0, 50.0});
+  }
+  ASSERT_TRUE(table.Finalize().ok());
+  EngineConfig config;
+  config.vmax = 1.0;
+  config.topology = TopologyMode::kOff;
+  const QueryEngine engine(built_.plan, graph_, deployment_, table, pois_,
+                           config);
+  const auto live = monitor.CurrentTopK(50.0, 3);
+  const auto historical = engine.SnapshotTopK(50.0, 3, Algorithm::kIterative);
+  ASSERT_EQ(live.size(), historical.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].poi, historical[i].poi);
+    EXPECT_NEAR(live[i].flow, historical[i].flow, 1e-9);
+  }
+}
+
+// End-to-end: stream a generated office dataset's readings and watch flows.
+TEST(StreamingPipelineTest, OfficeStream) {
+  const BuiltPlan built = BuildOfficePlan({});
+  const DoorGraph graph(built.plan);
+  Deployment deployment;
+  for (const Door& door : built.plan.doors()) {
+    deployment.AddDevice(Circle{door.position, 1.5});
+  }
+  deployment.BuildIndex();
+  Rng poi_rng(3);
+  const PoiSet pois = GeneratePois(built, 30, poi_rng);
+
+  const RandomWaypointModel model(built, graph);
+  const ProximityDetector detector(deployment);
+  std::vector<RawReading> readings;
+  for (ObjectId o = 0; o < 6; ++o) {
+    Rng rng(8000 + static_cast<uint64_t>(o));
+    WaypointOptions options;
+    options.duration = 400.0;
+    options.max_pause = 60.0;
+    const Trajectory traj = model.Generate(o, options, rng);
+    detector.DetectReadings(traj, DetectionOptions{}, &readings);
+  }
+  std::sort(readings.begin(), readings.end(),
+            [](const RawReading& a, const RawReading& b) {
+              return a.t < b.t;
+            });
+  ASSERT_FALSE(readings.empty());
+
+  StreamingOptions options;
+  options.vmax = 1.1;
+  StreamingMonitor monitor(deployment, pois, options);
+  for (const RawReading& r : readings) {
+    ASSERT_TRUE(monitor.Ingest(r).ok());
+  }
+  EXPECT_GT(monitor.ActiveObjects(monitor.now()), 0u);
+  const auto top = monitor.CurrentTopK(monitor.now(), 5);
+  ASSERT_EQ(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].flow, top[i - 1].flow);
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

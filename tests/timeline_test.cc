@@ -1,0 +1,125 @@
+// Tests for flow time-series analysis and query statistics.
+
+#include <gtest/gtest.h>
+
+#include "src/core/timeline.h"
+#include "src/indoor/plan_builders.h"
+
+namespace indoorflow {
+namespace {
+
+// Scenario with a controlled temporal pattern: 3 objects parked at dev0
+// (room_a) during [0, 100], then nothing; 1 object parked at dev1 (room_b)
+// during [150, 250].
+class TimelineFixture : public ::testing::Test {
+ protected:
+  TimelineFixture() : built_(BuildTinyPlan()), graph_(built_.plan) {
+    deployment_.AddDevice(Circle{{5, 8}, 1.0});   // in room_a
+    deployment_.AddDevice(Circle{{15, 8}, 1.0});  // in room_b
+    deployment_.BuildIndex();
+    pois_.push_back(Poi{0, "room_a", Polygon::Rectangle(0, 4, 10, 12)});
+    pois_.push_back(Poi{1, "room_b", Polygon::Rectangle(10, 4, 20, 12)});
+    for (ObjectId o = 0; o < 3; ++o) table_.Append({o, 0, 0, 100});
+    table_.Append({3, 1, 150, 250});
+    INDOORFLOW_CHECK(table_.Finalize().ok());
+    EngineConfig config;
+    config.vmax = 1.0;
+    config.topology = TopologyMode::kOff;
+    engine_ = std::make_unique<QueryEngine>(built_.plan, graph_,
+                                            deployment_, table_, pois_,
+                                            config);
+  }
+
+  BuiltPlan built_;
+  DoorGraph graph_;
+  Deployment deployment_;
+  ObjectTrackingTable table_;
+  PoiSet pois_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(TimelineFixture, FlowTimelineTracksOccupancy) {
+  const auto timeline = FlowTimeline(*engine_, /*poi=*/0, 0.0, 300.0, 50.0);
+  ASSERT_EQ(timeline.size(), 7u);
+  // Room A busy while its 3 objects are tracked, empty afterwards.
+  EXPECT_GT(timeline[0].flow, 0.0);   // t=0
+  EXPECT_GT(timeline[2].flow, 0.0);   // t=100
+  EXPECT_DOUBLE_EQ(timeline[4].flow, 0.0);  // t=200: objects unseen
+  EXPECT_DOUBLE_EQ(timeline[6].flow, 0.0);  // t=300
+  // Flow magnitude: 3 objects, each presence pi/80.
+  EXPECT_NEAR(timeline[1].flow, 3.0 * std::numbers::pi / 80.0, 0.05);
+}
+
+TEST_F(TimelineFixture, PeakAndAverage) {
+  const auto timeline = FlowTimeline(*engine_, 0, 0.0, 300.0, 50.0);
+  const TimelinePoint peak = PeakFlow(timeline);
+  EXPECT_LE(peak.t, 100.0);  // the busy phase
+  EXPECT_GT(peak.flow, 0.0);
+  const double average = AverageFlow(timeline);
+  EXPECT_GT(average, 0.0);
+  EXPECT_LT(average, peak.flow);
+}
+
+TEST_F(TimelineFixture, PeakOfEmptyTimeline) {
+  const TimelinePoint peak = PeakFlow({});
+  EXPECT_DOUBLE_EQ(peak.flow, 0.0);
+  EXPECT_DOUBLE_EQ(AverageFlow({}), 0.0);
+  EXPECT_DOUBLE_EQ(AverageFlow({{1.0, 5.0}}), 0.0);
+}
+
+TEST_F(TimelineFixture, TopPoiTimelineSwitchesWinners) {
+  const std::vector<PoiId> subset = {0, 1};
+  const auto timeline = TopPoiTimeline(*engine_, subset, 0.0, 300.0, 50.0);
+  ASSERT_EQ(timeline.size(), 7u);
+  // Early probes: room_a wins; at t=200 room_b is the only active one.
+  EXPECT_EQ(timeline[0].poi, 0);
+  EXPECT_EQ(timeline[4].poi, 1);
+  EXPECT_GT(timeline[4].flow, 0.0);
+}
+
+TEST_F(TimelineFixture, SingleProbeTimeline) {
+  const auto timeline = FlowTimeline(*engine_, 0, 50.0, 50.0, 10.0);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_DOUBLE_EQ(timeline[0].t, 50.0);
+}
+
+TEST_F(TimelineFixture, QueryStatsCountOperations) {
+  QueryStats iter_stats;
+  QueryStats join_stats;
+  engine_->SnapshotTopK(50.0, 2, Algorithm::kIterative, nullptr,
+                        &iter_stats);
+  engine_->SnapshotTopK(50.0, 2, Algorithm::kJoin, nullptr, &join_stats);
+  // Three objects tracked at t=50.
+  EXPECT_EQ(iter_stats.objects_retrieved, 3);
+  EXPECT_EQ(join_stats.objects_retrieved, 3);
+  // Iterative derives every region; the join derives at most as many.
+  EXPECT_EQ(iter_stats.regions_derived, 3);
+  EXPECT_LE(join_stats.regions_derived, iter_stats.regions_derived);
+  // Both evaluated presences for the room_a pairs.
+  EXPECT_GT(iter_stats.presence_evaluations, 0);
+  EXPECT_LE(join_stats.presence_evaluations,
+            iter_stats.presence_evaluations);
+}
+
+TEST_F(TimelineFixture, QueryStatsAccumulateAcrossQueries) {
+  QueryStats stats;
+  engine_->SnapshotTopK(50.0, 2, Algorithm::kIterative, nullptr, &stats);
+  const int64_t after_one = stats.objects_retrieved;
+  engine_->SnapshotTopK(50.0, 2, Algorithm::kIterative, nullptr, &stats);
+  EXPECT_EQ(stats.objects_retrieved, 2 * after_one);
+  stats.Reset();
+  EXPECT_EQ(stats.objects_retrieved, 0);
+  EXPECT_EQ(stats.presence_evaluations, 0);
+}
+
+TEST_F(TimelineFixture, IntervalQueryStats) {
+  QueryStats stats;
+  engine_->IntervalTopK(0.0, 250.0, 2, Algorithm::kIterative, nullptr,
+                        &stats);
+  EXPECT_EQ(stats.objects_retrieved, 4);  // all objects relevant
+  EXPECT_EQ(stats.regions_derived, 4);
+  EXPECT_GT(stats.presence_evaluations, 0);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,185 @@
+// Tests for the indoor topology check: reachability predicates, their
+// conservativeness, and the paper's Figure 8 exclusion scenarios.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/topology_check.h"
+#include "src/core/tracking_state.h"
+#include "src/core/uncertainty.h"
+#include "src/index/artree.h"
+#include "src/indoor/plan_builders.h"
+
+namespace indoorflow {
+namespace {
+
+// TinyPlan: hallway [0,20]x[0,4]; room_a [0,10]x[4,12] (door at (5,4));
+// room_b [10,20]x[4,12] (door at (15,4)).
+class TopologyFixture : public ::testing::Test {
+ protected:
+  TopologyFixture() : built_(BuildTinyPlan()), graph_(built_.plan) {}
+
+  Deployment deployment_;
+  BuiltPlan built_;
+  DoorGraph graph_;
+};
+
+TEST_F(TopologyFixture, IndoorDistanceFromDevice) {
+  deployment_.AddDevice(Circle{{5, 4}, 0.5});  // at room_a's door
+  deployment_.BuildIndex();
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  // Same partitions: Euclidean.
+  EXPECT_DOUBLE_EQ(checker.IndoorDistanceFrom(0, {5, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(checker.IndoorDistanceFrom(0, {5, 6}), 2.0);
+  // room_b requires the hallway + door (15,4): 10 + 2 = 12.
+  EXPECT_DOUBLE_EQ(checker.IndoorDistanceFrom(0, {15, 6}), 12.0);
+  // Outside the plan: unreachable.
+  EXPECT_TRUE(std::isinf(checker.IndoorDistanceFrom(0, {100, 100})));
+}
+
+TEST_F(TopologyFixture, ReachableFromRespectsWalls) {
+  deployment_.AddDevice(Circle{{5, 4}, 0.5});
+  deployment_.BuildIndex();
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  const Region reach = checker.ReachableFrom(0, 3.0);  // limit 3.5m
+  EXPECT_TRUE(reach.Contains({5, 2}));    // hallway, 2m
+  EXPECT_TRUE(reach.Contains({5, 6}));    // room_a, 2m
+  EXPECT_TRUE(reach.Contains({8, 5}));    // room_a, ~3.16m
+  EXPECT_FALSE(reach.Contains({8.2, 2})); // hallway, ~3.77m
+  EXPECT_FALSE(reach.Contains({15, 6}));  // room_b, 12m
+  EXPECT_FALSE(reach.Contains({5, 4.1 + 3.5}));  // just past the limit
+}
+
+TEST_F(TopologyFixture, ReachableBridgePrunesAcrossWalls) {
+  deployment_.AddDevice(Circle{{5, 4}, 0.5});   // door of room_a
+  deployment_.AddDevice(Circle{{15, 4}, 0.5});  // door of room_b
+  deployment_.BuildIndex();
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  // Travel budget 10m between the devices (limit 11 including radii).
+  const Region bridge = checker.ReachableBridge(0, 1, 10.0);
+  EXPECT_TRUE(bridge.Contains({10, 2}));  // hallway midpoint: ~5.4 + ~5.4
+  EXPECT_TRUE(bridge.Contains({10, 4}));
+  // Deep room corners: indoor detour exceeds the budget even though the
+  // Euclidean sum would not.
+  const Point deep{5, 10};  // room_a: 6 from dev0, 6 + 10 via doors to dev1
+  EXPECT_FALSE(bridge.Contains(deep));
+  // Outside every partition.
+  EXPECT_FALSE(bridge.Contains({10, 20}));
+}
+
+TEST_F(TopologyFixture, ClassifyIsConservative) {
+  deployment_.AddDevice(Circle{{5, 4}, 0.5});
+  deployment_.AddDevice(Circle{{15, 4}, 0.5});
+  deployment_.BuildIndex();
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  const Region regions[] = {checker.ReachableFrom(0, 6.0),
+                            checker.ReachableBridge(0, 1, 12.0)};
+  Rng rng(41);
+  for (const Region& region : regions) {
+    for (int i = 0; i < 300; ++i) {
+      const double x0 = rng.Uniform(-2, 22);
+      const double y0 = rng.Uniform(-2, 14);
+      const Box box{x0, y0, x0 + rng.Uniform(0.05, 4),
+                    y0 + rng.Uniform(0.05, 4)};
+      const BoxClass cls = region.Classify(box);
+      if (cls == BoxClass::kBoundary) continue;
+      for (int j = 0; j < 20; ++j) {
+        const Point p{rng.Uniform(box.min_x, box.max_x),
+                      rng.Uniform(box.min_y, box.max_y)};
+        if (cls == BoxClass::kInside) {
+          EXPECT_TRUE(region.Contains(p))
+              << "(" << p.x << "," << p.y << ")";
+        } else {
+          EXPECT_FALSE(region.Contains(p))
+              << "(" << p.x << "," << p.y << ")";
+        }
+      }
+    }
+  }
+}
+
+// The paper's Figure 8(a) situation: an inactive object between two hallway
+// readers; a room area is inside both Euclidean rings but too far to reach
+// through its door.
+TEST_F(TopologyFixture, SnapshotTopologyCheckExcludesUnreachableRoomPart) {
+  deployment_.AddDevice(Circle{{4, 2}, 1.0});   // hallway, west
+  deployment_.AddDevice(Circle{{16, 2}, 1.0});  // hallway, east
+  deployment_.BuildIndex();
+
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0, 0});    // seen by dev0 at t=0
+  table.Append({1, 1, 20, 20});  // seen by dev1 at t=20
+  ASSERT_TRUE(table.Finalize().ok());
+  const ARTree artree = ARTree::Build(table);
+
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  const UncertaintyModel euclid(table, deployment_, 1.0);
+  const UncertaintyModel indoor(table, deployment_, 1.0, &checker);
+
+  std::vector<ARTreeEntry> entries;
+  artree.PointQuery(10.0, &entries);
+  ASSERT_EQ(entries.size(), 1u);
+  const SnapshotState state = ResolveSnapshotState(table, entries[0], 10.0);
+  ASSERT_FALSE(state.active());
+
+  const Region ur_euclid = euclid.Snapshot(state, 10.0);
+  const Region ur_indoor = indoor.Snapshot(state, 10.0);
+
+  // (7,6) in room_a: within both rings (5 and ~9.8m Euclidean), but the
+  // walk from dev1 through door (5,4) is ~14m > 11m budget.
+  const Point unreachable{7, 6};
+  EXPECT_TRUE(ur_euclid.Contains(unreachable));
+  EXPECT_FALSE(ur_indoor.Contains(unreachable));
+
+  // Hallway midpoint area stays in both.
+  const Point hallway_pt{10, 2.5};
+  EXPECT_TRUE(ur_euclid.Contains(hallway_pt));
+  EXPECT_TRUE(ur_indoor.Contains(hallway_pt));
+
+  // The topology check only ever shrinks the region.
+  Rng rng(53);
+  const Box domain = ur_euclid.Bounds();
+  for (int i = 0; i < 2000; ++i) {
+    const Point p{rng.Uniform(domain.min_x, domain.max_x),
+                  rng.Uniform(domain.min_y, domain.max_y)};
+    if (ur_indoor.Contains(p)) {
+      EXPECT_TRUE(ur_euclid.Contains(p));
+    }
+  }
+}
+
+// Figure 8(b) situation for interval queries: rooms bordering the ellipse
+// that cannot be entered and exited within the travel budget are excluded.
+TEST_F(TopologyFixture, IntervalTopologyCheckShrinksRegion) {
+  deployment_.AddDevice(Circle{{4, 2}, 1.0});
+  deployment_.AddDevice(Circle{{16, 2}, 1.0});
+  deployment_.BuildIndex();
+
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0, 5});
+  table.Append({1, 1, 19, 24});
+  ASSERT_TRUE(table.Finalize().ok());
+
+  const TopologyChecker checker(built_.plan, graph_, deployment_);
+  const UncertaintyModel euclid(table, deployment_, 1.0);
+  const UncertaintyModel indoor(table, deployment_, 1.0, &checker);
+
+  const IntervalChain chain = RelevantChain(table, 1, 0.0, 24.0);
+  ASSERT_EQ(chain.records.size(), 2u);
+  const Region ur_euclid = euclid.Interval(chain, 0.0, 24.0);
+  const Region ur_indoor = indoor.Interval(chain, 0.0, 24.0);
+
+  // Budget between detections: 14m. In room_a at (7,6): Euclidean sum
+  // 4.0 + 8.85 < 14 is inside the ellipse, but the indoor walk dev0 ->
+  // door(5,4) -> (7,6) -> door(5,4) -> hallway -> dev1 is ~19m — beyond it.
+  const Point room_point{7, 6};
+  EXPECT_TRUE(ur_euclid.Contains(room_point));
+  EXPECT_FALSE(ur_indoor.Contains(room_point));
+  // The hallway path stays in both.
+  const Point hallway_pt{10, 2};
+  EXPECT_TRUE(ur_euclid.Contains(hallway_pt));
+  EXPECT_TRUE(ur_indoor.Contains(hallway_pt));
+}
+
+}  // namespace
+}  // namespace indoorflow

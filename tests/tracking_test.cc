@@ -1,0 +1,179 @@
+// Tests for the symbolic tracking data model: OTT, reading merger,
+// deployment.
+
+#include <gtest/gtest.h>
+
+#include "src/tracking/deployment.h"
+#include "src/tracking/merger.h"
+#include "src/tracking/ott.h"
+
+namespace indoorflow {
+namespace {
+
+TEST(OttTest, FinalizeBuildsChains) {
+  ObjectTrackingTable table;
+  // Deliberately out of order (paper Table 2 layout).
+  table.Append({1, 10, 100, 110});
+  table.Append({2, 11, 50, 60});
+  table.Append({1, 12, 200, 210});
+  table.Append({1, 11, 150, 160});
+  ASSERT_TRUE(table.Finalize().ok());
+
+  const auto chain1 = table.ChainOf(1);
+  ASSERT_EQ(chain1.size(), 3u);
+  EXPECT_EQ(table.record(chain1[0]).device_id, 10);
+  EXPECT_EQ(table.record(chain1[1]).device_id, 11);
+  EXPECT_EQ(table.record(chain1[2]).device_id, 12);
+  EXPECT_EQ(table.PrevOf(chain1[0]), kInvalidRecord);
+  EXPECT_EQ(table.PrevOf(chain1[1]), chain1[0]);
+  EXPECT_EQ(table.NextOf(chain1[1]), chain1[2]);
+  EXPECT_EQ(table.NextOf(chain1[2]), kInvalidRecord);
+
+  EXPECT_EQ(table.ChainOf(2).size(), 1u);
+  EXPECT_TRUE(table.ChainOf(99).empty());
+  EXPECT_EQ(table.objects().size(), 2u);
+  EXPECT_DOUBLE_EQ(table.min_time(), 50.0);
+  EXPECT_DOUBLE_EQ(table.max_time(), 210.0);
+}
+
+TEST(OttTest, FinalizeRejectsOverlap) {
+  ObjectTrackingTable table;
+  table.Append({1, 10, 100, 110});
+  table.Append({1, 11, 105, 120});
+  EXPECT_FALSE(table.Finalize().ok());
+}
+
+TEST(OttTest, TouchingRecordsAllowed) {
+  ObjectTrackingTable table;
+  table.Append({1, 10, 100, 110});
+  table.Append({1, 11, 110, 120});
+  EXPECT_TRUE(table.Finalize().ok());
+}
+
+TEST(OttTest, RejectsNegativeDuration) {
+  ObjectTrackingTable table;
+  table.Append({1, 10, 110, 100});
+  EXPECT_FALSE(table.Finalize().ok());
+}
+
+TEST(OttTest, DoubleFinalizeFails) {
+  ObjectTrackingTable table;
+  table.Append({1, 10, 0, 1});
+  ASSERT_TRUE(table.Finalize().ok());
+  EXPECT_FALSE(table.Finalize().ok());
+}
+
+TEST(MergerTest, MergesConsecutiveSameDeviceReadings) {
+  // Paper Section 2.1: consecutive raw readings by the same device merge
+  // into one record [first.t, last.t].
+  std::vector<RawReading> readings;
+  for (int t = 0; t <= 5; ++t) {
+    readings.push_back({7, 3, static_cast<double>(t)});
+  }
+  auto result = MergeReadings(std::move(readings));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  const TrackingRecord& rec = result->record(0);
+  EXPECT_EQ(rec.object_id, 7);
+  EXPECT_EQ(rec.device_id, 3);
+  EXPECT_DOUBLE_EQ(rec.ts, 0.0);
+  EXPECT_DOUBLE_EQ(rec.te, 5.0);
+}
+
+TEST(MergerTest, GapSplitsRecords) {
+  std::vector<RawReading> readings = {
+      {1, 3, 0.0}, {1, 3, 1.0},
+      {1, 3, 10.0}, {1, 3, 11.0},  // gap of 9s > 1.5 * period
+  };
+  auto result = MergeReadings(std::move(readings));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+}
+
+TEST(MergerTest, DeviceChangeSplitsRecords) {
+  std::vector<RawReading> readings = {
+      {1, 3, 0.0}, {1, 3, 1.0}, {1, 4, 2.0}, {1, 4, 3.0},
+  };
+  auto result = MergeReadings(std::move(readings));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->record(result->ChainOf(1)[0]).device_id, 3);
+  EXPECT_EQ(result->record(result->ChainOf(1)[1]).device_id, 4);
+}
+
+TEST(MergerTest, ToleratesOneMissedSample) {
+  // max_gap_factor 1.5 bridges a single missed 1 Hz sample... but not two.
+  std::vector<RawReading> one_missed = {{1, 3, 0.0}, {1, 3, 1.0},
+                                        {1, 3, 2.5}};
+  auto r1 = MergeReadings(one_missed, MergerOptions{1.0, 1.6});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->size(), 1u);
+  auto r2 = MergeReadings(one_missed, MergerOptions{1.0, 1.2});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 2u);
+}
+
+TEST(MergerTest, SingleReadingBecomesPointRecord) {
+  auto result = MergeReadings({{5, 2, 42.0}});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_DOUBLE_EQ(result->record(0).ts, 42.0);
+  EXPECT_DOUBLE_EQ(result->record(0).te, 42.0);
+}
+
+TEST(MergerTest, UnsortedInputAcrossObjects) {
+  std::vector<RawReading> readings = {
+      {2, 4, 5.0}, {1, 3, 0.0}, {2, 4, 6.0}, {1, 3, 1.0},
+  };
+  auto result = MergeReadings(std::move(readings));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  EXPECT_EQ(result->ChainOf(1).size(), 1u);
+  EXPECT_EQ(result->ChainOf(2).size(), 1u);
+}
+
+TEST(MergerTest, RejectsBadSamplingPeriod) {
+  EXPECT_FALSE(MergeReadings({}, MergerOptions{0.0, 1.5}).ok());
+}
+
+TEST(DeploymentTest, GridLookup) {
+  Deployment deployment;
+  for (int i = 0; i < 10; ++i) {
+    deployment.AddDevice(Circle{{i * 10.0, 0.0}, 1.5});
+  }
+  deployment.BuildIndex();
+  EXPECT_DOUBLE_EQ(deployment.max_radius(), 1.5);
+  EXPECT_TRUE(deployment.RangesDisjoint());
+
+  std::vector<DeviceId> near;
+  deployment.DevicesNear({0, 0}, 0.0, &near);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0], 0);
+
+  deployment.DevicesNear({15, 0}, 4.0, &near);  // within 4m of ranges @10,20
+  ASSERT_EQ(near.size(), 2u);
+
+  deployment.DevicesNear({500, 500}, 1.0, &near);
+  EXPECT_TRUE(near.empty());
+}
+
+TEST(DeploymentTest, OverlapDetection) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 2.0});
+  deployment.AddDevice(Circle{{3, 0}, 2.0});
+  deployment.BuildIndex();
+  EXPECT_FALSE(deployment.RangesDisjoint());
+}
+
+TEST(DeploymentTest, LargeMarginCoversAll) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 1.0});
+  deployment.AddDevice(Circle{{100, 100}, 1.0});
+  deployment.BuildIndex();
+  std::vector<DeviceId> near;
+  deployment.DevicesNear({50, 50}, 200.0, &near);
+  EXPECT_EQ(near.size(), 2u);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,293 @@
+// Tests for tracking-state resolution and uncertainty-region derivation
+// (paper Section 3, Cases 1-4 and the snapshot formulas), without the
+// topology check (covered in topology_check_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/tracking_state.h"
+#include "src/core/uncertainty.h"
+#include "src/index/artree.h"
+
+namespace indoorflow {
+namespace {
+
+// Three devices on a line, radius 1, 10m apart; Vmax = 1 m/s.
+class UncertaintyFixture : public ::testing::Test {
+ protected:
+  UncertaintyFixture() {
+    deployment_.AddDevice(Circle{{0, 0}, 1.0});    // dev 0
+    deployment_.AddDevice(Circle{{10, 0}, 1.0});   // dev 1
+    deployment_.AddDevice(Circle{{20, 0}, 1.0});   // dev 2
+    deployment_.BuildIndex();
+    // Object 1: dev0 [0,10], dev1 [20,30], dev2 [40,50].
+    table_.Append({1, 0, 0, 10});
+    table_.Append({1, 1, 20, 30});
+    table_.Append({1, 2, 40, 50});
+    // Object 2: a single record at dev1 [20,30].
+    table_.Append({2, 1, 20, 30});
+    INDOORFLOW_CHECK(table_.Finalize().ok());
+    artree_ = ARTree::Build(table_);
+    model_ = std::make_unique<UncertaintyModel>(table_, deployment_, 1.0);
+  }
+
+  SnapshotState StateAt(ObjectId object, Timestamp t) {
+    std::vector<ARTreeEntry> entries;
+    artree_.PointQuery(t, &entries);
+    for (const ARTreeEntry& e : entries) {
+      if (table_.record(e.cur).object_id == object) {
+        return ResolveSnapshotState(table_, e, t);
+      }
+    }
+    ADD_FAILURE() << "no entry for object " << object << " at t=" << t;
+    return {};
+  }
+
+  Deployment deployment_;
+  ObjectTrackingTable table_;
+  ARTree artree_;
+  std::unique_ptr<UncertaintyModel> model_;
+};
+
+TEST_F(UncertaintyFixture, StateResolution) {
+  const SnapshotState active = StateAt(1, 25.0);
+  ASSERT_TRUE(active.active());
+  EXPECT_EQ(table_.record(active.covering.front()).device_id, 1);
+  EXPECT_EQ(table_.record(active.pre).device_id, 0);
+
+  const SnapshotState inactive = StateAt(1, 15.0);
+  EXPECT_FALSE(inactive.active());
+  EXPECT_EQ(table_.record(inactive.pre).device_id, 0);  // rd_pre
+  EXPECT_EQ(table_.record(inactive.suc).device_id, 1);  // rd_suc
+
+  const SnapshotState first = StateAt(1, 5.0);
+  EXPECT_TRUE(first.active());
+  EXPECT_EQ(first.pre, kInvalidRecord);
+
+  // The entry-based and chain-based resolutions agree.
+  for (const Timestamp t : {5.0, 15.0, 25.0, 35.0, 45.0}) {
+    const SnapshotState a = StateAt(1, t);
+    const SnapshotState b = ResolveSnapshotStateAt(table_, 1, t);
+    EXPECT_EQ(a.active(), b.active()) << "t=" << t;
+    EXPECT_EQ(a.pre, b.pre) << "t=" << t;
+    EXPECT_EQ(a.covering, b.covering) << "t=" << t;
+    if (!a.active()) EXPECT_EQ(a.suc, b.suc) << "t=" << t;
+  }
+}
+
+TEST_F(UncertaintyFixture, SnapshotActiveIsRangeIntersectRing) {
+  // Case 1: UR = Ring(dev_pre, Vmax*(t - rd_pre.te)) ∩ dev_cov.range.
+  const Region ur = model_->Snapshot(StateAt(1, 25.0), 25.0);
+  EXPECT_TRUE(ur.Contains({10, 0}));     // inside dev1's range
+  EXPECT_FALSE(ur.Contains({0, 0}));     // not at dev0
+  EXPECT_FALSE(ur.Contains({15, 0}));    // outside the covering range
+  // Ring budget 15 covers dev1's range entirely here, so UR == range.
+  EXPECT_TRUE(ur.Contains({10.9, 0}));
+}
+
+TEST_F(UncertaintyFixture, SnapshotActiveTightRing) {
+  // t=20.5: ring budget = 10.5, outer radius 11.5; dev1's range spans
+  // distance [9, 11] from dev0 — fully inside, so again UR == range. Make
+  // the ring bind by querying asymmetrically: t=20.0 is the record start,
+  // covered by the gap entry's end — use t=20.2, budget 10.2, outer 11.2.
+  const Region ur = model_->Snapshot(StateAt(1, 20.2), 20.2);
+  EXPECT_TRUE(ur.Contains({9.5, 0}));   // dist 9.5 from dev0: inside ring
+  // (11, 0) is on dev1's boundary at distance 11 from dev0 < 11.2: inside.
+  EXPECT_TRUE(ur.Contains({10.9, 0}));
+}
+
+TEST_F(UncertaintyFixture, SnapshotFirstRecordIsRangeOnly) {
+  const Region ur = model_->Snapshot(StateAt(1, 5.0), 5.0);
+  EXPECT_TRUE(ur.Contains({0, 0}));
+  EXPECT_TRUE(ur.Contains({0.9, 0}));
+  EXPECT_FALSE(ur.Contains({1.5, 0}));
+}
+
+TEST_F(UncertaintyFixture, SnapshotInactiveIsRingIntersection) {
+  // Case 2: UR = Ring(dev_pre, 5) ∩ Ring(dev_suc, 5) at t = 15.
+  const Region ur = model_->Snapshot(StateAt(1, 15.0), 15.0);
+  EXPECT_TRUE(ur.Contains({5, 0}));      // 5m from both
+  EXPECT_FALSE(ur.Contains({2, 0}));     // 8m from dev1: beyond budget
+  EXPECT_FALSE(ur.Contains({8, 0.0}));   // 8m from dev0
+  EXPECT_FALSE(ur.Contains({0.5, 0}));   // inside dev0's range: undetected
+  EXPECT_FALSE(ur.Contains({5, 5}));     // sqrt(50) > 6 from both
+}
+
+TEST_F(UncertaintyFixture, SnapshotMbrContainsRegion) {
+  Rng rng(21);
+  for (const Timestamp t : {5.0, 15.0, 25.0, 35.0, 45.0}) {
+    const SnapshotState state = StateAt(1, t);
+    const Region ur = model_->Snapshot(state, t);
+    const Box mbr = model_->SnapshotMbr(state, t);
+    const Box domain = ur.Bounds();
+    for (int i = 0; i < 500; ++i) {
+      const Point p{rng.Uniform(domain.min_x - 1, domain.max_x + 1),
+                    rng.Uniform(domain.min_y - 1, domain.max_y + 1)};
+      if (ur.Contains(p)) {
+        EXPECT_TRUE(mbr.Contains(p))
+            << "t=" << t << " point (" << p.x << "," << p.y << ")";
+      }
+    }
+  }
+}
+
+TEST_F(UncertaintyFixture, IntervalActiveWholeWindow) {
+  const IntervalChain chain = RelevantChain(table_, 1, 22.0, 28.0);
+  ASSERT_EQ(chain.records.size(), 1u);
+  EXPECT_TRUE(chain.active_at_start);
+  EXPECT_TRUE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 22.0, 28.0);
+  EXPECT_TRUE(ur.Contains({10, 0}));
+  EXPECT_FALSE(ur.Contains({5, 0}));
+}
+
+TEST_F(UncertaintyFixture, IntervalCase1ActiveBothEnds) {
+  // [5, 25]: active at both ends; UR = Θ(dev0, dev1, 10, 20).
+  const IntervalChain chain = RelevantChain(table_, 1, 5.0, 25.0);
+  ASSERT_EQ(chain.records.size(), 2u);
+  EXPECT_TRUE(chain.active_at_start);
+  EXPECT_TRUE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 5.0, 25.0);
+  EXPECT_TRUE(ur.Contains({5, 0}));    // bridge midpoint: 4 + 4 <= 10
+  EXPECT_TRUE(ur.Contains({0, 0}));    // disks included (complete Θ)
+  EXPECT_TRUE(ur.Contains({10, 0}));
+  EXPECT_FALSE(ur.Contains({5, 8}));   // too far off-axis
+  EXPECT_FALSE(ur.Contains({17, 0}));  // beyond dev1 toward dev2
+}
+
+TEST_F(UncertaintyFixture, IntervalCase4WithinSingleGap) {
+  // [12, 18] lies inside the gap (10, 20): Θ ∩ Ring_s ∩ Ring_e.
+  const IntervalChain chain = RelevantChain(table_, 1, 12.0, 18.0);
+  ASSERT_EQ(chain.records.size(), 2u);
+  EXPECT_FALSE(chain.active_at_start);
+  EXPECT_FALSE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 12.0, 18.0);
+  EXPECT_TRUE(ur.Contains({5, 0}));
+  // Inside dev0's range: the object is undetected during the window, so
+  // the rings exclude the detection disks.
+  EXPECT_FALSE(ur.Contains({0.5, 0}));
+  EXPECT_FALSE(ur.Contains({10, 0}));
+}
+
+TEST_F(UncertaintyFixture, IntervalCase2InactiveStart) {
+  // [15, 45]: inactive at ts (gap 10-20), active at te (dev2).
+  const IntervalChain chain = RelevantChain(table_, 1, 15.0, 45.0);
+  ASSERT_EQ(chain.records.size(), 3u);
+  EXPECT_FALSE(chain.active_at_start);
+  EXPECT_TRUE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 15.0, 45.0);
+  // (5,0): within Θ(dev0,dev1) and within Ring_s(dev1, 5) (distance 5).
+  EXPECT_TRUE(ur.Contains({5, 0}));
+  // (2,0): within Θ but 8m from dev1 > ring budget 5+1, and not in the
+  // second ellipse — excluded (the paper's Ring_s pruning).
+  EXPECT_FALSE(ur.Contains({2, 0}));
+  // Second ellipse piece unaffected by Ring_s.
+  EXPECT_TRUE(ur.Contains({15, 0}));
+  EXPECT_TRUE(ur.Contains({20, 0}));
+}
+
+TEST_F(UncertaintyFixture, IntervalCase3InactiveEnd) {
+  // [25, 35]: active at ts (dev1), inactive at te (gap 30-40).
+  const IntervalChain chain = RelevantChain(table_, 1, 25.0, 35.0);
+  ASSERT_EQ(chain.records.size(), 2u);
+  EXPECT_TRUE(chain.active_at_start);
+  EXPECT_FALSE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 25.0, 35.0);
+  EXPECT_TRUE(ur.Contains({10, 0}));  // dev1's disk
+  EXPECT_TRUE(ur.Contains({14, 0}));  // 4m past dev1, within Ring_e (5)
+  // Ring_e budget is Vmax*(35-30) = 5 from dev1's range (outer 6):
+  // 17m from dev1 is in Θ(dev1, dev2) but unreachable by te.
+  EXPECT_FALSE(ur.Contains({17, 0}));
+}
+
+TEST_F(UncertaintyFixture, IntervalNoPredecessorRing) {
+  // Object 2's first record starts at 20; window [10, 25] precedes it.
+  const IntervalChain chain = RelevantChain(table_, 2, 10.0, 25.0);
+  ASSERT_EQ(chain.records.size(), 1u);
+  EXPECT_FALSE(chain.active_at_start);
+  EXPECT_TRUE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 10.0, 25.0);
+  EXPECT_TRUE(ur.Contains({10, 0}));  // the detection range itself
+  // Before detection the object was within Ring(dev1, 10): 15,0 is 5m out.
+  EXPECT_TRUE(ur.Contains({15, 0}));
+  EXPECT_FALSE(ur.Contains({25, 0}));  // 15m out > outer radius 11
+}
+
+TEST_F(UncertaintyFixture, IntervalNoSuccessorRing) {
+  // Object 2's last record ends at 30; window [25, 40] extends past it.
+  const IntervalChain chain = RelevantChain(table_, 2, 25.0, 40.0);
+  ASSERT_EQ(chain.records.size(), 1u);
+  EXPECT_TRUE(chain.active_at_start);
+  EXPECT_FALSE(chain.active_at_end);
+  const Region ur = model_->Interval(chain, 25.0, 40.0);
+  EXPECT_TRUE(ur.Contains({10, 0}));
+  EXPECT_TRUE(ur.Contains({18, 0}));   // 8m out <= budget 10 (outer 11)
+  EXPECT_FALSE(ur.Contains({22, 0}));  // 12m out
+}
+
+TEST_F(UncertaintyFixture, RelevantChainEmptyOutsideData) {
+  EXPECT_TRUE(RelevantChain(table_, 1, 100.0, 200.0).records.empty());
+  EXPECT_TRUE(RelevantChain(table_, 2, 0.0, 10.0).records.empty());
+  EXPECT_TRUE(RelevantChain(table_, 99, 0.0, 10.0).records.empty());
+}
+
+TEST_F(UncertaintyFixture, RelevantChainSpanningGapOnly) {
+  // Window strictly inside the 30-40 gap: chain is {rd_pre, rd_suc}.
+  const IntervalChain chain = RelevantChain(table_, 1, 32.0, 38.0);
+  ASSERT_EQ(chain.records.size(), 2u);
+  EXPECT_EQ(table_.record(chain.records[0]).device_id, 1);
+  EXPECT_EQ(table_.record(chain.records[1]).device_id, 2);
+}
+
+TEST_F(UncertaintyFixture, IntervalMbrsCoverRegion) {
+  Rng rng(31);
+  const struct {
+    Timestamp ts, te;
+  } windows[] = {{5, 25}, {12, 18}, {15, 45}, {5, 45}, {22, 28}, {32, 38}};
+  for (const auto& w : windows) {
+    const IntervalChain chain = RelevantChain(table_, 1, w.ts, w.te);
+    ASSERT_FALSE(chain.records.empty());
+    const Region ur = model_->Interval(chain, w.ts, w.te);
+    Box mbr;
+    std::vector<Box> sub;
+    model_->IntervalMbrs(chain, w.ts, w.te, &mbr, &sub);
+    EXPECT_FALSE(mbr.Empty());
+    EXPECT_FALSE(sub.empty());
+    // Overall MBR is the union of the sub-MBRs.
+    Box rebuilt;
+    for (const Box& b : sub) rebuilt.ExpandToInclude(b);
+    EXPECT_EQ(mbr, rebuilt);
+    // Every region point is inside the MBR and inside some sub-MBR.
+    const Box domain = ur.Bounds();
+    for (int i = 0; i < 400; ++i) {
+      const Point p{rng.Uniform(domain.min_x - 1, domain.max_x + 1),
+                    rng.Uniform(domain.min_y - 1, domain.max_y + 1)};
+      if (!ur.Contains(p)) continue;
+      EXPECT_TRUE(mbr.Contains(p));
+      bool in_sub = false;
+      for (const Box& b : sub) in_sub |= b.Contains(p);
+      EXPECT_TRUE(in_sub) << "[" << w.ts << "," << w.te << "] point ("
+                          << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST_F(UncertaintyFixture, SnapshotUrShrinksWithTime) {
+  // Earlier in the gap, the pre-ring is tighter: UR(14) ⊆ ring(dev0)
+  // smaller than UR(16)'s. Check via sampled area proxy.
+  const Region early = model_->Snapshot(StateAt(1, 12.0), 12.0);
+  const Region mid = model_->Snapshot(StateAt(1, 15.0), 15.0);
+  Rng rng(77);
+  int early_hits = 0;
+  int mid_hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Point p{rng.Uniform(-12, 22), rng.Uniform(-12, 12)};
+    early_hits += early.Contains(p) ? 1 : 0;
+    mid_hits += mid.Contains(p) ? 1 : 0;
+  }
+  // At t=15 both budgets are 5 (max freedom); at t=12 budgets are 2 and 8.
+  EXPECT_LT(early_hits, mid_hits);
+}
+
+}  // namespace
+}  // namespace indoorflow

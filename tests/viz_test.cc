@@ -1,0 +1,140 @@
+// Tests for the SVG renderer: structural checks on the emitted document
+// and rasterization fidelity for regions.
+
+#include <fstream>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/indoor/plan_builders.h"
+#include "src/viz/svg.h"
+
+namespace indoorflow {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(HeatColorTest, EndpointsAndClamping) {
+  EXPECT_EQ(HeatColor(0.0), "#ffffff");
+  EXPECT_EQ(HeatColor(-5.0), "#ffffff");
+  EXPECT_EQ(HeatColor(1.0), HeatColor(2.0));
+  // Red channel stays high, green/blue drop with v.
+  const std::string mid = HeatColor(0.5);
+  EXPECT_EQ(mid.size(), 7u);
+  EXPECT_EQ(mid[0], '#');
+}
+
+TEST(SvgCanvasTest, DocumentStructure) {
+  SvgCanvas canvas(Box{0, 0, 20, 10}, 10.0);
+  const std::string svg = canvas.ToString();
+  EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+  EXPECT_NE(svg.find("width=\"200.00\""), std::string::npos);
+  EXPECT_NE(svg.find("height=\"100.00\""), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, YAxisIsFlipped) {
+  SvgCanvas canvas(Box{0, 0, 10, 10}, 1.0);
+  canvas.DrawText({0, 0}, "origin");
+  // World (0,0) is the bottom-left; SVG y grows downward, so it maps to
+  // pixel y = 10.
+  EXPECT_NE(canvas.ToString().find("y=\"10.00\""), std::string::npos);
+}
+
+TEST(SvgCanvasTest, PrimitivesEmitElements) {
+  SvgCanvas canvas(Box{0, 0, 10, 10});
+  canvas.DrawPolygon(Polygon::Rectangle(1, 1, 3, 3), {});
+  canvas.DrawCircle(Circle{{5, 5}, 2.0}, {});
+  canvas.DrawSegment({{0, 0}, {10, 10}}, {});
+  canvas.DrawText({2, 2}, "hello");
+  const std::string svg = canvas.ToString();
+  EXPECT_EQ(CountOccurrences(svg, "<polygon"), 1u);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 1u);
+  EXPECT_EQ(CountOccurrences(svg, "<line"), 1u);
+  EXPECT_NE(svg.find(">hello</text>"), std::string::npos);
+}
+
+TEST(SvgCanvasTest, FloorPlanLayer) {
+  const BuiltPlan built = BuildTinyPlan();
+  SvgCanvas canvas(built.plan.Bounds().Expanded(1.0));
+  canvas.DrawFloorPlan(built.plan);
+  const std::string svg = canvas.ToString();
+  // 3 partitions + 2 doors.
+  EXPECT_EQ(CountOccurrences(svg, "<polygon"), 3u);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 2u);
+}
+
+TEST(SvgCanvasTest, RegionRasterCoversTheRegion) {
+  SvgCanvas canvas(Box{0, 0, 10, 10});
+  canvas.DrawRegion(Region::Make(Circle{{5, 5}, 2.0}), "#00ff00", 0.5,
+                    0.5);
+  const std::string svg = canvas.ToString();
+  // A 4m-diameter disk at 0.5m cells: ~pi*4/0.25 = ~50 cells; each cell is
+  // one "M...z" subpath.
+  const size_t cells = CountOccurrences(svg, "z");
+  EXPECT_GT(cells, 35u);
+  EXPECT_LT(cells, 70u);
+}
+
+TEST(SvgCanvasTest, EmptyRegionDrawsNothing) {
+  SvgCanvas canvas(Box{0, 0, 10, 10});
+  const std::string before = canvas.ToString();
+  canvas.DrawRegion(Region(), "#00ff00");
+  canvas.DrawRegion(Region::Make(Circle{{50, 50}, 1.0}), "#00ff00");
+  EXPECT_EQ(canvas.ToString(), before);
+}
+
+TEST(SvgCanvasTest, HeatmapLabelsFlows) {
+  PoiSet pois;
+  pois.push_back(Poi{0, "a", Polygon::Rectangle(0, 0, 4, 4)});
+  pois.push_back(Poi{1, "b", Polygon::Rectangle(6, 0, 9, 4)});
+  SvgCanvas canvas(Box{0, 0, 10, 5});
+  canvas.DrawFlowHeatmap(pois, {{0, 2.5}, {1, 0.5}});
+  const std::string svg = canvas.ToString();
+  EXPECT_NE(svg.find(">2.50</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">0.50</text>"), std::string::npos);
+  // The busier POI is redder (max flow -> pure heat 1.0 fill).
+  EXPECT_NE(svg.find(HeatColor(1.0)), std::string::npos);
+  EXPECT_NE(svg.find(HeatColor(0.2)), std::string::npos);
+}
+
+TEST(SvgCanvasTest, RegionRasterAreaApproximatesTrueArea) {
+  // The number of emitted cells times the cell area approximates the
+  // region's area (raster uses cell centers, so ~1 cell-perimeter error).
+  const Circle c{{10, 10}, 4.0};
+  const double cell = 0.25;
+  SvgCanvas canvas(Box{0, 0, 20, 20}, 4.0);
+  canvas.DrawRegion(Region::Make(c), "#112233", 0.4, cell);
+  const std::string svg = canvas.ToString();
+  size_t cells = 0;
+  for (size_t pos = svg.find('z'); pos != std::string::npos;
+       pos = svg.find('z', pos + 1)) {
+    ++cells;
+  }
+  const double raster_area = static_cast<double>(cells) * cell * cell;
+  // Perimeter * cell bound on the rasterization error.
+  const double perimeter = 2.0 * std::numbers::pi * c.radius;
+  EXPECT_NEAR(raster_area, c.Area(), perimeter * cell + 1e-9);
+}
+
+TEST(SvgCanvasTest, WriteFileRoundTrip) {
+  SvgCanvas canvas(Box{0, 0, 5, 5});
+  canvas.DrawText({1, 1}, "file-test");
+  const std::string path = ::testing::TempDir() + "/canvas.svg";
+  ASSERT_TRUE(canvas.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, canvas.ToString());
+}
+
+}  // namespace
+}  // namespace indoorflow

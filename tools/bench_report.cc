@@ -1,0 +1,196 @@
+#include "tools/bench_report.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace indoorflow::benchreport {
+
+namespace {
+
+// Parses "14.166k" / "3.5M" / "75" into a double (benchmark's
+// human-readable counter formatting).
+std::optional<double> ParseHumanNumber(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return std::nullopt;
+  std::string suffix(end);
+  if (suffix.empty()) return value;
+  if (suffix == "k") return value * 1e3;
+  if (suffix == "M") return value * 1e6;
+  if (suffix == "G") return value * 1e9;
+  if (suffix == "/s") return value;  // rate counters: keep the magnitude
+  return std::nullopt;
+}
+
+std::optional<double> ToMilliseconds(double value, const std::string& unit) {
+  if (unit == "ns") return value * 1e-6;
+  if (unit == "us") return value * 1e-3;
+  if (unit == "ms") return value;
+  if (unit == "s") return value * 1e3;
+  return std::nullopt;
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+std::optional<BenchRow> ParseBenchLine(const std::string& line) {
+  if (line.rfind("BM_", 0) != 0) return std::nullopt;
+  const std::vector<std::string> tokens = Tokenize(line);
+  // Minimum: name, wall, wall-unit, cpu, cpu-unit, iterations.
+  if (tokens.size() < 6) return std::nullopt;
+
+  BenchRow row;
+  // Name and path arguments.
+  {
+    std::istringstream name(tokens[0]);
+    std::string segment;
+    bool first = true;
+    while (std::getline(name, segment, '/')) {
+      if (first) {
+        row.family = segment;
+        first = false;
+        continue;
+      }
+      const size_t colon = segment.find(':');
+      if (colon == std::string::npos) {
+        row.args.emplace_back("", segment);
+      } else {
+        row.args.emplace_back(segment.substr(0, colon),
+                              segment.substr(colon + 1));
+      }
+    }
+    if (row.family.empty()) return std::nullopt;
+  }
+
+  const auto wall = ParseHumanNumber(tokens[1]);
+  const auto cpu = ParseHumanNumber(tokens[3]);
+  if (!wall || !cpu) return std::nullopt;
+  const auto wall_ms = ToMilliseconds(*wall, tokens[2]);
+  const auto cpu_ms = ToMilliseconds(*cpu, tokens[4]);
+  if (!wall_ms || !cpu_ms) return std::nullopt;
+  row.wall_ms = *wall_ms;
+  row.cpu_ms = *cpu_ms;
+  row.iterations = std::atoll(tokens[5].c_str());
+
+  // Remaining tokens: key=value counters; everything else joins the label.
+  for (size_t i = 6; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    std::optional<double> value;
+    if (eq != std::string::npos) {
+      value = ParseHumanNumber(tokens[i].substr(eq + 1));
+    }
+    if (eq != std::string::npos && value) {
+      row.counters[tokens[i].substr(0, eq)] = *value;
+    } else {
+      if (!row.label.empty()) row.label += ' ';
+      row.label += tokens[i];
+    }
+  }
+  return row;
+}
+
+std::vector<BenchRow> ParseBenchOutput(const std::string& text) {
+  std::vector<BenchRow> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (auto row = ParseBenchLine(line)) rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+namespace {
+
+std::string FormatNumber(double value) {
+  char buffer[64];
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string RenderMarkdown(const std::vector<BenchRow>& rows) {
+  // Group by family, preserving first-seen order.
+  std::vector<std::string> families;
+  for (const BenchRow& row : rows) {
+    bool seen = false;
+    for (const std::string& f : families) seen |= f == row.family;
+    if (!seen) families.push_back(row.family);
+  }
+
+  std::string out;
+  for (const std::string& family : families) {
+    std::vector<const BenchRow*> group;
+    for (const BenchRow& row : rows) {
+      if (row.family == family) group.push_back(&row);
+    }
+    // Column sets: args in first-seen order, counters sorted (std::map).
+    std::vector<std::string> arg_keys;
+    std::map<std::string, bool> counter_keys;
+    bool any_label = false;
+    for (const BenchRow* row : group) {
+      for (const auto& [key, value] : row->args) {
+        bool seen = false;
+        for (const std::string& k : arg_keys) seen |= k == key;
+        if (!seen) arg_keys.push_back(key);
+      }
+      for (const auto& [key, value] : row->counters) {
+        counter_keys[key] = true;
+      }
+      any_label |= !row->label.empty();
+    }
+
+    out += "## " + family + "\n\n|";
+    for (const std::string& key : arg_keys) {
+      out += " " + (key.empty() ? std::string("arg") : key) + " |";
+    }
+    if (any_label) out += " variant |";
+    out += " cpu (ms) | wall (ms) | iters |";
+    for (const auto& [key, seen] : counter_keys) out += " " + key + " |";
+    out += "\n|";
+    const size_t columns = arg_keys.size() + (any_label ? 1 : 0) + 3 +
+                           counter_keys.size();
+    for (size_t i = 0; i < columns; ++i) out += "---|";
+    out += "\n";
+
+    for (const BenchRow* row : group) {
+      out += "|";
+      for (const std::string& key : arg_keys) {
+        std::string value;
+        for (const auto& [k, v] : row->args) {
+          if (k == key) value = v;
+        }
+        out += " " + value + " |";
+      }
+      if (any_label) out += " " + row->label + " |";
+      out += " " + FormatNumber(row->cpu_ms) + " | " +
+             FormatNumber(row->wall_ms) + " | " +
+             std::to_string(row->iterations) + " |";
+      for (const auto& [key, seen] : counter_keys) {
+        const auto it = row->counters.find(key);
+        out += " ";
+        out += it == row->counters.end() ? "" : FormatNumber(it->second);
+        out += " |";
+      }
+      out += "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace indoorflow::benchreport

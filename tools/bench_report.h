@@ -1,0 +1,53 @@
+// Parser for google-benchmark console output and a markdown renderer —
+// the machinery behind `bench_report`, which turns `bench_*` runs into the
+// tables EXPERIMENTS.md publishes.
+//
+//   ./build/bench/bench_fig10_snapshot_synthetic | ./build/tools/bench_report
+//
+// The console format is line-oriented:
+//   BM_Name/arg:1/arg2:5        3.21 ms   3.20 ms   218 label counter=7
+// This parser extracts the name, the `key:value` path arguments, wall and
+// CPU time (normalized to milliseconds), iterations, the optional label,
+// and `key=value` counters (benchmark's human-readable "1.23k" suffixes
+// are expanded).
+
+#ifndef INDOORFLOW_TOOLS_BENCH_REPORT_H_
+#define INDOORFLOW_TOOLS_BENCH_REPORT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace indoorflow::benchreport {
+
+struct BenchRow {
+  /// Family name (text before the first '/'), e.g. "BM_Fig10a_EffectOfK".
+  std::string family;
+  /// Path arguments in order, e.g. {{"k", "5"}, {"algo", "1"}}. Unnamed
+  /// numeric path segments get empty keys.
+  std::vector<std::pair<std::string, std::string>> args;
+  double wall_ms = 0.0;
+  double cpu_ms = 0.0;
+  int64_t iterations = 0;
+  /// SetLabel text, if any.
+  std::string label;
+  /// UserCounters, e.g. {"pois_eval", 75.0}.
+  std::map<std::string, double> counters;
+};
+
+/// Parses one console line. Returns nullopt for non-benchmark lines
+/// (headers, separators, context banners) — feed the whole output through.
+std::optional<BenchRow> ParseBenchLine(const std::string& line);
+
+/// Parses a full console dump into rows (non-benchmark lines skipped).
+std::vector<BenchRow> ParseBenchOutput(const std::string& text);
+
+/// Renders rows grouped by family as GitHub-flavored markdown tables. Each
+/// family becomes a heading plus a table with one column per argument,
+/// CPU time (ms), the label, and any counters present in that family.
+std::string RenderMarkdown(const std::vector<BenchRow>& rows);
+
+}  // namespace indoorflow::benchreport
+
+#endif  // INDOORFLOW_TOOLS_BENCH_REPORT_H_

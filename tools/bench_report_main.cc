@@ -1,0 +1,41 @@
+// bench_report — turn google-benchmark console output into markdown.
+//
+//   ./build/bench/bench_fig13_snapshot_cph | ./build/tools/bench_report
+//   ./build/tools/bench_report bench_output.txt > report.md
+//
+// Reads the files given as arguments (or stdin when none), parses every
+// BM_ line, and prints one markdown table per benchmark family.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+#include "tools/bench_report.h"
+
+int main(int argc, char** argv) {
+  std::string text;
+  if (argc <= 1) {
+    text.assign(std::istreambuf_iterator<char>(std::cin),
+                std::istreambuf_iterator<char>());
+  } else {
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open %s\n", argv[i]);
+        return 1;
+      }
+      text.append(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+      text.push_back('\n');
+    }
+  }
+  const auto rows = indoorflow::benchreport::ParseBenchOutput(text);
+  if (rows.empty()) {
+    std::fprintf(stderr, "warning: no BM_ lines found in input\n");
+  }
+  std::fputs(indoorflow::benchreport::RenderMarkdown(rows).c_str(), stdout);
+  return 0;
+}

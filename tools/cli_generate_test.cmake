@@ -1,0 +1,8 @@
+# Creates the smoke-test dataset directory and runs `generate` into it.
+file(MAKE_DIRECTORY ${OUT})
+execute_process(
+  COMMAND ${CLI} generate --out ${OUT} --objects 20 --duration 600 --seed 5
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "indoorflow_cli generate failed with ${rc}")
+endif()

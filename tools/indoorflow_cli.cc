@@ -1,0 +1,594 @@
+// indoorflow_cli — run the library end-to-end from the command line over
+// flat files (see src/indoor/plan_io.h and src/tracking/io.h for formats).
+//
+// Subcommands:
+//   generate  --out DIR [--dataset office|cph|mall] [--objects N]
+//             [--duration S] [--range R] [--seed S] [--pois N]
+//             Writes plan.txt, pois.txt, deployment.csv, ott.csv.
+//   snapshot  --data DIR --t T [--k K] [--algo iterative|join]
+//             [--topology off|partition|exact] [--metric flow|density]
+//   interval  --data DIR --ts T --te T [--k K] [--algo ...] [--topology ...]
+//   threshold --data DIR --tau F (--t T | --ts T --te T) [--algo ...]
+//             All POIs with flow >= tau (extension over the paper's top-k).
+//   itinerary --data DIR --object ID [--t0 T] [--t1 T] [--step S]
+//             [--min-presence P] [--min-duration S] [--max-area A]
+//             Per-object visit reconstruction (CSV on stdout).
+//   timeline  --data DIR --poi ID [--t0 T] [--t1 T] [--step S]
+//   report    --data DIR [--k K] [--slots N]   (markdown occupancy report)
+//   stats     --data DIR
+//   cleanse   --readings FILE.csv --deployment FILE.csv --out FILE.csv
+//             [--vmax V] [--slack S]    (speed-constraint outlier removal)
+//   render    --data DIR --out FILE.svg [--heatmap-t T]
+//
+// Exit code 0 on success; errors go to stderr.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/flow_matrix.h"
+#include "src/core/itinerary.h"
+#include "src/core/timeline.h"
+#include "src/indoor/plan_io.h"
+#include "src/tracking/cleansing.h"
+#include "src/tracking/io.h"
+#include "src/viz/svg.h"
+
+namespace indoorflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal --flag value parsing.
+
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        ok_ = false;
+        bad_ = key;
+        return;
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& bad() const { return bad_; }
+
+  std::optional<std::string> Get(const std::string& key) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    consumed_.insert(it->first);
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& key, const std::string& fallback) {
+    return Get(key).value_or(fallback);
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const auto value = Get(key);
+    return value ? std::atof(value->c_str()) : fallback;
+  }
+
+  int GetInt(const std::string& key, int fallback) {
+    const auto value = Get(key);
+    return value ? std::atoi(value->c_str()) : fallback;
+  }
+
+  /// Any flags that no subcommand consumed (typos).
+  std::vector<std::string> Unconsumed() const {
+    std::vector<std::string> out;
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.contains(key)) out.push_back("--" + key);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+  bool ok_ = true;
+  std::string bad_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Dataset directory I/O.
+
+struct LoadedDataset {
+  FloorPlan plan;
+  std::unique_ptr<DoorGraph> graph;
+  Deployment deployment;
+  ObjectTrackingTable ott;
+  PoiSet pois;
+};
+
+Result<LoadedDataset> LoadDataDir(const std::string& dir) {
+  LoadedDataset data;
+  auto plan = ReadPlanFile(dir + "/plan.txt");
+  if (!plan.ok()) return plan.status();
+  data.plan = std::move(*plan);
+  auto pois = ReadPoisFile(dir + "/pois.txt");
+  if (!pois.ok()) return pois.status();
+  data.pois = std::move(*pois);
+  auto deployment = ReadDeploymentCsv(dir + "/deployment.csv");
+  if (!deployment.ok()) return deployment.status();
+  data.deployment = std::move(*deployment);
+  auto ott = ReadOttCsv(dir + "/ott.csv");
+  if (!ott.ok()) return ott.status();
+  data.ott = std::move(*ott);
+  data.graph = std::make_unique<DoorGraph>(data.plan);
+  return data;
+}
+
+Status SaveDataDir(const Dataset& ds, const std::string& dir) {
+  INDOORFLOW_RETURN_IF_ERROR(WritePlanFile(ds.built.plan, dir + "/plan.txt"));
+  INDOORFLOW_RETURN_IF_ERROR(WritePoisFile(ds.pois, dir + "/pois.txt"));
+  INDOORFLOW_RETURN_IF_ERROR(
+      WriteDeploymentCsv(ds.deployment, dir + "/deployment.csv"));
+  INDOORFLOW_RETURN_IF_ERROR(WriteOttCsv(ds.ott, dir + "/ott.csv"));
+  return Status::OK();
+}
+
+Result<TopologyMode> ParseTopology(const std::string& name) {
+  if (name == "off") return TopologyMode::kOff;
+  if (name == "partition") return TopologyMode::kPartition;
+  if (name == "exact") return TopologyMode::kExact;
+  return Status::InvalidArgument("unknown topology mode '" + name + "'");
+}
+
+Result<Algorithm> ParseAlgorithm(const std::string& name) {
+  if (name == "iterative") return Algorithm::kIterative;
+  if (name == "join") return Algorithm::kJoin;
+  return Status::InvalidArgument("unknown algorithm '" + name + "'");
+}
+
+int CheckUnconsumed(const Flags& flags) {
+  for (const std::string& flag : flags.Unconsumed()) {
+    return Fail("unknown flag " + flag);
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+
+int CmdGenerate(Flags& flags) {
+  const auto out = flags.Get("out");
+  if (!out) return Fail("generate requires --out DIR");
+  const std::string dataset = flags.GetOr("dataset", "office");
+  const int objects = flags.GetInt("objects", 300);
+  const double duration = flags.GetDouble("duration", 3600.0);
+  const double range = flags.GetDouble("range", 1.5);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const int pois = flags.GetInt("pois", 75);
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+
+  Dataset ds;
+  if (dataset == "office") {
+    OfficeDatasetConfig config;
+    config.num_objects = objects;
+    config.duration = duration;
+    config.detection_range = range;
+    config.seed = seed;
+    config.num_pois = pois;
+    ds = GenerateOfficeDataset(config);
+  } else if (dataset == "cph") {
+    CphDatasetConfig config;
+    config.num_passengers = objects;
+    config.window = duration;
+    config.detection_range = range > 2.6 ? range : 5.0;
+    config.seed = seed;
+    config.num_pois = pois;
+    ds = GenerateCphLikeDataset(config);
+  } else if (dataset == "mall") {
+    MallDatasetConfig config;
+    config.num_shoppers = objects;
+    config.window = duration;
+    config.detection_range = range;
+    config.seed = seed;
+    config.num_pois = pois;
+    ds = GenerateMallDataset(config);
+  } else {
+    return Fail("unknown dataset '" + dataset + "' (office|cph|mall)");
+  }
+  const Status status = SaveDataDir(ds, *out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf(
+      "wrote %s/{plan.txt,pois.txt,deployment.csv,ott.csv}: %zu devices, "
+      "%zu records, %zu objects, %zu POIs\n",
+      out->c_str(), ds.deployment.size(), ds.ott.size(),
+      ds.ott.objects().size(), ds.pois.size());
+  return 0;
+}
+
+struct EngineBundle {
+  // Behind a unique_ptr so the QueryEngine's references into it stay valid
+  // when the bundle is moved out of MakeEngine.
+  std::unique_ptr<LoadedDataset> data;
+  std::unique_ptr<QueryEngine> engine;
+
+  const LoadedDataset& dataset() const { return *data; }
+};
+
+Result<EngineBundle> MakeEngine(Flags& flags) {
+  const auto dir = flags.Get("data");
+  if (!dir) return Status::InvalidArgument("missing --data DIR");
+  auto topology = ParseTopology(flags.GetOr("topology", "partition"));
+  if (!topology.ok()) return topology.status();
+  const double vmax = flags.GetDouble("vmax", 1.1);
+
+  auto data = LoadDataDir(*dir);
+  if (!data.ok()) return data.status();
+  EngineBundle bundle;
+  bundle.data = std::make_unique<LoadedDataset>(std::move(*data));
+  EngineConfig config;
+  config.topology = *topology;
+  config.vmax = vmax;
+  bundle.engine = std::make_unique<QueryEngine>(
+      bundle.data->plan, *bundle.data->graph, bundle.data->deployment,
+      bundle.data->ott, bundle.data->pois, config);
+  return bundle;
+}
+
+void PrintTopK(const LoadedDataset& data, const std::vector<PoiFlow>& top,
+               const QueryStats& stats) {
+  std::printf("%-6s %-24s %s\n", "poi", "name", "flow");
+  for (const PoiFlow& f : top) {
+    std::printf("%-6d %-24s %.4f\n", f.poi,
+                data.pois[static_cast<size_t>(f.poi)].name.c_str(), f.flow);
+  }
+  std::printf(
+      "# objects=%lld regions=%lld presences=%lld pois_evaluated=%lld\n",
+      static_cast<long long>(stats.objects_retrieved),
+      static_cast<long long>(stats.regions_derived),
+      static_cast<long long>(stats.presence_evaluations),
+      static_cast<long long>(stats.pois_evaluated));
+}
+
+int CmdSnapshot(Flags& flags) {
+  const auto t_flag = flags.Get("t");
+  if (!t_flag) return Fail("snapshot requires --t T");
+  const double t = std::atof(t_flag->c_str());
+  const int k = flags.GetInt("k", 10);
+  auto algo = ParseAlgorithm(flags.GetOr("algo", "join"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+  const std::string metric = flags.GetOr("metric", "flow");
+  if (metric != "flow" && metric != "density") {
+    return Fail("--metric must be flow or density");
+  }
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  QueryStats stats;
+  const auto top =
+      metric == "density"
+          ? bundle->engine->SnapshotDensityTopK(t, k, *algo, nullptr, &stats)
+          : bundle->engine->SnapshotTopK(t, k, *algo, nullptr, &stats);
+  PrintTopK(bundle->dataset(), top, stats);
+  return 0;
+}
+
+int CmdInterval(Flags& flags) {
+  const auto ts_flag = flags.Get("ts");
+  const auto te_flag = flags.Get("te");
+  if (!ts_flag || !te_flag) return Fail("interval requires --ts T --te T");
+  const double ts = std::atof(ts_flag->c_str());
+  const double te = std::atof(te_flag->c_str());
+  const int k = flags.GetInt("k", 10);
+  auto algo = ParseAlgorithm(flags.GetOr("algo", "join"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+  const std::string metric = flags.GetOr("metric", "flow");
+  if (metric != "flow" && metric != "density") {
+    return Fail("--metric must be flow or density");
+  }
+  if (te < ts) return Fail("--te must be >= --ts");
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  QueryStats stats;
+  const auto top =
+      metric == "density"
+          ? bundle->engine->IntervalDensityTopK(ts, te, k, *algo, nullptr,
+                                                &stats)
+          : bundle->engine->IntervalTopK(ts, te, k, *algo, nullptr, &stats);
+  PrintTopK(bundle->dataset(), top, stats);
+  return 0;
+}
+
+int CmdThreshold(Flags& flags) {
+  const auto tau_flag = flags.Get("tau");
+  if (!tau_flag) return Fail("threshold requires --tau TAU (> 0)");
+  const double tau = std::atof(tau_flag->c_str());
+  if (tau <= 0.0) return Fail("--tau must be > 0");
+  auto algo = ParseAlgorithm(flags.GetOr("algo", "join"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+  const auto t_flag = flags.Get("t");
+  const auto ts_flag = flags.Get("ts");
+  const auto te_flag = flags.Get("te");
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  QueryStats stats;
+  std::vector<PoiFlow> hot;
+  if (t_flag) {
+    hot = bundle->engine->SnapshotThreshold(std::atof(t_flag->c_str()), tau,
+                                            *algo, nullptr, &stats);
+  } else if (ts_flag && te_flag) {
+    const double ts = std::atof(ts_flag->c_str());
+    const double te = std::atof(te_flag->c_str());
+    if (te < ts) return Fail("--te must be >= --ts");
+    hot = bundle->engine->IntervalThreshold(ts, te, tau, *algo, nullptr,
+                                            &stats);
+  } else {
+    return Fail("threshold requires --t T (snapshot) or --ts/--te (interval)");
+  }
+  PrintTopK(bundle->dataset(), hot, stats);
+  return 0;
+}
+
+int CmdItinerary(Flags& flags) {
+  const int object = flags.GetInt("object", -1);
+  if (object < 0) return Fail("itinerary requires --object ID");
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  const double t0 = flags.GetDouble("t0", bundle->data->ott.min_time());
+  const double t1 = flags.GetDouble("t1", bundle->data->ott.max_time());
+  ItineraryOptions options;
+  options.step = flags.GetDouble("step", 10.0);
+  options.min_presence = flags.GetDouble("min-presence", 0.2);
+  options.min_duration = flags.GetDouble("min-duration", 0.0);
+  options.max_region_bounds_area =
+      flags.GetDouble("max-area", options.max_region_bounds_area);
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  if (options.step <= 0.0 || t1 < t0) return Fail("bad itinerary window");
+  const Itinerary it = BuildItinerary(*bundle->engine,
+                                      static_cast<ObjectId>(object), t0, t1,
+                                      options);
+  std::printf("start,end,poi,name,mean_presence,peak_presence\n");
+  for (const ItineraryVisit& v : it.visits) {
+    std::printf("%.1f,%.1f,%d,%s,%.4f,%.4f\n", v.start, v.end, v.poi,
+                bundle->data->pois[static_cast<size_t>(v.poi)].name.c_str(),
+                v.mean_presence, v.peak_presence);
+  }
+  return 0;
+}
+
+int CmdTimeline(Flags& flags) {
+  const int poi = flags.GetInt("poi", -1);
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (poi < 0 || static_cast<size_t>(poi) >= bundle->data->pois.size()) {
+    return Fail("--poi must name a POI id in the dataset");
+  }
+  const double t0 = flags.GetDouble("t0", bundle->data->ott.min_time());
+  const double t1 = flags.GetDouble("t1", bundle->data->ott.max_time());
+  const double step = flags.GetDouble("step", (t1 - t0) / 20.0);
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  if (step <= 0.0 || t1 < t0) return Fail("bad timeline window");
+  const auto timeline =
+      FlowTimeline(*bundle->engine, static_cast<PoiId>(poi), t0, t1, step);
+  std::printf("t,flow\n");
+  for (const TimelinePoint& p : timeline) {
+    std::printf("%.1f,%.4f\n", p.t, p.flow);
+  }
+  const TimelinePoint peak = PeakFlow(timeline);
+  std::printf("# peak %.4f at t=%.1f, average %.4f\n", peak.flow, peak.t,
+              AverageFlow(timeline));
+  return 0;
+}
+
+int CmdStats(Flags& flags) {
+  const auto dir = flags.Get("data");
+  if (!dir) return Fail("stats requires --data DIR");
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  auto data = LoadDataDir(*dir);
+  if (!data.ok()) return Fail(data.status().ToString());
+  double span_total = 0.0;
+  for (size_t i = 0; i < data->ott.size(); ++i) {
+    const TrackingRecord& r = data->ott.record(static_cast<RecordIndex>(i));
+    span_total += r.te - r.ts;
+  }
+  std::printf("partitions:   %zu\n", data->plan.partitions().size());
+  std::printf("doors:        %zu\n", data->plan.doors().size());
+  std::printf("devices:      %zu (disjoint: %s)\n", data->deployment.size(),
+              data->deployment.RangesDisjoint() ? "yes" : "no");
+  std::printf("pois:         %zu\n", data->pois.size());
+  std::printf("objects:      %zu\n", data->ott.objects().size());
+  std::printf("records:      %zu (overlapping: %s)\n", data->ott.size(),
+              data->ott.has_overlaps() ? "yes" : "no");
+  std::printf("time span:    [%.1f, %.1f]\n", data->ott.min_time(),
+              data->ott.max_time());
+  if (data->ott.size() > 0) {
+    std::printf("avg record:   %.2f s\n",
+                span_total / static_cast<double>(data->ott.size()));
+  }
+  return 0;
+}
+
+// A one-shot markdown occupancy report for a dataset directory: summary
+// stats, the busiest moment, per-slot top POIs from a materialized flow
+// matrix, and the average-occupancy ranking over the whole span.
+int CmdReport(Flags& flags) {
+  const int k = flags.GetInt("k", 5);
+  const int slots = flags.GetInt("slots", 6);
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  const LoadedDataset& data = bundle->dataset();
+  if (data.ott.size() == 0) return Fail("dataset has no tracking records");
+  if (slots <= 0 || k <= 0) return Fail("--k and --slots must be positive");
+
+  const double t0 = data.ott.min_time();
+  const double t1 = data.ott.max_time();
+  FlowMatrixOptions matrix_options;
+  matrix_options.bucket_seconds =
+      std::max(1.0, (t1 - t0) / std::max(24, 4 * slots));
+  const FlowMatrix matrix =
+      FlowMatrix::Build(*bundle->engine, t0, t1, matrix_options);
+
+  const auto poi_name = [&](PoiId id) {
+    return data.pois[static_cast<size_t>(id)].name.c_str();
+  };
+
+  std::printf("# Occupancy report\n\n");
+  std::printf("- objects: %zu, records: %zu, devices: %zu, POIs: %zu\n",
+              data.ott.objects().size(), data.ott.size(),
+              data.deployment.size(), data.pois.size());
+  std::printf("- observation span: [%.0f s, %.0f s] (%.1f min)\n", t0, t1,
+              (t1 - t0) / 60.0);
+
+  // Busiest moment on the bucket grid.
+  double peak_flow = -1.0;
+  Timestamp peak_time = t0;
+  PoiId peak_poi = -1;
+  for (size_t b = 0; b < matrix.num_buckets(); ++b) {
+    for (const Poi& poi : data.pois) {
+      const double flow = matrix.FlowAt(b, poi.id);
+      if (flow > peak_flow) {
+        peak_flow = flow;
+        peak_time = matrix.bucket_time(b);
+        peak_poi = poi.id;
+      }
+    }
+  }
+  std::printf("- busiest moment: **%s** at t=%.0f s (flow %.2f)\n\n",
+              poi_name(peak_poi), peak_time, peak_flow);
+
+  std::printf(
+      "## Top POIs per time slot\n\n| slot | top-%d (flow) |\n|---|---|\n",
+      k);
+  const double slot_len = (t1 - t0) / slots;
+  for (int s = 0; s < slots; ++s) {
+    const double mid = t0 + (s + 0.5) * slot_len;
+    std::printf("| %.0f-%.0f s |", t0 + s * slot_len,
+                t0 + (s + 1) * slot_len);
+    for (const PoiFlow& f : matrix.ApproxSnapshotTopK(mid, k)) {
+      std::printf(" %s (%.1f)", poi_name(f.poi), f.flow);
+    }
+    std::printf(" |\n");
+  }
+
+  std::printf("\n## Average occupancy over the whole span\n\n");
+  std::printf("| rank | POI | avg flow |\n|---|---|---|\n");
+  int rank = 1;
+  for (const PoiFlow& f : matrix.AverageOccupancyTopK(t0, t1, k)) {
+    std::printf("| %d | %s | %.2f |\n", rank++, poi_name(f.poi), f.flow);
+  }
+  return 0;
+}
+
+int CmdCleanse(Flags& flags) {
+  const auto readings_path = flags.Get("readings");
+  const auto deployment_path = flags.Get("deployment");
+  const auto out = flags.Get("out");
+  if (!readings_path || !deployment_path || !out) {
+    return Fail(
+        "cleanse requires --readings FILE --deployment FILE --out FILE");
+  }
+  CleansingOptions options;
+  options.vmax = flags.GetDouble("vmax", 1.1);
+  options.slack_seconds = flags.GetDouble("slack", 2.0);
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+
+  auto readings = ReadReadingsCsv(*readings_path);
+  if (!readings.ok()) return Fail(readings.status().ToString());
+  auto deployment = ReadDeploymentCsv(*deployment_path);
+  if (!deployment.ok()) return Fail(deployment.status().ToString());
+  const size_t before = readings->size();
+  const auto cleansed =
+      CleanseReadings(std::move(*readings), *deployment, options);
+  const Status status = WriteReadingsCsv(cleansed, *out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("kept %zu of %zu readings (dropped %zu outliers) -> %s\n",
+              cleansed.size(), before, before - cleansed.size(),
+              out->c_str());
+  return 0;
+}
+
+int CmdRender(Flags& flags) {
+  const auto dir = flags.Get("data");
+  const auto out = flags.Get("out");
+  if (!dir || !out) return Fail("render requires --data DIR --out FILE");
+  const double heatmap_t = flags.GetDouble("heatmap-t", -1.0);
+  auto data = LoadDataDir(*dir);
+  if (!data.ok()) return Fail(data.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+
+  SvgCanvas canvas(data->plan.Bounds().Expanded(2.0));
+  canvas.DrawFloorPlan(data->plan);
+  canvas.DrawDeployment(data->deployment);
+  if (heatmap_t >= 0.0) {
+    EngineConfig config;
+    const QueryEngine engine(data->plan, *data->graph, data->deployment,
+                             data->ott, data->pois, config);
+    const auto flows = engine.SnapshotTopK(
+        heatmap_t, static_cast<int>(data->pois.size()), Algorithm::kJoin);
+    canvas.DrawFlowHeatmap(data->pois, flows);
+  }
+  const Status status = canvas.WriteFile(*out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s\n", out->c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: indoorflow_cli <generate|snapshot|interval|threshold|"
+      "itinerary|timeline|stats|cleanse|render> [--flag value ...]\n"
+      "  generate --out DIR [--dataset office|cph|mall] [--objects N]\n"
+      "           [--duration S] [--range R] [--seed S] [--pois N]\n"
+      "  snapshot --data DIR --t T [--k K] [--algo iterative|join]\n"
+      "           [--topology off|partition|exact] [--vmax V]\n"
+      "           [--metric flow|density]\n"
+      "  interval --data DIR --ts T --te T [--k K] [--algo ...]\n"
+      "  threshold --data DIR --tau F (--t T | --ts T --te T) [--algo ...]\n"
+      "  itinerary --data DIR --object ID [--t0 T] [--t1 T] [--step S]\n"
+      "           [--min-presence P] [--min-duration S] [--max-area A]\n"
+      "  timeline --data DIR --poi ID [--t0 T] [--t1 T] [--step S]\n"
+      "  report   --data DIR [--k K] [--slots N]\n"
+      "  stats    --data DIR\n"
+      "  cleanse  --readings F.csv --deployment F.csv --out F.csv\n"
+      "  render   --data DIR --out FILE.svg [--heatmap-t T]\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    return Fail("bad argument '" + flags.bad() + "' (flags take values)");
+  }
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "snapshot") return CmdSnapshot(flags);
+  if (command == "interval") return CmdInterval(flags);
+  if (command == "threshold") return CmdThreshold(flags);
+  if (command == "itinerary") return CmdItinerary(flags);
+  if (command == "timeline") return CmdTimeline(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "report") return CmdReport(flags);
+  if (command == "cleanse") return CmdCleanse(flags);
+  if (command == "render") return CmdRender(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace indoorflow
+
+int main(int argc, char** argv) { return indoorflow::Run(argc, argv); }
