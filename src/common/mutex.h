@@ -1,0 +1,48 @@
+// Annotated mutex wrapper for Clang's thread-safety analysis.
+//
+// libstdc++'s std::mutex and std::lock_guard carry no capability
+// attributes, so locking through them is invisible to -Wthread-safety.
+// This thin wrapper (the Abseil/Chromium idiom) makes acquire/release
+// visible to the analysis while compiling to exactly a std::mutex under
+// every compiler. All library code locks through Mutex/MutexLock; raw
+// std::mutex is banned outside this file by tools/indoorflow_lint.py.
+
+#ifndef INDOORFLOW_COMMON_MUTEX_H_
+#define INDOORFLOW_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace indoorflow {
+
+class INDOORFLOW_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() INDOORFLOW_ACQUIRE() { mu_.lock(); }
+  void Unlock() INDOORFLOW_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII holder: locks for the enclosing scope, like std::lock_guard.
+class INDOORFLOW_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) INDOORFLOW_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~MutexLock() INDOORFLOW_RELEASE() { mu_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_MUTEX_H_

@@ -72,11 +72,33 @@ RTree QueryEngine::BuildPoiTree(const std::vector<PoiId>& subset) const {
   return RTree::BulkLoad(std::move(items), config_.poi_fanout);
 }
 
+const RTree& QueryEngine::AllPoiTree() const {
+  MutexLock lock(poi_tree_mu_);
+  if (!all_poi_tree_.has_value()) {
+    all_poi_tree_.emplace(BuildPoiTree(AllPoiIds()));
+  }
+  return *all_poi_tree_;
+}
+
+QueryEngine::PoiSelection QueryEngine::SelectPois(
+    const std::vector<PoiId>* subset) const {
+  PoiSelection selection;
+  if (subset != nullptr) {
+    selection.ids = *subset;
+    selection.owned.emplace(BuildPoiTree(selection.ids));
+  } else {
+    selection.ids = AllPoiIds();
+    selection.shared = &AllPoiTree();
+  }
+  return selection;
+}
+
 std::vector<PoiFlow> QueryEngine::SnapshotTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
-  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
-  const RTree poi_tree = BuildPoiTree(ids);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   switch (algorithm) {
@@ -93,9 +115,9 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
     const std::vector<PoiId>* subset, int threads) const {
   std::vector<std::vector<PoiFlow>> results(times.size());
   if (times.empty()) return results;
-  unsigned worker_count = threads > 0
-                              ? static_cast<unsigned>(threads)
-                              : std::max(1u, std::thread::hardware_concurrency());
+  unsigned worker_count =
+      threads > 0 ? static_cast<unsigned>(threads)
+                  : std::max(1u, std::thread::hardware_concurrency());
   worker_count = std::min<unsigned>(worker_count,
                                     static_cast<unsigned>(times.size()));
   std::atomic<size_t> next{0};
@@ -119,8 +141,9 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
 std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
-  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
-  const RTree poi_tree = BuildPoiTree(ids);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   switch (algorithm) {
@@ -135,8 +158,9 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
 std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
-  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
-  const RTree poi_tree = BuildPoiTree(ids);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   switch (algorithm) {
@@ -173,8 +197,9 @@ std::vector<ObjectId> QueryEngine::ActiveObjects(Timestamp t) const {
 std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
     Timestamp t, double tau, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
-  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
-  const RTree poi_tree = BuildPoiTree(ids);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   switch (algorithm) {
@@ -189,8 +214,9 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
 std::vector<PoiFlow> QueryEngine::IntervalThreshold(
     Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
-  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
-  const RTree poi_tree = BuildPoiTree(ids);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   switch (algorithm) {
@@ -205,8 +231,9 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
 std::vector<PoiFlow> QueryEngine::IntervalTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
-  const std::vector<PoiId> ids = subset != nullptr ? *subset : AllPoiIds();
-  const RTree poi_tree = BuildPoiTree(ids);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   switch (algorithm) {

@@ -7,6 +7,14 @@
 //   auto top = engine.SnapshotTopK(t, /*k=*/5, Algorithm::kJoin);
 //   auto top2 = engine.IntervalTopK(ts, te, 5, Algorithm::kIterative);
 
+// Thread safety: a constructed engine is safe for concurrent const use —
+// any number of threads may issue queries against one instance (this is
+// what SnapshotTopKBatch does internally, and what the TSan CI job
+// stresses). The only mutable state behind the const API is the lazily
+// built full-POI-set R-tree cache, guarded by `poi_tree_mu_` and annotated
+// for Clang's thread-safety analysis. A `QueryStats*` out-parameter is
+// written without synchronization, so pass a distinct one per thread.
+
 #ifndef INDOORFLOW_CORE_ENGINE_H_
 #define INDOORFLOW_CORE_ENGINE_H_
 
@@ -14,6 +22,8 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/interval_query.h"
 #include "src/core/snapshot_query.h"
 #include "src/core/topology_check.h"
@@ -129,9 +139,28 @@ class QueryEngine {
   }
 
  private:
+  /// The query POI set of one call: the ids plus the R-tree over them —
+  /// either a throwaway tree owned by this selection (subset queries) or a
+  /// pointer to the engine's shared full-set tree.
+  struct PoiSelection {
+    std::vector<PoiId> ids;
+    std::optional<RTree> owned;
+    const RTree* shared = nullptr;
+    const RTree& tree() const {
+      return owned.has_value() ? *owned : *shared;
+    }
+  };
+
   QueryContext MakeContext() const;
+  PoiSelection SelectPois(const std::vector<PoiId>* subset) const;
   RTree BuildPoiTree(const std::vector<PoiId>& subset) const;
   std::vector<PoiId> AllPoiIds() const;
+  /// The R-tree over the full POI set, built on first use and shared by all
+  /// subsequent full-set queries (subset queries build a throwaway tree).
+  /// The returned reference stays valid for the engine's lifetime: once
+  /// built under the lock the tree is never modified again, and the mutex
+  /// release publishes it to every later reader.
+  const RTree& AllPoiTree() const INDOORFLOW_LOCKS_EXCLUDED(poi_tree_mu_);
 
   const ObjectTrackingTable& table_;
   const PoiSet& pois_;
@@ -141,6 +170,9 @@ class QueryEngine {
   std::unique_ptr<UncertaintyModel> model_;
   std::vector<Region> poi_regions_;
   std::vector<double> poi_areas_;
+  mutable Mutex poi_tree_mu_;
+  mutable std::optional<RTree> all_poi_tree_
+      INDOORFLOW_GUARDED_BY(poi_tree_mu_);
 };
 
 }  // namespace indoorflow

@@ -1,8 +1,10 @@
 #include "src/core/flow_matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "src/core/flow.h"
 
@@ -22,22 +24,43 @@ FlowMatrix FlowMatrix::Build(const QueryEngine& engine, Timestamp t0,
         t0 + (static_cast<double>(i) + 0.5) * options.bucket_seconds);
   }
 
-  // k = "all": the engine pads with zero flows, so every POI appears.
-  const auto per_bucket = engine.SnapshotTopKBatch(
-      matrix.bucket_times_, std::numeric_limits<int>::max(),
-      options.algorithm, nullptr, options.threads);
-  for (size_t bucket = 0; bucket < per_bucket.size(); ++bucket) {
-    const std::vector<PoiFlow>& flows = per_bucket[bucket];
-    if (bucket == 0) {
-      matrix.num_pois_ = flows.size();
-      matrix.flows_.assign(num_buckets * matrix.num_pois_, 0.0);
+  // Size the matrix up front (POI ids are dense), then fan the bucket
+  // probes out across a worker pool. Workers claim buckets off the atomic
+  // counter and each writes only its own bucket's row, so all writes are
+  // disjoint; the joins below publish them to the caller. The engine is
+  // safe for concurrent const use (see src/core/engine.h); this loop is one
+  // of the TSan CI stress subjects (tests/concurrency_test.cc).
+  matrix.num_pois_ = engine.pois().size();
+  matrix.flows_.assign(num_buckets * matrix.num_pois_, 0.0);
+  std::atomic<size_t> next{0};
+  const auto work = [&matrix, &engine, &options, &next, num_buckets] {
+    for (size_t bucket = next.fetch_add(1); bucket < num_buckets;
+         bucket = next.fetch_add(1)) {
+      // k = "all": the engine pads with zero flows, so every POI appears.
+      const std::vector<PoiFlow> flows = engine.SnapshotTopK(
+          matrix.bucket_times_[bucket], std::numeric_limits<int>::max(),
+          options.algorithm);
+      INDOORFLOW_CHECK(flows.size() == matrix.num_pois_);
+      for (const PoiFlow& f : flows) {
+        matrix.flows_[bucket * matrix.num_pois_ +
+                      static_cast<size_t>(f.poi)] = f.flow;
+      }
     }
-    INDOORFLOW_CHECK(flows.size() == matrix.num_pois_);
-    for (const PoiFlow& f : flows) {
-      matrix.flows_[bucket * matrix.num_pois_ +
-                    static_cast<size_t>(f.poi)] = f.flow;
-    }
+  };
+  unsigned worker_count =
+      options.threads > 0
+          ? static_cast<unsigned>(options.threads)
+          : std::max(1u, std::thread::hardware_concurrency());
+  worker_count = std::min<unsigned>(worker_count,
+                                    static_cast<unsigned>(num_buckets));
+  if (worker_count <= 1) {
+    work();
+    return matrix;
   }
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (unsigned w = 0; w < worker_count; ++w) workers.emplace_back(work);
+  for (std::thread& worker : workers) worker.join();
   return matrix;
 }
 

@@ -8,6 +8,12 @@
 //   * average-occupancy rankings over arbitrary windows,
 // in microseconds. Approximation error is bounded by how much flows change
 // within one bucket; pick bucket_seconds accordingly.
+//
+// Thread safety: Build materializes in parallel internally (workers claim
+// buckets off an atomic counter and write disjoint rows; no locks needed —
+// the partitioning is by construction, not convention, and the TSan CI job
+// checks it). A built matrix is immutable, so any number of threads may
+// share one instance through the const API without synchronization.
 
 #ifndef INDOORFLOW_CORE_FLOW_MATRIX_H_
 #define INDOORFLOW_CORE_FLOW_MATRIX_H_

@@ -30,6 +30,7 @@ Status StreamingMonitor::Ingest(const RawReading& reading) {
     return Status::InvalidArgument("unknown device " +
                                    std::to_string(reading.device_id));
   }
+  MutexLock lock(mu_);
   ObjectTrack& track = tracks_[reading.object_id];
   const double max_gap =
       options_.merger.max_gap_factor * options_.merger.sampling_period;
@@ -93,6 +94,7 @@ Region StreamingMonitor::TrackRegion(const ObjectTrack& track,
 
 size_t StreamingMonitor::ActiveObjects(Timestamp t) const {
   size_t count = 0;
+  MutexLock lock(mu_);
   for (const auto& [object, track] : tracks_) {
     count += (track.open.has_value() &&
               t - track.open->te <= options_.expiry_seconds)
@@ -103,6 +105,7 @@ size_t StreamingMonitor::ActiveObjects(Timestamp t) const {
 }
 
 Region StreamingMonitor::LiveRegion(ObjectId object, Timestamp t) const {
+  MutexLock lock(mu_);
   const auto it = tracks_.find(object);
   if (it == tracks_.end()) return Region();
   return TrackRegion(it->second, t);
@@ -111,14 +114,17 @@ Region StreamingMonitor::LiveRegion(ObjectId object, Timestamp t) const {
 std::vector<PoiFlow> StreamingMonitor::CurrentTopK(Timestamp t,
                                                    int k) const {
   std::vector<double> flows(pois_.size(), 0.0);
-  for (const auto& [object, track] : tracks_) {
-    const Region ur = TrackRegion(track, t);
-    if (ur.IsEmpty()) continue;
-    const Box bounds = ur.Bounds();
-    for (size_t i = 0; i < pois_.size(); ++i) {
-      if (!bounds.Intersects(pois_[i].shape.Bounds())) continue;
-      flows[i] += Presence(ur, poi_areas_[i], poi_regions_[i],
-                           options_.flow);
+  {
+    MutexLock lock(mu_);
+    for (const auto& [object, track] : tracks_) {
+      const Region ur = TrackRegion(track, t);
+      if (ur.IsEmpty()) continue;
+      const Box bounds = ur.Bounds();
+      for (size_t i = 0; i < pois_.size(); ++i) {
+        if (!bounds.Intersects(pois_[i].shape.Bounds())) continue;
+        flows[i] += Presence(ur, poi_areas_[i], poi_regions_[i],
+                             options_.flow);
+      }
     }
   }
   std::vector<PoiFlow> all;

@@ -22,6 +22,16 @@
 // from two radios ping-pong the open record between devices; feed such
 // streams through CleanseReadings/MergeReadings and the historical engine
 // instead (the monitor targets the paper's disjoint-range deployments).
+//
+// Thread safety: the monitor is internally synchronized — one ingest thread
+// and any number of query threads may run concurrently (the deployment
+// shape the ROADMAP targets: continuous ingest plus live dashboards). The
+// object table and clock are guarded by `mu_`; the invariant is enforced at
+// compile time by Clang's thread-safety analysis and validated dynamically
+// by the TSan CI job (tests/concurrency_test.cc). Note the per-object
+// time-order requirement on Ingest still holds: *concurrent* ingest of the
+// same object's readings from two threads has no defined arrival order, so
+// keep ingest single-threaded per object.
 
 #ifndef INDOORFLOW_CORE_STREAMING_H_
 #define INDOORFLOW_CORE_STREAMING_H_
@@ -30,6 +40,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
 #include "src/core/flow.h"
 #include "src/core/topology_check.h"
 #include "src/tracking/deployment.h"
@@ -57,20 +69,25 @@ class StreamingMonitor {
 
   /// Ingests one reading. Readings of one object must arrive in
   /// nondecreasing time order; cross-object interleaving is free.
-  Status Ingest(const RawReading& reading);
+  Status Ingest(const RawReading& reading) INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// Largest reading time seen so far.
-  Timestamp now() const { return now_; }
+  Timestamp now() const INDOORFLOW_LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    return now_;
+  }
 
   /// Objects currently contributing (seen within expiry_seconds of `t`).
-  size_t ActiveObjects(Timestamp t) const;
+  size_t ActiveObjects(Timestamp t) const INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// Top-k POIs by live flow at time `t` (>= now(); typically "now").
-  std::vector<PoiFlow> CurrentTopK(Timestamp t, int k) const;
+  std::vector<PoiFlow> CurrentTopK(Timestamp t, int k) const
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// The live uncertainty region of one object at `t` (empty when unknown
   /// or expired).
-  Region LiveRegion(ObjectId object, Timestamp t) const;
+  Region LiveRegion(ObjectId object, Timestamp t) const
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
  private:
   struct ObjectTrack {
@@ -80,16 +97,19 @@ class StreamingMonitor {
     std::optional<TrackingRecord> last;
   };
 
-  Region TrackRegion(const ObjectTrack& track, Timestamp t) const;
+  /// Reads a track owned by `tracks_`, so the table lock must be held.
+  Region TrackRegion(const ObjectTrack& track, Timestamp t) const
+      INDOORFLOW_REQUIRES(mu_);
 
   const Deployment& deployment_;
   const PoiSet& pois_;
   StreamingOptions options_;
   const TopologyChecker* topology_;
-  std::vector<Region> poi_regions_;
-  std::vector<double> poi_areas_;
-  std::unordered_map<ObjectId, ObjectTrack> tracks_;
-  Timestamp now_ = 0.0;
+  std::vector<Region> poi_regions_;   // immutable after construction
+  std::vector<double> poi_areas_;     // immutable after construction
+  mutable Mutex mu_;
+  std::unordered_map<ObjectId, ObjectTrack> tracks_ INDOORFLOW_GUARDED_BY(mu_);
+  Timestamp now_ INDOORFLOW_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace indoorflow

@@ -25,6 +25,7 @@ void DynamicRTree::Insert(int32_t id, const Box& box) {
   Entry entry;
   entry.box = box;
   entry.id = id;
+  MutexLock lock(mu_);
   std::unique_ptr<Node> sibling = InsertInto(root_.get(), std::move(entry));
   if (sibling != nullptr) {
     // Root split: grow the tree by one level.
@@ -162,6 +163,7 @@ std::unique_ptr<DynamicRTree::Node> DynamicRTree::SplitNode(Node* node) {
 void DynamicRTree::IntersectionQuery(const Box& query,
                                      std::vector<int32_t>* out) const {
   out->clear();
+  MutexLock lock(mu_);
   std::vector<const Node*> stack = {root_.get()};
   while (!stack.empty()) {
     const Node* node = stack.back();
@@ -177,9 +179,13 @@ void DynamicRTree::IntersectionQuery(const Box& query,
   }
 }
 
-Box DynamicRTree::Bounds() const { return root_->ComputeBox(); }
+Box DynamicRTree::Bounds() const {
+  MutexLock lock(mu_);
+  return root_->ComputeBox();
+}
 
 int DynamicRTree::Height() const {
+  MutexLock lock(mu_);
   if (size_ == 0) return 0;
   int height = 1;
   const Node* node = root_.get();
@@ -196,6 +202,7 @@ Status DynamicRTree::CheckInvariants() const {
     int depth;
   };
   int leaf_depth = -1;
+  MutexLock lock(mu_);
   std::vector<Frame> stack = {{root_.get(), 0}};
   while (!stack.empty()) {
     const Frame frame = stack.back();

@@ -6,6 +6,14 @@
 // this classical insert-based R-tree exists (a) as the faithful
 // construction for comparison (bench_ablation), and (b) as a general
 // dynamic index for workloads where items trickle in.
+//
+// Thread safety: the tree is internally synchronized — concurrent Insert
+// and query calls from any number of threads are safe. All tree state is
+// guarded by `mu_` and the invariant is enforced by Clang's thread-safety
+// analysis (see src/common/thread_annotations.h). The lock is held for the
+// full duration of one operation; queries do not block each other's
+// correctness but do serialize, so a read-heavy workload that never inserts
+// concurrently may prefer the lock-free bulk-loaded RTree.
 
 #ifndef INDOORFLOW_INDEX_DYNAMIC_RTREE_H_
 #define INDOORFLOW_INDEX_DYNAMIC_RTREE_H_
@@ -14,7 +22,9 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/geometry/box.h"
 
 namespace indoorflow {
@@ -24,23 +34,27 @@ class DynamicRTree {
   /// `max_entries` per node; min fill is max_entries / 2.
   explicit DynamicRTree(int max_entries = 8);
 
-  void Insert(int32_t id, const Box& box);
+  void Insert(int32_t id, const Box& box) INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const INDOORFLOW_LOCKS_EXCLUDED(mu_) {
+    MutexLock lock(mu_);
+    return size_;
+  }
+  bool empty() const INDOORFLOW_LOCKS_EXCLUDED(mu_) { return size() == 0; }
 
   /// Ids of all items whose box intersects `query`.
-  void IntersectionQuery(const Box& query, std::vector<int32_t>* out) const;
+  void IntersectionQuery(const Box& query, std::vector<int32_t>* out) const
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// Bounding box of everything inserted (empty Box when empty).
-  Box Bounds() const;
+  Box Bounds() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// Tree height (0 when empty, 1 for a single leaf).
-  int Height() const;
+  int Height() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// Verifies structural invariants (entry boxes within parent MBRs, node
   /// occupancy, uniform leaf depth). For tests.
-  Status CheckInvariants() const;
+  Status CheckInvariants() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
  private:
   struct Node;
@@ -60,18 +74,20 @@ class DynamicRTree {
     }
   };
 
-  // Insertion helpers (Guttman 1984).
-  Node* ChooseLeaf(Node* node, const Box& box);
+  // Insertion helpers (Guttman 1984). All walk the tree, so they run with
+  // `mu_` held.
   /// Splits an overfull node; returns the new sibling.
-  std::unique_ptr<Node> SplitNode(Node* node);
+  std::unique_ptr<Node> SplitNode(Node* node) INDOORFLOW_REQUIRES(mu_);
   /// Inserts `entry` into the subtree at `node`; if the node splits, the
   /// new sibling is returned for the caller to adopt.
-  std::unique_ptr<Node> InsertInto(Node* node, Entry entry);
+  std::unique_ptr<Node> InsertInto(Node* node, Entry entry)
+      INDOORFLOW_REQUIRES(mu_);
 
-  int max_entries_;
-  int min_entries_;
-  std::unique_ptr<Node> root_;
-  size_t size_ = 0;
+  int max_entries_;  // immutable after construction
+  int min_entries_;  // immutable after construction
+  mutable Mutex mu_;
+  std::unique_ptr<Node> root_ INDOORFLOW_GUARDED_BY(mu_);
+  size_t size_ INDOORFLOW_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace indoorflow

@@ -33,6 +33,7 @@ class ObjectTrackingTable {
 
   bool finalized() const { return finalized_; }
   size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
   const TrackingRecord& record(RecordIndex i) const {
     return records_[static_cast<size_t>(i)];
   }

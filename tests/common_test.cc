@@ -129,6 +129,32 @@ TEST(RngTest, ExponentialMean) {
   EXPECT_NEAR(sum / n, 4.0, 5.0 * 4.0 / std::sqrt(n));
 }
 
+TEST(CheckDeathTest, FailureMessageNamesFileLineAndCondition) {
+  // The message format is load-bearing: "INDOORFLOW_CHECK failed at
+  // <file>:<line>: <condition>". Operators grep logs for it.
+  EXPECT_DEATH(INDOORFLOW_CHECK(1 + 1 == 3),
+               "INDOORFLOW_CHECK failed at .*common_test\\.cc:[0-9]+: "
+               "1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, ActiveInEveryBuildType) {
+  // Unlike assert(), INDOORFLOW_CHECK must not compile away under NDEBUG:
+  // it guards internal invariants in release binaries too. The default
+  // CMake build type is Release (NDEBUG defined), so this death test
+  // passing there proves the check stayed active.
+  const volatile bool always_false = false;
+  EXPECT_DEATH(INDOORFLOW_CHECK(always_false), "INDOORFLOW_CHECK failed");
+#ifdef NDEBUG
+  // Double-check the premise: this TU really was built with NDEBUG.
+  SUCCEED() << "verified under NDEBUG";
+#endif
+}
+
+TEST(CheckDeathTest, PassingConditionDoesNotAbort) {
+  INDOORFLOW_CHECK(2 + 2 == 4);  // must be a no-op
+  SUCCEED();
+}
+
 TEST(RngTest, UniformRange) {
   Rng rng(17);
   for (int i = 0; i < 1000; ++i) {

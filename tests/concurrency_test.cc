@@ -1,0 +1,247 @@
+// Concurrency stress tests. These are the dynamic half of the repo's
+// thread-safety story: the static half is Clang's -Wthread-safety analysis
+// over the INDOORFLOW_GUARDED_BY annotations in
+// src/common/thread_annotations.h, and this binary runs under
+// ThreadSanitizer in CI to validate the same
+// invariants at runtime. The tests are also meaningful without TSan: they
+// assert that concurrent results are bit-identical to serial ones, i.e.
+// that parallelism never changes answers (accumulation-order independence).
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/flow_matrix.h"
+#include "src/core/streaming.h"
+#include "src/index/dynamic_rtree.h"
+
+namespace indoorflow {
+namespace {
+
+// Worker count for the stress tests: enough to interleave on any machine,
+// independent of hardware_concurrency() so single-core CI still races.
+constexpr int kStressThreads = 8;
+
+bool SameFlows(const std::vector<PoiFlow>& a, const std::vector<PoiFlow>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, not approximately equal: the parallel paths must not
+    // reorder any floating-point accumulation.
+    if (a[i].poi != b[i].poi || a[i].flow != b[i].flow) return false;
+  }
+  return true;
+}
+
+class ConcurrencyFixture : public ::testing::Test {
+ protected:
+  ConcurrencyFixture() {
+    OfficeDatasetConfig config;
+    config.num_objects = 20;
+    config.duration = 600.0;
+    config.seed = 99;
+    dataset_ = GenerateOfficeDataset(config);
+    engine_ = std::make_unique<QueryEngine>(dataset_, EngineConfig{});
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+// N threads issue mixed snapshot/interval top-k queries against one shared
+// engine; every concurrent answer must equal the serial one. The first
+// full-set query also races the lazy AllPoiTree cache initialization.
+TEST_F(ConcurrencyFixture, MixedQueriesOnSharedEngine) {
+  const std::vector<Timestamp> times = {60.0, 150.0, 300.0, 450.0, 590.0};
+  std::vector<std::vector<PoiFlow>> serial_snapshot;
+  std::vector<std::vector<PoiFlow>> serial_interval;
+  serial_snapshot.reserve(times.size());
+  serial_interval.reserve(times.size());
+  for (const Timestamp t : times) {
+    serial_snapshot.push_back(engine_->SnapshotTopK(t, 5, Algorithm::kJoin));
+    serial_interval.push_back(
+        engine_->IntervalTopK(t, t + 120.0, 5, Algorithm::kIterative));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kStressThreads);
+  for (int w = 0; w < kStressThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (size_t i = 0; i < times.size(); ++i) {
+        const size_t q = (i + static_cast<size_t>(w)) % times.size();
+        const auto snapshot =
+            engine_->SnapshotTopK(times[q], 5, Algorithm::kJoin);
+        const auto interval = engine_->IntervalTopK(
+            times[q], times[q] + 120.0, 5, Algorithm::kIterative);
+        if (!SameFlows(snapshot, serial_snapshot[q]) ||
+            !SameFlows(interval, serial_interval[q])) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// The worker-pool determinism gap (per-thread results must not depend on
+// the pool size): snapshot batch answers are bit-identical for one worker
+// and for the hardware concurrency.
+TEST_F(ConcurrencyFixture, BatchResultsIndependentOfThreadCount) {
+  std::vector<Timestamp> times;
+  for (double t = 30.0; t < 600.0; t += 30.0) times.push_back(t);
+  const auto one = engine_->SnapshotTopKBatch(times, 5, Algorithm::kJoin,
+                                              nullptr, /*threads=*/1);
+  const int hw =
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency()));
+  const auto many =
+      engine_->SnapshotTopKBatch(times, 5, Algorithm::kJoin, nullptr, hw);
+  ASSERT_EQ(one.size(), many.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(SameFlows(one[i], many[i])) << "bucket " << i;
+  }
+}
+
+// Same property for interval queries, driven from raw threads (there is no
+// interval batch API): concurrent answers equal the single-thread ones.
+TEST_F(ConcurrencyFixture, IntervalResultsIndependentOfThreadCount) {
+  const auto serial =
+      engine_->IntervalTopK(100.0, 500.0, 8, Algorithm::kJoin);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kStressThreads);
+  for (int w = 0; w < kStressThreads; ++w) {
+    workers.emplace_back([&] {
+      const auto got =
+          engine_->IntervalTopK(100.0, 500.0, 8, Algorithm::kJoin);
+      if (!SameFlows(got, serial)) mismatches.fetch_add(1);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// FlowMatrix materialization partitions rows across its worker pool; the
+// parallel build must equal the serial one exactly.
+TEST_F(ConcurrencyFixture, FlowMatrixBuildIndependentOfThreadCount) {
+  FlowMatrixOptions serial_options;
+  serial_options.bucket_seconds = 60.0;
+  serial_options.threads = 1;
+  const FlowMatrix one = FlowMatrix::Build(*engine_, 0.0, 600.0,
+                                           serial_options);
+  FlowMatrixOptions parallel_options = serial_options;
+  parallel_options.threads = kStressThreads;
+  const FlowMatrix many = FlowMatrix::Build(*engine_, 0.0, 600.0,
+                                            parallel_options);
+  ASSERT_EQ(one.num_buckets(), many.num_buckets());
+  ASSERT_EQ(one.num_pois(), many.num_pois());
+  for (size_t b = 0; b < one.num_buckets(); ++b) {
+    for (size_t p = 0; p < one.num_pois(); ++p) {
+      EXPECT_EQ(one.FlowAt(b, static_cast<PoiId>(p)),
+                many.FlowAt(b, static_cast<PoiId>(p)))
+          << "bucket " << b << " poi " << p;
+    }
+  }
+}
+
+// Live monitor: one ingest thread races many query threads. Queries may see
+// the stream at any prefix, so only invariants are asserted (no crashes, no
+// torn state — TSan checks the memory model side).
+TEST(StreamingConcurrencyTest, IngestVersusQuery) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{5, 8}, 1.0});
+  deployment.AddDevice(Circle{{15, 8}, 1.0});
+  deployment.BuildIndex();
+  PoiSet pois;
+  pois.push_back(Poi{0, "room_a", Polygon::Rectangle(0, 4, 10, 12)});
+  pois.push_back(Poi{1, "room_b", Polygon::Rectangle(10, 4, 20, 12)});
+  StreamingOptions options;
+  options.vmax = 1.0;
+  options.expiry_seconds = 1000.0;
+  StreamingMonitor monitor(deployment, pois, options);
+
+  constexpr int kObjects = 6;
+  constexpr double kEnd = 200.0;
+  std::atomic<bool> done{false};
+  std::thread ingest([&] {
+    for (double t = 0.0; t <= kEnd; t += 1.0) {
+      for (ObjectId o = 0; o < kObjects; ++o) {
+        const DeviceId device = (o + static_cast<int>(t / 50.0)) % 2;
+        ASSERT_TRUE(monitor.Ingest({o, device, t}).ok());
+      }
+    }
+    done.store(true);
+  });
+  std::vector<std::thread> queriers;
+  queriers.reserve(kStressThreads);
+  for (int w = 0; w < kStressThreads; ++w) {
+    queriers.emplace_back([&] {
+      while (!done.load()) {
+        const Timestamp now = monitor.now();
+        const auto top = monitor.CurrentTopK(now, 2);
+        ASSERT_LE(top.size(), 2u);
+        for (const PoiFlow& f : top) ASSERT_GE(f.flow, 0.0);
+        ASSERT_LE(monitor.ActiveObjects(now),
+                  static_cast<size_t>(kObjects));
+        (void)monitor.LiveRegion(0, now);
+      }
+    });
+  }
+  ingest.join();
+  for (std::thread& t : queriers) t.join();
+
+  // The final state is the full stream regardless of interleaving.
+  EXPECT_DOUBLE_EQ(monitor.now(), kEnd);
+  EXPECT_EQ(monitor.ActiveObjects(kEnd), static_cast<size_t>(kObjects));
+}
+
+// DynamicRTree is internally synchronized: concurrent inserters and
+// readers; every inserted id is eventually queryable and invariants hold
+// throughout.
+TEST(DynamicRTreeConcurrencyTest, ConcurrentInsertAndQuery) {
+  DynamicRTree tree(6);
+  constexpr int kInserters = 4;
+  constexpr int kPerThread = 200;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> inserters;
+  inserters.reserve(kInserters);
+  for (int w = 0; w < kInserters; ++w) {
+    inserters.emplace_back([&tree, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int32_t id = w * kPerThread + i;
+        const double x = (id % 40) * 2.0;
+        const double y = (id / 40) * 2.0;
+        tree.Insert(id, Box{x, y, x + 1.0, y + 1.0});
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int w = 0; w < 2; ++w) {
+    readers.emplace_back([&] {
+      std::vector<int32_t> hits;
+      while (!done.load()) {
+        tree.IntersectionQuery(Box{0.0, 0.0, 100.0, 100.0}, &hits);
+        ASSERT_LE(hits.size(),
+                  static_cast<size_t>(kInserters * kPerThread));
+        ASSERT_TRUE(tree.CheckInvariants().ok());
+      }
+    });
+  }
+  for (std::thread& t : inserters) t.join();
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(tree.size(), static_cast<size_t>(kInserters * kPerThread));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<int32_t> all;
+  tree.IntersectionQuery(tree.Bounds(), &all);
+  EXPECT_EQ(all.size(), static_cast<size_t>(kInserters * kPerThread));
+}
+
+}  // namespace
+}  // namespace indoorflow

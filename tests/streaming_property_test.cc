@@ -216,7 +216,9 @@ TEST(StreamingOrderTest, CrossObjectInterleavingIsIrrelevant) {
   StreamingMonitor by_object(s.deployment, s.pois, options);
   for (ObjectId o = 0; o < 4; ++o) {
     for (const RawReading& r : s.readings) {
-      if (r.object_id == o) ASSERT_TRUE(by_object.Ingest(r).ok());
+      if (r.object_id == o) {
+        ASSERT_TRUE(by_object.Ingest(r).ok());
+      }
     }
   }
 

@@ -12,6 +12,7 @@ namespace {
 
 TEST(OttTest, FinalizeBuildsChains) {
   ObjectTrackingTable table;
+  EXPECT_TRUE(table.empty());
   // Deliberately out of order (paper Table 2 layout).
   table.Append({1, 10, 100, 110});
   table.Append({2, 11, 50, 60});
@@ -29,6 +30,7 @@ TEST(OttTest, FinalizeBuildsChains) {
   EXPECT_EQ(table.NextOf(chain1[1]), chain1[2]);
   EXPECT_EQ(table.NextOf(chain1[2]), kInvalidRecord);
 
+  EXPECT_FALSE(table.empty());
   EXPECT_EQ(table.ChainOf(2).size(), 1u);
   EXPECT_TRUE(table.ChainOf(99).empty());
   EXPECT_EQ(table.objects().size(), 2u);

@@ -71,7 +71,9 @@ TEST_F(UncertaintyFixture, StateResolution) {
     EXPECT_EQ(a.active(), b.active()) << "t=" << t;
     EXPECT_EQ(a.pre, b.pre) << "t=" << t;
     EXPECT_EQ(a.covering, b.covering) << "t=" << t;
-    if (!a.active()) EXPECT_EQ(a.suc, b.suc) << "t=" << t;
+    if (!a.active()) {
+      EXPECT_EQ(a.suc, b.suc) << "t=" << t;
+    }
   }
 }
 

@@ -413,7 +413,7 @@ int CmdStats(Flags& flags) {
               data->ott.has_overlaps() ? "yes" : "no");
   std::printf("time span:    [%.1f, %.1f]\n", data->ott.min_time(),
               data->ott.max_time());
-  if (data->ott.size() > 0) {
+  if (!data->ott.empty()) {
     std::printf("avg record:   %.2f s\n",
                 span_total / static_cast<double>(data->ott.size()));
   }
@@ -430,7 +430,7 @@ int CmdReport(Flags& flags) {
   if (!bundle.ok()) return Fail(bundle.status().ToString());
   if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
   const LoadedDataset& data = bundle->dataset();
-  if (data.ott.size() == 0) return Fail("dataset has no tracking records");
+  if (data.ott.empty()) return Fail("dataset has no tracking records");
   if (slots <= 0 || k <= 0) return Fail("--k and --slots must be positive");
 
   const double t0 = data.ott.min_time();

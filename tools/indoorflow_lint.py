@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for indoorflow: invariants clang-tidy can't express.
+
+Checks (each can be skipped with --skip <name>):
+
+  headers       Every public header under src/ is self-contained: it
+                compiles as its own translation unit with only the repo
+                root on the include path.
+  threading     Threading primitives (std::thread, std::mutex, atomics,
+                ...) appear only in the allowlist of files whose locking
+                discipline carries Clang thread-safety annotations. New
+                concurrency must be annotated before it ships.
+  annotations   Any header that declares a mutex member (std::mutex or the
+                annotated Mutex wrapper) also uses INDOORFLOW_GUARDED_BY,
+                i.e. the lock actually guards something the compiler can
+                check.
+  status        Fallible public APIs (Read*/Write*/Load*/Save*/Parse*/
+                Open* at namespace scope in src/ headers) return Status or
+                Result<T>, never void/bool — the repo's no-exceptions
+                error model (src/common/status.h).
+  banned        Banned calls in library code: rand()/srand() (use
+                src/common/random.h's deterministic Rng), printf/puts on
+                stdout (libraries must not write to stdout; tools and
+                examples may), sprintf/strcpy/gets (unbounded).
+
+Usage:
+  tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER] [--skip CHECK]...
+
+Exit status is the number of failed checks (0 = clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+# Files allowed to use threading primitives. Every entry either defines the
+# annotation macros or carries INDOORFLOW_GUARDED_BY-annotated state (and is
+# stressed by tests/concurrency_test.cc under TSan).
+THREADING_ALLOWLIST = {
+    "src/common/mutex.h",
+    "src/common/thread_annotations.h",
+    "src/core/engine.h",
+    "src/core/engine.cc",
+    "src/core/flow_matrix.h",
+    "src/core/flow_matrix.cc",
+    "src/core/streaming.h",
+    "src/core/streaming.cc",
+    "src/index/dynamic_rtree.h",
+    "src/index/dynamic_rtree.cc",
+}
+
+THREADING_TOKENS = re.compile(
+    r"std::(thread|jthread|mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"atomic|atomic_flag|condition_variable|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock|future|promise|async)\b"
+    r"|\b(?:indoorflow::)?(Mutex|MutexLock)\b"
+)
+
+# Namespace-scope fallible-API declarations in public headers. The name must
+# continue with an uppercase letter so predicates like ReadingsFeasible()
+# don't match.
+FALLIBLE_DECL = re.compile(
+    r"^(?P<ret>[A-Za-z_][\w:<>,&*\s]*?)\b"
+    r"(?:Read|Write|Load|Save|Parse|Open)[A-Z]\w*\s*\("
+)
+
+BANNED_CALLS = [
+    # (regex, message). Word boundaries keep Rng::NextDouble etc. clean.
+    (re.compile(r"(?<![\w:.])rand\s*\(\s*\)"),
+     "rand(): use the seeded deterministic Rng (src/common/random.h)"),
+    (re.compile(r"(?<![\w:.])srand\s*\("),
+     "srand(): use the seeded deterministic Rng (src/common/random.h)"),
+    (re.compile(r"(?<![\w:.])(?:std::)?printf\s*\("),
+     "printf(): library code must not write to stdout"),
+    (re.compile(r"(?<![\w:.])(?:std::)?puts\s*\("),
+     "puts(): library code must not write to stdout"),
+    (re.compile(r"(?<![\w:.])(?:std::)?sprintf\s*\("),
+     "sprintf(): unbounded; use snprintf or std::string formatting"),
+    (re.compile(r"(?<![\w:.])(?:std::)?strcpy\s*\("),
+     "strcpy(): unbounded; use std::string"),
+    (re.compile(r"(?<![\w:.])(?:std::)?gets\s*\("),
+     "gets(): never"),
+]
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line count."""
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            end = n if end < 0 else end
+            i = end
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end < 0 else end
+            out.append("\n" * text.count("\n", i, end + 2))
+            i = end + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            out.append(quote + quote)
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def repo_files(root: str, subdirs: tuple[str, ...],
+               exts: tuple[str, ...]) -> list[str]:
+    found = []
+    for subdir in subdirs:
+        base = os.path.join(root, subdir)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(exts):
+                    path = os.path.join(dirpath, name)
+                    found.append(os.path.relpath(path, root))
+    return sorted(found)
+
+
+def check_headers(root: str, cxx: str, errors: list[str]) -> None:
+    headers = repo_files(root, ("src",), (".h",))
+    with tempfile.TemporaryDirectory() as tmp:
+        for header in headers:
+            tu = os.path.join(tmp, "self_contained.cc")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{header}"\n')
+            cmd = [cxx, "-std=c++20", "-fsyntax-only", "-I", root, tu]
+            try:
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+            except FileNotFoundError:
+                errors.append(f"compiler not found: {cxx} (use --cxx)")
+                return
+            if proc.returncode != 0:
+                tail = proc.stderr.strip().splitlines()
+                detail = tail[0] if tail else "compiler error"
+                errors.append(f"{header}: not self-contained: {detail}")
+
+
+def check_threading(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        if path in THREADING_ALLOWLIST:
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            match = THREADING_TOKENS.search(line)
+            if match:
+                errors.append(
+                    f"{path}:{lineno}: {match.group(0)} outside the "
+                    "threading allowlist — annotate the file with "
+                    "thread_annotations.h invariants and add it to "
+                    "THREADING_ALLOWLIST in tools/indoorflow_lint.py")
+
+
+def check_annotations(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h",)):
+        if path in ("src/common/thread_annotations.h", "src/common/mutex.h"):
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        if re.search(r"\b(?:std::mutex|Mutex)\s+\w+_?;", text):
+            if "INDOORFLOW_GUARDED_BY" not in text:
+                errors.append(
+                    f"{path}: declares a mutex member but no "
+                    "INDOORFLOW_GUARDED_BY annotation — the lock guards "
+                    "nothing the compiler can check")
+
+
+def check_status(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h",)):
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        brace_depth = 0
+        for lineno, line in enumerate(text.splitlines(), 1):
+            stripped = line.strip()
+            # Only namespace-scope free functions: skip class bodies, where
+            # depth > 1 (namespace indoorflow { == depth 1).
+            if brace_depth <= 1 and stripped and not stripped.startswith("#"):
+                match = FALLIBLE_DECL.match(stripped)
+                if match:
+                    ret = match.group("ret").strip()
+                    if not (ret.startswith("Status") or
+                            ret.startswith("Result<") or
+                            ret.startswith("::indoorflow::Status") or
+                            "Result<" in ret):
+                        errors.append(
+                            f"{path}:{lineno}: fallible API returns "
+                            f"'{ret}' — fallible public functions return "
+                            "Status or Result<T> (src/common/status.h)")
+            brace_depth += line.count("{") - line.count("}")
+
+
+def check_banned(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            for pattern, message in BANNED_CALLS:
+                if pattern.search(line):
+                    errors.append(f"{path}:{lineno}: {message}")
+
+
+CHECKS = {
+    "headers": check_headers,
+    "threading": check_threading,
+    "annotations": check_annotations,
+    "status": check_status,
+    "banned": check_banned,
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
+    parser.add_argument("--skip", action="append", default=[],
+                        choices=sorted(CHECKS), help="skip one check")
+    args = parser.parse_args()
+
+    failed = 0
+    for name, check in CHECKS.items():
+        if name in args.skip:
+            print(f"[ SKIP ] {name}")
+            continue
+        errors: list[str] = []
+        if name == "headers":
+            check(args.root, args.cxx, errors)
+        else:
+            check(args.root, errors)
+        if errors:
+            failed += 1
+            print(f"[ FAIL ] {name}")
+            for error in errors:
+                print(f"         {error}")
+        else:
+            print(f"[  OK  ] {name}")
+    return failed
+
+
+if __name__ == "__main__":
+    sys.exit(main())
