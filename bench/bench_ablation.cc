@@ -107,14 +107,7 @@ void BM_Ablation_PruningCounters(benchmark::State& state) {
     ++queries;
   }
   state.SetLabel(join ? "join" : "iterative");
-  state.counters["objects"] =
-      static_cast<double>(stats.objects_retrieved / queries);
-  state.counters["regions"] =
-      static_cast<double>(stats.regions_derived / queries);
-  state.counters["presences"] =
-      static_cast<double>(stats.presence_evaluations / queries);
-  state.counters["pois_eval"] =
-      static_cast<double>(stats.pois_evaluated / queries);
+  bench::RecordQueryStats(state, stats, queries);
 }
 BENCHMARK(BM_Ablation_PruningCounters)
     ->Args({0, 1})
@@ -155,10 +148,7 @@ void BM_Ablation_ThresholdQuery(benchmark::State& state) {
   }
   state.SetLabel(std::string(join ? "join" : "iterative") +
                  (area_bounds ? "+area_bounds" : ""));
-  state.counters["pois_eval"] =
-      static_cast<double>(stats.pois_evaluated / queries);
-  state.counters["presences"] =
-      static_cast<double>(stats.presence_evaluations / queries);
+  bench::RecordQueryStats(state, stats, queries);
 }
 BENCHMARK(BM_Ablation_ThresholdQuery)
     ->Args({0, 99, 0})
@@ -191,10 +181,7 @@ void BM_Ablation_DensityQuery(benchmark::State& state) {
     ++queries;
   }
   state.SetLabel(join ? "join" : "iterative");
-  state.counters["pois_eval"] =
-      static_cast<double>(stats.pois_evaluated / queries);
-  state.counters["presences"] =
-      static_cast<double>(stats.presence_evaluations / queries);
+  bench::RecordQueryStats(state, stats, queries);
 }
 BENCHMARK(BM_Ablation_DensityQuery)
     ->Args({0, 1})
@@ -226,10 +213,7 @@ void BM_Ablation_AreaBounds(benchmark::State& state) {
     ++queries;
   }
   state.SetLabel(enabled ? "area_bounds" : "count_bounds");
-  state.counters["presences"] =
-      static_cast<double>(stats.presence_evaluations / queries);
-  state.counters["pois_eval"] =
-      static_cast<double>(stats.pois_evaluated / queries);
+  bench::RecordQueryStats(state, stats, queries);
 }
 BENCHMARK(BM_Ablation_AreaBounds)
     ->Args({0, 5})
@@ -246,7 +230,7 @@ void BM_Ablation_RTreeConstruction(benchmark::State& state) {
   const Dataset& data = Data();
   // Object MBRs as the join algorithms would build them.
   std::vector<Box> boxes;
-  Rng rng(5);
+  Rng rng(bench::kBoxSeed);
   const Box bounds = data.built.plan.Bounds();
   for (int i = 0; i < 2000; ++i) {
     const double x = rng.Uniform(bounds.min_x, bounds.max_x);
@@ -334,7 +318,7 @@ void BM_Ablation_FlowMatrixQuery(benchmark::State& state) {
     return new FlowMatrix(FlowMatrix::Build(
         engine, data.window_start, data.window_end, options));
   }();
-  Rng rng(3);
+  Rng rng(bench::kProbeSeed);
   for (auto _ : state) {
     const Timestamp t =
         rng.Uniform(data.window_start + 400.0, data.window_end - 400.0);

@@ -19,10 +19,22 @@
 #include <string>
 #include <vector>
 
+#include <benchmark/benchmark.h>
+
 #include "src/core/engine.h"
 
 namespace indoorflow {
 namespace bench {
+
+// ---- Deterministic seeds ---------------------------------------------------
+// Every fixture RNG is seeded from these constants so repeated runs (and the
+// CI regression gate's baseline comparison) measure identical workloads.
+
+inline constexpr uint64_t kOfficeSeed = 42;
+inline constexpr uint64_t kCphSeed = 7;
+inline constexpr uint64_t kPoiSubsetSeed = 99;
+inline constexpr uint64_t kBoxSeed = 5;
+inline constexpr uint64_t kProbeSeed = 3;
 
 // ---- Table 4 -------------------------------------------------------------
 
@@ -70,7 +82,7 @@ inline const Dataset& OfficeData(int paper_objects, double detection_range) {
     config.num_objects = ScaledObjects(paper_objects);
     config.detection_range = detection_range;
     config.duration = kObservationSeconds;
-    config.seed = 42;
+    config.seed = kOfficeSeed;
     it = cache->emplace(key, GenerateOfficeDataset(config)).first;
   }
   return it->second;
@@ -83,7 +95,7 @@ inline const Dataset& CphData() {
     // datasets but keep at least a few hundred for meaningful queries.
     config.num_passengers = std::max(200, ScaledObjects(10000) * 2);
     config.window = kObservationSeconds;
-    config.seed = 7;
+    config.seed = kCphSeed;
     return new Dataset(GenerateCphLikeDataset(config));
   }();
   return *data;
@@ -112,7 +124,7 @@ inline const QueryEngine& EngineFor(
 /// Deterministic random POI subset of the given percentage (paper: "the
 /// query POI set is determined as a random subset of the total 75 POIs").
 inline std::vector<PoiId> PoiSubset(const Dataset& dataset, int percent,
-                                    uint64_t seed = 99) {
+                                    uint64_t seed = kPoiSubsetSeed) {
   std::vector<PoiId> all;
   for (const Poi& poi : dataset.pois) all.push_back(poi.id);
   Rng rng(seed);
@@ -147,6 +159,24 @@ inline const char* AlgoName(int algo) {
 
 inline Algorithm AlgoOf(int algo) {
   return algo == 0 ? Algorithm::kIterative : Algorithm::kJoin;
+}
+
+/// Publishes per-query QueryStats averages as benchmark user counters, so
+/// --benchmark_format=json carries the ablation's work-avoided data
+/// machine-readably (tools/bench_compare.py also diffs these, catching
+/// pruning regressions that happen not to move the median time).
+inline void RecordQueryStats(benchmark::State& state, const QueryStats& stats,
+                             int64_t queries) {
+  if (queries <= 0) return;
+  const double n = static_cast<double>(queries);
+  state.counters["ObjectsRetrieved"] =
+      static_cast<double>(stats.objects_retrieved) / n;
+  state.counters["RegionsDerived"] =
+      static_cast<double>(stats.regions_derived) / n;
+  state.counters["PresenceEvals"] =
+      static_cast<double>(stats.presence_evaluations) / n;
+  state.counters["PoisEvaluated"] =
+      static_cast<double>(stats.pois_evaluated) / n;
 }
 
 }  // namespace bench

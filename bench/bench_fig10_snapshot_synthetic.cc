@@ -22,11 +22,15 @@ void BM_Fig10a_EffectOfK(benchmark::State& state) {
   const std::vector<PoiId> subset =
       bench::PoiSubset(data, bench::kPoiPercentDefault);
   const Timestamp t = bench::SnapshotTime(data);
+  QueryStats stats;
+  int64_t queries = 0;
   for (auto _ : state) {
-    auto result = engine.SnapshotTopK(t, k, AlgoOf(algo), &subset);
+    auto result = engine.SnapshotTopK(t, k, AlgoOf(algo), &subset, &stats);
     benchmark::DoNotOptimize(result);
+    ++queries;
   }
   state.SetLabel(bench::AlgoName(algo));
+  bench::RecordQueryStats(state, stats, queries);
 }
 
 void BM_Fig10b_EffectOfP(benchmark::State& state) {
@@ -38,12 +42,16 @@ void BM_Fig10b_EffectOfP(benchmark::State& state) {
   const QueryEngine& engine = bench::EngineFor(data);
   const std::vector<PoiId> subset = bench::PoiSubset(data, percent);
   const Timestamp t = bench::SnapshotTime(data);
+  QueryStats stats;
+  int64_t queries = 0;
   for (auto _ : state) {
-    auto result =
-        engine.SnapshotTopK(t, bench::kKDefault, AlgoOf(algo), &subset);
+    auto result = engine.SnapshotTopK(t, bench::kKDefault, AlgoOf(algo),
+                                      &subset, &stats);
     benchmark::DoNotOptimize(result);
+    ++queries;
   }
   state.SetLabel(bench::AlgoName(algo));
+  bench::RecordQueryStats(state, stats, queries);
 }
 
 void KArgs(benchmark::internal::Benchmark* b) {

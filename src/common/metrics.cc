@@ -1,0 +1,340 @@
+#include "src/common/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace indoorflow {
+
+namespace {
+
+// Formats a double as a JSON-safe token (non-finite values become 0, which
+// keeps every dump parseable).
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negatives, NaN
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // value = frac * 2^exp
+  // value lies in octave [2^(exp-1), 2^exp); frac in [0.5, 1).
+  const int octave = exp - 1 - kMinExponent;
+  if (octave < 0) return 0;
+  if (octave >= kNumOctaves) return kNumBuckets - 1;
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  if (sub < 0) sub = 0;
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;
+  return octave * kSubBuckets + sub;
+}
+
+double Histogram::BucketLowerBound(int index) {
+  const int octave = index / kSubBuckets;
+  const int sub = index % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                    kMinExponent + octave);
+}
+
+void Histogram::Record(double value) {
+  // The log-scale buckets only represent positive finite values; a NaN or
+  // infinity would also poison sum() forever, so drop bad samples.
+  if (!std::isfinite(value) || value <= 0.0) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (value < cur && !min_.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur && !max_.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Percentile(double q) const {
+  const int64_t total = count();
+  if (total == 0) return 0.0;
+  // The extremes are tracked exactly; bucket estimates for interior ranks.
+  if (q <= 0.0) return min();
+  if (q >= 100.0) return max();
+  // The sample with (0-based) rank floor(q/100 * (total-1)), interpolated
+  // linearly across its bucket.
+  const double rank = q / 100.0 * static_cast<double>(total - 1);
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketLowerBound(i + 1);
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      double value = lo + within * (hi - lo);
+      // The exact envelope tightens the bucket estimate at the tails.
+      if (value < min()) value = min();
+      if (value > max()) value = max();
+      return value;
+    }
+    seen += in_bucket;
+  }
+  return max();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     Kind kind) {
+  INDOORFLOW_CHECK(!name.empty());
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(name, std::move(entry)).first;
+  }
+  if (it->second.kind != kind) {
+    std::fprintf(stderr,
+                 "MetricsRegistry: metric '%s' already registered as a "
+                 "different kind\n",
+                 name.c_str());
+    std::abort();
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mu_);
+  return *GetOrCreate(name, Kind::kHistogram).histogram;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  MutexLock lock(mu_);
+  std::string out = "{";
+  for (const Kind kind :
+       {Kind::kCounter, Kind::kGauge, Kind::kHistogram}) {
+    const char* section = kind == Kind::kCounter  ? "counters"
+                          : kind == Kind::kGauge  ? "gauges"
+                                                  : "histograms";
+    if (kind != Kind::kCounter) out += ",";
+    out += "\"";
+    out += section;
+    out += "\":{";
+    bool first = true;
+    for (const auto& [name, entry] : metrics_) {
+      if (entry.kind != kind) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + name + "\":";
+      switch (kind) {
+        case Kind::kCounter:
+          out += std::to_string(entry.counter->value());
+          break;
+        case Kind::kGauge:
+          out += JsonNumber(entry.gauge->value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          const int64_t n = h.count();
+          const double mean =
+              n > 0 ? h.sum() / static_cast<double>(n) : 0.0;
+          out += "{\"count\":" + std::to_string(n);
+          out += ",\"sum\":" + JsonNumber(h.sum());
+          out += ",\"mean\":" + JsonNumber(mean);
+          out += ",\"min\":" + JsonNumber(h.min());
+          out += ",\"max\":" + JsonNumber(h.max());
+          out += ",\"p50\":" + JsonNumber(h.Percentile(50));
+          out += ",\"p90\":" + JsonNumber(h.Percentile(90));
+          out += ",\"p95\":" + JsonNumber(h.Percentile(95));
+          out += ",\"p99\":" + JsonNumber(h.Percentile(99));
+          out += "}";
+          break;
+        }
+      }
+    }
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "indoorflow_";
+  for (const char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::DumpText() const {
+  MutexLock lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    const std::string prom = PrometheusName(name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + prom + " counter\n";
+        out += prom + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + prom + " gauge\n";
+        out += prom + " " + JsonNumber(entry.gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry.histogram;
+        out += "# TYPE " + prom + " summary\n";
+        for (const double q : {50.0, 90.0, 95.0, 99.0}) {
+          char label[16];
+          std::snprintf(label, sizeof(label), "%g", q / 100.0);
+          out += prom + "{quantile=\"" + label + "\"} " +
+                 JsonNumber(h.Percentile(q)) + "\n";
+        }
+        out += prom + "_sum " + JsonNumber(h.sum()) + "\n";
+        out += prom + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink.
+
+namespace {
+
+// One process-wide sink. `enabled` is the lock-free fast-path gate; the
+// stream and event separator state live behind the annotated mutex.
+struct TraceSink {
+  std::atomic<bool> enabled{false};
+  Mutex mu;
+  std::FILE* file INDOORFLOW_GUARDED_BY(mu) = nullptr;
+  bool first_event INDOORFLOW_GUARDED_BY(mu) = true;
+};
+
+TraceSink& Sink() {
+  static TraceSink* sink = new TraceSink();
+  return *sink;
+}
+
+}  // namespace
+
+Status StartTracing(const std::string& path) {
+  TraceSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  if (sink.file != nullptr) {
+    return Status::FailedPrecondition("trace sink already active");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::fputs("[\n", file);
+  sink.file = file;
+  sink.first_event = true;
+  sink.enabled.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void StopTracing() {
+  TraceSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  if (sink.file == nullptr) return;
+  sink.enabled.store(false, std::memory_order_release);
+  std::fputs("\n]\n", sink.file);
+  std::fclose(sink.file);
+  sink.file = nullptr;
+}
+
+bool TracingEnabled() {
+  return Sink().enabled.load(std::memory_order_relaxed);
+}
+
+bool InitTracingFromEnv() {
+  if (TracingEnabled()) return true;
+  const char* path = std::getenv("INDOORFLOW_TRACE");
+  if (path == nullptr || path[0] == '\0') return false;
+  return StartTracing(path).ok();
+}
+
+void EmitTraceEvent(const char* name, int64_t start_us, int64_t dur_us) {
+  TraceSink& sink = Sink();
+  if (!sink.enabled.load(std::memory_order_relaxed)) return;
+  const size_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % 100000;
+  MutexLock lock(sink.mu);
+  if (sink.file == nullptr) return;  // raced with StopTracing
+  if (!sink.first_event) std::fputs(",\n", sink.file);
+  sink.first_event = false;
+  std::fprintf(sink.file,
+               "{\"name\":\"%s\",\"cat\":\"indoorflow\",\"ph\":\"X\","
+               "\"ts\":%lld,\"dur\":%lld,\"pid\":1,\"tid\":%zu}",
+               name, static_cast<long long>(start_us),
+               static_cast<long long>(dur_us), tid);
+}
+
+ScopedTimer::~ScopedTimer() {
+  const int64_t elapsed_ns = ElapsedNs();
+  if (histogram_ != nullptr) {
+    histogram_->Record(static_cast<double>(elapsed_ns) / 1000.0);
+  }
+  if (trace_name_ != nullptr && TracingEnabled()) {
+    EmitTraceEvent(trace_name_, start_ns_ / 1000, elapsed_ns / 1000);
+  }
+}
+
+}  // namespace indoorflow

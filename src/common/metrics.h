@@ -1,0 +1,238 @@
+// Process-wide metrics registry: the observability layer's core.
+//
+// Three metric kinds, all safe for concurrent use without external locking:
+//
+//   Counter    monotonically increasing int64 (relaxed atomic adds) — the
+//              lock-free home for operation counts. New std::atomic state
+//              outside this file is flagged by tools/indoorflow_lint.py.
+//   Gauge      a double that goes up and down (track-table sizes, rates).
+//   Histogram  log-scale value distribution with fixed bucket boundaries
+//              (16 sub-buckets per power of two, so percentile extraction
+//              carries at most ~6.25% relative bucketing error).
+//
+// MetricsRegistry::Default() is the process-wide instance; registration is
+// get-or-create by name and guarded by the annotated Mutex wrapper.
+// Re-registering a name as a *different* kind is a programming error and
+// aborts (tests/metrics_test.cc pins this down with a death test).
+// Returned references stay valid for the registry's lifetime, so hot paths
+// resolve names once and then touch only lock-free state.
+//
+// ScopedTimer records an elapsed-microseconds span into a Histogram and,
+// when the JSONL trace sink is enabled (StartTracing / INDOORFLOW_TRACE),
+// also emits a Chrome chrome://tracing complete event, so per-query phase
+// spans can be replayed visually. See docs/OBSERVABILITY.md.
+
+#ifndef INDOORFLOW_COMMON_METRICS_H_
+#define INDOORFLOW_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+#include "src/common/thread_annotations.h"
+
+namespace indoorflow {
+
+/// Monotonic wall clock for latency spans, in nanoseconds. The epoch is
+/// arbitrary (steady_clock); only differences are meaningful.
+inline int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A monotonically increasing operation count. Adds are relaxed atomic
+/// fetch-adds: concurrent increments never lose updates, and reads see a
+/// value that is exact once writers quiesce.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can go up and down (sizes, rates). Set/value are relaxed
+/// atomic; Add is a CAS loop (atomic<double> has no portable fetch_add).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-scale histogram with fixed bucket boundaries, for latencies and
+/// throughputs whose interesting range spans orders of magnitude. Each
+/// power-of-two octave is split into kSubBuckets linear sub-buckets
+/// (the HdrHistogram idea), so Percentile() is exact to within one
+/// sub-bucket: relative error <= 1/kSubBuckets, plus exact min/max.
+/// Record/readers are all relaxed atomics — no locks on the hot path.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 16;
+  /// Lowest octave covers [2^kMinExponent, 2^(kMinExponent+1)).
+  static constexpr int kMinExponent = -10;
+  static constexpr int kNumOctaves = 54;  // up to ~1.76e13
+  static constexpr int kNumBuckets = kSubBuckets * kNumOctaves;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample. Non-finite and non-positive values are dropped
+  /// (the log-scale grid cannot represent them, and a NaN would poison
+  /// sum()). Positive values below the first bucket clamp into bucket 0;
+  /// values above the last bucket clamp into the final one. Min/max/sum
+  /// track the raw value.
+  void Record(double value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// The q-th percentile (q in [0, 100]) by linear interpolation inside
+  /// the target bucket, clamped to the exact [min, max] envelope; q = 0 and
+  /// q = 100 return min() and max() exactly. Returns 0 when empty.
+  /// Concurrent Record()s may skew an in-flight read by the samples that
+  /// land mid-scan; quiesced reads are within bucket error.
+  double Percentile(double q) const;
+
+  /// Inclusive lower bound of bucket `index` (the fixed boundary grid).
+  static double BucketLowerBound(int index);
+  /// The bucket a value lands in (clamped to [0, kNumBuckets - 1]).
+  static int BucketIndex(double value);
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-infinity sentinels make the min/max CAS loops race-free without a
+  // first-sample special case; the accessors map "empty" to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Named metric registry. Get-or-create by name; the process-wide instance
+/// is Default(), but tests may hold private registries. Lookup locks the
+/// annotated Mutex; the returned references are stable for the registry's
+/// lifetime, so resolve once and cache the pointer on hot paths.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry (never destroyed).
+  static MetricsRegistry& Default();
+
+  /// Get-or-create. Aborts if `name` is already registered as a different
+  /// metric kind (duplicate registration is a programming error).
+  Counter& counter(const std::string& name)
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  Gauge& gauge(const std::string& name) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  Histogram& histogram(const std::string& name)
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  /// One JSON object over every registered metric:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count", "sum", "mean", "min", "max",
+  ///                          "p50", "p90", "p95", "p99"}, ...}}
+  /// Names sort lexicographically; always valid JSON (non-finite values
+  /// are emitted as 0).
+  std::string DumpJson() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  /// Prometheus exposition-format text ("/metrics" style): counters and
+  /// gauges as single samples, histograms as summaries with quantile
+  /// labels. Metric names are sanitized ('.' and '-' become '_') and
+  /// prefixed "indoorflow_".
+  std::string DumpText() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetOrCreate(const std::string& name, Kind kind)
+      INDOORFLOW_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Entry> metrics_ INDOORFLOW_GUARDED_BY(mu_);
+};
+
+// ---------------------------------------------------------------------------
+// Trace sink: Chrome trace-event JSONL, behind a runtime flag.
+
+/// Opens `path` and starts appending trace events to it (Chrome
+/// chrome://tracing / Perfetto "trace event" JSON array format, one event
+/// per line). Fails if a sink is already active or the file can't be
+/// opened.
+Status StartTracing(const std::string& path);
+
+/// Finalizes the JSON array and closes the sink. No-op when inactive.
+void StopTracing();
+
+/// Whether a trace sink is currently active (one relaxed atomic load —
+/// cheap enough to gate per-query work).
+bool TracingEnabled();
+
+/// Starts tracing to $INDOORFLOW_TRACE when that variable is set and no
+/// sink is active; returns true if tracing is active afterwards. The CLI
+/// and examples call this at startup, making the sink a runtime flag.
+bool InitTracingFromEnv();
+
+/// Appends one complete ("ph":"X") event. `start_us`/`dur_us` are in
+/// MonotonicNowNs()/1000 units. No-op when tracing is inactive.
+void EmitTraceEvent(const char* name, int64_t start_us, int64_t dur_us);
+
+/// RAII span: on destruction records the elapsed microseconds into
+/// `latency_us` (when non-null) and, when tracing is enabled and
+/// `trace_name` was given, emits a trace event covering the scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* latency_us,
+                       const char* trace_name = nullptr)
+      : histogram_(latency_us),
+        trace_name_(trace_name),
+        start_ns_(MonotonicNowNs()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+  int64_t ElapsedNs() const { return MonotonicNowNs() - start_ns_; }
+
+ private:
+  Histogram* histogram_;
+  const char* trace_name_;
+  int64_t start_ns_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_METRICS_H_

@@ -1,10 +1,116 @@
 #include "src/core/engine.h"
 
-#include <atomic>
 #include <thread>
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace indoorflow {
+
+namespace {
+
+// Registry handles for one query family ("snapshot" / "interval"), resolved
+// once and cached: the hot path then touches only lock-free metric state.
+struct EngineMetrics {
+  explicit EngineMetrics(const std::string& prefix)
+      : queries(MetricsRegistry::Default().counter(prefix + "count")),
+        objects_retrieved(MetricsRegistry::Default().counter(
+            prefix + "objects_retrieved")),
+        regions_derived(
+            MetricsRegistry::Default().counter(prefix + "regions_derived")),
+        presence_evaluations(MetricsRegistry::Default().counter(
+            prefix + "presence_evaluations")),
+        pois_evaluated(
+            MetricsRegistry::Default().counter(prefix + "pois_evaluated")),
+        latency_us(
+            MetricsRegistry::Default().histogram(prefix + "latency_us")),
+        retrieve_us(
+            MetricsRegistry::Default().histogram(prefix + "retrieve_us")),
+        derive_us(
+            MetricsRegistry::Default().histogram(prefix + "derive_us")),
+        presence_us(
+            MetricsRegistry::Default().histogram(prefix + "presence_us")),
+        topk_us(MetricsRegistry::Default().histogram(prefix + "topk_us")) {}
+
+  Counter& queries;
+  Counter& objects_retrieved;
+  Counter& regions_derived;
+  Counter& presence_evaluations;
+  Counter& pois_evaluated;
+  Histogram& latency_us;
+  Histogram& retrieve_us;
+  Histogram& derive_us;
+  Histogram& presence_us;
+  Histogram& topk_us;
+};
+
+const EngineMetrics& SnapshotMetrics() {
+  static const EngineMetrics* metrics =
+      new EngineMetrics("query.snapshot.");
+  return *metrics;
+}
+
+const EngineMetrics& IntervalMetrics() {
+  static const EngineMetrics* metrics =
+      new EngineMetrics("query.interval.");
+  return *metrics;
+}
+
+// Folds one query's QueryStats delta and per-phase latency into the
+// process-wide registry. When the caller passed no QueryStats, a local one
+// is substituted (via the by-reference `stats` parameter) so the phase
+// instrumentation always has somewhere to write; when the caller did pass
+// one, only the delta accrued during this scope is recorded, keeping
+// caller-side accumulation across queries intact.
+class QueryMetricsScope {
+ public:
+  QueryMetricsScope(const EngineMetrics& metrics, const char* trace_name,
+                    QueryStats*& stats)
+      : metrics_(metrics),
+        trace_name_(trace_name),
+        start_ns_(MonotonicNowNs()) {
+    if (stats == nullptr) stats = &local_;
+    stats_ = stats;
+    before_ = *stats;
+  }
+  QueryMetricsScope(const QueryMetricsScope&) = delete;
+  QueryMetricsScope& operator=(const QueryMetricsScope&) = delete;
+
+  ~QueryMetricsScope() {
+    const int64_t total_ns = MonotonicNowNs() - start_ns_;
+    const QueryStats& s = *stats_;
+    metrics_.queries.Add(1);
+    metrics_.objects_retrieved.Add(s.objects_retrieved -
+                                   before_.objects_retrieved);
+    metrics_.regions_derived.Add(s.regions_derived -
+                                 before_.regions_derived);
+    metrics_.presence_evaluations.Add(s.presence_evaluations -
+                                      before_.presence_evaluations);
+    metrics_.pois_evaluated.Add(s.pois_evaluated - before_.pois_evaluated);
+    metrics_.latency_us.Record(static_cast<double>(total_ns) / 1000.0);
+    metrics_.retrieve_us.Record(
+        static_cast<double>(s.retrieve_ns - before_.retrieve_ns) / 1000.0);
+    metrics_.derive_us.Record(
+        static_cast<double>(s.derive_ns - before_.derive_ns) / 1000.0);
+    metrics_.presence_us.Record(
+        static_cast<double>(s.presence_ns - before_.presence_ns) / 1000.0);
+    metrics_.topk_us.Record(
+        static_cast<double>(s.topk_ns - before_.topk_ns) / 1000.0);
+    if (TracingEnabled()) {
+      EmitTraceEvent(trace_name_, start_ns_ / 1000, total_ns / 1000);
+    }
+  }
+
+ private:
+  const EngineMetrics& metrics_;
+  const char* trace_name_;
+  QueryStats local_;
+  QueryStats* stats_ = nullptr;
+  QueryStats before_;
+  int64_t start_ns_;
+};
+
+}  // namespace
 
 QueryEngine::QueryEngine(const FloorPlan& plan, const DoorGraph& graph,
                          const Deployment& deployment,
@@ -96,6 +202,7 @@ QueryEngine::PoiSelection QueryEngine::SelectPois(
 std::vector<PoiFlow> QueryEngine::SnapshotTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -120,20 +227,23 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
                   : std::max(1u, std::thread::hardware_concurrency());
   worker_count = std::min<unsigned>(worker_count,
                                     static_cast<unsigned>(times.size()));
-  std::atomic<size_t> next{0};
-  const auto work = [&] {
-    for (size_t i = next.fetch_add(1); i < times.size();
-         i = next.fetch_add(1)) {
+  // Strided partitioning: worker w takes timestamps w, w+W, w+2W, ... Each
+  // slot is written by exactly one worker, so no shared work counter is
+  // needed (metrics.h is the sanctioned home for lock-free counters).
+  const auto work = [&](size_t w) {
+    for (size_t i = w; i < times.size(); i += worker_count) {
       results[i] = SnapshotTopK(times[i], k, algorithm, subset);
     }
   };
   if (worker_count <= 1) {
-    work();
+    work(0);
     return results;
   }
   std::vector<std::thread> workers;
   workers.reserve(worker_count);
-  for (unsigned w = 0; w < worker_count; ++w) workers.emplace_back(work);
+  for (unsigned w = 0; w < worker_count; ++w) {
+    workers.emplace_back(work, static_cast<size_t>(w));
+  }
   for (std::thread& t : workers) t.join();
   return results;
 }
@@ -141,6 +251,7 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
 std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotDensityTopK", stats);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -158,6 +269,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
 std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalDensityTopK", stats);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -197,6 +309,7 @@ std::vector<ObjectId> QueryEngine::ActiveObjects(Timestamp t) const {
 std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
     Timestamp t, double tau, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotThreshold", stats);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -214,6 +327,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
 std::vector<PoiFlow> QueryEngine::IntervalThreshold(
     Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalThreshold", stats);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -231,6 +345,7 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
 std::vector<PoiFlow> QueryEngine::IntervalTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "src/common/metrics.h"
 #include "src/core/flow.h"
 
 namespace indoorflow {
@@ -32,8 +33,18 @@ FlowMatrix FlowMatrix::Build(const QueryEngine& engine, Timestamp t0,
   // of the TSan CI stress subjects (tests/concurrency_test.cc).
   matrix.num_pois_ = engine.pois().size();
   matrix.flows_.assign(num_buckets * matrix.num_pois_, 0.0);
+  Histogram& rows_per_sec =
+      MetricsRegistry::Default().histogram("flow_matrix.worker_rows_per_sec");
+  Counter& buckets_built =
+      MetricsRegistry::Default().counter("flow_matrix.buckets_built");
+  ScopedTimer build_timer(
+      &MetricsRegistry::Default().histogram("flow_matrix.build_latency_us"),
+      "FlowMatrix::Build");
   std::atomic<size_t> next{0};
-  const auto work = [&matrix, &engine, &options, &next, num_buckets] {
+  const auto work = [&matrix, &engine, &options, &next, num_buckets,
+                     &rows_per_sec, &buckets_built] {
+    const int64_t worker_start = MonotonicNowNs();
+    size_t rows = 0;
     for (size_t bucket = next.fetch_add(1); bucket < num_buckets;
          bucket = next.fetch_add(1)) {
       // k = "all": the engine pads with zero flows, so every POI appears.
@@ -45,6 +56,13 @@ FlowMatrix FlowMatrix::Build(const QueryEngine& engine, Timestamp t0,
         matrix.flows_[bucket * matrix.num_pois_ +
                       static_cast<size_t>(f.poi)] = f.flow;
       }
+      ++rows;
+    }
+    buckets_built.Add(static_cast<int64_t>(rows));
+    const double elapsed_s =
+        static_cast<double>(MonotonicNowNs() - worker_start) / 1e9;
+    if (rows > 0 && elapsed_s > 0.0) {
+      rows_per_sec.Record(static_cast<double>(rows) / elapsed_s);
     }
   };
   unsigned worker_count =

@@ -3,6 +3,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/core/priority_join.h"
 #include "src/core/tracking_state.h"
 
@@ -14,6 +15,7 @@ namespace {
 // with its Table-3 record chain (Algorithm 4 lines 3-8).
 std::vector<IntervalChain> CollectChains(const QueryContext& ctx,
                                          Timestamp ts, Timestamp te) {
+  const int64_t start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
   std::vector<ARTreeEntry> entries;
   ctx.artree->RangeQuery(ts, te, &entries);
   std::unordered_map<ObjectId, bool> seen;
@@ -23,6 +25,9 @@ std::vector<IntervalChain> CollectChains(const QueryContext& ctx,
     if (!seen.emplace(object, true).second) continue;
     IntervalChain chain = RelevantChain(*ctx.table, object, ts, te);
     if (!chain.records.empty()) chains.push_back(std::move(chain));
+  }
+  if (ctx.stats != nullptr) {
+    ctx.stats->retrieve_ns += MonotonicNowNs() - start;
   }
   return chains;
 }
@@ -42,17 +47,26 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
     ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
     ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
   }
+  // Same phase bracketing as AllSnapshotFlows: derive and presence spans
+  // per chain, two clock reads each.
+  const bool timed = ctx.stats != nullptr;
   for (const IntervalChain& chain : chains) {
+    const int64_t derive_start = timed ? MonotonicNowNs() : 0;
     const Region ur = ctx.model->Interval(chain, ts, te);  // line 9
-    if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+    if (timed) {
+      ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
+      ++ctx.stats->regions_derived;
+    }
     if (ur.IsEmpty()) continue;
     poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 10
+    const int64_t presence_start = timed ? MonotonicNowNs() : 0;
     for (int32_t poi_id : candidates) {
       flows[poi_id] += Presence(
           ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
           (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
-      if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+      if (timed) ++ctx.stats->presence_evaluations;
     }
+    if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
   }
 
   std::vector<PoiFlow> all;
@@ -72,6 +86,12 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   if (ctx.stats != nullptr) {
     ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
   }
+  // As in WithSnapshotJoinSpec: topk_ns gets the join span minus the
+  // derive/presence time booked inside it.
+  const int64_t join_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  const int64_t derive_before = ctx.stats != nullptr ? ctx.stats->derive_ns : 0;
+  const int64_t presence_before =
+      ctx.stats != nullptr ? ctx.stats->presence_ns : 0;
   std::vector<AggregateRTree::ObjectEntry> objects;
   std::vector<const IntervalChain*> slot_chains;
   objects.reserve(chains.size());
@@ -93,12 +113,17 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   const auto ur_of = [&](int32_t slot) -> const Region& {
     auto it = ur_cache.find(slot);
     if (it == ur_cache.end()) {
+      const int64_t derive_start =
+          ctx.stats != nullptr ? MonotonicNowNs() : 0;
       it = ur_cache
                .emplace(slot,
                         ctx.model->Interval(
                             *slot_chains[static_cast<size_t>(slot)], ts, te))
                .first;
-      if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+      if (ctx.stats != nullptr) {
+        ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
+        ++ctx.stats->regions_derived;
+      }
     }
     return it->second;
   };
@@ -112,7 +137,14 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   spec.ur_of = ur_of;
   spec.stats = ctx.stats;
   spec.area_bounds = ctx.join_area_bounds;
-  return run(spec);
+  std::vector<PoiFlow> result = run(spec);
+  if (ctx.stats != nullptr) {
+    const int64_t span = MonotonicNowNs() - join_start;
+    const int64_t inner = (ctx.stats->derive_ns - derive_before) +
+                          (ctx.stats->presence_ns - presence_before);
+    ctx.stats->topk_ns += span > inner ? span - inner : 0;
+  }
+  return result;
 }
 
 }  // namespace
@@ -121,15 +153,28 @@ std::vector<PoiFlow> IterativeInterval(const QueryContext& ctx,
                                        const RTree& poi_tree,
                                        const std::vector<PoiId>& subset_ids,
                                        Timestamp ts, Timestamp te, int k) {
-  return TopK(AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te), k);
+  std::vector<PoiFlow> flows =
+      AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te);
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  std::vector<PoiFlow> result = TopK(std::move(flows), k);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
 }
 
 std::vector<PoiFlow> IterativeIntervalThreshold(
     const QueryContext& ctx, const RTree& poi_tree,
     const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te,
     double tau) {
-  return FlowsAtLeast(AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te),
-                      tau);
+  std::vector<PoiFlow> flows =
+      AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te);
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  std::vector<PoiFlow> result = FlowsAtLeast(std::move(flows), tau);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
 }
 
 std::vector<PoiFlow> JoinInterval(const QueryContext& ctx,
@@ -158,11 +203,16 @@ std::vector<PoiFlow> IterativeIntervalDensity(
     int k) {
   std::vector<PoiFlow> flows =
       AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te);
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
   for (PoiFlow& f : flows) {
     const double area = (*ctx.poi_areas)[static_cast<size_t>(f.poi)];
     f.flow = area > 0.0 ? f.flow / area : 0.0;
   }
-  return TopK(std::move(flows), k);
+  std::vector<PoiFlow> result = TopK(std::move(flows), k);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
 }
 
 std::vector<PoiFlow> JoinIntervalDensity(

@@ -23,6 +23,15 @@ struct QueryStats {
   /// POIs whose exact flow was computed (join only; iterative computes all).
   int64_t pois_evaluated = 0;
 
+  /// Per-phase wall time (nanoseconds, MonotonicNowNs deltas), filled in by
+  /// the query algorithms. The phases mirror the paper's cost decomposition:
+  /// retrieve (index lookup), derive (uncertainty-region construction),
+  /// presence (area integrations), topk (aggregation / candidate ranking).
+  int64_t retrieve_ns = 0;
+  int64_t derive_ns = 0;
+  int64_t presence_ns = 0;
+  int64_t topk_ns = 0;
+
   void Reset() { *this = QueryStats{}; }
 
   QueryStats& operator+=(const QueryStats& o) {
@@ -30,6 +39,10 @@ struct QueryStats {
     regions_derived += o.regions_derived;
     presence_evaluations += o.presence_evaluations;
     pois_evaluated += o.pois_evaluated;
+    retrieve_ns += o.retrieve_ns;
+    derive_ns += o.derive_ns;
+    presence_ns += o.presence_ns;
+    topk_ns += o.topk_ns;
     return *this;
   }
 };

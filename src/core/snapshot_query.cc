@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/metrics.h"
 #include "src/core/priority_join.h"
 #include "src/core/tracking_state.h"
 
@@ -17,6 +18,7 @@ namespace {
 // several, so states are resolved per distinct object from the OTT.
 std::vector<SnapshotState> CollectStates(const QueryContext& ctx,
                                          Timestamp t) {
+  const int64_t start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
   std::vector<ARTreeEntry> entries;
   ctx.artree->PointQuery(t, &entries);
   std::vector<SnapshotState> states;
@@ -35,6 +37,7 @@ std::vector<SnapshotState> CollectStates(const QueryContext& ctx,
   }
   if (ctx.stats != nullptr) {
     ctx.stats->objects_retrieved += static_cast<int64_t>(states.size());
+    ctx.stats->retrieve_ns += MonotonicNowNs() - start;
   }
   return states;
 }
@@ -52,18 +55,27 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
     ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
   }
 
+  // Phase marks bracket the UR derivation and the presence integrations
+  // per object; two clock reads each keep the overhead per object flat.
+  const bool timed = ctx.stats != nullptr;
   std::vector<int32_t> candidates;
   for (const SnapshotState& state : CollectStates(ctx, t)) {  // lines 4-14
+    const int64_t derive_start = timed ? MonotonicNowNs() : 0;
     const Region ur = ctx.model->Snapshot(state, t);
-    if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+    if (timed) {
+      ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
+      ++ctx.stats->regions_derived;
+    }
     if (ur.IsEmpty()) continue;
     poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 12
+    const int64_t presence_start = timed ? MonotonicNowNs() : 0;
     for (int32_t poi_id : candidates) {
       flows[poi_id] += Presence(
           ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
           (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
-      if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+      if (timed) ++ctx.stats->presence_evaluations;
     }
+    if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
   }
 
   std::vector<PoiFlow> all;
@@ -80,6 +92,13 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
                                           const RTree& poi_tree, Timestamp t,
                                           const Run& run) {
   const std::vector<SnapshotState> states = CollectStates(ctx, t);
+  // Everything below CollectStates is join work; the derive/presence time
+  // booked by ur_of and Presence during `run` is subtracted at the end so
+  // topk_ns covers only the R_I build plus the priority traversal itself.
+  const int64_t join_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  const int64_t derive_before = ctx.stats != nullptr ? ctx.stats->derive_ns : 0;
+  const int64_t presence_before =
+      ctx.stats != nullptr ? ctx.stats->presence_ns : 0;
   std::vector<AggregateRTree::ObjectEntry> objects;
   std::vector<const SnapshotState*> slot_states;  // aligned with R_I slots
   objects.reserve(states.size());
@@ -101,12 +120,17 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   const auto ur_of = [&](int32_t slot) -> const Region& {
     auto it = ur_cache.find(slot);
     if (it == ur_cache.end()) {
+      const int64_t derive_start =
+          ctx.stats != nullptr ? MonotonicNowNs() : 0;
       it = ur_cache
                .emplace(slot,
                         ctx.model->Snapshot(
                             *slot_states[static_cast<size_t>(slot)], t))
                .first;
-      if (ctx.stats != nullptr) ++ctx.stats->regions_derived;
+      if (ctx.stats != nullptr) {
+        ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
+        ++ctx.stats->regions_derived;
+      }
     }
     return it->second;
   };
@@ -120,7 +144,14 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   spec.ur_of = ur_of;
   spec.stats = ctx.stats;
   spec.area_bounds = ctx.join_area_bounds;
-  return run(spec);
+  std::vector<PoiFlow> result = run(spec);
+  if (ctx.stats != nullptr) {
+    const int64_t span = MonotonicNowNs() - join_start;
+    const int64_t inner = (ctx.stats->derive_ns - derive_before) +
+                          (ctx.stats->presence_ns - presence_before);
+    ctx.stats->topk_ns += span > inner ? span - inner : 0;
+  }
+  return result;
 }
 
 }  // namespace
@@ -129,13 +160,25 @@ std::vector<PoiFlow> IterativeSnapshot(const QueryContext& ctx,
                                        const RTree& poi_tree,
                                        const std::vector<PoiId>& subset_ids,
                                        Timestamp t, int k) {
-  return TopK(AllSnapshotFlows(ctx, poi_tree, subset_ids, t), k);
+  std::vector<PoiFlow> flows = AllSnapshotFlows(ctx, poi_tree, subset_ids, t);
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  std::vector<PoiFlow> result = TopK(std::move(flows), k);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
 }
 
 std::vector<PoiFlow> IterativeSnapshotThreshold(
     const QueryContext& ctx, const RTree& poi_tree,
     const std::vector<PoiId>& subset_ids, Timestamp t, double tau) {
-  return FlowsAtLeast(AllSnapshotFlows(ctx, poi_tree, subset_ids, t), tau);
+  std::vector<PoiFlow> flows = AllSnapshotFlows(ctx, poi_tree, subset_ids, t);
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  std::vector<PoiFlow> result = FlowsAtLeast(std::move(flows), tau);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
 }
 
 std::vector<PoiFlow> JoinSnapshot(const QueryContext& ctx,
@@ -161,11 +204,16 @@ std::vector<PoiFlow> IterativeSnapshotDensity(
     const QueryContext& ctx, const RTree& poi_tree,
     const std::vector<PoiId>& subset_ids, Timestamp t, int k) {
   std::vector<PoiFlow> flows = AllSnapshotFlows(ctx, poi_tree, subset_ids, t);
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
   for (PoiFlow& f : flows) {
     const double area = (*ctx.poi_areas)[static_cast<size_t>(f.poi)];
     f.flow = area > 0.0 ? f.flow / area : 0.0;
   }
-  return TopK(std::move(flows), k);
+  std::vector<PoiFlow> result = TopK(std::move(flows), k);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
 }
 
 std::vector<PoiFlow> JoinSnapshotDensity(const QueryContext& ctx,

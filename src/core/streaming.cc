@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/metrics.h"
+
 namespace indoorflow {
+
+namespace {
+
+// Registry handles for the ingest path, resolved once.
+struct StreamingMetrics {
+  Counter& readings_ingested =
+      MetricsRegistry::Default().counter("streaming.readings_ingested");
+  Counter& readings_rejected =
+      MetricsRegistry::Default().counter("streaming.readings_rejected");
+  Gauge& track_table_size =
+      MetricsRegistry::Default().gauge("streaming.track_table_size");
+  Histogram& ingest_latency_us =
+      MetricsRegistry::Default().histogram("streaming.ingest_latency_us");
+};
+
+StreamingMetrics& GetStreamingMetrics() {
+  static StreamingMetrics* metrics = new StreamingMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 StreamingMonitor::StreamingMonitor(const Deployment& deployment,
                                    const PoiSet& pois,
@@ -25,8 +48,11 @@ StreamingMonitor::StreamingMonitor(const Deployment& deployment,
 }
 
 Status StreamingMonitor::Ingest(const RawReading& reading) {
+  StreamingMetrics& metrics = GetStreamingMetrics();
+  ScopedTimer timer(&metrics.ingest_latency_us);
   if (reading.device_id < 0 ||
       static_cast<size_t>(reading.device_id) >= deployment_.size()) {
+    metrics.readings_rejected.Add(1);
     return Status::InvalidArgument("unknown device " +
                                    std::to_string(reading.device_id));
   }
@@ -36,6 +62,7 @@ Status StreamingMonitor::Ingest(const RawReading& reading) {
       options_.merger.max_gap_factor * options_.merger.sampling_period;
   if (track.open.has_value()) {
     if (reading.t < track.open->te) {
+      metrics.readings_rejected.Add(1);
       return Status::InvalidArgument(
           "out-of-order reading for object " +
           std::to_string(reading.object_id));
@@ -53,6 +80,8 @@ Status StreamingMonitor::Ingest(const RawReading& reading) {
                                 reading.t, reading.t};
   }
   now_ = std::max(now_, reading.t);
+  metrics.readings_ingested.Add(1);
+  metrics.track_table_size.Set(static_cast<double>(tracks_.size()));
   return Status::OK();
 }
 

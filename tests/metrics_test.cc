@@ -1,0 +1,493 @@
+// Tests for the observability layer (src/common/metrics.h): counter and
+// gauge semantics, log-scale histogram percentile accuracy, registry JSON
+// and text dumps, duplicate-kind registration death, the Chrome trace sink,
+// and a concurrent-increment stress suite that runs under the TSan CI job
+// (suite name matches its -R "Concurrency|..." test filter).
+
+#include "src/common/metrics.h"
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace indoorflow {
+namespace {
+
+// --- Minimal JSON reader (objects, numbers, strings) ------------------------
+// Enough to round-trip DumpJson() without a third-party dependency. Fails
+// the test on malformed input.
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  /// Parses the full document; returns false on trailing garbage or error.
+  bool Parse() {
+    pos_ = 0;
+    const bool ok = ParseValue();
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+  /// Looks up a number by dotted path into nested objects, e.g.
+  /// "histograms.query.snapshot.latency_us.p50" will not work because keys
+  /// themselves contain dots; instead keys are matched greedily section by
+  /// section via explicit segments.
+  bool Number(const std::vector<std::string>& path, double* out) const {
+    std::string key;
+    for (const std::string& part : path) {
+      if (!key.empty()) key += '\x1f';
+      key += part;
+    }
+    auto it = numbers_.find(key);
+    if (it == numbers_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      if (pos_ < text_.size()) out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '"') {
+      std::string ignored;
+      return ParseString(&ignored);
+    }
+    // Number.
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) != 0 ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    numbers_[JoinedPath()] = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  bool ParseObject() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (pos_ < text_.size()) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      path_.push_back(key);
+      const bool ok = ParseValue();
+      path_.pop_back();
+      if (!ok) return false;
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+    return false;
+  }
+
+  std::string JoinedPath() const {
+    std::string key;
+    for (const std::string& part : path_) {
+      if (!key.empty()) key += '\x1f';
+      key += part;
+    }
+    return key;
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  std::vector<std::string> path_;
+  std::map<std::string, double> numbers_;
+};
+
+// --- Counter / Gauge --------------------------------------------------------
+
+TEST(MetricsTest, CounterStartsAtZeroAndAdds) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42);
+  counter.Add(-2);
+  EXPECT_EQ(counter.value(), 40);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.value(), 0.0);
+  gauge.Set(2.5);
+  EXPECT_EQ(gauge.value(), 2.5);
+  gauge.Add(1.25);
+  EXPECT_EQ(gauge.value(), 3.75);
+  gauge.Add(-3.75);
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(MetricsTest, HistogramEmpty) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.sum(), 0.0);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+}
+
+TEST(MetricsTest, HistogramSingleSample) {
+  Histogram hist;
+  hist.Record(3.5);
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_EQ(hist.min(), 3.5);
+  EXPECT_EQ(hist.max(), 3.5);
+  // A single sample is every percentile; the min/max envelope makes the
+  // answer exact despite bucketing.
+  EXPECT_EQ(hist.Percentile(0.0), 3.5);
+  EXPECT_EQ(hist.Percentile(50.0), 3.5);
+  EXPECT_EQ(hist.Percentile(100.0), 3.5);
+}
+
+TEST(MetricsTest, HistogramBucketIndexRoundTrip) {
+  // BucketLowerBound(BucketIndex(v)) <= v < BucketLowerBound(index + 1),
+  // across the full dynamic range.
+  for (double value : {0.001, 0.01, 0.5, 1.0, 1.0625, 3.14159, 100.0,
+                       12345.678, 9.5e9}) {
+    const int index = Histogram::BucketIndex(value);
+    ASSERT_GE(index, 0) << value;
+    ASSERT_LT(index, Histogram::kNumBuckets) << value;
+    EXPECT_LE(Histogram::BucketLowerBound(index), value * (1 + 1e-12))
+        << value;
+    if (index + 1 < Histogram::kNumBuckets) {
+      EXPECT_GT(Histogram::BucketLowerBound(index + 1), value * (1 - 1e-12))
+          << value;
+    }
+  }
+}
+
+TEST(MetricsTest, HistogramPercentilesKnownDistribution) {
+  // 1..1000 uniformly: p50 ~ 500, p90 ~ 900, p99 ~ 990. The log-scale
+  // buckets guarantee relative error <= 1/kSubBuckets per sample, plus one
+  // bucket of rank slack at the boundaries.
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) hist.Record(static_cast<double>(i));
+  EXPECT_EQ(hist.count(), 1000);
+  EXPECT_EQ(hist.min(), 1.0);
+  EXPECT_EQ(hist.max(), 1000.0);
+  EXPECT_NEAR(hist.sum(), 500500.0, 1e-6);
+  const double kRelTol = 1.0 / Histogram::kSubBuckets;
+  EXPECT_NEAR(hist.Percentile(50.0), 500.0, 500.0 * kRelTol);
+  EXPECT_NEAR(hist.Percentile(90.0), 900.0, 900.0 * kRelTol);
+  EXPECT_NEAR(hist.Percentile(99.0), 990.0, 990.0 * kRelTol);
+  EXPECT_EQ(hist.Percentile(0.0), 1.0);
+  EXPECT_EQ(hist.Percentile(100.0), 1000.0);
+  // Percentiles are monotone in q.
+  double prev = 0.0;
+  for (double q : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9}) {
+    const double value = hist.Percentile(q);
+    EXPECT_GE(value, prev) << "q=" << q;
+    prev = value;
+  }
+}
+
+TEST(MetricsTest, HistogramTinyAndHugeValues) {
+  Histogram hist;
+  hist.Record(1e-12);  // below kMinExponent: clamps to bucket 0
+  hist.Record(1e18);   // above the top octave: clamps to the last bucket
+  EXPECT_EQ(hist.count(), 2);
+  EXPECT_EQ(hist.min(), 1e-12);
+  EXPECT_EQ(hist.max(), 1e18);
+  // The envelope keeps even clamped extremes exact at the ends.
+  EXPECT_EQ(hist.Percentile(0.0), 1e-12);
+  EXPECT_EQ(hist.Percentile(100.0), 1e18);
+}
+
+TEST(MetricsTest, HistogramIgnoresNonPositiveAndNonFinite) {
+  Histogram hist;
+  hist.Record(0.0);
+  hist.Record(-5.0);
+  hist.Record(std::nan(""));
+  hist.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(hist.count(), 0);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(MetricsTest, RegistryReturnsSameInstanceForSameName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("test.counter");
+  Counter& b = registry.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3);
+  Histogram& h1 = registry.histogram("test.hist");
+  Histogram& h2 = registry.histogram("test.hist");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsDeathTest, DuplicateNameDifferentKindAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry registry;
+  registry.counter("test.dup");
+  EXPECT_DEATH(registry.histogram("test.dup"),
+               "already registered as a different kind");
+  EXPECT_DEATH(registry.gauge("test.dup"),
+               "already registered as a different kind");
+}
+
+TEST(MetricsTest, DumpJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.counter("alpha.count").Add(7);
+  registry.gauge("beta.size").Set(12.5);
+  Histogram& hist = registry.histogram("gamma.latency_us");
+  for (int i = 1; i <= 100; ++i) hist.Record(static_cast<double>(i));
+
+  const std::string json = registry.DumpJson();
+  JsonReader reader(json);
+  ASSERT_TRUE(reader.Parse()) << json;
+
+  double value = 0.0;
+  ASSERT_TRUE(reader.Number({"counters", "alpha.count"}, &value)) << json;
+  EXPECT_EQ(value, 7.0);
+  ASSERT_TRUE(reader.Number({"gauges", "beta.size"}, &value)) << json;
+  EXPECT_EQ(value, 12.5);
+  ASSERT_TRUE(
+      reader.Number({"histograms", "gamma.latency_us", "count"}, &value));
+  EXPECT_EQ(value, 100.0);
+  ASSERT_TRUE(
+      reader.Number({"histograms", "gamma.latency_us", "p50"}, &value));
+  EXPECT_NEAR(value, 50.0, 50.0 / Histogram::kSubBuckets);
+  ASSERT_TRUE(reader.Number({"histograms", "gamma.latency_us", "max"},
+                            &value));
+  EXPECT_EQ(value, 100.0);
+}
+
+TEST(MetricsTest, DumpJsonEmptyRegistryIsValid) {
+  MetricsRegistry registry;
+  JsonReader reader(registry.DumpJson());
+  EXPECT_TRUE(reader.Parse());
+}
+
+TEST(MetricsTest, DumpTextHasPrometheusShape) {
+  MetricsRegistry registry;
+  registry.counter("alpha.count").Add(2);
+  registry.histogram("gamma.latency_us").Record(5.0);
+  const std::string text = registry.DumpText();
+  EXPECT_NE(text.find("# TYPE indoorflow_alpha_count counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("indoorflow_alpha_count 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE indoorflow_gamma_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("indoorflow_gamma_latency_us_count 1"),
+            std::string::npos);
+}
+
+// --- ScopedTimer ------------------------------------------------------------
+
+TEST(MetricsTest, ScopedTimerRecordsIntoHistogram) {
+  Histogram hist;
+  {
+    ScopedTimer timer(&hist);
+    // Do a sliver of work so elapsed > 0 even at coarse clock resolution.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink += std::sqrt(static_cast<double>(i));
+    EXPECT_GE(timer.ElapsedNs(), 0);
+  }
+  EXPECT_EQ(hist.count(), 1);
+  EXPECT_GT(hist.max(), 0.0);
+}
+
+TEST(MetricsTest, MonotonicNowAdvances) {
+  const int64_t a = MonotonicNowNs();
+  const int64_t b = MonotonicNowNs();
+  EXPECT_GE(b, a);
+}
+
+// --- Trace sink -------------------------------------------------------------
+
+TEST(MetricsTest, TraceSinkWritesParsableJsonArray) {
+  const std::string path =
+      ::testing::TempDir() + "/indoorflow_trace_test.json";
+  ASSERT_TRUE(StartTracing(path).ok());
+  EXPECT_TRUE(TracingEnabled());
+  // Starting twice while active must fail, not clobber the stream.
+  EXPECT_FALSE(StartTracing(path).ok());
+  EmitTraceEvent("unit_test_span", /*start_us=*/10, /*dur_us=*/5);
+  {
+    Histogram hist;
+    ScopedTimer timer(&hist, "unit_test_scoped");
+  }
+  StopTracing();
+  EXPECT_FALSE(TracingEnabled());
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(content.front(), '[');
+  EXPECT_EQ(content.back(), '\n');
+  EXPECT_NE(content.find("\"unit_test_span\""), std::string::npos) << content;
+  EXPECT_NE(content.find("\"unit_test_scoped\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  // Exactly two events => exactly one separating comma at depth 1.
+  EXPECT_NE(content.find("},\n"), std::string::npos);
+}
+
+TEST(MetricsTest, StartTracingRejectsUnwritablePath) {
+  EXPECT_FALSE(StartTracing("/nonexistent-dir/trace.json").ok());
+  EXPECT_FALSE(TracingEnabled());
+}
+
+TEST(MetricsTest, EmitWithoutTracingIsNoOp) {
+  EXPECT_FALSE(TracingEnabled());
+  EmitTraceEvent("ignored", 0, 1);  // must not crash
+}
+
+// --- Concurrency stress (runs under the TSan CI job) ------------------------
+
+TEST(MetricsConcurrencyTest, CountersUnderContention) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsConcurrencyTest, HistogramUnderContention) {
+  Histogram hist;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (int i = 1; i <= kPerThread; ++i) {
+        hist.Record(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.count(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(hist.min(), 1.0);
+  EXPECT_EQ(hist.max(), static_cast<double>(kThreads * kPerThread));
+  const double expected_sum =
+      static_cast<double>(kThreads) * kPerThread *
+      (static_cast<double>(kThreads) * kPerThread + 1) / 2.0;
+  EXPECT_NEAR(hist.sum(), expected_sum, expected_sum * 1e-9);
+}
+
+TEST(MetricsConcurrencyTest, GaugeAddUnderContention) {
+  Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(gauge.value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(MetricsConcurrencyTest, RegistryRegistrationUnderContention) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter& counter = registry.counter("stress.shared");
+      counter.Add(1);
+      seen[static_cast<size_t>(t)] = &counter;
+      // Also churn thread-unique names to stress map growth.
+      registry.histogram("stress.hist." + std::to_string(t)).Record(1.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(registry.counter("stress.shared").value(), kThreads);
+}
+
+TEST(MetricsConcurrencyTest, DumpWhileRecording) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("stress.dump");
+  std::atomic<bool> stop{false};
+  std::thread writer([&hist, &stop] {
+    int i = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      hist.Record(static_cast<double>(i % 1000 + 1));
+      ++i;
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const std::string json = registry.DumpJson();
+    EXPECT_FALSE(json.empty());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  JsonReader reader(registry.DumpJson());
+  EXPECT_TRUE(reader.Parse());
+}
+
+}  // namespace
+}  // namespace indoorflow

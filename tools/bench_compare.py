@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate: compare Google Benchmark JSON against a baseline.
+
+Reads one or more ``--benchmark_format=json`` result files (run with
+``--benchmark_repetitions=N --benchmark_report_aggregates_only=true`` so the
+median aggregate is present; plain single runs also work) and compares each
+benchmark's median time against the checked-in baseline:
+
+  * time regression  > --fail-pct (default 25%)  ->  FAIL, exit non-zero
+  * time regression  > --warn-pct (default 10%)  ->  WARN
+  * deterministic work counters (ObjectsRetrieved, PresenceEvals, ...)
+    drifting by more than 1%                     ->  WARN (the workload is
+    seeded, so drift means the algorithm did different work)
+  * benchmarks only in one side                  ->  NEW / GONE, warn only
+
+A comparison table is printed either way.
+
+Regenerate the baseline (after an intentional perf change, on the CI runner
+class the gate runs on):
+
+  ./bench_fig10_snapshot_synthetic --benchmark_format=json \\
+      --benchmark_repetitions=5 --benchmark_report_aggregates_only=true \\
+      > fig10.json
+  ./bench_ablation --benchmark_format=json --benchmark_repetitions=5 \\
+      --benchmark_report_aggregates_only=true > ablation.json
+  tools/bench_compare.py --update-baseline --baseline bench/baseline.json \\
+      fig10.json ablation.json
+
+Exit status: 0 clean (or after --update-baseline), 1 on any FAIL, 2 on usage
+or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Per-iteration averages of seeded deterministic work; drift is meaningful
+# at much finer granularity than wall time.
+COUNTER_WARN_PCT = 1.0
+
+
+def load_results(paths: list[str]) -> dict[str, dict]:
+    """Maps run_name -> {time_ns, counters} from benchmark JSON files.
+
+    Prefers the median aggregate when repetitions were used; falls back to
+    the plain iteration entry otherwise.
+    """
+    out: dict[str, dict] = {}
+    preferred: dict[str, bool] = {}  # run_name -> came from a median row
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        for row in doc.get("benchmarks", []):
+            aggregate = row.get("aggregate_name", "")
+            if aggregate and aggregate != "median":
+                continue
+            name = row.get("run_name", row.get("name", ""))
+            if not name:
+                continue
+            is_median = aggregate == "median"
+            if name in out and preferred[name] and not is_median:
+                continue
+            unit = TIME_UNIT_NS.get(row.get("time_unit", "ns"), 1.0)
+            counters = {
+                key: value
+                for key, value in row.items()
+                if key[:1].isupper() and isinstance(value, (int, float))
+            }
+            out[name] = {
+                "time_ns": float(row.get("cpu_time", 0.0)) * unit,
+                "counters": counters,
+            }
+            preferred[name] = is_median
+    return out
+
+
+def load_baseline(path: str) -> dict[str, dict]:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("benchmarks", {})
+
+
+def save_baseline(path: str, results: dict[str, dict]) -> None:
+    doc = {
+        "comment": "Benchmark medians for tools/bench_compare.py. "
+                   "Regenerate with --update-baseline (see that script's "
+                   "docstring); commit only runs from the CI runner class.",
+        "benchmarks": results,
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def format_ns(ns: float) -> str:
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def compare(baseline: dict[str, dict], results: dict[str, dict],
+            warn_pct: float, fail_pct: float) -> int:
+    rows = []
+    failures = 0
+    for name in sorted(set(baseline) | set(results)):
+        if name not in results:
+            rows.append((name, "-", "-", "GONE", "not in new results"))
+            continue
+        new = results[name]
+        if name not in baseline:
+            rows.append((name, "-", format_ns(new["time_ns"]), "NEW",
+                         "not in baseline"))
+            continue
+        old = baseline[name]
+        notes = []
+        status = "ok"
+        old_ns = old.get("time_ns", 0.0)
+        new_ns = new["time_ns"]
+        delta_pct = ((new_ns - old_ns) / old_ns * 100.0) if old_ns > 0 else 0.0
+        if delta_pct > fail_pct:
+            status = "FAIL"
+            failures += 1
+            notes.append(f"time +{delta_pct:.1f}% > {fail_pct:g}%")
+        elif delta_pct > warn_pct:
+            status = "WARN"
+            notes.append(f"time +{delta_pct:.1f}% > {warn_pct:g}%")
+        for key, old_value in sorted(old.get("counters", {}).items()):
+            new_value = new["counters"].get(key)
+            if new_value is None or old_value == 0:
+                continue
+            drift = abs(new_value - old_value) / abs(old_value) * 100.0
+            if drift > COUNTER_WARN_PCT:
+                if status == "ok":
+                    status = "WARN"
+                notes.append(f"{key} {old_value:g} -> {new_value:g}")
+        rows.append((name, format_ns(old_ns), format_ns(new_ns),
+                     f"{delta_pct:+.1f}%" if status == "ok" else status,
+                     "; ".join(notes)))
+
+    widths = [max(len(str(row[col])) for row in
+                  rows + [("benchmark", "baseline", "new", "delta", "notes")])
+              for col in range(5)]
+    header = ("benchmark", "baseline", "new", "delta", "notes")
+    for row in [header] + rows:
+        print("  ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)).rstrip())
+    print(f"\n{len(rows)} benchmarks compared, {failures} regression(s) over "
+          f"{fail_pct:g}%")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("results", nargs="+",
+                        help="benchmark JSON result files")
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the baseline from the results and exit")
+    parser.add_argument("--warn-pct", type=float, default=10.0)
+    parser.add_argument("--fail-pct", type=float, default=25.0)
+    args = parser.parse_args()
+
+    try:
+        results = load_results(args.results)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error reading results: {error}", file=sys.stderr)
+        return 2
+    if not results:
+        print("error: no benchmarks found in the result files",
+              file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        save_baseline(args.baseline, results)
+        print(f"wrote {len(results)} benchmark medians to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error reading baseline: {error}", file=sys.stderr)
+        return 2
+    return compare(baseline, results, args.warn_pct, args.fail_pct)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Unit test for tools/bench_compare.py with fabricated benchmark JSON.
+
+Covers the acceptance criterion directly: a synthetic >25% median regression
+must exit non-zero, small drift must pass, and --update-baseline must round-
+trip. Registered in ctest as bench_compare_test (tools/CMakeLists.txt).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def benchmark_json(time_ms: float, presences: float) -> dict:
+    """One benchmark with repetition aggregates, as Google Benchmark emits
+    them under --benchmark_repetitions=N --benchmark_report_aggregates_only.
+    """
+    run_name = "BM_Fig10a_EffectOfK/k:20/algo:1"
+    rows = []
+    for aggregate in ("mean", "median", "stddev"):
+        value = time_ms if aggregate != "stddev" else 0.01
+        rows.append({
+            "name": f"{run_name}_{aggregate}",
+            "run_name": run_name,
+            "run_type": "aggregate",
+            "aggregate_name": aggregate,
+            "iterations": 5,
+            "real_time": value,
+            "cpu_time": value,
+            "time_unit": "ms",
+            "PresenceEvals": presences,
+        })
+    return {"benchmarks": rows}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def path(self, name: str) -> str:
+        return os.path.join(self.tmp.name, name)
+
+    def write(self, name: str, doc: dict) -> str:
+        path = self.path(name)
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        return path
+
+    def run_compare(self, *argv: str) -> subprocess.CompletedProcess:
+        return subprocess.run([sys.executable, SCRIPT, *argv],
+                              capture_output=True, text=True)
+
+    def make_baseline(self, time_ms: float, presences: float) -> str:
+        result = self.write("base_run.json",
+                            benchmark_json(time_ms, presences))
+        baseline = self.path("baseline.json")
+        proc = self.run_compare("--update-baseline", "--baseline", baseline,
+                                result)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertTrue(os.path.exists(baseline))
+        return baseline
+
+    def test_unchanged_passes(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        result = self.write("new.json", benchmark_json(10.0, 500.0))
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("0 regression(s)", proc.stdout)
+
+    def test_large_regression_fails(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        # +40% median: over the 25% gate.
+        result = self.write("new.json", benchmark_json(14.0, 500.0))
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertNotEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("FAIL", proc.stdout)
+
+    def test_moderate_regression_warns_but_passes(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        # +15%: between warn (10%) and fail (25%).
+        result = self.write("new.json", benchmark_json(11.5, 500.0))
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("WARN", proc.stdout)
+
+    def test_improvement_passes(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        result = self.write("new.json", benchmark_json(6.0, 500.0))
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_counter_drift_warns(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        # Same time, but the seeded workload did 10% more presence
+        # evaluations: a pruning regression the clock missed.
+        result = self.write("new.json", benchmark_json(10.0, 550.0))
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("PresenceEvals", proc.stdout)
+
+    def test_new_and_gone_benchmarks_pass(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        other = benchmark_json(10.0, 500.0)
+        for row in other["benchmarks"]:
+            row["run_name"] = "BM_Brand/new"
+            row["name"] = "BM_Brand/new_" + row["aggregate_name"]
+        result = self.write("new.json", other)
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertIn("NEW", proc.stdout)
+        self.assertIn("GONE", proc.stdout)
+
+    def test_missing_results_file_errors(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        proc = self.run_compare("--baseline", baseline,
+                                self.path("nope.json"))
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

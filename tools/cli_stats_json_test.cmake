@@ -1,0 +1,34 @@
+# `indoorflow_cli stats` must print valid JSON (acceptance criterion for the
+# observability layer): run it, then feed the output to Python's JSON parser
+# and assert the expected top-level sections are present.
+execute_process(
+  COMMAND ${CLI} stats --data ${DATA}
+  OUTPUT_VARIABLE stats_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "indoorflow_cli stats failed with ${rc}")
+endif()
+set(check "
+import json, sys
+doc = json.load(sys.stdin)
+assert 'dataset' in doc, 'missing dataset section'
+assert 'metrics' in doc, 'missing metrics section'
+hists = doc['metrics']['histograms']
+assert 'query.snapshot.latency_us' in hists, 'missing snapshot latency'
+assert hists['query.snapshot.latency_us']['count'] > 0, 'no queries recorded'
+for key in ('p50', 'p90', 'p95', 'p99'):
+    assert key in hists['query.snapshot.latency_us'], 'missing ' + key
+assert doc['metrics']['counters']['query.snapshot.count'] > 0
+")
+# execute_process cannot pipe a variable to stdin; stage it in a temp file.
+get_filename_component(tmp_dir ${DATA} DIRECTORY)
+set(tmp ${tmp_dir}/cli_stats_out.json)
+file(WRITE ${tmp} "${stats_out}")
+execute_process(
+  COMMAND ${PYTHON} -c ${check}
+  INPUT_FILE ${tmp}
+  RESULT_VARIABLE parse_rc
+  ERROR_VARIABLE parse_err)
+if(NOT parse_rc EQUAL 0)
+  message(FATAL_ERROR "stats output is not the expected JSON: ${parse_err}")
+endif()

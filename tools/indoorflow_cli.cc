@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/core/engine.h"
 #include "src/core/flow_matrix.h"
 #include "src/core/itinerary.h"
@@ -392,31 +393,55 @@ int CmdTimeline(Flags& flags) {
   return 0;
 }
 
+// Machine-readable dataset summary plus the process metrics registry as one
+// JSON object. A small warm-up workload (snapshot + interval top-k with both
+// algorithms, spread over the observation span) populates the per-phase
+// latency histograms and QueryStats counters before the dump, so the output
+// always carries real percentiles. --warmup N controls the probe count.
 int CmdStats(Flags& flags) {
-  const auto dir = flags.Get("data");
-  if (!dir) return Fail("stats requires --data DIR");
+  const int warmup = flags.GetInt("warmup", 8);
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
   if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
-  auto data = LoadDataDir(*dir);
-  if (!data.ok()) return Fail(data.status().ToString());
+  const LoadedDataset& data = bundle->dataset();
+
   double span_total = 0.0;
-  for (size_t i = 0; i < data->ott.size(); ++i) {
-    const TrackingRecord& r = data->ott.record(static_cast<RecordIndex>(i));
+  for (size_t i = 0; i < data.ott.size(); ++i) {
+    const TrackingRecord& r = data.ott.record(static_cast<RecordIndex>(i));
     span_total += r.te - r.ts;
   }
-  std::printf("partitions:   %zu\n", data->plan.partitions().size());
-  std::printf("doors:        %zu\n", data->plan.doors().size());
-  std::printf("devices:      %zu (disjoint: %s)\n", data->deployment.size(),
-              data->deployment.RangesDisjoint() ? "yes" : "no");
-  std::printf("pois:         %zu\n", data->pois.size());
-  std::printf("objects:      %zu\n", data->ott.objects().size());
-  std::printf("records:      %zu (overlapping: %s)\n", data->ott.size(),
-              data->ott.has_overlaps() ? "yes" : "no");
-  std::printf("time span:    [%.1f, %.1f]\n", data->ott.min_time(),
-              data->ott.max_time());
-  if (!data->ott.empty()) {
-    std::printf("avg record:   %.2f s\n",
-                span_total / static_cast<double>(data->ott.size()));
+  const double avg_record =
+      data.ott.empty()
+          ? 0.0
+          : span_total / static_cast<double>(data.ott.size());
+
+  if (!data.ott.empty() && warmup > 0) {
+    const double t0 = data.ott.min_time();
+    const double t1 = data.ott.max_time();
+    for (int i = 0; i < warmup; ++i) {
+      const double t =
+          t0 + (t1 - t0) * (static_cast<double>(i) + 0.5) / warmup;
+      for (const Algorithm algo :
+           {Algorithm::kIterative, Algorithm::kJoin}) {
+        bundle->engine->SnapshotTopK(t, 10, algo);
+        bundle->engine->IntervalTopK(std::max(t0, t - 60.0),
+                                     std::min(t1, t + 60.0), 10, algo);
+      }
+    }
   }
+
+  std::printf(
+      "{\"dataset\":{\"partitions\":%zu,\"doors\":%zu,\"devices\":%zu,"
+      "\"devices_disjoint\":%s,\"pois\":%zu,\"objects\":%zu,"
+      "\"records\":%zu,\"records_overlapping\":%s,\"time_min\":%.1f,"
+      "\"time_max\":%.1f,\"avg_record_seconds\":%.3f},\n\"metrics\":%s}\n",
+      data.plan.partitions().size(), data.plan.doors().size(),
+      data.deployment.size(),
+      data.deployment.RangesDisjoint() ? "true" : "false",
+      data.pois.size(), data.ott.objects().size(), data.ott.size(),
+      data.ott.has_overlaps() ? "true" : "false", data.ott.min_time(),
+      data.ott.max_time(), avg_record,
+      MetricsRegistry::Default().DumpJson().c_str());
   return 0;
 }
 
@@ -562,19 +587,14 @@ int Usage() {
       "           [--min-presence P] [--min-duration S] [--max-area A]\n"
       "  timeline --data DIR --poi ID [--t0 T] [--t1 T] [--step S]\n"
       "  report   --data DIR [--k K] [--slots N]\n"
-      "  stats    --data DIR\n"
+      "  stats    --data DIR [--warmup N] (JSON; INDOORFLOW_TRACE=FILE\n"
+      "           additionally writes a chrome://tracing span file)\n"
       "  cleanse  --readings F.csv --deployment F.csv --out F.csv\n"
       "  render   --data DIR --out FILE.svg [--heatmap-t T]\n");
   return 2;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  Flags flags(argc, argv, 2);
-  if (!flags.ok()) {
-    return Fail("bad argument '" + flags.bad() + "' (flags take values)");
-  }
-  const std::string command = argv[1];
+int Dispatch(const std::string& command, Flags& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "snapshot") return CmdSnapshot(flags);
   if (command == "interval") return CmdInterval(flags);
@@ -586,6 +606,20 @@ int Run(int argc, char** argv) {
   if (command == "cleanse") return CmdCleanse(flags);
   if (command == "render") return CmdRender(flags);
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) {
+    return Fail("bad argument '" + flags.bad() + "' (flags take values)");
+  }
+  // INDOORFLOW_TRACE=FILE turns on the Chrome-trace span sink for any
+  // subcommand; StopTracing finalizes the JSON array on the way out.
+  InitTracingFromEnv();
+  const int rc = Dispatch(argv[1], flags);
+  StopTracing();
+  return rc;
 }
 
 }  // namespace

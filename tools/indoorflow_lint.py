@@ -22,6 +22,12 @@ Checks (each can be skipped with --skip <name>):
                 src/common/random.h's deterministic Rng), printf/puts on
                 stdout (libraries must not write to stdout; tools and
                 examples may), sprintf/strcpy/gets (unbounded).
+  atomics       std::atomic/std::atomic_flag appear only in the metrics
+                registry (src/common/metrics.*) and the flow-matrix worker
+                counter (src/core/flow_matrix.cc). Everywhere else, shared
+                state goes behind the annotated Mutex so the thread-safety
+                analysis can see it; lock-free code needs a lint allowlist
+                entry and a TSan-stressed test to ship.
 
 Usage:
   tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER] [--skip CHECK]...
@@ -42,6 +48,8 @@ import tempfile
 # annotation macros or carries INDOORFLOW_GUARDED_BY-annotated state (and is
 # stressed by tests/concurrency_test.cc under TSan).
 THREADING_ALLOWLIST = {
+    "src/common/metrics.h",
+    "src/common/metrics.cc",
     "src/common/mutex.h",
     "src/common/thread_annotations.h",
     "src/core/engine.h",
@@ -53,6 +61,18 @@ THREADING_ALLOWLIST = {
     "src/index/dynamic_rtree.h",
     "src/index/dynamic_rtree.cc",
 }
+
+# Files allowed to hold lock-free state. Far stricter than the threading
+# allowlist: atomics are invisible to the Clang thread-safety analysis, so
+# each entry must earn its place with a TSan-stressed test
+# (tests/metrics_test.cc, tests/flow_matrix_test.cc + concurrency_test.cc).
+ATOMICS_ALLOWLIST = {
+    "src/common/metrics.h",
+    "src/common/metrics.cc",
+    "src/core/flow_matrix.cc",
+}
+
+ATOMICS_TOKENS = re.compile(r"std::atomic(?:_flag)?\b")
 
 THREADING_TOKENS = re.compile(
     r"std::(thread|jthread|mutex|shared_mutex|recursive_mutex|timed_mutex|"
@@ -218,12 +238,29 @@ def check_banned(root: str, errors: list[str]) -> None:
                     errors.append(f"{path}:{lineno}: {message}")
 
 
+def check_atomics(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        if path in ATOMICS_ALLOWLIST:
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            match = ATOMICS_TOKENS.search(line)
+            if match:
+                errors.append(
+                    f"{path}:{lineno}: {match.group(0)} outside the atomics "
+                    "allowlist — put shared state behind the annotated Mutex "
+                    "(src/common/mutex.h), or add a TSan-stressed test and "
+                    "an ATOMICS_ALLOWLIST entry in tools/indoorflow_lint.py")
+
+
 CHECKS = {
     "headers": check_headers,
     "threading": check_threading,
     "annotations": check_annotations,
     "status": check_status,
     "banned": check_banned,
+    "atomics": check_atomics,
 }
 
 
