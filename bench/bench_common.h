@@ -169,14 +169,14 @@ inline void RecordQueryStats(benchmark::State& state, const QueryStats& stats,
                              int64_t queries) {
   if (queries <= 0) return;
   const double n = static_cast<double>(queries);
-  state.counters["ObjectsRetrieved"] =
-      static_cast<double>(stats.objects_retrieved) / n;
-  state.counters["RegionsDerived"] =
-      static_cast<double>(stats.regions_derived) / n;
-  state.counters["PresenceEvals"] =
-      static_cast<double>(stats.presence_evaluations) / n;
-  state.counters["PoisEvaluated"] =
-      static_cast<double>(stats.pois_evaluated) / n;
+  // Counter names come from kQueryStatsFields (fields without a bench name
+  // are the phase timers, which the benchmark itself already measures) —
+  // bench/baseline.json keys on these names.
+  for (const QueryStatsField& field : kQueryStatsFields) {
+    if (field.bench_name == nullptr) continue;
+    state.counters[field.bench_name] =
+        static_cast<double>(stats.*field.member) / n;
+  }
 }
 
 }  // namespace bench

@@ -3,16 +3,44 @@
 // operational counterpart of the paper's historical queries.
 //
 //   $ ./live_dashboard
+//
+// Set INDOORFLOW_EXPO_PORT=9464 (or any port; 0 picks one) to additionally
+// serve the process metrics registry on http://127.0.0.1:PORT/metrics and
+// a liveness probe on /healthz while the replay runs — the same exposition
+// endpoint `indoorflow_cli serve` provides (docs/OBSERVABILITY.md).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "src/common/expo_server.h"
+#include "src/common/log.h"
+#include "src/common/metrics.h"
 #include "src/core/streaming.h"
 #include "src/sim/detector.h"
 
 int main() {
   using namespace indoorflow;
+
+  InitLoggingFromEnv();
+  // Opt-in exposition endpoint: scrape while the replay is running.
+  ExpoServer expo;
+  const char* expo_port = std::getenv("INDOORFLOW_EXPO_PORT");
+  if (expo_port != nullptr && expo_port[0] != '\0') {
+    expo.Handle("/metrics", "text/plain; version=0.0.4",
+                [] { return MetricsRegistry::Default().DumpText(); });
+    expo.Handle("/healthz", "application/json",
+                [] { return std::string("{\"status\":\"ok\"}"); });
+    const Status status = expo.Start(std::atoi(expo_port));
+    if (!status.ok()) {
+      Log(LogLevel::kWarn, "live_dashboard", "exposition disabled")
+          .Field("reason", status.ToString());
+    } else {
+      std::printf("metrics on http://127.0.0.1:%d/metrics\n", expo.port());
+    }
+  }
 
   // Simulate the raw reading stream of a tracked office building.
   const BuiltPlan built = BuildOfficePlan({});

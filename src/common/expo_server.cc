@@ -1,0 +1,185 @@
+#include "src/common/expo_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/log.h"
+
+namespace indoorflow {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 200;
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK\r\n";
+    case 404:
+      return "HTTP/1.1 404 Not Found\r\n";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed\r\n";
+    default:
+      return "HTTP/1.1 500 Internal Server Error\r\n";
+  }
+}
+
+std::string BuildResponse(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string response = StatusLine(code);
+  response.append("Content-Type: ");
+  response.append(content_type);
+  response.append("\r\nContent-Length: ");
+  response.append(std::to_string(body.size()));
+  response.append("\r\nConnection: close\r\n\r\n");
+  response.append(body);
+  return response;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to recover
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+ExpoServer::~ExpoServer() { Stop(); }
+
+void ExpoServer::Handle(std::string path, std::string content_type,
+                        std::function<std::string()> producer) {
+  if (listen_fd_ >= 0) return;  // running: route table is read-only
+  routes_.push_back(Route{std::move(path), std::move(content_type),
+                          std::move(producer)});
+}
+
+Status ExpoServer::Start(int port) {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("expo server already running");
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket(): ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
+                            "): " + err);
+  }
+  if (listen(fd, 8) < 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Internal("listen(): " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Internal("getsockname(): " + err);
+  }
+
+  {
+    MutexLock lock(mu_);
+    stopping_ = false;
+  }
+  listen_fd_ = fd;
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  thread_ = std::thread(&ExpoServer::AcceptLoop, this);
+  Log(LogLevel::kInfo, "expo", "exposition server listening")
+      .Field("port", static_cast<int64_t>(port_))
+      .Field("routes", static_cast<int64_t>(routes_.size()));
+  return Status::OK();
+}
+
+void ExpoServer::Stop() {
+  if (listen_fd_ < 0) return;
+  {
+    MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void ExpoServer::AcceptLoop() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+    }
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, kPollTimeoutMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    ServeConnection(conn);
+    close(conn);
+  }
+}
+
+void ExpoServer::ServeConnection(int fd) {
+  // Read until the end of the request headers (or the size cap). Scrape
+  // clients send the whole GET in one segment, so this is rarely >1 read.
+  std::string request;
+  char buf[2048];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // not HTTP; drop silently
+
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    SendAll(fd, BuildResponse(405, "text/plain; charset=utf-8",
+                              "method not allowed\n"));
+    return;
+  }
+  for (const Route& route : routes_) {
+    if (route.path == path) {
+      SendAll(fd,
+              BuildResponse(200, route.content_type, route.producer()));
+      return;
+    }
+  }
+  SendAll(fd,
+          BuildResponse(404, "text/plain; charset=utf-8", "not found\n"));
+}
+
+}  // namespace indoorflow

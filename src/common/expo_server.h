@@ -1,0 +1,81 @@
+// Minimal dependency-free HTTP/1.1 exposition server.
+//
+// Serves process introspection — Prometheus text metrics, health, and the
+// query-profile flight recorder — over plain POSIX sockets on 127.0.0.1.
+// The server knows nothing about what it serves: callers register exact
+// paths with a content type and a producer callback, and each GET invokes
+// the producer to render the current state. This keeps the common layer
+// free of core dependencies; tools/indoorflow_cli.cc wires /metrics,
+// /healthz, and /profiles/recent.
+//
+// Intentionally not a web framework: GET only (anything else is 405),
+// exact-path matching after the query string is stripped (no routing
+// trees), one connection serviced at a time on a single background accept
+// thread, Connection: close on every response. That is all a scrape
+// endpoint needs, and it keeps the attack/review surface one file.
+//
+// Thread safety: handler registration must finish before Start(); after
+// that the route table is read-only. The accept loop's shutdown flag is
+// Mutex-guarded and polled between accepts, so Stop() joins within one
+// poll interval (~200 ms). Producers run on the server thread and must be
+// thread-safe themselves (the registry and recorder both are).
+
+#ifndef INDOORFLOW_COMMON_EXPO_SERVER_H_
+#define INDOORFLOW_COMMON_EXPO_SERVER_H_
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+class ExpoServer {
+ public:
+  ExpoServer() = default;
+  ~ExpoServer();
+  ExpoServer(const ExpoServer&) = delete;
+  ExpoServer& operator=(const ExpoServer&) = delete;
+
+  /// Registers `producer` for GET `path` (exact match, e.g. "/metrics").
+  /// Must be called before Start(); later registrations are ignored once
+  /// the server is running.
+  void Handle(std::string path, std::string content_type,
+              std::function<std::string()> producer);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
+  /// launches the accept thread. FailedPrecondition if already running;
+  /// Internal on socket errors (port in use, ...).
+  Status Start(int port);
+
+  /// Stops the accept thread and closes the listening socket. Idempotent.
+  void Stop();
+
+  /// The bound port, or 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> producer;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  std::vector<Route> routes_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  Mutex mu_;
+  bool stopping_ INDOORFLOW_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_EXPO_SERVER_H_

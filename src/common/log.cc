@@ -1,0 +1,269 @@
+#include "src/common/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+#include "src/common/mutex.h"
+
+namespace indoorflow {
+
+namespace {
+
+// The process-wide sink. Level and format are relaxed atomics so the
+// LogEnabled gate stays a single load on hot paths; the FILE* swaps and the
+// actual writes serialize under the Mutex, which keeps concurrent records
+// line-atomic.
+struct LogSink {
+  std::atomic<int> level{static_cast<int>(LogLevel::kInfo)};
+  std::atomic<int> format{static_cast<int>(LogFormat::kText)};
+  Mutex mu;
+  FILE* stream INDOORFLOW_GUARDED_BY(mu) = nullptr;  // nullptr = stderr
+  bool owns_stream INDOORFLOW_GUARDED_BY(mu) = false;
+
+  void Write(const std::string& line) {
+    MutexLock lock(mu);
+    FILE* out = stream != nullptr ? stream : stderr;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
+  }
+};
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink;
+  return *sink;
+}
+
+// UTC wall-clock timestamp, second resolution: "2026-08-05T12:00:00Z".
+void AppendTimestamp(std::string* out) {
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  const size_t n = std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ",
+                                 &utc);
+  out->append(buf, n);
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+void AppendJsonEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+Result<LogLevel> ParseLogLevel(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return Status::InvalidArgument("unknown log level: " + name);
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         Sink().level.load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  Sink().level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(Sink().level.load(std::memory_order_relaxed));
+}
+
+void SetLogFormat(LogFormat format) {
+  Sink().format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat GetLogFormat() {
+  return static_cast<LogFormat>(
+      Sink().format.load(std::memory_order_relaxed));
+}
+
+Status SetLogFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open log file: " + path);
+  }
+  LogSink& sink = Sink();
+  MutexLock lock(sink.mu);
+  if (sink.owns_stream && sink.stream != nullptr) std::fclose(sink.stream);
+  sink.stream = f;
+  sink.owns_stream = true;
+  return Status::OK();
+}
+
+void InitLoggingFromEnv() {
+  if (const char* level = std::getenv("INDOORFLOW_LOG_LEVEL")) {
+    Result<LogLevel> parsed = ParseLogLevel(level);
+    if (parsed.ok()) SetLogLevel(parsed.value());
+  }
+  if (const char* format = std::getenv("INDOORFLOW_LOG_FORMAT")) {
+    const std::string name = format;
+    if (name == "json") {
+      SetLogFormat(LogFormat::kJson);
+    } else if (name == "text") {
+      SetLogFormat(LogFormat::kText);
+    }
+  }
+  if (const char* path = std::getenv("INDOORFLOW_LOG_FILE")) {
+    // A bad path falls back to the current sink (stderr) silently rather
+    // than aborting startup.
+    if (path[0] != '\0') static_cast<void>(SetLogFile(path));
+  }
+}
+
+LogRecord::LogRecord(LogLevel level, const char* component,
+                     std::string message)
+    : enabled_(LogEnabled(level)),
+      level_(level),
+      component_(component),
+      message_(std::move(message)) {}
+
+LogRecord::LogRecord(LogRecord&& other) noexcept
+    : enabled_(other.enabled_),
+      level_(other.level_),
+      component_(other.component_),
+      message_(std::move(other.message_)),
+      json_fields_(std::move(other.json_fields_)),
+      text_fields_(std::move(other.text_fields_)) {
+  other.enabled_ = false;
+}
+
+LogRecord::~LogRecord() {
+  if (!enabled_) return;
+  std::string line;
+  line.reserve(96 + message_.size() + json_fields_.size());
+  if (GetLogFormat() == LogFormat::kJson) {
+    line.append("{\"ts\":\"");
+    AppendTimestamp(&line);
+    line.append("\",\"level\":\"");
+    line.append(LogLevelName(level_));
+    line.append("\",\"component\":\"");
+    AppendJsonEscaped(component_, &line);
+    line.append("\",\"msg\":\"");
+    AppendJsonEscaped(message_, &line);
+    line.push_back('"');
+    line.append(json_fields_);
+    line.append("}\n");
+  } else {
+    AppendTimestamp(&line);
+    const char* name = LogLevelName(level_);
+    line.push_back(' ');
+    for (const char* c = name; *c != '\0'; ++c) {
+      line.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(*c))));
+    }
+    line.append(" [");
+    line.append(component_);
+    line.append("] ");
+    line.append(message_);
+    line.append(text_fields_);
+    line.push_back('\n');
+  }
+  Sink().Write(line);
+}
+
+void LogRecord::AddField(const char* key, std::string json_value,
+                         std::string text_value) {
+  json_fields_.append(",\"");
+  AppendJsonEscaped(key, &json_fields_);
+  json_fields_.append("\":");
+  json_fields_.append(json_value);
+  text_fields_.push_back(' ');
+  text_fields_.append(key);
+  text_fields_.push_back('=');
+  text_fields_.append(text_value);
+}
+
+LogRecord& LogRecord::Field(const char* key, const std::string& value) & {
+  if (!enabled_) return *this;
+  std::string json = "\"";
+  AppendJsonEscaped(value, &json);
+  json.push_back('"');
+  AddField(key, std::move(json), value);
+  return *this;
+}
+
+LogRecord& LogRecord::Field(const char* key, const char* value) & {
+  return Field(key, std::string(value));
+}
+
+LogRecord& LogRecord::Field(const char* key, int64_t value) & {
+  if (!enabled_) return *this;
+  const std::string text = std::to_string(value);
+  AddField(key, text, text);
+  return *this;
+}
+
+LogRecord& LogRecord::Field(const char* key, double value) & {
+  if (!enabled_) return *this;
+  const std::string text = FormatDouble(value);
+  AddField(key, text, text);
+  return *this;
+}
+
+LogRecord& LogRecord::Field(const char* key, bool value) & {
+  if (!enabled_) return *this;
+  const char* text = value ? "true" : "false";
+  AddField(key, text, text);
+  return *this;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,130 @@
+// Structured, leveled logging for indoorflow.
+//
+// Library and tool code emits diagnostics through LogRecord instead of raw
+// fprintf(stderr, ...): every record carries a level, a component tag, a
+// message, and typed key/value fields, and the process-wide sink renders it
+// either as one human-readable text line or as one JSON object per line
+// (JSONL) — machine-parseable the way the metrics registry's DumpJson is.
+// Raw stderr writes outside this file are banned by the `stderr` check in
+// tools/indoorflow_lint.py (src/common/status.h's abort paths excepted).
+//
+// Usage (the record emits on destruction, at the end of the statement):
+//
+//   Log(LogLevel::kWarn, "streaming", "reading rejected")
+//       .Field("object", reading.object_id)
+//       .Field("reason", status.ToString());
+//
+// Configuration is environment-driven, mirroring INDOORFLOW_TRACE:
+//
+//   INDOORFLOW_LOG_LEVEL   debug|info|warn|error   (default: info)
+//   INDOORFLOW_LOG_FORMAT  text|json               (default: text)
+//   INDOORFLOW_LOG_FILE    path                    (default: stderr)
+//
+// Thread safety: the level gate is one relaxed atomic load; record assembly
+// is thread-local by construction, and the sink serializes whole lines
+// under the annotated Mutex, so concurrent records never interleave
+// (tests/log_test.cc stresses this under the TSan CI job).
+
+#ifndef INDOORFLOW_COMMON_LOG_H_
+#define INDOORFLOW_COMMON_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// "debug", "info", "warn", "error".
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name (case-insensitive); InvalidArgument otherwise.
+Result<LogLevel> ParseLogLevel(const std::string& name);
+
+/// Whether records at `level` currently pass the sink's threshold. One
+/// relaxed atomic load — cheap enough to gate hot-path logging.
+bool LogEnabled(LogLevel level);
+
+/// Sets the minimum emitted level (records below it are dropped).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+enum class LogFormat : int {
+  kText = 0,  // "2026-08-05T12:00:00Z WARN [component] message k=v ..."
+  kJson = 1,  // {"ts":"...","level":"warn","component":"...","msg":...}
+};
+
+void SetLogFormat(LogFormat format);
+LogFormat GetLogFormat();
+
+/// Redirects log output from stderr to `path` (append). NotFound when the
+/// file cannot be opened; the previous sink stays active on failure.
+Status SetLogFile(const std::string& path);
+
+/// Applies INDOORFLOW_LOG_LEVEL / INDOORFLOW_LOG_FORMAT /
+/// INDOORFLOW_LOG_FILE. Unset variables leave the current configuration
+/// untouched; malformed values are ignored. Tools and examples call this at
+/// startup, making the sink a runtime flag.
+void InitLoggingFromEnv();
+
+/// One structured log record. Build it through Log() below; fields append
+/// in call order and the record is rendered and written exactly once, when
+/// the temporary dies at the end of the full expression.
+class LogRecord {
+ public:
+  LogRecord(LogLevel level, const char* component, std::string message);
+  LogRecord(LogRecord&& other) noexcept;
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+  LogRecord& operator=(LogRecord&&) = delete;
+  ~LogRecord();
+
+  LogRecord& Field(const char* key, const std::string& value) &;
+  LogRecord& Field(const char* key, const char* value) &;
+  LogRecord& Field(const char* key, int64_t value) &;
+  LogRecord& Field(const char* key, double value) &;
+  LogRecord& Field(const char* key, bool value) &;
+
+  // rvalue overloads so Log(...).Field(...) chains compile.
+  template <typename T>
+  LogRecord&& Field(const char* key, T&& value) && {
+    Field(key, std::forward<T>(value));
+    return std::move(*this);
+  }
+
+ private:
+  void AddField(const char* key, std::string json_value,
+                std::string text_value);
+
+  bool enabled_;
+  LogLevel level_;
+  const char* component_;
+  std::string message_;
+  // Pre-rendered field fragments (",\"k\":v" / " k=v"), so emission under
+  // the sink lock is a single concatenation + write.
+  std::string json_fields_;
+  std::string text_fields_;
+};
+
+/// Entry point: Log(level, component, message).Field(...).Field(...);
+inline LogRecord Log(LogLevel level, const char* component,
+                     std::string message) {
+  return LogRecord(level, component, std::move(message));
+}
+
+/// Appends `value` to `out` with JSON string escaping applied (quotes,
+/// backslashes, control characters). Shared by the log sink and the
+/// profile/metrics JSON writers.
+void AppendJsonEscaped(const std::string& value, std::string* out);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_LOG_H_

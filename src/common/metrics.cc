@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/log.h"
+
 namespace indoorflow {
 
 namespace {
@@ -134,10 +136,9 @@ MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(const std::string& name,
     it = metrics_.emplace(name, std::move(entry)).first;
   }
   if (it->second.kind != kind) {
-    std::fprintf(stderr,
-                 "MetricsRegistry: metric '%s' already registered as a "
-                 "different kind\n",
-                 name.c_str());
+    Log(LogLevel::kError, "metrics",
+        "metric already registered as a different kind")
+        .Field("metric", name);
     std::abort();
   }
   return it->second;

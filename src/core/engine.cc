@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/core/query_profile.h"
 
 namespace indoorflow {
 
@@ -62,16 +63,31 @@ const EngineMetrics& IntervalMetrics() {
 // instrumentation always has somewhere to write; when the caller did pass
 // one, only the delta accrued during this scope is recorded, keeping
 // caller-side accumulation across queries intact.
+//
+// The scope also settles the EXPLAIN profile: the caller's QueryProfile
+// (or, with a recorder attached and no caller profile, a substituted
+// summary-mode one) gets the query's total time and stats delta, its
+// verdicts finalized, and — if a flight recorder is attached — a copy
+// handed to it.
 class QueryMetricsScope {
  public:
   QueryMetricsScope(const EngineMetrics& metrics, const char* trace_name,
-                    QueryStats*& stats)
+                    QueryStats*& stats, QueryProfile*& profile,
+                    ProfileRecorder* recorder)
       : metrics_(metrics),
         trace_name_(trace_name),
+        recorder_(recorder),
         start_ns_(MonotonicNowNs()) {
     if (stats == nullptr) stats = &local_;
     stats_ = stats;
     before_ = *stats;
+    if (profile == nullptr && recorder != nullptr) {
+      local_profile_.emplace();
+      local_profile_->detail = false;  // ambient recording stays cheap
+      profile = &*local_profile_;
+    }
+    profile_ = profile;
+    if (profile_ != nullptr) profile_->kind = trace_name;
   }
   QueryMetricsScope(const QueryMetricsScope&) = delete;
   QueryMetricsScope& operator=(const QueryMetricsScope&) = delete;
@@ -96,6 +112,13 @@ class QueryMetricsScope {
         static_cast<double>(s.presence_ns - before_.presence_ns) / 1000.0);
     metrics_.topk_us.Record(
         static_cast<double>(s.topk_ns - before_.topk_ns) / 1000.0);
+    if (profile_ != nullptr) {
+      profile_->total_ns = total_ns;
+      profile_->stats = s;
+      profile_->stats -= before_;
+      profile_->Finalize();
+      if (recorder_ != nullptr) recorder_->Record(*profile_);
+    }
     if (TracingEnabled()) {
       EmitTraceEvent(trace_name_, start_ns_ / 1000, total_ns / 1000);
     }
@@ -107,8 +130,26 @@ class QueryMetricsScope {
   QueryStats local_;
   QueryStats* stats_ = nullptr;
   QueryStats before_;
+  std::optional<QueryProfile> local_profile_;
+  QueryProfile* profile_ = nullptr;
+  ProfileRecorder* recorder_ = nullptr;
   int64_t start_ns_;
 };
+
+// The engine-side profile header: query identity, parameters, and the POI
+// subset registration that anchors the verdict invariant.
+void BeginProfile(QueryProfile* profile, Algorithm algorithm, double ts,
+                  double te, int k, double tau,
+                  const std::vector<PoiId>& ids) {
+  if (profile == nullptr) return;
+  profile->algorithm =
+      algorithm == Algorithm::kJoin ? "join" : "iterative";
+  profile->ts = ts;
+  profile->te = te;
+  profile->k = k;
+  profile->tau = tau;
+  profile->BeginPois(ids);
+}
 
 }  // namespace
 
@@ -201,13 +242,17 @@ QueryEngine::PoiSelection QueryEngine::SelectPois(
 
 std::vector<PoiFlow> QueryEngine::SnapshotTopK(
     Timestamp t, int k, Algorithm algorithm,
-    const std::vector<PoiId>* subset, QueryStats* stats) const {
-  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats);
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats, profile,
+                          recorder_);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, algorithm, t, t, k, 0.0, ids);
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
+  ctx.profile = profile;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshot(ctx, poi_tree, ids, t, k);
@@ -250,13 +295,17 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
 
 std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
     Timestamp t, int k, Algorithm algorithm,
-    const std::vector<PoiId>* subset, QueryStats* stats) const {
-  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotDensityTopK", stats);
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotDensityTopK", stats,
+                          profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, algorithm, t, t, k, 0.0, ids);
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
+  ctx.profile = profile;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshotDensity(ctx, poi_tree, ids, t, k);
@@ -268,13 +317,17 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
 
 std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
-    const std::vector<PoiId>* subset, QueryStats* stats) const {
-  QueryMetricsScope scope(IntervalMetrics(), "IntervalDensityTopK", stats);
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalDensityTopK", stats,
+                          profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, algorithm, ts, te, k, 0.0, ids);
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
+  ctx.profile = profile;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeIntervalDensity(ctx, poi_tree, ids, ts, te, k);
@@ -308,13 +361,17 @@ std::vector<ObjectId> QueryEngine::ActiveObjects(Timestamp t) const {
 
 std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
     Timestamp t, double tau, Algorithm algorithm,
-    const std::vector<PoiId>* subset, QueryStats* stats) const {
-  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotThreshold", stats);
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotThreshold", stats,
+                          profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, algorithm, t, t, 0, tau, ids);
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
+  ctx.profile = profile;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshotThreshold(ctx, poi_tree, ids, t, tau);
@@ -326,13 +383,17 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
 
 std::vector<PoiFlow> QueryEngine::IntervalThreshold(
     Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
-    const std::vector<PoiId>* subset, QueryStats* stats) const {
-  QueryMetricsScope scope(IntervalMetrics(), "IntervalThreshold", stats);
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalThreshold", stats,
+                          profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, algorithm, ts, te, 0, tau, ids);
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
+  ctx.profile = profile;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeIntervalThreshold(ctx, poi_tree, ids, ts, te, tau);
@@ -344,13 +405,17 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
 
 std::vector<PoiFlow> QueryEngine::IntervalTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
-    const std::vector<PoiId>* subset, QueryStats* stats) const {
-  QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats);
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats, profile,
+                          recorder_);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, algorithm, ts, te, k, 0.0, ids);
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
+  ctx.profile = profile;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeInterval(ctx, poi_tree, ids, ts, te, k);

@@ -32,6 +32,9 @@
 
 namespace indoorflow {
 
+struct QueryProfile;
+class ProfileRecorder;
+
 enum class Algorithm {
   kIterative,  // Algorithms 1 / 4
   kJoin,       // Algorithms 2 / 5
@@ -69,17 +72,21 @@ class QueryEngine {
 
   /// Problem 1: the k POIs with the highest snapshot flow at `t`.
   /// `subset` selects the query POIs (nullptr = all); `stats`, when
-  /// non-null, accumulates operation counters for this query.
+  /// non-null, accumulates operation counters for this query. `profile`,
+  /// when non-null, receives this query's EXPLAIN profile (per-POI
+  /// prune/evaluate verdicts, object derivation costs, join bound trace —
+  /// see src/core/query_profile.h); like `stats`, pass a distinct one per
+  /// thread.
   std::vector<PoiFlow> SnapshotTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
 
   /// Problem 2: the k POIs with the highest interval flow over [ts, te].
   std::vector<PoiFlow> IntervalTopK(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
 
   /// Threshold variants (an indoorflow extension over the paper's top-k):
   /// every query POI whose flow is at least `tau` (> 0), ordered by flow
@@ -89,11 +96,11 @@ class QueryEngine {
   std::vector<PoiFlow> SnapshotThreshold(
       Timestamp t, double tau, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
   std::vector<PoiFlow> IntervalThreshold(
       Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
 
   /// Runs one snapshot query per entry of `times` across `threads` worker
   /// threads (queries are independent; the engine is safe for concurrent
@@ -111,11 +118,21 @@ class QueryEngine {
   std::vector<PoiFlow> SnapshotDensityTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
   std::vector<PoiFlow> IntervalDensityTopK(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+
+  /// Attaches a flight recorder: every subsequent query records a summary
+  /// EXPLAIN profile (no per-object costs or join trace) into `recorder`
+  /// when the caller didn't pass its own QueryProfile; the recorder keeps
+  /// the slowest recent ones for /profiles/recent. Pass nullptr to detach.
+  /// Call before issuing queries — the pointer is read without
+  /// synchronization by concurrent queries, so don't flip it mid-flight.
+  void AttachProfileRecorder(ProfileRecorder* recorder) {
+    recorder_ = recorder;
+  }
 
   /// UR(o, t): the uncertainty region of one object, empty when no record's
   /// augmented tracking interval covers `t` (the object is untracked then).
@@ -173,6 +190,7 @@ class QueryEngine {
   mutable Mutex poi_tree_mu_;
   mutable std::optional<RTree> all_poi_tree_
       INDOORFLOW_GUARDED_BY(poi_tree_mu_);
+  ProfileRecorder* recorder_ = nullptr;
 };
 
 }  // namespace indoorflow

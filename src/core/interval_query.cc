@@ -5,6 +5,7 @@
 
 #include "src/common/metrics.h"
 #include "src/core/priority_join.h"
+#include "src/core/query_profile.h"
 #include "src/core/tracking_state.h"
 
 namespace indoorflow {
@@ -48,23 +49,31 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
     ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
   }
   // Same phase bracketing as AllSnapshotFlows: derive and presence spans
-  // per chain, two clock reads each.
+  // per chain, two clock reads each; EXPLAIN shares the brackets.
   const bool timed = ctx.stats != nullptr;
+  QueryProfile* profile = ctx.profile;
+  const bool clocked = timed || profile != nullptr;
   for (const IntervalChain& chain : chains) {
-    const int64_t derive_start = timed ? MonotonicNowNs() : 0;
+    const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
     const Region ur = ctx.model->Interval(chain, ts, te);  // line 9
-    if (timed) {
-      ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
-      ++ctx.stats->regions_derived;
+    if (clocked) {
+      const int64_t derive_ns = MonotonicNowNs() - derive_start;
+      if (timed) {
+        ctx.stats->derive_ns += derive_ns;
+        ++ctx.stats->regions_derived;
+      }
+      if (profile != nullptr) profile->AddObjectCost(chain.object, derive_ns);
     }
     if (ur.IsEmpty()) continue;
     poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 10
     const int64_t presence_start = timed ? MonotonicNowNs() : 0;
     for (int32_t poi_id : candidates) {
-      flows[poi_id] += Presence(
+      const double presence = Presence(
           ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
           (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+      flows[poi_id] += presence;
       if (timed) ++ctx.stats->presence_evaluations;
+      if (profile != nullptr) profile->MarkPresence(poi_id, presence);
     }
     if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
   }
@@ -89,7 +98,8 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   // As in WithSnapshotJoinSpec: topk_ns gets the join span minus the
   // derive/presence time booked inside it.
   const int64_t join_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
-  const int64_t derive_before = ctx.stats != nullptr ? ctx.stats->derive_ns : 0;
+  const int64_t derive_before =
+      ctx.stats != nullptr ? ctx.stats->derive_ns : 0;
   const int64_t presence_before =
       ctx.stats != nullptr ? ctx.stats->presence_ns : 0;
   std::vector<AggregateRTree::ObjectEntry> objects;
@@ -113,16 +123,23 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   const auto ur_of = [&](int32_t slot) -> const Region& {
     auto it = ur_cache.find(slot);
     if (it == ur_cache.end()) {
-      const int64_t derive_start =
-          ctx.stats != nullptr ? MonotonicNowNs() : 0;
+      const bool clocked = ctx.stats != nullptr || ctx.profile != nullptr;
+      const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
       it = ur_cache
                .emplace(slot,
                         ctx.model->Interval(
                             *slot_chains[static_cast<size_t>(slot)], ts, te))
                .first;
-      if (ctx.stats != nullptr) {
-        ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
-        ++ctx.stats->regions_derived;
+      if (clocked) {
+        const int64_t derive_ns = MonotonicNowNs() - derive_start;
+        if (ctx.stats != nullptr) {
+          ctx.stats->derive_ns += derive_ns;
+          ++ctx.stats->regions_derived;
+        }
+        if (ctx.profile != nullptr) {
+          ctx.profile->AddObjectCost(
+              slot_chains[static_cast<size_t>(slot)]->object, derive_ns);
+        }
       }
     }
     return it->second;
@@ -136,6 +153,7 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   spec.flow = ctx.flow;
   spec.ur_of = ur_of;
   spec.stats = ctx.stats;
+  spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;
   std::vector<PoiFlow> result = run(spec);
   if (ctx.stats != nullptr) {

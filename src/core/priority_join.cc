@@ -6,6 +6,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/core/query_profile.h"
 
 namespace indoorflow {
 
@@ -70,6 +71,7 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
   const AggregateRTree& agg = *spec.objects;
   const RTree& obj_tree = agg.tree();
   if (poi_tree.empty() || obj_tree.empty()) return;
+  QueryProfile* profile = spec.profile;
 
   // Admission of a POI box against an R_I entry. Leaf object entries check
   // their finer sub-MBRs when available (interval improvement, Fig. 9).
@@ -174,7 +176,13 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
         }
       }
       entry.priority = densify(entry.priority, min_area);
-      if (!entry.list.empty()) queue.Push(std::move(entry));
+      if (!entry.list.empty()) {
+        if (profile != nullptr && poi_tree.IsLeaf(p_root)) {
+          profile->ObserveBound(poi_tree.EntryItem(p_root, ps),
+                                entry.priority);
+        }
+        queue.Push(std::move(entry));
+      }
     }
   }
 
@@ -183,9 +191,19 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
     QueueEntry entry = queue.Pop();
     // Heap order guarantees every remaining entry — bound or exact — is at
     // most entry.priority, so nothing left can reach min_priority.
-    if (entry.priority < min_priority) return;
+    if (entry.priority < min_priority) {
+      if (profile != nullptr) {
+        profile->AddJoinEvent("cutoff", entry.priority, entry.exact_poi,
+                              static_cast<int32_t>(entry.list.size()));
+      }
+      return;
+    }
 
     if (entry.exact) {
+      if (profile != nullptr) {
+        profile->AddJoinEvent("pop_exact", entry.priority, entry.exact_poi,
+                              0);
+      }
       // Its exact flow beats every remaining upper bound.
       if (!emit(PoiFlow{entry.exact_poi, entry.priority})) return;
       continue;
@@ -193,6 +211,12 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
 
     const bool p_is_leaf = poi_tree.IsLeaf(entry.p_node);
     const Box& p_box = poi_tree.EntryBox(entry.p_node, entry.p_slot);
+    if (profile != nullptr) {
+      profile->AddJoinEvent(
+          p_is_leaf ? "pop_poi" : "pop_group", entry.priority,
+          p_is_leaf ? poi_tree.EntryItem(entry.p_node, entry.p_slot) : -1,
+          static_cast<int32_t>(entry.list.size()));
+    }
 
     if (p_is_leaf) {
       const PoiId poi_id = poi_tree.EntryItem(entry.p_node, entry.p_slot);
@@ -223,6 +247,11 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
           spec.stats->presence_evaluations +=
               static_cast<int64_t>(entry.list.size());
         }
+        if (profile != nullptr) {
+          // Raw flow, before the density divide: comparable across modes.
+          profile->MarkEvaluated(poi_id, flow,
+                                 static_cast<int64_t>(entry.list.size()));
+        }
         if (flow > 0.0) {
           QueueEntry exact;
           exact.exact = true;
@@ -236,7 +265,12 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
         next.p_slot = entry.p_slot;
         expand_list(p_box, min_area_of(entry.p_node, entry.p_slot),
                     entry.list, &next.list, &next.priority);
-        if (!next.list.empty()) queue.Push(std::move(next));
+        if (!next.list.empty()) {
+          if (profile != nullptr) {
+            profile->ObserveBound(poi_id, next.priority);
+          }
+          queue.Push(std::move(next));
+        }
       }
       continue;
     }
@@ -245,6 +279,7 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
     const RTree::NodeId child = poi_tree.EntryChild(entry.p_node,
                                                     entry.p_slot);
     const int n = poi_tree.NumEntries(child);
+    const bool child_is_leaf = poi_tree.IsLeaf(child);
     if (list_is_leaf(entry.list)) {
       // Join each sub-entry against the (leaf-level) list directly.
       for (int s = 0; s < n; ++s) {
@@ -260,7 +295,13 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
           }
         }
         next.priority = densify(next.priority, min_area);
-        if (!next.list.empty()) queue.Push(std::move(next));
+        if (!next.list.empty()) {
+          if (profile != nullptr && child_is_leaf) {
+            profile->ObserveBound(poi_tree.EntryItem(child, s),
+                                  next.priority);
+          }
+          queue.Push(std::move(next));
+        }
       }
     } else {
       for (int s = 0; s < n; ++s) {
@@ -269,7 +310,13 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
         next.p_slot = s;
         expand_list(poi_tree.EntryBox(child, s), min_area_of(child, s),
                     entry.list, &next.list, &next.priority);
-        if (!next.list.empty()) queue.Push(std::move(next));
+        if (!next.list.empty()) {
+          if (profile != nullptr && child_is_leaf) {
+            profile->ObserveBound(poi_tree.EntryItem(child, s),
+                                  next.priority);
+          }
+          queue.Push(std::move(next));
+        }
       }
     }
   }

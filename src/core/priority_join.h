@@ -27,6 +27,8 @@
 
 namespace indoorflow {
 
+struct QueryProfile;
+
 struct PriorityJoinSpec {
   const RTree* poi_tree = nullptr;       // R_P over the query POI subset
   const AggregateRTree* objects = nullptr;  // R_I
@@ -37,6 +39,9 @@ struct PriorityJoinSpec {
   std::function<const Region&(int32_t)> ur_of;
   /// Optional operation counters (may be null).
   QueryStats* stats = nullptr;
+  /// Optional EXPLAIN recorder (may be null): receives per-POI bound
+  /// observations, exact-flow verdicts, and the heap-pop trace.
+  QueryProfile* profile = nullptr;
   /// Tighten upper bounds with geometry (an indoorflow extension over the
   /// paper's count bounds): an object's presence in any POI below a POI
   /// entry is at most area(object MBR ∩ POI-entry box) / min POI area in

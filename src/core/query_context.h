@@ -13,6 +13,8 @@
 
 namespace indoorflow {
 
+struct QueryProfile;
+
 /// Everything a query algorithm needs besides its own parameters. All
 /// pointers are non-owning and outlive the query.
 struct QueryContext {
@@ -29,6 +31,10 @@ struct QueryContext {
   bool interval_sub_mbrs = true;
   /// Optional operation counters (may be null).
   QueryStats* stats = nullptr;
+  /// Optional EXPLAIN recorder (may be null; see
+  /// src/core/query_profile.h). The algorithms record per-POI verdicts,
+  /// object derivation costs, and join bound evolution into it.
+  QueryProfile* profile = nullptr;
   /// Geometry-aware join bounds (see EngineConfig::join_area_bounds).
   bool join_area_bounds = false;
 };

@@ -1,0 +1,212 @@
+// Per-query EXPLAIN profiles: the pruning decision tree behind one query.
+//
+// QueryStats says how much work a query did; QueryProfile says *where* and
+// *why*. When a QueryProfile is attached to a QueryContext, the query
+// algorithms record, per POI of the query subset, whether its exact flow
+// was computed or the POI was skipped — and which mechanism skipped it:
+//
+//   evaluated     exact flow computed (iterative: >= 1 presence
+//                 integration reached it; join: its leaf entry was popped)
+//   pruned_bound  the join saw the POI's flow upper bound but the
+//                 best-first cutoff fired before its exact flow was needed
+//   pruned_mbr    never individually considered: its MBR intersected no
+//                 uncertainty region (iterative), or its R_P subtree was
+//                 pruned or cut off at group level (join)
+//
+// The three verdicts partition the query POI set, so their counts always
+// sum to the subset size — the invariant tests/query_profile_test.cc and
+// the CLI `explain` acceptance check assert. Detail mode additionally
+// captures per-object UR-derivation costs and the priority join's
+// bound-evolution trace (each heap pop, capped). Everything serializes to
+// JSON (ToJson) or a human-readable report (ToText) — surfaced by
+// `indoorflow_cli explain` and the /profiles/recent flight recorder.
+//
+// Overhead: recording happens only when QueryContext::profile is non-null;
+// the hot paths cost one pointer test per site otherwise (same pattern as
+// QueryStats). ProfileRecorder keeps the N slowest profiles of a recent
+// window, behind an annotated Mutex, so it can absorb profiles from
+// concurrent queries.
+
+#ifndef INDOORFLOW_CORE_QUERY_PROFILE_H_
+#define INDOORFLOW_CORE_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+#include "src/core/flow.h"
+#include "src/core/query_stats.h"
+
+namespace indoorflow {
+
+struct QueryProfile {
+  enum class Verdict {
+    kPrunedMbr = 0,
+    kPrunedBound = 1,
+    kEvaluated = 2,
+  };
+  static const char* VerdictName(Verdict verdict);
+
+  struct PoiEntry {
+    PoiId poi = -1;
+    Verdict verdict = Verdict::kPrunedMbr;
+    /// Best (highest) flow upper bound observed for this POI in the join's
+    /// queue; 0 when never individually enqueued (and for iterative runs).
+    double bound = 0.0;
+    /// Exact flow, when evaluated (density queries: raw flow, pre-divide).
+    double flow = 0.0;
+    /// Presence integrations charged to this POI.
+    int64_t presence_evals = 0;
+    bool bound_seen = false;
+  };
+
+  struct ObjectCost {
+    int32_t object = -1;
+    int64_t derive_ns = 0;
+  };
+
+  /// One step of the priority join's bound evolution. `kind` is a static
+  /// string: "pop_group" (internal entry), "pop_poi" (leaf-POI entry),
+  /// "pop_exact" (exact flow reached the front), "cutoff" (best remaining
+  /// bound fell below the termination threshold).
+  struct JoinEvent {
+    const char* kind = "";
+    double priority = 0.0;
+    PoiId poi = -1;      // -1 for group-level entries
+    int32_t list_size = 0;
+  };
+
+  /// Join events kept before the trace truncates (join_events_dropped
+  /// counts the rest) — bounds profile memory on adversarial queries.
+  static constexpr size_t kMaxJoinEvents = 4096;
+
+  // ---- identification, filled in by the engine -------------------------
+  std::string kind;       // "SnapshotTopK", "IntervalThreshold", ...
+  std::string algorithm;  // "iterative" | "join"
+  double ts = 0.0;
+  double te = 0.0;  // == ts for snapshot queries
+  int k = 0;        // 0 when not a top-k query
+  double tau = 0.0;  // 0 when not a threshold query
+
+  /// When false, per-object costs and the join trace are skipped (the
+  /// per-POI verdicts are always exact). The flight recorder uses summary
+  /// mode so ambient profiling stays cheap.
+  bool detail = true;
+
+  // ---- results ---------------------------------------------------------
+  int64_t total_ns = 0;
+  QueryStats stats;  // this query's own deltas (not caller accumulation)
+  std::vector<PoiEntry> pois;
+  std::vector<ObjectCost> object_costs;
+  std::vector<JoinEvent> join_events;
+  int64_t join_events_dropped = 0;
+
+  // ---- recording hooks (called by the query algorithms) ----------------
+
+  /// Registers the query POI subset; every id gets a PoiEntry with the
+  /// default kPrunedMbr verdict. Must run before the other hooks.
+  void BeginPois(const std::vector<PoiId>& ids);
+
+  /// Join: a flow upper bound for this specific POI entered the queue.
+  void ObserveBound(PoiId poi, double bound) {
+    PoiEntry* entry = Find(poi);
+    if (entry == nullptr) return;
+    entry->bound_seen = true;
+    if (bound > entry->bound) entry->bound = bound;
+  }
+
+  /// Iterative: one presence integration contributed to this POI.
+  void MarkPresence(PoiId poi, double presence) {
+    PoiEntry* entry = Find(poi);
+    if (entry == nullptr) return;
+    entry->verdict = Verdict::kEvaluated;
+    entry->flow += presence;
+    ++entry->presence_evals;
+  }
+
+  /// Join: this POI's exact flow was computed from `evals` listed objects.
+  void MarkEvaluated(PoiId poi, double flow, int64_t evals) {
+    PoiEntry* entry = Find(poi);
+    if (entry == nullptr) return;
+    entry->verdict = Verdict::kEvaluated;
+    entry->flow = flow;
+    entry->presence_evals += evals;
+  }
+
+  void AddObjectCost(int32_t object, int64_t derive_ns) {
+    if (!detail) return;
+    object_costs.push_back(ObjectCost{object, derive_ns});
+  }
+
+  void AddJoinEvent(const char* event_kind, double priority, PoiId poi,
+                    int32_t list_size) {
+    if (!detail) return;
+    if (join_events.size() >= kMaxJoinEvents) {
+      ++join_events_dropped;
+      return;
+    }
+    join_events.push_back(JoinEvent{event_kind, priority, poi, list_size});
+  }
+
+  /// Settles the final verdicts: every POI not evaluated becomes
+  /// kPrunedBound when a bound was observed for it, kPrunedMbr otherwise.
+  /// Called by the engine when the query returns.
+  void Finalize();
+
+  /// Verdict counts over `pois` (valid after Finalize).
+  int64_t CountVerdict(Verdict verdict) const;
+
+  std::string ToJson() const;
+  /// Multi-line human-readable report (the `explain` default rendering):
+  /// phase breakdown, pruning funnel, top object costs, bound trace.
+  std::string ToText() const;
+
+ private:
+  PoiEntry* Find(PoiId poi) {
+    auto it = index_.find(poi);
+    return it == index_.end() ? nullptr : &pois[it->second];
+  }
+
+  std::unordered_map<PoiId, size_t> index_;
+};
+
+/// Flight recorder: keeps the `capacity` slowest query profiles among the
+/// most recent `window` recorded queries, so /profiles/recent shows what
+/// was slow *lately* rather than the slowest queries since process start.
+/// Thread-safe; Record() takes a copy.
+class ProfileRecorder {
+ public:
+  explicit ProfileRecorder(size_t capacity = 16, int64_t window = 1024)
+      : capacity_(capacity == 0 ? 1 : capacity), window_(window) {}
+
+  void Record(const QueryProfile& profile);
+
+  /// {"window":...,"capacity":...,"recorded":N,"profiles":[...]} with
+  /// profiles ordered slowest-first.
+  std::string ToJson() const;
+
+  /// Profiles currently retained.
+  size_t size() const;
+
+  /// Total queries ever recorded (including evicted ones).
+  int64_t recorded() const;
+
+ private:
+  struct Slot {
+    int64_t seq = 0;
+    QueryProfile profile;
+  };
+
+  const size_t capacity_;
+  const int64_t window_;
+  mutable Mutex mu_;
+  int64_t next_seq_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+  std::vector<Slot> slots_ INDOORFLOW_GUARDED_BY(mu_);
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_QUERY_PROFILE_H_

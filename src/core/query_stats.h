@@ -10,6 +10,7 @@
 #define INDOORFLOW_CORE_QUERY_STATS_H_
 
 #include <cstdint>
+#include <string>
 
 namespace indoorflow {
 
@@ -45,7 +46,62 @@ struct QueryStats {
     topk_ns += o.topk_ns;
     return *this;
   }
+
+  QueryStats& operator-=(const QueryStats& o) {
+    objects_retrieved -= o.objects_retrieved;
+    regions_derived -= o.regions_derived;
+    presence_evaluations -= o.presence_evaluations;
+    pois_evaluated -= o.pois_evaluated;
+    retrieve_ns -= o.retrieve_ns;
+    derive_ns -= o.derive_ns;
+    presence_ns -= o.presence_ns;
+    topk_ns -= o.topk_ns;
+    return *this;
+  }
+
+  /// One flat JSON object over all eight fields, keyed by the snake_case
+  /// names of kQueryStatsFields below. Shared by `indoorflow_cli` output
+  /// and QueryProfile::ToJson so the two never drift.
+  std::string ToJson() const;
 };
+
+/// The single source of truth for QueryStats field names across the JSON
+/// serializations (json_name) and the benchmark counters published by
+/// bench/bench_common.h (bench_name — CamelCase, pinned by
+/// bench/baseline.json). `bench_name` is null for the phase timers, which
+/// benchmarks report through their own timing instead.
+struct QueryStatsField {
+  const char* json_name;
+  const char* bench_name;
+  int64_t QueryStats::* member;
+};
+
+inline constexpr QueryStatsField kQueryStatsFields[] = {
+    {"objects_retrieved", "ObjectsRetrieved", &QueryStats::objects_retrieved},
+    {"regions_derived", "RegionsDerived", &QueryStats::regions_derived},
+    {"presence_evaluations", "PresenceEvals",
+     &QueryStats::presence_evaluations},
+    {"pois_evaluated", "PoisEvaluated", &QueryStats::pois_evaluated},
+    {"retrieve_ns", nullptr, &QueryStats::retrieve_ns},
+    {"derive_ns", nullptr, &QueryStats::derive_ns},
+    {"presence_ns", nullptr, &QueryStats::presence_ns},
+    {"topk_ns", nullptr, &QueryStats::topk_ns},
+};
+
+inline std::string QueryStats::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const QueryStatsField& field : kQueryStatsFields) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(field.json_name);
+    out.append("\":");
+    out.append(std::to_string(this->*field.member));
+  }
+  out.push_back('}');
+  return out;
+}
 
 }  // namespace indoorflow
 

@@ -6,6 +6,7 @@
 
 #include "src/common/metrics.h"
 #include "src/core/priority_join.h"
+#include "src/core/query_profile.h"
 #include "src/core/tracking_state.h"
 
 namespace indoorflow {
@@ -57,23 +58,32 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
 
   // Phase marks bracket the UR derivation and the presence integrations
   // per object; two clock reads each keep the overhead per object flat.
+  // EXPLAIN shares the brackets, so profiling alone still times phases.
   const bool timed = ctx.stats != nullptr;
+  QueryProfile* profile = ctx.profile;
+  const bool clocked = timed || profile != nullptr;
   std::vector<int32_t> candidates;
   for (const SnapshotState& state : CollectStates(ctx, t)) {  // lines 4-14
-    const int64_t derive_start = timed ? MonotonicNowNs() : 0;
+    const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
     const Region ur = ctx.model->Snapshot(state, t);
-    if (timed) {
-      ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
-      ++ctx.stats->regions_derived;
+    if (clocked) {
+      const int64_t derive_ns = MonotonicNowNs() - derive_start;
+      if (timed) {
+        ctx.stats->derive_ns += derive_ns;
+        ++ctx.stats->regions_derived;
+      }
+      if (profile != nullptr) profile->AddObjectCost(state.object, derive_ns);
     }
     if (ur.IsEmpty()) continue;
     poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 12
     const int64_t presence_start = timed ? MonotonicNowNs() : 0;
     for (int32_t poi_id : candidates) {
-      flows[poi_id] += Presence(
+      const double presence = Presence(
           ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
           (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+      flows[poi_id] += presence;
       if (timed) ++ctx.stats->presence_evaluations;
+      if (profile != nullptr) profile->MarkPresence(poi_id, presence);
     }
     if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
   }
@@ -96,7 +106,8 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   // booked by ur_of and Presence during `run` is subtracted at the end so
   // topk_ns covers only the R_I build plus the priority traversal itself.
   const int64_t join_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
-  const int64_t derive_before = ctx.stats != nullptr ? ctx.stats->derive_ns : 0;
+  const int64_t derive_before =
+      ctx.stats != nullptr ? ctx.stats->derive_ns : 0;
   const int64_t presence_before =
       ctx.stats != nullptr ? ctx.stats->presence_ns : 0;
   std::vector<AggregateRTree::ObjectEntry> objects;
@@ -120,16 +131,23 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   const auto ur_of = [&](int32_t slot) -> const Region& {
     auto it = ur_cache.find(slot);
     if (it == ur_cache.end()) {
-      const int64_t derive_start =
-          ctx.stats != nullptr ? MonotonicNowNs() : 0;
+      const bool clocked = ctx.stats != nullptr || ctx.profile != nullptr;
+      const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
       it = ur_cache
                .emplace(slot,
                         ctx.model->Snapshot(
                             *slot_states[static_cast<size_t>(slot)], t))
                .first;
-      if (ctx.stats != nullptr) {
-        ctx.stats->derive_ns += MonotonicNowNs() - derive_start;
-        ++ctx.stats->regions_derived;
+      if (clocked) {
+        const int64_t derive_ns = MonotonicNowNs() - derive_start;
+        if (ctx.stats != nullptr) {
+          ctx.stats->derive_ns += derive_ns;
+          ++ctx.stats->regions_derived;
+        }
+        if (ctx.profile != nullptr) {
+          ctx.profile->AddObjectCost(
+              slot_states[static_cast<size_t>(slot)]->object, derive_ns);
+        }
       }
     }
     return it->second;
@@ -143,6 +161,7 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   spec.flow = ctx.flow;
   spec.ur_of = ur_of;
   spec.stats = ctx.stats;
+  spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;
   std::vector<PoiFlow> result = run(spec);
   if (ctx.stats != nullptr) {

@@ -1,0 +1,221 @@
+// Tests for the dependency-free exposition server (src/common/expo_server.h):
+// route dispatch, 404/405 handling, query-string stripping, ephemeral-port
+// startup, idempotent shutdown and restart, plus a concurrent stress suite
+// that serves /metrics and /profiles/recent while engine queries record
+// EXPLAIN profiles — it runs under the TSan CI job (suite name matches its
+// -R "Concurrency|..." test filter).
+
+#include "src/common/expo_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/metrics.h"
+#include "src/core/engine.h"
+#include "src/core/query_profile.h"
+
+namespace indoorflow {
+namespace {
+
+// Minimal blocking HTTP request against 127.0.0.1:port. Returns the raw
+// response (status line + headers + body), or "" on connection failure.
+std::string HttpRequest(int port, const std::string& target,
+                        const std::string& method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = method + " " + target +
+                              " HTTP/1.1\r\nHost: localhost\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Body(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(ExpoServerTest, ServesRegisteredRouteOnEphemeralPort) {
+  ExpoServer server;
+  server.Handle("/ping", "text/plain", [] { return std::string("pong"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  ASSERT_GT(server.port(), 0);
+  const std::string response = HttpRequest(server.port(), "/ping");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_EQ(Body(response), "pong");
+  server.Stop();
+}
+
+TEST(ExpoServerTest, UnknownPathIs404) {
+  ExpoServer server;
+  server.Handle("/ping", "text/plain", [] { return std::string("pong"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = HttpRequest(server.port(), "/nope");
+  EXPECT_NE(response.find("404"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(ExpoServerTest, NonGetIs405) {
+  ExpoServer server;
+  server.Handle("/ping", "text/plain", [] { return std::string("pong"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response = HttpRequest(server.port(), "/ping", "POST");
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+  server.Stop();
+}
+
+TEST(ExpoServerTest, QueryStringIsStripped) {
+  ExpoServer server;
+  server.Handle("/ping", "text/plain", [] { return std::string("pong"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string response =
+      HttpRequest(server.port(), "/ping?verbose=1&x=2");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_EQ(Body(response), "pong");
+  server.Stop();
+}
+
+TEST(ExpoServerTest, HandleAfterStartIsIgnored) {
+  ExpoServer server;
+  server.Handle("/a", "text/plain", [] { return std::string("a"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Handle("/late", "text/plain", [] { return std::string("late"); });
+  EXPECT_NE(HttpRequest(server.port(), "/late").find("404"),
+            std::string::npos);
+  EXPECT_EQ(Body(HttpRequest(server.port(), "/a")), "a");
+  server.Stop();
+}
+
+TEST(ExpoServerTest, StopIsIdempotentAndRestartWorks) {
+  ExpoServer server;
+  server.Handle("/ping", "text/plain", [] { return std::string("pong"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int first_port = server.port();
+  EXPECT_GT(first_port, 0);
+  server.Stop();
+  server.Stop();  // must be a no-op
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_EQ(Body(HttpRequest(server.port(), "/ping")), "pong");
+  server.Stop();
+}
+
+TEST(ExpoServerTest, ServesMetricsRegistryDump) {
+  MetricsRegistry registry;
+  registry.counter("expo.test.count").Add(3);
+  ExpoServer server;
+  server.Handle("/metrics", "text/plain; version=0.0.4",
+                [&registry] { return registry.DumpText(); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string body = Body(HttpRequest(server.port(), "/metrics"));
+  EXPECT_NE(body.find("# TYPE indoorflow_expo_test_count counter"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("indoorflow_expo_test_count 3"), std::string::npos);
+  server.Stop();
+}
+
+// --- Concurrency stress (runs under the TSan CI job) ------------------------
+
+TEST(ExpoServerConcurrencyTest, ServesWhileQueriesRecordProfiles) {
+  // The acceptance scenario: the exposition server answers /metrics and
+  // /profiles/recent while concurrent engine queries (with and without
+  // caller profiles) feed the shared flight recorder.
+  OfficeDatasetConfig config;
+  config.num_objects = 40;
+  config.duration = 300.0;
+  config.num_pois = 8;
+  config.seed = 5;
+  const Dataset dataset = GenerateOfficeDataset(config);
+  QueryEngine engine(dataset, EngineConfig{});
+  ProfileRecorder recorder(/*capacity=*/4, /*window=*/64);
+  engine.AttachProfileRecorder(&recorder);
+
+  MetricsRegistry registry;
+  ExpoServer server;
+  server.Handle("/metrics", "text/plain; version=0.0.4",
+                [&registry] { return registry.DumpText(); });
+  server.Handle("/profiles/recent", "application/json",
+                [&recorder] { return recorder.ToJson(); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int port = server.port();
+
+  std::atomic<int> bad_responses{0};
+  constexpr int kClientThreads = 3;
+  constexpr int kRequestsPerClient = 20;
+  constexpr int kQueryThreads = 3;
+  constexpr int kQueriesPerThread = 10;
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClientThreads; ++c) {
+    threads.emplace_back([port, &bad_responses, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const std::string target =
+            (c + i) % 2 == 0 ? "/metrics" : "/profiles/recent";
+        const std::string response = HttpRequest(port, target);
+        if (response.find("200 OK") == std::string::npos) {
+          bad_responses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  const Timestamp mid = (dataset.window_start + dataset.window_end) / 2.0;
+  for (int q = 0; q < kQueryThreads; ++q) {
+    threads.emplace_back([&engine, &registry, mid, q] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        registry.counter("expo.stress.queries").Add(1);
+        if (i % 2 == 0) {
+          QueryProfile profile;
+          engine.SnapshotTopK(mid + q * 7.0 + i, 3, Algorithm::kJoin,
+                              nullptr, nullptr, &profile);
+        } else {
+          engine.SnapshotTopK(mid + q * 7.0 + i, 3, Algorithm::kIterative);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  server.Stop();
+
+  EXPECT_EQ(bad_responses.load(), 0);
+  EXPECT_EQ(recorder.recorded(),
+            int64_t{kQueryThreads} * kQueriesPerThread);
+  EXPECT_EQ(registry.counter("expo.stress.queries").value(),
+            int64_t{kQueryThreads} * kQueriesPerThread);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -1,0 +1,195 @@
+// Tests for the structured logging sink (src/common/log.h): level parsing
+// and gating, text and JSON rendering, field escaping, file redirection,
+// env-driven configuration, and a concurrent-emission stress suite that
+// runs under the TSan CI job (suite name matches its -R "Concurrency|..."
+// test filter) and asserts whole lines never interleave.
+
+#include "src/common/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace indoorflow {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(file);
+  return content;
+}
+
+std::vector<std::string> Lines(const std::string& content) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    lines.push_back(content.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(LogTest, LevelNamesRoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError}) {
+    auto parsed = ParseLogLevel(LogLevelName(level));
+    ASSERT_TRUE(parsed.ok()) << LogLevelName(level);
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_EQ(*ParseLogLevel("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(*ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_FALSE(ParseLogLevel("loud").ok());
+  EXPECT_FALSE(ParseLogLevel("").ok());
+}
+
+TEST(LogTest, LevelGateFiltersLowerLevels) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LogTest, TextFormatRendersLevelComponentAndFields) {
+  const std::string path = ::testing::TempDir() + "/indoorflow_log_text.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogFormat(LogFormat::kText);
+  SetLogLevel(LogLevel::kDebug);
+  Log(LogLevel::kWarn, "unit", "something happened")
+      .Field("count", int64_t{7})
+      .Field("name", "widget");
+  const std::string content = ReadFile(path);
+  EXPECT_NE(content.find(" WARN [unit] something happened"),
+            std::string::npos)
+      << content;
+  EXPECT_NE(content.find("count=7"), std::string::npos);
+  EXPECT_NE(content.find("name=widget"), std::string::npos);
+  EXPECT_EQ(content.back(), '\n');
+}
+
+TEST(LogTest, JsonFormatRendersOneObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "/indoorflow_log_json.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogFormat(LogFormat::kJson);
+  SetLogLevel(LogLevel::kDebug);
+  Log(LogLevel::kError, "unit", "with \"quotes\" and\nnewline")
+      .Field("ratio", 2.5)
+      .Field("flag", true)
+      .Field("tabbed", "a\tb");
+  const std::string content = ReadFile(path);
+  const std::vector<std::string> lines = Lines(content);
+  ASSERT_EQ(lines.size(), 1u) << content;
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"component\":\"unit\""), std::string::npos);
+  EXPECT_NE(line.find("with \\\"quotes\\\" and\\nnewline"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"ratio\":2.5"), std::string::npos);
+  EXPECT_NE(line.find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(line.find("a\\tb"), std::string::npos);
+  SetLogFormat(LogFormat::kText);
+}
+
+TEST(LogTest, RecordsBelowLevelAreDropped) {
+  const std::string path = ::testing::TempDir() + "/indoorflow_log_drop.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogLevel(LogLevel::kError);
+  Log(LogLevel::kInfo, "unit", "should not appear").Field("k", int64_t{1});
+  EXPECT_EQ(ReadFile(path), "");
+  SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(LogTest, SetLogFileFailureKeepsPreviousSink) {
+  const std::string path = ::testing::TempDir() + "/indoorflow_log_keep.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  EXPECT_FALSE(SetLogFile("/nonexistent-dir/sub/log.txt").ok());
+  Log(LogLevel::kError, "unit", "still goes to the old file");
+  EXPECT_NE(ReadFile(path).find("still goes to the old file"),
+            std::string::npos);
+}
+
+TEST(LogTest, InitLoggingFromEnvAppliesLevelAndFormat) {
+  ASSERT_EQ(setenv("INDOORFLOW_LOG_LEVEL", "debug", 1), 0);
+  ASSERT_EQ(setenv("INDOORFLOW_LOG_FORMAT", "json", 1), 0);
+  InitLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  EXPECT_EQ(GetLogFormat(), LogFormat::kJson);
+  // Malformed values are ignored, current configuration stays.
+  ASSERT_EQ(setenv("INDOORFLOW_LOG_LEVEL", "shouty", 1), 0);
+  InitLoggingFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  unsetenv("INDOORFLOW_LOG_LEVEL");
+  unsetenv("INDOORFLOW_LOG_FORMAT");
+  SetLogLevel(LogLevel::kInfo);
+  SetLogFormat(LogFormat::kText);
+}
+
+TEST(LogTest, AppendJsonEscapedHandlesSpecials) {
+  std::string out;
+  AppendJsonEscaped("a\"b\\c\nd\te\rf", &out);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\rf");
+  out.clear();
+  AppendJsonEscaped(std::string("ctrl:\x01"), &out);
+  EXPECT_EQ(out, "ctrl:\\u0001");
+}
+
+// --- Concurrency stress (runs under the TSan CI job) ------------------------
+
+TEST(LogConcurrencyTest, ConcurrentRecordsNeverInterleave) {
+  const std::string path =
+      ::testing::TempDir() + "/indoorflow_log_stress.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogFormat(LogFormat::kJson);
+  SetLogLevel(LogLevel::kDebug);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  const std::string payload(64, 'x');
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &payload] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Log(LogLevel::kInfo, "stress", "concurrent record")
+            .Field("thread", int64_t{t})
+            .Field("i", int64_t{i})
+            .Field("payload", payload);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const std::vector<std::string> lines = Lines(ReadFile(path));
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads) * kPerThread);
+  for (const std::string& line : lines) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"msg\":\"concurrent record\""), std::string::npos)
+        << line;
+    EXPECT_NE(line.find(payload), std::string::npos) << line;
+  }
+  SetLogFormat(LogFormat::kText);
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -8,8 +8,10 @@
 
 #include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <string>
@@ -385,6 +387,84 @@ TEST(MetricsTest, TraceSinkWritesParsableJsonArray) {
   EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
   // Exactly two events => exactly one separating comma at depth 1.
   EXPECT_NE(content.find("},\n"), std::string::npos);
+}
+
+TEST(MetricsTest, TraceSinkNestedSpansAreWellFormedAndOrdered) {
+  // The INDOORFLOW_TRACE env path drives the sink exactly like the tools
+  // do; nested ScopedTimers must produce one well-formed event per line,
+  // emitted innermost-first (destruction order) with properly nested
+  // timestamps.
+  const std::string path =
+      ::testing::TempDir() + "/indoorflow_trace_nested.json";
+  ASSERT_EQ(setenv("INDOORFLOW_TRACE", path.c_str(), 1), 0);
+  ASSERT_TRUE(InitTracingFromEnv());
+  ASSERT_TRUE(TracingEnabled());
+  {
+    ScopedTimer outer(nullptr, "nest_outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    {
+      ScopedTimer middle(nullptr, "nest_middle");
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      {
+        ScopedTimer inner(nullptr, "nest_inner");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  StopTracing();
+  unsetenv("INDOORFLOW_TRACE");
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string content;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    content.append(buffer, read);
+  }
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  // Collect the event lines between the array brackets; each must parse as
+  // a standalone JSON object once the separating comma is stripped.
+  std::vector<std::string> events;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string line = content.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line == "[" || line == "]") continue;
+    if (line.back() == ',') line.pop_back();
+    events.push_back(line);
+  }
+  ASSERT_EQ(events.size(), 3u) << content;
+
+  const char* expected_names[] = {"nest_inner", "nest_middle", "nest_outer"};
+  std::vector<double> ts(3), dur(3);
+  for (size_t i = 0; i < events.size(); ++i) {
+    JsonReader reader(events[i]);
+    ASSERT_TRUE(reader.Parse()) << events[i];
+    EXPECT_NE(events[i].find(std::string("\"name\":\"") +
+                             expected_names[i] + "\""),
+              std::string::npos)
+        << events[i];
+    ASSERT_TRUE(reader.Number({"ts"}, &ts[i])) << events[i];
+    ASSERT_TRUE(reader.Number({"dur"}, &dur[i])) << events[i];
+    EXPECT_GT(dur[i], 0.0) << events[i];
+  }
+  // Starts: outer before middle before inner; durations nest the same way.
+  EXPECT_LT(ts[2], ts[1]);
+  EXPECT_LT(ts[1], ts[0]);
+  EXPECT_GT(dur[2], dur[1]);
+  EXPECT_GT(dur[1], dur[0]);
+  // Each span ends inside its parent — equivalently, the file order is the
+  // completion order (2us slack for independent microsecond truncation of
+  // ts and dur).
+  EXPECT_LE(ts[0] + dur[0], ts[1] + dur[1] + 2.0);
+  EXPECT_LE(ts[1] + dur[1], ts[2] + dur[2] + 2.0);
 }
 
 TEST(MetricsTest, StartTracingRejectsUnwritablePath) {

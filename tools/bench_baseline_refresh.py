@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Refresh bench/baseline.json by running the benchmarks and updating.
+
+The regression gate (tools/bench_compare.py) compares CI benchmark runs
+against the checked-in baseline. After an intentional perf change the
+baseline must be regenerated the same way CI measures — median of N
+repetitions, aggregates only — which this script wraps so the update is one
+command instead of a hand-edited JSON file:
+
+  tools/bench_baseline_refresh.py --build-dir build
+
+runs every bench_* binary found in <build-dir>/bench, collects their JSON,
+and invokes bench_compare.py --update-baseline. Use --bench to restrict to
+specific binaries (repeatable), --dry-run to see the comparison without
+writing.
+
+Run it on the machine class the CI gate runs on; a laptop-made baseline
+makes the 25% regression threshold meaningless.
+
+Exit status: 0 on success, 1 when a benchmark binary fails, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_FLAGS = [
+    "--benchmark_format=json",
+    "--benchmark_report_aggregates_only=true",
+]
+
+
+def find_benchmarks(bench_dir: str) -> list[str]:
+    if not os.path.isdir(bench_dir):
+        return []
+    out = []
+    for name in sorted(os.listdir(bench_dir)):
+        path = os.path.join(bench_dir, name)
+        if name.startswith("bench_") and os.access(path, os.X_OK) \
+                and os.path.isfile(path):
+            out.append(path)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--baseline", default="bench/baseline.json")
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--bench", action="append", default=[],
+                        metavar="NAME",
+                        help="benchmark binary name to run (repeatable; "
+                             "default: all bench_* in <build-dir>/bench)")
+    parser.add_argument("--benchmark-filter", default="",
+                        help="passed through as --benchmark_filter")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="compare against the baseline but do not "
+                             "update it")
+    args = parser.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if args.bench:
+        binaries = [os.path.join(bench_dir, name) for name in args.bench]
+        missing = [b for b in binaries if not os.path.isfile(b)]
+        if missing:
+            print(f"benchmark binaries not found: {missing}",
+                  file=sys.stderr)
+            return 2
+    else:
+        binaries = find_benchmarks(bench_dir)
+        if not binaries:
+            print(f"no bench_* binaries in {bench_dir} — build them first "
+                  f"(cmake --build {args.build_dir})", file=sys.stderr)
+            return 2
+
+    results = []
+    with tempfile.TemporaryDirectory(prefix="bench_refresh_") as tmp:
+        for binary in binaries:
+            out_path = os.path.join(
+                tmp, os.path.basename(binary) + ".json")
+            cmd = [binary] + BENCH_FLAGS + [
+                f"--benchmark_repetitions={args.repetitions}"]
+            if args.benchmark_filter:
+                cmd.append(f"--benchmark_filter={args.benchmark_filter}")
+            print(f"running {os.path.basename(binary)} "
+                  f"(x{args.repetitions}) ...", flush=True)
+            with open(out_path, "w", encoding="utf-8") as out:
+                proc = subprocess.run(cmd, stdout=out)
+            if proc.returncode != 0:
+                print(f"{binary} exited with {proc.returncode}",
+                      file=sys.stderr)
+                return 1
+            results.append(out_path)
+
+        compare = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "bench_compare.py")
+        cmd = [sys.executable, compare, "--baseline", args.baseline]
+        if not args.dry_run:
+            cmd.append("--update-baseline")
+        cmd += results
+        proc = subprocess.run(cmd)
+        return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

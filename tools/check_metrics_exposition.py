@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (as served on /metrics).
+
+Checks the subset of the format the indoorflow exposition endpoint emits
+(see MetricsRegistry::DumpText): ``# TYPE`` declarations followed by sample
+lines, optional ``{quantile="..."}`` labels, and ``_sum`` / ``_count``
+series for summaries. Used by the CI smoke step:
+
+  curl -s http://127.0.0.1:PORT/metrics | tools/check_metrics_exposition.py
+  tools/check_metrics_exposition.py --require indoorflow_query_snapshot_count \\
+      metrics.txt
+
+Exit status: 0 valid, 1 on any format violation or missing --require name,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+VALID_TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+# Series suffixes each declared type additionally owns.
+TYPE_SUFFIXES = {
+    "summary": ("_sum", "_count"),
+    "histogram": ("_sum", "_count", "_bucket"),
+}
+
+
+def base_name(name: str, declared: dict[str, str]) -> str | None:
+    """The declared family a sample name belongs to, or None."""
+    if name in declared:
+        return name
+    for family, kind in declared.items():
+        for suffix in TYPE_SUFFIXES.get(kind, ()):
+            if name == family + suffix:
+                return family
+    return None
+
+
+def validate(text: str, errors: list[str]) -> dict[str, str]:
+    declared: dict[str, str] = {}
+    seen_samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: TYPE needs name + type")
+                    continue
+                _, _, name, kind = parts
+                if not METRIC_NAME.match(name):
+                    errors.append(f"line {lineno}: bad metric name {name!r}")
+                if kind not in VALID_TYPES:
+                    errors.append(f"line {lineno}: bad type {kind!r}")
+                if name in declared:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                declared[name] = kind
+            continue
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: not a valid sample: {line!r}")
+            continue
+        seen_samples += 1
+        name = match.group("name")
+        family = base_name(name, declared)
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE")
+        if match.group("labels"):
+            for label in match.group("labels").split(","):
+                if not LABEL.match(label):
+                    errors.append(
+                        f"line {lineno}: malformed label {label!r}")
+        value = match.group("value")
+        try:
+            parsed = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r}")
+            continue
+        if family and declared.get(family) == "counter" and parsed < 0:
+            errors.append(f"line {lineno}: counter {name} is negative")
+    if seen_samples == 0:
+        errors.append("no samples found (empty exposition)")
+    return declared
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", default="-",
+                        help="metrics text file ('-' or omitted: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this metric family is declared "
+                             "(repeatable)")
+    args = parser.parse_args()
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, encoding="utf-8") as f:
+            text = f.read()
+
+    errors: list[str] = []
+    declared = validate(text, errors)
+    for name in args.require:
+        if name not in declared:
+            errors.append(f"required metric {name!r} not declared")
+    if errors:
+        for error in errors:
+            print(f"check_metrics_exposition: {error}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(declared)} metric families validated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+# `indoorflow_cli explain --format json` must emit a machine-readable
+# EXPLAIN profile whose per-POI verdicts partition the dataset's POI set
+# (acceptance criterion for the EXPLAIN subsystem): run it for both
+# algorithms, parse the JSON, and assert the verdict counts sum to the POI
+# count and the phase times reconcile with the stats section.
+get_filename_component(tmp_dir ${DATA} DIRECTORY)
+foreach(algo iterative join)
+  execute_process(
+    COMMAND ${CLI} explain --data ${DATA} --t 300 --k 3 --algo ${algo}
+      --format json
+    OUTPUT_VARIABLE explain_out
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "indoorflow_cli explain (${algo}) failed with ${rc}")
+  endif()
+  set(check "
+import json, sys
+profile = json.load(sys.stdin)
+assert profile['kind'] == 'SnapshotTopK', profile['kind']
+assert profile['algorithm'] == '${algo}', profile['algorithm']
+v = profile['verdicts']
+total = v['evaluated'] + v['pruned_bound'] + v['pruned_mbr']
+assert total == v['total'], (total, v['total'])
+assert total == len(profile['pois']), (total, len(profile['pois']))
+# The dataset pois.txt is id-dense, so the POI count is the file's POIs.
+pois_in_dataset = sum(1 for line in open('${DATA}/pois.txt')
+                      if line.strip() and not line.startswith('#'))
+assert total == pois_in_dataset, (total, pois_in_dataset)
+stats = profile['stats']
+phase_sum = sum(stats[k] for k in
+                ('retrieve_ns', 'derive_ns', 'presence_ns', 'topk_ns'))
+assert 0 < phase_sum <= profile['total_ns'], (phase_sum,
+                                              profile['total_ns'])
+assert profile['detail'] is True
+")
+  set(tmp ${tmp_dir}/cli_explain_${algo}.json)
+  file(WRITE ${tmp} "${explain_out}")
+  execute_process(
+    COMMAND ${PYTHON} -c ${check}
+    INPUT_FILE ${tmp}
+    RESULT_VARIABLE parse_rc
+    ERROR_VARIABLE parse_err)
+  if(NOT parse_rc EQUAL 0)
+    message(FATAL_ERROR
+      "explain (${algo}) output failed validation: ${parse_err}")
+  endif()
+endforeach()

@@ -16,13 +16,22 @@
 //   timeline  --data DIR --poi ID [--t0 T] [--t1 T] [--step S]
 //   report    --data DIR [--k K] [--slots N]   (markdown occupancy report)
 //   stats     --data DIR
+//   explain   --data DIR (--t T | --ts T --te T) [--k K] [--tau F]
+//             [--algo ...] [--metric flow|density] [--format text|json]
+//             EXPLAIN profile of one query: per-POI prune/evaluate
+//             verdicts, phase times, object costs, and the join trace.
+//   serve     --data DIR [--port P] [--duration S] [--interval S]
+//             Live exposition endpoint: /metrics, /healthz,
+//             /profiles/recent over a rolling probe workload.
 //   cleanse   --readings FILE.csv --deployment FILE.csv --out FILE.csv
 //             [--vmax V] [--slack S]    (speed-constraint outlier removal)
 //   render    --data DIR --out FILE.svg [--heatmap-t T]
 //
-// Exit code 0 on success; errors go to stderr.
+// Exit code 0 on success; errors go to the structured log (stderr by
+// default; see src/common/log.h for INDOORFLOW_LOG_* configuration).
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,10 +39,14 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/common/expo_server.h"
+#include "src/common/log.h"
 #include "src/common/metrics.h"
 #include "src/core/engine.h"
+#include "src/core/query_profile.h"
 #include "src/core/flow_matrix.h"
 #include "src/core/itinerary.h"
 #include "src/core/timeline.h"
@@ -103,7 +116,7 @@ class Flags {
 };
 
 int Fail(const std::string& message) {
-  std::fprintf(stderr, "error: %s\n", message.c_str());
+  Log(LogLevel::kError, "cli", message);
   return 1;
 }
 
@@ -117,6 +130,31 @@ struct LoadedDataset {
   ObjectTrackingTable ott;
   PoiSet pois;
 };
+
+// Cross-file consistency checks. The readers validate each file in
+// isolation, but a truncated deployment.csv or a non-id-dense pois.txt
+// would otherwise surface as out-of-bounds indexing deep inside the query
+// engine (the engine requires pois[i].id == i and indexes devices by id).
+Status ValidateDataset(const LoadedDataset& data) {
+  for (size_t i = 0; i < data.pois.size(); ++i) {
+    if (data.pois[i].id != static_cast<PoiId>(i)) {
+      return Status::InvalidArgument(
+          "pois.txt is not id-dense: entry " + std::to_string(i) +
+          " has id " + std::to_string(data.pois[i].id));
+    }
+  }
+  for (size_t i = 0; i < data.ott.size(); ++i) {
+    const TrackingRecord& r = data.ott.record(static_cast<RecordIndex>(i));
+    if (r.device_id < 0 ||
+        static_cast<size_t>(r.device_id) >= data.deployment.size()) {
+      return Status::InvalidArgument(
+          "ott.csv record " + std::to_string(i) + " references device " +
+          std::to_string(r.device_id) + " but deployment.csv defines " +
+          std::to_string(data.deployment.size()) + " devices");
+    }
+  }
+  return Status::OK();
+}
 
 Result<LoadedDataset> LoadDataDir(const std::string& dir) {
   LoadedDataset data;
@@ -132,6 +170,7 @@ Result<LoadedDataset> LoadDataDir(const std::string& dir) {
   auto ott = ReadOttCsv(dir + "/ott.csv");
   if (!ott.ok()) return ott.status();
   data.ott = std::move(*ott);
+  INDOORFLOW_RETURN_IF_ERROR(ValidateDataset(data));
   data.graph = std::make_unique<DoorGraph>(data.plan);
   return data;
 }
@@ -253,12 +292,7 @@ void PrintTopK(const LoadedDataset& data, const std::vector<PoiFlow>& top,
     std::printf("%-6d %-24s %.4f\n", f.poi,
                 data.pois[static_cast<size_t>(f.poi)].name.c_str(), f.flow);
   }
-  std::printf(
-      "# objects=%lld regions=%lld presences=%lld pois_evaluated=%lld\n",
-      static_cast<long long>(stats.objects_retrieved),
-      static_cast<long long>(stats.regions_derived),
-      static_cast<long long>(stats.presence_evaluations),
-      static_cast<long long>(stats.pois_evaluated));
+  std::printf("# stats %s\n", stats.ToJson().c_str());
 }
 
 int CmdSnapshot(Flags& flags) {
@@ -445,6 +479,68 @@ int CmdStats(Flags& flags) {
   return 0;
 }
 
+// EXPLAIN: run one query with a QueryProfile attached and render the
+// pruning/evaluation profile instead of the result rows. The full POI set
+// is always queried, so the per-POI verdict counts partition the dataset's
+// POI count. --tau switches from top-k to the threshold variant.
+int CmdExplain(Flags& flags) {
+  const auto t_flag = flags.Get("t");
+  const auto ts_flag = flags.Get("ts");
+  const auto te_flag = flags.Get("te");
+  const int k = flags.GetInt("k", 10);
+  const double tau = flags.GetDouble("tau", 0.0);
+  const std::string format = flags.GetOr("format", "text");
+  if (format != "text" && format != "json") {
+    return Fail("--format must be text or json");
+  }
+  auto algo = ParseAlgorithm(flags.GetOr("algo", "join"));
+  if (!algo.ok()) return Fail(algo.status().ToString());
+  const std::string metric = flags.GetOr("metric", "flow");
+  if (metric != "flow" && metric != "density") {
+    return Fail("--metric must be flow or density");
+  }
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+
+  QueryStats stats;
+  QueryProfile profile;  // detail stays true: full EXPLAIN
+  if (t_flag) {
+    const double t = std::atof(t_flag->c_str());
+    if (tau > 0.0) {
+      bundle->engine->SnapshotThreshold(t, tau, *algo, nullptr, &stats,
+                                        &profile);
+    } else if (metric == "density") {
+      bundle->engine->SnapshotDensityTopK(t, k, *algo, nullptr, &stats,
+                                          &profile);
+    } else {
+      bundle->engine->SnapshotTopK(t, k, *algo, nullptr, &stats, &profile);
+    }
+  } else if (ts_flag && te_flag) {
+    const double ts = std::atof(ts_flag->c_str());
+    const double te = std::atof(te_flag->c_str());
+    if (te < ts) return Fail("--te must be >= --ts");
+    if (tau > 0.0) {
+      bundle->engine->IntervalThreshold(ts, te, tau, *algo, nullptr, &stats,
+                                        &profile);
+    } else if (metric == "density") {
+      bundle->engine->IntervalDensityTopK(ts, te, k, *algo, nullptr, &stats,
+                                          &profile);
+    } else {
+      bundle->engine->IntervalTopK(ts, te, k, *algo, nullptr, &stats,
+                                   &profile);
+    }
+  } else {
+    return Fail("explain requires --t T (snapshot) or --ts/--te (interval)");
+  }
+  if (format == "json") {
+    std::printf("%s\n", profile.ToJson().c_str());
+  } else {
+    std::fputs(profile.ToText().c_str(), stdout);
+  }
+  return 0;
+}
+
 // A one-shot markdown occupancy report for a dataset directory: summary
 // stats, the busiest moment, per-slot top POIs from a materialized flow
 // matrix, and the average-occupancy ranking over the whole span.
@@ -571,11 +667,75 @@ int CmdRender(Flags& flags) {
   return 0;
 }
 
+// Long-running exposition process over one dataset: starts the HTTP
+// exposition server with a profile flight recorder attached, then replays
+// a rolling probe workload over the observation span so /metrics and
+// /profiles/recent stay live. --duration 0 serves until killed; CI passes
+// a bounded duration and curls the endpoints meanwhile.
+int CmdServe(Flags& flags) {
+  const int port = flags.GetInt("port", 0);
+  const double duration = flags.GetDouble("duration", 0.0);
+  const double interval = flags.GetDouble("interval", 0.25);
+  const int k = flags.GetInt("k", 10);
+  auto bundle = MakeEngine(flags);
+  if (!bundle.ok()) return Fail(bundle.status().ToString());
+  if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
+  if (interval <= 0.0) return Fail("--interval must be > 0");
+  const LoadedDataset& data = bundle->dataset();
+  if (data.ott.empty()) return Fail("dataset has no tracking records");
+
+  ProfileRecorder recorder;
+  bundle->engine->AttachProfileRecorder(&recorder);
+
+  ExpoServer server;
+  server.Handle("/metrics", "text/plain; version=0.0.4", [] {
+    return MetricsRegistry::Default().DumpText();
+  });
+  server.Handle("/healthz", "application/json", [&data] {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"status\":\"ok\",\"pois\":%zu,\"objects\":%zu,"
+                  "\"records\":%zu}",
+                  data.pois.size(), data.ott.objects().size(),
+                  data.ott.size());
+    return std::string(buf);
+  });
+  server.Handle("/profiles/recent", "application/json",
+                [&recorder] { return recorder.ToJson(); });
+  const Status status = server.Start(port);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("serving on http://127.0.0.1:%d\n", server.port());
+  std::fflush(stdout);
+
+  // Probe workload: sweep the observation span, alternating algorithms, so
+  // the latency histograms and the flight recorder keep turning over.
+  const double t0 = data.ott.min_time();
+  const double t1 = data.ott.max_time();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration);
+  int rounds = 0;
+  while (duration <= 0.0 || std::chrono::steady_clock::now() < deadline) {
+    const double t = t0 + (t1 - t0) * ((rounds % 16) + 0.5) / 16.0;
+    const Algorithm algo =
+        rounds % 2 == 0 ? Algorithm::kJoin : Algorithm::kIterative;
+    bundle->engine->SnapshotTopK(t, k, algo);
+    bundle->engine->IntervalTopK(std::max(t0, t - 60.0),
+                                 std::min(t1, t + 60.0), k, algo);
+    ++rounds;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+  server.Stop();
+  bundle->engine->AttachProfileRecorder(nullptr);
+  std::printf("served %d probe rounds\n", rounds);
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: indoorflow_cli <generate|snapshot|interval|threshold|"
-      "itinerary|timeline|stats|cleanse|render> [--flag value ...]\n"
+      "itinerary|timeline|stats|explain|serve|cleanse|render> "
+      "[--flag value ...]\n"
       "  generate --out DIR [--dataset office|cph|mall] [--objects N]\n"
       "           [--duration S] [--range R] [--seed S] [--pois N]\n"
       "  snapshot --data DIR --t T [--k K] [--algo iterative|join]\n"
@@ -589,6 +749,11 @@ int Usage() {
       "  report   --data DIR [--k K] [--slots N]\n"
       "  stats    --data DIR [--warmup N] (JSON; INDOORFLOW_TRACE=FILE\n"
       "           additionally writes a chrome://tracing span file)\n"
+      "  explain  --data DIR (--t T | --ts T --te T) [--k K] [--tau F]\n"
+      "           [--algo iterative|join] [--metric flow|density]\n"
+      "           [--format text|json]   (query EXPLAIN profile)\n"
+      "  serve    --data DIR [--port P] [--duration S] [--interval S]\n"
+      "           (/metrics, /healthz, /profiles/recent on 127.0.0.1)\n"
       "  cleanse  --readings F.csv --deployment F.csv --out F.csv\n"
       "  render   --data DIR --out FILE.svg [--heatmap-t T]\n");
   return 2;
@@ -602,6 +767,8 @@ int Dispatch(const std::string& command, Flags& flags) {
   if (command == "itinerary") return CmdItinerary(flags);
   if (command == "timeline") return CmdTimeline(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "explain") return CmdExplain(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "report") return CmdReport(flags);
   if (command == "cleanse") return CmdCleanse(flags);
   if (command == "render") return CmdRender(flags);
@@ -614,8 +781,10 @@ int Run(int argc, char** argv) {
   if (!flags.ok()) {
     return Fail("bad argument '" + flags.bad() + "' (flags take values)");
   }
-  // INDOORFLOW_TRACE=FILE turns on the Chrome-trace span sink for any
-  // subcommand; StopTracing finalizes the JSON array on the way out.
+  // INDOORFLOW_LOG_* configures the structured log sink (level, format,
+  // file); INDOORFLOW_TRACE=FILE turns on the Chrome-trace span sink for
+  // any subcommand; StopTracing finalizes the JSON array on the way out.
+  InitLoggingFromEnv();
   InitTracingFromEnv();
   const int rc = Dispatch(argv[1], flags);
   StopTracing();

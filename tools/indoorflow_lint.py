@@ -23,11 +23,18 @@ Checks (each can be skipped with --skip <name>):
                 stdout (libraries must not write to stdout; tools and
                 examples may), sprintf/strcpy/gets (unbounded).
   atomics       std::atomic/std::atomic_flag appear only in the metrics
-                registry (src/common/metrics.*) and the flow-matrix worker
+                registry (src/common/metrics.*), the logging sink's level
+                gate (src/common/log.cc), and the flow-matrix worker
                 counter (src/core/flow_matrix.cc). Everywhere else, shared
                 state goes behind the annotated Mutex so the thread-safety
                 analysis can see it; lock-free code needs a lint allowlist
                 entry and a TSan-stressed test to ship.
+  stderr        Library code never writes to stderr directly: diagnostics
+                go through the structured logging sink (src/common/log.h)
+                so every line is leveled, tagged, and machine-parseable.
+                Only the sink itself (log.cc) and the abort paths in
+                status.h — which must not depend on the sink being alive —
+                may touch stderr.
 
 Usage:
   tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER] [--skip CHECK]...
@@ -48,6 +55,9 @@ import tempfile
 # annotation macros or carries INDOORFLOW_GUARDED_BY-annotated state (and is
 # stressed by tests/concurrency_test.cc under TSan).
 THREADING_ALLOWLIST = {
+    "src/common/expo_server.h",
+    "src/common/expo_server.cc",
+    "src/common/log.cc",
     "src/common/metrics.h",
     "src/common/metrics.cc",
     "src/common/mutex.h",
@@ -56,6 +66,8 @@ THREADING_ALLOWLIST = {
     "src/core/engine.cc",
     "src/core/flow_matrix.h",
     "src/core/flow_matrix.cc",
+    "src/core/query_profile.h",
+    "src/core/query_profile.cc",
     "src/core/streaming.h",
     "src/core/streaming.cc",
     "src/index/dynamic_rtree.h",
@@ -67,10 +79,21 @@ THREADING_ALLOWLIST = {
 # each entry must earn its place with a TSan-stressed test
 # (tests/metrics_test.cc, tests/flow_matrix_test.cc + concurrency_test.cc).
 ATOMICS_ALLOWLIST = {
+    "src/common/log.cc",
     "src/common/metrics.h",
     "src/common/metrics.cc",
     "src/core/flow_matrix.cc",
 }
+
+# Files allowed to write to stderr. log.cc owns the sink; status.h's abort
+# helpers must work even when the sink is torn down.
+STDERR_ALLOWLIST = {
+    "src/common/log.h",
+    "src/common/log.cc",
+    "src/common/status.h",
+}
+
+STDERR_TOKENS = re.compile(r"\bstderr\b|std::cerr\b|std::clog\b")
 
 ATOMICS_TOKENS = re.compile(r"std::atomic(?:_flag)?\b")
 
@@ -254,6 +277,21 @@ def check_atomics(root: str, errors: list[str]) -> None:
                     "an ATOMICS_ALLOWLIST entry in tools/indoorflow_lint.py")
 
 
+def check_stderr(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        if path in STDERR_ALLOWLIST:
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            match = STDERR_TOKENS.search(line)
+            if match:
+                errors.append(
+                    f"{path}:{lineno}: {match.group(0)} outside the stderr "
+                    "allowlist — emit diagnostics through the structured "
+                    "logging sink (src/common/log.h) instead")
+
+
 CHECKS = {
     "headers": check_headers,
     "threading": check_threading,
@@ -261,6 +299,7 @@ CHECKS = {
     "status": check_status,
     "banned": check_banned,
     "atomics": check_atomics,
+    "stderr": check_stderr,
 }
 
 
