@@ -3,6 +3,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -42,14 +43,24 @@ std::string BuildResponse(int code, const std::string& content_type,
   return response;
 }
 
-void SendAll(int fd, const std::string& data) {
+// Writes the whole response, resuming across partial writes and EINTR.
+// MSG_NOSIGNAL keeps a disconnecting peer from raising SIGPIPE; every
+// other error (EPIPE, ECONNRESET, the send-timeout's EAGAIN) means the
+// response can't be completed, so the connection is abandoned rather than
+// spun on; returns false then (best-effort callers may ignore it).
+bool SendAll(int fd, const std::string& data) {
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
                            MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing to recover
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted, not failed: resume
+      return false;                  // peer gone or stalled past timeout
+    }
+    if (n == 0) return false;
     sent += static_cast<size_t>(n);
   }
+  return true;
 }
 
 }  // namespace
@@ -136,6 +147,15 @@ void ExpoServer::AcceptLoop() {
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
     const int conn = accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
+    // Bound both directions so one slow or stalled scrape client can't
+    // wedge the single-threaded accept loop: recv/send past the deadline
+    // fail with EAGAIN and the connection is dropped.
+    timeval io_timeout{};
+    io_timeout.tv_sec = 5;
+    setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
+               sizeof(io_timeout));
+    setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
+               sizeof(io_timeout));
     ServeConnection(conn);
     close(conn);
   }
@@ -149,7 +169,8 @@ void ExpoServer::ServeConnection(int fd) {
   while (request.size() < kMaxRequestBytes &&
          request.find("\r\n\r\n") == std::string::npos) {
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n < 0 && errno == EINTR) continue;  // interrupted read: resume
+    if (n <= 0) break;  // peer closed, errored, or timed out
     request.append(buf, static_cast<size_t>(n));
   }
   const size_t line_end = request.find("\r\n");

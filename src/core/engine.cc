@@ -1,5 +1,6 @@
 #include "src/core/engine.h"
 
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -23,6 +24,8 @@ struct EngineMetrics {
             prefix + "presence_evaluations")),
         pois_evaluated(
             MetricsRegistry::Default().counter(prefix + "pois_evaluated")),
+        ur_cache_hits(
+            MetricsRegistry::Default().counter(prefix + "ur_cache_hits")),
         latency_us(
             MetricsRegistry::Default().histogram(prefix + "latency_us")),
         retrieve_us(
@@ -38,6 +41,7 @@ struct EngineMetrics {
   Counter& regions_derived;
   Counter& presence_evaluations;
   Counter& pois_evaluated;
+  Counter& ur_cache_hits;
   Histogram& latency_us;
   Histogram& retrieve_us;
   Histogram& derive_us;
@@ -103,6 +107,7 @@ class QueryMetricsScope {
     metrics_.presence_evaluations.Add(s.presence_evaluations -
                                       before_.presence_evaluations);
     metrics_.pois_evaluated.Add(s.pois_evaluated - before_.pois_evaluated);
+    metrics_.ur_cache_hits.Add(s.ur_cache_hits - before_.ur_cache_hits);
     metrics_.latency_us.Record(static_cast<double>(total_ns) / 1000.0);
     metrics_.retrieve_us.Record(
         static_cast<double>(s.retrieve_ns - before_.retrieve_ns) / 1000.0);
@@ -169,11 +174,17 @@ QueryEngine::QueryEngine(const FloorPlan& plan, const DoorGraph& graph,
   model_ = std::make_unique<UncertaintyModel>(
       table_, deployment, config_.vmax,
       topology_.has_value() ? &*topology_ : nullptr, config_.topology);
+  if (config_.ur_cache.enabled) {
+    ur_cache_ = std::make_unique<UrCache>(config_.ur_cache);
+  }
   poi_regions_.reserve(pois_.size());
   poi_areas_.reserve(pois_.size());
   for (const Poi& poi : pois_) {
     poi_regions_.push_back(Region::Make(poi.shape));
-    poi_areas_.push_back(poi.Area());
+    // Degenerate polygons are demoted to exactly zero area here so every
+    // downstream division (density ranking, area-aware join bounds) hits
+    // the existing `area > 0` guards instead of a near-zero divisor.
+    poi_areas_.push_back(EffectivePoiArea(poi.Area(), config_.flow));
   }
 }
 
@@ -197,6 +208,7 @@ QueryContext QueryEngine::MakeContext() const {
   ctx.ri_fanout = config_.ri_fanout;
   ctx.interval_sub_mbrs = config_.interval_sub_mbrs;
   ctx.join_area_bounds = config_.join_area_bounds;
+  ctx.ur_cache = ur_cache_.get();
   return ctx;
 }
 
@@ -211,10 +223,15 @@ RTree QueryEngine::BuildPoiTree(const std::vector<PoiId>& subset) const {
   std::vector<RTree::Item> items;
   items.reserve(subset.size());
   for (PoiId id : subset) {
-    // Item::value carries the POI area for the area-aware join bounds.
-    items.push_back(RTree::Item{id,
-                                pois_[static_cast<size_t>(id)].shape.Bounds(),
-                                poi_areas_[static_cast<size_t>(id)]});
+    // Item::value carries the POI area for the area-aware join bounds and
+    // the density ranking's min-area aggregate. Degenerate (zero-area)
+    // POIs report +inf so EntryMinValue ignores them: their flows are
+    // identically zero, and a zero min-area would otherwise zero out the
+    // density bound of every sibling sharing the subtree.
+    const double area = poi_areas_[static_cast<size_t>(id)];
+    items.push_back(RTree::Item{
+        id, pois_[static_cast<size_t>(id)].shape.Bounds(),
+        area > 0.0 ? area : std::numeric_limits<double>::infinity()});
   }
   return RTree::BulkLoad(std::move(items), config_.poi_fanout);
 }

@@ -10,10 +10,12 @@
 // Thread safety: a constructed engine is safe for concurrent const use —
 // any number of threads may issue queries against one instance (this is
 // what SnapshotTopKBatch does internally, and what the TSan CI job
-// stresses). The only mutable state behind the const API is the lazily
-// built full-POI-set R-tree cache, guarded by `poi_tree_mu_` and annotated
-// for Clang's thread-safety analysis. A `QueryStats*` out-parameter is
-// written without synchronization, so pass a distinct one per thread.
+// stresses). The mutable state behind the const API is the lazily built
+// full-POI-set R-tree cache, guarded by `poi_tree_mu_` and annotated for
+// Clang's thread-safety analysis, and the optional cross-query
+// uncertainty-region cache (src/core/ur_cache.h), which is internally
+// synchronized. A `QueryStats*` out-parameter is written without
+// synchronization, so pass a distinct one per thread.
 
 #ifndef INDOORFLOW_CORE_ENGINE_H_
 #define INDOORFLOW_CORE_ENGINE_H_
@@ -28,6 +30,7 @@
 #include "src/core/snapshot_query.h"
 #include "src/core/topology_check.h"
 #include "src/core/uncertainty.h"
+#include "src/core/ur_cache.h"
 #include "src/sim/generators.h"
 
 namespace indoorflow {
@@ -53,6 +56,13 @@ struct EngineConfig {
   /// indoorflow extension; identical results, earlier termination.
   bool join_area_bounds = false;
   FlowConfig flow;
+  /// Cross-query uncertainty-region memoization (src/core/ur_cache.h).
+  /// Off by default; enabling never changes query results (the cache hands
+  /// back the identical shared CSG tree) but skips repeated derivations
+  /// for repeated (object, time) pairs — SnapshotTopKBatch workers and
+  /// fixed-timestamp pollers share one cache per engine. See
+  /// docs/TUNING.md for sizing.
+  UrCacheConfig ur_cache;
   int poi_fanout = 8;
   int ri_fanout = 8;
   int artree_fanout = 32;
@@ -154,6 +164,10 @@ class QueryEngine {
   double poi_area(PoiId id) const {
     return poi_areas_[static_cast<size_t>(id)];
   }
+  /// The engine's UR cache, or null when EngineConfig::ur_cache.enabled is
+  /// false. Exposed for introspection (tests, CLI stats); the cache is
+  /// internally synchronized.
+  UrCache* ur_cache() const { return ur_cache_.get(); }
 
  private:
   /// The query POI set of one call: the ids plus the R-tree over them —
@@ -185,6 +199,7 @@ class QueryEngine {
   ARTree artree_;
   std::optional<TopologyChecker> topology_;
   std::unique_ptr<UncertaintyModel> model_;
+  std::unique_ptr<UrCache> ur_cache_;
   std::vector<Region> poi_regions_;
   std::vector<double> poi_areas_;
   mutable Mutex poi_tree_mu_;

@@ -25,7 +25,22 @@ struct FlowConfig {
   /// gaps observed in practice.
   int max_depth = 12;
   int max_cells = 10000;
+  /// POI polygons with area below this (m²) are degenerate — collapsed or
+  /// self-crossing shapes whose area carries no signal. Their areas are
+  /// demoted to exactly 0 at load time (EffectivePoiArea), so presence,
+  /// flow, and density all treat them as zero-flow POIs and the density
+  /// ranking's division by the subtree min-area aggregate never sees a
+  /// near-zero divisor.
+  double min_poi_area = 1e-9;
 };
+
+/// Load-time clamp for degenerate POI polygons (see
+/// FlowConfig::min_poi_area): areas below the threshold become exactly 0,
+/// the value every downstream guard (`Presence`, density division, join
+/// bounds) already short-circuits on.
+inline double EffectivePoiArea(double area, const FlowConfig& config) {
+  return area >= config.min_poi_area ? area : 0.0;
+}
 
 /// φ: the fraction of the POI covered by `ur`, clamped to [0, 1].
 /// `poi_area` and `poi_region` are the POI polygon's precomputed area and

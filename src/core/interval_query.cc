@@ -7,6 +7,7 @@
 #include "src/core/priority_join.h"
 #include "src/core/query_profile.h"
 #include "src/core/tracking_state.h"
+#include "src/core/ur_cache.h"
 
 namespace indoorflow {
 
@@ -53,26 +54,50 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
   const bool timed = ctx.stats != nullptr;
   QueryProfile* profile = ctx.profile;
   const bool clocked = timed || profile != nullptr;
+  UrCache* const shared_cache = ctx.ur_cache;
   for (const IntervalChain& chain : chains) {
-    const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
-    const Region ur = ctx.model->Interval(chain, ts, te);  // line 9
-    if (clocked) {
-      const int64_t derive_ns = MonotonicNowNs() - derive_start;
-      if (timed) {
-        ctx.stats->derive_ns += derive_ns;
-        ++ctx.stats->regions_derived;
+    Region ur;
+    UrCache::PresenceMemoPtr memo;
+    // As in AllSnapshotFlows: a hit hands back the identical shared CSG
+    // tree, so flows are bit-identical; it books a ur_cache_hit instead of
+    // a derivation.
+    if (shared_cache != nullptr &&
+        shared_cache->Lookup(chain.object, UrCache::Kind::kInterval, ts, te,
+                             &ur, &memo)) {
+      if (timed) ++ctx.stats->ur_cache_hits;
+    } else {
+      const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
+      ur = ctx.model->Interval(chain, ts, te);  // line 9
+      if (clocked) {
+        const int64_t derive_ns = MonotonicNowNs() - derive_start;
+        if (timed) {
+          ctx.stats->derive_ns += derive_ns;
+          ++ctx.stats->regions_derived;
+        }
+        if (profile != nullptr) {
+          profile->AddObjectCost(chain.object, derive_ns);
+        }
       }
-      if (profile != nullptr) profile->AddObjectCost(chain.object, derive_ns);
+      if (shared_cache != nullptr) {
+        shared_cache->Insert(chain.object, UrCache::Kind::kInterval, ts, te,
+                             ur, &memo);
+      }
     }
     if (ur.IsEmpty()) continue;
     poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 10
     const int64_t presence_start = timed ? MonotonicNowNs() : 0;
     for (int32_t poi_id : candidates) {
-      const double presence = Presence(
-          ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
-          (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+      // Memoized integrals are bit-identical to re-evaluation over the
+      // same cached region; only real evaluations are booked.
+      double presence;
+      if (memo == nullptr || !memo->TryGet(poi_id, &presence)) {
+        presence = Presence(
+            ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+            (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+        if (timed) ++ctx.stats->presence_evaluations;
+        if (memo != nullptr) memo->Put(poi_id, presence);
+      }
       flows[poi_id] += presence;
-      if (timed) ++ctx.stats->presence_evaluations;
       if (profile != nullptr) profile->MarkPresence(poi_id, presence);
     }
     if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
@@ -119,17 +144,27 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   const AggregateRTree agg =
       AggregateRTree::Build(std::move(objects), ctx.ri_fanout);
 
-  std::unordered_map<int32_t, Region> ur_cache;
+  // Per-query slot map over the shared cross-query cache, as in
+  // WithSnapshotJoinSpec.
+  UrCache* const shared_cache = ctx.ur_cache;
+  std::unordered_map<int32_t, Region> slot_urs;
+  std::unordered_map<int32_t, UrCache::PresenceMemoPtr> slot_memos;
   const auto ur_of = [&](int32_t slot) -> const Region& {
-    auto it = ur_cache.find(slot);
-    if (it == ur_cache.end()) {
+    auto it = slot_urs.find(slot);
+    if (it == slot_urs.end()) {
+      const IntervalChain& chain = *slot_chains[static_cast<size_t>(slot)];
+      Region cached;
+      UrCache::PresenceMemoPtr memo;
+      if (shared_cache != nullptr &&
+          shared_cache->Lookup(chain.object, UrCache::Kind::kInterval, ts, te,
+                               &cached, &memo)) {
+        if (ctx.stats != nullptr) ++ctx.stats->ur_cache_hits;
+        slot_memos.emplace(slot, std::move(memo));
+        return slot_urs.emplace(slot, std::move(cached)).first->second;
+      }
       const bool clocked = ctx.stats != nullptr || ctx.profile != nullptr;
       const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
-      it = ur_cache
-               .emplace(slot,
-                        ctx.model->Interval(
-                            *slot_chains[static_cast<size_t>(slot)], ts, te))
-               .first;
+      it = slot_urs.emplace(slot, ctx.model->Interval(chain, ts, te)).first;
       if (clocked) {
         const int64_t derive_ns = MonotonicNowNs() - derive_start;
         if (ctx.stats != nullptr) {
@@ -137,9 +172,13 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
           ++ctx.stats->regions_derived;
         }
         if (ctx.profile != nullptr) {
-          ctx.profile->AddObjectCost(
-              slot_chains[static_cast<size_t>(slot)]->object, derive_ns);
+          ctx.profile->AddObjectCost(chain.object, derive_ns);
         }
+      }
+      if (shared_cache != nullptr) {
+        shared_cache->Insert(chain.object, UrCache::Kind::kInterval, ts, te,
+                             it->second, &memo);
+        slot_memos.emplace(slot, std::move(memo));
       }
     }
     return it->second;
@@ -152,6 +191,27 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   spec.poi_regions = ctx.poi_regions;
   spec.flow = ctx.flow;
   spec.ur_of = ur_of;
+  if (shared_cache != nullptr) {
+    // As in WithSnapshotJoinSpec: consult the entry's presence memo before
+    // integrating; memoized doubles keep join flows bit-identical.
+    spec.presence_of = [&ur_of, &slot_memos, &ctx](int32_t slot,
+                                                   int32_t poi_id) {
+      const Region& ur = ur_of(slot);  // fills slot_memos[slot]
+      const auto memo_it = slot_memos.find(slot);
+      UrCache::PresenceMemo* memo =
+          memo_it != slot_memos.end() ? memo_it->second.get() : nullptr;
+      double presence;
+      if (memo != nullptr && memo->TryGet(poi_id, &presence)) {
+        return presence;
+      }
+      presence = Presence(ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+                          (*ctx.poi_regions)[static_cast<size_t>(poi_id)],
+                          *ctx.flow);
+      if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+      if (memo != nullptr) memo->Put(poi_id, presence);
+      return presence;
+    };
+  }
   spec.stats = ctx.stats;
   spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;

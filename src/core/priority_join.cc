@@ -1,6 +1,8 @@
 #include "src/core/priority_join.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 #include <utility>
 
@@ -112,12 +114,22 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
     return count * factor;
   };
 
-  // Density mode divides a subtree's flow bound by its minimum POI area
-  // (and an exact flow by the POI's own area): flow <= bound and
-  // area >= min_area give flow/area <= bound/min_area.
+  // Density mode divides a subtree's flow bound by its minimum POI area:
+  // flow <= bound and area >= min_area give flow/area <= bound/min_area.
+  // min_poi_area is +inf for all-degenerate subtrees — bound/inf == 0, the
+  // defined density of a degenerate POI — and positive otherwise (see
+  // min_area_of). A zero can only come from a POI tree built without the
+  // load-time area demotion; it falls back to the never-prunes bound
+  // instead of silently pruning every POI sharing the subtree. The clamp
+  // keeps a tiny-but-positive divisor from emitting inf upward.
   const auto densify = [&](double bound, double min_poi_area) {
     if (!spec.density) return bound;
-    return min_poi_area > 0.0 ? bound / min_poi_area : 0.0;
+    if (!(min_poi_area > 0.0)) {
+      return bound > 0.0 ? std::numeric_limits<double>::max() : 0.0;
+    }
+    const double density = bound / min_poi_area;
+    return std::isfinite(density) ? density
+                                  : std::numeric_limits<double>::max();
   };
 
   EntryHeap queue;
@@ -144,10 +156,14 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
   };
 
   // Minimum POI area below a POI-tree entry (exact for leaf entries).
+  // Degenerate POIs carry area 0 (EffectivePoiArea demotion); their density
+  // divisor convention is +inf so the min aggregate ignores them, matching
+  // the tree's values (Engine::BuildPoiTree).
   const auto min_area_of = [&](RTree::NodeId node, int slot) {
     if (poi_tree.IsLeaf(node)) {
-      return (*spec.poi_areas)[static_cast<size_t>(
+      const double area = (*spec.poi_areas)[static_cast<size_t>(
           poi_tree.EntryItem(node, slot))];
+      return area > 0.0 ? area : std::numeric_limits<double>::infinity();
     }
     return poi_tree.EntryMinValue(node, slot);
   };
@@ -237,26 +253,39 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
             spec.stats != nullptr ? spec.stats->derive_ns : 0;
         for (const RIRef& ref : entry.list) {
           const int32_t slot = obj_tree.EntryItem(ref.node, ref.slot);
-          const Region& ur = spec.ur_of(slot);
-          flow += Presence(ur, poi_area, poi_region, *spec.flow);
+          if (spec.presence_of) {
+            flow += spec.presence_of(slot, poi_id);
+          } else {
+            const Region& ur = spec.ur_of(slot);
+            flow += Presence(ur, poi_area, poi_region, *spec.flow);
+          }
         }
         if (spec.stats != nullptr) {
           const int64_t span = MonotonicNowNs() - loop_start;
           const int64_t derived = spec.stats->derive_ns - derive_before;
           spec.stats->presence_ns += span > derived ? span - derived : 0;
-          spec.stats->presence_evaluations +=
-              static_cast<int64_t>(entry.list.size());
+          if (!spec.presence_of) {
+            spec.stats->presence_evaluations +=
+                static_cast<int64_t>(entry.list.size());
+          }
         }
         if (profile != nullptr) {
           // Raw flow, before the density divide: comparable across modes.
           profile->MarkEvaluated(poi_id, flow,
                                  static_cast<int64_t>(entry.list.size()));
         }
-        if (flow > 0.0) {
+        // The exact entry's priority is the ranking value itself, not a
+        // bound: a degenerate POI (area 0) has defined density 0, so it
+        // joins the zero-flow padding in POI-id order exactly like the
+        // iterative path ranks it, instead of going through densify's
+        // bound-side fallback.
+        const double ranked =
+            spec.density ? (poi_area > 0.0 ? flow / poi_area : 0.0) : flow;
+        if (ranked > 0.0) {
           QueueEntry exact;
           exact.exact = true;
           exact.exact_poi = poi_id;
-          exact.priority = densify(flow, poi_area);
+          exact.priority = ranked;
           queue.Push(std::move(exact));
         }
       } else {

@@ -37,6 +37,13 @@ struct PriorityJoinSpec {
   const FlowConfig* flow = nullptr;
   /// Returns the (cached) uncertainty region of object slot `i` in R_I.
   std::function<const Region&(int32_t)> ur_of;
+  /// Optional override for the exact presence integral of (object slot,
+  /// poi id). When set, the join calls it instead of Presence(ur_of(slot),
+  /// ...) and leaves presence accounting (stats->presence_evaluations) to
+  /// the callback — the engine uses this to consult the cross-query cache's
+  /// per-entry presence memos. Must return exactly what the direct
+  /// evaluation would.
+  std::function<double(int32_t, int32_t)> presence_of;
   /// Optional operation counters (may be null).
   QueryStats* stats = nullptr;
   /// Optional EXPLAIN recorder (may be null): receives per-POI bound

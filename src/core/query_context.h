@@ -14,6 +14,7 @@
 namespace indoorflow {
 
 struct QueryProfile;
+class UrCache;
 
 /// Everything a query algorithm needs besides its own parameters. All
 /// pointers are non-owning and outlive the query.
@@ -37,6 +38,9 @@ struct QueryContext {
   QueryProfile* profile = nullptr;
   /// Geometry-aware join bounds (see EngineConfig::join_area_bounds).
   bool join_area_bounds = false;
+  /// Cross-query uncertainty-region cache (may be null = no caching). The
+  /// cache is internally synchronized; concurrent queries share it.
+  UrCache* ur_cache = nullptr;
 };
 
 }  // namespace indoorflow

@@ -235,11 +235,13 @@ std::string QueryProfile::ToText() const {
 
   std::snprintf(
       line, sizeof(line),
-      "work: objects=%lld regions=%lld presences=%lld pois=%lld\n",
+      "work: objects=%lld regions=%lld presences=%lld pois=%lld "
+      "cache_hits=%lld\n",
       static_cast<long long>(stats.objects_retrieved),
       static_cast<long long>(stats.regions_derived),
       static_cast<long long>(stats.presence_evaluations),
-      static_cast<long long>(stats.pois_evaluated));
+      static_cast<long long>(stats.pois_evaluated),
+      static_cast<long long>(stats.ur_cache_hits));
   out.append(line);
 
   if (detail && !object_costs.empty()) {

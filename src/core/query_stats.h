@@ -23,6 +23,9 @@ struct QueryStats {
   int64_t presence_evaluations = 0;
   /// POIs whose exact flow was computed (join only; iterative computes all).
   int64_t pois_evaluated = 0;
+  /// Derivations satisfied by the cross-query UR cache (src/core/ur_cache.h)
+  /// instead of being derived; 0 when the engine runs without a cache.
+  int64_t ur_cache_hits = 0;
 
   /// Per-phase wall time (nanoseconds, MonotonicNowNs deltas), filled in by
   /// the query algorithms. The phases mirror the paper's cost decomposition:
@@ -40,6 +43,7 @@ struct QueryStats {
     regions_derived += o.regions_derived;
     presence_evaluations += o.presence_evaluations;
     pois_evaluated += o.pois_evaluated;
+    ur_cache_hits += o.ur_cache_hits;
     retrieve_ns += o.retrieve_ns;
     derive_ns += o.derive_ns;
     presence_ns += o.presence_ns;
@@ -52,6 +56,7 @@ struct QueryStats {
     regions_derived -= o.regions_derived;
     presence_evaluations -= o.presence_evaluations;
     pois_evaluated -= o.pois_evaluated;
+    ur_cache_hits -= o.ur_cache_hits;
     retrieve_ns -= o.retrieve_ns;
     derive_ns -= o.derive_ns;
     presence_ns -= o.presence_ns;
@@ -59,7 +64,7 @@ struct QueryStats {
     return *this;
   }
 
-  /// One flat JSON object over all eight fields, keyed by the snake_case
+  /// One flat JSON object over all fields, keyed by the snake_case
   /// names of kQueryStatsFields below. Shared by `indoorflow_cli` output
   /// and QueryProfile::ToJson so the two never drift.
   std::string ToJson() const;
@@ -82,6 +87,7 @@ inline constexpr QueryStatsField kQueryStatsFields[] = {
     {"presence_evaluations", "PresenceEvals",
      &QueryStats::presence_evaluations},
     {"pois_evaluated", "PoisEvaluated", &QueryStats::pois_evaluated},
+    {"ur_cache_hits", "UrCacheHits", &QueryStats::ur_cache_hits},
     {"retrieve_ns", nullptr, &QueryStats::retrieve_ns},
     {"derive_ns", nullptr, &QueryStats::derive_ns},
     {"presence_ns", nullptr, &QueryStats::presence_ns},

@@ -8,6 +8,7 @@
 #include "src/core/priority_join.h"
 #include "src/core/query_profile.h"
 #include "src/core/tracking_state.h"
+#include "src/core/ur_cache.h"
 
 namespace indoorflow {
 
@@ -62,27 +63,52 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
   const bool timed = ctx.stats != nullptr;
   QueryProfile* profile = ctx.profile;
   const bool clocked = timed || profile != nullptr;
+  UrCache* const shared_cache = ctx.ur_cache;
   std::vector<int32_t> candidates;
   for (const SnapshotState& state : CollectStates(ctx, t)) {  // lines 4-14
-    const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
-    const Region ur = ctx.model->Snapshot(state, t);
-    if (clocked) {
-      const int64_t derive_ns = MonotonicNowNs() - derive_start;
-      if (timed) {
-        ctx.stats->derive_ns += derive_ns;
-        ++ctx.stats->regions_derived;
+    Region ur;
+    UrCache::PresenceMemoPtr memo;
+    // A cache hit hands back the identical shared CSG tree a fresh
+    // derivation would build, so flows downstream are bit-identical; it
+    // books a ur_cache_hit instead of a derivation.
+    if (shared_cache != nullptr &&
+        shared_cache->Lookup(state.object, UrCache::Kind::kSnapshot, t, t,
+                             &ur, &memo)) {
+      if (timed) ++ctx.stats->ur_cache_hits;
+    } else {
+      const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
+      ur = ctx.model->Snapshot(state, t);
+      if (clocked) {
+        const int64_t derive_ns = MonotonicNowNs() - derive_start;
+        if (timed) {
+          ctx.stats->derive_ns += derive_ns;
+          ++ctx.stats->regions_derived;
+        }
+        if (profile != nullptr) {
+          profile->AddObjectCost(state.object, derive_ns);
+        }
       }
-      if (profile != nullptr) profile->AddObjectCost(state.object, derive_ns);
+      if (shared_cache != nullptr) {
+        shared_cache->Insert(state.object, UrCache::Kind::kSnapshot, t, t,
+                             ur, &memo);
+      }
     }
     if (ur.IsEmpty()) continue;
     poi_tree.IntersectionQuery(ur.Bounds(), &candidates);  // line 12
     const int64_t presence_start = timed ? MonotonicNowNs() : 0;
     for (int32_t poi_id : candidates) {
-      const double presence = Presence(
-          ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
-          (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+      // A memoized integral is the exact double an evaluation over the
+      // same cached region would produce (deterministic integrator), so
+      // flows stay bit-identical; only real evaluations are booked.
+      double presence;
+      if (memo == nullptr || !memo->TryGet(poi_id, &presence)) {
+        presence = Presence(
+            ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+            (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+        if (timed) ++ctx.stats->presence_evaluations;
+        if (memo != nullptr) memo->Put(poi_id, presence);
+      }
       flows[poi_id] += presence;
-      if (timed) ++ctx.stats->presence_evaluations;
       if (profile != nullptr) profile->MarkPresence(poi_id, presence);
     }
     if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
@@ -127,17 +153,27 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
       AggregateRTree::Build(std::move(objects), ctx.ri_fanout);
 
   // Lazy uncertainty-region derivation with the H_U cache (lines 29-31).
-  std::unordered_map<int32_t, Region> ur_cache;
+  // The per-query slot map keeps the `const Region&` callback contract;
+  // misses consult the engine's shared cross-query cache first.
+  UrCache* const shared_cache = ctx.ur_cache;
+  std::unordered_map<int32_t, Region> slot_urs;
+  std::unordered_map<int32_t, UrCache::PresenceMemoPtr> slot_memos;
   const auto ur_of = [&](int32_t slot) -> const Region& {
-    auto it = ur_cache.find(slot);
-    if (it == ur_cache.end()) {
+    auto it = slot_urs.find(slot);
+    if (it == slot_urs.end()) {
+      const SnapshotState& state = *slot_states[static_cast<size_t>(slot)];
+      Region cached;
+      UrCache::PresenceMemoPtr memo;
+      if (shared_cache != nullptr &&
+          shared_cache->Lookup(state.object, UrCache::Kind::kSnapshot, t, t,
+                               &cached, &memo)) {
+        if (ctx.stats != nullptr) ++ctx.stats->ur_cache_hits;
+        slot_memos.emplace(slot, std::move(memo));
+        return slot_urs.emplace(slot, std::move(cached)).first->second;
+      }
       const bool clocked = ctx.stats != nullptr || ctx.profile != nullptr;
       const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
-      it = ur_cache
-               .emplace(slot,
-                        ctx.model->Snapshot(
-                            *slot_states[static_cast<size_t>(slot)], t))
-               .first;
+      it = slot_urs.emplace(slot, ctx.model->Snapshot(state, t)).first;
       if (clocked) {
         const int64_t derive_ns = MonotonicNowNs() - derive_start;
         if (ctx.stats != nullptr) {
@@ -145,9 +181,13 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
           ++ctx.stats->regions_derived;
         }
         if (ctx.profile != nullptr) {
-          ctx.profile->AddObjectCost(
-              slot_states[static_cast<size_t>(slot)]->object, derive_ns);
+          ctx.profile->AddObjectCost(state.object, derive_ns);
         }
+      }
+      if (shared_cache != nullptr) {
+        shared_cache->Insert(state.object, UrCache::Kind::kSnapshot, t, t,
+                             it->second, &memo);
+        slot_memos.emplace(slot, std::move(memo));
       }
     }
     return it->second;
@@ -160,6 +200,28 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   spec.poi_regions = ctx.poi_regions;
   spec.flow = ctx.flow;
   spec.ur_of = ur_of;
+  if (shared_cache != nullptr) {
+    // Consult the cache entry's presence memo before integrating; the
+    // memoized double is what the evaluation over the identical cached
+    // region would return, so join flows stay bit-identical.
+    spec.presence_of = [&ur_of, &slot_memos, &ctx](int32_t slot,
+                                                   int32_t poi_id) {
+      const Region& ur = ur_of(slot);  // fills slot_memos[slot]
+      const auto memo_it = slot_memos.find(slot);
+      UrCache::PresenceMemo* memo =
+          memo_it != slot_memos.end() ? memo_it->second.get() : nullptr;
+      double presence;
+      if (memo != nullptr && memo->TryGet(poi_id, &presence)) {
+        return presence;
+      }
+      presence = Presence(ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+                          (*ctx.poi_regions)[static_cast<size_t>(poi_id)],
+                          *ctx.flow);
+      if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+      if (memo != nullptr) memo->Put(poi_id, presence);
+      return presence;
+    };
+  }
   spec.stats = ctx.stats;
   spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;

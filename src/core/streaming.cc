@@ -43,7 +43,12 @@ StreamingMonitor::StreamingMonitor(const Deployment& deployment,
   for (size_t i = 0; i < pois_.size(); ++i) {
     INDOORFLOW_CHECK(pois_[i].id == static_cast<PoiId>(i));
     poi_regions_.push_back(Region::Make(pois_[i].shape));
-    poi_areas_.push_back(pois_[i].Area());
+    // Degenerate polygons demote to area 0 so live flows treat them the
+    // same way the historical engine does.
+    poi_areas_.push_back(EffectivePoiArea(pois_[i].Area(), options_.flow));
+  }
+  if (options_.ur_cache.enabled) {
+    ur_cache_ = std::make_unique<UrCache>(options_.ur_cache);
   }
 }
 
@@ -80,43 +85,66 @@ Status StreamingMonitor::Ingest(const RawReading& reading) {
                                 reading.t, reading.t};
   }
   now_ = std::max(now_, reading.t);
+  // New evidence for this object: every cached live region of it is now
+  // stale. The bump is per object, so other objects' entries stay warm.
+  if (ur_cache_ != nullptr) ur_cache_->BumpEpoch(reading.object_id);
   metrics.readings_ingested.Add(1);
   metrics.track_table_size.Set(static_cast<double>(tracks_.size()));
   return Status::OK();
 }
 
-Region StreamingMonitor::TrackRegion(const ObjectTrack& track,
+Region StreamingMonitor::TrackRegion(ObjectId object,
+                                     const ObjectTrack& track,
                                      Timestamp t) const {
   if (!track.open.has_value()) return Region();
   const TrackingRecord& open = *track.open;
   if (t - open.te > options_.expiry_seconds) return Region();  // presumed gone
+
+  // Live derivations key the cache under Kind::kLive — their semantics
+  // differ from the historical snapshot at the same (object, t), so the
+  // namespaces must not collide. Ingest bumps the object's epoch, which
+  // lazily invalidates everything cached here.
+  Region cached;
+  if (ur_cache_ != nullptr &&
+      ur_cache_->Lookup(object, UrCache::Kind::kLive, t, t, &cached)) {
+    return cached;
+  }
 
   const double max_gap =
       options_.merger.max_gap_factor * options_.merger.sampling_period;
   const Circle& open_range =
       deployment_.device(open.device_id).range;
 
+  Region region;
   if (t <= open.te + max_gap) {
     // Still detected: the historical "active" case against the previous
     // record (same-device re-detections keep the plain range).
-    Region region = Region::Make(open_range);
+    region = Region::Make(open_range);
     if (track.last.has_value() &&
         track.last->device_id != open.device_id) {
+      const Circle& last_range =
+          deployment_.device(track.last->device_id).range;
       const double budget = options_.vmax * (t - track.last->te);
+      // Zero budget (t exactly at the hand-off instant) degenerates the
+      // ring to a zero-area annulus; the detection disk is the physically
+      // correct constraint then (same fix as UncertaintyModel's RingPiece).
       region = Region::Intersect(
-          region,
-          Region::Make(Ring::Around(
-              deployment_.device(track.last->device_id).range, budget)));
+          region, budget <= 0.0
+                      ? Region::Make(last_range)
+                      : Region::Make(Ring::Around(last_range, budget)));
     }
-    return region;
+  } else {
+    // Undetected right now: only the backward constraint exists (no rd_suc
+    // yet) — Ring(last seen device, Vmax * elapsed).
+    const double budget = options_.vmax * (t - open.te);
+    region = Region::Make(Ring::Around(open_range, budget));
+    if (topology_ != nullptr) {
+      region = Region::Intersect(
+          region, topology_->ReachableFrom(open.device_id, budget));
+    }
   }
-  // Undetected right now: only the backward constraint exists (no rd_suc
-  // yet) — Ring(last seen device, Vmax * elapsed).
-  const double budget = options_.vmax * (t - open.te);
-  Region region = Region::Make(Ring::Around(open_range, budget));
-  if (topology_ != nullptr) {
-    region = Region::Intersect(
-        region, topology_->ReachableFrom(open.device_id, budget));
+  if (ur_cache_ != nullptr) {
+    ur_cache_->Insert(object, UrCache::Kind::kLive, t, t, region);
   }
   return region;
 }
@@ -137,7 +165,7 @@ Region StreamingMonitor::LiveRegion(ObjectId object, Timestamp t) const {
   MutexLock lock(mu_);
   const auto it = tracks_.find(object);
   if (it == tracks_.end()) return Region();
-  return TrackRegion(it->second, t);
+  return TrackRegion(object, it->second, t);
 }
 
 std::vector<PoiFlow> StreamingMonitor::CurrentTopK(Timestamp t,
@@ -146,7 +174,7 @@ std::vector<PoiFlow> StreamingMonitor::CurrentTopK(Timestamp t,
   {
     MutexLock lock(mu_);
     for (const auto& [object, track] : tracks_) {
-      const Region ur = TrackRegion(track, t);
+      const Region ur = TrackRegion(object, track, t);
       if (ur.IsEmpty()) continue;
       const Box bounds = ur.Bounds();
       for (size_t i = 0; i < pois_.size(); ++i) {

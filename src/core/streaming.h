@@ -36,6 +36,7 @@
 #ifndef INDOORFLOW_CORE_STREAMING_H_
 #define INDOORFLOW_CORE_STREAMING_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +45,7 @@
 #include "src/common/thread_annotations.h"
 #include "src/core/flow.h"
 #include "src/core/topology_check.h"
+#include "src/core/ur_cache.h"
 #include "src/tracking/deployment.h"
 #include "src/tracking/merger.h"
 
@@ -56,6 +58,12 @@ struct StreamingOptions {
   /// Objects unseen for this long no longer contribute to flows.
   double expiry_seconds = 600.0;
   FlowConfig flow;
+  /// Live uncertainty-region memoization (src/core/ur_cache.h). Off by
+  /// default. Each Ingest bumps the object's epoch, so cached live regions
+  /// go stale the moment new evidence arrives; repeated CurrentTopK /
+  /// LiveRegion polls at an unchanged timestamp hit the cache instead of
+  /// re-deriving every track.
+  UrCacheConfig ur_cache;
 };
 
 class StreamingMonitor {
@@ -98,8 +106,10 @@ class StreamingMonitor {
   };
 
   /// Reads a track owned by `tracks_`, so the table lock must be held.
-  Region TrackRegion(const ObjectTrack& track, Timestamp t) const
-      INDOORFLOW_REQUIRES(mu_);
+  /// `object` keys the optional live-region cache; lock order is always
+  /// mu_ -> cache shard (the cache never calls back out).
+  Region TrackRegion(ObjectId object, const ObjectTrack& track,
+                     Timestamp t) const INDOORFLOW_REQUIRES(mu_);
 
   const Deployment& deployment_;
   const PoiSet& pois_;
@@ -107,6 +117,8 @@ class StreamingMonitor {
   const TopologyChecker* topology_;
   std::vector<Region> poi_regions_;   // immutable after construction
   std::vector<double> poi_areas_;     // immutable after construction
+  /// Internally synchronized; null when options_.ur_cache.enabled is false.
+  std::unique_ptr<UrCache> ur_cache_;
   mutable Mutex mu_;
   std::unordered_map<ObjectId, ObjectTrack> tracks_ INDOORFLOW_GUARDED_BY(mu_);
   Timestamp now_ INDOORFLOW_GUARDED_BY(mu_) = 0.0;

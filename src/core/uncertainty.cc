@@ -21,6 +21,23 @@ PieceConstraint BridgeConstraint(const Device& a, const Device& b,
                              std::max(max_travel, 0.0)};
 }
 
+// Ring(dev, Vmax·Δt) as a UR piece. At Δt == 0 (query time exactly at a
+// detection boundary, e.g. t == rd_pre.te) the ring formula degenerates to
+// a zero-area annulus that Region::Make treats as empty and that would
+// erase the whole UR once intersected in; the physically correct region is
+// the detection disk itself — the object is still within range at that
+// instant — so a non-positive budget yields the full disk.
+Region RingPiece(const Circle& range, double budget) {
+  if (budget <= 0.0) return Region::Make(range);
+  return Region::Make(Ring::Around(range, budget));
+}
+
+// MBR analog of RingPiece for the derivation-free bound paths.
+Box RingPieceBounds(const Circle& range, double budget) {
+  if (budget <= 0.0) return range.Bounds();
+  return Ring::Around(range, budget).Bounds();
+}
+
 }  // namespace
 
 const Circle& UncertaintyModel::RangeOf(RecordIndex r) const {
@@ -56,8 +73,8 @@ Region UncertaintyModel::Snapshot(const SnapshotState& state,
       // (see header).
       if (!pre_device_covering) {
         const double budget = vmax_ * (t - pre.te);
-        region = Region::Intersect(
-            region, Region::Make(Ring::Around(RangeOf(state.pre), budget)));
+        region = Region::Intersect(region,
+                                   RingPiece(RangeOf(state.pre), budget));
         region = CheckPiece(
             std::move(region),
             {SingleConstraint(deployment_.device(pre.device_id), budget)});
@@ -74,14 +91,14 @@ Region UncertaintyModel::Snapshot(const SnapshotState& state,
   if (state.pre != kInvalidRecord) {
     const TrackingRecord& pre = table_.record(state.pre);
     const double budget = vmax_ * (t - pre.te);
-    rings.push_back(Region::Make(Ring::Around(RangeOf(state.pre), budget)));
+    rings.push_back(RingPiece(RangeOf(state.pre), budget));
     constraints.push_back(
         SingleConstraint(deployment_.device(pre.device_id), budget));
   }
   if (state.suc != kInvalidRecord) {
     const TrackingRecord& suc = table_.record(state.suc);
     const double budget = vmax_ * (suc.ts - t);
-    rings.push_back(Region::Make(Ring::Around(RangeOf(state.suc), budget)));
+    rings.push_back(RingPiece(RangeOf(state.suc), budget));
     constraints.push_back(
         SingleConstraint(deployment_.device(suc.device_id), budget));
   }
@@ -111,8 +128,7 @@ Box UncertaintyModel::SnapshotMbr(const SnapshotState& state,
         // UR lies in both the covering range and the pre-ring, so the box
         // intersection bounds it (tighter than the paper's box union).
         const double budget = vmax_ * (t - pre.te);
-        box = Intersection(
-            box, Ring::Around(RangeOf(state.pre), budget).Bounds());
+        box = Intersection(box, RingPieceBounds(RangeOf(state.pre), budget));
       }
     }
     return box;
@@ -122,14 +138,14 @@ Box UncertaintyModel::SnapshotMbr(const SnapshotState& state,
   if (state.pre != kInvalidRecord) {
     const TrackingRecord& pre = table_.record(state.pre);
     const Box pre_box =
-        Ring::Around(RangeOf(state.pre), vmax_ * (t - pre.te)).Bounds();
+        RingPieceBounds(RangeOf(state.pre), vmax_ * (t - pre.te));
     box = constrained ? Intersection(box, pre_box) : pre_box;
     constrained = true;
   }
   if (state.suc != kInvalidRecord) {
     const TrackingRecord& suc = table_.record(state.suc);
     const Box suc_box =
-        Ring::Around(RangeOf(state.suc), vmax_ * (suc.ts - t)).Bounds();
+        RingPieceBounds(RangeOf(state.suc), vmax_ * (suc.ts - t));
     box = constrained ? Intersection(box, suc_box) : suc_box;
     constrained = true;
   }
@@ -138,6 +154,14 @@ Box UncertaintyModel::SnapshotMbr(const SnapshotState& state,
 
 Region UncertaintyModel::Interval(const IntervalChain& chain, Timestamp ts,
                                   Timestamp te) const {
+  // A degenerate window [t, t] is exactly the snapshot query at t; delegate
+  // so IntervalTopK(t, t) and SnapshotTopK(t) agree bit-for-bit. The chain
+  // classification below (front.te <= ts / back.ts >= te) would otherwise
+  // tag the single boundary record as both predecessor and successor and
+  // build a spurious two-sided region.
+  if (te <= ts) {
+    return Snapshot(ResolveSnapshotStateAt(table_, chain.object, ts), ts);
+  }
   const std::vector<RecordIndex>& recs = chain.records;
   if (recs.empty()) return Region();
   std::vector<Region> pieces;
@@ -178,17 +202,15 @@ Region UncertaintyModel::Interval(const IntervalChain& chain, Timestamp ts,
       if (i == 0 && front_is_pre) {
         // Ring_s = Ring(dev_b, Vmax·(rd_b.ts − ts)) (paper Case 2/4).
         const double budget = vmax_ * (b.ts - ts);
-        piece = Region::Intersect(
-            piece,
-            Region::Make(Ring::Around(RangeOf(recs[i + 1]), budget)));
+        piece = Region::Intersect(piece,
+                                  RingPiece(RangeOf(recs[i + 1]), budget));
         constraints.push_back(
             SingleConstraint(deployment_.device(b.device_id), budget));
       }
       if (i + 2 == recs.size() && back_is_suc) {
         // Ring_e = Ring(dev_b', Vmax·(te − rd_b'.te)) (paper Case 3/4).
         const double budget = vmax_ * (te - a.te);
-        piece = Region::Intersect(
-            piece, Region::Make(Ring::Around(RangeOf(recs[i]), budget)));
+        piece = Region::Intersect(piece, RingPiece(RangeOf(recs[i]), budget));
         constraints.push_back(
             SingleConstraint(deployment_.device(a.device_id), budget));
       }
@@ -199,14 +221,14 @@ Region UncertaintyModel::Interval(const IntervalChain& chain, Timestamp ts,
   // Missing-predecessor / missing-successor boundary rings.
   if (!chain.active_at_start && front.ts > ts) {
     const double budget = vmax_ * (front.ts - ts);
-    Region ring = Region::Make(Ring::Around(RangeOf(recs.front()), budget));
+    Region ring = RingPiece(RangeOf(recs.front()), budget);
     pieces.push_back(CheckPiece(
         std::move(ring),
         {SingleConstraint(deployment_.device(front.device_id), budget)}));
   }
   if (!chain.active_at_end && back.te < te) {
     const double budget = vmax_ * (te - back.te);
-    Region ring = Region::Make(Ring::Around(RangeOf(recs.back()), budget));
+    Region ring = RingPiece(RangeOf(recs.back()), budget);
     pieces.push_back(CheckPiece(
         std::move(ring),
         {SingleConstraint(deployment_.device(back.device_id), budget)}));
@@ -220,6 +242,12 @@ void UncertaintyModel::IntervalMbrs(const IntervalChain& chain, Timestamp ts,
                                     std::vector<Box>* sub_mbrs) const {
   *mbr = Box{};
   if (sub_mbrs != nullptr) sub_mbrs->clear();
+  // Degenerate window: same snapshot delegation as Interval.
+  if (te <= ts) {
+    *mbr = SnapshotMbr(ResolveSnapshotStateAt(table_, chain.object, ts), ts);
+    if (sub_mbrs != nullptr && !mbr->Empty()) sub_mbrs->push_back(*mbr);
+    return;
+  }
   const std::vector<RecordIndex>& recs = chain.records;
   if (recs.empty()) return;
 
@@ -252,25 +280,21 @@ void UncertaintyModel::IntervalMbrs(const IntervalChain& chain, Timestamp ts,
                     .Bounds();
       if (i == 0 && front_is_pre) {
         box = Intersection(
-            box, Ring::Around(RangeOf(recs[i + 1]), vmax_ * (b.ts - ts))
-                     .Bounds());
+            box, RingPieceBounds(RangeOf(recs[i + 1]), vmax_ * (b.ts - ts)));
       }
       if (i + 2 == recs.size() && back_is_suc) {
         box = Intersection(
-            box,
-            Ring::Around(RangeOf(recs[i]), vmax_ * (te - a.te)).Bounds());
+            box, RingPieceBounds(RangeOf(recs[i]), vmax_ * (te - a.te)));
       }
       emit(box);
     }
   }
 
   if (!chain.active_at_start && front.ts > ts) {
-    emit(Ring::Around(RangeOf(recs.front()), vmax_ * (front.ts - ts))
-             .Bounds());
+    emit(RingPieceBounds(RangeOf(recs.front()), vmax_ * (front.ts - ts)));
   }
   if (!chain.active_at_end && back.te < te) {
-    emit(Ring::Around(RangeOf(recs.back()), vmax_ * (te - back.te))
-             .Bounds());
+    emit(RingPieceBounds(RangeOf(recs.back()), vmax_ * (te - back.te)));
   }
 
   // Long chains produce long sub-MBR lists that get scanned on every join

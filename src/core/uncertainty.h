@@ -25,6 +25,14 @@
 //   * A chain of exactly two records with the object inactive at both ends:
 //     the single Θ is intersected with both rings (tighter than, and
 //     contained in, the paper's union form — see DESIGN.md).
+//   * A ring with zero travel budget (query time exactly at a detection
+//     boundary, e.g. t == rd_pre.te): the ring formula degenerates to a
+//     zero-area annulus; the derivation substitutes the detection disk,
+//     where the object provably still is at that instant.
+//   * A degenerate interval [t, t]: both Interval and IntervalMbrs delegate
+//     to the snapshot derivation at t, so IntervalTopK(t, t) agrees
+//     bit-for-bit with SnapshotTopK(t) instead of mis-classifying the
+//     boundary record as both predecessor and successor.
 
 #ifndef INDOORFLOW_CORE_UNCERTAINTY_H_
 #define INDOORFLOW_CORE_UNCERTAINTY_H_

@@ -1,0 +1,243 @@
+#include "src/core/ur_cache.h"
+
+#include <cstring>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+namespace {
+
+// Registry handles resolved once; the hot path touches only lock-free
+// metric state (the static-struct idiom of engine.cc / streaming.cc).
+struct UrCacheMetrics {
+  Counter& hits = MetricsRegistry::Default().counter("urcache.hits");
+  Counter& misses = MetricsRegistry::Default().counter("urcache.misses");
+  Counter& inserts = MetricsRegistry::Default().counter("urcache.inserts");
+  Counter& evictions =
+      MetricsRegistry::Default().counter("urcache.evictions");
+  Counter& stale_drops =
+      MetricsRegistry::Default().counter("urcache.stale_drops");
+  Counter& presence_hits =
+      MetricsRegistry::Default().counter("urcache.presence_hits");
+  Counter& presence_fills =
+      MetricsRegistry::Default().counter("urcache.presence_fills");
+  Gauge& bytes = MetricsRegistry::Default().gauge("urcache.bytes");
+};
+
+UrCacheMetrics& GetUrCacheMetrics() {
+  static UrCacheMetrics* metrics = new UrCacheMetrics();
+  return *metrics;
+}
+
+uint64_t TimestampBits(Timestamp t) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(t), "Timestamp must be 64-bit");
+  std::memcpy(&bits, &t, sizeof(bits));
+  return bits;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Per-entry bookkeeping overhead on top of the region's own footprint:
+// list node, index slot, key, epoch. Keeps tiny regions from accumulating
+// unbounded under a byte-only budget.
+constexpr size_t kEntryOverhead = 128;
+
+// splitmix64: cheap, well-distributed mixing for the composite key.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool UrCache::PresenceMemo::TryGet(int32_t poi, double* out) const {
+  MutexLock lock(mu_);
+  const auto it = values_.find(poi);
+  if (it == values_.end()) return false;
+  *out = it->second;
+  GetUrCacheMetrics().presence_hits.Add(1);
+  return true;
+}
+
+void UrCache::PresenceMemo::Put(int32_t poi, double value) {
+  MutexLock lock(mu_);
+  values_[poi] = value;
+  GetUrCacheMetrics().presence_fills.Add(1);
+}
+
+size_t UrCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(static_cast<uint32_t>(k.object)) |
+                     (static_cast<uint64_t>(k.kind) << 32));
+  h = Mix64(h ^ k.ts_bits);
+  h = Mix64(h ^ k.te_bits);
+  return static_cast<size_t>(h);
+}
+
+UrCache::UrCache(const UrCacheConfig& config) {
+  const size_t shard_count =
+      RoundUpPow2(config.shards > 0 ? static_cast<size_t>(config.shards) : 1);
+  shards_.reserve(shard_count);
+  epoch_shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    epoch_shards_.push_back(std::make_unique<EpochShard>());
+  }
+  shard_budget_ = config.max_bytes / shard_count;
+}
+
+UrCache::Key UrCache::MakeKey(ObjectId object, Kind kind, Timestamp ts,
+                              Timestamp te) {
+  Key key;
+  key.object = object;
+  key.kind = static_cast<uint8_t>(kind);
+  key.ts_bits = TimestampBits(ts);
+  key.te_bits = TimestampBits(te);
+  return key;
+}
+
+UrCache::Shard& UrCache::ShardFor(const Key& key) const {
+  return *shards_[KeyHash{}(key) & (shards_.size() - 1)];
+}
+
+UrCache::EpochShard& UrCache::EpochShardFor(ObjectId object) const {
+  return *epoch_shards_[Mix64(static_cast<uint64_t>(
+                            static_cast<uint32_t>(object))) &
+                        (epoch_shards_.size() - 1)];
+}
+
+uint64_t UrCache::EpochOf(ObjectId object) const {
+  EpochShard& shard = EpochShardFor(object);
+  MutexLock lock(shard.mu);
+  const auto it = shard.epochs.find(object);
+  return it == shard.epochs.end() ? 0 : it->second;
+}
+
+void UrCache::BumpEpoch(ObjectId object) {
+  EpochShard& shard = EpochShardFor(object);
+  MutexLock lock(shard.mu);
+  ++shard.epochs[object];
+}
+
+bool UrCache::Lookup(ObjectId object, Kind kind, Timestamp ts, Timestamp te,
+                     Region* out, PresenceMemoPtr* memo) {
+  INDOORFLOW_CHECK(out != nullptr);
+  if (memo != nullptr) memo->reset();
+  UrCacheMetrics& metrics = GetUrCacheMetrics();
+  const uint64_t epoch = EpochOf(object);
+  const Key key = MakeKey(object, kind, ts, te);
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.counters.misses;
+    metrics.misses.Add(1);
+    return false;
+  }
+  if (it->second->second.epoch != epoch) {
+    // The object's tracking state changed after this entry was derived;
+    // drop it here rather than scanning every shard at bump time.
+    shard.bytes -= it->second->second.bytes;
+    metrics.bytes.Add(-static_cast<double>(it->second->second.bytes));
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.counters.stale_drops;
+    ++shard.counters.misses;
+    metrics.stale_drops.Add(1);
+    metrics.misses.Add(1);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second.region;
+  if (memo != nullptr) *memo = it->second->second.memo;
+  ++shard.counters.hits;
+  metrics.hits.Add(1);
+  return true;
+}
+
+void UrCache::Insert(ObjectId object, Kind kind, Timestamp ts, Timestamp te,
+                     const Region& region, PresenceMemoPtr* memo) {
+  if (memo != nullptr) memo->reset();
+  UrCacheMetrics& metrics = GetUrCacheMetrics();
+  const size_t bytes = region.ApproxBytes() + kEntryOverhead;
+  if (bytes > shard_budget_) return;  // would evict everything else: skip
+  const uint64_t epoch = EpochOf(object);
+  const Key key = MakeKey(object, kind, ts, te);
+  // A fresh memo even on replacement: the replacing derivation may carry a
+  // newer epoch, and integrals memoized against the old stamp must not
+  // outlive it.
+  PresenceMemoPtr fresh_memo = std::make_shared<PresenceMemo>();
+  if (memo != nullptr) *memo = fresh_memo;
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // A racing thread derived the same region first; refresh in place so
+    // the epoch stamp reflects this (possibly newer) derivation.
+    shard.bytes -= it->second->second.bytes;
+    metrics.bytes.Add(-static_cast<double>(it->second->second.bytes));
+    it->second->second = Entry{region, std::move(fresh_memo), epoch, bytes};
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.emplace_front(key,
+                            Entry{region, std::move(fresh_memo), epoch,
+                                  bytes});
+    shard.index.emplace(key, shard.lru.begin());
+  }
+  shard.bytes += bytes;
+  metrics.bytes.Add(static_cast<double>(bytes));
+  ++shard.counters.inserts;
+  metrics.inserts.Add(1);
+  // The just-inserted entry sits at the LRU front and fits the budget by
+  // itself (checked above), so this loop always terminates before it.
+  while (shard.bytes > shard_budget_) {
+    const auto& victim = shard.lru.back();
+    shard.bytes -= victim.second.bytes;
+    metrics.bytes.Add(-static_cast<double>(victim.second.bytes));
+    shard.index.erase(victim.first);
+    shard.lru.pop_back();
+    ++shard.counters.evictions;
+    metrics.evictions.Add(1);
+  }
+}
+
+size_t UrCache::ApproxBytes() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+size_t UrCache::EntryCount() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->index.size();
+  }
+  return total;
+}
+
+UrCache::Counters UrCache::TotalCounters() const {
+  Counters total;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total.hits += shard->counters.hits;
+    total.misses += shard->counters.misses;
+    total.inserts += shard->counters.inserts;
+    total.evictions += shard->counters.evictions;
+    total.stale_drops += shard->counters.stale_drops;
+  }
+  return total;
+}
+
+}  // namespace indoorflow

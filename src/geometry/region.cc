@@ -14,6 +14,7 @@ class EmptyNode final : public Node {
   bool Contains(Point) const override { return false; }
   Box Bounds() const override { return Box{}; }
   BoxClass Classify(const Box&) const override { return BoxClass::kOutside; }
+  size_t ApproxBytes() const override { return sizeof(*this); }
 };
 
 class CircleNode final : public Node {
@@ -31,6 +32,8 @@ class CircleNode final : public Node {
     if (max_d <= circle_.radius) return BoxClass::kInside;
     return BoxClass::kBoundary;
   }
+
+  size_t ApproxBytes() const override { return sizeof(*this); }
 
  private:
   Circle circle_;
@@ -55,6 +58,8 @@ class RingNode final : public Node {
     }
     return BoxClass::kBoundary;
   }
+
+  size_t ApproxBytes() const override { return sizeof(*this); }
 
  private:
   Ring ring_;
@@ -109,6 +114,8 @@ class ThetaNode final : public Node {
     return BoxClass::kBoundary;
   }
 
+  size_t ApproxBytes() const override { return sizeof(*this); }
+
  private:
   static BoxClass ClassifyDisk(const Circle& disk, const Box& box) {
     const double min_d = MinDistance(box, disk.center);
@@ -138,6 +145,8 @@ class BoxNode final : public Node {
     if (box_.Contains(query)) return BoxClass::kInside;
     return BoxClass::kBoundary;
   }
+
+  size_t ApproxBytes() const override { return sizeof(*this); }
 
  private:
   Box box_;
@@ -177,6 +186,10 @@ class PolygonNode final : public Node {
     return BoxClass::kOutside;
   }
 
+  size_t ApproxBytes() const override {
+    return sizeof(*this) + polygon_.size() * sizeof(Point);
+  }
+
  private:
   Polygon polygon_;
 };
@@ -203,6 +216,10 @@ class IntersectionNode final : public Node {
       return BoxClass::kInside;
     }
     return BoxClass::kBoundary;
+  }
+
+  size_t ApproxBytes() const override {
+    return sizeof(*this) + a_->ApproxBytes() + b_->ApproxBytes();
   }
 
  private:
@@ -254,6 +271,13 @@ class UnionNode final : public Node {
     return any_boundary ? BoxClass::kBoundary : BoxClass::kOutside;
   }
 
+  size_t ApproxBytes() const override {
+    size_t bytes = sizeof(*this) + part_bounds_.capacity() * sizeof(Box) +
+                   parts_.capacity() * sizeof(std::shared_ptr<const Node>);
+    for (const auto& p : parts_) bytes += p->ApproxBytes();
+    return bytes;
+  }
+
  private:
   std::vector<std::shared_ptr<const Node>> parts_;
   std::vector<Box> part_bounds_;
@@ -280,6 +304,10 @@ class DifferenceNode final : public Node {
       return BoxClass::kInside;
     }
     return BoxClass::kBoundary;
+  }
+
+  size_t ApproxBytes() const override {
+    return sizeof(*this) + a_->ApproxBytes() + b_->ApproxBytes();
   }
 
  private:
@@ -383,6 +411,8 @@ Box Region::Bounds() const { return node_->Bounds(); }
 BoxClass Region::Classify(const Box& box) const {
   return node_->Classify(box);
 }
+
+size_t Region::ApproxBytes() const { return node_->ApproxBytes(); }
 
 const Circle* Region::AsCircle() const { return node_->AsCircle(); }
 const Ring* Region::AsRing() const { return node_->AsRing(); }

@@ -63,6 +63,11 @@ class Region {
   Box Bounds() const;
   BoxClass Classify(const Box& box) const;
 
+  /// Approximate heap footprint of the CSG tree in bytes (see
+  /// region_internal::Node::ApproxBytes). Used by the uncertainty-region
+  /// cache for its byte budget; not an exact allocator measurement.
+  size_t ApproxBytes() const;
+
   /// Shape introspection (non-null only for exactly-primitive regions);
   /// enables the integrator's exact-area fast paths.
   const Circle* AsCircle() const;

@@ -8,6 +8,8 @@
 #ifndef INDOORFLOW_GEOMETRY_REGION_NODE_H_
 #define INDOORFLOW_GEOMETRY_REGION_NODE_H_
 
+#include <cstddef>
+
 #include "src/geometry/box.h"
 #include "src/geometry/circle.h"
 #include "src/geometry/point.h"
@@ -36,6 +38,13 @@ class Node {
   virtual const Ring* AsRing() const { return nullptr; }
   /// For axis-aligned-rectangle nodes: the rectangle.
   virtual const Box* AsBox() const { return nullptr; }
+
+  /// Approximate heap footprint of this subtree in bytes, for cache byte
+  /// accounting (src/core/ur_cache.h). Composite nodes include their
+  /// children; shared subtrees are counted once per reference, so the sum
+  /// over-estimates under structural sharing. The default covers small
+  /// fixed-size primitives.
+  virtual size_t ApproxBytes() const { return 64; }
 };
 
 }  // namespace region_internal

@@ -263,5 +263,88 @@ TEST_F(DifferentialFixture, ThresholdAndDensityMatchNaiveDefinition) {
   }
 }
 
+// The UR cache must be invisible in results: a hit hands back the exact
+// same shared CSG node tree the miss path would have built, so every flow
+// is bit-identical — not merely close — with caching on, both on the cold
+// first pass (all misses + inserts) and the warm rerun (hits). Covers the
+// full query matrix: top-k / threshold / density x snapshot / interval,
+// both algorithms, several timestamps.
+TEST_F(DifferentialFixture, CachedResultsAreBitIdenticalAcrossQueryMatrix) {
+  EngineConfig base_config;
+  base_config.topology = TopologyMode::kPartition;
+  base_config.vmax = dataset_.vmax;
+  const QueryEngine uncached(dataset_, base_config);
+
+  EngineConfig cached_config = base_config;
+  cached_config.ur_cache.enabled = true;
+  const QueryEngine cached(dataset_, cached_config);
+  ASSERT_NE(cached.ur_cache(), nullptr);
+  ASSERT_EQ(uncached.ur_cache(), nullptr);
+
+  const int k = static_cast<int>(dataset_.pois.size());
+  const double tau = 0.05;
+  const auto expect_identical = [](const std::vector<PoiFlow>& a,
+                                   const std::vector<PoiFlow>& b,
+                                   const char* what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].poi, b[i].poi) << what << " rank " << i;
+      // EXPECT_EQ, not EXPECT_NEAR: bit-identical is the contract.
+      EXPECT_EQ(a[i].flow, b[i].flow) << what << " rank " << i;
+    }
+  };
+
+  for (const Algorithm algo : {Algorithm::kIterative, Algorithm::kJoin}) {
+    for (const Timestamp t : {150.0, 450.0, 750.0}) {
+      const Timestamp ts = t - 60.0;
+      const Timestamp te = t + 60.0;
+      // Two cached passes per query: pass 0 is cold (misses populate the
+      // cache), pass 1 is warm (hits reuse it); both must equal uncached.
+      for (int pass = 0; pass < 2; ++pass) {
+        expect_identical(uncached.SnapshotTopK(t, k, algo),
+                         cached.SnapshotTopK(t, k, algo), "snapshot topk");
+        expect_identical(uncached.IntervalTopK(ts, te, k, algo),
+                         cached.IntervalTopK(ts, te, k, algo),
+                         "interval topk");
+        expect_identical(uncached.SnapshotThreshold(t, tau, algo),
+                         cached.SnapshotThreshold(t, tau, algo),
+                         "snapshot threshold");
+        expect_identical(uncached.IntervalThreshold(ts, te, tau, algo),
+                         cached.IntervalThreshold(ts, te, tau, algo),
+                         "interval threshold");
+        expect_identical(uncached.SnapshotDensityTopK(t, k, algo),
+                         cached.SnapshotDensityTopK(t, k, algo),
+                         "snapshot density");
+        expect_identical(uncached.IntervalDensityTopK(ts, te, k, algo),
+                         cached.IntervalDensityTopK(ts, te, k, algo),
+                         "interval density");
+      }
+    }
+  }
+  const UrCache::Counters counters = cached.ur_cache()->TotalCounters();
+  EXPECT_GT(counters.hits, 0);
+  EXPECT_GT(counters.inserts, 0);
+}
+
+// The per-query hit counter surfaces through QueryStats: a warm rerun at
+// the same timestamp reports hits instead of derivations.
+TEST_F(DifferentialFixture, WarmRerunBooksCacheHitsNotDerivations) {
+  EngineConfig config;
+  config.topology = TopologyMode::kPartition;
+  config.vmax = dataset_.vmax;
+  config.ur_cache.enabled = true;
+  const QueryEngine engine(dataset_, config);
+
+  QueryStats cold;
+  engine.SnapshotTopK(450.0, 5, Algorithm::kIterative, nullptr, &cold);
+  EXPECT_GT(cold.regions_derived, 0);
+  EXPECT_EQ(cold.ur_cache_hits, 0);
+
+  QueryStats warm;
+  engine.SnapshotTopK(450.0, 5, Algorithm::kIterative, nullptr, &warm);
+  EXPECT_EQ(warm.regions_derived, 0);
+  EXPECT_EQ(warm.ur_cache_hits, cold.regions_derived);
+}
+
 }  // namespace
 }  // namespace indoorflow

@@ -1,6 +1,8 @@
 // Edge-case behavior of the engine API: empty inputs, extreme parameters,
 // and degenerate datasets must not crash and must return sensible results.
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
@@ -157,6 +159,73 @@ TEST_F(EdgeFixture, SingleObjectSingleDevicePoiOutsideReach) {
       engine.SnapshotTopK(50.0, 1, Algorithm::kIterative)[0].flow, 0.0);
   EXPECT_DOUBLE_EQ(engine.SnapshotTopK(50.0, 1, Algorithm::kJoin)[0].flow,
                    0.0);
+}
+
+TEST_F(EdgeFixture, DegenerateIntervalMatchesSnapshotExactly) {
+  // IntervalTopK(t, t) delegates its region derivation to the snapshot
+  // path, so it agrees with SnapshotTopK(t) bit-for-bit — including at
+  // record boundaries and in detection gaps, for both algorithms.
+  ObjectTrackingTable table;
+  table.Append({0, 0, 0, 40});
+  table.Append({0, 1, 60, 100});
+  table.Append({1, 1, 10, 80});
+  ASSERT_TRUE(table.Finalize().ok());
+  const QueryEngine engine = MakeEngine(table, pois_);
+  for (const Timestamp t : {5.0, 40.0, 50.0, 60.0, 90.0}) {
+    for (const Algorithm algo : {Algorithm::kIterative, Algorithm::kJoin}) {
+      const auto snap = engine.SnapshotTopK(t, 2, algo);
+      const auto interval = engine.IntervalTopK(t, t, 2, algo);
+      ASSERT_EQ(snap.size(), interval.size()) << "t=" << t;
+      for (size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(interval[i].poi, snap[i].poi) << "t=" << t;
+        EXPECT_EQ(interval[i].flow, snap[i].flow) << "t=" << t;
+      }
+    }
+  }
+}
+
+TEST_F(EdgeFixture, DegeneratePoiDoesNotPoisonDensityRanking) {
+  // A zero-area POI in the set used to zero the join's subtree min-area
+  // aggregate, turning the density bound into 0 and silently pruning every
+  // POI sharing the subtree. Degenerate areas now demote to 0 at load time
+  // and the bound ignores them, so both algorithms agree and the sliver
+  // itself ranks with density 0.
+  ObjectTrackingTable table;
+  table.Append({0, 0, 0, 100});
+  table.Append({1, 1, 0, 100});
+  ASSERT_TRUE(table.Finalize().ok());
+  PoiSet pois = pois_;
+  pois.push_back(Poi{2, "sliver", Polygon::Rectangle(4, 6, 4, 10)});
+  const QueryEngine engine = MakeEngine(table, pois);
+
+  const auto iter =
+      engine.SnapshotDensityTopK(50.0, 3, Algorithm::kIterative);
+  const auto join = engine.SnapshotDensityTopK(50.0, 3, Algorithm::kJoin);
+  ASSERT_EQ(iter.size(), 3u);
+  ASSERT_EQ(join.size(), 3u);
+  for (size_t i = 0; i < iter.size(); ++i) {
+    EXPECT_EQ(join[i].poi, iter[i].poi) << "rank " << i;
+    EXPECT_EQ(join[i].flow, iter[i].flow) << "rank " << i;
+    EXPECT_TRUE(std::isfinite(iter[i].flow)) << "rank " << i;
+  }
+  // The populated rooms rank with positive density; the sliver is last
+  // with exactly 0.
+  EXPECT_GT(iter[0].flow, 0.0);
+  EXPECT_GT(iter[1].flow, 0.0);
+  EXPECT_EQ(iter[2].poi, 2);
+  EXPECT_EQ(iter[2].flow, 0.0);
+
+  // Interval density over the same data must agree across algorithms too.
+  const auto iter_interval =
+      engine.IntervalDensityTopK(20.0, 80.0, 3, Algorithm::kIterative);
+  const auto join_interval =
+      engine.IntervalDensityTopK(20.0, 80.0, 3, Algorithm::kJoin);
+  ASSERT_EQ(iter_interval.size(), join_interval.size());
+  for (size_t i = 0; i < iter_interval.size(); ++i) {
+    EXPECT_EQ(join_interval[i].poi, iter_interval[i].poi) << "rank " << i;
+    EXPECT_EQ(join_interval[i].flow, iter_interval[i].flow) << "rank " << i;
+    EXPECT_TRUE(std::isfinite(iter_interval[i].flow)) << "rank " << i;
+  }
 }
 
 TEST_F(EdgeFixture, TimelineOnEmptyData) {

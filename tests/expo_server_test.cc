@@ -148,6 +148,62 @@ TEST(ExpoServerTest, ServesMetricsRegistryDump) {
   server.Stop();
 }
 
+TEST(ExpoServerTest, SurvivesEarlyCloseAndPartialRequests) {
+  // Misbehaving clients — connect-and-close, half a request line, and a
+  // client that closes before reading the response — must not wedge or
+  // kill the accept loop (the write path ignores SIGPIPE/EPIPE and the
+  // read path tolerates EINTR/early EOF).
+  ExpoServer server;
+  const std::string large_body(256 * 1024, 'x');
+  server.Handle("/ping", "text/plain", [] { return std::string("pong"); });
+  server.Handle("/large", "text/plain",
+                [&large_body] { return large_body; });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int port = server.port();
+
+  const auto raw_connect = [port] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+
+  // 1) Connect and immediately close without sending a byte.
+  ::close(raw_connect());
+
+  // 2) Send a truncated request line, then close mid-request.
+  {
+    const int fd = raw_connect();
+    const char partial[] = "GET /pi";
+    EXPECT_GT(::send(fd, partial, sizeof(partial) - 1, 0), 0);
+    ::close(fd);
+  }
+
+  // 3) Request a large body but close before reading it, so the server's
+  //    write hits a dead peer (EPIPE/ECONNRESET) mid-response.
+  {
+    const int fd = raw_connect();
+    const char request[] =
+        "GET /large HTTP/1.1\r\nHost: localhost\r\n"
+        "Connection: close\r\n\r\n";
+    EXPECT_GT(::send(fd, request, sizeof(request) - 1, 0), 0);
+    ::close(fd);
+  }
+
+  // The server must still answer well-formed requests afterwards.
+  const std::string response = HttpRequest(port, "/ping");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_EQ(Body(response), "pong");
+  const std::string large = HttpRequest(port, "/large");
+  EXPECT_EQ(Body(large), large_body);
+  server.Stop();
+}
+
 // --- Concurrency stress (runs under the TSan CI job) ------------------------
 
 TEST(ExpoServerConcurrencyTest, ServesWhileQueriesRecordProfiles) {

@@ -291,5 +291,96 @@ TEST_F(UncertaintyFixture, SnapshotUrShrinksWithTime) {
   EXPECT_LT(early_hits, mid_hits);
 }
 
+TEST_F(UncertaintyFixture, ZeroBudgetPreRingYieldsDetectionDisk) {
+  // Inactive state queried exactly at rd_pre.te: the pre-ring's travel
+  // budget is 0, which used to degenerate to a zero-area annulus and erase
+  // the whole UR. The object is provably still inside dev0's range at that
+  // instant, so the UR must be (a subset of) the detection disk, not empty.
+  SnapshotState state;
+  state.object = 1;
+  state.pre = 0;  // dev0 [0,10]
+  state.suc = 1;  // dev1 [20,30]
+  const Region ur = model_->Snapshot(state, 10.0);
+  ASSERT_FALSE(ur.IsEmpty());
+  EXPECT_TRUE(ur.Contains({0.0, 0.0}));
+  EXPECT_TRUE(ur.Contains({0.9, 0.0}));
+  EXPECT_FALSE(ur.Contains({1.5, 0.0}));  // outside dev0's range
+  // The derivation-free MBR stays a superset of the region.
+  const Box mbr = model_->SnapshotMbr(state, 10.0);
+  EXPECT_FALSE(mbr.Empty());
+  EXPECT_TRUE(mbr.Contains(ur.Bounds()));
+}
+
+TEST_F(UncertaintyFixture, ZeroBudgetSucRingYieldsDetectionDisk) {
+  // Symmetric boundary: queried exactly at rd_suc.ts, the suc-ring's
+  // budget is 0 and the object is already inside dev1's range.
+  SnapshotState state;
+  state.object = 1;
+  state.pre = 0;  // dev0 [0,10]
+  state.suc = 1;  // dev1 [20,30]
+  const Region ur = model_->Snapshot(state, 20.0);
+  ASSERT_FALSE(ur.IsEmpty());
+  EXPECT_TRUE(ur.Contains({10.0, 0.0}));
+  EXPECT_FALSE(ur.Contains({12.0, 0.0}));
+}
+
+TEST_F(UncertaintyFixture, ZeroBudgetActivePreRingKeepsHandoffLens) {
+  // An active state at the same-instant handoff between two overlapping
+  // ranges: budget 0 used to empty the intersection; the correct region is
+  // covering range ∩ pre's detection disk (the overlap lens).
+  Deployment close;
+  close.AddDevice(Circle{{0, 0}, 1.0});
+  close.AddDevice(Circle{{1.5, 0}, 1.0});
+  close.BuildIndex();
+  ObjectTrackingTable table;
+  table.Append({1, 0, 0, 10});
+  table.Append({1, 1, 10, 20});
+  INDOORFLOW_CHECK(table.Finalize().ok());
+  const UncertaintyModel model(table, close, 1.0);
+
+  SnapshotState state;
+  state.object = 1;
+  state.pre = 0;
+  state.covering = {1};
+  const Region ur = model.Snapshot(state, 10.0);
+  ASSERT_FALSE(ur.IsEmpty());
+  EXPECT_TRUE(ur.Contains({0.75, 0.0}));   // in both disks
+  EXPECT_FALSE(ur.Contains({-0.5, 0.0}));  // in dev0 only
+  EXPECT_FALSE(ur.Contains({2.0, 0.0}));   // in dev1 only
+  EXPECT_FALSE(model.SnapshotMbr(state, 10.0).Empty());
+}
+
+TEST_F(UncertaintyFixture, DegenerateIntervalDelegatesToSnapshot) {
+  // [t, t] must produce exactly the snapshot region/MBR at t — the chain
+  // classification (front.te <= ts, back.ts >= te) would otherwise tag a
+  // boundary record as both predecessor and successor when ts == te.
+  Rng rng(13);
+  for (const Timestamp t : {5.0, 10.0, 15.0, 20.0, 25.0, 35.0, 45.0}) {
+    const IntervalChain chain = RelevantChain(table_, 1, t, t);
+    if (chain.records.empty()) continue;
+    const Region interval = model_->Interval(chain, t, t);
+    const Region snapshot =
+        model_->Snapshot(ResolveSnapshotStateAt(table_, 1, t), t);
+    EXPECT_EQ(interval.IsEmpty(), snapshot.IsEmpty()) << "t=" << t;
+    for (int i = 0; i < 2000; ++i) {
+      const Point p{rng.Uniform(-12, 32), rng.Uniform(-12, 12)};
+      ASSERT_EQ(interval.Contains(p), snapshot.Contains(p))
+          << "t=" << t << " p=(" << p.x << "," << p.y << ")";
+    }
+    Box mbr;
+    std::vector<Box> sub_mbrs;
+    model_->IntervalMbrs(chain, t, t, &mbr, &sub_mbrs);
+    const Box snap_mbr =
+        model_->SnapshotMbr(ResolveSnapshotStateAt(table_, 1, t), t);
+    EXPECT_EQ(mbr.Empty(), snap_mbr.Empty()) << "t=" << t;
+    if (!mbr.Empty()) {
+      EXPECT_DOUBLE_EQ(mbr.min_x, snap_mbr.min_x) << "t=" << t;
+      EXPECT_DOUBLE_EQ(mbr.max_x, snap_mbr.max_x) << "t=" << t;
+      EXPECT_DOUBLE_EQ(mbr.min_y, snap_mbr.min_y) << "t=" << t;
+      EXPECT_DOUBLE_EQ(mbr.max_y, snap_mbr.max_y) << "t=" << t;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace indoorflow

@@ -1,0 +1,320 @@
+// Unit tests for the cross-query uncertainty-region cache
+// (src/core/ur_cache.h): hit/miss semantics, key namespacing, LRU
+// eviction under the byte budget, epoch-based invalidation, and counter
+// accounting — plus UrCacheConcurrencyTest, which races lookups, inserts,
+// and epoch bumps (and whole engine/monitor workloads sharing one cache)
+// for the TSan CI job.
+
+#include <cmath>
+#include <numbers>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/streaming.h"
+#include "src/core/ur_cache.h"
+
+namespace indoorflow {
+namespace {
+
+// A polygon region with a controllable footprint: ApproxBytes grows
+// linearly in the vertex count, which the byte-budget tests exploit.
+Region PolygonRegion(int vertices, double radius = 5.0) {
+  std::vector<Point> points;
+  points.reserve(static_cast<size_t>(vertices));
+  for (int i = 0; i < vertices; ++i) {
+    const double angle =
+        2.0 * std::numbers::pi * i / static_cast<double>(vertices);
+    points.push_back(
+        Point{radius * std::cos(angle), radius * std::sin(angle)});
+  }
+  return Region::Make(Polygon(std::move(points)));
+}
+
+TEST(UrCacheTest, MissThenHitRoundTrips) {
+  UrCacheConfig config;
+  config.enabled = true;
+  UrCache cache(config);
+
+  Region out;
+  EXPECT_FALSE(cache.Lookup(7, UrCache::Kind::kSnapshot, 10.0, 10.0, &out));
+
+  const Region region = Region::Make(Circle{{3.0, 4.0}, 2.0});
+  cache.Insert(7, UrCache::Kind::kSnapshot, 10.0, 10.0, region);
+  ASSERT_TRUE(cache.Lookup(7, UrCache::Kind::kSnapshot, 10.0, 10.0, &out));
+  // Regions share immutable nodes, so the copy describes the same set.
+  EXPECT_TRUE(out.Contains({3.0, 4.0}));
+  EXPECT_FALSE(out.Contains({3.0, 7.0}));
+  EXPECT_EQ(out.ApproxBytes(), region.ApproxBytes());
+
+  const UrCache::Counters counters = cache.TotalCounters();
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 1);
+  EXPECT_EQ(counters.inserts, 1);
+  EXPECT_EQ(cache.EntryCount(), 1u);
+}
+
+TEST(UrCacheTest, KindsObjectsAndTimesAreSeparateNamespaces) {
+  UrCacheConfig config;
+  config.enabled = true;
+  UrCache cache(config);
+  const Region region = Region::Make(Circle{{0.0, 0.0}, 1.0});
+  cache.Insert(1, UrCache::Kind::kSnapshot, 10.0, 10.0, region);
+
+  Region out;
+  // Same (object, t) under another kind, another object, another time, and
+  // another te all miss: only the exact key hits.
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kLive, 10.0, 10.0, &out));
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kInterval, 10.0, 10.0, &out));
+  EXPECT_FALSE(cache.Lookup(2, UrCache::Kind::kSnapshot, 10.0, 10.0, &out));
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kSnapshot, 10.5, 10.5, &out));
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kSnapshot, 10.0, 12.0, &out));
+  EXPECT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 10.0, 10.0, &out));
+}
+
+TEST(UrCacheTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  UrCacheConfig config;
+  config.enabled = true;
+  config.shards = 1;  // single shard: deterministic LRU order
+  const Region big = PolygonRegion(200);
+  // Budget fits two entries but not three.
+  config.max_bytes = 2 * (big.ApproxBytes() + 512);
+  UrCache cache(config);
+  ASSERT_EQ(cache.shard_count(), 1u);
+
+  cache.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0, PolygonRegion(200));
+  cache.Insert(2, UrCache::Kind::kSnapshot, 1.0, 1.0, PolygonRegion(200));
+  Region out;
+  // Touch object 1 so object 2 becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  cache.Insert(3, UrCache::Kind::kSnapshot, 1.0, 1.0, PolygonRegion(200));
+
+  EXPECT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_FALSE(cache.Lookup(2, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_TRUE(cache.Lookup(3, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_GE(cache.TotalCounters().evictions, 1);
+  EXPECT_LE(cache.ApproxBytes(), cache.shard_budget_bytes());
+}
+
+TEST(UrCacheTest, OversizedRegionIsNotCached) {
+  UrCacheConfig config;
+  config.enabled = true;
+  config.shards = 1;
+  config.max_bytes = 256;  // smaller than the region below
+  UrCache cache(config);
+
+  cache.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0, PolygonRegion(500));
+  EXPECT_EQ(cache.EntryCount(), 0u);
+  Region out;
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+}
+
+TEST(UrCacheTest, BumpEpochInvalidatesAllEntriesOfTheObjectLazily) {
+  UrCacheConfig config;
+  config.enabled = true;
+  UrCache cache(config);
+  const Region region = Region::Make(Circle{{0.0, 0.0}, 1.0});
+  cache.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0, region);
+  cache.Insert(1, UrCache::Kind::kInterval, 1.0, 5.0, region);
+  cache.Insert(2, UrCache::Kind::kSnapshot, 1.0, 1.0, region);
+
+  EXPECT_EQ(cache.EpochOf(1), 0u);
+  cache.BumpEpoch(1);
+  EXPECT_EQ(cache.EpochOf(1), 1u);
+
+  Region out;
+  // Object 1's entries are stale (dropped on lookup); object 2's survive.
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kInterval, 1.0, 5.0, &out));
+  EXPECT_TRUE(cache.Lookup(2, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_EQ(cache.TotalCounters().stale_drops, 2);
+  EXPECT_EQ(cache.EntryCount(), 1u);
+
+  // Re-inserting after the bump is stamped with the new epoch and hits.
+  cache.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0, region);
+  EXPECT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+}
+
+TEST(UrCacheTest, InsertReplacesExistingKey) {
+  UrCacheConfig config;
+  config.enabled = true;
+  UrCache cache(config);
+  cache.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0,
+               Region::Make(Circle{{0.0, 0.0}, 1.0}));
+  cache.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0,
+               Region::Make(Circle{{10.0, 0.0}, 1.0}));
+  EXPECT_EQ(cache.EntryCount(), 1u);
+  Region out;
+  ASSERT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_TRUE(out.Contains({10.0, 0.0}));
+  EXPECT_FALSE(out.Contains({0.0, 0.0}));
+}
+
+TEST(UrCacheTest, PresenceMemoSharesEntryLifetime) {
+  UrCacheConfig config;
+  config.enabled = true;
+  UrCache cache(config);
+  const Region region = PolygonRegion(8);
+
+  UrCache::PresenceMemoPtr insert_memo;
+  cache.Insert(1, UrCache::Kind::kSnapshot, 10.0, 10.0, region,
+               &insert_memo);
+  ASSERT_NE(insert_memo, nullptr);
+  double value = 0.0;
+  EXPECT_FALSE(insert_memo->TryGet(7, &value));
+  insert_memo->Put(7, 0.25);
+
+  // A hit hands back the same memo with the stored integral.
+  Region out;
+  UrCache::PresenceMemoPtr hit_memo;
+  ASSERT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 10.0, 10.0, &out,
+                           &hit_memo));
+  ASSERT_NE(hit_memo, nullptr);
+  EXPECT_TRUE(hit_memo->TryGet(7, &value));
+  EXPECT_EQ(value, 0.25);
+
+  // Epoch invalidation covers the memo: the stale drop releases it, and a
+  // re-insert starts a fresh, empty one.
+  cache.BumpEpoch(1);
+  EXPECT_FALSE(cache.Lookup(1, UrCache::Kind::kSnapshot, 10.0, 10.0, &out,
+                            &hit_memo));
+  EXPECT_EQ(hit_memo, nullptr);
+  cache.Insert(1, UrCache::Kind::kSnapshot, 10.0, 10.0, region,
+               &insert_memo);
+  ASSERT_NE(insert_memo, nullptr);
+  EXPECT_FALSE(insert_memo->TryGet(7, &value));
+
+  // Replacement also resets the memo (the new derivation may carry a newer
+  // epoch stamp).
+  insert_memo->Put(7, 0.5);
+  cache.Insert(1, UrCache::Kind::kSnapshot, 10.0, 10.0, region,
+               &insert_memo);
+  ASSERT_NE(insert_memo, nullptr);
+  EXPECT_FALSE(insert_memo->TryGet(7, &value));
+
+  // An uncacheable (oversized) region yields no memo.
+  UrCacheConfig tiny;
+  tiny.enabled = true;
+  tiny.shards = 1;
+  tiny.max_bytes = 256;
+  UrCache small(tiny);
+  UrCache::PresenceMemoPtr none;
+  small.Insert(1, UrCache::Kind::kSnapshot, 1.0, 1.0, PolygonRegion(500),
+               &none);
+  EXPECT_EQ(none, nullptr);
+}
+
+TEST(UrCacheConcurrencyTest, RacingLookupsInsertsAndEpochBumps) {
+  UrCacheConfig config;
+  config.enabled = true;
+  config.max_bytes = 64 << 10;  // small enough to force evictions
+  config.shards = 4;
+  UrCache cache(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&cache, w] {
+      for (int i = 0; i < kOps; ++i) {
+        const ObjectId object = (w * kOps + i) % 17;
+        const Timestamp t = static_cast<Timestamp>(i % 13);
+        Region out;
+        if (!cache.Lookup(object, UrCache::Kind::kSnapshot, t, t, &out)) {
+          cache.Insert(object, UrCache::Kind::kSnapshot, t, t,
+                       PolygonRegion(32 + i % 64));
+        }
+        if (i % 31 == 0) cache.BumpEpoch(object);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const UrCache::Counters counters = cache.TotalCounters();
+  EXPECT_EQ(counters.hits + counters.misses,
+            static_cast<int64_t>(kThreads) * kOps);
+  EXPECT_LE(cache.ApproxBytes(),
+            cache.shard_budget_bytes() * cache.shard_count());
+}
+
+TEST(UrCacheConcurrencyTest, BatchQueriesShareOneEngineCache) {
+  OfficeDatasetConfig data_config;
+  data_config.num_objects = 8;
+  data_config.duration = 600.0;
+  data_config.seed = 17;
+  const Dataset dataset = GenerateOfficeDataset(data_config);
+
+  EngineConfig config;
+  config.topology = TopologyMode::kPartition;
+  config.vmax = dataset.vmax;
+  config.ur_cache.enabled = true;
+  const QueryEngine engine(dataset, config);
+
+  // Repeated timestamps across the batch: workers race hits and inserts on
+  // the same keys. Results must match the serial reference exactly.
+  std::vector<Timestamp> times;
+  for (int i = 0; i < 24; ++i) {
+    times.push_back(100.0 + 50.0 * (i % 4));
+  }
+  const auto batches =
+      engine.SnapshotTopKBatch(times, 5, Algorithm::kJoin, nullptr, 4);
+  ASSERT_EQ(batches.size(), times.size());
+  for (size_t i = 0; i < times.size(); ++i) {
+    const auto reference =
+        engine.SnapshotTopK(times[i], 5, Algorithm::kJoin);
+    ASSERT_EQ(batches[i].size(), reference.size()) << "i=" << i;
+    for (size_t j = 0; j < reference.size(); ++j) {
+      EXPECT_EQ(batches[i][j].poi, reference[j].poi) << "i=" << i;
+      EXPECT_EQ(batches[i][j].flow, reference[j].flow) << "i=" << i;
+    }
+  }
+  ASSERT_NE(engine.ur_cache(), nullptr);
+  EXPECT_GT(engine.ur_cache()->TotalCounters().hits, 0);
+}
+
+TEST(UrCacheConcurrencyTest, StreamingIngestRacesCachedQueries) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 1.0});
+  deployment.AddDevice(Circle{{10, 0}, 1.0});
+  deployment.BuildIndex();
+  PoiSet pois;
+  pois.push_back(Poi{0, "a", Polygon::Rectangle(-2, -2, 2, 2)});
+  pois.push_back(Poi{1, "b", Polygon::Rectangle(8, -2, 12, 2)});
+
+  StreamingOptions options;
+  options.merger.sampling_period = 1.0;
+  options.ur_cache.enabled = true;
+  StreamingMonitor monitor(deployment, pois, options);
+
+  std::thread ingester([&monitor] {
+    for (int i = 0; i < 300; ++i) {
+      const RawReading reading{i % 5, i % 2,
+                              static_cast<Timestamp>(i) / 3.0};
+      ASSERT_TRUE(monitor.Ingest(reading).ok());
+    }
+  });
+  std::thread poller([&monitor] {
+    for (int i = 0; i < 200; ++i) {
+      const Timestamp t = monitor.now();
+      monitor.CurrentTopK(t, 2);
+      monitor.LiveRegion(i % 5, t);
+    }
+  });
+  ingester.join();
+  poller.join();
+
+  // Post-race sanity: a repeated query at a fixed time is hit-stable.
+  const Timestamp t = monitor.now();
+  const auto first = monitor.CurrentTopK(t, 2);
+  const auto second = monitor.CurrentTopK(t, 2);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].poi, second[i].poi);
+    EXPECT_EQ(first[i].flow, second[i].flow);
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

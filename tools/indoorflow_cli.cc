@@ -27,6 +27,10 @@
 //             [--vmax V] [--slack S]    (speed-constraint outlier removal)
 //   render    --data DIR --out FILE.svg [--heatmap-t T]
 //
+// Every command that builds a query engine additionally takes
+// --cache on|off [--cache-mb N] [--cache-shards N] — the cross-query
+// uncertainty-region cache (src/core/ur_cache.h, docs/TUNING.md).
+//
 // Exit code 0 on success; errors go to the structured log (stderr by
 // default; see src/common/log.h for INDOORFLOW_LOG_* configuration).
 
@@ -271,6 +275,16 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   auto topology = ParseTopology(flags.GetOr("topology", "partition"));
   if (!topology.ok()) return topology.status();
   const double vmax = flags.GetDouble("vmax", 1.1);
+  const std::string cache = flags.GetOr("cache", "off");
+  if (cache != "on" && cache != "off") {
+    return Status::InvalidArgument("--cache must be on or off");
+  }
+  const int cache_mb = flags.GetInt("cache-mb", 64);
+  const int cache_shards = flags.GetInt("cache-shards", 8);
+  if (cache_mb <= 0) return Status::InvalidArgument("--cache-mb must be > 0");
+  if (cache_shards <= 0) {
+    return Status::InvalidArgument("--cache-shards must be > 0");
+  }
 
   auto data = LoadDataDir(*dir);
   if (!data.ok()) return data.status();
@@ -279,6 +293,11 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   EngineConfig config;
   config.topology = *topology;
   config.vmax = vmax;
+  // Cross-query UR cache (docs/TUNING.md): pays off for repeated
+  // timestamps — `serve` pollers, `timeline`/`report` slot scans, reruns.
+  config.ur_cache.enabled = cache == "on";
+  config.ur_cache.max_bytes = static_cast<size_t>(cache_mb) << 20;
+  config.ur_cache.shards = cache_shards;
   bundle.engine = std::make_unique<QueryEngine>(
       bundle.data->plan, *bundle.data->graph, bundle.data->deployment,
       bundle.data->ott, bundle.data->pois, config);
@@ -741,6 +760,8 @@ int Usage() {
       "  snapshot --data DIR --t T [--k K] [--algo iterative|join]\n"
       "           [--topology off|partition|exact] [--vmax V]\n"
       "           [--metric flow|density]\n"
+      "  (engine commands also take --cache on|off [--cache-mb N]\n"
+      "           [--cache-shards N] — cross-query UR cache, docs/TUNING.md)\n"
       "  interval --data DIR --ts T --te T [--k K] [--algo ...]\n"
       "  threshold --data DIR --tau F (--t T | --ts T --te T) [--algo ...]\n"
       "  itinerary --data DIR --object ID [--t0 T] [--t1 T] [--step S]\n"

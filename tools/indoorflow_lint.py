@@ -70,6 +70,8 @@ THREADING_ALLOWLIST = {
     "src/core/query_profile.cc",
     "src/core/streaming.h",
     "src/core/streaming.cc",
+    "src/core/ur_cache.h",
+    "src/core/ur_cache.cc",
     "src/index/dynamic_rtree.h",
     "src/index/dynamic_rtree.cc",
 }
