@@ -121,6 +121,28 @@ inline const QueryEngine& EngineFor(
   return *it->second;
 }
 
+/// Engine with intra-query parallelism enabled (EngineConfig::threads =
+/// `threads`, parallel_threshold = 1 so the fan-out engages even at small
+/// INDOORFLOW_BENCH_SCALE object counts). Cached separately from EngineFor
+/// — the serial baselines must keep measuring a serial engine.
+inline const QueryEngine& ParallelEngineFor(const Dataset& dataset,
+                                            int threads) {
+  static auto* cache = new std::map<std::pair<const Dataset*, int>,
+                                    std::unique_ptr<QueryEngine>>();
+  const auto key = std::make_pair(&dataset, threads);
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    EngineConfig config;
+    config.threads = threads;
+    config.parallel_threshold = 1;
+    it = cache
+             ->emplace(key,
+                       std::make_unique<QueryEngine>(dataset, config))
+             .first;
+  }
+  return *it->second;
+}
+
 /// Deterministic random POI subset of the given percentage (paper: "the
 /// query POI set is determined as a random subset of the total 75 POIs").
 inline std::vector<PoiId> PoiSubset(const Dataset& dataset, int percent,

@@ -85,6 +85,55 @@ void BM_Fig12d_EffectOfInterval(benchmark::State& state) {
   state.SetLabel(bench::AlgoName(algo));
 }
 
+// ---- Intra-query parallelism (src/common/executor.h) -----------------------
+// Same interval workload as above, but with the engine's per-object
+// derive/integrate loops fanned across the shared executor. Results are
+// bit-identical to serial (tests/parallel_differential_test.cc), so these
+// benchmarks measure pure scheduling win/overhead. threads=1 uses a serial
+// engine and anchors the comparison.
+
+void BM_Fig12_EffectOfThreads_Parallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data = DefaultData();
+  const QueryEngine& engine = threads <= 1
+                                  ? bench::EngineFor(data)
+                                  : bench::ParallelEngineFor(data, threads);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  QueryStats stats;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    auto result = engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo),
+                                      &subset, &stats);
+    benchmark::DoNotOptimize(result);
+    ++queries;
+  }
+  bench::RecordQueryStats(state, stats, queries);
+  state.SetLabel(bench::AlgoName(algo));
+}
+
+void BM_Fig12c_EffectOfO_Parallel(benchmark::State& state) {
+  const int paper_objects = static_cast<int>(state.range(0));
+  const int algo = static_cast<int>(state.range(1));
+  const Dataset& data =
+      bench::OfficeData(paper_objects, bench::kDetectionRangeDefault);
+  const QueryEngine& engine = bench::ParallelEngineFor(data, 8);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const auto [ts, te] =
+      bench::IntervalWindow(data, bench::kIntervalMinutesDefault);
+  for (auto _ : state) {
+    auto result =
+        engine.IntervalTopK(ts, te, bench::kKDefault, AlgoOf(algo), &subset);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(bench::AlgoName(algo));
+  state.counters["objects"] = bench::ScaledObjects(paper_objects);
+}
+
 void KArgs(benchmark::internal::Benchmark* b) {
   for (int algo = 0; algo < 2; ++algo) {
     for (int k : bench::kKValues) b->Args({k, algo});
@@ -121,6 +170,26 @@ BENCHMARK(BM_Fig12c_EffectOfO)
 BENCHMARK(BM_Fig12d_EffectOfInterval)
     ->Apply(LenArgs)
     ->ArgNames({"minutes", "algo"})
+    ->Unit(benchmark::kMillisecond);
+
+void ThreadArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int threads : {1, 2, 4, 8}) b->Args({threads, algo});
+  }
+}
+void OParallelArgs(benchmark::internal::Benchmark* b) {
+  for (int algo = 0; algo < 2; ++algo) {
+    for (int o : bench::kPaperObjects) b->Args({o, algo});
+  }
+}
+
+BENCHMARK(BM_Fig12_EffectOfThreads_Parallel)
+    ->Apply(ThreadArgs)
+    ->ArgNames({"threads", "algo"})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig12c_EffectOfO_Parallel)
+    ->Apply(OParallelArgs)
+    ->ArgNames({"O_paper", "algo"})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,165 @@
+#include "src/common/executor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "src/common/metrics.h"
+
+namespace indoorflow {
+namespace {
+
+// Registry handles, resolved once (function-local static) so the hot path
+// never takes the registry lock.
+struct PoolMetrics {
+  Counter& tasks;
+  Gauge& queue_depth;
+  Histogram& task_wait_us;
+};
+
+PoolMetrics& Metrics() {
+  auto& reg = MetricsRegistry::Default();
+  static PoolMetrics m{reg.counter("executor.tasks"),
+                       reg.gauge("executor.queue_depth"),
+                       reg.histogram("executor.task_wait_us")};
+  return m;
+}
+
+int DefaultPoolSize() {
+  const char* env = std::getenv("INDOORFLOW_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return std::min(parsed, Executor::kMaxThreads);
+  }
+  return Executor::ResolveThreads(0);
+}
+
+// One ParallelFor invocation's shared bookkeeping. Lives in a shared_ptr
+// because helper tasks may still sit in the pool queue after the batch
+// completes (they claim no lane and exit, but must find valid memory).
+struct BatchState {
+  Mutex mu;
+  CondVar done_cv;
+  size_t n = 0;
+  size_t lanes = 0;
+  size_t next_lane INDOORFLOW_GUARDED_BY(mu) = 0;
+  size_t pending INDOORFLOW_GUARDED_BY(mu) = 0;
+  std::function<void(size_t)> fn;
+};
+
+// Claims strided lanes off `state` until none remain. Runs on the calling
+// thread *and* on pool workers; the caller's participation is what makes
+// nested ParallelFor deadlock-free (progress never depends on a free
+// worker).
+void RunLanes(BatchState& state) {
+  for (;;) {
+    size_t lane;
+    {
+      MutexLock lock(state.mu);
+      if (state.next_lane >= state.lanes) return;
+      lane = state.next_lane++;
+    }
+    for (size_t i = lane; i < state.n; i += state.lanes) state.fn(i);
+    MutexLock lock(state.mu);
+    if (--state.pending == 0) state.done_cv.NotifyAll();
+  }
+}
+
+}  // namespace
+
+Executor& Executor::Default() {
+  // Function-local static: constructed on first use, destroyed (workers
+  // joined) at static teardown, so sanitizers see no leaked threads.
+  static Executor pool(DefaultPoolSize());
+  return pool;
+}
+
+int Executor::ResolveThreads(int threads) {
+  if (threads > 0) return std::min(threads, kMaxThreads);
+  unsigned hw = std::thread::hardware_concurrency();
+  int resolved = hw == 0 ? 1 : static_cast<int>(hw);
+  return std::min(resolved, kMaxThreads);
+}
+
+Executor::Executor(int threads) : worker_count_(ResolveThreads(threads)) {
+  workers_.reserve(static_cast<size_t>(worker_count_));
+  for (int i = 0; i < worker_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Executor::Enqueue(std::function<void()> fn) {
+  {
+    MutexLock lock(mu_);
+    queue_.push_back(Task{std::move(fn), MonotonicNowNs()});
+    Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+  }
+  work_cv_.NotifyOne();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      MutexLock lock(mu_);
+      while (queue_.empty() && !shutdown_) work_cv_.Wait(mu_);
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    const int64_t start_ns = MonotonicNowNs();
+    Metrics().task_wait_us.Record(
+        static_cast<double>(start_ns - task.enqueue_ns) / 1000.0);
+    task.fn();
+    Metrics().tasks.Add(1);
+    if (TracingEnabled()) {
+      const int64_t end_ns = MonotonicNowNs();
+      EmitTraceEvent("executor.task", start_ns / 1000,
+                     (end_ns - start_ns) / 1000);
+    }
+  }
+}
+
+int Executor::ParallelFor(size_t n, int parallelism,
+                          const std::function<void(size_t)>& fn) {
+  const size_t want =
+      parallelism > 0 ? static_cast<size_t>(parallelism) : size_t{1};
+  const size_t lanes = std::min(want, n);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return 1;
+  }
+  auto state = std::make_shared<BatchState>();
+  state->n = n;
+  state->lanes = lanes;
+  state->fn = fn;
+  {
+    MutexLock lock(state->mu);
+    state->pending = lanes;
+  }
+  // The caller covers one lane itself, so at most lanes - 1 helpers are
+  // useful; beyond worker_count_ they would only queue up behind each
+  // other.
+  const int helpers =
+      std::min(static_cast<int>(lanes) - 1, worker_count_);
+  for (int i = 0; i < helpers; ++i) {
+    Enqueue([state] { RunLanes(*state); });
+  }
+  RunLanes(*state);
+  MutexLock lock(state->mu);
+  while (state->pending > 0) state->done_cv.Wait(state->mu);
+  return static_cast<int>(lanes);
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,104 @@
+// Shared work scheduler: a process-wide, lazily started thread pool.
+//
+// Every parallel call site in the library — batch snapshot queries,
+// FlowMatrix materialization, and the intra-query object fan-out in
+// snapshot_query.cc / interval_query.cc — schedules onto one shared pool
+// instead of spawning per-call std::threads. That bounds process-wide
+// concurrency under multi-tenant load (one pool-size cap instead of one
+// thread herd per call) and amortizes thread creation across queries.
+//
+// Determinism contract: ParallelFor partitions [0, n) into `lanes`
+// deterministic strided lanes (lane w handles w, w + lanes, w + 2*lanes,
+// ...). Which OS thread executes a lane is scheduling-dependent, but the
+// index set per lane is not — so callers that write per-index slots and
+// reduce them in index order afterwards produce bit-identical results to
+// a serial run (the pattern the query paths use; enforced by
+// tests/parallel_differential_test.cc).
+//
+// Deadlock freedom under nesting: the caller of ParallelFor participates —
+// it claims and runs lanes itself while pool workers help — so a lane that
+// itself calls ParallelFor (e.g. a batch query whose per-timestamp queries
+// fan out again) always makes progress even when every pool worker is
+// busy. Waiting happens only on lane *completion*, never on queue space.
+//
+// Observability: the pool exports `executor.*` registry metrics (queue
+// depth gauge, task counter, task wait-time histogram) and emits one
+// Chrome-trace span per executed task when tracing is on (INDOORFLOW_TRACE).
+
+#ifndef INDOORFLOW_COMMON_EXECUTOR_H_
+#define INDOORFLOW_COMMON_EXECUTOR_H_
+
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace indoorflow {
+
+class Executor {
+ public:
+  /// Hard cap on any pool's size; requests beyond it are clamped.
+  static constexpr int kMaxThreads = 256;
+
+  /// The process-wide pool, started lazily on first use and sized by the
+  /// INDOORFLOW_THREADS environment variable when set (clamped to
+  /// [1, kMaxThreads]), else by the hardware concurrency. Thread-safe;
+  /// the returned reference is valid for the process lifetime.
+  static Executor& Default();
+
+  /// Resolves a user-facing `threads` knob the one canonical way:
+  /// `threads > 0` means itself (clamped to kMaxThreads); `threads <= 0`
+  /// means the hardware concurrency (at least 1). Every call site that
+  /// accepts a threads option (EngineConfig::threads,
+  /// FlowMatrixOptions::threads, SnapshotTopKBatch) resolves through
+  /// here, so the fallback cannot drift between them.
+  static int ResolveThreads(int threads);
+
+  /// A pool with `threads` workers (resolved via ResolveThreads).
+  /// Destruction drains nothing: queued tasks are completed, then the
+  /// workers join. Prefer Default() outside tests.
+  explicit Executor(int threads = 0);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int worker_count() const { return worker_count_; }
+
+  /// Runs fn(i) for every i in [0, n), fanning across up to `parallelism`
+  /// concurrent lanes (the caller's thread plus pool workers). Blocks
+  /// until every index has run. `parallelism <= 1` (or n <= 1) executes
+  /// serially on the caller with no scheduling overhead at all.
+  ///
+  /// Thread safety: safe to call from any thread, including from inside a
+  /// lane of another ParallelFor on the same pool (see the deadlock note
+  /// above). `fn` must be safe to invoke concurrently from multiple
+  /// threads for distinct indices; each index runs exactly once.
+  ///
+  /// Returns the number of lanes actually used (>= 1); 1 means the loop
+  /// ran serially.
+  int ParallelFor(size_t n, int parallelism,
+                  const std::function<void(size_t)>& fn);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    int64_t enqueue_ns = 0;
+  };
+
+  void Enqueue(std::function<void()> fn) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  void WorkerLoop() INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  int worker_count_ = 0;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<Task> queue_ INDOORFLOW_GUARDED_BY(mu_);
+  bool shutdown_ INDOORFLOW_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_EXECUTOR_H_

@@ -10,11 +10,14 @@
 #ifndef INDOORFLOW_COMMON_MUTEX_H_
 #define INDOORFLOW_COMMON_MUTEX_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #include "src/common/thread_annotations.h"
 
 namespace indoorflow {
+
+class CondVar;
 
 class INDOORFLOW_CAPABILITY("mutex") Mutex {
  public:
@@ -26,6 +29,7 @@ class INDOORFLOW_CAPABILITY("mutex") Mutex {
   void Unlock() INDOORFLOW_RELEASE() { mu_.unlock(); }
 
  private:
+  friend class CondVar;  // Wait() needs the underlying handle.
   std::mutex mu_;
 };
 
@@ -41,6 +45,32 @@ class INDOORFLOW_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// Condition variable paired with the annotated Mutex (the Abseil idiom:
+/// Wait() is annotated as *requiring* the mutex because it reacquires it
+/// before returning, so the caller's critical section is unbroken as far
+/// as the static analysis is concerned). Spurious wakeups are possible;
+/// always wait in a loop over the guarded predicate.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified (or spuriously);
+  /// `mu` is reacquired before returning.
+  void Wait(Mutex& mu) INDOORFLOW_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership returns to the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 }  // namespace indoorflow

@@ -1,9 +1,9 @@
 #include "src/core/engine.h"
 
 #include <limits>
-#include <thread>
 #include <utility>
 
+#include "src/common/executor.h"
 #include "src/common/metrics.h"
 #include "src/core/query_profile.h"
 
@@ -162,7 +162,10 @@ QueryEngine::QueryEngine(const FloorPlan& plan, const DoorGraph& graph,
                          const Deployment& deployment,
                          const ObjectTrackingTable& table, const PoiSet& pois,
                          EngineConfig config)
-    : table_(table), pois_(pois), config_(config) {
+    : table_(table),
+      pois_(pois),
+      config_(config),
+      resolved_threads_(Executor::ResolveThreads(config.threads)) {
   INDOORFLOW_CHECK(table_.finalized());
   for (size_t i = 0; i < pois_.size(); ++i) {
     INDOORFLOW_CHECK(pois_[i].id == static_cast<PoiId>(i));
@@ -209,6 +212,11 @@ QueryContext QueryEngine::MakeContext() const {
   ctx.interval_sub_mbrs = config_.interval_sub_mbrs;
   ctx.join_area_bounds = config_.join_area_bounds;
   ctx.ur_cache = ur_cache_.get();
+  ctx.threads = resolved_threads_;
+  ctx.parallel_threshold = config_.parallel_threshold;
+  // A null executor is the algorithms' "run serially" signal; resolving
+  // here keeps the hot paths free of thread-count arithmetic.
+  ctx.executor = resolved_threads_ > 1 ? &Executor::Default() : nullptr;
   return ctx;
 }
 
@@ -284,29 +292,13 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
     const std::vector<PoiId>* subset, int threads) const {
   std::vector<std::vector<PoiFlow>> results(times.size());
   if (times.empty()) return results;
-  unsigned worker_count =
-      threads > 0 ? static_cast<unsigned>(threads)
-                  : std::max(1u, std::thread::hardware_concurrency());
-  worker_count = std::min<unsigned>(worker_count,
-                                    static_cast<unsigned>(times.size()));
-  // Strided partitioning: worker w takes timestamps w, w+W, w+2W, ... Each
-  // slot is written by exactly one worker, so no shared work counter is
-  // needed (metrics.h is the sanctioned home for lock-free counters).
-  const auto work = [&](size_t w) {
-    for (size_t i = w; i < times.size(); i += worker_count) {
-      results[i] = SnapshotTopK(times[i], k, algorithm, subset);
-    }
-  };
-  if (worker_count <= 1) {
-    work(0);
-    return results;
-  }
-  std::vector<std::thread> workers;
-  workers.reserve(worker_count);
-  for (unsigned w = 0; w < worker_count; ++w) {
-    workers.emplace_back(work, static_cast<size_t>(w));
-  }
-  for (std::thread& t : workers) t.join();
+  // Each index is written by exactly one executor lane, so no shared work
+  // counter is needed and the result order matches `times` no matter how
+  // lanes interleave.
+  Executor::Default().ParallelFor(
+      times.size(), Executor::ResolveThreads(threads), [&](size_t i) {
+        results[i] = SnapshotTopK(times[i], k, algorithm, subset);
+      });
   return results;
 }
 

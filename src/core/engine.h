@@ -63,6 +63,20 @@ struct EngineConfig {
   /// fixed-timestamp pollers share one cache per engine. See
   /// docs/TUNING.md for sizing.
   UrCacheConfig ur_cache;
+  /// Worker lanes for intra-query parallelism: when > 1 (or <= 0 =
+  /// hardware concurrency, via Executor::ResolveThreads), the per-object
+  /// UR-derivation + presence-integration loops fan across the shared
+  /// process-wide executor (src/common/executor.h) once a query touches at
+  /// least `parallel_threshold` candidate objects. The default of 1 keeps
+  /// single queries fully serial (SnapshotTopKBatch has its own knob).
+  /// Parallel and serial runs return bit-identical flows and rankings —
+  /// each parallel section is a per-object map plus an ordered reduce —
+  /// enforced by tests/parallel_differential_test.cc.
+  int threads = 1;
+  /// Minimum candidate-object count before a query section fans out;
+  /// below it the scheduling overhead outweighs the win. See
+  /// docs/TUNING.md for measured guidance.
+  int parallel_threshold = 64;
   int poi_fanout = 8;
   int ri_fanout = 8;
   int artree_fanout = 32;
@@ -87,12 +101,21 @@ class QueryEngine {
   /// prune/evaluate verdicts, object derivation costs, join bound trace —
   /// see src/core/query_profile.h); like `stats`, pass a distinct one per
   /// thread.
+  ///
+  /// Thread safety: safe to call concurrently with any other const method.
+  /// Determinism: results are a pure function of the inputs — with
+  /// EngineConfig::threads > 1 the per-object work may fan across the
+  /// shared executor, but flows and rankings stay bit-identical to a
+  /// serial run (parallel map, ordered reduce). This holds for every
+  /// query method below.
   std::vector<PoiFlow> SnapshotTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
       QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
 
   /// Problem 2: the k POIs with the highest interval flow over [ts, te].
+  /// Same thread-safety, determinism, and out-parameter contract as
+  /// SnapshotTopK.
   std::vector<PoiFlow> IntervalTopK(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
@@ -103,6 +126,7 @@ class QueryEngine {
   /// descending. With Algorithm::kJoin the best-first traversal stops as
   /// soon as its flow upper bound drops below tau, so selective thresholds
   /// cost a fraction of a full scan; both algorithms return the same set.
+  /// Same thread-safety and determinism contract as SnapshotTopK.
   std::vector<PoiFlow> SnapshotThreshold(
       Timestamp t, double tau, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
@@ -112,10 +136,13 @@ class QueryEngine {
       const std::vector<PoiId>* subset = nullptr,
       QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
 
-  /// Runs one snapshot query per entry of `times` across `threads` worker
-  /// threads (queries are independent; the engine is safe for concurrent
-  /// const use). threads <= 0 uses the hardware concurrency. Results are
-  /// ordered like `times`.
+  /// Runs one snapshot query per entry of `times`, fanned across the
+  /// shared process-wide executor (src/common/executor.h) — queries are
+  /// independent and the engine is safe for concurrent const use.
+  /// `threads` caps the fan-out; <= 0 resolves to the hardware concurrency
+  /// (Executor::ResolveThreads). Results are ordered like `times` and
+  /// bit-identical to issuing the queries serially, regardless of lane
+  /// interleaving (each result slot is written by exactly one lane).
   std::vector<std::vector<PoiFlow>> SnapshotTopKBatch(
       const std::vector<Timestamp>& times, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr, int threads = 0) const;
@@ -125,6 +152,7 @@ class QueryEngine {
   /// size-normalized ranking the paper's introduction motivates. Returned
   /// PoiFlow.flow values are densities (1/m²). The join ranks by density
   /// upper bounds directly (subtree flow bound / min POI area).
+  /// Same thread-safety and determinism contract as SnapshotTopK.
   std::vector<PoiFlow> SnapshotDensityTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
@@ -147,11 +175,12 @@ class QueryEngine {
   /// UR(o, t): the uncertainty region of one object, empty when no record's
   /// augmented tracking interval covers `t` (the object is untracked then).
   /// Resolves the object's record chain directly, so it works for both
-  /// disjoint and overlapping deployments.
+  /// disjoint and overlapping deployments. Safe for concurrent const use;
+  /// deterministic (never consults the UR cache or the executor).
   Region ObjectRegionAt(ObjectId object, Timestamp t) const;
 
   /// The distinct objects whose augmented tracking interval covers `t`,
-  /// ascending by id.
+  /// ascending by id. Safe for concurrent const use; deterministic.
   std::vector<ObjectId> ActiveObjects(Timestamp t) const;
 
   const ARTree& artree() const { return artree_; }
@@ -196,6 +225,9 @@ class QueryEngine {
   const ObjectTrackingTable& table_;
   const PoiSet& pois_;
   EngineConfig config_;
+  /// EngineConfig::threads resolved once at construction
+  /// (Executor::ResolveThreads); 1 means queries never touch the pool.
+  int resolved_threads_ = 1;
   ARTree artree_;
   std::optional<TopologyChecker> topology_;
   std::unique_ptr<UncertaintyModel> model_;

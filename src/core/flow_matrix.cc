@@ -1,11 +1,10 @@
 #include "src/core/flow_matrix.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
-#include <thread>
 
+#include "src/common/executor.h"
 #include "src/common/metrics.h"
 #include "src/core/flow.h"
 
@@ -26,11 +25,11 @@ FlowMatrix FlowMatrix::Build(const QueryEngine& engine, Timestamp t0,
   }
 
   // Size the matrix up front (POI ids are dense), then fan the bucket
-  // probes out across a worker pool. Workers claim buckets off the atomic
-  // counter and each writes only its own bucket's row, so all writes are
-  // disjoint; the joins below publish them to the caller. The engine is
-  // safe for concurrent const use (see src/core/engine.h); this loop is one
-  // of the TSan CI stress subjects (tests/concurrency_test.cc).
+  // probes across the shared executor. Each ParallelFor index is one
+  // bucket and writes only that bucket's row, so all writes are disjoint;
+  // the fan-out barrier publishes them to the caller. The engine is safe
+  // for concurrent const use (see src/core/engine.h); this loop is one of
+  // the TSan CI stress subjects (tests/concurrency_test.cc).
   matrix.num_pois_ = engine.pois().size();
   matrix.flows_.assign(num_buckets * matrix.num_pois_, 0.0);
   Histogram& rows_per_sec =
@@ -40,45 +39,26 @@ FlowMatrix FlowMatrix::Build(const QueryEngine& engine, Timestamp t0,
   ScopedTimer build_timer(
       &MetricsRegistry::Default().histogram("flow_matrix.build_latency_us"),
       "FlowMatrix::Build");
-  std::atomic<size_t> next{0};
-  const auto work = [&matrix, &engine, &options, &next, num_buckets,
-                     &rows_per_sec, &buckets_built] {
-    const int64_t worker_start = MonotonicNowNs();
-    size_t rows = 0;
-    for (size_t bucket = next.fetch_add(1); bucket < num_buckets;
-         bucket = next.fetch_add(1)) {
-      // k = "all": the engine pads with zero flows, so every POI appears.
-      const std::vector<PoiFlow> flows = engine.SnapshotTopK(
-          matrix.bucket_times_[bucket], std::numeric_limits<int>::max(),
-          options.algorithm);
-      INDOORFLOW_CHECK(flows.size() == matrix.num_pois_);
-      for (const PoiFlow& f : flows) {
-        matrix.flows_[bucket * matrix.num_pois_ +
-                      static_cast<size_t>(f.poi)] = f.flow;
-      }
-      ++rows;
-    }
-    buckets_built.Add(static_cast<int64_t>(rows));
-    const double elapsed_s =
-        static_cast<double>(MonotonicNowNs() - worker_start) / 1e9;
-    if (rows > 0 && elapsed_s > 0.0) {
-      rows_per_sec.Record(static_cast<double>(rows) / elapsed_s);
-    }
-  };
-  unsigned worker_count =
-      options.threads > 0
-          ? static_cast<unsigned>(options.threads)
-          : std::max(1u, std::thread::hardware_concurrency());
-  worker_count = std::min<unsigned>(worker_count,
-                                    static_cast<unsigned>(num_buckets));
-  if (worker_count <= 1) {
-    work();
-    return matrix;
+  const int64_t build_start = MonotonicNowNs();
+  Executor::Default().ParallelFor(
+      num_buckets, Executor::ResolveThreads(options.threads),
+      [&matrix, &engine, &options](size_t bucket) {
+        // k = "all": the engine pads with zero flows, so every POI appears.
+        const std::vector<PoiFlow> flows = engine.SnapshotTopK(
+            matrix.bucket_times_[bucket], std::numeric_limits<int>::max(),
+            options.algorithm);
+        INDOORFLOW_CHECK(flows.size() == matrix.num_pois_);
+        for (const PoiFlow& f : flows) {
+          matrix.flows_[bucket * matrix.num_pois_ +
+                        static_cast<size_t>(f.poi)] = f.flow;
+        }
+      });
+  buckets_built.Add(static_cast<int64_t>(num_buckets));
+  const double elapsed_s =
+      static_cast<double>(MonotonicNowNs() - build_start) / 1e9;
+  if (elapsed_s > 0.0) {
+    rows_per_sec.Record(static_cast<double>(num_buckets) / elapsed_s);
   }
-  std::vector<std::thread> workers;
-  workers.reserve(worker_count);
-  for (unsigned w = 0; w < worker_count; ++w) workers.emplace_back(work);
-  for (std::thread& worker : workers) worker.join();
   return matrix;
 }
 

@@ -9,10 +9,11 @@
 // in microseconds. Approximation error is bounded by how much flows change
 // within one bucket; pick bucket_seconds accordingly.
 //
-// Thread safety: Build materializes in parallel internally (workers claim
-// buckets off an atomic counter and write disjoint rows; no locks needed —
+// Thread safety: Build materializes in parallel internally by fanning the
+// bucket probes across the shared executor (src/common/executor.h); each
+// fan-out index owns exactly one bucket row, so all writes are disjoint —
 // the partitioning is by construction, not convention, and the TSan CI job
-// checks it). A built matrix is immutable, so any number of threads may
+// checks it. A built matrix is immutable, so any number of threads may
 // share one instance through the const API without synchronization.
 
 #ifndef INDOORFLOW_CORE_FLOW_MATRIX_H_
@@ -28,7 +29,8 @@ struct FlowMatrixOptions {
   /// Time grid resolution.
   double bucket_seconds = 300.0;
   Algorithm algorithm = Algorithm::kJoin;
-  /// Worker threads for materialization (<= 0: hardware concurrency).
+  /// Materialization fan-out, resolved via Executor::ResolveThreads
+  /// (<= 0: hardware concurrency; capped at Executor::kMaxThreads).
   int threads = 0;
 };
 
@@ -36,6 +38,12 @@ class FlowMatrix {
  public:
   /// Materializes snapshot flows for every POI of `engine` at bucket
   /// centers spanning [t0, t1]. O(num_buckets) full snapshot queries.
+  ///
+  /// Thread safety: safe to call concurrently from multiple threads (the
+  /// shared executor serializes nothing across calls; each call writes only
+  /// its own matrix). Deterministic: every bucket row is computed by an
+  /// independent SnapshotTopK probe, so the result is bit-identical for any
+  /// `options.threads` value.
   static FlowMatrix Build(const QueryEngine& engine, Timestamp t0,
                           Timestamp t1, const FlowMatrixOptions& options = {});
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/core/parallel_flows.h"
 #include "src/core/priority_join.h"
 #include "src/core/query_profile.h"
 #include "src/core/tracking_state.h"
@@ -49,13 +50,26 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
     ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
     ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
   }
-  // Same phase bracketing as AllSnapshotFlows: derive and presence spans
-  // per chain, two clock reads each; EXPLAIN shares the brackets.
+  // Parallel path: per-chain map across the executor plus an ordered
+  // reduce (bit-identical to the serial loop below; see parallel_flows.h).
+  const bool parallel = ParallelAccumulateFlows(
+      ctx, poi_tree, chains, UrCache::Kind::kInterval, ts, te,
+      [](const IntervalChain& chain) { return chain.object; },
+      [&](const IntervalChain& chain) {
+        return ctx.model->Interval(chain, ts, te);
+      },
+      &flows);
+
+  // Serial path. Same phase bracketing as AllSnapshotFlows: derive and
+  // presence spans per chain, two clock reads each; EXPLAIN shares the
+  // brackets.
   const bool timed = ctx.stats != nullptr;
   QueryProfile* profile = ctx.profile;
   const bool clocked = timed || profile != nullptr;
   UrCache* const shared_cache = ctx.ur_cache;
-  for (const IntervalChain& chain : chains) {
+  const size_t serial_count = parallel ? 0 : chains.size();
+  for (size_t c = 0; c < serial_count; ++c) {
+    const IntervalChain& chain = chains[c];
     Region ur;
     UrCache::PresenceMemoPtr memo;
     // As in AllSnapshotFlows: a hit hands back the identical shared CSG
@@ -212,6 +226,18 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
       return presence;
     };
   }
+  // Intra-query parallelism for big leaf rounds, as in
+  // WithSnapshotJoinSpec (empty function when the engine is serial).
+  spec.presence_batch = MakeJoinPresenceBatch(
+      ctx, &slot_urs, &slot_memos, &spec.ur_of, &spec.presence_of,
+      UrCache::Kind::kInterval, ts, te,
+      [&slot_chains](int32_t slot) {
+        return slot_chains[static_cast<size_t>(slot)]->object;
+      },
+      [&ctx, &slot_chains, ts, te](int32_t slot) {
+        return ctx.model->Interval(
+            *slot_chains[static_cast<size_t>(slot)], ts, te);
+      });
   spec.stats = ctx.stats;
   spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;

@@ -1,0 +1,299 @@
+// Internal helper for the iterative algorithms' parallel path: fan the
+// per-object "derive UR -> find candidate POIs -> integrate presences"
+// work across the shared executor, then fold the results back serially.
+//
+// Bit-identity argument: every per-object value (the derived region, the
+// candidate list, each presence integral) is computed independently per
+// object — identical to what the serial loop computes for that object.
+// The only order-sensitive step is the floating-point accumulation into
+// per-POI flows, so that step (plus all stats/EXPLAIN bookkeeping, since
+// QueryProfile is not thread-safe) runs in the ordered reduce, visiting
+// objects in exactly the serial loop's order. The UR cache and presence
+// memos are internally synchronized and return the identical shared
+// values a serial run would see (see src/core/ur_cache.h), so the
+// parallel path is observationally equal to the serial one; enforced by
+// tests/parallel_differential_test.cc.
+
+#ifndef INDOORFLOW_CORE_PARALLEL_FLOWS_H_
+#define INDOORFLOW_CORE_PARALLEL_FLOWS_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/executor.h"
+#include "src/common/metrics.h"
+#include "src/core/flow.h"
+#include "src/core/query_context.h"
+#include "src/core/query_profile.h"
+#include "src/core/ur_cache.h"
+#include "src/geometry/region.h"
+#include "src/index/rtree.h"
+
+namespace indoorflow {
+
+/// One object's privately computed share of an iterative query. Workers
+/// fill distinct tallies (no sharing); the reduce consumes them in order.
+struct ParallelFlowTally {
+  ObjectId object = 0;
+  Region ur;
+  UrCache::PresenceMemoPtr memo;
+  bool cache_hit = false;
+  bool derived = false;
+  int64_t derive_ns = 0;
+  std::vector<int32_t> candidates;
+  std::vector<double> presences;  // aligned with candidates
+  int64_t presence_evals = 0;
+  int64_t presence_ns = 0;
+};
+
+/// Parallel map + ordered reduce over `items` (snapshot states or interval
+/// chains). Returns false — computing nothing — when the context calls for
+/// a serial run (no executor, or fewer items than the parallel threshold);
+/// the caller then runs its serial loop. On true, per-POI presences have
+/// been accumulated into `*flows` and all stats/profile bookkeeping done,
+/// bit-identical to the serial loop.
+///
+/// `object_of(item)` names the item's object; `derive(item)` builds its
+/// uncertainty region and must be safe to call concurrently for distinct
+/// items (UncertaintyModel is const / stateless per call).
+template <typename Item, typename ObjectOf, typename DeriveFn>
+bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
+                             const std::vector<Item>& items,
+                             UrCache::Kind kind, Timestamp ts, Timestamp te,
+                             const ObjectOf& object_of, const DeriveFn& derive,
+                             std::unordered_map<PoiId, double>* flows) {
+  if (ctx.executor == nullptr || ctx.threads <= 1 ||
+      items.size() < static_cast<size_t>(ctx.parallel_threshold)) {
+    return false;
+  }
+  UrCache* const shared_cache = ctx.ur_cache;
+  std::vector<ParallelFlowTally> tallies(items.size());
+  const int64_t fan_start = MonotonicNowNs();
+  const int lanes = ctx.executor->ParallelFor(
+      items.size(), ctx.threads, [&](size_t i) {
+        ParallelFlowTally& tally = tallies[i];
+        const Item& item = items[i];
+        tally.object = object_of(item);
+        if (shared_cache != nullptr &&
+            shared_cache->Lookup(tally.object, kind, ts, te, &tally.ur,
+                                 &tally.memo)) {
+          tally.cache_hit = true;
+        } else {
+          const int64_t derive_start = MonotonicNowNs();
+          tally.ur = derive(item);
+          tally.derive_ns = MonotonicNowNs() - derive_start;
+          tally.derived = true;
+          if (shared_cache != nullptr) {
+            shared_cache->Insert(tally.object, kind, ts, te, tally.ur,
+                                 &tally.memo);
+          }
+        }
+        if (tally.ur.IsEmpty()) return;
+        poi_tree.IntersectionQuery(tally.ur.Bounds(), &tally.candidates);
+        const int64_t presence_start = MonotonicNowNs();
+        tally.presences.reserve(tally.candidates.size());
+        for (int32_t poi_id : tally.candidates) {
+          double presence;
+          if (tally.memo == nullptr ||
+              !tally.memo->TryGet(poi_id, &presence)) {
+            presence = Presence(
+                tally.ur, (*ctx.poi_areas)[static_cast<size_t>(poi_id)],
+                (*ctx.poi_regions)[static_cast<size_t>(poi_id)], *ctx.flow);
+            ++tally.presence_evals;
+            if (tally.memo != nullptr) tally.memo->Put(poi_id, presence);
+          }
+          tally.presences.push_back(presence);
+        }
+        tally.presence_ns = MonotonicNowNs() - presence_start;
+      });
+  const int64_t fan_ns = MonotonicNowNs() - fan_start;
+
+  // Ordered reduce: flow additions happen in the serial loop's object and
+  // candidate order, so every accumulated double matches bit for bit; the
+  // not-thread-safe QueryProfile is only touched here. derive_ns and
+  // presence_ns sum the per-worker spans (they can exceed wall time when
+  // lanes overlap — parallel_ns has the wall-clock view).
+  QueryStats* const stats = ctx.stats;
+  QueryProfile* const profile = ctx.profile;
+  if (stats != nullptr) {
+    stats->parallel_tasks += lanes;
+    stats->parallel_ns += fan_ns;
+  }
+  for (ParallelFlowTally& tally : tallies) {
+    if (tally.cache_hit) {
+      if (stats != nullptr) ++stats->ur_cache_hits;
+    } else if (tally.derived) {
+      if (stats != nullptr) {
+        stats->derive_ns += tally.derive_ns;
+        ++stats->regions_derived;
+      }
+      if (profile != nullptr) {
+        profile->AddObjectCost(tally.object, tally.derive_ns);
+      }
+    }
+    if (stats != nullptr) {
+      stats->presence_evaluations += tally.presence_evals;
+      stats->presence_ns += tally.presence_ns;
+    }
+    for (size_t c = 0; c < tally.candidates.size(); ++c) {
+      const int32_t poi_id = tally.candidates[c];
+      (*flows)[poi_id] += tally.presences[c];
+      if (profile != nullptr) {
+        profile->MarkPresence(poi_id, tally.presences[c]);
+      }
+    }
+  }
+  return true;
+}
+
+/// One slot's privately computed share of a join leaf batch (see
+/// MakeJoinPresenceBatch). Workers fill distinct tallies.
+struct JoinSlotTally {
+  ObjectId object = 0;
+  Region ur;                      // only when derived / cache-hit here
+  UrCache::PresenceMemoPtr memo;  // only when fetched here
+  bool cache_hit = false;
+  bool derived = false;
+  int64_t derive_ns = 0;
+  bool evaluated = false;  // Presence() ran (vs. a memo hit)
+  double presence = 0.0;
+};
+
+/// Builds a PriorityJoinSpec::presence_batch callback that fans one join
+/// leaf's per-object derive + integrate work across the executor, in three
+/// phases: (1) the calling thread snapshots which slots already have URs
+/// in the per-query maps — workers never touch those maps; (2) workers
+/// derive/integrate into private JoinSlotTally slots (the UR cache and
+/// presence memos are internally synchronized); (3) the calling thread
+/// publishes new URs/memos, books stats/EXPLAIN, and emits presences — all
+/// in list order, so results and accounting match the serial per-slot loop
+/// bit for bit. presence_ns accounting stays with the join's own leaf
+/// bracket, exactly as in the serial paths.
+///
+/// Returns an empty function (batching disabled) when the context is
+/// serial. Lists below ctx.parallel_threshold take a serial fallback that
+/// replays the join's own per-slot logic. `ur_of` / `presence_of` must
+/// point at the spec's callbacks and stay valid while the join runs;
+/// `object_of(slot)` / `derive(slot)` resolve one R_I slot.
+template <typename ObjectOfSlot, typename DeriveSlot>
+std::function<void(const std::vector<int32_t>&, int32_t,
+                   std::vector<double>*)>
+MakeJoinPresenceBatch(
+    const QueryContext& ctx,
+    std::unordered_map<int32_t, Region>* slot_urs,
+    std::unordered_map<int32_t, UrCache::PresenceMemoPtr>* slot_memos,
+    const std::function<const Region&(int32_t)>* ur_of,
+    const std::function<double(int32_t, int32_t)>* presence_of,
+    UrCache::Kind kind, Timestamp ts, Timestamp te, ObjectOfSlot object_of,
+    DeriveSlot derive) {
+  if (ctx.executor == nullptr || ctx.threads <= 1) return nullptr;
+  return [=, &ctx](const std::vector<int32_t>& slots, int32_t poi_id,
+                   std::vector<double>* out) {
+    out->assign(slots.size(), 0.0);
+    const double poi_area = (*ctx.poi_areas)[static_cast<size_t>(poi_id)];
+    const Region& poi_region =
+        (*ctx.poi_regions)[static_cast<size_t>(poi_id)];
+    if (slots.size() < static_cast<size_t>(ctx.parallel_threshold)) {
+      // Serial fallback: replay the join's own per-slot logic (including
+      // its accounting — the join books nothing when a batch hook is set).
+      for (size_t i = 0; i < slots.size(); ++i) {
+        if (*presence_of) {
+          (*out)[i] = (*presence_of)(slots[i], poi_id);
+        } else {
+          (*out)[i] = Presence((*ur_of)(slots[i]), poi_area, poi_region,
+                               *ctx.flow);
+          if (ctx.stats != nullptr) ++ctx.stats->presence_evaluations;
+        }
+      }
+      return;
+    }
+    // Phase 1 (calling thread): snapshot already-derived slots. Slots in
+    // one leaf list are distinct, so workers handling different indices
+    // never share a tally or a per-slot memo entry.
+    struct SlotView {
+      const Region* ur = nullptr;
+      UrCache::PresenceMemo* memo = nullptr;
+    };
+    std::vector<SlotView> views(slots.size());
+    for (size_t i = 0; i < slots.size(); ++i) {
+      const auto it = slot_urs->find(slots[i]);
+      if (it != slot_urs->end()) views[i].ur = &it->second;
+      const auto mit = slot_memos->find(slots[i]);
+      if (mit != slot_memos->end()) views[i].memo = mit->second.get();
+    }
+    // Phase 2 (workers): derive + integrate into private tallies.
+    UrCache* const cache = ctx.ur_cache;
+    std::vector<JoinSlotTally> tallies(slots.size());
+    const int64_t fan_start = MonotonicNowNs();
+    const int lanes = ctx.executor->ParallelFor(
+        slots.size(), ctx.threads, [&](size_t i) {
+          JoinSlotTally& tally = tallies[i];
+          const int32_t slot = slots[i];
+          const Region* ur = views[i].ur;
+          UrCache::PresenceMemo* memo = views[i].memo;
+          if (ur == nullptr) {
+            tally.object = object_of(slot);
+            if (cache != nullptr &&
+                cache->Lookup(tally.object, kind, ts, te, &tally.ur,
+                              &tally.memo)) {
+              tally.cache_hit = true;
+            } else {
+              const int64_t derive_start = MonotonicNowNs();
+              tally.ur = derive(slot);
+              tally.derive_ns = MonotonicNowNs() - derive_start;
+              tally.derived = true;
+              if (cache != nullptr) {
+                cache->Insert(tally.object, kind, ts, te, tally.ur,
+                              &tally.memo);
+              }
+            }
+            ur = &tally.ur;
+            memo = tally.memo.get();
+          }
+          if (memo == nullptr || !memo->TryGet(poi_id, &tally.presence)) {
+            tally.presence = Presence(*ur, poi_area, poi_region, *ctx.flow);
+            tally.evaluated = true;
+            if (memo != nullptr) memo->Put(poi_id, tally.presence);
+          }
+        });
+    const int64_t fan_ns = MonotonicNowNs() - fan_start;
+    // Phase 3 (calling thread, list order): publish and book.
+    QueryStats* const stats = ctx.stats;
+    QueryProfile* const profile = ctx.profile;
+    if (stats != nullptr) {
+      stats->parallel_tasks += lanes;
+      stats->parallel_ns += fan_ns;
+    }
+    for (size_t i = 0; i < slots.size(); ++i) {
+      JoinSlotTally& tally = tallies[i];
+      if (tally.cache_hit || tally.derived) {
+        if (tally.cache_hit) {
+          if (stats != nullptr) ++stats->ur_cache_hits;
+        } else {
+          if (stats != nullptr) {
+            stats->derive_ns += tally.derive_ns;
+            ++stats->regions_derived;
+          }
+          if (profile != nullptr) {
+            profile->AddObjectCost(tally.object, tally.derive_ns);
+          }
+        }
+        slot_urs->emplace(slots[i], std::move(tally.ur));
+        if (tally.memo != nullptr) {
+          slot_memos->emplace(slots[i], std::move(tally.memo));
+        }
+      }
+      if (stats != nullptr && tally.evaluated) {
+        ++stats->presence_evaluations;
+      }
+      (*out)[i] = tally.presence;
+    }
+  };
+}
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_CORE_PARALLEL_FLOWS_H_

@@ -202,6 +202,10 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
     }
   }
 
+  // Scratch for the presence_batch hook, reused across leaf evaluations.
+  std::vector<int32_t> batch_slots;
+  std::vector<double> batch_presences;
+
   // Phase 3 (lines 19-48): best-first processing.
   while (!queue.empty()) {
     QueueEntry entry = queue.Pop();
@@ -251,20 +255,34 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
             spec.stats != nullptr ? MonotonicNowNs() : 0;
         const int64_t derive_before =
             spec.stats != nullptr ? spec.stats->derive_ns : 0;
-        for (const RIRef& ref : entry.list) {
-          const int32_t slot = obj_tree.EntryItem(ref.node, ref.slot);
-          if (spec.presence_of) {
-            flow += spec.presence_of(slot, poi_id);
-          } else {
-            const Region& ur = spec.ur_of(slot);
-            flow += Presence(ur, poi_area, poi_region, *spec.flow);
+        if (spec.presence_batch) {
+          // Batch hook: hand the whole list over at once (the engine fans
+          // it across the executor), then sum in list order — the same
+          // accumulation sequence as the per-slot loop below, so the flow
+          // double is bit-identical. The hook owns eval/derive accounting.
+          batch_slots.clear();
+          batch_slots.reserve(entry.list.size());
+          for (const RIRef& ref : entry.list) {
+            batch_slots.push_back(obj_tree.EntryItem(ref.node, ref.slot));
+          }
+          spec.presence_batch(batch_slots, poi_id, &batch_presences);
+          for (const double presence : batch_presences) flow += presence;
+        } else {
+          for (const RIRef& ref : entry.list) {
+            const int32_t slot = obj_tree.EntryItem(ref.node, ref.slot);
+            if (spec.presence_of) {
+              flow += spec.presence_of(slot, poi_id);
+            } else {
+              const Region& ur = spec.ur_of(slot);
+              flow += Presence(ur, poi_area, poi_region, *spec.flow);
+            }
           }
         }
         if (spec.stats != nullptr) {
           const int64_t span = MonotonicNowNs() - loop_start;
           const int64_t derived = spec.stats->derive_ns - derive_before;
           spec.stats->presence_ns += span > derived ? span - derived : 0;
-          if (!spec.presence_of) {
+          if (!spec.presence_of && !spec.presence_batch) {
             spec.stats->presence_evaluations +=
                 static_cast<int64_t>(entry.list.size());
           }

@@ -44,6 +44,21 @@ struct PriorityJoinSpec {
   /// per-entry presence memos. Must return exactly what the direct
   /// evaluation would.
   std::function<double(int32_t, int32_t)> presence_of;
+  /// Optional batch variant: when set it takes precedence, and the join
+  /// hands over one leaf's whole join list (object slots, in list order)
+  /// at once, then sums the returned presences in that same order — so the
+  /// flow's floating-point accumulation sequence, and with it every result
+  /// bit, matches the per-slot loop. The engine uses this to fan the
+  /// per-object derive + integrate work across the shared executor within
+  /// one bound round (round ordering, and thus early termination, is
+  /// untouched). The callback fills `out` aligned with `slots` with
+  /// exactly the values the per-slot path would produce and owns all
+  /// presence/derivation accounting except presence_ns, which stays with
+  /// the join's leaf bracket. See MakeJoinPresenceBatch
+  /// (src/core/parallel_flows.h).
+  std::function<void(const std::vector<int32_t>&, int32_t,
+                     std::vector<double>*)>
+      presence_batch;
   /// Optional operation counters (may be null).
   QueryStats* stats = nullptr;
   /// Optional EXPLAIN recorder (may be null): receives per-POI bound

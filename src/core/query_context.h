@@ -15,6 +15,7 @@ namespace indoorflow {
 
 struct QueryProfile;
 class UrCache;
+class Executor;
 
 /// Everything a query algorithm needs besides its own parameters. All
 /// pointers are non-owning and outlive the query.
@@ -41,6 +42,17 @@ struct QueryContext {
   /// Cross-query uncertainty-region cache (may be null = no caching). The
   /// cache is internally synchronized; concurrent queries share it.
   UrCache* ur_cache = nullptr;
+  /// Shared work scheduler for intra-query parallelism (may be null = run
+  /// serially). The engine leaves this null when the resolved thread count
+  /// is 1, so algorithms can treat "executor != nullptr" as "parallelism
+  /// wanted".
+  Executor* executor = nullptr;
+  /// Lanes to fan a parallel section across (resolved, >= 1).
+  int threads = 1;
+  /// Minimum number of per-object work items before a query section fans
+  /// out; below it the scheduling overhead outweighs the win. See
+  /// EngineConfig::parallel_threshold.
+  int parallel_threshold = 64;
 };
 
 }  // namespace indoorflow

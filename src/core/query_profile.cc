@@ -244,6 +244,18 @@ std::string QueryProfile::ToText() const {
       static_cast<long long>(stats.ur_cache_hits));
   out.append(line);
 
+  // Parallel fan-out, if the query ran any. parallel_ns is wall time of
+  // the fanned sections, while the phase timers above sum per-worker time —
+  // so with lanes > 1 the phases can legitimately exceed the total.
+  if (stats.parallel_tasks > 0) {
+    std::snprintf(line, sizeof(line),
+                  "parallel: lanes=%lld wall=%s (phase times are per-worker "
+                  "sums)\n",
+                  static_cast<long long>(stats.parallel_tasks),
+                  HumanNs(stats.parallel_ns).c_str());
+    out.append(line);
+  }
+
   if (detail && !object_costs.empty()) {
     std::vector<ObjectCost> sorted = object_costs;
     std::sort(sorted.begin(), sorted.end(),

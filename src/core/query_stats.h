@@ -36,6 +36,15 @@ struct QueryStats {
   int64_t presence_ns = 0;
   int64_t topk_ns = 0;
 
+  /// Executor lanes fanned out by parallel sections of this query (0 when
+  /// the query ran fully serially). When a query runs several parallel
+  /// sections (e.g. multiple join batch rounds), this sums their lanes.
+  int64_t parallel_tasks = 0;
+  /// Wall time spent inside parallel sections (ns). Unlike derive_ns /
+  /// presence_ns — which sum *per-worker* time and can exceed wall time
+  /// when lanes overlap — this is measured once around each fan-out.
+  int64_t parallel_ns = 0;
+
   void Reset() { *this = QueryStats{}; }
 
   QueryStats& operator+=(const QueryStats& o) {
@@ -48,6 +57,8 @@ struct QueryStats {
     derive_ns += o.derive_ns;
     presence_ns += o.presence_ns;
     topk_ns += o.topk_ns;
+    parallel_tasks += o.parallel_tasks;
+    parallel_ns += o.parallel_ns;
     return *this;
   }
 
@@ -61,6 +72,8 @@ struct QueryStats {
     derive_ns -= o.derive_ns;
     presence_ns -= o.presence_ns;
     topk_ns -= o.topk_ns;
+    parallel_tasks -= o.parallel_tasks;
+    parallel_ns -= o.parallel_ns;
     return *this;
   }
 
@@ -92,6 +105,8 @@ inline constexpr QueryStatsField kQueryStatsFields[] = {
     {"derive_ns", nullptr, &QueryStats::derive_ns},
     {"presence_ns", nullptr, &QueryStats::presence_ns},
     {"topk_ns", nullptr, &QueryStats::topk_ns},
+    {"parallel_tasks", nullptr, &QueryStats::parallel_tasks},
+    {"parallel_ns", nullptr, &QueryStats::parallel_ns},
 };
 
 inline std::string QueryStats::ToJson() const {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/core/parallel_flows.h"
 #include "src/core/priority_join.h"
 #include "src/core/query_profile.h"
 #include "src/core/tracking_state.h"
@@ -57,15 +58,32 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
     ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
   }
 
-  // Phase marks bracket the UR derivation and the presence integrations
-  // per object; two clock reads each keep the overhead per object flat.
-  // EXPLAIN shares the brackets, so profiling alone still times phases.
+  const std::vector<SnapshotState> states = CollectStates(ctx, t);
+
+  // Parallel path: per-object map across the executor plus an ordered
+  // reduce (bit-identical to the serial loop below; see parallel_flows.h).
+  // Falls through to the serial loop for small object sets or a serial
+  // engine.
+  const bool parallel = ParallelAccumulateFlows(
+      ctx, poi_tree, states, UrCache::Kind::kSnapshot, t, t,
+      [](const SnapshotState& state) { return state.object; },
+      [&](const SnapshotState& state) {
+        return ctx.model->Snapshot(state, t);
+      },
+      &flows);
+
+  // Serial path. Phase marks bracket the UR derivation and the presence
+  // integrations per object; two clock reads each keep the overhead per
+  // object flat. EXPLAIN shares the brackets, so profiling alone still
+  // times phases.
   const bool timed = ctx.stats != nullptr;
   QueryProfile* profile = ctx.profile;
   const bool clocked = timed || profile != nullptr;
   UrCache* const shared_cache = ctx.ur_cache;
   std::vector<int32_t> candidates;
-  for (const SnapshotState& state : CollectStates(ctx, t)) {  // lines 4-14
+  const size_t serial_count = parallel ? 0 : states.size();
+  for (size_t s = 0; s < serial_count; ++s) {  // lines 4-14
+    const SnapshotState& state = states[s];
     Region ur;
     UrCache::PresenceMemoPtr memo;
     // A cache hit hands back the identical shared CSG tree a fresh
@@ -222,6 +240,20 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
       return presence;
     };
   }
+  // Intra-query parallelism for big leaf rounds (empty function — and thus
+  // never consulted — when the engine is serial). The pointers target this
+  // spec instance, which outlives `run` even when the runner copies the
+  // spec to flip flags.
+  spec.presence_batch = MakeJoinPresenceBatch(
+      ctx, &slot_urs, &slot_memos, &spec.ur_of, &spec.presence_of,
+      UrCache::Kind::kSnapshot, t, t,
+      [&slot_states](int32_t slot) {
+        return slot_states[static_cast<size_t>(slot)]->object;
+      },
+      [&ctx, &slot_states, t](int32_t slot) {
+        return ctx.model->Snapshot(
+            *slot_states[static_cast<size_t>(slot)], t);
+      });
   spec.stats = ctx.stats;
   spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;

@@ -1,0 +1,190 @@
+// Differential validation of intra-query parallelism: an engine with
+// EngineConfig::threads > 1 (and parallel_threshold = 1, forcing the
+// parallel path) must return bit-identical flows AND identical work
+// counters for every query method, both algorithms, with and without the
+// cross-query UR cache — across several dataset seeds. This is the
+// enforcement half of the determinism contract documented on
+// QueryEngine::SnapshotTopK and src/core/parallel_flows.h.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/flow_matrix.h"
+
+namespace indoorflow {
+namespace {
+
+void ExpectSameFlows(const std::vector<PoiFlow>& serial,
+                     const std::vector<PoiFlow>& parallel,
+                     const char* what) {
+  ASSERT_EQ(serial.size(), parallel.size()) << what;
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].poi, parallel[i].poi) << what << " rank " << i;
+    // Bit-identical, not approximately equal: the parallel path must not
+    // reorder any floating-point accumulation.
+    EXPECT_EQ(serial[i].flow, parallel[i].flow) << what << " rank " << i;
+  }
+}
+
+// The work counters must match too — fan-out may not change what gets
+// derived, integrated, or cache-hit, only who computes it. (The timers and
+// parallel_* fields legitimately differ.)
+void ExpectSameWork(const QueryStats& serial, const QueryStats& parallel,
+                    const char* what) {
+  EXPECT_EQ(serial.objects_retrieved, parallel.objects_retrieved) << what;
+  EXPECT_EQ(serial.regions_derived, parallel.regions_derived) << what;
+  EXPECT_EQ(serial.presence_evaluations, parallel.presence_evaluations)
+      << what;
+  EXPECT_EQ(serial.pois_evaluated, parallel.pois_evaluated) << what;
+  EXPECT_EQ(serial.ur_cache_hits, parallel.ur_cache_hits) << what;
+}
+
+Dataset MakeDataset(uint64_t seed) {
+  OfficeDatasetConfig config;
+  config.num_objects = 12;
+  config.duration = 900.0;
+  config.seed = seed;
+  return GenerateOfficeDataset(config);
+}
+
+std::unique_ptr<QueryEngine> MakeEngine(const Dataset& dataset, int threads,
+                                        bool cache) {
+  EngineConfig config;
+  config.threads = threads;
+  config.parallel_threshold = 1;  // force the parallel path when threads > 1
+  config.ur_cache.enabled = cache;
+  return std::make_unique<QueryEngine>(dataset, config);
+}
+
+// Runs the full query matrix (six methods x two algorithms x three
+// timestamps) against both engines and asserts bit-identity throughout.
+// The engines must be fresh so cache state evolves identically.
+void RunMatrix(const QueryEngine& serial, const QueryEngine& parallel) {
+  const std::vector<Timestamp> times = {150.0, 450.0, 750.0};
+  const Algorithm algos[] = {Algorithm::kIterative, Algorithm::kJoin};
+  constexpr int kK = 6;
+  constexpr double kTau = 0.4;
+  for (const Algorithm algo : algos) {
+    for (const Timestamp t : times) {
+      QueryStats ss, ps;
+      ExpectSameFlows(serial.SnapshotTopK(t, kK, algo, nullptr, &ss),
+                      parallel.SnapshotTopK(t, kK, algo, nullptr, &ps),
+                      "SnapshotTopK");
+      ExpectSameWork(ss, ps, "SnapshotTopK");
+      ss.Reset();
+      ps.Reset();
+      ExpectSameFlows(
+          serial.IntervalTopK(t, t + 120.0, kK, algo, nullptr, &ss),
+          parallel.IntervalTopK(t, t + 120.0, kK, algo, nullptr, &ps),
+          "IntervalTopK");
+      ExpectSameWork(ss, ps, "IntervalTopK");
+      ss.Reset();
+      ps.Reset();
+      ExpectSameFlows(
+          serial.SnapshotThreshold(t, kTau, algo, nullptr, &ss),
+          parallel.SnapshotThreshold(t, kTau, algo, nullptr, &ps),
+          "SnapshotThreshold");
+      ExpectSameWork(ss, ps, "SnapshotThreshold");
+      ss.Reset();
+      ps.Reset();
+      ExpectSameFlows(
+          serial.IntervalThreshold(t, t + 120.0, kTau, algo, nullptr, &ss),
+          parallel.IntervalThreshold(t, t + 120.0, kTau, algo, nullptr,
+                                     &ps),
+          "IntervalThreshold");
+      ExpectSameWork(ss, ps, "IntervalThreshold");
+      ss.Reset();
+      ps.Reset();
+      ExpectSameFlows(
+          serial.SnapshotDensityTopK(t, kK, algo, nullptr, &ss),
+          parallel.SnapshotDensityTopK(t, kK, algo, nullptr, &ps),
+          "SnapshotDensityTopK");
+      ExpectSameWork(ss, ps, "SnapshotDensityTopK");
+      ss.Reset();
+      ps.Reset();
+      ExpectSameFlows(
+          serial.IntervalDensityTopK(t, t + 120.0, kK, algo, nullptr, &ss),
+          parallel.IntervalDensityTopK(t, t + 120.0, kK, algo, nullptr,
+                                       &ps),
+          "IntervalDensityTopK");
+      ExpectSameWork(ss, ps, "IntervalDensityTopK");
+    }
+  }
+}
+
+TEST(ParallelDifferentialTest, AllMethodsBitIdenticalAcrossSeeds) {
+  for (const uint64_t seed : {uint64_t{321}, uint64_t{99}, uint64_t{7}}) {
+    SCOPED_TRACE(seed);
+    const Dataset dataset = MakeDataset(seed);
+    const auto serial = MakeEngine(dataset, 1, /*cache=*/false);
+    const auto parallel = MakeEngine(dataset, 8, /*cache=*/false);
+    RunMatrix(*serial, *parallel);
+  }
+}
+
+// Same matrix with the cross-query UR cache on: the parallel path shares
+// the cache's synchronized lookups/inserts, and repeated timestamps must
+// produce identical hit counts and flows on both engines.
+TEST(ParallelDifferentialTest, BitIdenticalWithUrCache) {
+  const Dataset dataset = MakeDataset(321);
+  const auto serial = MakeEngine(dataset, 1, /*cache=*/true);
+  const auto parallel = MakeEngine(dataset, 8, /*cache=*/true);
+  RunMatrix(*serial, *parallel);
+  // Second pass hits the warm cache.
+  RunMatrix(*serial, *parallel);
+}
+
+// A parallel query must actually record fan-out when forced.
+TEST(ParallelDifferentialTest, ParallelStatsRecorded) {
+  const Dataset dataset = MakeDataset(321);
+  const auto parallel = MakeEngine(dataset, 8, /*cache=*/false);
+  QueryStats stats;
+  parallel->SnapshotTopK(450.0, 6, Algorithm::kIterative, nullptr, &stats);
+  EXPECT_GT(stats.parallel_tasks, 0);
+  const auto serial = MakeEngine(dataset, 1, /*cache=*/false);
+  stats.Reset();
+  serial->SnapshotTopK(450.0, 6, Algorithm::kIterative, nullptr, &stats);
+  EXPECT_EQ(stats.parallel_tasks, 0);
+  EXPECT_EQ(stats.parallel_ns, 0);
+}
+
+// Batch and FlowMatrix fan-out ride the same executor; their results must
+// be independent of the thread count as well.
+TEST(ParallelDifferentialTest, BatchAndMatrixIndependentOfThreads) {
+  const Dataset dataset = MakeDataset(99);
+  const auto engine = MakeEngine(dataset, 1, /*cache=*/false);
+  std::vector<Timestamp> times;
+  for (double t = 50.0; t < 900.0; t += 50.0) times.push_back(t);
+  const auto one =
+      engine->SnapshotTopKBatch(times, 5, Algorithm::kJoin, nullptr, 1);
+  const auto many =
+      engine->SnapshotTopKBatch(times, 5, Algorithm::kJoin, nullptr, 8);
+  ASSERT_EQ(one.size(), many.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    ExpectSameFlows(one[i], many[i], "SnapshotTopKBatch");
+  }
+
+  FlowMatrixOptions options;
+  options.bucket_seconds = 90.0;
+  options.threads = 1;
+  const FlowMatrix serial_matrix =
+      FlowMatrix::Build(*engine, 0.0, 900.0, options);
+  options.threads = 8;
+  const FlowMatrix parallel_matrix =
+      FlowMatrix::Build(*engine, 0.0, 900.0, options);
+  ASSERT_EQ(serial_matrix.num_buckets(), parallel_matrix.num_buckets());
+  ASSERT_EQ(serial_matrix.num_pois(), parallel_matrix.num_pois());
+  for (size_t b = 0; b < serial_matrix.num_buckets(); ++b) {
+    for (size_t p = 0; p < serial_matrix.num_pois(); ++p) {
+      EXPECT_EQ(serial_matrix.FlowAt(b, static_cast<PoiId>(p)),
+                parallel_matrix.FlowAt(b, static_cast<PoiId>(p)))
+          << "bucket " << b << " poi " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace indoorflow

@@ -29,7 +29,9 @@
 //
 // Every command that builds a query engine additionally takes
 // --cache on|off [--cache-mb N] [--cache-shards N] — the cross-query
-// uncertainty-region cache (src/core/ur_cache.h, docs/TUNING.md).
+// uncertainty-region cache (src/core/ur_cache.h, docs/TUNING.md) — and
+// --threads N [--parallel-threshold N] — intra-query fan-out across the
+// shared executor (src/common/executor.h, docs/TUNING.md).
 //
 // Exit code 0 on success; errors go to the structured log (stderr by
 // default; see src/common/log.h for INDOORFLOW_LOG_* configuration).
@@ -285,6 +287,11 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   if (cache_shards <= 0) {
     return Status::InvalidArgument("--cache-shards must be > 0");
   }
+  const int threads = flags.GetInt("threads", 1);
+  const int parallel_threshold = flags.GetInt("parallel-threshold", 64);
+  if (parallel_threshold <= 0) {
+    return Status::InvalidArgument("--parallel-threshold must be > 0");
+  }
 
   auto data = LoadDataDir(*dir);
   if (!data.ok()) return data.status();
@@ -298,6 +305,12 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   config.ur_cache.enabled = cache == "on";
   config.ur_cache.max_bytes = static_cast<size_t>(cache_mb) << 20;
   config.ur_cache.shards = cache_shards;
+  // Intra-query fan-out (docs/TUNING.md): --threads N (> 1 or <= 0 for
+  // hardware concurrency) spreads per-object work across the shared
+  // executor once a query sees --parallel-threshold candidates. Results
+  // are bit-identical to --threads 1.
+  config.threads = threads;
+  config.parallel_threshold = parallel_threshold;
   bundle.engine = std::make_unique<QueryEngine>(
       bundle.data->plan, *bundle.data->graph, bundle.data->deployment,
       bundle.data->ott, bundle.data->pois, config);
@@ -761,7 +774,9 @@ int Usage() {
       "           [--topology off|partition|exact] [--vmax V]\n"
       "           [--metric flow|density]\n"
       "  (engine commands also take --cache on|off [--cache-mb N]\n"
-      "           [--cache-shards N] — cross-query UR cache, docs/TUNING.md)\n"
+      "           [--cache-shards N] — cross-query UR cache — and\n"
+      "           --threads N [--parallel-threshold N] — intra-query\n"
+      "           fan-out; see docs/TUNING.md)\n"
       "  interval --data DIR --ts T --te T [--k K] [--algo ...]\n"
       "  threshold --data DIR --tau F (--t T | --ts T --te T) [--algo ...]\n"
       "  itinerary --data DIR --object ID [--t0 T] [--t1 T] [--step S]\n"

@@ -23,9 +23,8 @@ Checks (each can be skipped with --skip <name>):
                 stdout (libraries must not write to stdout; tools and
                 examples may), sprintf/strcpy/gets (unbounded).
   atomics       std::atomic/std::atomic_flag appear only in the metrics
-                registry (src/common/metrics.*), the logging sink's level
-                gate (src/common/log.cc), and the flow-matrix worker
-                counter (src/core/flow_matrix.cc). Everywhere else, shared
+                registry (src/common/metrics.*) and the logging sink's
+                level gate (src/common/log.cc). Everywhere else, shared
                 state goes behind the annotated Mutex so the thread-safety
                 analysis can see it; lock-free code needs a lint allowlist
                 entry and a TSan-stressed test to ship.
@@ -35,11 +34,20 @@ Checks (each can be skipped with --skip <name>):
                 Only the sink itself (log.cc) and the abort paths in
                 status.h — which must not depend on the sink being alive —
                 may touch stderr.
+  docs          Markdown under docs/ (plus README.md and ROADMAP.md) does
+                not rot: intra-repo links resolve, backticked repo paths
+                (src/..., docs/..., tools/..., ...) exist in the tree,
+                `EngineConfig::member` citations name real EngineConfig
+                fields, and `--flag` citations name real CLI flags
+                (indoorflow_cli or a tools/*.py argparse flag).
 
 Usage:
   tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER] [--skip CHECK]...
+                           [CHECK ...]
 
-Exit status is the number of failed checks (0 = clean).
+Naming checks positionally runs only those checks (e.g.
+`tools/indoorflow_lint.py docs`). Exit status is the number of failed
+checks (0 = clean).
 """
 
 from __future__ import annotations
@@ -55,6 +63,8 @@ import tempfile
 # annotation macros or carries INDOORFLOW_GUARDED_BY-annotated state (and is
 # stressed by tests/concurrency_test.cc under TSan).
 THREADING_ALLOWLIST = {
+    "src/common/executor.h",
+    "src/common/executor.cc",
     "src/common/expo_server.h",
     "src/common/expo_server.cc",
     "src/common/log.cc",
@@ -84,7 +94,6 @@ ATOMICS_ALLOWLIST = {
     "src/common/log.cc",
     "src/common/metrics.h",
     "src/common/metrics.cc",
-    "src/core/flow_matrix.cc",
 }
 
 # Files allowed to write to stderr. log.cc owns the sink; status.h's abort
@@ -294,6 +303,121 @@ def check_stderr(root: str, errors: list[str]) -> None:
                     "logging sink (src/common/log.h) instead")
 
 
+# --- docs check -------------------------------------------------------------
+
+# A backticked repo path like `src/core/engine.cc` (a ':' suffix such as
+# :289 naturally falls outside the character class, so cited line numbers
+# don't break existence checks).
+DOC_PATH_TOKEN = re.compile(
+    r"`((?:src|docs|tools|tests|bench|examples)/[\w./\-]+)")
+
+# Markdown inline link targets: [text](target). Anchors and web URLs are
+# skipped at the call site.
+DOC_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+DOC_CONFIG_TOKEN = re.compile(r"`EngineConfig::(\w+)")
+
+# A CLI flag cited at the start of a backtick span (`--threads`,
+# `--cache on|off`). Flags with underscores belong to external tools
+# (google-benchmark, gtest) and are not validated.
+DOC_FLAG_TOKEN = re.compile(r"`--([a-z0-9][a-z0-9_-]*)")
+
+# Flags every tool accepts without declaring.
+DOC_BUILTIN_FLAGS = {"help"}
+
+
+def collect_engine_config_members(root: str) -> set[str]:
+    """Member names of struct EngineConfig, parsed from engine.h."""
+    path = os.path.join(root, "src", "core", "engine.h")
+    members: set[str] = set()
+    if not os.path.exists(path):
+        return members
+    text = strip_comments_and_strings(
+        open(path, encoding="utf-8").read())
+    block = re.search(r"struct EngineConfig \{(.*?)\n\};", text, re.S)
+    if not block:
+        return members
+    for line in block.group(1).splitlines():
+        decl = re.match(
+            r"\s*[A-Za-z_][\w:<>,\s*&]*?\s(\w+)\s*(?:=[^;]*)?;", line)
+        if decl:
+            members.add(decl.group(1))
+    return members
+
+
+def collect_cli_flags(root: str) -> set[str]:
+    """Flag names accepted by indoorflow_cli plus tools/*.py argparse."""
+    flags: set[str] = set(DOC_BUILTIN_FLAGS)
+    cli = os.path.join(root, "tools", "indoorflow_cli.cc")
+    if os.path.exists(cli):
+        text = open(cli, encoding="utf-8").read()
+        flags.update(re.findall(
+            r'Get(?:Or|Int|Double)?\(\s*"([a-z0-9-]+)"', text))
+    for path in repo_files(root, ("tools",), (".py",)):
+        text = open(os.path.join(root, path), encoding="utf-8").read()
+        flags.update(re.findall(
+            r'add_argument\(\s*"--([a-z0-9-]+)"', text))
+    return flags
+
+
+def check_docs(root: str, errors: list[str]) -> None:
+    doc_files = repo_files(root, ("docs",), (".md",))
+    for extra in ("README.md", "ROADMAP.md"):
+        if os.path.exists(os.path.join(root, extra)):
+            doc_files.append(extra)
+    config_members = collect_engine_config_members(root)
+    cli_flags = collect_cli_flags(root)
+    for path in doc_files:
+        full = os.path.join(root, path)
+        base = os.path.dirname(full)
+        for lineno, line in enumerate(
+                open(full, encoding="utf-8").read().splitlines(), 1):
+            for match in DOC_LINK.finditer(line):
+                target = match.group(1).split("#", 1)[0]
+                if not target or "://" in target or \
+                        target.startswith("mailto:"):
+                    continue
+                candidates = (os.path.normpath(os.path.join(base, target)),
+                              os.path.normpath(os.path.join(root, target)))
+                if not any(os.path.exists(c) for c in candidates):
+                    errors.append(
+                        f"{path}:{lineno}: broken link target "
+                        f"'{match.group(1)}'")
+            for match in DOC_PATH_TOKEN.finditer(line):
+                token = match.group(1)
+                # Glob/brace shorthand (`src/x.*`, `src/x.{h,cc}`) is not a
+                # literal path; the `*`/`{` sits just past the match.
+                if "{" in token or "*" in token or \
+                        line[match.end(1):match.end(1) + 1] in ("*", "{"):
+                    continue
+                token = token.rstrip(".")
+                # A citation may name a build target (`tools/indoorflow_cli`,
+                # `examples/metrics_dump`) rather than a file; accept it when
+                # the source it is built from exists.
+                candidates = [token] + [
+                    token + ext for ext in (".cc", ".cpp", ".py")]
+                if not any(os.path.exists(os.path.join(root, c))
+                           for c in candidates):
+                    errors.append(
+                        f"{path}:{lineno}: cited path '{token}' does not "
+                        "exist in the tree")
+            if config_members:
+                for match in DOC_CONFIG_TOKEN.finditer(line):
+                    if match.group(1) not in config_members:
+                        errors.append(
+                            f"{path}:{lineno}: 'EngineConfig::"
+                            f"{match.group(1)}' is not a member of "
+                            "EngineConfig (src/core/engine.h)")
+            for match in DOC_FLAG_TOKEN.finditer(line):
+                flag = match.group(1)
+                if "_" in flag:
+                    continue  # external tool flag (benchmark/gtest style)
+                if flag not in cli_flags:
+                    errors.append(
+                        f"{path}:{lineno}: '--{flag}' is not a flag of "
+                        "indoorflow_cli or any tools/*.py script")
+
+
 CHECKS = {
     "headers": check_headers,
     "threading": check_threading,
@@ -302,6 +426,7 @@ CHECKS = {
     "banned": check_banned,
     "atomics": check_atomics,
     "stderr": check_stderr,
+    "docs": check_docs,
 }
 
 
@@ -312,10 +437,20 @@ def main() -> int:
     parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
     parser.add_argument("--skip", action="append", default=[],
                         choices=sorted(CHECKS), help="skip one check")
+    parser.add_argument("checks", nargs="*", metavar="CHECK",
+                        help="run only the named checks (default: all); "
+                             "one of: " + ", ".join(sorted(CHECKS)))
     args = parser.parse_args()
+
+    unknown = sorted(set(args.checks) - set(CHECKS))
+    if unknown:
+        parser.error("unknown check(s): " + ", ".join(unknown))
+    selected = set(args.checks) if args.checks else set(CHECKS)
 
     failed = 0
     for name, check in CHECKS.items():
+        if name not in selected:
+            continue
         if name in args.skip:
             print(f"[ SKIP ] {name}")
             continue

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Unit tests for the docs check and check selection of indoorflow_lint.
+
+Fixture trees are built in a temp dir so the tests are hermetic: they
+validate that rotten markdown (dead paths, broken links, phantom
+EngineConfig members or CLI flags) fails and healthy markdown passes,
+independent of the real repo's state.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import indoorflow_lint as lint  # noqa: E402
+
+LINT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "indoorflow_lint.py")
+
+ENGINE_H = """
+namespace indoorflow {
+struct EngineConfig {
+  TopologyMode topology = TopologyMode::kPartition;
+  double vmax = 1.7;
+  UrCacheConfig ur_cache;
+  int threads = 1;
+  int parallel_threshold = 64;
+};
+}  // namespace indoorflow
+"""
+
+CLI_CC = """
+int main() {
+  flags.GetInt("threads", 1);
+  flags.GetInt("parallel-threshold", 64);
+  flags.GetOr("cache", "off");
+  flags.GetDouble("vmax", 1.7);
+  flags.Get("data");
+}
+"""
+
+
+class DocsCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "docs"))
+        os.makedirs(os.path.join(self.root, "src", "core"))
+        os.makedirs(os.path.join(self.root, "tools"))
+        self.write("src/core/engine.h", ENGINE_H)
+        self.write("src/core/engine.cc", "// impl\n")
+        self.write("tools/indoorflow_cli.cc", CLI_CC)
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def docs_errors(self):
+        errors = []
+        lint.check_docs(self.root, errors)
+        return errors
+
+    def test_healthy_docs_pass(self):
+        self.write("docs/GUIDE.md", (
+            "See [the engine](../src/core/engine.h) and "
+            "`src/core/engine.cc`.\n"
+            "Tune `EngineConfig::threads` via `--threads` or "
+            "`--parallel-threshold`.\n"))
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_dead_cited_path_fails(self):
+        self.write("docs/GUIDE.md", "Read `src/core/missing.cc` first.\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("src/core/missing.cc", errors[0])
+
+    def test_broken_link_fails(self):
+        self.write("docs/GUIDE.md", "See [tuning](TUNING.md).\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("TUNING.md", errors[0])
+
+    def test_link_resolves_from_repo_root_too(self):
+        self.write("docs/GUIDE.md", "See [cli](tools/indoorflow_cli.cc).\n")
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_web_links_and_anchors_skipped(self):
+        self.write("docs/GUIDE.md", (
+            "[paper](https://example.org/x) [top](#section)\n"))
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_phantom_engine_config_member_fails(self):
+        self.write("docs/GUIDE.md", "Set `EngineConfig::warp_speed`.\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("warp_speed", errors[0])
+
+    def test_phantom_cli_flag_fails(self):
+        self.write("docs/GUIDE.md", "Pass `--turbo` to the CLI.\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("--turbo", errors[0])
+
+    def test_external_tool_flags_not_validated(self):
+        self.write("docs/GUIDE.md",
+                   "Run with `--benchmark_filter=BM_Fig12`.\n")
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_build_target_citation_resolves_to_source(self):
+        self.write("docs/GUIDE.md", "Run `tools/indoorflow_cli` next.\n")
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_glob_and_line_suffix_citations_skipped(self):
+        self.write("docs/GUIDE.md", (
+            "All of `src/core/engine.{h,cc}` and `src/common/metrics.*`, "
+            "see `src/core/engine.cc:42`.\n"))
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_readme_and_roadmap_are_linted(self):
+        self.write("README.md", "Broken: `docs/NOPE.md`.\n")
+        self.write("ROADMAP.md", "Broken too: [x](docs/GONE.md)\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 2)
+
+    def test_collect_engine_config_members(self):
+        members = lint.collect_engine_config_members(self.root)
+        self.assertEqual(
+            members,
+            {"topology", "vmax", "ur_cache", "threads",
+             "parallel_threshold"})
+
+    def test_collect_cli_flags(self):
+        self.write("tools/plot.py",
+                   'parser.add_argument("--out-dir", default=".")\n')
+        flags = lint.collect_cli_flags(self.root)
+        for expected in ("threads", "parallel-threshold", "cache", "vmax",
+                         "data", "out-dir", "help"):
+            self.assertIn(expected, flags)
+
+
+class CheckSelectionTest(unittest.TestCase):
+    """`indoorflow_lint.py docs` runs only the docs check."""
+
+    def run_lint(self, *argv):
+        return subprocess.run(
+            [sys.executable, LINT, *argv], capture_output=True, text=True)
+
+    def test_positional_selection_runs_only_that_check(self):
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "docs"))
+            proc = self.run_lint("--root", root, "docs")
+            self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+            self.assertIn("docs", proc.stdout)
+            # No other check ran (headers would need a compiler and src/).
+            self.assertNotIn("headers", proc.stdout)
+            self.assertNotIn("threading", proc.stdout)
+
+    def test_positional_selection_fails_on_rotten_docs(self):
+        with tempfile.TemporaryDirectory() as root:
+            os.makedirs(os.path.join(root, "docs"))
+            with open(os.path.join(root, "docs", "BAD.md"), "w",
+                      encoding="utf-8") as f:
+                f.write("Ghost file: `src/never/was.cc`.\n")
+            proc = self.run_lint("--root", root, "docs")
+            self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+            self.assertIn("src/never/was.cc", proc.stdout)
+
+    def test_unknown_check_rejected(self):
+        proc = self.run_lint("bogus")
+        self.assertNotEqual(proc.returncode, 0)
+        self.assertIn("unknown check", proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
