@@ -1,0 +1,65 @@
+// Tiny byte-stream reader shared by the fuzz harnesses.
+//
+// Plays the role of LLVM's FuzzedDataProvider without depending on it: the
+// harnesses slice the fuzzer's byte buffer into mode selectors, doubles,
+// and payload strings through this one helper, so the input encoding stays
+// consistent between libFuzzer runs and corpus replay.
+
+#ifndef INDOORFLOW_FUZZ_FUZZ_INPUT_H_
+#define INDOORFLOW_FUZZ_FUZZ_INPUT_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace indoorflow_fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  uint8_t TakeByte() {
+    if (empty()) return 0;
+    return data_[pos_++];
+  }
+
+  /// Next 8 bytes reinterpreted as a double; NaN/infinity are folded into
+  /// a large-but-finite range so harnesses can probe extreme yet legal
+  /// coordinates (the parsers' own NaN handling is fuzzed via the text
+  /// surface, not here).
+  double TakeFiniteDouble() {
+    double v = 0.0;
+    if (remaining() >= sizeof(v)) {
+      std::memcpy(&v, data_ + pos_, sizeof(v));
+      pos_ += sizeof(v);
+    } else {
+      pos_ = size_;
+    }
+    if (!std::isfinite(v)) return 0.0;
+    // Clamp magnitude so squared distances stay finite.
+    if (std::abs(v) > 1e12) v = std::fmod(v, 1e12);
+    return v;
+  }
+
+  /// Everything not yet consumed, as a string (binary-safe).
+  std::string TakeRest() {
+    std::string rest(reinterpret_cast<const char*>(data_ + pos_),
+                     size_ - pos_);
+    pos_ = size_;
+    return rest;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace indoorflow_fuzz
+
+#endif  // INDOORFLOW_FUZZ_FUZZ_INPUT_H_

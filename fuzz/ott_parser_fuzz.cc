@@ -1,0 +1,84 @@
+// Fuzz harness for the tracking-data parsers (src/tracking/io.cc): the
+// three CSV readers and the binary OTT format. The first input byte picks
+// the parser; the rest is fed to it verbatim. Any parse outcome is legal
+// except a crash — and on success the resulting table must satisfy its
+// own invariants (finalized, finite ordered intervals), since a parser
+// that accepts garbage is as much a bug as one that crashes on it.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "fuzz/fuzz_input.h"
+#include "src/tracking/io.h"
+
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "ott_parser_fuzz invariant violated: %s\n", what);
+  std::abort();
+}
+
+void CheckTable(const indoorflow::ObjectTrackingTable& table) {
+  Require(table.finalized(), "parsed table not finalized");
+  for (size_t i = 0; i < table.size(); ++i) {
+    const indoorflow::TrackingRecord& r =
+        table.record(static_cast<indoorflow::RecordIndex>(i));
+    Require(std::isfinite(r.ts) && std::isfinite(r.te),
+            "accepted record with non-finite timestamp");
+    Require(r.te >= r.ts, "accepted record with te < ts");
+  }
+  if (table.size() > 0) {
+    Require(table.min_time() <= table.max_time(),
+            "min_time exceeds max_time");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  indoorflow_fuzz::FuzzInput input(data, size);
+  const uint8_t mode = input.TakeByte() % 4;
+  const std::string payload = input.TakeRest();
+  switch (mode) {
+    case 0: {
+      std::istringstream in(payload);
+      auto result = indoorflow::ParseReadingsCsv(in);
+      if (result.ok()) {
+        for (const indoorflow::RawReading& r : *result) {
+          Require(std::isfinite(r.t),
+                  "accepted reading with non-finite timestamp");
+        }
+      }
+      break;
+    }
+    case 1: {
+      std::istringstream in(payload);
+      auto result = indoorflow::ParseOttCsv(in);
+      if (result.ok()) CheckTable(*result);
+      break;
+    }
+    case 2: {
+      std::istringstream in(payload);
+      auto result = indoorflow::ParseDeploymentCsv(in);
+      if (result.ok()) {
+        for (const indoorflow::Device& d : result->devices()) {
+          Require(std::isfinite(d.range.center.x) &&
+                      std::isfinite(d.range.center.y) &&
+                      std::isfinite(d.range.radius) && d.range.radius > 0.0,
+                  "accepted device with bad range");
+        }
+      }
+      break;
+    }
+    default: {
+      auto result = indoorflow::ParseOttBinary(payload);
+      if (result.ok()) CheckTable(*result);
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fuzz harness for the floor-plan and POI loaders (src/indoor/plan_io.cc).
+// The first input byte picks plan vs. POIs; the rest is the file body.
+// On successful parse, every accepted polygon must pass CheckInvariants()
+// (>= 3 finite vertices, consistent bounds, non-zero area) — the loaders
+// are the trust boundary for all downstream geometry.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "fuzz/fuzz_input.h"
+#include "src/indoor/plan_io.h"
+
+namespace {
+
+void RequireOk(const indoorflow::Status& s, const char* what) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "plan_loader_fuzz invariant violated: %s: %s\n",
+               what, s.message().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  indoorflow_fuzz::FuzzInput input(data, size);
+  const uint8_t mode = input.TakeByte() % 2;
+  std::istringstream in(input.TakeRest());
+  if (mode == 0) {
+    auto plan = indoorflow::ParsePlanFile(in);
+    if (plan.ok()) {
+      for (const indoorflow::Partition& part : plan->partitions()) {
+        RequireOk(part.shape.CheckInvariants(),
+                  "accepted partition polygon breaks invariants");
+      }
+    }
+  } else {
+    auto pois = indoorflow::ParsePoisFile(in);
+    if (pois.ok()) {
+      for (const indoorflow::Poi& poi : *pois) {
+        RequireOk(poi.shape.CheckInvariants(),
+                  "accepted poi polygon breaks invariants");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "src/common/executor.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 #include <utility>
 
+#include "src/common/log.h"
 #include "src/common/metrics.h"
 
 namespace indoorflow {
@@ -27,19 +29,16 @@ PoolMetrics& Metrics() {
 }
 
 int DefaultPoolSize() {
-  const char* env = std::getenv("INDOORFLOW_THREADS");
-  if (env != nullptr && *env != '\0') {
-    int parsed = std::atoi(env);
-    if (parsed > 0) return std::min(parsed, Executor::kMaxThreads);
-  }
-  return Executor::ResolveThreads(0);
+  return Executor::ThreadsFromEnv(std::getenv("INDOORFLOW_THREADS"));
 }
 
 // One ParallelFor invocation's shared bookkeeping. Lives in a shared_ptr
 // because helper tasks may still sit in the pool queue after the batch
 // completes (they claim no lane and exit, but must find valid memory).
 struct BatchState {
-  Mutex mu;
+  Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceRtree)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceExecutor) =
+          Mutex(LockRank::kExecutor);
   CondVar done_cv;
   size_t n = 0;
   size_t lanes = 0;
@@ -80,6 +79,27 @@ int Executor::ResolveThreads(int threads) {
   unsigned hw = std::thread::hardware_concurrency();
   int resolved = hw == 0 ? 1 : static_cast<int>(hw);
   return std::min(resolved, kMaxThreads);
+}
+
+int Executor::ThreadsFromEnv(const char* value) {
+  if (value == nullptr || *value == '\0') return ResolveThreads(0);
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  // Strict parse: the whole string must be one base-10 integer. "8x",
+  // "abc", "2.5", negatives, and out-of-long values all fall back to the
+  // hardware default — loudly, since a mistyped env var that silently
+  // changes the pool size is exactly the bug this guards against.
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 0) {
+    Log(LogLevel::kWarn, "executor",
+        "ignoring invalid INDOORFLOW_THREADS; using hardware concurrency")
+        .Field("value", value);
+    return ResolveThreads(0);
+  }
+  // "0" is an explicit request for hardware concurrency; positive values
+  // clamp to kMaxThreads like every other threads knob.
+  return ResolveThreads(static_cast<int>(
+      std::min(parsed, static_cast<long>(kMaxThreads))));
 }
 
 Executor::Executor(int threads) : worker_count_(ResolveThreads(threads)) {

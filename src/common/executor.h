@@ -57,6 +57,14 @@ class Executor {
   /// here, so the fallback cannot drift between them.
   static int ResolveThreads(int threads);
 
+  /// Resolves an `INDOORFLOW_THREADS` environment value the strict way:
+  /// a positive integer means itself (clamped to kMaxThreads), "0" means
+  /// hardware concurrency, and anything else — non-numeric, negative,
+  /// trailing garbage, overflow — logs a structured warning and falls
+  /// back to hardware concurrency instead of being silently ignored.
+  /// `value` may be null or empty (no warning, hardware fallback).
+  static int ThreadsFromEnv(const char* value);
+
   /// A pool with `threads` workers (resolved via ResolveThreads).
   /// Destruction drains nothing: queued tasks are completed, then the
   /// workers join. Prefer Default() outside tests.
@@ -92,7 +100,9 @@ class Executor {
   void WorkerLoop() INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   int worker_count_ = 0;
-  Mutex mu_;
+  Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceRtree)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceExecutor) =
+          Mutex(LockRank::kExecutor);
   CondVar work_cv_;
   std::deque<Task> queue_ INDOORFLOW_GUARDED_BY(mu_);
   bool shutdown_ INDOORFLOW_GUARDED_BY(mu_) = false;

@@ -72,7 +72,8 @@ class ExpoServer {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread thread_;
-  Mutex mu_;
+  Mutex mu_ INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceExpo) =
+      Mutex(LockRank::kExpo);
   bool stopping_ INDOORFLOW_GUARDED_BY(mu_) = false;
 };
 

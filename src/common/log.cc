@@ -19,7 +19,9 @@ namespace {
 struct LogSink {
   std::atomic<int> level{static_cast<int>(LogLevel::kInfo)};
   std::atomic<int> format{static_cast<int>(LogFormat::kText)};
-  Mutex mu;
+  Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMetrics)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceLog) =
+          Mutex(LockRank::kLog);
   FILE* stream INDOORFLOW_GUARDED_BY(mu) = nullptr;  // nullptr = stderr
   bool owns_stream INDOORFLOW_GUARDED_BY(mu) = false;
 

@@ -262,7 +262,9 @@ namespace {
 // stream and event separator state live behind the annotated mutex.
 struct TraceSink {
   std::atomic<bool> enabled{false};
-  Mutex mu;
+  Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExecutor)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceMetrics) =
+          Mutex(LockRank::kMetrics);
   std::FILE* file INDOORFLOW_GUARDED_BY(mu) = nullptr;
   bool first_event INDOORFLOW_GUARDED_BY(mu) = true;
 };

@@ -182,7 +182,9 @@ class MetricsRegistry {
   Entry& GetOrCreate(const std::string& name, Kind kind)
       INDOORFLOW_REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExecutor)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceMetrics) =
+          Mutex(LockRank::kMetrics);
   std::map<std::string, Entry> metrics_ INDOORFLOW_GUARDED_BY(mu_);
 };
 

@@ -1,0 +1,129 @@
+#include "src/common/mutex.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace indoorflow {
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kLog:
+      return "log";
+    case LockRank::kMetrics:
+      return "metrics";
+    case LockRank::kExecutor:
+      return "executor";
+    case LockRank::kRtree:
+      return "rtree";
+    case LockRank::kUrCache:
+      return "urcache";
+    case LockRank::kMonitor:
+      return "monitor";
+    case LockRank::kProfileRecorder:
+      return "profile_recorder";
+    case LockRank::kEngine:
+      return "engine";
+    case LockRank::kExpo:
+      return "expo";
+  }
+  return "unknown";
+}
+
+namespace lock_rank_internal {
+
+bool ValidatorEnabled() {
+#if defined(INDOORFLOW_LOCK_RANK_VALIDATOR)
+  return true;
+#else
+  return false;
+#endif
+}
+
+#if defined(INDOORFLOW_LOCK_RANK_VALIDATOR)
+
+namespace {
+
+// Per-thread stack of held mutexes. Fixed capacity: the deepest sanctioned
+// chain is expo -> ... -> log (9 ranks), so 16 leaves slack for transient
+// same-thread re-entry bugs to still be reported rather than smash memory.
+constexpr int kMaxHeld = 16;
+
+struct HeldEntry {
+  const void* mu;
+  LockRank rank;
+};
+
+struct HeldStack {
+  HeldEntry entries[kMaxHeld];
+  int depth = 0;
+};
+
+thread_local HeldStack g_held;
+
+// The abort path must not allocate or take any lock — in particular it
+// must not go through the structured-log sink (rank log could itself be
+// involved in the violation). Raw stderr + abort is the only safe exit.
+[[noreturn]] void RankFail(const char* what, LockRank acquiring,
+                           LockRank held) {
+  std::fprintf(
+      stderr,
+      "indoorflow lock-rank violation: %s: acquiring rank %d (%s) while "
+      "holding rank %d (%s); acquisition must descend the rank ladder "
+      "(see src/common/mutex.h)\n",
+      what, static_cast<int>(acquiring), LockRankName(acquiring),
+      static_cast<int>(held), LockRankName(held));
+  std::abort();
+}
+
+}  // namespace
+
+void PushHeld(const void* mu, LockRank rank) {
+  HeldStack& s = g_held;
+  if (s.depth > 0) {
+    const HeldEntry& top = s.entries[s.depth - 1];
+    if (top.mu == mu) {
+      RankFail("recursive acquisition of the same mutex", rank, top.rank);
+    }
+    // Descending-rank rule: every held mutex must outrank the new one.
+    // Checking the top suffices because the stack is itself descending.
+    if (static_cast<int>(rank) >= static_cast<int>(top.rank)) {
+      RankFail("out-of-order acquisition", rank, top.rank);
+    }
+  }
+  if (s.depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "indoorflow lock-rank violation: more than %d mutexes "
+                 "held by one thread\n",
+                 kMaxHeld);
+    std::abort();
+  }
+  s.entries[s.depth].mu = mu;
+  s.entries[s.depth].rank = rank;
+  ++s.depth;
+}
+
+void PopHeld(const void* mu) {
+  HeldStack& s = g_held;
+  // Unlock is normally LIFO (MutexLock), but tolerate out-of-order release
+  // of a held mutex: ordering is constrained at acquisition time only.
+  for (int i = s.depth - 1; i >= 0; --i) {
+    if (s.entries[i].mu != mu) continue;
+    for (int j = i; j + 1 < s.depth; ++j) s.entries[j] = s.entries[j + 1];
+    --s.depth;
+    return;
+  }
+  std::fprintf(stderr,
+               "indoorflow lock-rank violation: unlocking a mutex this "
+               "thread does not hold\n");
+  std::abort();
+}
+
+#else  // !INDOORFLOW_LOCK_RANK_VALIDATOR
+
+void PushHeld(const void*, LockRank) {}
+void PopHeld(const void*) {}
+
+#endif  // INDOORFLOW_LOCK_RANK_VALIDATOR
+
+}  // namespace lock_rank_internal
+}  // namespace indoorflow

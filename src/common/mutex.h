@@ -1,4 +1,5 @@
-// Annotated mutex wrapper for Clang's thread-safety analysis.
+// Annotated, rank-ordered mutex wrapper for Clang's thread-safety analysis
+// and runtime deadlock-freedom checking.
 //
 // libstdc++'s std::mutex and std::lock_guard carry no capability
 // attributes, so locking through them is invisible to -Wthread-safety.
@@ -6,6 +7,38 @@
 // visible to the analysis while compiling to exactly a std::mutex under
 // every compiler. All library code locks through Mutex/MutexLock; raw
 // std::mutex is banned outside this file by tools/indoorflow_lint.py.
+//
+// Lock ranks. Every Mutex is constructed with a LockRank, and the global
+// acquisition order is: a thread may acquire a mutex only while every
+// mutex it already holds has a strictly HIGHER rank. Acquisition therefore
+// descends the rank ladder
+//
+//   expo > engine > profile_recorder > monitor > urcache > rtree
+//        > executor > metrics > log
+//
+// so the low ranks (log, metrics) are leaves that any critical section may
+// enter, and the high ranks (engine, expo) are entry points that must be
+// taken first. Two mutexes of the same rank must never be held together
+// (the shards of the UR cache, for example, are same-ranked precisely
+// because no code path nests them). Since every thread acquires along the
+// same total order, no cycle of waiting threads can form: deadlock
+// freedom by construction.
+//
+// The discipline is enforced three ways:
+//   1. Statically: INDOORFLOW_ACQUIRED_BEFORE/AFTER annotations at every
+//      Mutex declaration site tie it into the global order via the fence
+//      objects in lock_order below (checked by Clang's analysis where
+//      implemented, and self-documenting everywhere).
+//   2. Dynamically: in debug and sanitizer builds, Lock() validates the
+//      acquisition against a thread-local stack of held ranks and aborts
+//      with a diagnostic on any out-of-order acquisition — so the test
+//      suite (and the TSan CI job in particular) proves the order holds
+//      on every exercised path. Release builds compile the validator out.
+//   3. Lint: the `ranks` check in tools/indoorflow_lint.py rejects any
+//      Mutex construction in src/ without an explicit LockRank.
+//
+// See docs/STATIC_ANALYSIS.md ("Lock ranks") for the rank table and how
+// to add a ranked mutex.
 
 #ifndef INDOORFLOW_COMMON_MUTEX_H_
 #define INDOORFLOW_COMMON_MUTEX_H_
@@ -15,22 +48,117 @@
 
 #include "src/common/thread_annotations.h"
 
+// The runtime rank validator runs wherever correctness matters more than
+// raw speed: debug builds and every sanitizer build (the ASan/UBSan and
+// TSan CI jobs compile with NDEBUG undefined, so they get it too). Release
+// builds compile it out entirely — Lock()/Unlock() are exactly
+// std::mutex::lock()/unlock().
+#if !defined(NDEBUG)
+#define INDOORFLOW_LOCK_RANK_VALIDATOR 1
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define INDOORFLOW_LOCK_RANK_VALIDATOR 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define INDOORFLOW_LOCK_RANK_VALIDATOR 1
+#endif
+#endif
+
 namespace indoorflow {
+
+/// The global lock-acquisition order, lowest rank first. A thread holding
+/// a mutex of rank R may only acquire mutexes of rank strictly below R.
+/// Keep this list in sync with the rank table in docs/STATIC_ANALYSIS.md
+/// and the fences in lock_order below.
+enum class LockRank : int {
+  kLog = 0,              // src/common/log.cc sink (leaf: anything may log)
+  kMetrics = 1,          // metrics registry + trace sink (src/common/metrics)
+  kExecutor = 2,         // thread-pool queue + batch state (executor)
+  kRtree = 3,            // src/index/dynamic_rtree
+  kUrCache = 4,          // UR-cache shards / epoch shards / presence memos
+  kMonitor = 5,          // StreamingMonitor track table
+  kProfileRecorder = 6,  // query-profile flight recorder
+  kEngine = 7,           // QueryEngine POI-tree cache
+  kExpo = 8,             // exposition server accept loop
+};
+
+/// "log", "metrics", ... (diagnostics; stable names for the rank table).
+const char* LockRankName(LockRank rank);
+
+namespace lock_order {
+
+/// Phantom capabilities that pin the rank ladder into Clang's
+/// acquired_before/after partial order. kFence<Rank> sits immediately
+/// *after* every mutex of that rank in acquisition order, so a mutex of
+/// rank R is declared ACQUIRED_BEFORE its own fence and ACQUIRED_AFTER the
+/// fence of the next-higher rank. The fences chain top-down (expo fence
+/// first), which makes any two differently-ranked mutexes transitively
+/// ordered. The objects are empty tag types — never locked, zero runtime
+/// cost; they exist purely as annotation targets.
+class INDOORFLOW_CAPABILITY("lock_rank_fence") RankFence {};
+
+inline RankFence kFenceExpo;
+inline RankFence kFenceEngine INDOORFLOW_ACQUIRED_AFTER(kFenceExpo);
+inline RankFence kFenceProfileRecorder
+    INDOORFLOW_ACQUIRED_AFTER(kFenceEngine);
+inline RankFence kFenceMonitor
+    INDOORFLOW_ACQUIRED_AFTER(kFenceProfileRecorder);
+inline RankFence kFenceUrCache INDOORFLOW_ACQUIRED_AFTER(kFenceMonitor);
+inline RankFence kFenceRtree INDOORFLOW_ACQUIRED_AFTER(kFenceUrCache);
+inline RankFence kFenceExecutor INDOORFLOW_ACQUIRED_AFTER(kFenceRtree);
+inline RankFence kFenceMetrics INDOORFLOW_ACQUIRED_AFTER(kFenceExecutor);
+inline RankFence kFenceLog INDOORFLOW_ACQUIRED_AFTER(kFenceMetrics);
+
+}  // namespace lock_order
+
+namespace lock_rank_internal {
+
+/// Whether the runtime validator is compiled into this build (debug or
+/// sanitizer builds). Tests use this to skip rank death tests in Release.
+bool ValidatorEnabled();
+
+/// Validates that acquiring a mutex of `rank` respects the descending
+/// order against the calling thread's held stack, then records the hold.
+/// Aborts with a diagnostic naming both ranks on violation.
+void PushHeld(const void* mu, LockRank rank);
+
+/// Removes `mu` from the calling thread's held stack.
+void PopHeld(const void* mu);
+
+}  // namespace lock_rank_internal
 
 class CondVar;
 
 class INDOORFLOW_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  /// Every mutex names its place in the global acquisition order; there is
+  /// deliberately no default — an unranked mutex cannot be proven
+  /// deadlock-free (and is rejected by the `ranks` lint check anyway).
+  explicit Mutex(LockRank rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() INDOORFLOW_ACQUIRE() { mu_.lock(); }
-  void Unlock() INDOORFLOW_RELEASE() { mu_.unlock(); }
+  LockRank rank() const { return rank_; }
+
+  void Lock() INDOORFLOW_ACQUIRE() {
+#if defined(INDOORFLOW_LOCK_RANK_VALIDATOR)
+    lock_rank_internal::PushHeld(this, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() INDOORFLOW_RELEASE() {
+#if defined(INDOORFLOW_LOCK_RANK_VALIDATOR)
+    lock_rank_internal::PopHeld(this);
+#endif
+    mu_.unlock();
+  }
 
  private:
   friend class CondVar;  // Wait() needs the underlying handle.
   std::mutex mu_;
+  // Not const only so containing types stay usable as benchmark
+  // DoNotOptimize outputs; nothing mutates it after construction.
+  LockRank rank_;
 };
 
 /// RAII holder: locks for the enclosing scope, like std::lock_guard.
@@ -52,6 +180,11 @@ class INDOORFLOW_SCOPED_CAPABILITY MutexLock {
 /// before returning, so the caller's critical section is unbroken as far
 /// as the static analysis is concerned). Spurious wakeups are possible;
 /// always wait in a loop over the guarded predicate.
+///
+/// Rank note: Wait() releases and reacquires the underlying handle
+/// directly, so the mutex stays on the waiter's held-rank stack for the
+/// duration — conservative, and exactly right: code between Wait() calls
+/// still runs inside the critical section as far as ordering goes.
 class CondVar {
  public:
   CondVar() = default;

@@ -64,6 +64,15 @@
 #define INDOORFLOW_RELEASE(...) \
   INDOORFLOW_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
 
+/// Lock-order edges: this capability is always acquired before / after the
+/// named ones. Clang checks these under -Wthread-safety-beta; everywhere
+/// else they document the lock-rank ladder (src/common/mutex.h) at the
+/// declaration site, and the debug-build runtime validator enforces it.
+#define INDOORFLOW_ACQUIRED_BEFORE(...) \
+  INDOORFLOW_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define INDOORFLOW_ACQUIRED_AFTER(...) \
+  INDOORFLOW_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
 /// Escape hatch: turns the analysis off for one function. Every use must
 /// carry a comment explaining why the invariant holds anyway.
 #define INDOORFLOW_NO_THREAD_SAFETY_ANALYSIS \

@@ -234,7 +234,10 @@ class QueryEngine {
   std::unique_ptr<UrCache> ur_cache_;
   std::vector<Region> poi_regions_;
   std::vector<double> poi_areas_;
-  mutable Mutex poi_tree_mu_;
+  mutable Mutex poi_tree_mu_
+      INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExpo)
+          INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceEngine) =
+              Mutex(LockRank::kEngine);
   mutable std::optional<RTree> all_poi_tree_
       INDOORFLOW_GUARDED_BY(poi_tree_mu_);
   ProfileRecorder* recorder_ = nullptr;

@@ -202,7 +202,9 @@ class ProfileRecorder {
 
   const size_t capacity_;
   const int64_t window_;
-  mutable Mutex mu_;
+  mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceEngine)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceProfileRecorder) =
+          Mutex(LockRank::kProfileRecorder);
   int64_t next_seq_ INDOORFLOW_GUARDED_BY(mu_) = 0;
   std::vector<Slot> slots_ INDOORFLOW_GUARDED_BY(mu_);
 };

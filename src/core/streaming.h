@@ -119,7 +119,10 @@ class StreamingMonitor {
   std::vector<double> poi_areas_;     // immutable after construction
   /// Internally synchronized; null when options_.ur_cache.enabled is false.
   std::unique_ptr<UrCache> ur_cache_;
-  mutable Mutex mu_;
+  mutable Mutex mu_
+      INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceProfileRecorder)
+          INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceMonitor) =
+              Mutex(LockRank::kMonitor);
   std::unordered_map<ObjectId, ObjectTrack> tracks_ INDOORFLOW_GUARDED_BY(mu_);
   Timestamp now_ INDOORFLOW_GUARDED_BY(mu_) = 0.0;
 };

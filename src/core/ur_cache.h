@@ -99,7 +99,9 @@ class UrCache {
     void Put(int32_t poi, double value);
 
    private:
-    mutable Mutex mu_;
+    mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMonitor)
+        INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceUrCache) =
+            Mutex(LockRank::kUrCache);
     std::unordered_map<int32_t, double> values_ INDOORFLOW_GUARDED_BY(mu_);
   };
   using PresenceMemoPtr = std::shared_ptr<PresenceMemo>;
@@ -166,7 +168,9 @@ class UrCache {
 
   // Front of `lru` is most recently used; `index` points into it.
   struct Shard {
-    mutable Mutex mu;
+    mutable Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMonitor)
+        INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceUrCache) =
+            Mutex(LockRank::kUrCache);
     std::list<std::pair<Key, Entry>> lru INDOORFLOW_GUARDED_BY(mu);
     std::unordered_map<Key, std::list<std::pair<Key, Entry>>::iterator,
                        KeyHash>
@@ -176,7 +180,9 @@ class UrCache {
   };
 
   struct EpochShard {
-    mutable Mutex mu;
+    mutable Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMonitor)
+        INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceUrCache) =
+            Mutex(LockRank::kUrCache);
     std::unordered_map<ObjectId, uint64_t> epochs INDOORFLOW_GUARDED_BY(mu);
   };
 

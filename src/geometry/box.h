@@ -104,6 +104,27 @@ inline double MaxDistance(const Box& b, Point p) {
   return std::sqrt(dx * dx + dy * dy);
 }
 
+// Squared variants for comparisons against squared radii. Classification
+// code must use these rather than MinDistance/MaxDistance so it compares in
+// the same arithmetic as Circle::Contains / Ring::Contains: taking the
+// square root first changes where underflow happens, and a conservative
+// Classify that disagrees with Contains at extreme magnitudes violates its
+// "kInside/kOutside only when certain" contract. They also skip the sqrt.
+
+/// Squared minimum distance from `p` to any point of `b` (0 if inside).
+inline double MinDistanceSquared(const Box& b, Point p) {
+  const double dx = std::max({b.min_x - p.x, 0.0, p.x - b.max_x});
+  const double dy = std::max({b.min_y - p.y, 0.0, p.y - b.max_y});
+  return dx * dx + dy * dy;
+}
+
+/// Squared maximum distance from `p` to any point of `b`.
+inline double MaxDistanceSquared(const Box& b, Point p) {
+  const double dx = std::max(std::abs(p.x - b.min_x), std::abs(p.x - b.max_x));
+  const double dy = std::max(std::abs(p.y - b.min_y), std::abs(p.y - b.max_y));
+  return dx * dx + dy * dy;
+}
+
 }  // namespace indoorflow
 
 #endif  // INDOORFLOW_GEOMETRY_BOX_H_

@@ -169,4 +169,32 @@ double Polygon::BoundaryDistance(Point p) const {
   return best;
 }
 
+Status Polygon::CheckInvariants() const {
+  if (vertices_.empty()) {
+    if (!bounds_.Empty()) {
+      return Status::Internal("empty polygon with non-empty bounds");
+    }
+    return Status::OK();
+  }
+  if (vertices_.size() < 3) {
+    return Status::Internal("polygon with fewer than 3 vertices");
+  }
+  Box want;
+  for (const Point& v : vertices_) {
+    if (!std::isfinite(v.x) || !std::isfinite(v.y)) {
+      return Status::Internal("polygon with non-finite vertex");
+    }
+    want.ExpandToInclude(v);
+  }
+  if (want.min_x != bounds_.min_x || want.min_y != bounds_.min_y ||
+      want.max_x != bounds_.max_x || want.max_y != bounds_.max_y) {
+    return Status::Internal("polygon bounds out of sync with vertices");
+  }
+  const double area = SignedArea();
+  if (!std::isfinite(area) || area == 0.0) {
+    return Status::Internal("polygon with zero or non-finite signed area");
+  }
+  return Status::OK();
+}
+
 }  // namespace indoorflow

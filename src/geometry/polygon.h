@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/geometry/box.h"
 #include "src/geometry/point.h"
 
@@ -65,6 +66,13 @@ class Polygon {
   double Distance(Point p) const {
     return Contains(p) ? 0.0 : BoundaryDistance(p);
   }
+
+  /// Structural validation for debug tooling (fuzz harnesses, property
+  /// tests): default-constructed polygons are empty and valid; otherwise
+  /// the polygon needs >= 3 finite vertices, a cached bounds box matching
+  /// the vertices, and a non-zero signed area (so orientation is
+  /// well-defined and Normalize() yields CCW).
+  Status CheckInvariants() const;
 
  private:
   std::vector<Point> vertices_;

@@ -3,7 +3,16 @@
 #include "src/common/status.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
+
+namespace {
+
+bool FinitePoint(indoorflow::Point p) {
+  return std::isfinite(p.x) && std::isfinite(p.y);
+}
+
+}  // namespace
 
 namespace indoorflow {
 namespace region_internal {
@@ -26,14 +35,25 @@ class CircleNode final : public Node {
   const Circle* AsCircle() const override { return &circle_; }
 
   BoxClass Classify(const Box& box) const override {
-    const double min_d = MinDistance(box, circle_.center);
-    if (min_d > circle_.radius) return BoxClass::kOutside;
-    const double max_d = MaxDistance(box, circle_.center);
-    if (max_d <= circle_.radius) return BoxClass::kInside;
+    const double r2 = circle_.radius * circle_.radius;
+    if (MinDistanceSquared(box, circle_.center) > r2) {
+      return BoxClass::kOutside;
+    }
+    if (MaxDistanceSquared(box, circle_.center) <= r2) {
+      return BoxClass::kInside;
+    }
     return BoxClass::kBoundary;
   }
 
   size_t ApproxBytes() const override { return sizeof(*this); }
+
+  Status CheckInvariants() const override {
+    if (!FinitePoint(circle_.center) || !std::isfinite(circle_.radius) ||
+        circle_.radius <= 0.0) {
+      return Status::Internal("circle node with bad center/radius");
+    }
+    return Status::OK();
+  }
 
  private:
   Circle circle_;
@@ -48,18 +68,29 @@ class RingNode final : public Node {
   const Ring* AsRing() const override { return &ring_; }
 
   BoxClass Classify(const Box& box) const override {
-    const double min_d = MinDistance(box, ring_.center);
-    const double max_d = MaxDistance(box, ring_.center);
-    if (min_d > ring_.outer_radius || max_d < ring_.inner_radius) {
+    const double inner2 = ring_.inner_radius * ring_.inner_radius;
+    const double outer2 = ring_.outer_radius * ring_.outer_radius;
+    const double min_d2 = MinDistanceSquared(box, ring_.center);
+    const double max_d2 = MaxDistanceSquared(box, ring_.center);
+    if (min_d2 > outer2 || max_d2 < inner2) {
       return BoxClass::kOutside;
     }
-    if (min_d >= ring_.inner_radius && max_d <= ring_.outer_radius) {
+    if (min_d2 >= inner2 && max_d2 <= outer2) {
       return BoxClass::kInside;
     }
     return BoxClass::kBoundary;
   }
 
   size_t ApproxBytes() const override { return sizeof(*this); }
+
+  Status CheckInvariants() const override {
+    if (!FinitePoint(ring_.center) ||
+        !std::isfinite(ring_.outer_radius) || ring_.inner_radius < 0.0 ||
+        !(ring_.inner_radius < ring_.outer_radius)) {
+      return Status::Internal("ring node with bad radii");
+    }
+    return Status::OK();
+  }
 
  private:
   Ring ring_;
@@ -116,11 +147,38 @@ class ThetaNode final : public Node {
 
   size_t ApproxBytes() const override { return sizeof(*this); }
 
+  Status CheckInvariants() const override {
+    if (!FinitePoint(ellipse_.disk_a().center) ||
+        !FinitePoint(ellipse_.disk_b().center) ||
+        !std::isfinite(ellipse_.disk_a().radius) ||
+        !std::isfinite(ellipse_.disk_b().radius) ||
+        ellipse_.disk_a().radius < 0.0 || ellipse_.disk_b().radius < 0.0 ||
+        !std::isfinite(ellipse_.max_travel()) ||
+        ellipse_.max_travel() < 0.0) {
+      return Status::Internal("theta node with bad ellipse parameters");
+    }
+    if (std::isnan(bounds_.min_x) || std::isnan(bounds_.min_y) ||
+        std::isnan(bounds_.max_x) || std::isnan(bounds_.max_y)) {
+      return Status::Internal("theta node with NaN bounds");
+    }
+    // The min/max sum-distance pair must bracket for any probe box; the
+    // classifier's correctness rests on it. Tolerance scales with the
+    // magnitude so rounding at extreme coordinates cannot trip it.
+    if (!bounds_.Empty()) {
+      const double min_sum = ellipse_.MinSumDistance(bounds_);
+      const double max_sum = ellipse_.MaxSumDistance(bounds_);
+      if (min_sum > max_sum + 1e-9 * std::max(1.0, std::abs(max_sum))) {
+        return Status::Internal("theta node with inverted sum distances");
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   static BoxClass ClassifyDisk(const Circle& disk, const Box& box) {
-    const double min_d = MinDistance(box, disk.center);
-    if (min_d > disk.radius) return BoxClass::kOutside;
-    if (MaxDistance(box, disk.center) <= disk.radius) {
+    const double r2 = disk.radius * disk.radius;
+    if (MinDistanceSquared(box, disk.center) > r2) return BoxClass::kOutside;
+    if (MaxDistanceSquared(box, disk.center) <= r2) {
       return BoxClass::kInside;
     }
     return BoxClass::kBoundary;
@@ -139,6 +197,19 @@ class BoxNode final : public Node {
   bool Contains(Point p) const override { return box_.Contains(p); }
   Box Bounds() const override { return box_; }
   const Box* AsBox() const override { return &box_; }
+
+  Status CheckInvariants() const override {
+    if (std::isnan(box_.min_x) || std::isnan(box_.min_y) ||
+        std::isnan(box_.max_x) || std::isnan(box_.max_y)) {
+      return Status::Internal("box node with NaN bounds");
+    }
+    if (!box_.Empty() &&
+        (!std::isfinite(box_.min_x) || !std::isfinite(box_.min_y) ||
+         !std::isfinite(box_.max_x) || !std::isfinite(box_.max_y))) {
+      return Status::Internal("box node with infinite extent");
+    }
+    return Status::OK();
+  }
 
   BoxClass Classify(const Box& query) const override {
     if (!box_.Intersects(query)) return BoxClass::kOutside;
@@ -190,6 +261,10 @@ class PolygonNode final : public Node {
     return sizeof(*this) + polygon_.size() * sizeof(Point);
   }
 
+  Status CheckInvariants() const override {
+    return polygon_.CheckInvariants();
+  }
+
  private:
   Polygon polygon_;
 };
@@ -220,6 +295,19 @@ class IntersectionNode final : public Node {
 
   size_t ApproxBytes() const override {
     return sizeof(*this) + a_->ApproxBytes() + b_->ApproxBytes();
+  }
+
+  Status CheckInvariants() const override {
+    if (a_ == nullptr || b_ == nullptr) {
+      return Status::Internal("intersection node with null child");
+    }
+    INDOORFLOW_RETURN_IF_ERROR(a_->CheckInvariants());
+    INDOORFLOW_RETURN_IF_ERROR(b_->CheckInvariants());
+    if (std::isnan(bounds_.min_x) || std::isnan(bounds_.min_y) ||
+        std::isnan(bounds_.max_x) || std::isnan(bounds_.max_y)) {
+      return Status::Internal("intersection node with NaN bounds");
+    }
+    return Status::OK();
   }
 
  private:
@@ -278,6 +366,24 @@ class UnionNode final : public Node {
     return bytes;
   }
 
+  Status CheckInvariants() const override {
+    if (parts_.size() != part_bounds_.size()) {
+      return Status::Internal("union node with desynced part bounds");
+    }
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      if (parts_[i] == nullptr) {
+        return Status::Internal("union node with null child");
+      }
+      INDOORFLOW_RETURN_IF_ERROR(parts_[i]->CheckInvariants());
+      // The cached union bounds must cover every cached part bound, or
+      // Contains() would wrongly cull points of that part.
+      if (!part_bounds_[i].Empty() && !bounds_.Contains(part_bounds_[i])) {
+        return Status::Internal("union node bounds miss a part");
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   std::vector<std::shared_ptr<const Node>> parts_;
   std::vector<Box> part_bounds_;
@@ -308,6 +414,14 @@ class DifferenceNode final : public Node {
 
   size_t ApproxBytes() const override {
     return sizeof(*this) + a_->ApproxBytes() + b_->ApproxBytes();
+  }
+
+  Status CheckInvariants() const override {
+    if (a_ == nullptr || b_ == nullptr) {
+      return Status::Internal("difference node with null child");
+    }
+    INDOORFLOW_RETURN_IF_ERROR(a_->CheckInvariants());
+    return b_->CheckInvariants();
   }
 
  private:
@@ -417,5 +531,10 @@ size_t Region::ApproxBytes() const { return node_->ApproxBytes(); }
 const Circle* Region::AsCircle() const { return node_->AsCircle(); }
 const Ring* Region::AsRing() const { return node_->AsRing(); }
 const Box* Region::AsBox() const { return node_->AsBox(); }
+
+Status Region::CheckInvariants() const {
+  if (node_ == nullptr) return Status::Internal("region with null node");
+  return node_->CheckInvariants();
+}
 
 }  // namespace indoorflow

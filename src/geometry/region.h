@@ -74,6 +74,12 @@ class Region {
   const Ring* AsRing() const;
   const Box* AsBox() const;
 
+  /// Recursive structural validation of the CSG tree: finite primitive
+  /// parameters, NaN-free bounds, composite bookkeeping consistent (see
+  /// region_internal::Node::CheckInvariants). Debug tooling for the fuzz
+  /// harnesses and property tests — not meant for hot paths.
+  Status CheckInvariants() const;
+
  private:
   explicit Region(std::shared_ptr<const region_internal::Node> node);
 

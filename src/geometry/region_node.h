@@ -8,8 +8,10 @@
 #ifndef INDOORFLOW_GEOMETRY_REGION_NODE_H_
 #define INDOORFLOW_GEOMETRY_REGION_NODE_H_
 
+#include <cmath>
 #include <cstddef>
 
+#include "src/common/status.h"
 #include "src/geometry/box.h"
 #include "src/geometry/circle.h"
 #include "src/geometry/point.h"
@@ -45,6 +47,21 @@ class Node {
   /// over-estimates under structural sharing. The default covers small
   /// fixed-size primitives.
   virtual size_t ApproxBytes() const { return 64; }
+
+  /// Structural well-formedness of this subtree: sane primitive parameters,
+  /// no NaN creeping into bounds, composite nodes recursing into children.
+  /// Asserted by the fuzz harnesses and property tests (debug tooling, not
+  /// a hot-path check). The default accepts any node whose bounds are
+  /// NaN-free; infinite bounds are legal (unbounded custom predicates),
+  /// empty bounds are legal (empty region).
+  virtual Status CheckInvariants() const {
+    const Box b = Bounds();
+    if (std::isnan(b.min_x) || std::isnan(b.min_y) || std::isnan(b.max_x) ||
+        std::isnan(b.max_y)) {
+      return Status::Internal("region node with NaN bounds");
+    }
+    return Status::OK();
+  }
 };
 
 }  // namespace region_internal

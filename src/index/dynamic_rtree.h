@@ -85,7 +85,9 @@ class DynamicRTree {
 
   int max_entries_;  // immutable after construction
   int min_entries_;  // immutable after construction
-  mutable Mutex mu_;
+  mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceUrCache)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceRtree) =
+          Mutex(LockRank::kRtree);
   std::unique_ptr<Node> root_ INDOORFLOW_GUARDED_BY(mu_);
   size_t size_ INDOORFLOW_GUARDED_BY(mu_) = 0;
 };

@@ -1,5 +1,6 @@
 #include "src/indoor/plan_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -29,6 +30,11 @@ Status ParseNamedPolygon(std::istringstream& in, int line_no,
   double y = 0.0;
   while (in >> x) {
     if (!(in >> y)) return BadLine(line_no, "odd number of coordinates");
+    // operator>> accepts the "nan"/"inf" spellings; a non-finite vertex
+    // breaks every downstream geometric predicate, so reject it here.
+    if (!std::isfinite(x) || !std::isfinite(y)) {
+      return BadLine(line_no, "non-finite coordinate");
+    }
     vertices->push_back({x, y});
   }
   if (!in.eof()) return BadLine(line_no, "bad coordinate");
@@ -66,9 +72,7 @@ Status WritePlanFile(const FloorPlan& plan, const std::string& path) {
   return Status::OK();
 }
 
-Result<FloorPlan> ReadPlanFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<FloorPlan> ParsePlanFile(std::istream& in, const std::string& path) {
   std::string line;
   if (std::getline(in, line)) StripCr(&line);
   if (line != kPlanHeader) {
@@ -89,13 +93,20 @@ Result<FloorPlan> ReadPlanFile(const std::string& path) {
       std::vector<Point> vertices;
       INDOORFLOW_RETURN_IF_ERROR(
           ParseNamedPolygon(fields, line_no, &name, &vertices));
-      plan.AddPartition(std::move(name), Polygon(std::move(vertices)));
+      Polygon shape(std::move(vertices));
+      if (!shape.CheckInvariants().ok()) {
+        return BadLine(line_no, "degenerate polygon");
+      }
+      plan.AddPartition(std::move(name), std::move(shape));
     } else if (kind == "door") {
       Point position;
       PartitionId a = kInvalidPartition;
       PartitionId b = kInvalidPartition;
       if (!(fields >> position.x >> position.y >> a >> b)) {
         return BadLine(line_no, "door needs x y partition_a partition_b");
+      }
+      if (!std::isfinite(position.x) || !std::isfinite(position.y)) {
+        return BadLine(line_no, "non-finite door position");
       }
       Result<DoorId> door = plan.AddDoor(position, a, b);
       if (!door.ok()) {
@@ -107,6 +118,12 @@ Result<FloorPlan> ReadPlanFile(const std::string& path) {
   }
   INDOORFLOW_RETURN_IF_ERROR(plan.Validate());
   return plan;
+}
+
+Result<FloorPlan> ReadPlanFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ParsePlanFile(in, path);
 }
 
 Status WritePoisFile(const PoiSet& pois, const std::string& path) {
@@ -122,9 +139,7 @@ Status WritePoisFile(const PoiSet& pois, const std::string& path) {
   return Status::OK();
 }
 
-Result<PoiSet> ReadPoisFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<PoiSet> ParsePoisFile(std::istream& in, const std::string& path) {
   std::string line;
   if (std::getline(in, line)) StripCr(&line);
   if (line != kPoisHeader) {
@@ -147,10 +162,20 @@ Result<PoiSet> ReadPoisFile(const std::string& path) {
     std::vector<Point> vertices;
     INDOORFLOW_RETURN_IF_ERROR(
         ParseNamedPolygon(fields, line_no, &name, &vertices));
+    Polygon shape(std::move(vertices));
+    if (!shape.CheckInvariants().ok()) {
+      return BadLine(line_no, "degenerate polygon");
+    }
     pois.push_back(Poi{static_cast<PoiId>(pois.size()), std::move(name),
-                       Polygon(std::move(vertices))});
+                       std::move(shape)});
   }
   return pois;
+}
+
+Result<PoiSet> ReadPoisFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ParsePoisFile(in, path);
 }
 
 }  // namespace indoorflow

@@ -16,6 +16,7 @@
 #ifndef INDOORFLOW_INDOOR_PLAN_IO_H_
 #define INDOORFLOW_INDOOR_PLAN_IO_H_
 
+#include <istream>
 #include <string>
 
 #include "src/indoor/floor_plan.h"
@@ -23,11 +24,20 @@
 
 namespace indoorflow {
 
+// The Parse* overloads consume an already-opened stream so adversarial
+// tests and the fuzz harnesses in fuzz/ can drive the loaders without the
+// filesystem; `path` only labels error messages. The Read* file forms
+// delegate to them.
+
 Status WritePlanFile(const FloorPlan& plan, const std::string& path);
 /// Returns a validated plan.
+Result<FloorPlan> ParsePlanFile(std::istream& in,
+                                const std::string& path = "<input>");
 Result<FloorPlan> ReadPlanFile(const std::string& path);
 
 Status WritePoisFile(const PoiSet& pois, const std::string& path);
+Result<PoiSet> ParsePoisFile(std::istream& in,
+                             const std::string& path = "<input>");
 Result<PoiSet> ReadPoisFile(const std::string& path);
 
 }  // namespace indoorflow

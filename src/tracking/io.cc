@@ -2,10 +2,12 @@
 
 #include <bit>
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <iterator>
 #include <sstream>
 
@@ -27,7 +29,11 @@ Status ParseDouble(const std::string& text, int line_no, double* out) {
   errno = 0;
   char* end = nullptr;
   *out = std::strtod(text.c_str(), &end);
-  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+  // Non-finite values are rejected even though strtod accepts the "nan" /
+  // "inf" spellings: a NaN timestamp or coordinate silently poisons every
+  // downstream comparison (NaN compares false against everything).
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(*out)) {
     return Status::InvalidArgument("line " + std::to_string(line_no) +
                                    ": bad number '" + text + "'");
   }
@@ -52,7 +58,7 @@ void StripCr(std::string* line) {
   if (!line->empty() && line->back() == '\r') line->pop_back();
 }
 
-Status ExpectHeader(std::ifstream& in, const std::string& expected,
+Status ExpectHeader(std::istream& in, const std::string& expected,
                     const std::string& path) {
   std::string header;
   if (!std::getline(in, header)) {
@@ -82,9 +88,8 @@ Status WriteReadingsCsv(const std::vector<RawReading>& readings,
   return Status::OK();
 }
 
-Result<std::vector<RawReading>> ReadReadingsCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<std::vector<RawReading>> ParseReadingsCsv(std::istream& in,
+                                                 const std::string& path) {
   INDOORFLOW_RETURN_IF_ERROR(ExpectHeader(in, "object_id,device_id,t",
                                           path));
   std::vector<RawReading> readings;
@@ -109,6 +114,12 @@ Result<std::vector<RawReading>> ReadReadingsCsv(const std::string& path) {
   return readings;
 }
 
+Result<std::vector<RawReading>> ReadReadingsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ParseReadingsCsv(in, path);
+}
+
 Status WriteOttCsv(const ObjectTrackingTable& table,
                    const std::string& path) {
   std::ofstream out(path);
@@ -127,9 +138,8 @@ Status WriteOttCsv(const ObjectTrackingTable& table,
   return Status::OK();
 }
 
-Result<ObjectTrackingTable> ReadOttCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<ObjectTrackingTable> ParseOttCsv(std::istream& in,
+                                        const std::string& path) {
   INDOORFLOW_RETURN_IF_ERROR(
       ExpectHeader(in, "object_id,device_id,ts,te", path));
   ObjectTrackingTable table;
@@ -156,6 +166,12 @@ Result<ObjectTrackingTable> ReadOttCsv(const std::string& path) {
   return table;
 }
 
+Result<ObjectTrackingTable> ReadOttCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ParseOttCsv(in, path);
+}
+
 Status WriteDeploymentCsv(const Deployment& deployment,
                           const std::string& path) {
   std::ofstream out(path);
@@ -171,9 +187,8 @@ Status WriteDeploymentCsv(const Deployment& deployment,
   return Status::OK();
 }
 
-Result<Deployment> ReadDeploymentCsv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound("cannot open " + path);
+Result<Deployment> ParseDeploymentCsv(std::istream& in,
+                                      const std::string& path) {
   INDOORFLOW_RETURN_IF_ERROR(ExpectHeader(in, "device_id,x,y,radius",
                                           path));
   Deployment deployment;
@@ -214,6 +229,12 @@ Result<Deployment> ReadDeploymentCsv(const std::string& path) {
   }
   deployment.BuildIndex();
   return deployment;
+}
+
+Result<Deployment> ReadDeploymentCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return ParseDeploymentCsv(in, path);
 }
 
 // ---------------------------------------------------------------------------
@@ -301,11 +322,8 @@ Status WriteOttBinary(const ObjectTrackingTable& table,
   return Status::OK();
 }
 
-Result<ObjectTrackingTable> ReadOttBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+Result<ObjectTrackingTable> ParseOttBinary(const std::string& data,
+                                           const std::string& path) {
   constexpr size_t kHeaderBytes = 4 + 1 + 1 + 8;
   if (data.size() < kHeaderBytes + 8) {
     return Status::InvalidArgument(path + ": truncated header");
@@ -320,7 +338,21 @@ Result<ObjectTrackingTable> ReadOttBinary(const std::string& path) {
   }
   const bool allow_overlap = (static_cast<uint8_t>(data[5]) & 1) != 0;
   const uint64_t count = GetU64(data.data() + 6);
-  const size_t expected = kHeaderBytes + count * kOttRecordBytes + 8;
+  // Bound the count before multiplying: `count * kOttRecordBytes` can wrap
+  // (e.g. a count near 2^61 multiplies back around to a small value), which
+  // would let a hostile header pass the size check below and send the
+  // record loop reading far past the buffer. Merely-truncated files fall
+  // through to the size check, which reports expected vs. actual bytes.
+  const size_t overflow_limit =
+      (std::numeric_limits<size_t>::max() - kHeaderBytes - 8) /
+      kOttRecordBytes;
+  if (count > overflow_limit) {
+    return Status::InvalidArgument(
+        path + ": record count " + std::to_string(count) +
+        " overflows the file size");
+  }
+  const size_t expected =
+      kHeaderBytes + static_cast<size_t>(count) * kOttRecordBytes + 8;
   if (data.size() != expected) {
     return Status::InvalidArgument(
         path + ": size mismatch (expected " + std::to_string(expected) +
@@ -328,7 +360,7 @@ Result<ObjectTrackingTable> ReadOttBinary(const std::string& path) {
         std::to_string(data.size()) + ")");
   }
   const std::string body =
-      data.substr(kHeaderBytes, count * kOttRecordBytes);
+      data.substr(kHeaderBytes, static_cast<size_t>(count) * kOttRecordBytes);
   const uint64_t stored_checksum =
       GetU64(data.data() + data.size() - 8);
   if (Fnv1a(body) != stored_checksum) {
@@ -347,6 +379,14 @@ Result<ObjectTrackingTable> ReadOttBinary(const std::string& path) {
   }
   INDOORFLOW_RETURN_IF_ERROR(table.Finalize(allow_overlap));
   return table;
+}
+
+Result<ObjectTrackingTable> ReadOttBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return ParseOttBinary(data, path);
 }
 
 }  // namespace indoorflow

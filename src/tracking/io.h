@@ -15,6 +15,7 @@
 #ifndef INDOORFLOW_TRACKING_IO_H_
 #define INDOORFLOW_TRACKING_IO_H_
 
+#include <istream>
 #include <string>
 #include <vector>
 
@@ -24,18 +25,30 @@
 
 namespace indoorflow {
 
+// Each Read* file reader delegates to a Parse* overload that consumes an
+// already-opened stream (or, for the binary format, a loaded buffer).
+// The Parse* forms exist so adversarial-input tests and the fuzz harnesses
+// in fuzz/ can drive the parsers without touching the filesystem; `path`
+// only labels error messages.
+
 Status WriteReadingsCsv(const std::vector<RawReading>& readings,
                         const std::string& path);
+Result<std::vector<RawReading>> ParseReadingsCsv(
+    std::istream& in, const std::string& path = "<input>");
 Result<std::vector<RawReading>> ReadReadingsCsv(const std::string& path);
 
 Status WriteOttCsv(const ObjectTrackingTable& table,
                    const std::string& path);
 /// Returns a finalized table.
+Result<ObjectTrackingTable> ParseOttCsv(
+    std::istream& in, const std::string& path = "<input>");
 Result<ObjectTrackingTable> ReadOttCsv(const std::string& path);
 
 Status WriteDeploymentCsv(const Deployment& deployment,
                           const std::string& path);
 /// Returns an indexed deployment.
+Result<Deployment> ParseDeploymentCsv(
+    std::istream& in, const std::string& path = "<input>");
 Result<Deployment> ReadDeploymentCsv(const std::string& path);
 
 /// Compact binary OTT: fixed 24-byte little-endian records behind a small
@@ -46,6 +59,8 @@ Result<Deployment> ReadDeploymentCsv(const std::string& path);
 Status WriteOttBinary(const ObjectTrackingTable& table,
                       const std::string& path);
 /// Returns a finalized table (overlap mode restored from the header).
+Result<ObjectTrackingTable> ParseOttBinary(
+    const std::string& data, const std::string& path = "<input>");
 Result<ObjectTrackingTable> ReadOttBinary(const std::string& path);
 
 }  // namespace indoorflow

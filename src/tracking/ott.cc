@@ -1,6 +1,7 @@
 #include "src/tracking/ott.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
@@ -31,8 +32,13 @@ Status ObjectTrackingTable::Finalize(bool allow_overlap) {
   size_t run_start = 0;
   for (size_t i = 0; i < n; ++i) {
     const TrackingRecord& cur = records_[static_cast<size_t>(chain_index_[i])];
-    if (cur.te < cur.ts) {
-      return Status::InvalidArgument("tracking record with te < ts");
+    // Written as !(te >= ts) so NaN timestamps are rejected too (every
+    // comparison against NaN is false, so `te < ts` alone lets them
+    // through — the binary reader can produce any bit pattern).
+    if (!(cur.te >= cur.ts) || !std::isfinite(cur.ts) ||
+        !std::isfinite(cur.te)) {
+      return Status::InvalidArgument(
+          "tracking record with non-finite interval or te < ts");
     }
     min_time_ = std::min(min_time_, cur.ts);
     max_time_ = std::max(max_time_, cur.te);

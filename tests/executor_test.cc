@@ -4,12 +4,17 @@
 // engine queries racing on a hot pool with forced intra-query parallelism.
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/common/executor.h"
+#include "src/common/log.h"
 #include "src/core/engine.h"
 #include "src/core/flow_matrix.h"
 #include "src/core/streaming.h"
@@ -27,6 +32,43 @@ TEST(ExecutorTest, ResolveThreads) {
   EXPECT_LE(hw, Executor::kMaxThreads);
   // All non-positive requests resolve the same way.
   EXPECT_EQ(Executor::ResolveThreads(-3), hw);
+}
+
+TEST(ExecutorTest, ThreadsFromEnvParsesStrictlyAndWarnsOnGarbage) {
+  const int hw = Executor::ResolveThreads(0);
+
+  // Valid values: positive integers (clamped), "0" = hardware request.
+  EXPECT_EQ(Executor::ThreadsFromEnv("1"), 1);
+  EXPECT_EQ(Executor::ThreadsFromEnv("7"), 7);
+  EXPECT_EQ(Executor::ThreadsFromEnv("99999"), Executor::kMaxThreads);
+  EXPECT_EQ(Executor::ThreadsFromEnv("0"), hw);
+  EXPECT_EQ(Executor::ThreadsFromEnv("  3"), 3);  // strtol leniency
+
+  // Unset / empty: hardware fallback without a warning.
+  EXPECT_EQ(Executor::ThreadsFromEnv(nullptr), hw);
+  EXPECT_EQ(Executor::ThreadsFromEnv(""), hw);
+
+  // Garbage must not be silently truncated to a prefix (the old atoi
+  // behavior) or silently ignored: it falls back to hardware concurrency
+  // and logs a structured warning naming the offending value.
+  const std::string path =
+      ::testing::TempDir() + "/indoorflow_executor_env.log";
+  std::remove(path.c_str());
+  ASSERT_TRUE(SetLogFile(path).ok());
+  SetLogFormat(LogFormat::kText);
+  SetLogLevel(LogLevel::kWarn);
+  for (const char* bad :
+       {"abc", "8x", "2.5", "-4", "999999999999999999999"}) {
+    EXPECT_EQ(Executor::ThreadsFromEnv(bad), hw) << bad;
+  }
+  SetLogLevel(LogLevel::kInfo);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string log = content.str();
+  EXPECT_NE(log.find("INDOORFLOW_THREADS"), std::string::npos) << log;
+  EXPECT_NE(log.find("value=abc"), std::string::npos) << log;
+  EXPECT_NE(log.find("value=-4"), std::string::npos) << log;
 }
 
 TEST(ExecutorTest, ParallelForVisitsEveryIndexExactlyOnce) {

@@ -27,6 +27,8 @@ TEST_P(TessellationSweep, CircleAreaAndContainment) {
   const int segments = std::get<1>(GetParam());
   const Circle c{{3.0, -2.0}, radius};
   const Polygon poly = TessellateCircle(c, segments);
+  ASSERT_TRUE(poly.CheckInvariants().ok())
+      << poly.CheckInvariants().message();
   // Inscribed n-gon area: n/2 * r^2 * sin(2π/n).
   const double expected =
       segments / 2.0 * radius * radius *
@@ -122,6 +124,8 @@ class CsgFuzz : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(CsgFuzz, ClassificationConservativeAndBoundsCover) {
   Rng rng(GetParam());
   const Region region = RandomCsg(rng, 3);
+  ASSERT_TRUE(region.CheckInvariants().ok())
+      << region.CheckInvariants().message();
   const Box bounds = region.Bounds();
   const Box domain{-15, -15, 15, 15};
   for (int i = 0; i < 2000; ++i) {
@@ -217,6 +221,8 @@ TEST_P(ClipAlgebra, RectPairProperties) {
   for (int trial = 0; trial < 30; ++trial) {
     const Polygon a = RandomRect(rng);
     const Polygon b = RandomRect(rng);
+    ASSERT_TRUE(a.CheckInvariants().ok()) << a.CheckInvariants().message();
+    ASSERT_TRUE(b.CheckInvariants().ok()) << b.CheckInvariants().message();
     const double ab = ClippedArea(a, b);
     // Commutative for convex pairs.
     EXPECT_NEAR(ab, ClippedArea(b, a), 1e-9);

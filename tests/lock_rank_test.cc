@@ -1,0 +1,144 @@
+// Lock-rank discipline tests (src/common/mutex.h).
+//
+// The death tests prove the runtime validator actually fires: acquiring
+// against the descending-rank order, or re-acquiring a held mutex, must
+// abort with a diagnostic naming both ranks. They skip themselves in
+// builds where the validator is compiled out (Release without sanitizers).
+//
+// The *Concurrency* suite stress-nests the sanctioned engine -> monitor ->
+// urcache -> metrics -> log chain from many threads at once; the TSan CI
+// job picks it up via `ctest -R "Concurrency"` and proves the discipline
+// holds under real interleavings.
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/mutex.h"
+
+namespace indoorflow {
+namespace {
+
+using lock_rank_internal::ValidatorEnabled;
+
+#define SKIP_WITHOUT_VALIDATOR()                                       \
+  if (!ValidatorEnabled()) {                                           \
+    GTEST_SKIP() << "lock-rank validator compiled out (Release build " \
+                    "without sanitizers)";                             \
+  }
+
+TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
+  SKIP_WITHOUT_VALIDATOR();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex log_mu(LockRank::kLog);
+        Mutex engine_mu(LockRank::kEngine);
+        MutexLock hold_log(log_mu);
+        MutexLock hold_engine(engine_mu);  // ascends: rank 7 while holding 0
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, EqualRankNestingAborts) {
+  SKIP_WITHOUT_VALIDATOR();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex shard_a(LockRank::kUrCache);
+        Mutex shard_b(LockRank::kUrCache);
+        MutexLock hold_a(shard_a);
+        MutexLock hold_b(shard_b);  // same rank: shards must never nest
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, RecursiveAcquisitionAborts) {
+  SKIP_WITHOUT_VALIDATOR();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu(LockRank::kMonitor);
+        mu.Lock();
+        mu.Lock();  // Mutex is non-recursive
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankTest, DescendingAcquisitionIsSanctioned) {
+  // The full ladder, top to bottom, on one thread: every step descends,
+  // so the validator must stay silent.
+  Mutex expo_mu(LockRank::kExpo);
+  Mutex engine_mu(LockRank::kEngine);
+  Mutex profile_mu(LockRank::kProfileRecorder);
+  Mutex monitor_mu(LockRank::kMonitor);
+  Mutex cache_mu(LockRank::kUrCache);
+  Mutex rtree_mu(LockRank::kRtree);
+  Mutex executor_mu(LockRank::kExecutor);
+  Mutex metrics_mu(LockRank::kMetrics);
+  Mutex log_mu(LockRank::kLog);
+  MutexLock l0(expo_mu);
+  MutexLock l1(engine_mu);
+  MutexLock l2(profile_mu);
+  MutexLock l3(monitor_mu);
+  MutexLock l4(cache_mu);
+  MutexLock l5(rtree_mu);
+  MutexLock l6(executor_mu);
+  MutexLock l7(metrics_mu);
+  MutexLock l8(log_mu);
+  SUCCEED();
+}
+
+TEST(LockRankTest, ReleaseThenReacquireAtHigherRankIsSanctioned) {
+  // The order constrains what is *held*, not the sequence of operations:
+  // after releasing the low-rank lock the thread may climb again.
+  Mutex monitor_mu(LockRank::kMonitor);
+  Mutex log_mu(LockRank::kLog);
+  { MutexLock lock(log_mu); }
+  { MutexLock lock(monitor_mu); }
+  { MutexLock lock(log_mu); }
+  SUCCEED();
+}
+
+TEST(LockRankTest, RankAccessorAndNames) {
+  Mutex mu(LockRank::kRtree);
+  EXPECT_EQ(mu.rank(), LockRank::kRtree);
+  EXPECT_STREQ(LockRankName(LockRank::kLog), "log");
+  EXPECT_STREQ(LockRankName(LockRank::kExpo), "expo");
+}
+
+// Shared chain nested in the sanctioned engine -> monitor -> urcache ->
+// metrics -> log order by every worker at once. TSan (and the validator)
+// watch the interleavings; any ordering bug here is a deadlock candidate
+// in the real engine -> monitor -> cache call path.
+TEST(LockRankConcurrencyTest, SanctionedNestingUnderContention) {
+  Mutex engine_mu(LockRank::kEngine);
+  Mutex monitor_mu(LockRank::kMonitor);
+  Mutex cache_mu(LockRank::kUrCache);
+  Mutex metrics_mu(LockRank::kMetrics);
+  Mutex log_mu(LockRank::kLog);
+  int shared = 0;
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 400;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        MutexLock engine_lock(engine_mu);
+        MutexLock monitor_lock(monitor_mu);
+        MutexLock cache_lock(cache_mu);
+        MutexLock metrics_lock(metrics_mu);
+        MutexLock log_lock(log_mu);
+        ++shared;
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(shared, kThreads * kIterations);
+}
+
+}  // namespace
+}  // namespace indoorflow

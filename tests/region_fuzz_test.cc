@@ -127,6 +127,8 @@ TEST_P(RegionFuzz, ContainsMatchesSetSemantics) {
   Rng rng(GetParam());
   const SampleRegion sample = RandomTree(rng, 1 + static_cast<int>(
                                                     rng.UniformInt(4ULL)));
+  ASSERT_TRUE(sample.region.CheckInvariants().ok())
+      << sample.region.CheckInvariants().message();
   for (int i = 0; i < 2000; ++i) {
     const Point p{rng.Uniform(-1.0, kDomain + 1.0),
                   rng.Uniform(-1.0, kDomain + 1.0)};
@@ -138,6 +140,8 @@ TEST_P(RegionFuzz, ContainsMatchesSetSemantics) {
 TEST_P(RegionFuzz, BoundsContainTheRegion) {
   Rng rng(GetParam() ^ 0x5555555555555555ULL);
   const SampleRegion sample = RandomTree(rng, 2);
+  ASSERT_TRUE(sample.region.CheckInvariants().ok())
+      << sample.region.CheckInvariants().message();
   if (sample.region.IsEmpty()) return;  // nothing to check
   const Box bounds = sample.region.Bounds();
   for (int i = 0; i < 2000; ++i) {

@@ -34,6 +34,17 @@ Checks (each can be skipped with --skip <name>):
                 Only the sink itself (log.cc) and the abort paths in
                 status.h — which must not depend on the sink being alive —
                 may touch stderr.
+  ranks         Every Mutex in src/ is constructed with an explicit
+                LockRank (src/common/mutex.h) so the debug validator and
+                the Clang acquired_before/after analysis can order it, and
+                raw std::mutex never appears outside the wrapper itself.
+  includes      Quote includes in src/ are repo-rooted (#include
+                "src/...") and point at files that exist, the src/ header
+                graph is acyclic, and — when compile_commands.json is
+                available (--compile-commands, default
+                <root>/build/compile_commands.json) — every src/ .cc is
+                listed there, i.e. actually built and visible to
+                clang-tidy and the thread-safety analysis.
   docs          Markdown under docs/ (plus README.md and ROADMAP.md) does
                 not rot: intra-repo links resolve, backticked repo paths
                 (src/..., docs/..., tools/..., ...) exist in the tree,
@@ -42,7 +53,8 @@ Checks (each can be skipped with --skip <name>):
                 (indoorflow_cli or a tools/*.py argparse flag).
 
 Usage:
-  tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER] [--skip CHECK]...
+  tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER]
+                           [--compile-commands FILE] [--skip CHECK]...
                            [CHECK ...]
 
 Naming checks positionally runs only those checks (e.g.
@@ -53,6 +65,7 @@ checks (0 = clean).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import subprocess
@@ -71,6 +84,7 @@ THREADING_ALLOWLIST = {
     "src/common/metrics.h",
     "src/common/metrics.cc",
     "src/common/mutex.h",
+    "src/common/mutex.cc",
     "src/common/thread_annotations.h",
     "src/core/engine.h",
     "src/core/engine.cc",
@@ -97,10 +111,13 @@ ATOMICS_ALLOWLIST = {
 }
 
 # Files allowed to write to stderr. log.cc owns the sink; status.h's abort
-# helpers must work even when the sink is torn down.
+# helpers must work even when the sink is torn down, and mutex.cc's
+# lock-rank violation path must not log (the sink holds a ranked lock of
+# its own — logging from the failure path could deadlock).
 STDERR_ALLOWLIST = {
     "src/common/log.h",
     "src/common/log.cc",
+    "src/common/mutex.cc",
     "src/common/status.h",
 }
 
@@ -176,6 +193,32 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
+def strip_comments(text: str) -> str:
+    """Blanks comments but keeps string literals, preserving line count.
+
+    check_includes needs this variant: the include path itself is a string
+    literal, which strip_comments_and_strings would blank out.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            end = n if end < 0 else end
+            i = end
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end < 0 else end
+            out.append("\n" * text.count("\n", i, end + 2))
+            i = end + 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
 def repo_files(root: str, subdirs: tuple[str, ...],
                exts: tuple[str, ...]) -> list[str]:
     found = []
@@ -230,7 +273,9 @@ def check_annotations(root: str, errors: list[str]) -> None:
             continue
         text = strip_comments_and_strings(
             open(os.path.join(root, path), encoding="utf-8").read())
-        if re.search(r"\b(?:std::mutex|Mutex)\s+\w+_?;", text):
+        # Ranked members look like `Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(...)
+        # = Mutex(LockRank::kX);`, so match only the declaration head.
+        if re.search(r"\b(?:std::mutex|Mutex)\s+\w+", text):
             if "INDOORFLOW_GUARDED_BY" not in text:
                 errors.append(
                     f"{path}: declares a mutex member but no "
@@ -303,13 +348,140 @@ def check_stderr(root: str, errors: list[str]) -> None:
                     "logging sink (src/common/log.h) instead")
 
 
+# --- ranks check ------------------------------------------------------------
+
+# The wrapper and its machinery are the only places allowed to name
+# std::mutex or construct a Mutex without a rank.
+RANKS_EXEMPT = {
+    "src/common/mutex.h",
+    "src/common/mutex.cc",
+    "src/common/thread_annotations.h",
+}
+
+# A Mutex variable/member declaration head. `\s+\w` keeps Mutex* / Mutex&
+# parameters and MutexLock out.
+MUTEX_DECL = re.compile(r"\bMutex\s+(\w+)")
+
+
+def check_ranks(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        if path in RANKS_EXEMPT:
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        for match in re.finditer(r"\bstd::mutex\b", text):
+            lineno = text.count("\n", 0, match.start()) + 1
+            errors.append(
+                f"{path}:{lineno}: raw std::mutex — use the rank-annotated "
+                "Mutex (src/common/mutex.h) so lock ordering is checked")
+        for match in MUTEX_DECL.finditer(text):
+            # The declaration span runs to the terminating ';' and must
+            # pick its position in the lock order explicitly.
+            end = text.find(";", match.end())
+            span = text[match.start():end if end >= 0 else len(text)]
+            if "LockRank::" not in span:
+                lineno = text.count("\n", 0, match.start()) + 1
+                errors.append(
+                    f"{path}:{lineno}: Mutex '{match.group(1)}' has no "
+                    "LockRank — construct it as Mutex(LockRank::k...) and "
+                    "add INDOORFLOW_ACQUIRED_BEFORE/AFTER fences (see "
+                    "docs/STATIC_ANALYSIS.md)")
+
+
+# --- includes check ---------------------------------------------------------
+
+INCLUDE_DIRECTIVE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"',
+                               re.MULTILINE)
+
+
+def check_includes(root: str, errors: list[str],
+                   compile_commands: str | None = None) -> None:
+    src_files = repo_files(root, ("src",), (".h", ".cc"))
+    header_deps: dict[str, list[str]] = {}
+    for path in src_files:
+        text = strip_comments(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        deps = []
+        for match in INCLUDE_DIRECTIVE.finditer(text):
+            target = match.group(1)
+            lineno = text.count("\n", 0, match.start()) + 1
+            if not target.startswith("src/"):
+                errors.append(
+                    f'{path}:{lineno}: #include "{target}" is not '
+                    "repo-rooted — quote includes in src/ start with src/ "
+                    "so every file compiles with only the repo root on the "
+                    "include path")
+                continue
+            if not os.path.exists(os.path.join(root, target)):
+                errors.append(
+                    f'{path}:{lineno}: #include "{target}" does not exist '
+                    "in the tree")
+                continue
+            deps.append(target)
+        if path.endswith(".h"):
+            header_deps[path] = [d for d in deps if d.endswith(".h")]
+
+    # Cycle detection over the src/ header graph (iterative DFS with a gray
+    # set; each cycle is reported once, at its first discovery).
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+    for start in sorted(header_deps):
+        if state.get(start):
+            continue
+        stack: list[tuple[str, int]] = [(start, 0)]
+        path_stack = []
+        while stack:
+            node, child = stack.pop()
+            if child == 0:
+                state[node] = 1
+                path_stack.append(node)
+            deps = header_deps.get(node, [])
+            advanced = False
+            for k in range(child, len(deps)):
+                dep = deps[k]
+                if state.get(dep) == 1:
+                    cycle = path_stack[path_stack.index(dep):] + [dep]
+                    errors.append(
+                        "header include cycle: " + " -> ".join(cycle))
+                elif not state.get(dep):
+                    stack.append((node, k + 1))
+                    stack.append((dep, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 2
+                path_stack.pop()
+
+    # Coverage: every src/ .cc must be in the compilation database, or the
+    # thread-safety analysis and clang-tidy silently skip it.
+    cc_path = compile_commands or os.path.join(root, "build",
+                                               "compile_commands.json")
+    if not os.path.exists(cc_path):
+        return  # nothing exported yet (fresh checkout): graph checks only
+    compiled: set[str] = set()
+    for entry in json.load(open(cc_path, encoding="utf-8")):
+        file_path = entry.get("file", "")
+        if not os.path.isabs(file_path):
+            file_path = os.path.join(entry.get("directory", ""), file_path)
+        try:
+            rel = os.path.relpath(os.path.realpath(file_path),
+                                  os.path.realpath(root))
+        except ValueError:
+            continue
+        compiled.add(rel)
+    for path in src_files:
+        if path.endswith(".cc") and path not in compiled:
+            errors.append(
+                f"{path}: missing from {os.path.relpath(cc_path, root)} — "
+                "add it to a CMake target so static analysis covers it")
+
+
 # --- docs check -------------------------------------------------------------
 
 # A backticked repo path like `src/core/engine.cc` (a ':' suffix such as
 # :289 naturally falls outside the character class, so cited line numbers
 # don't break existence checks).
 DOC_PATH_TOKEN = re.compile(
-    r"`((?:src|docs|tools|tests|bench|examples)/[\w./\-]+)")
+    r"`((?:src|docs|tools|tests|bench|examples|fuzz)/[\w./\-]+)")
 
 # Markdown inline link targets: [text](target). Anchors and web URLs are
 # skipped at the call site.
@@ -422,6 +594,8 @@ CHECKS = {
     "headers": check_headers,
     "threading": check_threading,
     "annotations": check_annotations,
+    "ranks": check_ranks,
+    "includes": check_includes,
     "status": check_status,
     "banned": check_banned,
     "atomics": check_atomics,
@@ -435,6 +609,10 @@ def main() -> int:
     parser.add_argument("--root", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
     parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
+    parser.add_argument("--compile-commands", default=None,
+                        help="compilation database for the includes "
+                             "coverage check (default: "
+                             "<root>/build/compile_commands.json)")
     parser.add_argument("--skip", action="append", default=[],
                         choices=sorted(CHECKS), help="skip one check")
     parser.add_argument("checks", nargs="*", metavar="CHECK",
@@ -457,6 +635,8 @@ def main() -> int:
         errors: list[str] = []
         if name == "headers":
             check(args.root, args.cxx, errors)
+        elif name == "includes":
+            check(args.root, errors, args.compile_commands)
         else:
             check(args.root, errors)
         if errors:

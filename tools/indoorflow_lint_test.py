@@ -146,6 +146,134 @@ class DocsCheckTest(unittest.TestCase):
             self.assertIn(expected, flags)
 
 
+class RanksCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "src", "core"))
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def ranks_errors(self):
+        errors = []
+        lint.check_ranks(self.root, errors)
+        return errors
+
+    def test_ranked_mutex_passes(self):
+        self.write("src/core/engine.h", (
+            "class Engine {\n"
+            "  Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExpo)\n"
+            "      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceEngine) =\n"
+            "          Mutex(LockRank::kEngine);\n"
+            "};\n"))
+        self.assertEqual(self.ranks_errors(), [])
+
+    def test_unranked_mutex_fails(self):
+        self.write("src/core/engine.h", "class E {\n  Mutex mu_;\n};\n")
+        errors = self.ranks_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("LockRank", errors[0])
+        self.assertIn("mu_", errors[0])
+
+    def test_raw_std_mutex_fails(self):
+        self.write("src/core/engine.cc", "static std::mutex g_mu;\n")
+        errors = self.ranks_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("std::mutex", errors[0])
+
+    def test_wrapper_files_exempt(self):
+        self.write("src/common/mutex.h", "class Mutex {\n  std::mutex mu_;\n"
+                                         "};\n")
+        self.write("src/common/mutex.cc", "// impl\n")
+        self.assertEqual(self.ranks_errors(), [])
+
+    def test_pointer_and_reference_params_ignored(self):
+        self.write("src/core/engine.h", (
+            "void Touch(Mutex* mu);\n"
+            "void Hold(Mutex& mu_ref);\n"
+            "MutexLock lock_helper();\n"))
+        self.assertEqual(self.ranks_errors(), [])
+
+    def test_commented_declaration_ignored(self):
+        self.write("src/core/engine.h", "// Mutex mu_; (historic)\n")
+        self.assertEqual(self.ranks_errors(), [])
+
+
+class IncludesCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "src", "core"))
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def includes_errors(self, compile_commands=None):
+        errors = []
+        lint.check_includes(self.root, errors, compile_commands)
+        return errors
+
+    def test_repo_rooted_includes_pass(self):
+        self.write("src/core/a.h", '#include "src/core/b.h"\n')
+        self.write("src/core/b.h", "// leaf\n")
+        self.assertEqual(self.includes_errors(), [])
+
+    def test_relative_include_fails(self):
+        self.write("src/core/a.h", '#include "b.h"\n')
+        self.write("src/core/b.h", "// leaf\n")
+        errors = self.includes_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("not repo-rooted", errors[0])
+
+    def test_missing_include_target_fails(self):
+        self.write("src/core/a.h", '#include "src/core/ghost.h"\n')
+        errors = self.includes_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("does not exist", errors[0])
+
+    def test_header_cycle_fails(self):
+        self.write("src/core/a.h", '#include "src/core/b.h"\n')
+        self.write("src/core/b.h", '#include "src/core/c.h"\n')
+        self.write("src/core/c.h", '#include "src/core/a.h"\n')
+        errors = self.includes_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("cycle", errors[0])
+        for name in ("src/core/a.h", "src/core/b.h", "src/core/c.h"):
+            self.assertIn(name, errors[0])
+
+    def test_angle_includes_ignored(self):
+        self.write("src/core/a.h", "#include <vector>\n#include <mutex>\n")
+        self.assertEqual(self.includes_errors(), [])
+
+    def test_compile_commands_coverage(self):
+        self.write("src/core/a.cc", "// built\n")
+        self.write("src/core/orphan.cc", "// never built\n")
+        cc = os.path.join(self.root, "cc.json")
+        with open(cc, "w", encoding="utf-8") as f:
+            f.write('[{"directory": "%s", "file": "src/core/a.cc", '
+                    '"command": "c++ -c src/core/a.cc"}]' % self.root)
+        errors = self.includes_errors(compile_commands=cc)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("src/core/orphan.cc", errors[0])
+
+    def test_missing_compile_commands_skips_coverage(self):
+        self.write("src/core/a.cc", "// built\n")
+        self.assertEqual(self.includes_errors(), [])
+
+
 class CheckSelectionTest(unittest.TestCase):
     """`indoorflow_lint.py docs` runs only the docs check."""
 
