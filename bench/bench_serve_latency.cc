@@ -1,0 +1,300 @@
+// Closed-loop multi-client latency driver for `indoorflow_cli serve`.
+//
+// Spawns N client threads, each issuing HTTP query requests back-to-back
+// (closed loop: the next request starts when the previous response lands),
+// classifies every response (200 ok / 503 shed / 504 deadline / other),
+// and reports client-observed latency percentiles of the successful
+// requests. Two CI modes share this binary (.github/workflows/ci.yml):
+//
+//   healthy:  offered load fits the queue; assert a minimum ok-count and
+//             gate p50/p99 against bench/baseline.json via
+//             tools/bench_compare.py (--json-out emits Google-Benchmark-
+//             style JSON rows BM_ServeLatency_p50 / _p99 for it).
+//   overload: offered load exceeds --queue-limit; assert the server sheds
+//             with structured 503s (--expect-shed) and still answers the
+//             requests it admits — never crashes or wedges.
+//
+// Deliberately dependency-free (plain POSIX sockets + std::thread, no
+// benchmark library): the driver must put pressure on the server, not on
+// its own harness, and it must keep building if the benchmark dependency
+// is unavailable.
+//
+// Exit status: 0 on success, 1 when an assertion (--expect-shed,
+// --min-ok) fails or responses are malformed, 2 on usage errors.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int clients = 4;
+  int requests = 50;  // per client
+  std::string endpoint = "/query/snapshot";
+  double t = 300.0;
+  int k = 5;
+  std::string algo = "join";
+  int deadline_ms = 1000;
+  std::string json_out;
+  bool expect_shed = false;
+  int min_ok = 0;
+};
+
+struct HttpReply {
+  int code = 0;  // 0 = transport failure
+  std::string body;
+};
+
+// One request over a fresh connection (the server is Connection: close).
+HttpReply SendRequest(const Options& options, const std::string& body) {
+  HttpReply reply;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return reply;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+              sizeof(addr)) < 0) {
+    close(fd);
+    return reply;
+  }
+  std::string request = "POST " + options.endpoint +
+                        " HTTP/1.1\r\nHost: " + options.host +
+                        "\r\nContent-Type: application/json\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = send(fd, request.data() + sent,
+                           request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close(fd);
+      return reply;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string data;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  // "HTTP/1.1 200 OK\r\n..." — the code sits after the first space.
+  if (data.size() < 12 || data.compare(0, 5, "HTTP/") != 0) return reply;
+  reply.code = std::atoi(data.c_str() + data.find(' ') + 1);
+  const size_t header_end = data.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    reply.body = data.substr(header_end + 4);
+  }
+  return reply;
+}
+
+int64_t NowNs() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+double PercentileNs(std::vector<int64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q / 100.0 * static_cast<double>(sorted_ns.size() - 1) + 0.5);
+  return static_cast<double>(
+      sorted_ns[std::min(index, sorted_ns.size() - 1)]);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_serve_latency --port P [--host H] [--clients N]\n"
+      "  [--requests N] [--endpoint /query/...] [--t T] [--k K]\n"
+      "  [--algo join|iterative] [--deadline-ms MS] [--json-out FILE]\n"
+      "  [--expect-shed 0|1] [--min-ok N]\n"
+      "Closed-loop latency/overload driver for 'indoorflow_cli serve';\n"
+      "--requests is per client. See docs/SERVING.md.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; i += 2) {
+    if (i + 1 >= argc) return Usage();
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--host") {
+      options.host = value;
+    } else if (key == "--port") {
+      options.port = std::atoi(value.c_str());
+    } else if (key == "--clients") {
+      options.clients = std::atoi(value.c_str());
+    } else if (key == "--requests") {
+      options.requests = std::atoi(value.c_str());
+    } else if (key == "--endpoint") {
+      options.endpoint = value;
+    } else if (key == "--t") {
+      options.t = std::atof(value.c_str());
+    } else if (key == "--k") {
+      options.k = std::atoi(value.c_str());
+    } else if (key == "--algo") {
+      options.algo = value;
+    } else if (key == "--deadline-ms") {
+      options.deadline_ms = std::atoi(value.c_str());
+    } else if (key == "--json-out") {
+      options.json_out = value;
+    } else if (key == "--expect-shed") {
+      options.expect_shed = value == "1" || value == "true";
+    } else if (key == "--min-ok") {
+      options.min_ok = std::atoi(value.c_str());
+    } else {
+      return Usage();
+    }
+  }
+  if (options.port <= 0 || options.clients <= 0 || options.requests <= 0) {
+    return Usage();
+  }
+
+  char body_buf[256];
+  std::snprintf(body_buf, sizeof(body_buf),
+                "{\"t\": %g, \"k\": %d, \"algo\": \"%s\", "
+                "\"deadline_ms\": %d}",
+                options.t, options.k, options.algo.c_str(),
+                options.deadline_ms);
+  const std::string body = body_buf;
+
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> deadline{0};
+  std::atomic<int64_t> failed{0};
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(options.clients));
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(options.clients));
+  for (int c = 0; c < options.clients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<int64_t>& mine = latencies[static_cast<size_t>(c)];
+      mine.reserve(static_cast<size_t>(options.requests));
+      for (int r = 0; r < options.requests; ++r) {
+        const int64_t start_ns = NowNs();
+        const HttpReply reply = SendRequest(options, body);
+        const int64_t elapsed_ns = NowNs() - start_ns;
+        if (reply.code == 200) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          mine.push_back(elapsed_ns);
+        } else if (reply.code == 503 &&
+                   reply.body.find("\"status\":\"shed\"") !=
+                       std::string::npos) {
+          shed.fetch_add(1, std::memory_order_relaxed);
+        } else if (reply.code == 504 &&
+                   reply.body.find("\"status\":\"deadline_exceeded\"") !=
+                       std::string::npos) {
+          deadline.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // Transport failures, unexpected codes, and 503/504s without
+          // the structured body all count as hard failures: under
+          // overload the server must shed *cleanly*.
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+
+  std::vector<int64_t> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = PercentileNs(all, 50.0);
+  const double p99 = PercentileNs(all, 99.0);
+  const int64_t total =
+      static_cast<int64_t>(options.clients) * options.requests;
+
+  std::printf(
+      "bench_serve_latency: %lld requests (%d clients x %d): "
+      "ok=%lld shed=%lld deadline=%lld failed=%lld\n",
+      static_cast<long long>(total), options.clients, options.requests,
+      static_cast<long long>(ok.load()),
+      static_cast<long long>(shed.load()),
+      static_cast<long long>(deadline.load()),
+      static_cast<long long>(failed.load()));
+  std::printf("latency p50=%.3f ms p99=%.3f ms (over %zu ok responses)\n",
+              p50 / 1e6, p99 / 1e6, all.size());
+
+  if (!options.json_out.empty()) {
+    FILE* f = std::fopen(options.json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_out.c_str());
+      return 2;
+    }
+    // Google-Benchmark-shaped rows so tools/bench_compare.py can gate the
+    // percentiles; Uppercase keys become drift-checked counters there,
+    // so outcome counts use lowercase (load-dependent, not deterministic).
+    std::fprintf(
+        f,
+        "{\n  \"context\": {\"executable\": \"bench_serve_latency\"},\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"BM_ServeLatency_p50\", \"run_name\": "
+        "\"BM_ServeLatency_p50\",\n"
+        "     \"run_type\": \"iteration\", \"iterations\": %zu,\n"
+        "     \"real_time\": %.1f, \"cpu_time\": %.1f, \"time_unit\": "
+        "\"ns\",\n"
+        "     \"ok\": %lld, \"shed\": %lld, \"deadline\": %lld},\n"
+        "    {\"name\": \"BM_ServeLatency_p99\", \"run_name\": "
+        "\"BM_ServeLatency_p99\",\n"
+        "     \"run_type\": \"iteration\", \"iterations\": %zu,\n"
+        "     \"real_time\": %.1f, \"cpu_time\": %.1f, \"time_unit\": "
+        "\"ns\",\n"
+        "     \"ok\": %lld, \"shed\": %lld, \"deadline\": %lld}\n"
+        "  ]\n}\n",
+        all.size(), p50, p50, static_cast<long long>(ok.load()),
+        static_cast<long long>(shed.load()),
+        static_cast<long long>(deadline.load()), all.size(), p99, p99,
+        static_cast<long long>(ok.load()),
+        static_cast<long long>(shed.load()),
+        static_cast<long long>(deadline.load()));
+    std::fclose(f);
+  }
+
+  int rc = 0;
+  if (failed.load() > 0) {
+    std::fprintf(stderr, "FAIL: %lld unstructured/transport failures\n",
+                 static_cast<long long>(failed.load()));
+    rc = 1;
+  }
+  if (options.expect_shed && shed.load() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: --expect-shed but no structured 503 arrived\n");
+    rc = 1;
+  }
+  if (ok.load() < options.min_ok) {
+    std::fprintf(stderr, "FAIL: only %lld ok responses, need %d\n",
+                 static_cast<long long>(ok.load()), options.min_ok);
+    rc = 1;
+  }
+  return rc;
+}

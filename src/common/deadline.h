@@ -1,0 +1,166 @@
+// Per-request execution control: deadlines and cooperative cancellation.
+//
+// The serving path (src/serve/query_service.cc) attaches a QueryControl to
+// each admitted request; the query kernels poll it between per-object work
+// items and abandon the query once the deadline passes or the caller
+// cancels. Abandonment is cooperative and best-effort — a check costs one
+// monotonic clock read, so kernels check per object / per join round, not
+// per arithmetic step — and the partial result of an aborted query is
+// discarded by the caller (QueryControl::Aborted() reports the fact).
+//
+// Concurrency: QueryControl is polled from every executor lane of a
+// parallel fan-out while the serving thread owns the deadline, and
+// CancelToken is flipped by a different thread than the one it stops, so
+// both keep their state in std::atomic rather than behind a Mutex — a
+// ranked lock in the per-object hot loop would serialize the fan-out it
+// is supposed to bound. Lock-free state is allowlisted in
+// tools/indoorflow_lint.py (ATOMICS_ALLOWLIST) and raced deliberately by
+// tests/serve_test.cc's ServeConcurrencyTest under the TSan CI job.
+//
+// The abort flag is sticky: once a poll observes expiry or cancellation,
+// every later poll returns true without reading the clock, and the first
+// cause wins (deadline vs. cancel) so the server can map it to 504 vs.
+// 503 deterministically.
+
+#ifndef INDOORFLOW_COMMON_DEADLINE_H_
+#define INDOORFLOW_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/metrics.h"  // MonotonicNowNs
+
+namespace indoorflow {
+
+/// A point on the monotonic clock after which work should be abandoned.
+/// Default-constructed deadlines are infinite (never expire), so plumbing
+/// a Deadline through a path that mostly doesn't use one costs nothing.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now (<= 0 is already expired).
+  static Deadline AfterMillis(int64_t ms) {
+    return AtNanos(MonotonicNowNs() + ms * 1'000'000);
+  }
+
+  /// Expires at absolute monotonic time `ns` (MonotonicNowNs units).
+  /// Useful when the deadline should start at request *arrival*, not at
+  /// the moment the worker got around to it.
+  static Deadline AtNanos(int64_t ns) {
+    Deadline d;
+    d.deadline_ns_ = ns;
+    return d;
+  }
+
+  bool is_infinite() const { return deadline_ns_ == kInfiniteNs; }
+
+  bool Expired() const {
+    return !is_infinite() && MonotonicNowNs() >= deadline_ns_;
+  }
+
+  /// Nanoseconds until expiry, clamped at 0; kInfiniteNs when infinite.
+  int64_t RemainingNanos() const {
+    if (is_infinite()) return kInfiniteNs;
+    const int64_t left = deadline_ns_ - MonotonicNowNs();
+    return left > 0 ? left : 0;
+  }
+
+  static constexpr int64_t kInfiniteNs =
+      std::numeric_limits<int64_t>::max();
+
+ private:
+  int64_t deadline_ns_ = kInfiniteNs;
+};
+
+/// A flag one thread sets to ask another to stop. Shared by address; the
+/// canceller keeps the token alive until the cancelled work has finished.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Why a query was abandoned (QueryControl::reason()).
+enum class AbortReason : int {
+  kNone = 0,
+  kDeadline = 1,   // the deadline passed mid-query
+  kCancelled = 2,  // the attached CancelToken fired
+};
+
+/// One query's abandonment state: a deadline, an optional cancellation
+/// token, and the sticky record of whether (and why) the query aborted.
+/// The engine threads a `const QueryControl*` through QueryContext; a null
+/// pointer (every pre-existing caller) short-circuits to "never abort".
+class QueryControl {
+ public:
+  QueryControl() = default;
+  explicit QueryControl(Deadline deadline,
+                        const CancelToken* cancel = nullptr)
+      : deadline_(deadline), cancel_(cancel) {}
+  QueryControl(const QueryControl&) = delete;
+  QueryControl& operator=(const QueryControl&) = delete;
+
+  /// The hot-loop poll: true once the query should stop. Sticky — after
+  /// the first true, later calls are one relaxed load. Safe to call
+  /// concurrently from every lane of a parallel fan-out.
+  bool ShouldAbort() const {
+    if (aborted_.load(std::memory_order_relaxed) !=
+        static_cast<int>(AbortReason::kNone)) {
+      return true;
+    }
+    if (cancel_ != nullptr && cancel_->Cancelled()) {
+      MarkAborted(AbortReason::kCancelled);
+      return true;
+    }
+    if (deadline_.Expired()) {
+      MarkAborted(AbortReason::kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// Whether any poll observed an abort condition. The caller that ran the
+  /// query checks this afterwards to discard the partial result.
+  bool Aborted() const {
+    return aborted_.load(std::memory_order_acquire) !=
+           static_cast<int>(AbortReason::kNone);
+  }
+
+  AbortReason reason() const {
+    return static_cast<AbortReason>(
+        aborted_.load(std::memory_order_acquire));
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  // First observed cause wins; a concurrent lane losing the CAS adopts the
+  // winner's reason, so reason() never flickers between causes.
+  void MarkAborted(AbortReason reason) const {
+    int expected = static_cast<int>(AbortReason::kNone);
+    aborted_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+  }
+
+  Deadline deadline_;
+  const CancelToken* cancel_ = nullptr;
+  mutable std::atomic<int> aborted_{static_cast<int>(AbortReason::kNone)};
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_DEADLINE_H_

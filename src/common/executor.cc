@@ -118,6 +118,10 @@ Executor::~Executor() {
   for (std::thread& t : workers_) t.join();
 }
 
+void Executor::Submit(std::function<void()> fn) {
+  Enqueue(std::move(fn));
+}
+
 void Executor::Enqueue(std::function<void()> fn) {
   {
     MutexLock lock(mu_);

@@ -90,6 +90,16 @@ class Executor {
   int ParallelFor(size_t n, int parallelism,
                   const std::function<void(size_t)>& fn);
 
+  /// Schedules `fn` to run exactly once on a pool worker, FIFO behind
+  /// whatever is already queued (including ParallelFor helper tasks).
+  /// Never blocks and never drops: tasks submitted before destruction are
+  /// completed during it. Unlike ParallelFor there is no completion wait —
+  /// callers needing one arrange it themselves (the serving layer counts
+  /// in-flight requests; see src/serve/query_service.cc). `fn` must not
+  /// block indefinitely: a worker stuck in one task is a worker the whole
+  /// process loses.
+  void Submit(std::function<void()> fn) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
  private:
   struct Task {
     std::function<void()> fn;

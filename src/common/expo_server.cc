@@ -6,7 +6,9 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/common/log.h"
@@ -16,16 +18,26 @@ namespace indoorflow {
 namespace {
 
 constexpr int kPollTimeoutMs = 200;
-constexpr size_t kMaxRequestBytes = 8192;
+// Caps: the header block is tiny for every legitimate client, and request
+// bodies are small JSON documents (the /query/* schema); anything larger
+// is rejected with 400 rather than buffered.
+constexpr size_t kMaxHeaderBytes = 8192;
+constexpr size_t kMaxBodyBytes = 65536;
 
 std::string StatusLine(int code) {
   switch (code) {
     case 200:
       return "HTTP/1.1 200 OK\r\n";
+    case 400:
+      return "HTTP/1.1 400 Bad Request\r\n";
     case 404:
       return "HTTP/1.1 404 Not Found\r\n";
     case 405:
       return "HTTP/1.1 405 Method Not Allowed\r\n";
+    case 503:
+      return "HTTP/1.1 503 Service Unavailable\r\n";
+    case 504:
+      return "HTTP/1.1 504 Gateway Timeout\r\n";
     default:
       return "HTTP/1.1 500 Internal Server Error\r\n";
   }
@@ -63,15 +75,76 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+// The Content-Length value from a raw header block, or -1 when absent or
+// malformed. Field names are case-insensitive (RFC 9110).
+long ContentLength(const std::string& headers) {
+  size_t pos = 0;
+  while (pos < headers.size()) {
+    size_t eol = headers.find("\r\n", pos);
+    if (eol == std::string::npos) eol = headers.size();
+    const std::string line = headers.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string name = line.substr(0, colon);
+      for (char& c : name) {
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (name == "content-length") {
+        errno = 0;
+        char* end = nullptr;
+        const long value = std::strtol(line.c_str() + colon + 1, &end, 10);
+        if (errno != 0 || end == line.c_str() + colon + 1 || value < 0) {
+          return -1;
+        }
+        return value;
+      }
+    }
+    pos = eol + 2;
+  }
+  return 0;  // no body
+}
+
 }  // namespace
+
+ExpoServer::Exchange::~Exchange() {
+  if (!responded_) {
+    // A handler dropped the exchange without answering (a bug or a shed
+    // path that forgot): close the conversation cleanly instead of
+    // leaving the client to its timeout.
+    SendAll(fd_, BuildResponse(
+                     500, "application/json",
+                     "{\"status\":\"error\",\"message\":"
+                     "\"handler sent no response\"}\n"));
+  }
+  close(fd_);
+}
+
+void ExpoServer::Exchange::Respond(const HttpResponse& response) {
+  if (responded_) return;
+  responded_ = true;
+  SendAll(fd_, BuildResponse(response.code, response.content_type,
+                             response.body));
+}
 
 ExpoServer::~ExpoServer() { Stop(); }
 
 void ExpoServer::Handle(std::string path, std::string content_type,
                         std::function<std::string()> producer) {
   if (listen_fd_ >= 0) return;  // running: route table is read-only
-  routes_.push_back(Route{std::move(path), std::move(content_type),
-                          std::move(producer)});
+  Route route;
+  route.path = std::move(path);
+  route.content_type = std::move(content_type);
+  route.producer = std::move(producer);
+  routes_.push_back(std::move(route));
+}
+
+void ExpoServer::HandleRequest(std::string path, RequestHandler handler) {
+  if (listen_fd_ >= 0) return;  // running: route table is read-only
+  Route route;
+  route.path = std::move(path);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
 }
 
 Status ExpoServer::Start(int port) {
@@ -96,7 +169,7 @@ Status ExpoServer::Start(int port) {
     return Status::Internal("bind(127.0.0.1:" + std::to_string(port) +
                             "): " + err);
   }
-  if (listen(fd, 8) < 0) {
+  if (listen(fd, 64) < 0) {
     const std::string err = std::strerror(errno);
     close(fd);
     return Status::Internal("listen(): " + err);
@@ -147,60 +220,111 @@ void ExpoServer::AcceptLoop() {
     if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
     const int conn = accept(listen_fd_, nullptr, nullptr);
     if (conn < 0) continue;
-    // Bound both directions so one slow or stalled scrape client can't
-    // wedge the single-threaded accept loop: recv/send past the deadline
-    // fail with EAGAIN and the connection is dropped.
+    // Bound both directions so one slow or stalled client can't wedge the
+    // single-threaded accept loop: recv/send past the deadline fail with
+    // EAGAIN and the connection is dropped. (For dispatched requests the
+    // send timeout bounds each send() block, not the time until the
+    // worker responds — that is the request deadline's job.)
     timeval io_timeout{};
     io_timeout.tv_sec = 5;
     setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &io_timeout,
                sizeof(io_timeout));
     setsockopt(conn, SOL_SOCKET, SO_SNDTIMEO, &io_timeout,
                sizeof(io_timeout));
+    // The Exchange owns `conn` from here: every exit path below responds
+    // (or drops silently for non-HTTP garbage) and the destructor closes.
     ServeConnection(conn);
-    close(conn);
   }
 }
 
 void ExpoServer::ServeConnection(int fd) {
+  ExchangePtr exchange(new Exchange(fd));
   // Read until the end of the request headers (or the size cap). Scrape
   // clients send the whole GET in one segment, so this is rarely >1 read.
-  std::string request;
+  std::string data;
   char buf[2048];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  size_t header_end = std::string::npos;
+  while (data.size() < kMaxHeaderBytes + kMaxBodyBytes) {
+    header_end = data.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (data.size() >= kMaxHeaderBytes) break;
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;  // interrupted read: resume
     if (n <= 0) break;  // peer closed, errored, or timed out
-    request.append(buf, static_cast<size_t>(n));
+    data.append(buf, static_cast<size_t>(n));
   }
-  const size_t line_end = request.find("\r\n");
-  if (line_end == std::string::npos) return;  // not HTTP; drop silently
-
+  if (header_end == std::string::npos) {
+    // Not HTTP (or oversized headers); drop without a response, as a
+    // scrape endpoint always has. The Exchange still closes the fd —
+    // marking it responded suppresses the destructor's 500.
+    exchange->responded_ = true;
+    return;
+  }
+  const size_t line_end = data.find("\r\n");
   // Request line: METHOD SP PATH SP VERSION.
-  const std::string line = request.substr(0, line_end);
+  const std::string line = data.substr(0, line_end);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = sp1 == std::string::npos ? std::string::npos
                                               : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) return;
-  const std::string method = line.substr(0, sp1);
-  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
-
-  if (method != "GET") {
-    SendAll(fd, BuildResponse(405, "text/plain; charset=utf-8",
-                              "method not allowed\n"));
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    exchange->responded_ = true;
     return;
   }
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t qmark = request.path.find('?');
+  if (qmark != std::string::npos) {
+    request.query = request.path.substr(qmark + 1);
+    request.path.resize(qmark);
+  }
+
+  // Body (POST): bounded by Content-Length, which must be sane.
+  const long want_body =
+      ContentLength(data.substr(line_end + 2, header_end - line_end - 2));
+  if (want_body < 0 || want_body > static_cast<long>(kMaxBodyBytes)) {
+    exchange->Respond(HttpResponse{
+        400, "application/json",
+        "{\"status\":\"error\",\"message\":\"bad content-length\"}\n"});
+    return;
+  }
+  const size_t body_start = header_end + 4;
+  while (data.size() - body_start < static_cast<size_t>(want_body)) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  if (data.size() - body_start < static_cast<size_t>(want_body)) {
+    exchange->responded_ = true;  // truncated body: drop like non-HTTP
+    return;
+  }
+  request.body = data.substr(body_start, static_cast<size_t>(want_body));
+
   for (const Route& route : routes_) {
-    if (route.path == path) {
-      SendAll(fd,
-              BuildResponse(200, route.content_type, route.producer()));
+    if (route.path != request.path) continue;
+    if (route.handler) {
+      if (request.method != "GET" && request.method != "POST") {
+        exchange->Respond(HttpResponse{
+            405, "application/json",
+            "{\"status\":\"error\",\"message\":\"method not allowed\"}"
+            "\n"});
+        return;
+      }
+      route.handler(request, std::move(exchange));
       return;
     }
+    if (request.method != "GET") {
+      exchange->Respond(HttpResponse{405, "text/plain; charset=utf-8",
+                                     "method not allowed\n"});
+      return;
+    }
+    exchange->Respond(
+        HttpResponse{200, route.content_type, route.producer()});
+    return;
   }
-  SendAll(fd,
-          BuildResponse(404, "text/plain; charset=utf-8", "not found\n"));
+  exchange->Respond(HttpResponse{404, "text/plain; charset=utf-8",
+                                 "not found\n"});
 }
 
 }  // namespace indoorflow

@@ -1,29 +1,40 @@
-// Minimal dependency-free HTTP/1.1 exposition server.
+// Minimal dependency-free HTTP/1.1 server for exposition and serving.
 //
 // Serves process introspection — Prometheus text metrics, health, and the
-// query-profile flight recorder — over plain POSIX sockets on 127.0.0.1.
-// The server knows nothing about what it serves: callers register exact
-// paths with a content type and a producer callback, and each GET invokes
-// the producer to render the current state. This keeps the common layer
-// free of core dependencies; tools/indoorflow_cli.cc wires /metrics,
-// /healthz, and /profiles/recent.
+// query-profile flight recorder — over plain POSIX sockets on 127.0.0.1,
+// plus registered request routes (the query-serving path). The server
+// knows nothing about what it serves: callers register exact paths either
+// with a producer callback (GET-only exposition: each GET renders the
+// current state) or with a request handler (GET/POST with bodies) that
+// receives the parsed request and an Exchange owning the connection. This
+// keeps the common layer free of core dependencies; tools/indoorflow_cli.cc
+// wires /metrics, /healthz, /profiles/recent, and src/serve/query_service.cc
+// wires /query/*.
 //
-// Intentionally not a web framework: GET only (anything else is 405),
-// exact-path matching after the query string is stripped (no routing
-// trees), one connection serviced at a time on a single background accept
-// thread, Connection: close on every response. That is all a scrape
-// endpoint needs, and it keeps the attack/review surface one file.
+// Intentionally not a web framework: exact-path matching after the query
+// string is stripped (no routing trees), producer routes are GET-only
+// (anything else is 405), request routes accept GET and POST, request
+// bodies are capped, Connection: close on every response. One connection
+// is *parsed* at a time on the single background accept thread; a request
+// handler may move its Exchange to another thread (the serving layer
+// dispatches onto the shared executor) so responses can complete
+// concurrently with later accepts — handlers themselves must return
+// quickly (admission decisions, not query work).
 //
 // Thread safety: handler registration must finish before Start(); after
 // that the route table is read-only. The accept loop's shutdown flag is
 // Mutex-guarded and polled between accepts, so Stop() joins within one
-// poll interval (~200 ms). Producers run on the server thread and must be
-// thread-safe themselves (the registry and recorder both are).
+// poll interval (~200 ms). Producers and handlers run on the server
+// thread and must be thread-safe themselves (the registry, recorder, and
+// QueryService all are). An Exchange is owned by one thread at a time
+// (accept thread, then whoever the handler hands it to); it is not
+// internally synchronized.
 
 #ifndef INDOORFLOW_COMMON_EXPO_SERVER_H_
 #define INDOORFLOW_COMMON_EXPO_SERVER_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -34,8 +45,49 @@
 
 namespace indoorflow {
 
+/// One parsed HTTP request as a request handler sees it.
+struct HttpRequest {
+  std::string method;  // "GET" or "POST" (anything else is rejected)
+  std::string path;    // query string stripped
+  std::string query;   // raw query string after '?' (may be empty)
+  std::string body;    // raw body bytes (empty for GET)
+};
+
+/// One response a request handler sends back.
+struct HttpResponse {
+  int code = 200;  // 200/400/404/405/500/503/504 (else rendered as 500)
+  std::string content_type = "application/json";
+  std::string body;
+};
+
 class ExpoServer {
  public:
+  /// Owns one accepted connection until the response is sent. Handlers
+  /// either Respond() inline on the accept thread or move the shared
+  /// pointer into a task that responds later; if the last reference drops
+  /// without a response, the destructor sends a 500 so the client never
+  /// hangs until its timeout. Not internally synchronized: one thread at
+  /// a time.
+  class Exchange {
+   public:
+    ~Exchange();
+    Exchange(const Exchange&) = delete;
+    Exchange& operator=(const Exchange&) = delete;
+
+    /// Sends the response and closes the connection. Only the first call
+    /// sends; repeats are no-ops.
+    void Respond(const HttpResponse& response);
+
+   private:
+    friend class ExpoServer;
+    explicit Exchange(int fd) : fd_(fd) {}
+    int fd_;
+    bool responded_ = false;
+  };
+  using ExchangePtr = std::shared_ptr<Exchange>;
+  using RequestHandler =
+      std::function<void(const HttpRequest&, ExchangePtr)>;
+
   ExpoServer() = default;
   ~ExpoServer();
   ExpoServer(const ExpoServer&) = delete;
@@ -47,12 +99,20 @@ class ExpoServer {
   void Handle(std::string path, std::string content_type,
               std::function<std::string()> producer);
 
+  /// Registers `handler` for GET/POST `path` (exact match, query string
+  /// stripped into HttpRequest::query). The handler runs on the accept
+  /// thread and must be quick; it may respond inline or move the Exchange
+  /// elsewhere. Same registration window as Handle().
+  void HandleRequest(std::string path, RequestHandler handler);
+
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()) and
   /// launches the accept thread. FailedPrecondition if already running;
   /// Internal on socket errors (port in use, ...).
   Status Start(int port);
 
   /// Stops the accept thread and closes the listening socket. Idempotent.
+  /// Exchanges already handed to other threads stay valid and may still
+  /// respond after Stop() returns (they own their connection fds).
   void Stop();
 
   /// The bound port, or 0 when not running.
@@ -62,7 +122,8 @@ class ExpoServer {
   struct Route {
     std::string path;
     std::string content_type;
-    std::function<std::string()> producer;
+    std::function<std::string()> producer;  // exposition route when set
+    RequestHandler handler;                 // request route when set
   };
 
   void AcceptLoop();

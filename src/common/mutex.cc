@@ -23,6 +23,8 @@ const char* LockRankName(LockRank rank) {
       return "profile_recorder";
     case LockRank::kEngine:
       return "engine";
+    case LockRank::kServe:
+      return "serve";
     case LockRank::kExpo:
       return "expo";
   }
@@ -44,7 +46,7 @@ bool ValidatorEnabled() {
 namespace {
 
 // Per-thread stack of held mutexes. Fixed capacity: the deepest sanctioned
-// chain is expo -> ... -> log (9 ranks), so 16 leaves slack for transient
+// chain is expo -> ... -> log (10 ranks), so 16 leaves slack for transient
 // same-thread re-entry bugs to still be reported rather than smash memory.
 constexpr int kMaxHeld = 16;
 

@@ -13,8 +13,8 @@
 // mutex it already holds has a strictly HIGHER rank. Acquisition therefore
 // descends the rank ladder
 //
-//   expo > engine > profile_recorder > monitor > urcache > rtree
-//        > executor > metrics > log
+//   expo > serve > engine > profile_recorder > monitor > urcache
+//        > rtree > executor > metrics > log
 //
 // so the low ranks (log, metrics) are leaves that any critical section may
 // enter, and the high ranks (engine, expo) are entry points that must be
@@ -78,7 +78,8 @@ enum class LockRank : int {
   kMonitor = 5,          // StreamingMonitor track table
   kProfileRecorder = 6,  // query-profile flight recorder
   kEngine = 7,           // QueryEngine POI-tree cache
-  kExpo = 8,             // exposition server accept loop
+  kServe = 8,            // QueryService admission queue (src/serve)
+  kExpo = 9,             // exposition server accept loop
 };
 
 /// "log", "metrics", ... (diagnostics; stable names for the rank table).
@@ -97,7 +98,8 @@ namespace lock_order {
 class INDOORFLOW_CAPABILITY("lock_rank_fence") RankFence {};
 
 inline RankFence kFenceExpo;
-inline RankFence kFenceEngine INDOORFLOW_ACQUIRED_AFTER(kFenceExpo);
+inline RankFence kFenceServe INDOORFLOW_ACQUIRED_AFTER(kFenceExpo);
+inline RankFence kFenceEngine INDOORFLOW_ACQUIRED_AFTER(kFenceServe);
 inline RankFence kFenceProfileRecorder
     INDOORFLOW_ACQUIRED_AFTER(kFenceEngine);
 inline RankFence kFenceMonitor

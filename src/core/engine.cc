@@ -268,7 +268,7 @@ QueryEngine::PoiSelection QueryEngine::SelectPois(
 std::vector<PoiFlow> QueryEngine::SnapshotTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
-    QueryProfile* profile) const {
+    QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats, profile,
                           recorder_);
   const PoiSelection selection = SelectPois(subset);
@@ -278,6 +278,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotTopK(
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   ctx.profile = profile;
+  ctx.control = control;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshot(ctx, poi_tree, ids, t, k);
@@ -305,7 +306,7 @@ std::vector<std::vector<PoiFlow>> QueryEngine::SnapshotTopKBatch(
 std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
-    QueryProfile* profile) const {
+    QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotDensityTopK", stats,
                           profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
@@ -315,6 +316,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   ctx.profile = profile;
+  ctx.control = control;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshotDensity(ctx, poi_tree, ids, t, k);
@@ -327,7 +329,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
 std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
-    QueryProfile* profile) const {
+    QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(IntervalMetrics(), "IntervalDensityTopK", stats,
                           profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
@@ -337,6 +339,7 @@ std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   ctx.profile = profile;
+  ctx.control = control;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeIntervalDensity(ctx, poi_tree, ids, ts, te, k);
@@ -371,7 +374,7 @@ std::vector<ObjectId> QueryEngine::ActiveObjects(Timestamp t) const {
 std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
     Timestamp t, double tau, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
-    QueryProfile* profile) const {
+    QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotThreshold", stats,
                           profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
@@ -381,6 +384,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   ctx.profile = profile;
+  ctx.control = control;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshotThreshold(ctx, poi_tree, ids, t, tau);
@@ -393,7 +397,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
 std::vector<PoiFlow> QueryEngine::IntervalThreshold(
     Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
-    QueryProfile* profile) const {
+    QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(IntervalMetrics(), "IntervalThreshold", stats,
                           profile, recorder_);
   const PoiSelection selection = SelectPois(subset);
@@ -403,6 +407,7 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   ctx.profile = profile;
+  ctx.control = control;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeIntervalThreshold(ctx, poi_tree, ids, ts, te, tau);
@@ -415,7 +420,7 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
 std::vector<PoiFlow> QueryEngine::IntervalTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
-    QueryProfile* profile) const {
+    QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats, profile,
                           recorder_);
   const PoiSelection selection = SelectPois(subset);
@@ -425,6 +430,7 @@ std::vector<PoiFlow> QueryEngine::IntervalTopK(
   QueryContext ctx = MakeContext();
   ctx.stats = stats;
   ctx.profile = profile;
+  ctx.control = control;
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeInterval(ctx, poi_tree, ids, ts, te, k);

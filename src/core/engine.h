@@ -100,7 +100,10 @@ class QueryEngine {
   /// when non-null, receives this query's EXPLAIN profile (per-POI
   /// prune/evaluate verdicts, object derivation costs, join bound trace —
   /// see src/core/query_profile.h); like `stats`, pass a distinct one per
-  /// thread.
+  /// thread. `control`, when non-null, attaches a per-request deadline /
+  /// cancellation token (src/common/deadline.h): the query polls it
+  /// between per-object work items and returns early once it trips —
+  /// check control->Aborted() afterwards and discard the partial result.
   ///
   /// Thread safety: safe to call concurrently with any other const method.
   /// Determinism: results are a pure function of the inputs — with
@@ -111,7 +114,8 @@ class QueryEngine {
   std::vector<PoiFlow> SnapshotTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
 
   /// Problem 2: the k POIs with the highest interval flow over [ts, te].
   /// Same thread-safety, determinism, and out-parameter contract as
@@ -119,7 +123,8 @@ class QueryEngine {
   std::vector<PoiFlow> IntervalTopK(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
 
   /// Threshold variants (an indoorflow extension over the paper's top-k):
   /// every query POI whose flow is at least `tau` (> 0), ordered by flow
@@ -130,11 +135,13 @@ class QueryEngine {
   std::vector<PoiFlow> SnapshotThreshold(
       Timestamp t, double tau, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
   std::vector<PoiFlow> IntervalThreshold(
       Timestamp ts, Timestamp te, double tau, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
 
   /// Runs one snapshot query per entry of `times`, fanned across the
   /// shared process-wide executor (src/common/executor.h) — queries are
@@ -156,11 +163,13 @@ class QueryEngine {
   std::vector<PoiFlow> SnapshotDensityTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
   std::vector<PoiFlow> IntervalDensityTopK(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
-      QueryStats* stats = nullptr, QueryProfile* profile = nullptr) const;
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
 
   /// Attaches a flight recorder: every subsequent query records a summary
   /// EXPLAIN profile (no per-object costs or join trace) into `recorder`

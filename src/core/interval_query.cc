@@ -69,6 +69,8 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
   UrCache* const shared_cache = ctx.ur_cache;
   const size_t serial_count = parallel ? 0 : chains.size();
   for (size_t c = 0; c < serial_count; ++c) {
+    // Cooperative abandonment, as in AllSnapshotFlows: one poll per chain.
+    if (QueryAborted(ctx)) break;
     const IntervalChain& chain = chains[c];
     Region ur;
     UrCache::PresenceMemoPtr memo;
@@ -241,6 +243,7 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
   spec.stats = ctx.stats;
   spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;
+  spec.control = ctx.control;
   std::vector<PoiFlow> result = run(spec);
   if (ctx.stats != nullptr) {
     const int64_t span = MonotonicNowNs() - join_start;

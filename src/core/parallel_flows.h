@@ -74,6 +74,12 @@ bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
   const int64_t fan_start = MonotonicNowNs();
   const int lanes = ctx.executor->ParallelFor(
       items.size(), ctx.threads, [&](size_t i) {
+        // Cooperative abandonment mid-fan-out: a tripped deadline/cancel
+        // poll leaves this tally untouched (derived=false, no candidates),
+        // so the ordered reduce books nothing for it. Every lane sees the
+        // sticky flag within one item, and the caller discards the
+        // partial flows once control->Aborted() reports the abort.
+        if (QueryAborted(ctx)) return;
         ParallelFlowTally& tally = tallies[i];
         const Item& item = items[i];
         tally.object = object_of(item);
@@ -230,6 +236,10 @@ MakeJoinPresenceBatch(
     const int64_t fan_start = MonotonicNowNs();
     const int lanes = ctx.executor->ParallelFor(
         slots.size(), ctx.threads, [&](size_t i) {
+          // Cooperative abandonment, as in ParallelAccumulateFlows: an
+          // untouched tally publishes nothing in phase 3, and the join's
+          // own per-round poll ends the traversal right after this batch.
+          if (QueryAborted(ctx)) return;
           JoinSlotTally& tally = tallies[i];
           const int32_t slot = slots[i];
           const Region* ur = views[i].ur;

@@ -208,6 +208,9 @@ void RunBestFirstJoin(const PriorityJoinSpec& spec, double min_priority,
 
   // Phase 3 (lines 19-48): best-first processing.
   while (!queue.empty()) {
+    // Cooperative abandonment: one sticky deadline/cancel poll per round
+    // (src/common/deadline.h); the caller discards the partial result.
+    if (spec.control != nullptr && spec.control->ShouldAbort()) return;
     QueueEntry entry = queue.Pop();
     // Heap order guarantees every remaining entry — bound or exact — is at
     // most entry.priority, so nothing left can reach min_priority.

@@ -19,6 +19,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/core/flow.h"
 #include "src/core/query_stats.h"
 #include "src/geometry/region.h"
@@ -70,6 +71,12 @@ struct PriorityJoinSpec {
   /// that subtree — usually far below 1, letting the best-first join stop
   /// earlier. Results are unchanged (the bound remains an upper bound).
   bool area_bounds = false;
+  /// Per-request deadline / cancellation (may be null = never abort). The
+  /// best-first loop polls it once per heap pop and returns early — with
+  /// whatever was already emitted — once it trips; the engine's caller
+  /// detects the abort via control->Aborted() and discards the partial
+  /// result.
+  const QueryControl* control = nullptr;
   /// Rank by crowd density Φ(p) / area(p) instead of raw flow (an
   /// indoorflow extension — "the most crowded POIs"). Bounds divide by the
   /// subtree's minimum POI area (the R_P min-value aggregate), so the

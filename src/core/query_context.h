@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/common/deadline.h"
 #include "src/core/flow.h"
 #include "src/core/query_stats.h"
 #include "src/core/uncertainty.h"
@@ -53,7 +54,21 @@ struct QueryContext {
   /// out; below it the scheduling overhead outweighs the win. See
   /// EngineConfig::parallel_threshold.
   int parallel_threshold = 64;
+  /// Per-request deadline / cancellation (may be null = never abort; see
+  /// src/common/deadline.h). The algorithms poll it between per-object
+  /// work items via QueryAborted() and abandon the query once it trips;
+  /// the caller checks control->Aborted() afterwards and discards the
+  /// partial result. Null for every caller that doesn't serve requests,
+  /// so the bit-identity and differential guarantees are untouched.
+  const QueryControl* control = nullptr;
 };
+
+/// The kernels' abort poll: false when no control is attached (the
+/// overwhelmingly common case — one pointer compare), else the sticky
+/// deadline/cancel check (see QueryControl::ShouldAbort).
+inline bool QueryAborted(const QueryContext& ctx) {
+  return ctx.control != nullptr && ctx.control->ShouldAbort();
+}
 
 }  // namespace indoorflow
 

@@ -83,6 +83,10 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
   std::vector<int32_t> candidates;
   const size_t serial_count = parallel ? 0 : states.size();
   for (size_t s = 0; s < serial_count; ++s) {  // lines 4-14
+    // Cooperative abandonment: one sticky deadline/cancel poll per object
+    // (src/common/deadline.h). The partial flows are discarded by the
+    // caller once control->Aborted() reports the abort.
+    if (QueryAborted(ctx)) break;
     const SnapshotState& state = states[s];
     Region ur;
     UrCache::PresenceMemoPtr memo;
@@ -257,6 +261,7 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
   spec.stats = ctx.stats;
   spec.profile = ctx.profile;
   spec.area_bounds = ctx.join_area_bounds;
+  spec.control = ctx.control;
   std::vector<PoiFlow> result = run(spec);
   if (ctx.stats != nullptr) {
     const int64_t span = MonotonicNowNs() - join_start;

@@ -1,0 +1,235 @@
+#include "src/serve/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace indoorflow {
+
+namespace {
+
+// Cursor over the input; every helper leaves `pos` just past what it
+// consumed.
+struct Cursor {
+  const std::string& text;
+  size_t pos = 0;
+
+  void SkipWs() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return pos >= text.size();
+  }
+  char Peek() { return pos < text.size() ? text[pos] : '\0'; }
+  bool Consume(char c) {
+    SkipWs();
+    if (Peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+Status Malformed(const Cursor& cur, const std::string& what) {
+  return Status::InvalidArgument("json: " + what + " at offset " +
+                                 std::to_string(cur.pos));
+}
+
+// One hex digit, or -1.
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Status ParseString(Cursor& cur, std::string* out) {
+  if (!cur.Consume('"')) return Malformed(cur, "expected string");
+  out->clear();
+  while (cur.pos < cur.text.size()) {
+    const char c = cur.text[cur.pos++];
+    if (c == '"') return Status::OK();
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (cur.pos >= cur.text.size()) break;
+    const char esc = cur.text[cur.pos++];
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (cur.pos + 4 > cur.text.size()) {
+          return Malformed(cur, "truncated \\u escape");
+        }
+        int code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const int digit = HexValue(cur.text[cur.pos + i]);
+          if (digit < 0) return Malformed(cur, "bad \\u escape");
+          code = code * 16 + digit;
+        }
+        cur.pos += 4;
+        // BMP code point -> UTF-8 (surrogate pairs are out of scope for a
+        // request schema of ASCII keys and algorithm names).
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default:
+        return Malformed(cur, "bad escape");
+    }
+  }
+  return Malformed(cur, "unterminated string");
+}
+
+Status ParseValue(Cursor& cur, JsonValue* out) {
+  cur.SkipWs();
+  const char c = cur.Peek();
+  if (c == '"') {
+    out->type = JsonValue::Type::kString;
+    return ParseString(cur, &out->string);
+  }
+  if (c == '{' || c == '[') {
+    return Malformed(cur,
+                     "nested objects/arrays unsupported (flat schema)");
+  }
+  if (cur.text.compare(cur.pos, 4, "true") == 0) {
+    cur.pos += 4;
+    out->type = JsonValue::Type::kBool;
+    out->boolean = true;
+    return Status::OK();
+  }
+  if (cur.text.compare(cur.pos, 5, "false") == 0) {
+    cur.pos += 5;
+    out->type = JsonValue::Type::kBool;
+    out->boolean = false;
+    return Status::OK();
+  }
+  if (cur.text.compare(cur.pos, 4, "null") == 0) {
+    cur.pos += 4;
+    out->type = JsonValue::Type::kNull;
+    return Status::OK();
+  }
+  // Number: delegate to strtod, then verify it consumed something sane.
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(cur.text.c_str() + cur.pos, &end);
+  if (end == cur.text.c_str() + cur.pos || errno == ERANGE) {
+    return Malformed(cur, "expected value");
+  }
+  cur.pos = static_cast<size_t>(end - cur.text.c_str());
+  out->type = JsonValue::Type::kNumber;
+  out->number = value;
+  return Status::OK();
+}
+
+// "%3A" -> ':', '+' -> ' '; malformed escapes pass through verbatim.
+std::string PercentDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexValue(s[i + 1]);
+      const int lo = HexValue(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<JsonObject> ParseFlatJsonObject(const std::string& text) {
+  Cursor cur{text};
+  JsonObject object;
+  if (!cur.Consume('{')) return Malformed(cur, "expected '{'");
+  if (!cur.Consume('}')) {
+    for (;;) {
+      std::string key;
+      INDOORFLOW_RETURN_IF_ERROR(ParseString(cur, &key));
+      if (!cur.Consume(':')) return Malformed(cur, "expected ':'");
+      JsonValue value;
+      INDOORFLOW_RETURN_IF_ERROR(ParseValue(cur, &value));
+      object[std::move(key)] = std::move(value);
+      if (cur.Consume(',')) continue;
+      if (cur.Consume('}')) break;
+      return Malformed(cur, "expected ',' or '}'");
+    }
+  }
+  if (!cur.AtEnd()) return Malformed(cur, "trailing garbage");
+  return object;
+}
+
+std::map<std::string, std::string> DecodeQueryString(
+    const std::string& query) {
+  std::map<std::string, std::string> params;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        params[PercentDecode(pair)] = "";
+      } else {
+        params[PercentDecode(pair.substr(0, eq))] =
+            PercentDecode(pair.substr(eq + 1));
+      }
+    }
+    pos = amp + 1;
+  }
+  return params;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace indoorflow

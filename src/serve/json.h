@@ -1,0 +1,52 @@
+// Request-parameter parsing for the query-serving path.
+//
+// The /query/* endpoints accept parameters either as a flat JSON object in
+// a POST body ({"t": 300, "k": 5, "algo": "join"}) or as a GET query
+// string (t=300&k=5&algo=join). Both parse into the same string-keyed
+// map so the service resolves parameters one way. The JSON parser is
+// deliberately minimal — scalars only, no nesting — because the request
+// schema is flat (docs/SERVING.md); nested values are rejected with
+// InvalidArgument rather than half-supported. No external dependency: the
+// repo serves JSON with hand-rolled rendering everywhere else too.
+
+#ifndef INDOORFLOW_SERVE_JSON_H_
+#define INDOORFLOW_SERVE_JSON_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace indoorflow {
+
+/// One scalar JSON value from a request body.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses a flat JSON object: `{}` or string keys mapped to scalar values
+/// (string / number / true / false / null). Duplicate keys keep the last
+/// value. InvalidArgument on malformed input, nested objects/arrays, or
+/// trailing garbage.
+Result<JsonObject> ParseFlatJsonObject(const std::string& text);
+
+/// Decodes an application/x-www-form-urlencoded query string ("a=1&b=x",
+/// no leading '?') into key -> percent-decoded value; '+' decodes to a
+/// space, keys without '=' map to "". Malformed percent escapes are kept
+/// verbatim (a scrape-friendly endpoint shouldn't 500 on a sloppy probe).
+std::map<std::string, std::string> DecodeQueryString(
+    const std::string& query);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_SERVE_JSON_H_

@@ -1,0 +1,453 @@
+#include "src/serve/query_service.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "src/common/deadline.h"
+#include "src/common/executor.h"
+#include "src/core/flow.h"
+#include "src/core/query_stats.h"
+#include "src/serve/json.h"
+
+namespace indoorflow {
+
+namespace {
+
+// Shortest-faithful double rendering: "%.17g" round-trips but prints
+// 0.30000000000000004-style noise for most values; try increasing
+// precision until the parse round-trips.
+std::string NumberJson(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+HttpResponse ErrorResponse(const std::string& message) {
+  HttpResponse response;
+  response.code = 400;
+  response.body = "{\"status\":\"error\",\"message\":\"" +
+                  JsonEscape(message) + "\"}\n";
+  return response;
+}
+
+// One request's parameters, whichever wire form they arrived in: a POST
+// body parses as flat JSON, a GET (or body-less POST) as a query string
+// whose values become kString and get converted on lookup.
+class Params {
+ public:
+  static Result<Params> FromRequest(const HttpRequest& request) {
+    Params params;
+    if (!request.body.empty()) {
+      auto parsed = ParseFlatJsonObject(request.body);
+      INDOORFLOW_RETURN_IF_ERROR(parsed.status());
+      params.values_ = std::move(parsed).value();
+    } else {
+      for (const auto& [key, value] : DecodeQueryString(request.query)) {
+        JsonValue json;
+        json.type = JsonValue::Type::kString;
+        json.string = value;
+        params.values_[key] = std::move(json);
+      }
+    }
+    return params;
+  }
+
+  bool Has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  /// Reads `key` as a double. OK whether present or not (`*found` says
+  /// which); InvalidArgument when present but not numeric.
+  Status GetDouble(const std::string& key, double* out,
+                   bool* found) const {
+    *found = false;
+    const auto it = values_.find(key);
+    if (it == values_.end()) return Status::OK();
+    const JsonValue& value = it->second;
+    if (value.type == JsonValue::Type::kNumber) {
+      *out = value.number;
+    } else if (value.type == JsonValue::Type::kString &&
+               !value.string.empty()) {
+      char* end = nullptr;
+      *out = std::strtod(value.string.c_str(), &end);
+      if (end != value.string.c_str() + value.string.size()) {
+        return Status::InvalidArgument("parameter '" + key +
+                                       "' is not a number");
+      }
+    } else {
+      return Status::InvalidArgument("parameter '" + key +
+                                     "' is not a number");
+    }
+    if (!std::isfinite(*out)) {
+      return Status::InvalidArgument("parameter '" + key +
+                                     "' is not finite");
+    }
+    *found = true;
+    return Status::OK();
+  }
+
+  /// GetDouble, then requires an exact integer value.
+  Status GetInt(const std::string& key, int64_t* out, bool* found) const {
+    double value = 0.0;
+    INDOORFLOW_RETURN_IF_ERROR(GetDouble(key, &value, found));
+    if (!*found) return Status::OK();
+    if (value != std::floor(value)) {
+      return Status::InvalidArgument("parameter '" + key +
+                                     "' is not an integer");
+    }
+    *out = static_cast<int64_t>(value);
+    return Status::OK();
+  }
+
+  Status GetString(const std::string& key, std::string* out,
+                   bool* found) const {
+    *found = false;
+    const auto it = values_.find(key);
+    if (it == values_.end()) return Status::OK();
+    if (it->second.type != JsonValue::Type::kString) {
+      return Status::InvalidArgument("parameter '" + key +
+                                     "' is not a string");
+    }
+    *out = it->second.string;
+    *found = true;
+    return Status::OK();
+  }
+
+  /// Rejects any key outside `known` — a typoed "deadline_m" should be a
+  /// 400, not a silently applied default.
+  Status CheckKnown(const std::vector<std::string>& known) const {
+    for (const auto& [key, value] : values_) {
+      bool ok = false;
+      for (const std::string& name : known) ok = ok || name == key;
+      if (!ok) {
+        return Status::InvalidArgument("unknown parameter '" + key + "'");
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  JsonObject values_;
+};
+
+enum class QueryKind { kSnapshot, kInterval };
+
+// One fully validated /query/* request, defaults and clamps applied.
+struct ParsedQuery {
+  QueryKind kind = QueryKind::kSnapshot;
+  Timestamp t = 0.0;
+  Timestamp ts = 0.0;
+  Timestamp te = 0.0;
+  int k = 0;
+  Algorithm algorithm = Algorithm::kJoin;
+  bool density = false;
+  int64_t deadline_ms = 0;
+};
+
+Status ParseQuery(const HttpRequest& request,
+                  const QueryServiceOptions& options, ParsedQuery* out) {
+  auto params_or = Params::FromRequest(request);
+  INDOORFLOW_RETURN_IF_ERROR(params_or.status());
+  const Params& params = params_or.value();
+  INDOORFLOW_RETURN_IF_ERROR(params.CheckKnown(
+      {"t", "ts", "te", "k", "algo", "metric", "deadline_ms"}));
+
+  const bool is_join_endpoint = request.path == "/query/join";
+  bool found = false;
+  if (request.path == "/query/snapshot" || is_join_endpoint) {
+    INDOORFLOW_RETURN_IF_ERROR(params.GetDouble("t", &out->t, &found));
+  }
+  if (found) {
+    out->kind = QueryKind::kSnapshot;
+    if (params.Has("ts") || params.Has("te")) {
+      return Status::InvalidArgument("pass either t or ts/te, not both");
+    }
+  } else if (request.path == "/query/interval" || is_join_endpoint) {
+    out->kind = QueryKind::kInterval;
+    bool found_ts = false;
+    bool found_te = false;
+    INDOORFLOW_RETURN_IF_ERROR(
+        params.GetDouble("ts", &out->ts, &found_ts));
+    INDOORFLOW_RETURN_IF_ERROR(
+        params.GetDouble("te", &out->te, &found_te));
+    if (!found_ts || !found_te) {
+      return Status::InvalidArgument(
+          is_join_endpoint ? "missing parameter: t (or ts and te)"
+                           : "missing parameter: ts and te are required");
+    }
+    if (out->te < out->ts) {
+      return Status::InvalidArgument("te must be >= ts");
+    }
+  } else {
+    return Status::InvalidArgument("missing parameter: t is required");
+  }
+
+  int64_t k = options.default_k;
+  INDOORFLOW_RETURN_IF_ERROR(params.GetInt("k", &k, &found));
+  if (k <= 0 || k > 1000000) {
+    return Status::InvalidArgument("k must be in [1, 1000000]");
+  }
+  out->k = static_cast<int>(k);
+
+  std::string algo = "join";
+  INDOORFLOW_RETURN_IF_ERROR(params.GetString("algo", &algo, &found));
+  if (algo == "join") {
+    out->algorithm = Algorithm::kJoin;
+  } else if (algo == "iterative") {
+    if (is_join_endpoint) {
+      return Status::InvalidArgument(
+          "/query/join always runs algo=join; use /query/snapshot or "
+          "/query/interval for algo=iterative");
+    }
+    out->algorithm = Algorithm::kIterative;
+  } else {
+    return Status::InvalidArgument("algo must be 'join' or 'iterative'");
+  }
+
+  std::string metric = "flow";
+  INDOORFLOW_RETURN_IF_ERROR(params.GetString("metric", &metric, &found));
+  if (metric == "flow") {
+    out->density = false;
+  } else if (metric == "density") {
+    out->density = true;
+  } else {
+    return Status::InvalidArgument("metric must be 'flow' or 'density'");
+  }
+
+  int64_t deadline_ms = options.default_deadline_ms;
+  INDOORFLOW_RETURN_IF_ERROR(
+      params.GetInt("deadline_ms", &deadline_ms, &found));
+  if (deadline_ms <= 0) {
+    return Status::InvalidArgument("deadline_ms must be > 0");
+  }
+  if (deadline_ms > options.max_deadline_ms) {
+    deadline_ms = options.max_deadline_ms;  // clamp, don't reject
+  }
+  out->deadline_ms = deadline_ms;
+  return Status::OK();
+}
+
+// The request-echo half of every response body: what ran, under what
+// deadline, for correlating responses with client-side settings.
+void AppendQueryEcho(const ParsedQuery& query, std::string* body) {
+  if (query.kind == QueryKind::kSnapshot) {
+    body->append(",\"t\":" + NumberJson(query.t));
+  } else {
+    body->append(",\"ts\":" + NumberJson(query.ts) +
+                 ",\"te\":" + NumberJson(query.te));
+  }
+  body->append(",\"k\":" + std::to_string(query.k));
+  body->append(query.algorithm == Algorithm::kJoin ? ",\"algo\":\"join\""
+                                                   : ",\"algo\":\"iterative\"");
+  body->append(query.density ? ",\"metric\":\"density\""
+                             : ",\"metric\":\"flow\"");
+  body->append(",\"deadline_ms\":" + std::to_string(query.deadline_ms));
+}
+
+HttpResponse DeadlineResponse(const ParsedQuery& query,
+                              int64_t arrival_ns) {
+  HttpResponse response;
+  response.code = 504;
+  response.body = "{\"status\":\"deadline_exceeded\"";
+  AppendQueryEcho(query, &response.body);
+  response.body.append(
+      ",\"elapsed_ms\":" +
+      NumberJson(static_cast<double>(MonotonicNowNs() - arrival_ns) /
+                 1e6) +
+      "}\n");
+  return response;
+}
+
+}  // namespace
+
+QueryService::QueryService(const QueryEngine* engine,
+                           QueryServiceOptions options)
+    : engine_(engine),
+      options_(options),
+      requests_(MetricsRegistry::Default().counter("serve.requests")),
+      admitted_(MetricsRegistry::Default().counter("serve.admitted")),
+      shed_(MetricsRegistry::Default().counter("serve.shed")),
+      deadline_exceeded_(
+          MetricsRegistry::Default().counter("serve.deadline_exceeded")),
+      queue_depth_(MetricsRegistry::Default().gauge("serve.queue_depth")),
+      latency_us_(
+          MetricsRegistry::Default().histogram("serve.latency_us")) {}
+
+QueryService::~QueryService() { Stop(); }
+
+void QueryService::RegisterRoutes(ExpoServer* server) {
+  for (const char* path :
+       {"/query/snapshot", "/query/interval", "/query/join"}) {
+    server->HandleRequest(
+        path, [this](const HttpRequest& request,
+                     ExpoServer::ExchangePtr exchange) {
+          Submit(request, [exchange](const HttpResponse& response) {
+            exchange->Respond(response);
+          });
+        });
+  }
+}
+
+void QueryService::Submit(const HttpRequest& request, Responder respond) {
+  requests_.Add();
+  const int64_t enqueue_ns = MonotonicNowNs();
+  enum class Decision { kAdmit, kShedStopping, kShedFull };
+  Decision decision = Decision::kAdmit;
+  int depth = 0;
+  {
+    MutexLock lock(mu_);
+    if (stopping_) {
+      decision = Decision::kShedStopping;
+      depth = inflight_;
+    } else if (inflight_ >= options_.queue_limit) {
+      decision = Decision::kShedFull;
+      depth = inflight_;
+    } else {
+      depth = ++inflight_;
+    }
+  }
+  // Respond outside the lock: the responder does socket IO.
+  if (decision != Decision::kAdmit) {
+    shed_.Add();
+    HttpResponse response;
+    response.code = 503;
+    response.body =
+        std::string("{\"status\":\"shed\",\"reason\":") +
+        (decision == Decision::kShedStopping ? "\"stopping\""
+                                             : "\"queue_full\"") +
+        ",\"queue_depth\":" + std::to_string(depth) +
+        ",\"queue_limit\":" + std::to_string(options_.queue_limit) +
+        "}\n";
+    respond(response);
+    return;
+  }
+  admitted_.Add();
+  queue_depth_.Set(depth);
+  // std::function requires copyable captures, so the request is copied
+  // into the task; it is small (capped body) and the accept thread must
+  // not block on the executor anyway.
+  Executor::Default().Submit(
+      [this, request, respond = std::move(respond), enqueue_ns]() {
+        RunAdmitted(request, respond, enqueue_ns);
+      });
+}
+
+void QueryService::RunAdmitted(const HttpRequest& request,
+                               const Responder& respond,
+                               int64_t enqueue_ns) {
+  const int64_t waited_ms =
+      (MonotonicNowNs() - enqueue_ns) / 1'000'000;
+  if (options_.max_queue_wait_ms > 0 &&
+      waited_ms > options_.max_queue_wait_ms) {
+    // Shed before computing: this request already sat in the queue past
+    // the wait cap, so serving it would only push every later request
+    // further past its own deadline.
+    shed_.Add();
+    HttpResponse response;
+    response.code = 503;
+    response.body =
+        "{\"status\":\"shed\",\"reason\":\"queue_wait\",\"waited_ms\":" +
+        std::to_string(waited_ms) + ",\"max_queue_wait_ms\":" +
+        std::to_string(options_.max_queue_wait_ms) + "}\n";
+    respond(response);
+  } else {
+    respond(Evaluate(request, enqueue_ns));
+  }
+  latency_us_.Record(
+      static_cast<double>(MonotonicNowNs() - enqueue_ns) / 1e3);
+  // The final decrement below is what releases Stop(), and Stop()'s caller
+  // may destroy this service immediately after — so nothing may touch
+  // *this* past the unlock. The gauge is owned by the process-wide
+  // registry and outlives any service, so it is bound before the
+  // decrement and updated after.
+  Gauge& queue_depth = queue_depth_;
+  int remaining = 0;
+  {
+    MutexLock lock(mu_);
+    remaining = --inflight_;
+    if (remaining == 0) idle_cv_.NotifyAll();
+  }
+  queue_depth.Set(remaining);
+}
+
+HttpResponse QueryService::Evaluate(const HttpRequest& request,
+                                    int64_t arrival_ns) {
+  ParsedQuery query;
+  const Status parse = ParseQuery(request, options_, &query);
+  if (!parse.ok()) return ErrorResponse(parse.message());
+
+  // The deadline is anchored at *arrival*: time spent queued counts
+  // against it, so a request that aged out while waiting fails fast here
+  // instead of computing an answer its client stopped waiting for.
+  const Deadline deadline =
+      Deadline::AtNanos(arrival_ns + query.deadline_ms * 1'000'000);
+  QueryControl control(deadline);
+  std::vector<PoiFlow> results;
+  if (!control.ShouldAbort()) {
+    QueryStats stats;
+    switch (query.kind) {
+      case QueryKind::kSnapshot:
+        results = query.density
+                      ? engine_->SnapshotDensityTopK(
+                            query.t, query.k, query.algorithm, nullptr,
+                            &stats, nullptr, &control)
+                      : engine_->SnapshotTopK(query.t, query.k,
+                                              query.algorithm, nullptr,
+                                              &stats, nullptr, &control);
+        break;
+      case QueryKind::kInterval:
+        results = query.density
+                      ? engine_->IntervalDensityTopK(
+                            query.ts, query.te, query.k, query.algorithm,
+                            nullptr, &stats, nullptr, &control)
+                      : engine_->IntervalTopK(query.ts, query.te, query.k,
+                                              query.algorithm, nullptr,
+                                              &stats, nullptr, &control);
+        break;
+    }
+  }
+  if (control.Aborted()) {
+    // Partial results are garbage by contract; never ship them.
+    deadline_exceeded_.Add();
+    return DeadlineResponse(query, arrival_ns);
+  }
+
+  const PoiSet& pois = engine_->pois();
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\"";
+  AppendQueryEcho(query, &response.body);
+  response.body.append(
+      ",\"elapsed_ms\":" +
+      NumberJson(static_cast<double>(MonotonicNowNs() - arrival_ns) /
+                 1e6));
+  response.body.append(",\"results\":[");
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) response.body.push_back(',');
+    const PoiFlow& flow = results[i];
+    response.body.append("{\"poi\":" + std::to_string(flow.poi));
+    if (flow.poi >= 0 && static_cast<size_t>(flow.poi) < pois.size()) {
+      response.body.append(",\"name\":\"" +
+                           JsonEscape(pois[static_cast<size_t>(flow.poi)]
+                                          .name) +
+                           "\"");
+    }
+    response.body.append(",\"flow\":" + NumberJson(flow.flow) + "}");
+  }
+  response.body.append("]}\n");
+  return response;
+}
+
+void QueryService::Stop() {
+  MutexLock lock(mu_);
+  stopping_ = true;
+  while (inflight_ > 0) idle_cv_.Wait(mu_);
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,130 @@
+// The production query-serving path: JSON query endpoints with per-request
+// deadlines, cooperative cancellation, and admission control.
+//
+// QueryService turns an ExpoServer from a read-only exposition endpoint
+// into a query server. It registers three request routes —
+//
+//   POST /query/snapshot  {"t": 300, "k": 5, "algo": "join", ...}
+//   POST /query/interval  {"ts": 200, "te": 400, "k": 5, ...}
+//   POST /query/join      snapshot or interval, join algorithm forced
+//
+// (GET with the same parameters as a query string also works) — and
+// resolves each admitted request onto the QueryEngine on the shared
+// process-wide executor, never on the accept thread. See docs/SERVING.md
+// for the full request/response schema and tuning guidance.
+//
+// Admission control happens BEFORE computing, in two stages:
+//   1. Depth shedding (accept thread): when `queue_limit` requests are
+//      already queued, the request is shed immediately with a structured
+//      503 — the queue never grows without bound.
+//   2. Wait shedding (worker, at dequeue): a request that sat queued
+//      longer than `max_queue_wait_ms` is shed with a 503 before any
+//      query work — under sustained overload the server does useful work
+//      for the requests it can still serve in time instead of burning
+//      cycles on ones whose clients have given up.
+// Each admitted request then runs under a Deadline anchored at its
+// *arrival* (src/common/deadline.h): the query kernels poll it between
+// per-object work items and abandon the query once it trips, and the
+// client gets a structured 504 instead of a late answer.
+//
+// Observability: the `serve.*` registry family — requests/admitted/shed/
+// deadline_exceeded counters, a queue-depth gauge, and an end-to-end
+// request-latency histogram (docs/OBSERVABILITY.md).
+//
+// Thread safety: Submit() may be called from any thread (the accept
+// thread in production); the bounded-queue accounting sits behind a
+// ranked Mutex (LockRank::kServe) held only for counter updates — never
+// across query execution. Stop() sheds new arrivals and blocks until
+// every admitted request has responded, so the engine and server always
+// outlive the work.
+
+#ifndef INDOORFLOW_SERVE_QUERY_SERVICE_H_
+#define INDOORFLOW_SERVE_QUERY_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/expo_server.h"
+#include "src/common/metrics.h"
+#include "src/common/mutex.h"
+#include "src/core/engine.h"
+
+namespace indoorflow {
+
+struct QueryServiceOptions {
+  /// Depth cap: requests arriving while this many are already admitted
+  /// but unfinished are shed with 503 "queue_full".
+  int queue_limit = 64;
+  /// Wait cap: an admitted request that waited longer than this before a
+  /// worker picked it up is shed with 503 "queue_wait" (shed before
+  /// computing). <= 0 disables wait shedding.
+  int64_t max_queue_wait_ms = 250;
+  /// Deadline applied when the request names none. Anchored at arrival.
+  int64_t default_deadline_ms = 1000;
+  /// Upper clamp on client-requested deadlines.
+  int64_t max_deadline_ms = 10000;
+  /// `k` when the request names none.
+  int default_k = 10;
+};
+
+class QueryService {
+ public:
+  /// Delivers one response; invoked exactly once per Submit(), on the
+  /// accept thread (shed) or an executor worker (everything else).
+  using Responder = std::function<void(const HttpResponse&)>;
+
+  /// `engine` must outlive the service (and every in-flight request —
+  /// Stop() guarantees that order).
+  QueryService(const QueryEngine* engine, QueryServiceOptions options);
+  ~QueryService();
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers /query/snapshot, /query/interval, and /query/join on
+  /// `server`. Call before ExpoServer::Start().
+  void RegisterRoutes(ExpoServer* server);
+
+  /// Admission control + dispatch for one request: shed (503, inline) or
+  /// enqueue onto the shared executor, where the request is parsed, run
+  /// under its deadline, and responded to. Thread-safe.
+  void Submit(const HttpRequest& request, Responder respond);
+
+  /// Sheds new arrivals from now on and blocks until every admitted
+  /// request has responded. Idempotent; called by the destructor.
+  void Stop();
+
+  /// Parses and runs one request synchronously with its deadline anchored
+  /// at `arrival_ns` (MonotonicNowNs units), bypassing admission control.
+  /// The worker path and tests share this; it books deadline_exceeded but
+  /// no queue metrics.
+  HttpResponse Evaluate(const HttpRequest& request, int64_t arrival_ns);
+
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  void RunAdmitted(const HttpRequest& request, const Responder& respond,
+                   int64_t enqueue_ns);
+
+  const QueryEngine* engine_;
+  QueryServiceOptions options_;
+
+  Counter& requests_;
+  Counter& admitted_;
+  Counter& shed_;
+  Counter& deadline_exceeded_;
+  Gauge& queue_depth_;
+  Histogram& latency_us_;
+
+  Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExpo)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceServe) =
+          Mutex(LockRank::kServe);
+  CondVar idle_cv_;
+  /// Admitted requests not yet responded to (queued + running).
+  int inflight_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+  bool stopping_ INDOORFLOW_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,439 @@
+// Tests for the query-serving path (src/serve/): request-parameter
+// parsing (flat JSON + query strings), QueryService's Evaluate contract
+// (200/400/504 with structured JSON), admission control and the
+// shed-vs-admitted metrics accounting, end-to-end HTTP through ExpoServer,
+// and a ServeConcurrencyTest suite — cancellation races and concurrent
+// overload — that runs under the TSan CI job (suite name matches its
+// -R "Concurrency" test filter).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/deadline.h"
+#include "src/common/expo_server.h"
+#include "src/common/metrics.h"
+#include "src/core/engine.h"
+#include "src/serve/json.h"
+#include "src/serve/query_service.h"
+#include "src/sim/generators.h"
+
+namespace indoorflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Request-parameter parsing (src/serve/json.h).
+
+TEST(ServeJsonTest, ParsesFlatObject) {
+  const auto result =
+      ParseFlatJsonObject("{\"t\": 300, \"algo\": \"join\", \"x\": true, "
+                          "\"y\": null}");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const JsonObject& object = *result;
+  EXPECT_EQ(object.at("t").type, JsonValue::Type::kNumber);
+  EXPECT_EQ(object.at("t").number, 300.0);
+  EXPECT_EQ(object.at("algo").type, JsonValue::Type::kString);
+  EXPECT_EQ(object.at("algo").string, "join");
+  EXPECT_EQ(object.at("x").type, JsonValue::Type::kBool);
+  EXPECT_TRUE(object.at("x").boolean);
+  EXPECT_EQ(object.at("y").type, JsonValue::Type::kNull);
+}
+
+TEST(ServeJsonTest, ParsesEmptyObjectAndEscapes) {
+  EXPECT_TRUE(ParseFlatJsonObject("{}").ok());
+  const auto result =
+      ParseFlatJsonObject("{\"s\": \"a\\\"b\\n\\u0041\"}");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->at("s").string, "a\"b\nA");
+}
+
+TEST(ServeJsonTest, RejectsNestedAndMalformed) {
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\": {\"b\": 1}}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\": [1, 2]}").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("not json").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\": }").ok());
+  EXPECT_FALSE(ParseFlatJsonObject("{\"a\"").ok());
+}
+
+TEST(ServeJsonTest, ParsesQueryString) {
+  const auto params = DecodeQueryString("t=300&algo=join&x=a%3Ab&y=1+2&z");
+  EXPECT_EQ(params.at("t"), "300");
+  EXPECT_EQ(params.at("algo"), "join");
+  EXPECT_EQ(params.at("x"), "a:b");
+  EXPECT_EQ(params.at("y"), "1 2");
+  EXPECT_EQ(params.at("z"), "");
+  EXPECT_TRUE(DecodeQueryString("").empty());
+}
+
+TEST(ServeJsonTest, EscapesJsonStrings) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---------------------------------------------------------------------------
+// QueryService fixtures.
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  ServeFixture() {
+    OfficeDatasetConfig config;
+    config.num_objects = 20;
+    config.duration = 600.0;
+    config.seed = 99;
+    dataset_ = GenerateOfficeDataset(config);
+    engine_ = std::make_unique<QueryEngine>(dataset_, EngineConfig{});
+  }
+
+  static HttpRequest Post(const std::string& path,
+                          const std::string& body) {
+    HttpRequest request;
+    request.method = "POST";
+    request.path = path;
+    request.body = body;
+    return request;
+  }
+
+  static HttpRequest Get(const std::string& path,
+                         const std::string& query) {
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    request.query = query;
+    return request;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<QueryEngine> engine_;
+};
+
+TEST_F(ServeFixture, EvaluateAnswersSnapshotPost) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  const HttpResponse response = service.Evaluate(
+      Post("/query/snapshot", "{\"t\": 300, \"k\": 3}"), MonotonicNowNs());
+  EXPECT_EQ(response.code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"t\":300"), std::string::npos);
+  EXPECT_NE(response.body.find("\"results\":[{\"poi\":"),
+            std::string::npos);
+}
+
+TEST_F(ServeFixture, EvaluateAnswersGetQueryString) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  const HttpResponse response = service.Evaluate(
+      Get("/query/interval", "ts=200&te=400&k=2&metric=density"),
+      MonotonicNowNs());
+  EXPECT_EQ(response.code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"metric\":\"density\""),
+            std::string::npos);
+}
+
+TEST_F(ServeFixture, EvaluateJoinEndpointTakesEitherForm) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  EXPECT_EQ(service.Evaluate(Post("/query/join", "{\"t\": 300}"),
+                             MonotonicNowNs())
+                .code,
+            200);
+  EXPECT_EQ(service.Evaluate(
+                    Post("/query/join", "{\"ts\": 200, \"te\": 400}"),
+                    MonotonicNowNs())
+                .code,
+            200);
+}
+
+TEST_F(ServeFixture, EvaluateRejectsBadRequests) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  const int64_t now = MonotonicNowNs();
+  const struct {
+    const char* path;
+    const char* body;
+  } bad[] = {
+      {"/query/snapshot", "{\"k\": 3}"},                 // missing t
+      {"/query/snapshot", "not json"},                   // malformed
+      {"/query/snapshot", "{\"t\": 300, \"bogus\": 1}"}, // unknown key
+      {"/query/snapshot", "{\"t\": 300, \"k\": 0}"},     // bad k
+      {"/query/snapshot", "{\"t\": 300, \"algo\": \"x\"}"},
+      {"/query/snapshot", "{\"t\": 300, \"metric\": \"x\"}"},
+      {"/query/snapshot", "{\"t\": 300, \"deadline_ms\": 0}"},
+      {"/query/snapshot", "{\"t\": 300, \"ts\": 1}"},    // both forms
+      {"/query/interval", "{\"ts\": 400, \"te\": 200}"}, // reversed
+      {"/query/interval", "{\"ts\": 200}"},              // missing te
+      {"/query/join", "{\"k\": 3}"},                     // no t, no ts/te
+      {"/query/join", "{\"t\": 300, \"algo\": \"iterative\"}"},
+  };
+  for (const auto& request : bad) {
+    const HttpResponse response =
+        service.Evaluate(Post(request.path, request.body), now);
+    EXPECT_EQ(response.code, 400)
+        << request.path << " " << request.body << " -> " << response.body;
+    EXPECT_NE(response.body.find("\"status\":\"error\""),
+              std::string::npos);
+  }
+}
+
+TEST_F(ServeFixture, EvaluateExpiredArrivalReturnsStructured504) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  Counter& exceeded =
+      MetricsRegistry::Default().counter("serve.deadline_exceeded");
+  const int64_t before = exceeded.value();
+  // Arrival two seconds ago with the default 1000 ms deadline: expired
+  // before any engine work starts.
+  const HttpResponse response =
+      service.Evaluate(Post("/query/snapshot", "{\"t\": 300}"),
+                       MonotonicNowNs() - 2'000'000'000);
+  EXPECT_EQ(response.code, 504) << response.body;
+  EXPECT_NE(response.body.find("\"status\":\"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_EQ(exceeded.value(), before + 1);
+}
+
+TEST_F(ServeFixture, SubmitShedsInlineWhenQueueFull) {
+  QueryServiceOptions options;
+  options.queue_limit = 0;  // everything sheds at the door
+  QueryService service(engine_.get(), options);
+  Counter& requests = MetricsRegistry::Default().counter("serve.requests");
+  Counter& admitted = MetricsRegistry::Default().counter("serve.admitted");
+  Counter& shed = MetricsRegistry::Default().counter("serve.shed");
+  const int64_t requests_before = requests.value();
+  const int64_t admitted_before = admitted.value();
+  const int64_t shed_before = shed.value();
+
+  HttpResponse captured;
+  bool responded = false;
+  service.Submit(Post("/query/snapshot", "{\"t\": 300}"),
+                 [&](const HttpResponse& response) {
+                   captured = response;
+                   responded = true;
+                 });
+  // queue_limit 0 sheds synchronously on the submitting thread.
+  ASSERT_TRUE(responded);
+  EXPECT_EQ(captured.code, 503);
+  EXPECT_NE(captured.body.find("\"status\":\"shed\""), std::string::npos);
+  EXPECT_NE(captured.body.find("\"reason\":\"queue_full\""),
+            std::string::npos);
+  EXPECT_EQ(requests.value(), requests_before + 1);
+  EXPECT_EQ(admitted.value(), admitted_before);
+  EXPECT_EQ(shed.value(), shed_before + 1);
+}
+
+TEST_F(ServeFixture, SubmitAfterStopShedsWithStoppingReason) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  service.Stop();
+  HttpResponse captured;
+  service.Submit(Post("/query/snapshot", "{\"t\": 300}"),
+                 [&](const HttpResponse& response) { captured = response; });
+  EXPECT_EQ(captured.code, 503);
+  EXPECT_NE(captured.body.find("\"reason\":\"stopping\""),
+            std::string::npos);
+}
+
+TEST_F(ServeFixture, AdmittedRequestsRunOnExecutorAndDrainOnStop) {
+  QueryServiceOptions options;
+  options.max_queue_wait_ms = 0;  // disable wait shedding: exact counts
+  QueryService service(engine_.get(), options);
+  Counter& requests = MetricsRegistry::Default().counter("serve.requests");
+  Counter& admitted = MetricsRegistry::Default().counter("serve.admitted");
+  Counter& shed = MetricsRegistry::Default().counter("serve.shed");
+  const int64_t requests_before = requests.value();
+  const int64_t admitted_before = admitted.value();
+  const int64_t shed_before = shed.value();
+
+  constexpr int kRequests = 8;
+  std::atomic<int> ok{0};
+  std::atomic<int> other{0};
+  for (int i = 0; i < kRequests; ++i) {
+    service.Submit(Post("/query/snapshot", "{\"t\": 300, \"k\": 3}"),
+                   [&](const HttpResponse& response) {
+                     (response.code == 200 ? ok : other)
+                         .fetch_add(1, std::memory_order_relaxed);
+                   });
+  }
+  service.Stop();  // blocks until every admitted request responded
+
+  EXPECT_EQ(ok.load(), kRequests);
+  EXPECT_EQ(other.load(), 0);
+  // Accounting identity: every request was admitted or shed, exactly once.
+  EXPECT_EQ(requests.value(), requests_before + kRequests);
+  EXPECT_EQ(admitted.value(), admitted_before + kRequests);
+  EXPECT_EQ(shed.value(), shed_before);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over real sockets.
+
+// Minimal blocking HTTP exchange against 127.0.0.1:port.
+std::string SendHttp(int port, const std::string& method,
+                     const std::string& target, const std::string& body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = method + " " + target +
+                        " HTTP/1.1\r\nHost: localhost\r\n"
+                        "Content-Length: " +
+                        std::to_string(body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + body;
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ServeFixture, EndToEndHttpQueryRoundTrip) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  ExpoServer server;
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const std::string ok_response = SendHttp(
+      server.port(), "POST", "/query/snapshot", "{\"t\": 300, \"k\": 3}");
+  EXPECT_NE(ok_response.find("HTTP/1.1 200 OK"), std::string::npos)
+      << ok_response;
+  EXPECT_NE(ok_response.find("\"status\":\"ok\""), std::string::npos);
+
+  const std::string get_response =
+      SendHttp(server.port(), "GET", "/query/snapshot?t=300&k=2", "");
+  EXPECT_NE(get_response.find("HTTP/1.1 200 OK"), std::string::npos)
+      << get_response;
+
+  const std::string bad_response =
+      SendHttp(server.port(), "POST", "/query/snapshot", "nonsense");
+  EXPECT_NE(bad_response.find("HTTP/1.1 400 Bad Request"),
+            std::string::npos)
+      << bad_response;
+
+  const std::string wrong_method =
+      SendHttp(server.port(), "DELETE", "/query/snapshot", "");
+  EXPECT_NE(wrong_method.find("HTTP/1.1 405"), std::string::npos);
+
+  server.Stop();
+  service.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency suite (runs under the TSan CI job's -R "Concurrency").
+
+class ServeConcurrencyTest : public ServeFixture {};
+
+TEST_F(ServeConcurrencyTest, CancelRacesQueryWithoutDataRace) {
+  // One thread runs queries under a control while another cancels it
+  // mid-flight: TSan validates the token/flag synchronization; the query
+  // must return (no wedge) with either a complete or an aborted result.
+  for (int round = 0; round < 4; ++round) {
+    CancelToken token;
+    QueryControl control(Deadline::Infinite(), &token);
+    std::thread canceller([&token] { token.Cancel(); });
+    engine_->IntervalTopK(0.0, 600.0, 10, Algorithm::kIterative, nullptr,
+                          nullptr, nullptr, &control);
+    canceller.join();
+    // Cancellation raced the query: whichever way it landed, the sticky
+    // record must agree with the poll from this thread.
+    EXPECT_EQ(control.Aborted(), control.ShouldAbort());
+  }
+}
+
+TEST_F(ServeConcurrencyTest, ParallelFanOutObservesConcurrentCancel) {
+  EngineConfig config;
+  config.threads = 4;
+  config.parallel_threshold = 1;
+  QueryEngine parallel_engine(dataset_, config);
+  for (int round = 0; round < 4; ++round) {
+    CancelToken token;
+    QueryControl control(Deadline::Infinite(), &token);
+    std::thread canceller([&token] { token.Cancel(); });
+    parallel_engine.IntervalTopK(0.0, 600.0, 10, Algorithm::kIterative,
+                                 nullptr, nullptr, nullptr, &control);
+    canceller.join();
+    EXPECT_EQ(control.Aborted(), control.ShouldAbort());
+  }
+}
+
+TEST_F(ServeConcurrencyTest, ConcurrentOverloadShedsCleanly) {
+  QueryServiceOptions options;
+  options.queue_limit = 2;
+  options.max_queue_wait_ms = 0;  // depth shedding only: exact accounting
+  QueryService service(engine_.get(), options);
+  Counter& requests = MetricsRegistry::Default().counter("serve.requests");
+  Counter& admitted = MetricsRegistry::Default().counter("serve.admitted");
+  Counter& shed = MetricsRegistry::Default().counter("serve.shed");
+  const int64_t requests_before = requests.value();
+  const int64_t admitted_before = admitted.value();
+  const int64_t shed_before = shed.value();
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<int> ok{0};
+  std::atomic<int> shed_responses{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int thread_index = 0; thread_index < kThreads; ++thread_index) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        service.Submit(Post("/query/snapshot", "{\"t\": 300, \"k\": 3}"),
+                       [&](const HttpResponse& response) {
+                         if (response.code == 200) {
+                           ok.fetch_add(1, std::memory_order_relaxed);
+                         } else if (response.code == 503) {
+                           shed_responses.fetch_add(
+                               1, std::memory_order_relaxed);
+                         } else {
+                           other.fetch_add(1, std::memory_order_relaxed);
+                         }
+                       });
+      }
+    });
+  }
+  for (std::thread& thread : submitters) thread.join();
+  service.Stop();
+
+  constexpr int kTotal = kThreads * kPerThread;
+  // Every request got exactly one response, none of them a crash or an
+  // unstructured error, and the metrics agree with the responses.
+  EXPECT_EQ(ok.load() + shed_responses.load() + other.load(), kTotal);
+  EXPECT_EQ(other.load(), 0);
+  EXPECT_GT(ok.load(), 0);  // the admitted trickle still gets answers
+  EXPECT_EQ(requests.value(), requests_before + kTotal);
+  EXPECT_EQ(admitted.value() - admitted_before, ok.load());
+  EXPECT_EQ(shed.value() - shed_before, shed_responses.load());
+
+  // The service must come out of overload still able to answer.
+  EXPECT_EQ(service
+                .Evaluate(Post("/query/snapshot", "{\"t\": 300}"),
+                          MonotonicNowNs())
+                .code,
+            200);
+}
+
+}  // namespace
+}  // namespace indoorflow

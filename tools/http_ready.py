@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Block until an HTTP endpoint answers 200, or exit non-zero.
+
+CI readiness poll for `indoorflow_cli serve`: replaces `sleep N` (which is
+both too slow on fast runners and too fast on cold ones) with bounded
+retries against /healthz:
+
+  ./build/tools/indoorflow_cli serve --data D --port 9464 ... &
+  python3 tools/http_ready.py http://127.0.0.1:9464/healthz --timeout 30
+
+Exit status: 0 once the URL answers 200, 1 when --timeout elapses first,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("url", help="URL that must answer 200 (e.g. "
+                                    "http://127.0.0.1:9464/healthz)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="overall budget in seconds (default 30)")
+    parser.add_argument("--interval", type=float, default=0.2,
+                        help="pause between attempts in seconds "
+                             "(default 0.2)")
+    args = parser.parse_args()
+    if args.timeout <= 0 or args.interval <= 0:
+        parser.error("--timeout and --interval must be > 0")
+
+    deadline = time.monotonic() + args.timeout
+    attempts = 0
+    last_error = "no attempt completed"
+    while time.monotonic() < deadline:
+        attempts += 1
+        try:
+            # Per-attempt timeout stays inside the overall budget so one
+            # hung connect can't eat every retry.
+            per_attempt = max(0.1, min(5.0,
+                                       deadline - time.monotonic()))
+            with urllib.request.urlopen(args.url,
+                                        timeout=per_attempt) as response:
+                if response.status == 200:
+                    print(f"{args.url} ready after {attempts} attempt(s)")
+                    return 0
+                last_error = f"HTTP {response.status}"
+        except (urllib.error.URLError, OSError) as error:
+            last_error = str(error)
+        time.sleep(args.interval)
+    print(f"{args.url} not ready within {args.timeout:g}s "
+          f"({attempts} attempts; last error: {last_error})",
+          file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

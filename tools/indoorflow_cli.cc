@@ -53,6 +53,7 @@
 #include "src/common/metrics.h"
 #include "src/core/engine.h"
 #include "src/core/query_profile.h"
+#include "src/serve/query_service.h"
 #include "src/core/flow_matrix.h"
 #include "src/core/itinerary.h"
 #include "src/core/timeline.h"
@@ -699,27 +700,50 @@ int CmdRender(Flags& flags) {
   return 0;
 }
 
-// Long-running exposition process over one dataset: starts the HTTP
-// exposition server with a profile flight recorder attached, then replays
-// a rolling probe workload over the observation span so /metrics and
-// /profiles/recent stay live. --duration 0 serves until killed; CI passes
-// a bounded duration and curls the endpoints meanwhile.
+// Long-running query-serving process over one dataset: starts the HTTP
+// server with the /query/* endpoints (QueryService: deadlines, admission
+// control) plus the exposition routes, with a profile flight recorder
+// attached, and by default replays a rolling probe workload over the
+// observation span so /metrics and /profiles/recent stay live even with
+// no clients. --duration 0 serves until killed; CI passes a bounded
+// duration and exercises the endpoints meanwhile. docs/SERVING.md covers
+// the endpoint schema and the admission-control knobs.
 int CmdServe(Flags& flags) {
   const int port = flags.GetInt("port", 0);
   const double duration = flags.GetDouble("duration", 0.0);
   const double interval = flags.GetDouble("interval", 0.25);
   const int k = flags.GetInt("k", 10);
+  QueryServiceOptions service_options;
+  service_options.queue_limit =
+      flags.GetInt("queue-limit", service_options.queue_limit);
+  service_options.max_queue_wait_ms = flags.GetInt(
+      "max-queue-wait-ms",
+      static_cast<int>(service_options.max_queue_wait_ms));
+  service_options.default_deadline_ms = flags.GetInt(
+      "deadline-ms", static_cast<int>(service_options.default_deadline_ms));
+  const std::string probe = flags.GetOr("probe", "on");
   auto bundle = MakeEngine(flags);
   if (!bundle.ok()) return Fail(bundle.status().ToString());
   if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
   if (interval <= 0.0) return Fail("--interval must be > 0");
+  if (probe != "on" && probe != "off") {
+    return Fail("--probe must be on|off");
+  }
+  if (service_options.queue_limit < 0) {
+    return Fail("--queue-limit must be >= 0");
+  }
+  if (service_options.default_deadline_ms <= 0) {
+    return Fail("--deadline-ms must be > 0");
+  }
   const LoadedDataset& data = bundle->dataset();
   if (data.ott.empty()) return Fail("dataset has no tracking records");
 
   ProfileRecorder recorder;
   bundle->engine->AttachProfileRecorder(&recorder);
+  QueryService service(bundle->engine.get(), service_options);
 
   ExpoServer server;
+  service.RegisterRoutes(&server);
   server.Handle("/metrics", "text/plain; version=0.0.4", [] {
     return MetricsRegistry::Default().DumpText();
   });
@@ -739,24 +763,32 @@ int CmdServe(Flags& flags) {
   std::printf("serving on http://127.0.0.1:%d\n", server.port());
   std::fflush(stdout);
 
-  // Probe workload: sweep the observation span, alternating algorithms, so
-  // the latency histograms and the flight recorder keep turning over.
+  // Probe workload (--probe on): sweep the observation span, alternating
+  // algorithms, so the latency histograms and the flight recorder keep
+  // turning over even with no clients. Benchmarks measuring pure serving
+  // latency pass --probe off to keep the engine quiet between requests.
   const double t0 = data.ott.min_time();
   const double t1 = data.ott.max_time();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(duration);
   int rounds = 0;
   while (duration <= 0.0 || std::chrono::steady_clock::now() < deadline) {
-    const double t = t0 + (t1 - t0) * ((rounds % 16) + 0.5) / 16.0;
-    const Algorithm algo =
-        rounds % 2 == 0 ? Algorithm::kJoin : Algorithm::kIterative;
-    bundle->engine->SnapshotTopK(t, k, algo);
-    bundle->engine->IntervalTopK(std::max(t0, t - 60.0),
-                                 std::min(t1, t + 60.0), k, algo);
-    ++rounds;
+    if (probe == "on") {
+      const double t = t0 + (t1 - t0) * ((rounds % 16) + 0.5) / 16.0;
+      const Algorithm algo =
+          rounds % 2 == 0 ? Algorithm::kJoin : Algorithm::kIterative;
+      bundle->engine->SnapshotTopK(t, k, algo);
+      bundle->engine->IntervalTopK(std::max(t0, t - 60.0),
+                                   std::min(t1, t + 60.0), k, algo);
+      ++rounds;
+    }
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
   }
+  // Shutdown order matters: stop accepting first, then drain the requests
+  // already admitted (the service responds to each), and only then detach
+  // the recorder the in-flight queries may still be writing through.
   server.Stop();
+  service.Stop();
   bundle->engine->AttachProfileRecorder(nullptr);
   std::printf("served %d probe rounds\n", rounds);
   return 0;
@@ -789,7 +821,11 @@ int Usage() {
       "           [--algo iterative|join] [--metric flow|density]\n"
       "           [--format text|json]   (query EXPLAIN profile)\n"
       "  serve    --data DIR [--port P] [--duration S] [--interval S]\n"
-      "           (/metrics, /healthz, /profiles/recent on 127.0.0.1)\n"
+      "           [--queue-limit N] [--max-queue-wait-ms MS]\n"
+      "           [--deadline-ms MS] [--probe on|off]\n"
+      "           (query endpoints /query/snapshot, /query/interval,\n"
+      "           /query/join plus /metrics, /healthz, /profiles/recent\n"
+      "           on 127.0.0.1; see docs/SERVING.md)\n"
       "  cleanse  --readings F.csv --deployment F.csv --out F.csv\n"
       "  render   --data DIR --out FILE.svg [--heatmap-t T]\n");
   return 2;

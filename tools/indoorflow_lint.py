@@ -51,6 +51,13 @@ Checks (each can be skipped with --skip <name>):
                 `EngineConfig::member` citations name real EngineConfig
                 fields, and `--flag` citations name real CLI flags
                 (indoorflow_cli or a tools/*.py argparse flag).
+  ci            .github/workflows/ci.yml keeps its hygiene: every action
+                `uses:` is version-pinned, a top-level concurrency group
+                cancels superseded runs, jobs that apt-install cache
+                /var/cache/apt/archives, jobs that compile carry a ccache
+                cache block, and every `cmake -B` configure exports
+                compile_commands.json (the includes check and clang-tidy
+                depend on it).
 
 Usage:
   tools/indoorflow_lint.py [--root DIR] [--cxx COMPILER]
@@ -76,6 +83,7 @@ import tempfile
 # annotation macros or carries INDOORFLOW_GUARDED_BY-annotated state (and is
 # stressed by tests/concurrency_test.cc under TSan).
 THREADING_ALLOWLIST = {
+    "src/common/deadline.h",
     "src/common/executor.h",
     "src/common/executor.cc",
     "src/common/expo_server.h",
@@ -98,6 +106,8 @@ THREADING_ALLOWLIST = {
     "src/core/ur_cache.cc",
     "src/index/dynamic_rtree.h",
     "src/index/dynamic_rtree.cc",
+    "src/serve/query_service.h",
+    "src/serve/query_service.cc",
 }
 
 # Files allowed to hold lock-free state. Far stricter than the threading
@@ -105,6 +115,7 @@ THREADING_ALLOWLIST = {
 # each entry must earn its place with a TSan-stressed test
 # (tests/metrics_test.cc, tests/flow_matrix_test.cc + concurrency_test.cc).
 ATOMICS_ALLOWLIST = {
+    "src/common/deadline.h",
     "src/common/log.cc",
     "src/common/metrics.h",
     "src/common/metrics.cc",
@@ -590,6 +601,103 @@ def check_docs(root: str, errors: list[str]) -> None:
                         "indoorflow_cli or any tools/*.py script")
 
 
+CI_WORKFLOW = os.path.join(".github", "workflows", "ci.yml")
+CI_USES = re.compile(r"^\s*-?\s*uses:\s*(\S+)")
+# A job header: exactly two spaces of indent under the top-level `jobs:`.
+CI_JOB = re.compile(r"^  ([A-Za-z0-9_-]+):\s*(#.*)?$")
+
+
+def split_ci_jobs(lines: list[str]) -> dict[str, str]:
+    """Maps job name -> that job's text chunk from the workflow yaml.
+
+    Purely indentation-based (no yaml dependency): everything from one
+    two-space-indented key under ``jobs:`` to the next belongs to that job.
+    """
+    jobs: dict[str, list[str]] = {}
+    in_jobs = False
+    current = None
+    for line in lines:
+        if line.rstrip() == "jobs:":
+            in_jobs = True
+            current = None
+            continue
+        if not in_jobs:
+            continue
+        if line.strip() and not line.startswith(" "):
+            in_jobs = False  # back at column 0: a new top-level key
+            current = None
+            continue
+        match = CI_JOB.match(line)
+        if match:
+            current = match.group(1)
+            jobs[current] = []
+        elif current is not None:
+            jobs[current].append(line)
+    return {name: "\n".join(chunk) for name, chunk in jobs.items()}
+
+
+def check_ci(root: str, errors: list[str]) -> None:
+    """CI-workflow hygiene: the properties that keep CI fast, reproducible,
+    and cancel-safe must survive yaml refactors.
+
+      * every `uses:` is pinned (`@vN` / `@sha`) — unpinned actions float
+      * a top-level `concurrency:` group with `cancel-in-progress: true` —
+        superseded pushes must not queue full runs behind themselves
+      * every job that apt-installs also caches /var/cache/apt/archives,
+        and every job that compiles has a ccache cache block
+      * every `cmake -B` configure passes CMAKE_EXPORT_COMPILE_COMMANDS=ON
+        so the includes lint and clang-tidy always have a fresh database
+    """
+    path = os.path.join(root, CI_WORKFLOW)
+    if not os.path.exists(path):
+        errors.append(f"{CI_WORKFLOW} is missing")
+        return
+    lines = open(path, encoding="utf-8").read().splitlines()
+    text = "\n".join(lines)
+
+    for lineno, line in enumerate(lines, 1):
+        match = CI_USES.match(line)
+        if not match:
+            continue
+        action = match.group(1)
+        if action.startswith("./") or action.startswith("docker://"):
+            continue  # local composite actions / digests pin differently
+        if "@" not in action:
+            errors.append(
+                f"{CI_WORKFLOW}:{lineno}: action '{action}' is not "
+                "pinned to a version (use name@vN or name@sha)")
+
+    if not re.search(r"^concurrency:", text, re.MULTILINE):
+        errors.append(
+            f"{CI_WORKFLOW}: missing top-level 'concurrency:' block "
+            "(superseded pushes should cancel in-flight runs)")
+    elif not re.search(r"^\s+cancel-in-progress:\s*true\s*$", text,
+                       re.MULTILINE):
+        errors.append(
+            f"{CI_WORKFLOW}: concurrency block lacks "
+            "'cancel-in-progress: true'")
+
+    for name, chunk in split_ci_jobs(lines).items():
+        if "apt-get install" in chunk and \
+                "/var/cache/apt/archives" not in chunk:
+            errors.append(
+                f"{CI_WORKFLOW}: job '{name}' apt-installs without an "
+                "apt cache block (path: /var/cache/apt/archives)")
+        configures = chunk.count("cmake -B")
+        if configures == 0:
+            continue
+        if "CCACHE_DIR" not in chunk:
+            errors.append(
+                f"{CI_WORKFLOW}: job '{name}' compiles without a ccache "
+                "cache block (path: CCACHE_DIR)")
+        exports = chunk.count("CMAKE_EXPORT_COMPILE_COMMANDS=ON")
+        if exports < configures:
+            errors.append(
+                f"{CI_WORKFLOW}: job '{name}' has {configures} 'cmake -B' "
+                f"configure(s) but only {exports} pass(es) "
+                "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON")
+
+
 CHECKS = {
     "headers": check_headers,
     "threading": check_threading,
@@ -601,6 +709,7 @@ CHECKS = {
     "atomics": check_atomics,
     "stderr": check_stderr,
     "docs": check_docs,
+    "ci": check_ci,
 }
 
 

@@ -274,6 +274,135 @@ class IncludesCheckTest(unittest.TestCase):
         self.assertEqual(self.includes_errors(), [])
 
 
+HEALTHY_CI_YML = """name: CI
+on:
+  push:
+
+concurrency:
+  group: ${{ github.workflow }}-${{ github.ref }}
+  cancel-in-progress: true
+
+env:
+  CCACHE_DIR: ${{ github.workspace }}/.ccache
+
+jobs:
+  test:
+    runs-on: ubuntu-latest
+    steps:
+      - uses: actions/checkout@v4
+      - uses: actions/cache@v4
+        with:
+          path: /var/cache/apt/archives
+          key: apt-cache
+      - name: Install dependencies
+        run: sudo apt-get install -y ninja-build ccache
+      - uses: actions/cache@v4
+        with:
+          path: ${{ env.CCACHE_DIR }}
+          key: ccache-key
+      - name: Configure
+        run: cmake -B build -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+      - name: Build
+        run: cmake --build build
+"""
+
+
+class CiCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write_ci(self, content):
+        path = os.path.join(self.root, ".github", "workflows", "ci.yml")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def ci_errors(self):
+        errors = []
+        lint.check_ci(self.root, errors)
+        return errors
+
+    def test_healthy_workflow_passes(self):
+        self.write_ci(HEALTHY_CI_YML)
+        self.assertEqual(self.ci_errors(), [])
+
+    def test_missing_workflow_fails(self):
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("missing", errors[0])
+
+    def test_unpinned_action_fails(self):
+        self.write_ci(HEALTHY_CI_YML.replace("actions/checkout@v4",
+                                             "actions/checkout"))
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("actions/checkout", errors[0])
+        self.assertIn("not pinned", errors[0])
+
+    def test_missing_concurrency_block_fails(self):
+        self.write_ci(HEALTHY_CI_YML.replace(
+            "concurrency:\n"
+            "  group: ${{ github.workflow }}-${{ github.ref }}\n"
+            "  cancel-in-progress: true\n", ""))
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("concurrency", errors[0])
+
+    def test_missing_cancel_in_progress_fails(self):
+        self.write_ci(HEALTHY_CI_YML.replace(
+            "  cancel-in-progress: true\n", ""))
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("cancel-in-progress", errors[0])
+
+    def test_apt_install_without_apt_cache_fails(self):
+        self.write_ci(HEALTHY_CI_YML.replace(
+            "          path: /var/cache/apt/archives\n"
+            "          key: apt-cache\n",
+            "          path: /somewhere/else\n"
+            "          key: apt-cache\n"))
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'test'", errors[0])
+        self.assertIn("apt cache", errors[0])
+
+    def test_compile_without_ccache_cache_fails(self):
+        self.write_ci(HEALTHY_CI_YML.replace(
+            "      - uses: actions/cache@v4\n"
+            "        with:\n"
+            "          path: ${{ env.CCACHE_DIR }}\n"
+            "          key: ccache-key\n", ""))
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("ccache", errors[0])
+
+    def test_configure_without_compile_commands_fails(self):
+        self.write_ci(HEALTHY_CI_YML.replace(
+            " -DCMAKE_EXPORT_COMPILE_COMMANDS=ON", ""))
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("CMAKE_EXPORT_COMPILE_COMMANDS", errors[0])
+
+    def test_second_unflagged_configure_fails(self):
+        self.write_ci(HEALTHY_CI_YML +
+                      "      - name: Reconfigure\n"
+                      "        run: cmake -B build2\n")
+        errors = self.ci_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("2 'cmake -B'", errors[0])
+
+    def test_real_workflow_passes(self):
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        errors = []
+        lint.check_ci(repo_root, errors)
+        self.assertEqual(errors, [])
+
+
 class CheckSelectionTest(unittest.TestCase):
     """`indoorflow_lint.py docs` runs only the docs check."""
 
