@@ -5,11 +5,14 @@
 //   3. AR-tree retrieval vs a full OTT scan;
 //   4. area-integrator tolerance vs presence-computation cost.
 
+#include <memory>
 #include <string>
 
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "src/common/deadline.h"
+#include "src/common/trace.h"
 #include "src/core/flow_matrix.h"
 #include "src/core/naive.h"
 #include "src/core/tracking_state.h"
@@ -380,6 +383,38 @@ void BM_Ablation_OttScanPointQuery(benchmark::State& state) {
   state.counters["hits"] = static_cast<double>(out.size());
 }
 BENCHMARK(BM_Ablation_OttScanPointQuery)->Unit(benchmark::kMicrosecond);
+
+// --- 3b. Request-trace overhead (sampling off vs 100%) ---------------------
+// Arg(0) is the unsampled request shape: identifiers are minted (the
+// response join key) but no Trace is allocated, so every Span operation in
+// the engine is a null-pointer compare. Arg(1) is a fully sampled request:
+// a heap Trace, a root span, the per-query span tree, and Finish(). The
+// bench gate holds the delta between the two to the tracing budget
+// documented in docs/OBSERVABILITY.md.
+
+void BM_TraceOverhead(benchmark::State& state) {
+  const bool sampled = state.range(0) != 0;
+  const Dataset& data = Data();
+  const QueryEngine& engine = bench::EngineFor(data);
+  const std::vector<PoiId> subset =
+      bench::PoiSubset(data, bench::kPoiPercentDefault);
+  const Timestamp t = bench::SnapshotTime(data);
+  for (auto _ : state) {
+    const TraceContext context = NewTraceContext(sampled ? 1.0 : 0.0);
+    std::shared_ptr<Trace> trace;
+    if (context.sampled) trace = std::make_shared<Trace>(context);
+    Span root(trace.get(), "request");
+    QueryControl control(Deadline::Infinite(), nullptr);
+    control.set_span(&root);
+    auto result = engine.SnapshotTopK(t, bench::kKDefault, Algorithm::kJoin,
+                                      &subset, nullptr, nullptr, &control);
+    benchmark::DoNotOptimize(result);
+    root.End();
+    if (trace != nullptr) trace->Finish();
+  }
+  state.SetLabel(sampled ? "sampled" : "unsampled");
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 // --- 4. Area-integrator precision sweep ---------------------------------------
 

@@ -14,6 +14,11 @@
 //             with structured 503s (--expect-shed) and still answers the
 //             requests it admits — never crashes or wedges.
 //
+// `--slowest-traces N` additionally prints the trace ids of the slowest
+// decile of ok responses (capped at N, slowest first) — every response
+// body carries one, so each id can be looked up on the server's
+// /traces/recent ring or grepped in the canonical query log.
+//
 // Deliberately dependency-free (plain POSIX sockets + std::thread, no
 // benchmark library): the driver must put pressure on the server, not on
 // its own harness, and it must keep building if the benchmark dependency
@@ -52,6 +57,9 @@ struct Options {
   std::string json_out;
   bool expect_shed = false;
   int min_ok = 0;
+  // > 0: print up to this many trace ids from the slowest decile of ok
+  // responses, slowest first, for pasting into /traces/recent triage.
+  int slowest_traces = 0;
 };
 
 struct HttpReply {
@@ -112,6 +120,18 @@ HttpReply SendRequest(const Options& options, const std::string& body) {
   return reply;
 }
 
+// The `trace_id` every response body carries (sampled or not), "" when
+// absent. Plain string search: the driver stays JSON-parser-free.
+std::string ExtractTraceId(const std::string& body) {
+  static const char kKey[] = "\"trace_id\":\"";
+  const size_t at = body.find(kKey);
+  if (at == std::string::npos) return "";
+  const size_t start = at + sizeof(kKey) - 1;
+  const size_t end = body.find('"', start);
+  if (end == std::string::npos) return "";
+  return body.substr(start, end - start);
+}
+
 int64_t NowNs() {
   timespec ts{};
   clock_gettime(CLOCK_MONOTONIC, &ts);
@@ -132,7 +152,7 @@ int Usage() {
       "usage: bench_serve_latency --port P [--host H] [--clients N]\n"
       "  [--requests N] [--endpoint /query/...] [--t T] [--k K]\n"
       "  [--algo join|iterative] [--deadline-ms MS] [--json-out FILE]\n"
-      "  [--expect-shed 0|1] [--min-ok N]\n"
+      "  [--expect-shed 0|1] [--min-ok N] [--slowest-traces N]\n"
       "Closed-loop latency/overload driver for 'indoorflow_cli serve';\n"
       "--requests is per client. See docs/SERVING.md.\n");
   return 2;
@@ -170,6 +190,8 @@ int main(int argc, char** argv) {
       options.expect_shed = value == "1" || value == "true";
     } else if (key == "--min-ok") {
       options.min_ok = std::atoi(value.c_str());
+    } else if (key == "--slowest-traces") {
+      options.slowest_traces = std::atoi(value.c_str());
     } else {
       return Usage();
     }
@@ -190,13 +212,17 @@ int main(int argc, char** argv) {
   std::atomic<int64_t> shed{0};
   std::atomic<int64_t> deadline{0};
   std::atomic<int64_t> failed{0};
-  std::vector<std::vector<int64_t>> latencies(
+  struct OkSample {
+    int64_t elapsed_ns = 0;
+    std::string trace_id;  // captured only under --slowest-traces
+  };
+  std::vector<std::vector<OkSample>> samples(
       static_cast<size_t>(options.clients));
   std::vector<std::thread> clients;
   clients.reserve(static_cast<size_t>(options.clients));
   for (int c = 0; c < options.clients; ++c) {
     clients.emplace_back([&, c] {
-      std::vector<int64_t>& mine = latencies[static_cast<size_t>(c)];
+      std::vector<OkSample>& mine = samples[static_cast<size_t>(c)];
       mine.reserve(static_cast<size_t>(options.requests));
       for (int r = 0; r < options.requests; ++r) {
         const int64_t start_ns = NowNs();
@@ -204,7 +230,12 @@ int main(int argc, char** argv) {
         const int64_t elapsed_ns = NowNs() - start_ns;
         if (reply.code == 200) {
           ok.fetch_add(1, std::memory_order_relaxed);
-          mine.push_back(elapsed_ns);
+          OkSample sample;
+          sample.elapsed_ns = elapsed_ns;
+          if (options.slowest_traces > 0) {
+            sample.trace_id = ExtractTraceId(reply.body);
+          }
+          mine.push_back(std::move(sample));
         } else if (reply.code == 503 &&
                    reply.body.find("\"status\":\"shed\"") !=
                        std::string::npos) {
@@ -225,8 +256,12 @@ int main(int argc, char** argv) {
   for (std::thread& thread : clients) thread.join();
 
   std::vector<int64_t> all;
-  for (const auto& mine : latencies) {
-    all.insert(all.end(), mine.begin(), mine.end());
+  std::vector<OkSample> flat;
+  for (auto& mine : samples) {
+    for (OkSample& sample : mine) {
+      all.push_back(sample.elapsed_ns);
+      if (options.slowest_traces > 0) flat.push_back(std::move(sample));
+    }
   }
   std::sort(all.begin(), all.end());
   const double p50 = PercentileNs(all, 50.0);
@@ -244,6 +279,27 @@ int main(int argc, char** argv) {
       static_cast<long long>(failed.load()));
   std::printf("latency p50=%.3f ms p99=%.3f ms (over %zu ok responses)\n",
               p50 / 1e6, p99 / 1e6, all.size());
+
+  if (options.slowest_traces > 0 && !flat.empty()) {
+    // The slowest decile's trace ids (capped at --slowest-traces),
+    // slowest first: paste one into /traces/recent (or grep the canonical
+    // query log) to see where that request's time went.
+    std::sort(flat.begin(), flat.end(),
+              [](const OkSample& a, const OkSample& b) {
+                return a.elapsed_ns > b.elapsed_ns;
+              });
+    const size_t decile = std::max<size_t>(1, flat.size() / 10);
+    const size_t show = std::min(
+        decile, static_cast<size_t>(options.slowest_traces));
+    std::printf("slowest decile traces (%zu of %zu shown):\n", show,
+                decile);
+    for (size_t i = 0; i < show; ++i) {
+      std::printf("  %9.3f ms  %s\n",
+                  static_cast<double>(flat[i].elapsed_ns) / 1e6,
+                  flat[i].trace_id.empty() ? "(no trace_id in body)"
+                                           : flat[i].trace_id.c_str());
+    }
+  }
 
   if (!options.json_out.empty()) {
     FILE* f = std::fopen(options.json_out.c_str(), "w");

@@ -33,6 +33,8 @@
 
 namespace indoorflow {
 
+class Span;  // src/common/trace.h (carried by pointer; never dereferenced here)
+
 /// A point on the monotonic clock after which work should be abandoned.
 /// Default-constructed deadlines are infinite (never expire), so plumbing
 /// a Deadline through a path that mostly doesn't use one costs nothing.
@@ -146,6 +148,15 @@ class QueryControl {
 
   const Deadline& deadline() const { return deadline_; }
 
+  /// Optional request span (see src/common/trace.h): the serving layer
+  /// attaches it before the query runs and the engine parents its own
+  /// spans under it, so the trace rides the same pointer the deadline
+  /// does. Null (the default) means "unsampled / untraced" and costs one
+  /// pointer compare downstream. Set-before-run, read-only during — no
+  /// synchronization needed.
+  void set_span(Span* span) { span_ = span; }
+  Span* span() const { return span_; }
+
  private:
   // First observed cause wins; a concurrent lane losing the CAS adopts the
   // winner's reason, so reason() never flickers between causes.
@@ -158,6 +169,7 @@ class QueryControl {
 
   Deadline deadline_;
   const CancelToken* cancel_ = nullptr;
+  Span* span_ = nullptr;
   mutable std::atomic<int> aborted_{static_cast<int>(AbortReason::kNone)};
 };
 

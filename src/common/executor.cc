@@ -8,6 +8,7 @@
 
 #include "src/common/log.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace indoorflow {
 namespace {
@@ -45,6 +46,10 @@ struct BatchState {
   size_t next_lane INDOORFLOW_GUARDED_BY(mu) = 0;
   size_t pending INDOORFLOW_GUARDED_BY(mu) = 0;
   std::function<void(size_t)> fn;
+  // Request span the lanes parent under (null = untraced). Set before
+  // the helpers are enqueued and read-only afterwards; the caller's
+  // ParallelFor blocks until every lane finishes, so it outlives them.
+  const Span* span_parent = nullptr;
 };
 
 // Claims strided lanes off `state` until none remain. Runs on the calling
@@ -59,7 +64,15 @@ void RunLanes(BatchState& state) {
       if (state.next_lane >= state.lanes) return;
       lane = state.next_lane++;
     }
-    for (size_t i = lane; i < state.n; i += state.lanes) state.fn(i);
+    if (state.span_parent != nullptr) {
+      // One child span per lane; recording happens outside the batch
+      // lock (trace rank sits below executor, but the strided loop runs
+      // unlocked anyway).
+      Span lane_span(state.span_parent, "lane " + std::to_string(lane));
+      for (size_t i = lane; i < state.n; i += state.lanes) state.fn(i);
+    } else {
+      for (size_t i = lane; i < state.n; i += state.lanes) state.fn(i);
+    }
     MutexLock lock(state.mu);
     if (--state.pending == 0) state.done_cv.NotifyAll();
   }
@@ -156,18 +169,25 @@ void Executor::WorkerLoop() {
 }
 
 int Executor::ParallelFor(size_t n, int parallelism,
-                          const std::function<void(size_t)>& fn) {
+                          const std::function<void(size_t)>& fn,
+                          const Span* span_parent) {
   const size_t want =
       parallelism > 0 ? static_cast<size_t>(parallelism) : size_t{1};
   const size_t lanes = std::min(want, n);
   if (lanes <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    if (span_parent != nullptr && n > 0) {
+      Span lane_span(span_parent, "lane 0");
+      for (size_t i = 0; i < n; ++i) fn(i);
+    } else {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    }
     return 1;
   }
   auto state = std::make_shared<BatchState>();
   state->n = n;
   state->lanes = lanes;
   state->fn = fn;
+  state->span_parent = span_parent;
   {
     MutexLock lock(state->mu);
     state->pending = lanes;

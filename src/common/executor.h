@@ -38,6 +38,8 @@
 
 namespace indoorflow {
 
+class Span;  // src/common/trace.h
+
 class Executor {
  public:
   /// Hard cap on any pool's size; requests beyond it are clamped.
@@ -87,8 +89,15 @@ class Executor {
   ///
   /// Returns the number of lanes actually used (>= 1); 1 means the loop
   /// ran serially.
+  ///
+  /// When `span_parent` is an active request span (src/common/trace.h),
+  /// every lane — including the serial fallback — records one child span
+  /// ("lane <w>") covering its strided index set, so a request trace
+  /// attributes time to the parallel fan-out. Null (the default, and
+  /// every unsampled request) costs one pointer compare per lane.
   int ParallelFor(size_t n, int parallelism,
-                  const std::function<void(size_t)>& fn);
+                  const std::function<void(size_t)>& fn,
+                  const Span* span_parent = nullptr);
 
   /// Schedules `fn` to run exactly once on a pool worker, FIFO behind
   /// whatever is already queued (including ParallelFor helper tasks).

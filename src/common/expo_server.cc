@@ -75,9 +75,10 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
-// The Content-Length value from a raw header block, or -1 when absent or
-// malformed. Field names are case-insensitive (RFC 9110).
-long ContentLength(const std::string& headers) {
+// The value of header `name` (lowercase) in a raw header block, trimmed of
+// surrounding whitespace, or "" when absent. Field names are
+// case-insensitive (RFC 9110).
+std::string HeaderValue(const std::string& headers, const std::string& name) {
   size_t pos = 0;
   while (pos < headers.size()) {
     size_t eol = headers.find("\r\n", pos);
@@ -85,24 +86,40 @@ long ContentLength(const std::string& headers) {
     const std::string line = headers.substr(pos, eol - pos);
     const size_t colon = line.find(':');
     if (colon != std::string::npos) {
-      std::string name = line.substr(0, colon);
-      for (char& c : name) {
+      std::string field = line.substr(0, colon);
+      for (char& c : field) {
         c = static_cast<char>(
             std::tolower(static_cast<unsigned char>(c)));
       }
-      if (name == "content-length") {
-        errno = 0;
-        char* end = nullptr;
-        const long value = std::strtol(line.c_str() + colon + 1, &end, 10);
-        if (errno != 0 || end == line.c_str() + colon + 1 || value < 0) {
-          return -1;
+      if (field == name) {
+        size_t begin = colon + 1;
+        size_t end = line.size();
+        while (begin < end &&
+               std::isspace(static_cast<unsigned char>(line[begin]))) {
+          ++begin;
         }
-        return value;
+        while (end > begin &&
+               std::isspace(static_cast<unsigned char>(line[end - 1]))) {
+          --end;
+        }
+        return line.substr(begin, end - begin);
       }
     }
     pos = eol + 2;
   }
-  return 0;  // no body
+  return std::string();
+}
+
+// The Content-Length value from a raw header block, or -1 when absent or
+// malformed.
+long ContentLength(const std::string& headers) {
+  const std::string value = HeaderValue(headers, "content-length");
+  if (value.empty()) return 0;  // no body
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || parsed < 0) return -1;
+  return parsed;
 }
 
 }  // namespace
@@ -279,9 +296,12 @@ void ExpoServer::ServeConnection(int fd) {
     request.path.resize(qmark);
   }
 
+  const std::string headers =
+      data.substr(line_end + 2, header_end - line_end - 2);
+  request.traceparent = HeaderValue(headers, "traceparent");
+
   // Body (POST): bounded by Content-Length, which must be sane.
-  const long want_body =
-      ContentLength(data.substr(line_end + 2, header_end - line_end - 2));
+  const long want_body = ContentLength(headers);
   if (want_body < 0 || want_body > static_cast<long>(kMaxBodyBytes)) {
     exchange->Respond(HttpResponse{
         400, "application/json",

@@ -51,6 +51,10 @@ struct HttpRequest {
   std::string path;    // query string stripped
   std::string query;   // raw query string after '?' (may be empty)
   std::string body;    // raw body bytes (empty for GET)
+  /// The W3C `traceparent` header verbatim when the client sent one (the
+  /// only request header surfaced — the serving layer joins the caller's
+  /// distributed trace with it, src/common/trace.h). Empty otherwise.
+  std::string traceparent;
 };
 
 /// One response a request handler sends back.

@@ -11,6 +11,8 @@ const char* LockRankName(LockRank rank) {
       return "log";
     case LockRank::kMetrics:
       return "metrics";
+    case LockRank::kTrace:
+      return "trace";
     case LockRank::kExecutor:
       return "executor";
     case LockRank::kRtree:
@@ -46,7 +48,7 @@ bool ValidatorEnabled() {
 namespace {
 
 // Per-thread stack of held mutexes. Fixed capacity: the deepest sanctioned
-// chain is expo -> ... -> log (10 ranks), so 16 leaves slack for transient
+// chain is expo -> ... -> log (11 ranks), so 16 leaves slack for transient
 // same-thread re-entry bugs to still be reported rather than smash memory.
 constexpr int kMaxHeld = 16;
 

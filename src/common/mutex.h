@@ -14,7 +14,7 @@
 // descends the rank ladder
 //
 //   expo > serve > engine > profile_recorder > monitor > urcache
-//        > rtree > executor > metrics > log
+//        > rtree > executor > trace > metrics > log
 //
 // so the low ranks (log, metrics) are leaves that any critical section may
 // enter, and the high ranks (engine, expo) are entry points that must be
@@ -72,14 +72,15 @@ namespace indoorflow {
 enum class LockRank : int {
   kLog = 0,              // src/common/log.cc sink (leaf: anything may log)
   kMetrics = 1,          // metrics registry + trace sink (src/common/metrics)
-  kExecutor = 2,         // thread-pool queue + batch state (executor)
-  kRtree = 3,            // src/index/dynamic_rtree
-  kUrCache = 4,          // UR-cache shards / epoch shards / presence memos
-  kMonitor = 5,          // StreamingMonitor track table
-  kProfileRecorder = 6,  // query-profile flight recorder
-  kEngine = 7,           // QueryEngine POI-tree cache
-  kServe = 8,            // QueryService admission queue (src/serve)
-  kExpo = 9,             // exposition server accept loop
+  kTrace = 2,            // per-request span trees + recent-trace ring
+  kExecutor = 3,         // thread-pool queue + batch state (executor)
+  kRtree = 4,            // src/index/dynamic_rtree
+  kUrCache = 5,          // UR-cache shards / epoch shards / presence memos
+  kMonitor = 6,          // StreamingMonitor track table
+  kProfileRecorder = 7,  // query-profile flight recorder
+  kEngine = 8,           // QueryEngine POI-tree cache
+  kServe = 9,            // QueryService admission queue (src/serve)
+  kExpo = 10,            // exposition server accept loop
 };
 
 /// "log", "metrics", ... (diagnostics; stable names for the rank table).
@@ -107,7 +108,8 @@ inline RankFence kFenceMonitor
 inline RankFence kFenceUrCache INDOORFLOW_ACQUIRED_AFTER(kFenceMonitor);
 inline RankFence kFenceRtree INDOORFLOW_ACQUIRED_AFTER(kFenceUrCache);
 inline RankFence kFenceExecutor INDOORFLOW_ACQUIRED_AFTER(kFenceRtree);
-inline RankFence kFenceMetrics INDOORFLOW_ACQUIRED_AFTER(kFenceExecutor);
+inline RankFence kFenceTrace INDOORFLOW_ACQUIRED_AFTER(kFenceExecutor);
+inline RankFence kFenceMetrics INDOORFLOW_ACQUIRED_AFTER(kFenceTrace);
 inline RankFence kFenceLog INDOORFLOW_ACQUIRED_AFTER(kFenceMetrics);
 
 }  // namespace lock_order

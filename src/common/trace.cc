@@ -1,0 +1,446 @@
+#include "src/common/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/log.h"
+#include "src/common/metrics.h"
+
+namespace indoorflow {
+
+namespace {
+
+// splitmix64: full-period 64-bit mixer. Thread-local state seeded from
+// the monotonic clock and the slot's own address keeps id generation
+// lock-free and collision-resistant without touching std::atomic (which
+// the lint restricts to the metrics/log/deadline leaves).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t* ThreadRngState() {
+  thread_local uint64_t state =
+      static_cast<uint64_t>(MonotonicNowNs()) ^
+      (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&state)) << 16);
+  return &state;
+}
+
+void AppendHex64(uint64_t value, std::string* out) {
+  static const char kDigits[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out->push_back(kDigits[(value >> shift) & 0xF]);
+  }
+}
+
+// Parses exactly `len` lowercase hex digits at `pos`; false on any other
+// character (uppercase included — W3C traceparent is lowercase-only).
+bool ParseHex(const std::string& s, size_t pos, size_t len, uint64_t* out) {
+  uint64_t value = 0;
+  for (size_t i = 0; i < len; ++i) {
+    const char c = s[pos + i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string TraceContext::trace_id_hex() const {
+  std::string out;
+  out.reserve(32);
+  AppendHex64(trace_id_high, &out);
+  AppendHex64(trace_id_low, &out);
+  return out;
+}
+
+std::string TraceContext::span_id_hex() const {
+  std::string out;
+  out.reserve(16);
+  AppendHex64(span_id, &out);
+  return out;
+}
+
+std::string TraceContext::ToTraceparent() const {
+  std::string out = "00-";
+  out.reserve(55);
+  AppendHex64(trace_id_high, &out);
+  AppendHex64(trace_id_low, &out);
+  out.push_back('-');
+  AppendHex64(span_id, &out);
+  out += sampled ? "-01" : "-00";
+  return out;
+}
+
+bool TraceContext::FromTraceparent(const std::string& header,
+                                   TraceContext* out) {
+  // version(2) '-' trace-id(32) '-' parent-id(16) '-' flags(2) == 55.
+  if (header.size() != 55) return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') {
+    return false;
+  }
+  // Only the version-00 layout is understood; "ff" is forbidden by the
+  // spec and anything else may carry fields this parser cannot see.
+  if (header[0] != '0' || header[1] != '0') return false;
+  TraceContext parsed;
+  uint64_t flags = 0;
+  if (!ParseHex(header, 3, 16, &parsed.trace_id_high) ||
+      !ParseHex(header, 19, 16, &parsed.trace_id_low) ||
+      !ParseHex(header, 36, 16, &parsed.span_id) ||
+      !ParseHex(header, 53, 2, &flags)) {
+    return false;
+  }
+  if (!parsed.valid()) return false;
+  parsed.sampled = (flags & 0x1) != 0;
+  *out = parsed;
+  return true;
+}
+
+TraceContext NewTraceContext(double sample) {
+  uint64_t* state = ThreadRngState();
+  TraceContext ctx;
+  do {
+    ctx.trace_id_high = SplitMix64(state);
+    ctx.trace_id_low = SplitMix64(state);
+  } while ((ctx.trace_id_high | ctx.trace_id_low) == 0);
+  ctx.span_id = NextSpanId();
+  if (sample >= 1.0) {
+    ctx.sampled = true;
+  } else if (sample <= 0.0) {
+    ctx.sampled = false;
+  } else {
+    // Deterministic in the id: compare the top 53 bits of the low half
+    // against sample * 2^53 (exact in double), so any holder of the same
+    // trace id reaches the same decision.
+    const uint64_t threshold =
+        static_cast<uint64_t>(sample * 9007199254740992.0);  // 2^53
+    ctx.sampled = (ctx.trace_id_low >> 11) < threshold;
+  }
+  return ctx;
+}
+
+uint64_t NextSpanId() {
+  uint64_t* state = ThreadRngState();
+  uint64_t id;
+  do {
+    id = SplitMix64(state);
+  } while (id == 0);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::Span(Trace* trace, std::string name) {
+  if (trace == nullptr) return;
+  const uint64_t id =
+      trace->StartSpan(trace->context().span_id, trace->remote_parent_id(),
+                       std::move(name), MonotonicNowNs());
+  if (id == 0) return;  // dropped at the span cap: stay inert
+  trace_ = trace;
+  id_ = id;
+}
+
+Span::Span(const Span* parent, std::string name) {
+  if (parent == nullptr || parent->trace_ == nullptr) return;
+  const uint64_t id = parent->trace_->StartSpan(
+      0, parent->id_, std::move(name), MonotonicNowNs());
+  if (id == 0) return;
+  trace_ = parent->trace_;
+  id_ = id;
+}
+
+Span::~Span() { End(); }
+
+void Span::End() {
+  if (trace_ == nullptr || ended_) return;
+  ended_ = true;
+  trace_->EndSpan(id_, MonotonicNowNs());
+}
+
+void Span::AddEvent(const char* name) const {
+  if (trace_ == nullptr) return;
+  trace_->AddEvent(id_, name);
+}
+
+void Span::RecordChild(std::string name, int64_t start_ns,
+                       int64_t dur_ns) const {
+  if (trace_ == nullptr) return;
+  trace_->RecordSpan(id_, std::move(name), start_ns, dur_ns);
+}
+
+std::string Span::trace_id_hex() const {
+  return trace_ != nullptr ? trace_->context().trace_id_hex() : std::string();
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+Trace::Trace(const TraceContext& context, uint64_t remote_parent_id)
+    : context_(context),
+      remote_parent_id_(remote_parent_id),
+      start_ns_(MonotonicNowNs()) {}
+
+uint64_t Trace::StartSpan(uint64_t id, uint64_t parent_id, std::string name,
+                          int64_t start_ns) {
+  MutexLock lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_spans_;
+    return 0;
+  }
+  SpanRecord record;
+  record.id = id != 0 ? id : NextSpanId();
+  record.parent_id = parent_id;
+  record.name = std::move(name);
+  record.start_ns = start_ns;
+  spans_.push_back(std::move(record));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(uint64_t id, int64_t end_ns) {
+  MutexLock lock(mu_);
+  // Search from the back: spans end in roughly reverse start order.
+  for (size_t i = spans_.size(); i-- > 0;) {
+    if (spans_[i].id != id) continue;
+    spans_[i].dur_ns = end_ns - spans_[i].start_ns;
+    return;
+  }
+}
+
+void Trace::RecordSpan(uint64_t parent_id, std::string name, int64_t start_ns,
+                       int64_t dur_ns) {
+  MutexLock lock(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_spans_;
+    return;
+  }
+  SpanRecord record;
+  record.id = NextSpanId();
+  record.parent_id = parent_id;
+  record.name = std::move(name);
+  record.start_ns = start_ns;
+  record.dur_ns = dur_ns >= 0 ? dur_ns : 0;
+  spans_.push_back(std::move(record));
+}
+
+void Trace::AddEvent(uint64_t span_id, const char* name) {
+  MutexLock lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_events_;
+    return;
+  }
+  events_.push_back(EventRecord{span_id, name, MonotonicNowNs()});
+}
+
+void Trace::Finish() {
+  MutexLock lock(mu_);
+  if (finish_ns_ != 0) return;
+  finish_ns_ = MonotonicNowNs();
+  for (SpanRecord& span : spans_) {
+    if (span.dur_ns < 0) span.dur_ns = finish_ns_ - span.start_ns;
+  }
+  if (TracingEnabled()) {
+    // Replay into the Chrome-trace sink (rank metrics, below trace — a
+    // sanctioned descent) so per-request trees land next to the ambient
+    // process events.
+    for (const SpanRecord& span : spans_) {
+      EmitTraceEvent(span.name.c_str(), span.start_ns / 1000,
+                     span.dur_ns / 1000);
+    }
+  }
+}
+
+size_t Trace::span_count() const {
+  MutexLock lock(mu_);
+  return spans_.size();
+}
+
+int64_t Trace::dropped_spans() const {
+  MutexLock lock(mu_);
+  return dropped_spans_;
+}
+
+int64_t Trace::dropped_events() const {
+  MutexLock lock(mu_);
+  return dropped_events_;
+}
+
+std::string Trace::ToJson() const {
+  std::vector<SpanRecord> spans;
+  std::vector<EventRecord> events;
+  int64_t dropped_spans = 0;
+  int64_t dropped_events = 0;
+  int64_t finish_ns = 0;
+  {
+    MutexLock lock(mu_);
+    spans = spans_;
+    events = events_;
+    dropped_spans = dropped_spans_;
+    dropped_events = dropped_events_;
+    finish_ns = finish_ns_;
+  }
+  const int64_t end_ns = finish_ns != 0 ? finish_ns : MonotonicNowNs();
+
+  // Index children / events by position so the tree serializes without
+  // repeated scans.
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<bool> is_child(spans.size(), false);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    for (size_t j = 0; j < spans.size(); ++j) {
+      if (j != i && spans[j].parent_id == spans[i].id) {
+        children[i].push_back(j);
+        is_child[j] = true;
+      }
+    }
+  }
+
+  std::string out = "{\"trace_id\":\"";
+  out += context_.trace_id_hex();
+  out += "\",\"root_span_id\":\"";
+  out += context_.span_id_hex();
+  out += "\",\"sampled\":";
+  out += context_.sampled ? "true" : "false";
+  out += ",\"duration_us\":";
+  out += std::to_string((end_ns - start_ns_) / 1000);
+  out += ",\"dropped_spans\":";
+  out += std::to_string(dropped_spans);
+  out += ",\"dropped_events\":";
+  out += std::to_string(dropped_events);
+  out += ",\"spans\":[";
+
+  // Recursive tree emission; depth is bounded by kMaxSpans.
+  struct Emitter {
+    const std::vector<SpanRecord>& spans;
+    const std::vector<EventRecord>& events;
+    const std::vector<std::vector<size_t>>& children;
+    int64_t trace_start_ns;
+    int64_t end_ns;
+
+    void Emit(size_t i, std::string* out) const {
+      const SpanRecord& span = spans[i];
+      *out += "{\"name\":\"";
+      AppendJsonEscaped(span.name, out);
+      *out += "\",\"span_id\":\"";
+      AppendHex64(span.id, out);
+      *out += "\",\"parent_id\":\"";
+      AppendHex64(span.parent_id, out);
+      *out += "\",\"start_us\":";
+      *out += std::to_string((span.start_ns - trace_start_ns) / 1000);
+      *out += ",\"dur_us\":";
+      const int64_t dur_ns =
+          span.dur_ns >= 0 ? span.dur_ns : end_ns - span.start_ns;
+      *out += std::to_string(dur_ns / 1000);
+      *out += ",\"events\":[";
+      bool first = true;
+      for (const EventRecord& event : events) {
+        if (event.span_id != span.id) continue;
+        if (!first) *out += ",";
+        first = false;
+        *out += "{\"name\":\"";
+        AppendJsonEscaped(event.name, out);
+        *out += "\",\"ts_us\":";
+        *out += std::to_string((event.ts_ns - trace_start_ns) / 1000);
+        *out += "}";
+      }
+      *out += "],\"children\":[";
+      first = true;
+      for (size_t child : children[i]) {
+        if (!first) *out += ",";
+        first = false;
+        Emit(child, out);
+      }
+      *out += "]}";
+    }
+  };
+  const Emitter emitter{spans, events, children, start_ns_, end_ns};
+  bool first = true;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (is_child[i]) continue;
+    if (!first) out += ",";
+    first = false;
+    emitter.Emit(i, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+TraceRing& TraceRing::Default() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+void TraceRing::Push(std::shared_ptr<const Trace> trace) {
+  if (trace == nullptr) return;
+  MutexLock lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::string TraceRing::ToJson() const {
+  // Snapshot newest-first, then serialize outside the ring lock: each
+  // Trace::ToJson takes that trace's own kTrace mutex, and two
+  // same-ranked mutexes must never be held together.
+  std::vector<std::shared_ptr<const Trace>> snapshot;
+  int64_t total = 0;
+  {
+    MutexLock lock(mu_);
+    total = total_;
+    snapshot.reserve(ring_.size());
+    const size_t n = ring_.size();
+    for (size_t i = 0; i < n; ++i) {
+      // Newest is the slot just before next_ (or the vector tail while
+      // still filling).
+      const size_t idx =
+          n < capacity_ ? n - 1 - i : (next_ + n - 1 - i) % n;
+      snapshot.push_back(ring_[idx]);
+    }
+  }
+  std::string out = "{\"capacity\":";
+  out += std::to_string(capacity_);
+  out += ",\"total\":";
+  out += std::to_string(total);
+  out += ",\"traces\":[";
+  bool first = true;
+  for (const std::shared_ptr<const Trace>& trace : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += trace->ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+size_t TraceRing::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+void TraceRing::Clear() {
+  MutexLock lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+}  // namespace indoorflow

@@ -1,0 +1,234 @@
+// Request-scoped tracing: propagated span trees behind a ranked Mutex.
+//
+// Where the Chrome-trace sink in src/common/metrics.h is process-global
+// (every event from every thread lands in one file), this subsystem is
+// *per request*: a TraceContext (W3C trace-context identifiers plus a
+// head-sampling decision) rides the existing QueryControl/QueryContext
+// plumbing from the HTTP boundary through the engine's query methods,
+// executor lanes, and the UR cache, and the RAII Span recorder builds a
+// span tree for exactly that request. Completed traces land in a bounded
+// ring (TraceRing) served as JSON on /traces/recent, and are optionally
+// replayed into the Chrome-trace JSONL sink so a single request can be
+// inspected in chrome://tracing next to the ambient process events.
+//
+// Sampling: the head decision is made once, at trace creation. Unsampled
+// requests still get identifiers (so responses and the canonical query
+// log carry a join key), but no Trace object is allocated — every Span
+// operation on the null trace is an inert pointer check, which keeps the
+// disabled path near-free (BM_TraceOverhead pins this down).
+//
+// Thread safety: a Trace's span list is guarded by a Mutex of rank
+// LockRank::kTrace, which sits below the executor rank so lanes and
+// engine code may record spans while holding their own locks. The
+// TraceRing uses its own kTrace mutex; the two are never held together
+// (ring serialization snapshots shared_ptrs first, then locks each trace
+// in turn). All recording outside src/common/trace.* must go through the
+// Span/Trace API — raw emission elsewhere is flagged by the `spans`
+// check in tools/indoorflow_lint.py.
+
+#ifndef INDOORFLOW_COMMON_TRACE_H_
+#define INDOORFLOW_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/mutex.h"
+#include "src/common/thread_annotations.h"
+
+namespace indoorflow {
+
+/// W3C trace-context identifiers plus the head-sampling decision.
+/// trace id is 128 bits (high/low halves); ids of zero are invalid per
+/// the spec.
+struct TraceContext {
+  uint64_t trace_id_high = 0;
+  uint64_t trace_id_low = 0;
+  uint64_t span_id = 0;
+  bool sampled = false;
+
+  bool valid() const {
+    return (trace_id_high | trace_id_low) != 0 && span_id != 0;
+  }
+
+  /// 32 lowercase hex characters (the W3C trace-id field).
+  std::string trace_id_hex() const;
+  /// 16 lowercase hex characters (the W3C parent-id field).
+  std::string span_id_hex() const;
+
+  /// "00-<trace_id_hex>-<span_id_hex>-<flags>"; flags bit 0 is sampled.
+  std::string ToTraceparent() const;
+
+  /// Parses a W3C `traceparent` header value. Returns false (leaving
+  /// *out untouched) unless the value is exactly the version-"00"
+  /// layout: 2-16-8-1 bytes as lowercase hex joined by '-', with a
+  /// non-zero trace id and parent id.
+  static bool FromTraceparent(const std::string& header, TraceContext* out);
+};
+
+/// Fresh identifiers + the head-sampling decision: sampled when the low
+/// 64 bits of the (uniformly random) trace id fall below sample * 2^64,
+/// so the decision is deterministic in the id and honored by any
+/// downstream holder of the same context.
+TraceContext NewTraceContext(double sample);
+
+/// A fresh non-zero span id (thread-local splitmix64; no locks).
+uint64_t NextSpanId();
+
+class Trace;
+
+/// RAII span recorder. A Span constructed from a null parent (or default
+/// constructed) is inert: every operation is a pointer check and nothing
+/// is recorded, which is the unsampled fast path. The handle is
+/// non-copyable and non-movable; pass it by pointer (`Span*`), the same
+/// way QueryControl and QueryContext carry it.
+class Span {
+ public:
+  Span() = default;
+
+  /// Opens the trace's root span (id = context().span_id, parented to
+  /// the remote span when the context was propagated in).
+  Span(Trace* trace, std::string name);
+
+  /// Opens a child of `parent`; inert when `parent` is null or inert.
+  Span(const Span* parent, std::string name);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Closes the span (idempotent; the destructor calls it).
+  void End();
+
+  /// Appends a timestamped event to this span (e.g. "urcache.hit").
+  void AddEvent(const char* name) const;
+
+  /// Records an already-measured child span, for phases timed outside
+  /// the RAII scope (queue wait, QueryStats phase deltas).
+  void RecordChild(std::string name, int64_t start_ns, int64_t dur_ns) const;
+
+  bool active() const { return trace_ != nullptr; }
+  Trace* trace() const { return trace_; }
+  uint64_t id() const { return id_; }
+
+  /// The owning trace's id as 32 hex chars; "" when inert.
+  std::string trace_id_hex() const;
+
+ private:
+  Trace* trace_ = nullptr;
+  uint64_t id_ = 0;
+  bool ended_ = false;
+};
+
+/// One request's span tree. Create on the heap (shared_ptr) when the
+/// head-sampling decision is positive; hand `Push` the pointer once the
+/// request completes.
+class Trace {
+ public:
+  /// Bounds keep a hostile or pathological request from growing a trace
+  /// without limit; overflow increments drop counters that ToJson
+  /// reports.
+  static constexpr size_t kMaxSpans = 256;
+  static constexpr size_t kMaxEvents = 1024;
+
+  /// `remote_parent_id` is the span id from an injected traceparent
+  /// header (0 when the trace originated here); the root span is
+  /// parented to it.
+  explicit Trace(const TraceContext& context, uint64_t remote_parent_id = 0);
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  const TraceContext& context() const { return context_; }
+  uint64_t remote_parent_id() const { return remote_parent_id_; }
+  int64_t start_ns() const { return start_ns_; }
+
+  /// Marks the trace complete and, when the Chrome-trace sink is active
+  /// (StartTracing / INDOORFLOW_TRACE), replays every span into it so
+  /// per-request trees appear alongside the ambient process events.
+  void Finish() INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  /// {"trace_id":..., "duration_us":..., "spans":[<nested tree>], ...}.
+  /// Spans nest under their parents; events attach to their span.
+  std::string ToJson() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  /// Number of recorded spans (tests).
+  size_t span_count() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  int64_t dropped_spans() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  int64_t dropped_events() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  // Recording entry points used by Span. `id` 0 means "allocate one".
+  // Returns the span id actually used, or 0 when the span was dropped.
+  uint64_t StartSpan(uint64_t id, uint64_t parent_id, std::string name,
+                     int64_t start_ns) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  void EndSpan(uint64_t id, int64_t end_ns) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  void RecordSpan(uint64_t parent_id, std::string name, int64_t start_ns,
+                  int64_t dur_ns) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  void AddEvent(uint64_t span_id, const char* name)
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+ private:
+  struct SpanRecord {
+    uint64_t id = 0;
+    uint64_t parent_id = 0;
+    std::string name;
+    int64_t start_ns = 0;
+    int64_t dur_ns = -1;  // -1 while open
+  };
+  struct EventRecord {
+    uint64_t span_id = 0;
+    const char* name = nullptr;  // string literals only (API contract)
+    int64_t ts_ns = 0;
+  };
+
+  const TraceContext context_;
+  const uint64_t remote_parent_id_;
+  const int64_t start_ns_;
+
+  mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExecutor)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceTrace) =
+          Mutex(LockRank::kTrace);
+  std::vector<SpanRecord> spans_ INDOORFLOW_GUARDED_BY(mu_);
+  std::vector<EventRecord> events_ INDOORFLOW_GUARDED_BY(mu_);
+  int64_t dropped_spans_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+  int64_t dropped_events_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+  int64_t finish_ns_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+};
+
+/// Bounded ring of recently completed traces; the /traces/recent
+/// endpoint serializes it. Push is O(1) and drops the oldest trace once
+/// `capacity` is reached.
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 32;
+
+  /// The process-wide ring (never destroyed).
+  static TraceRing& Default();
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity);
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Push(std::shared_ptr<const Trace> trace)
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  /// {"capacity":N,"total":N,"traces":[<newest first>]}.
+  std::string ToJson() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+  size_t size() const INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  /// Drops every held trace (tests isolate themselves with this).
+  void Clear() INDOORFLOW_LOCKS_EXCLUDED(mu_);
+
+ private:
+  const size_t capacity_;
+  mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExecutor)
+      INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceTrace) =
+          Mutex(LockRank::kTrace);
+  std::vector<std::shared_ptr<const Trace>> ring_ INDOORFLOW_GUARDED_BY(mu_);
+  size_t next_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+  int64_t total_ INDOORFLOW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace indoorflow
+
+#endif  // INDOORFLOW_COMMON_TRACE_H_

@@ -5,6 +5,7 @@
 
 #include "src/common/executor.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/query_profile.h"
 
 namespace indoorflow {
@@ -73,15 +74,22 @@ const EngineMetrics& IntervalMetrics() {
 // summary-mode one) gets the query's total time and stats delta, its
 // verdicts finalized, and — if a flight recorder is attached — a copy
 // handed to it.
+//
+// When the caller's QueryControl carries a request span (the serving
+// path; see src/common/trace.h), the scope opens one engine span under
+// it covering the whole query, synthesizes phase child spans from the
+// QueryStats deltas on exit, and stamps the trace id into the profile so
+// /profiles/recent rows join against /traces/recent and the query log.
 class QueryMetricsScope {
  public:
   QueryMetricsScope(const EngineMetrics& metrics, const char* trace_name,
                     QueryStats*& stats, QueryProfile*& profile,
-                    ProfileRecorder* recorder)
+                    ProfileRecorder* recorder, const QueryControl* control)
       : metrics_(metrics),
         trace_name_(trace_name),
         recorder_(recorder),
-        start_ns_(MonotonicNowNs()) {
+        start_ns_(MonotonicNowNs()),
+        span_(control != nullptr ? control->span() : nullptr, trace_name) {
     if (stats == nullptr) stats = &local_;
     stats_ = stats;
     before_ = *stats;
@@ -91,7 +99,10 @@ class QueryMetricsScope {
       profile = &*local_profile_;
     }
     profile_ = profile;
-    if (profile_ != nullptr) profile_->kind = trace_name;
+    if (profile_ != nullptr) {
+      profile_->kind = trace_name;
+      if (span_.active()) profile_->trace_id = span_.trace_id_hex();
+    }
   }
   QueryMetricsScope(const QueryMetricsScope&) = delete;
   QueryMetricsScope& operator=(const QueryMetricsScope&) = delete;
@@ -127,7 +138,30 @@ class QueryMetricsScope {
     if (TracingEnabled()) {
       EmitTraceEvent(trace_name_, start_ns_ / 1000, total_ns / 1000);
     }
+    if (span_.active()) {
+      // Phase children synthesized from the same QueryStats deltas the
+      // registry histograms record, so a trace's phase durations
+      // reconcile with the stats by construction. The back-to-back
+      // placement is approximate (phases interleave per object, and
+      // parallel sections sum per-lane time), but every duration is the
+      // measured one.
+      int64_t cursor = start_ns_;
+      const auto phase = [&](const char* name, int64_t dur_ns) {
+        if (dur_ns <= 0) return;
+        span_.RecordChild(name, cursor, dur_ns);
+        cursor += dur_ns;
+      };
+      phase("retrieve", s.retrieve_ns - before_.retrieve_ns);
+      phase("derive_ur", s.derive_ns - before_.derive_ns);
+      phase("presence", s.presence_ns - before_.presence_ns);
+      phase("topk", s.topk_ns - before_.topk_ns);
+    }
   }
+
+  /// The engine span lanes and cache events parent under; null when the
+  /// request is unsampled so downstream sites skip all tracing work on a
+  /// single pointer compare.
+  const Span* span() const { return span_.active() ? &span_ : nullptr; }
 
  private:
   const EngineMetrics& metrics_;
@@ -139,6 +173,7 @@ class QueryMetricsScope {
   QueryProfile* profile_ = nullptr;
   ProfileRecorder* recorder_ = nullptr;
   int64_t start_ns_;
+  Span span_;
 };
 
 // The engine-side profile header: query identity, parameters, and the POI
@@ -270,7 +305,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotTopK(
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats, profile,
-                          recorder_);
+                          recorder_, control);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -279,6 +314,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotTopK(
   ctx.stats = stats;
   ctx.profile = profile;
   ctx.control = control;
+  ctx.span = scope.span();
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshot(ctx, poi_tree, ids, t, k);
@@ -308,7 +344,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotDensityTopK", stats,
-                          profile, recorder_);
+                          profile, recorder_, control);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -317,6 +353,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotDensityTopK(
   ctx.stats = stats;
   ctx.profile = profile;
   ctx.control = control;
+  ctx.span = scope.span();
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshotDensity(ctx, poi_tree, ids, t, k);
@@ -331,7 +368,7 @@ std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(IntervalMetrics(), "IntervalDensityTopK", stats,
-                          profile, recorder_);
+                          profile, recorder_, control);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -340,6 +377,7 @@ std::vector<PoiFlow> QueryEngine::IntervalDensityTopK(
   ctx.stats = stats;
   ctx.profile = profile;
   ctx.control = control;
+  ctx.span = scope.span();
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeIntervalDensity(ctx, poi_tree, ids, ts, te, k);
@@ -376,7 +414,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotThreshold", stats,
-                          profile, recorder_);
+                          profile, recorder_, control);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -385,6 +423,7 @@ std::vector<PoiFlow> QueryEngine::SnapshotThreshold(
   ctx.stats = stats;
   ctx.profile = profile;
   ctx.control = control;
+  ctx.span = scope.span();
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeSnapshotThreshold(ctx, poi_tree, ids, t, tau);
@@ -399,7 +438,7 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(IntervalMetrics(), "IntervalThreshold", stats,
-                          profile, recorder_);
+                          profile, recorder_, control);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -408,6 +447,7 @@ std::vector<PoiFlow> QueryEngine::IntervalThreshold(
   ctx.stats = stats;
   ctx.profile = profile;
   ctx.control = control;
+  ctx.span = scope.span();
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeIntervalThreshold(ctx, poi_tree, ids, ts, te, tau);
@@ -422,7 +462,7 @@ std::vector<PoiFlow> QueryEngine::IntervalTopK(
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
   QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats, profile,
-                          recorder_);
+                          recorder_, control);
   const PoiSelection selection = SelectPois(subset);
   const RTree& poi_tree = selection.tree();
   const std::vector<PoiId>& ids = selection.ids;
@@ -431,6 +471,7 @@ std::vector<PoiFlow> QueryEngine::IntervalTopK(
   ctx.stats = stats;
   ctx.profile = profile;
   ctx.control = control;
+  ctx.span = scope.span();
   switch (algorithm) {
     case Algorithm::kIterative:
       return IterativeInterval(ctx, poi_tree, ids, ts, te, k);

@@ -79,7 +79,7 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
     // a derivation.
     if (shared_cache != nullptr &&
         shared_cache->Lookup(chain.object, UrCache::Kind::kInterval, ts, te,
-                             &ur, &memo)) {
+                             &ur, &memo, ctx.span)) {
       if (timed) ++ctx.stats->ur_cache_hits;
     } else {
       const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
@@ -173,7 +173,7 @@ std::vector<PoiFlow> WithIntervalJoinSpec(const QueryContext& ctx,
       UrCache::PresenceMemoPtr memo;
       if (shared_cache != nullptr &&
           shared_cache->Lookup(chain.object, UrCache::Kind::kInterval, ts, te,
-                               &cached, &memo)) {
+                               &cached, &memo, ctx.span)) {
         if (ctx.stats != nullptr) ++ctx.stats->ur_cache_hits;
         slot_memos.emplace(slot, std::move(memo));
         return slot_urs.emplace(slot, std::move(cached)).first->second;

@@ -73,7 +73,8 @@ bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
   std::vector<ParallelFlowTally> tallies(items.size());
   const int64_t fan_start = MonotonicNowNs();
   const int lanes = ctx.executor->ParallelFor(
-      items.size(), ctx.threads, [&](size_t i) {
+      items.size(), ctx.threads,
+      [&](size_t i) {
         // Cooperative abandonment mid-fan-out: a tripped deadline/cancel
         // poll leaves this tally untouched (derived=false, no candidates),
         // so the ordered reduce books nothing for it. Every lane sees the
@@ -85,7 +86,7 @@ bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
         tally.object = object_of(item);
         if (shared_cache != nullptr &&
             shared_cache->Lookup(tally.object, kind, ts, te, &tally.ur,
-                                 &tally.memo)) {
+                                 &tally.memo, ctx.span)) {
           tally.cache_hit = true;
         } else {
           const int64_t derive_start = MonotonicNowNs();
@@ -114,7 +115,8 @@ bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
           tally.presences.push_back(presence);
         }
         tally.presence_ns = MonotonicNowNs() - presence_start;
-      });
+      },
+      ctx.span);
   const int64_t fan_ns = MonotonicNowNs() - fan_start;
 
   // Ordered reduce: flow additions happen in the serial loop's object and
@@ -235,7 +237,8 @@ MakeJoinPresenceBatch(
     std::vector<JoinSlotTally> tallies(slots.size());
     const int64_t fan_start = MonotonicNowNs();
     const int lanes = ctx.executor->ParallelFor(
-        slots.size(), ctx.threads, [&](size_t i) {
+        slots.size(), ctx.threads,
+        [&](size_t i) {
           // Cooperative abandonment, as in ParallelAccumulateFlows: an
           // untouched tally publishes nothing in phase 3, and the join's
           // own per-round poll ends the traversal right after this batch.
@@ -248,7 +251,7 @@ MakeJoinPresenceBatch(
             tally.object = object_of(slot);
             if (cache != nullptr &&
                 cache->Lookup(tally.object, kind, ts, te, &tally.ur,
-                              &tally.memo)) {
+                              &tally.memo, ctx.span)) {
               tally.cache_hit = true;
             } else {
               const int64_t derive_start = MonotonicNowNs();
@@ -268,7 +271,8 @@ MakeJoinPresenceBatch(
             tally.evaluated = true;
             if (memo != nullptr) memo->Put(poi_id, tally.presence);
           }
-        });
+        },
+        ctx.span);
     const int64_t fan_ns = MonotonicNowNs() - fan_start;
     // Phase 3 (calling thread, list order): publish and book.
     QueryStats* const stats = ctx.stats;

@@ -61,6 +61,11 @@ struct QueryContext {
   /// partial result. Null for every caller that doesn't serve requests,
   /// so the bit-identity and differential guarantees are untouched.
   const QueryControl* control = nullptr;
+  /// The engine's span for this query (may be null = unsampled/untraced;
+  /// see src/common/trace.h). Parallel sections parent one child span
+  /// per executor lane under it and the UR cache attaches hit/miss
+  /// events to it; a null span makes all of that a pointer compare.
+  const Span* span = nullptr;
 };
 
 /// The kernels' abort poll: false when no control is attached (the

@@ -92,6 +92,10 @@ std::string QueryProfile::ToJson() const {
   AppendJsonEscaped(kind, &out);
   out.append("\",\"algorithm\":\"");
   AppendJsonEscaped(algorithm, &out);
+  if (!trace_id.empty()) {
+    out.append("\",\"trace_id\":\"");
+    AppendJsonEscaped(trace_id, &out);
+  }
   out.append("\",\"params\":{\"ts\":");
   out.append(JsonNumber(ts));
   out.append(",\"te\":");
@@ -173,6 +177,11 @@ std::string QueryProfile::ToText() const {
   out.append(" (");
   out.append(algorithm);
   out.append(")\n");
+  if (!trace_id.empty()) {
+    out.append("trace: ");
+    out.append(trace_id);
+    out.push_back('\n');
+  }
   char line[160];
   if (te != ts) {
     std::snprintf(line, sizeof(line), "window: [%g, %g]\n", ts, te);

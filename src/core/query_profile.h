@@ -86,6 +86,11 @@ struct QueryProfile {
   // ---- identification, filled in by the engine -------------------------
   std::string kind;       // "SnapshotTopK", "IntervalThreshold", ...
   std::string algorithm;  // "iterative" | "join"
+  /// Request trace id (32 hex chars) when the query ran under a sampled
+  /// request trace (src/common/trace.h); empty otherwise. The join key
+  /// between /profiles/recent, /traces/recent, and the canonical query
+  /// log.
+  std::string trace_id;
   double ts = 0.0;
   double te = 0.0;  // == ts for snapshot queries
   int k = 0;        // 0 when not a top-k query

@@ -95,7 +95,7 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
     // books a ur_cache_hit instead of a derivation.
     if (shared_cache != nullptr &&
         shared_cache->Lookup(state.object, UrCache::Kind::kSnapshot, t, t,
-                             &ur, &memo)) {
+                             &ur, &memo, ctx.span)) {
       if (timed) ++ctx.stats->ur_cache_hits;
     } else {
       const int64_t derive_start = clocked ? MonotonicNowNs() : 0;
@@ -188,7 +188,7 @@ std::vector<PoiFlow> WithSnapshotJoinSpec(const QueryContext& ctx,
       UrCache::PresenceMemoPtr memo;
       if (shared_cache != nullptr &&
           shared_cache->Lookup(state.object, UrCache::Kind::kSnapshot, t, t,
-                               &cached, &memo)) {
+                               &cached, &memo, ctx.span)) {
         if (ctx.stats != nullptr) ++ctx.stats->ur_cache_hits;
         slot_memos.emplace(slot, std::move(memo));
         return slot_urs.emplace(slot, std::move(cached)).first->second;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 
 namespace indoorflow {
 
@@ -52,9 +53,12 @@ StreamingMonitor::StreamingMonitor(const Deployment& deployment,
   }
 }
 
-Status StreamingMonitor::Ingest(const RawReading& reading) {
+Status StreamingMonitor::Ingest(const RawReading& reading, const Span* span) {
   StreamingMetrics& metrics = GetStreamingMetrics();
   ScopedTimer timer(&metrics.ingest_latency_us);
+  // Destroyed after `lock` below: the span's End() takes the kTrace mutex
+  // only once mu_ has been released (a legal rank descent either way).
+  Span ingest_span(span, "ingest");
   if (reading.device_id < 0 ||
       static_cast<size_t>(reading.device_id) >= deployment_.size()) {
     metrics.readings_rejected.Add(1);

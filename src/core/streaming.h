@@ -51,6 +51,8 @@
 
 namespace indoorflow {
 
+class Span;  // src/common/trace.h
+
 struct StreamingOptions {
   /// Reading merge behavior (sampling period, gap tolerance).
   MergerOptions merger;
@@ -76,8 +78,11 @@ class StreamingMonitor {
                    const TopologyChecker* topology = nullptr);
 
   /// Ingests one reading. Readings of one object must arrive in
-  /// nondecreasing time order; cross-object interleaving is free.
-  Status Ingest(const RawReading& reading) INDOORFLOW_LOCKS_EXCLUDED(mu_);
+  /// nondecreasing time order; cross-object interleaving is free. When
+  /// `span` is non-null (a sampled request trace, src/common/trace.h) the
+  /// ingest work is recorded as an "ingest" child span.
+  Status Ingest(const RawReading& reading, const Span* span = nullptr)
+      INDOORFLOW_LOCKS_EXCLUDED(mu_);
 
   /// Largest reading time seen so far.
   Timestamp now() const INDOORFLOW_LOCKS_EXCLUDED(mu_) {

@@ -4,6 +4,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 
 namespace indoorflow {
 
@@ -128,39 +129,44 @@ void UrCache::BumpEpoch(ObjectId object) {
 }
 
 bool UrCache::Lookup(ObjectId object, Kind kind, Timestamp ts, Timestamp te,
-                     Region* out, PresenceMemoPtr* memo) {
+                     Region* out, PresenceMemoPtr* memo, const Span* span) {
   INDOORFLOW_CHECK(out != nullptr);
   if (memo != nullptr) memo->reset();
   UrCacheMetrics& metrics = GetUrCacheMetrics();
   const uint64_t epoch = EpochOf(object);
   const Key key = MakeKey(object, kind, ts, te);
   Shard& shard = ShardFor(key);
-  MutexLock lock(shard.mu);
-  const auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
-    ++shard.counters.misses;
-    metrics.misses.Add(1);
-    return false;
+  bool hit = false;
+  {
+    MutexLock lock(shard.mu);
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.counters.misses;
+      metrics.misses.Add(1);
+    } else if (it->second->second.epoch != epoch) {
+      // The object's tracking state changed after this entry was derived;
+      // drop it here rather than scanning every shard at bump time.
+      shard.bytes -= it->second->second.bytes;
+      metrics.bytes.Add(-static_cast<double>(it->second->second.bytes));
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.counters.stale_drops;
+      ++shard.counters.misses;
+      metrics.stale_drops.Add(1);
+      metrics.misses.Add(1);
+    } else {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->second.region;
+      if (memo != nullptr) *memo = it->second->second.memo;
+      ++shard.counters.hits;
+      metrics.hits.Add(1);
+      hit = true;
+    }
   }
-  if (it->second->second.epoch != epoch) {
-    // The object's tracking state changed after this entry was derived;
-    // drop it here rather than scanning every shard at bump time.
-    shard.bytes -= it->second->second.bytes;
-    metrics.bytes.Add(-static_cast<double>(it->second->second.bytes));
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
-    ++shard.counters.stale_drops;
-    ++shard.counters.misses;
-    metrics.stale_drops.Add(1);
-    metrics.misses.Add(1);
-    return false;
+  if (span != nullptr) {
+    span->AddEvent(hit ? "urcache.hit" : "urcache.miss");
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  *out = it->second->second.region;
-  if (memo != nullptr) *memo = it->second->second.memo;
-  ++shard.counters.hits;
-  metrics.hits.Add(1);
-  return true;
+  return hit;
 }
 
 void UrCache::Insert(ObjectId object, Kind kind, Timestamp ts, Timestamp te,

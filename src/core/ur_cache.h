@@ -53,6 +53,8 @@
 
 namespace indoorflow {
 
+class Span;  // src/common/trace.h
+
 struct UrCacheConfig {
   /// Off by default: enabling changes no query result (see the differential
   /// suite) but does change work counters (regions_derived) and warms
@@ -114,8 +116,12 @@ class UrCache {
   /// position, and returns true. A stale entry (object epoch bumped since
   /// insert) is dropped and reported as a miss. When `memo` is non-null it
   /// receives the entry's presence memo on a hit (nullptr otherwise).
+  /// When `span` is an active request span (src/common/trace.h) the
+  /// outcome is recorded on it as a "urcache.hit" / "urcache.miss" event,
+  /// outside the shard lock; null costs one pointer compare.
   bool Lookup(ObjectId object, Kind kind, Timestamp ts, Timestamp te,
-              Region* out, PresenceMemoPtr* memo = nullptr);
+              Region* out, PresenceMemoPtr* memo = nullptr,
+              const Span* span = nullptr);
 
   /// Inserts or replaces the entry, stamped with the object's current
   /// epoch, then evicts LRU entries until the shard is back under budget.

@@ -8,6 +8,7 @@
 
 #include "src/common/deadline.h"
 #include "src/common/executor.h"
+#include "src/common/log.h"
 #include "src/core/flow.h"
 #include "src/core/query_stats.h"
 #include "src/serve/json.h"
@@ -251,11 +252,12 @@ void AppendQueryEcho(const ParsedQuery& query, std::string* body) {
   body->append(",\"deadline_ms\":" + std::to_string(query.deadline_ms));
 }
 
-HttpResponse DeadlineResponse(const ParsedQuery& query,
-                              int64_t arrival_ns) {
+HttpResponse DeadlineResponse(const ParsedQuery& query, int64_t arrival_ns,
+                              const std::string& trace_id) {
   HttpResponse response;
   response.code = 504;
-  response.body = "{\"status\":\"deadline_exceeded\"";
+  response.body =
+      "{\"status\":\"deadline_exceeded\",\"trace_id\":\"" + trace_id + "\"";
   AppendQueryEcho(query, &response.body);
   response.body.append(
       ",\"elapsed_ms\":" +
@@ -278,7 +280,9 @@ QueryService::QueryService(const QueryEngine* engine,
           MetricsRegistry::Default().counter("serve.deadline_exceeded")),
       queue_depth_(MetricsRegistry::Default().gauge("serve.queue_depth")),
       latency_us_(
-          MetricsRegistry::Default().histogram("serve.latency_us")) {}
+          MetricsRegistry::Default().histogram("serve.latency_us")),
+      queue_wait_us_(
+          MetricsRegistry::Default().histogram("serve.queue_wait_us")) {}
 
 QueryService::~QueryService() { Stop(); }
 
@@ -293,11 +297,62 @@ void QueryService::RegisterRoutes(ExpoServer* server) {
           });
         });
   }
+  server->Handle("/traces/recent", "application/json",
+                 []() { return TraceRing::Default().ToJson(); });
+}
+
+QueryService::RequestTrace QueryService::StartRequestTrace(
+    const HttpRequest& request) const {
+  RequestTrace rt;
+  TraceContext incoming;
+  if (!request.traceparent.empty() &&
+      TraceContext::FromTraceparent(request.traceparent, &incoming)) {
+    // Join the caller's trace: same trace id, the caller's span becomes
+    // the remote parent of our root span, and the caller's sampling
+    // decision is honored over the local rate.
+    rt.context = incoming;
+    rt.context.span_id = NextSpanId();
+    rt.remote_parent_id = incoming.span_id;
+  } else {
+    rt.context = NewTraceContext(options_.trace_sample);
+  }
+  if (rt.context.sampled) {
+    rt.trace = std::make_shared<Trace>(rt.context, rt.remote_parent_id);
+  }
+  return rt;
+}
+
+void QueryService::FinishRequest(const std::string& endpoint,
+                                 const RequestTrace& rt,
+                                 const RequestOutcome& outcome,
+                                 int64_t arrival_ns) {
+  if (rt.trace != nullptr) {
+    rt.trace->Finish();
+    TraceRing::Default().Push(rt.trace);
+  }
+  if (!LogEnabled(LogLevel::kInfo)) return;
+  // The canonical query log: one wide record per request, whatever its
+  // fate, with the trace id as the join key across /traces/recent,
+  // /profiles/recent, and the metrics in the response body.
+  LogRecord record = Log(LogLevel::kInfo, "query_log", "request");
+  record.Field("trace_id", rt.context.trace_id_hex());
+  record.Field("endpoint", endpoint);
+  record.Field("admission", outcome.admission);
+  record.Field("outcome", outcome.status);
+  record.Field("code", static_cast<int64_t>(outcome.code));
+  record.Field("sampled", rt.context.sampled);
+  record.Field("deadline_ms", outcome.deadline_ms);
+  record.Field("queue_wait_us", outcome.queue_wait_us);
+  record.Field("latency_us", (MonotonicNowNs() - arrival_ns) / 1000);
+  for (const QueryStatsField& field : kQueryStatsFields) {
+    record.Field(field.json_name, outcome.stats.*field.member);
+  }
 }
 
 void QueryService::Submit(const HttpRequest& request, Responder respond) {
   requests_.Add();
   const int64_t enqueue_ns = MonotonicNowNs();
+  const RequestTrace rt = StartRequestTrace(request);
   enum class Decision { kAdmit, kShedStopping, kShedFull };
   Decision decision = Decision::kAdmit;
   int depth = 0;
@@ -322,9 +377,17 @@ void QueryService::Submit(const HttpRequest& request, Responder respond) {
         std::string("{\"status\":\"shed\",\"reason\":") +
         (decision == Decision::kShedStopping ? "\"stopping\""
                                              : "\"queue_full\"") +
-        ",\"queue_depth\":" + std::to_string(depth) +
+        ",\"trace_id\":\"" + rt.context.trace_id_hex() +
+        "\",\"queue_depth\":" + std::to_string(depth) +
         ",\"queue_limit\":" + std::to_string(options_.queue_limit) +
         "}\n";
+    RequestOutcome outcome;
+    outcome.admission = decision == Decision::kShedStopping
+                            ? "shed_stopping"
+                            : "shed_queue_full";
+    outcome.status = "shed";
+    outcome.code = 503;
+    FinishRequest(request.path, rt, outcome, enqueue_ns);
     respond(response);
     return;
   }
@@ -334,32 +397,50 @@ void QueryService::Submit(const HttpRequest& request, Responder respond) {
   // into the task; it is small (capped body) and the accept thread must
   // not block on the executor anyway.
   Executor::Default().Submit(
-      [this, request, respond = std::move(respond), enqueue_ns]() {
-        RunAdmitted(request, respond, enqueue_ns);
+      [this, request, respond = std::move(respond), enqueue_ns, rt]() {
+        RunAdmitted(request, respond, enqueue_ns, rt);
       });
 }
 
 void QueryService::RunAdmitted(const HttpRequest& request,
                                const Responder& respond,
-                               int64_t enqueue_ns) {
-  const int64_t waited_ms =
-      (MonotonicNowNs() - enqueue_ns) / 1'000'000;
-  if (options_.max_queue_wait_ms > 0 &&
-      waited_ms > options_.max_queue_wait_ms) {
-    // Shed before computing: this request already sat in the queue past
-    // the wait cap, so serving it would only push every later request
-    // further past its own deadline.
-    shed_.Add();
-    HttpResponse response;
-    response.code = 503;
-    response.body =
-        "{\"status\":\"shed\",\"reason\":\"queue_wait\",\"waited_ms\":" +
-        std::to_string(waited_ms) + ",\"max_queue_wait_ms\":" +
-        std::to_string(options_.max_queue_wait_ms) + "}\n";
-    respond(response);
-  } else {
-    respond(Evaluate(request, enqueue_ns));
+                               int64_t enqueue_ns,
+                               const RequestTrace& rt) {
+  const int64_t waited_ns = MonotonicNowNs() - enqueue_ns;
+  const int64_t waited_ms = waited_ns / 1'000'000;
+  queue_wait_us_.Record(static_cast<double>(waited_ns) / 1e3);
+  RequestOutcome outcome;
+  outcome.queue_wait_us = waited_ns / 1000;
+  HttpResponse response;
+  {
+    // The request's root span. It opens at dequeue; the wait the request
+    // already served in the queue is recorded as a pre-measured child so
+    // the tree still accounts for it.
+    Span root(rt.trace.get(), "request");
+    root.RecordChild("queue_wait", enqueue_ns, waited_ns);
+    if (options_.max_queue_wait_ms > 0 &&
+        waited_ms > options_.max_queue_wait_ms) {
+      // Shed before computing: this request already sat in the queue past
+      // the wait cap, so serving it would only push every later request
+      // further past its own deadline.
+      shed_.Add();
+      outcome.admission = "shed_queue_wait";
+      outcome.status = "shed";
+      outcome.code = 503;
+      response.code = 503;
+      response.body =
+          "{\"status\":\"shed\",\"reason\":\"queue_wait\",\"trace_id\":\"" +
+          rt.context.trace_id_hex() + "\",\"waited_ms\":" +
+          std::to_string(waited_ms) + ",\"max_queue_wait_ms\":" +
+          std::to_string(options_.max_queue_wait_ms) + "}\n";
+    } else {
+      response = EvaluateTraced(request, enqueue_ns, rt, &root, &outcome);
+    }
   }
+  // Publish before responding so a client that immediately polls
+  // /traces/recent after its response already sees this trace.
+  FinishRequest(request.path, rt, outcome, enqueue_ns);
+  respond(response);
   latency_us_.Record(
       static_cast<double>(MonotonicNowNs() - enqueue_ns) / 1e3);
   // The final decrement below is what releases Stop(), and Stop()'s caller
@@ -379,9 +460,32 @@ void QueryService::RunAdmitted(const HttpRequest& request,
 
 HttpResponse QueryService::Evaluate(const HttpRequest& request,
                                     int64_t arrival_ns) {
+  // The synchronous path (tests, tools) mints its own trace the same way
+  // Submit does, so direct evaluations land in /traces/recent and the
+  // query log too.
+  const RequestTrace rt = StartRequestTrace(request);
+  RequestOutcome outcome;
+  HttpResponse response;
+  {
+    Span root(rt.trace.get(), "request");
+    response = EvaluateTraced(request, arrival_ns, rt, &root, &outcome);
+  }
+  FinishRequest(request.path, rt, outcome, arrival_ns);
+  return response;
+}
+
+HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
+                                          int64_t arrival_ns,
+                                          const RequestTrace& rt, Span* root,
+                                          RequestOutcome* outcome) {
   ParsedQuery query;
   const Status parse = ParseQuery(request, options_, &query);
-  if (!parse.ok()) return ErrorResponse(parse.message());
+  if (!parse.ok()) {
+    outcome->status = "bad_request";
+    outcome->code = 400;
+    return ErrorResponse(parse.message());
+  }
+  outcome->deadline_ms = query.deadline_ms;
 
   // The deadline is anchored at *arrival*: time spent queued counts
   // against it, so a request that aged out while waiting fails fast here
@@ -389,9 +493,10 @@ HttpResponse QueryService::Evaluate(const HttpRequest& request,
   const Deadline deadline =
       Deadline::AtNanos(arrival_ns + query.deadline_ms * 1'000'000);
   QueryControl control(deadline);
+  control.set_span(root);
   std::vector<PoiFlow> results;
+  QueryStats stats;
   if (!control.ShouldAbort()) {
-    QueryStats stats;
     switch (query.kind) {
       case QueryKind::kSnapshot:
         results = query.density
@@ -413,15 +518,19 @@ HttpResponse QueryService::Evaluate(const HttpRequest& request,
         break;
     }
   }
+  outcome->stats = stats;
   if (control.Aborted()) {
     // Partial results are garbage by contract; never ship them.
     deadline_exceeded_.Add();
-    return DeadlineResponse(query, arrival_ns);
+    outcome->status = "deadline_exceeded";
+    outcome->code = 504;
+    return DeadlineResponse(query, arrival_ns, rt.context.trace_id_hex());
   }
 
   const PoiSet& pois = engine_->pois();
   HttpResponse response;
-  response.body = "{\"status\":\"ok\"";
+  response.body =
+      "{\"status\":\"ok\",\"trace_id\":\"" + rt.context.trace_id_hex() + "\"";
   AppendQueryEcho(query, &response.body);
   response.body.append(
       ",\"elapsed_ms\":" +

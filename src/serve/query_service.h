@@ -28,8 +28,15 @@
 // client gets a structured 504 instead of a late answer.
 //
 // Observability: the `serve.*` registry family — requests/admitted/shed/
-// deadline_exceeded counters, a queue-depth gauge, and an end-to-end
-// request-latency histogram (docs/OBSERVABILITY.md).
+// deadline_exceeded counters, a queue-depth gauge, and end-to-end
+// request-latency plus queue-wait histograms (docs/OBSERVABILITY.md).
+// Every request additionally carries a TraceContext (src/common/trace.h):
+// an injected W3C `traceparent` header joins the caller's trace, anything
+// else mints fresh ids under `trace_sample`. Sampled requests record a
+// span tree (queue wait -> engine phases -> executor lanes -> cache
+// events) published on /traces/recent, and every request — sampled or
+// not — emits one wide "query_log" JSONL record through src/common/log.h
+// whose trace id joins traces, profiles, and metrics.
 //
 // Thread safety: Submit() may be called from any thread (the accept
 // thread in production); the bounded-queue accounting sits behind a
@@ -43,12 +50,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "src/common/expo_server.h"
 #include "src/common/metrics.h"
 #include "src/common/mutex.h"
+#include "src/common/trace.h"
 #include "src/core/engine.h"
+#include "src/core/query_stats.h"
 
 namespace indoorflow {
 
@@ -66,6 +76,12 @@ struct QueryServiceOptions {
   int64_t max_deadline_ms = 10000;
   /// `k` when the request names none.
   int default_k = 10;
+  /// Head-sampling rate for request traces in [0, 1]: the fraction of
+  /// requests that record a span tree into /traces/recent. Trace ids are
+  /// generated — and stamped into response bodies and the canonical query
+  /// log — regardless, so the join key survives sampling. An injected
+  /// `traceparent` header's sampled flag overrides the local rate.
+  double trace_sample = 1.0;
 };
 
 class QueryService {
@@ -82,7 +98,8 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   /// Registers /query/snapshot, /query/interval, and /query/join on
-  /// `server`. Call before ExpoServer::Start().
+  /// `server`, plus the /traces/recent exposition route (the process-wide
+  /// TraceRing as JSON). Call before ExpoServer::Start().
   void RegisterRoutes(ExpoServer* server);
 
   /// Admission control + dispatch for one request: shed (503, inline) or
@@ -103,8 +120,40 @@ class QueryService {
   const QueryServiceOptions& options() const { return options_; }
 
  private:
+  /// Identifiers plus (when head-sampled) the span-tree recorder for one
+  /// request. Copyable so it can ride the executor task's std::function.
+  struct RequestTrace {
+    TraceContext context;
+    uint64_t remote_parent_id = 0;  // caller's span id when propagated in
+    std::shared_ptr<Trace> trace;   // null when the request is unsampled
+  };
+
+  /// What happened to one request, for the canonical query log.
+  struct RequestOutcome {
+    const char* admission = "admitted";  // or "shed_*"
+    const char* status = "ok";  // "ok"|"bad_request"|"deadline_exceeded"|"shed"
+    int code = 200;
+    int64_t deadline_ms = 0;
+    int64_t queue_wait_us = 0;
+    QueryStats stats;  // zeros unless the query ran
+  };
+
+  /// Joins the request's injected traceparent (when present and valid) or
+  /// mints a fresh context under options_.trace_sample.
+  RequestTrace StartRequestTrace(const HttpRequest& request) const;
+
+  /// Finishes + publishes the trace (ring, Chrome sink) and emits the
+  /// canonical query-log record. Runs before the response is sent so
+  /// /traces/recent already shows the trace when the client sees the body.
+  void FinishRequest(const std::string& endpoint, const RequestTrace& rt,
+                     const RequestOutcome& outcome, int64_t arrival_ns);
+
+  HttpResponse EvaluateTraced(const HttpRequest& request, int64_t arrival_ns,
+                              const RequestTrace& rt, Span* root,
+                              RequestOutcome* outcome);
+
   void RunAdmitted(const HttpRequest& request, const Responder& respond,
-                   int64_t enqueue_ns);
+                   int64_t enqueue_ns, const RequestTrace& rt);
 
   const QueryEngine* engine_;
   QueryServiceOptions options_;
@@ -115,6 +164,7 @@ class QueryService {
   Counter& deadline_exceeded_;
   Gauge& queue_depth_;
   Histogram& latency_us_;
+  Histogram& queue_wait_us_;
 
   Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceExpo)
       INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceServe) =

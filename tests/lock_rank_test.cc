@@ -6,8 +6,9 @@
 // builds where the validator is compiled out (Release without sanitizers).
 //
 // The *Concurrency* suite stress-nests the sanctioned engine -> monitor ->
-// urcache -> metrics -> log chain from many threads at once; the TSan CI
-// job picks it up via `ctest -R "Concurrency"` and proves the discipline
+// urcache -> trace -> metrics -> log chain from many threads at once; the
+// TSan CI job picks it up via `ctest -R "Concurrency"` and proves the
+// discipline
 // holds under real interleavings.
 
 #include <thread>
@@ -36,7 +37,7 @@ TEST(LockRankDeathTest, OutOfOrderAcquisitionAborts) {
         Mutex log_mu(LockRank::kLog);
         Mutex engine_mu(LockRank::kEngine);
         MutexLock hold_log(log_mu);
-        MutexLock hold_engine(engine_mu);  // ascends: rank 7 while holding 0
+        MutexLock hold_engine(engine_mu);  // ascends: rank 8 while holding 0
       },
       "lock-rank violation");
 }
@@ -76,6 +77,7 @@ TEST(LockRankTest, DescendingAcquisitionIsSanctioned) {
   Mutex cache_mu(LockRank::kUrCache);
   Mutex rtree_mu(LockRank::kRtree);
   Mutex executor_mu(LockRank::kExecutor);
+  Mutex trace_mu(LockRank::kTrace);
   Mutex metrics_mu(LockRank::kMetrics);
   Mutex log_mu(LockRank::kLog);
   MutexLock l0(expo_mu);
@@ -85,8 +87,9 @@ TEST(LockRankTest, DescendingAcquisitionIsSanctioned) {
   MutexLock l4(cache_mu);
   MutexLock l5(rtree_mu);
   MutexLock l6(executor_mu);
-  MutexLock l7(metrics_mu);
-  MutexLock l8(log_mu);
+  MutexLock l7(trace_mu);
+  MutexLock l8(metrics_mu);
+  MutexLock l9(log_mu);
   SUCCEED();
 }
 
@@ -105,17 +108,20 @@ TEST(LockRankTest, RankAccessorAndNames) {
   Mutex mu(LockRank::kRtree);
   EXPECT_EQ(mu.rank(), LockRank::kRtree);
   EXPECT_STREQ(LockRankName(LockRank::kLog), "log");
+  EXPECT_STREQ(LockRankName(LockRank::kTrace), "trace");
   EXPECT_STREQ(LockRankName(LockRank::kExpo), "expo");
 }
 
 // Shared chain nested in the sanctioned engine -> monitor -> urcache ->
-// metrics -> log order by every worker at once. TSan (and the validator)
-// watch the interleavings; any ordering bug here is a deadlock candidate
-// in the real engine -> monitor -> cache call path.
+// trace -> metrics -> log order by every worker at once (the trace rung is
+// the span-record-then-sink descent in src/common/trace.cc). TSan (and the
+// validator) watch the interleavings; any ordering bug here is a deadlock
+// candidate in the real engine -> monitor -> cache call path.
 TEST(LockRankConcurrencyTest, SanctionedNestingUnderContention) {
   Mutex engine_mu(LockRank::kEngine);
   Mutex monitor_mu(LockRank::kMonitor);
   Mutex cache_mu(LockRank::kUrCache);
+  Mutex trace_mu(LockRank::kTrace);
   Mutex metrics_mu(LockRank::kMetrics);
   Mutex log_mu(LockRank::kLog);
   int shared = 0;
@@ -130,6 +136,7 @@ TEST(LockRankConcurrencyTest, SanctionedNestingUnderContention) {
         MutexLock engine_lock(engine_mu);
         MutexLock monitor_lock(monitor_mu);
         MutexLock cache_lock(cache_mu);
+        MutexLock trace_lock(trace_mu);
         MutexLock metrics_lock(metrics_mu);
         MutexLock log_lock(log_mu);
         ++shared;

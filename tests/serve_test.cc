@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,7 +23,9 @@
 
 #include "src/common/deadline.h"
 #include "src/common/expo_server.h"
+#include "src/common/log.h"
 #include "src/common/metrics.h"
+#include "src/common/trace.h"
 #include "src/core/engine.h"
 #include "src/serve/json.h"
 #include "src/serve/query_service.h"
@@ -270,9 +274,12 @@ TEST_F(ServeFixture, AdmittedRequestsRunOnExecutorAndDrainOnStop) {
 // ---------------------------------------------------------------------------
 // End-to-end over real sockets.
 
-// Minimal blocking HTTP exchange against 127.0.0.1:port.
+// Minimal blocking HTTP exchange against 127.0.0.1:port. `extra_headers`
+// is spliced in verbatim and must be ""-or-CRLF-terminated lines (the
+// trace round-trip test injects `traceparent` through it).
 std::string SendHttp(int port, const std::string& method,
-                     const std::string& target, const std::string& body) {
+                     const std::string& target, const std::string& body,
+                     const std::string& extra_headers = "") {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return "";
   sockaddr_in addr = {};
@@ -285,7 +292,7 @@ std::string SendHttp(int port, const std::string& method,
     return "";
   }
   std::string request = method + " " + target +
-                        " HTTP/1.1\r\nHost: localhost\r\n"
+                        " HTTP/1.1\r\nHost: localhost\r\n" + extra_headers +
                         "Content-Length: " +
                         std::to_string(body.size()) +
                         "\r\nConnection: close\r\n\r\n" + body;
@@ -338,6 +345,109 @@ TEST_F(ServeFixture, EndToEndHttpQueryRoundTrip) {
 
   server.Stop();
   service.Stop();
+}
+
+// An injected W3C traceparent header's trace id must come back in the
+// response body, appear on /traces/recent with the full span tree
+// (queue wait, engine phases, executor lanes, cache events), and land in
+// exactly one canonical query-log record.
+TEST_F(ServeFixture, TraceRoundTripPropagatesInjectedTraceparent) {
+  // Parallel engine with the UR cache on, so the trace shows lane spans
+  // and cache events, not just the serial phase children.
+  EngineConfig config;
+  config.threads = 2;
+  config.parallel_threshold = 1;
+  config.ur_cache.enabled = true;
+  QueryEngine traced_engine(dataset_, config);
+
+  const std::string log_path =
+      ::testing::TempDir() + "/indoorflow_serve_trace.log";
+  std::remove(log_path.c_str());
+  ASSERT_TRUE(SetLogFile(log_path).ok());
+  SetLogFormat(LogFormat::kJson);
+  SetLogLevel(LogLevel::kInfo);
+  TraceRing::Default().Clear();
+
+  QueryService service(&traced_engine, QueryServiceOptions{});
+  ExpoServer server;
+  service.RegisterRoutes(&server);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  const std::string kTraceId = "4bf92f3577b34da6a3ce929d0e0e4736";
+  const std::string response = SendHttp(
+      server.port(), "POST", "/query/snapshot", "{\"t\": 300, \"k\": 3}",
+      "traceparent: 00-" + kTraceId + "-00f067aa0ba902b7-01\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+      << response;
+  // The propagated trace id is the join key in the response body.
+  EXPECT_NE(response.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos)
+      << response;
+
+  // FinishRequest runs before the response is written, so the ring is
+  // already populated when the client turns around and polls it.
+  const std::string traces =
+      SendHttp(server.port(), "GET", "/traces/recent", "");
+  EXPECT_NE(traces.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos)
+      << traces;
+  // Root parented to the remote span from the injected header.
+  EXPECT_NE(traces.find("\"parent_id\":\"00f067aa0ba902b7\""),
+            std::string::npos);
+  for (const char* span_name :
+       {"\"name\":\"request\"", "\"name\":\"queue_wait\"",
+        "\"name\":\"retrieve\"", "\"name\":\"topk\"", "\"name\":\"lane "}) {
+    EXPECT_NE(traces.find(span_name), std::string::npos)
+        << "missing " << span_name << " in " << traces;
+  }
+  // First lookup on a fresh cache: a miss event on some span.
+  EXPECT_NE(traces.find("\"name\":\"urcache.miss\""), std::string::npos)
+      << traces;
+
+  server.Stop();
+  service.Stop();
+  SetLogFormat(LogFormat::kText);
+
+  // Exactly one canonical query-log record carries the same trace id.
+  std::ifstream log_file(log_path);
+  ASSERT_TRUE(log_file.is_open());
+  std::string line;
+  int query_log_records = 0;
+  std::string record;
+  while (std::getline(log_file, line)) {
+    if (line.find("\"component\":\"query_log\"") == std::string::npos) {
+      continue;
+    }
+    ++query_log_records;
+    record = line;
+  }
+  EXPECT_EQ(query_log_records, 1) << "in " << log_path;
+  EXPECT_NE(record.find("\"trace_id\":\"" + kTraceId + "\""),
+            std::string::npos)
+      << record;
+  EXPECT_NE(record.find("\"endpoint\":\"/query/snapshot\""),
+            std::string::npos)
+      << record;
+  EXPECT_NE(record.find("\"admission\":\"admitted\""), std::string::npos);
+  EXPECT_NE(record.find("\"outcome\":\"ok\""), std::string::npos);
+  // The full QueryStats ride along (spot-check two fields).
+  EXPECT_NE(record.find("\"objects_retrieved\""), std::string::npos)
+      << record;
+  EXPECT_NE(record.find("\"latency_us\""), std::string::npos) << record;
+}
+
+// Unsampled requests still carry identifiers (the response join key)
+// but allocate no trace and publish nothing to the ring.
+TEST_F(ServeFixture, UnsampledRequestsKeepIdsButSkipTheRing) {
+  TraceRing::Default().Clear();
+  QueryServiceOptions options;
+  options.trace_sample = 0.0;
+  QueryService service(engine_.get(), options);
+  const HttpResponse response = service.Evaluate(
+      Post("/query/snapshot", "{\"t\": 300, \"k\": 3}"), MonotonicNowNs());
+  EXPECT_EQ(response.code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"trace_id\":\""), std::string::npos);
+  EXPECT_EQ(TraceRing::Default().size(), 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,398 @@
+// Tests for the request-tracing subsystem (src/common/trace.h): W3C
+// traceparent parse/emit, head sampling, span-tree recording and bounds,
+// ring behavior, and — in the *ConcurrencyTest suites the TSan CI job
+// runs — that concurrent requests never interleave spans across trace
+// trees and that executor lanes parent correctly.
+
+#include "src/common/trace.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/common/executor.h"
+
+namespace indoorflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TraceContext / W3C traceparent
+
+TEST(TraceContextTest, ToTraceparentRoundTrips) {
+  TraceContext ctx;
+  ctx.trace_id_high = 0x4bf92f3577b34da6ULL;
+  ctx.trace_id_low = 0xa3ce929d0e0e4736ULL;
+  ctx.span_id = 0x00f067aa0ba902b7ULL;
+  ctx.sampled = true;
+  const std::string header = ctx.ToTraceparent();
+  EXPECT_EQ(header,
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01");
+
+  TraceContext parsed;
+  ASSERT_TRUE(TraceContext::FromTraceparent(header, &parsed));
+  EXPECT_EQ(parsed.trace_id_high, ctx.trace_id_high);
+  EXPECT_EQ(parsed.trace_id_low, ctx.trace_id_low);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);
+  EXPECT_TRUE(parsed.sampled);
+}
+
+TEST(TraceContextTest, UnsampledFlagParses) {
+  TraceContext parsed;
+  ASSERT_TRUE(TraceContext::FromTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", &parsed));
+  EXPECT_FALSE(parsed.sampled);
+}
+
+TEST(TraceContextTest, RejectsMalformedHeaders) {
+  TraceContext out;
+  const char* bad[] = {
+      "",
+      "00",
+      // wrong length
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0",
+      // unknown version
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // uppercase hex (spec requires lowercase)
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+      // zero trace id / zero parent id
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+      // separators in the wrong place
+      "00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",
+      // non-hex garbage
+      "00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(TraceContext::FromTraceparent(header, &out))
+        << "accepted: " << header;
+  }
+}
+
+TEST(TraceContextTest, NewContextIsValidAndUnique) {
+  const TraceContext a = NewTraceContext(1.0);
+  const TraceContext b = NewTraceContext(1.0);
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_TRUE(a.sampled);
+  EXPECT_NE(a.trace_id_hex(), b.trace_id_hex());
+  EXPECT_EQ(a.trace_id_hex().size(), 32u);
+  EXPECT_EQ(a.span_id_hex().size(), 16u);
+}
+
+TEST(TraceContextTest, SamplingExtremes) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(NewTraceContext(1.0).sampled);
+    EXPECT_FALSE(NewTraceContext(0.0).sampled);
+  }
+}
+
+TEST(TraceContextTest, SamplingIsDeterministicInTheId) {
+  // The decision is a pure function of the trace id: re-deriving it from
+  // the id must agree with the minted context.
+  for (int i = 0; i < 256; ++i) {
+    const TraceContext ctx = NewTraceContext(0.5);
+    const uint64_t threshold =
+        static_cast<uint64_t>(0.5 * 9007199254740992.0);  // 2^53
+    EXPECT_EQ(ctx.sampled, (ctx.trace_id_low >> 11) < threshold);
+  }
+}
+
+TEST(TraceContextTest, SamplingRateIsRoughlyHonored) {
+  int sampled = 0;
+  const int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    sampled += NewTraceContext(0.25).sampled ? 1 : 0;
+  }
+  // 0.25 +- generous slack; splitmix64 is uniform enough for this band.
+  EXPECT_GT(sampled, kTrials / 8);
+  EXPECT_LT(sampled, kTrials / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Span / Trace
+
+TEST(SpanTest, InertSpanRecordsNothing) {
+  Span inert;
+  EXPECT_FALSE(inert.active());
+  EXPECT_EQ(inert.trace_id_hex(), "");
+  inert.AddEvent("ignored");
+  inert.RecordChild("ignored", 0, 1);
+  Span child(&inert, "also inert");
+  EXPECT_FALSE(child.active());
+  Span null_parent(static_cast<const Span*>(nullptr), "inert too");
+  EXPECT_FALSE(null_parent.active());
+}
+
+TEST(SpanTest, TreeStructureAndEvents) {
+  const TraceContext ctx = NewTraceContext(1.0);
+  auto trace = std::make_shared<Trace>(ctx);
+  {
+    Span root(trace.get(), "request");
+    EXPECT_TRUE(root.active());
+    EXPECT_EQ(root.id(), ctx.span_id);
+    EXPECT_EQ(root.trace_id_hex(), ctx.trace_id_hex());
+    root.RecordChild("queue_wait", trace->start_ns(), 1000);
+    {
+      Span child(&root, "engine");
+      child.AddEvent("urcache.miss");
+      Span grandchild(&child, "lane 0");
+      EXPECT_TRUE(grandchild.active());
+    }
+  }
+  trace->Finish();
+  EXPECT_EQ(trace->span_count(), 4u);
+  EXPECT_EQ(trace->dropped_spans(), 0);
+
+  const std::string json = trace->ToJson();
+  EXPECT_NE(json.find("\"trace_id\":\"" + ctx.trace_id_hex() + "\""),
+            std::string::npos);
+  // The root nests the others: "request" appears before "engine", which
+  // holds "lane 0" in its children array and the cache event.
+  const size_t request_pos = json.find("\"name\":\"request\"");
+  const size_t engine_pos = json.find("\"name\":\"engine\"");
+  const size_t lane_pos = json.find("\"name\":\"lane 0\"");
+  ASSERT_NE(request_pos, std::string::npos);
+  ASSERT_NE(engine_pos, std::string::npos);
+  ASSERT_NE(lane_pos, std::string::npos);
+  EXPECT_LT(request_pos, engine_pos);
+  EXPECT_LT(engine_pos, lane_pos);
+  EXPECT_NE(json.find("\"name\":\"urcache.miss\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"queue_wait\""), std::string::npos);
+}
+
+TEST(SpanTest, RemoteParentIdIsRootsParent) {
+  TraceContext ctx = NewTraceContext(1.0);
+  const uint64_t remote = 0x00f067aa0ba902b7ULL;
+  Trace trace(ctx, remote);
+  { Span root(&trace, "request"); }
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"parent_id\":\"00f067aa0ba902b7\""),
+            std::string::npos);
+}
+
+TEST(SpanTest, SpanCapDropsNotGrows) {
+  const TraceContext ctx = NewTraceContext(1.0);
+  Trace trace(ctx);
+  Span root(&trace, "request");
+  for (size_t i = 0; i < Trace::kMaxSpans + 10; ++i) {
+    Span child(&root, "c");
+  }
+  EXPECT_EQ(trace.span_count(), Trace::kMaxSpans);
+  EXPECT_GT(trace.dropped_spans(), 0);
+  // A child dropped at the cap must come out inert, not crash.
+  Span overflow(&root, "over");
+  EXPECT_FALSE(overflow.active());
+}
+
+TEST(SpanTest, EventCapDrops) {
+  const TraceContext ctx = NewTraceContext(1.0);
+  Trace trace(ctx);
+  Span root(&trace, "request");
+  for (size_t i = 0; i < Trace::kMaxEvents + 10; ++i) {
+    root.AddEvent("e");
+  }
+  EXPECT_GT(trace.dropped_events(), 0);
+}
+
+TEST(SpanTest, FinishClosesOpenSpans) {
+  const TraceContext ctx = NewTraceContext(1.0);
+  auto trace = std::make_shared<Trace>(ctx);
+  Span root(trace.get(), "request");  // never ended explicitly
+  trace->Finish();
+  const std::string json = trace->ToJson();
+  // No span may serialize with a negative duration.
+  EXPECT_EQ(json.find("\"dur_us\":-"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRing
+
+std::shared_ptr<const Trace> MakeFinishedTrace() {
+  auto trace = std::make_shared<Trace>(NewTraceContext(1.0));
+  { Span root(trace.get(), "request"); }
+  trace->Finish();
+  return trace;
+}
+
+TEST(TraceRingTest, BoundedAndNewestFirst) {
+  TraceRing ring(3);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto trace = MakeFinishedTrace();
+    ids.push_back(trace->context().trace_id_hex());
+    ring.Push(trace);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  const std::string json = ring.ToJson();
+  EXPECT_NE(json.find("\"capacity\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"total\":5"), std::string::npos);
+  // Oldest two evicted; newest serializes first.
+  EXPECT_EQ(json.find(ids[0]), std::string::npos);
+  EXPECT_EQ(json.find(ids[1]), std::string::npos);
+  const size_t newest = json.find(ids[4]);
+  const size_t middle = json.find(ids[3]);
+  const size_t oldest = json.find(ids[2]);
+  ASSERT_NE(newest, std::string::npos);
+  ASSERT_NE(middle, std::string::npos);
+  ASSERT_NE(oldest, std::string::npos);
+  EXPECT_LT(newest, middle);
+  EXPECT_LT(middle, oldest);
+}
+
+TEST(TraceRingTest, ClearEmptiesButKeepsTotal) {
+  TraceRing ring(4);
+  ring.Push(MakeFinishedTrace());
+  ring.Push(MakeFinishedTrace());
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_NE(ring.ToJson().find("\"total\":2"), std::string::npos);
+  ring.Push(MakeFinishedTrace());
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(TraceRingTest, NullPushIgnored) {
+  TraceRing ring(2);
+  ring.Push(nullptr);
+  EXPECT_EQ(ring.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan CI job runs suites matching "Concurrency")
+
+// Concurrent requests, each with its own Trace, recording from several
+// threads at once: span trees must never interleave across traces, and
+// every recorded span must land in its own tree.
+TEST(TraceConcurrencyTest, ConcurrentTracesDoNotInterleave) {
+  constexpr int kTraces = 8;
+  constexpr int kSpansPerTrace = 40;
+  std::vector<std::shared_ptr<Trace>> traces;
+  traces.reserve(kTraces);
+  for (int i = 0; i < kTraces; ++i) {
+    traces.push_back(std::make_shared<Trace>(NewTraceContext(1.0)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kTraces);
+  for (int i = 0; i < kTraces; ++i) {
+    threads.emplace_back([&traces, i] {
+      Span root(traces[static_cast<size_t>(i)].get(), "request");
+      for (int s = 0; s < kSpansPerTrace; ++s) {
+        Span child(&root, "work " + std::to_string(s));
+        child.AddEvent("tick");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const auto& trace : traces) {
+    trace->Finish();
+    // Root + its own children, nothing leaked in from a sibling trace.
+    EXPECT_EQ(trace->span_count(), 1u + kSpansPerTrace);
+    EXPECT_EQ(trace->dropped_spans(), 0);
+  }
+}
+
+// One trace recorded from many threads (the executor-lane shape): all
+// spans parent under the given parent and the tree stays bounded and
+// consistent under concurrent mutation + serialization.
+TEST(TraceConcurrencyTest, OneTraceManyRecorders) {
+  auto trace = std::make_shared<Trace>(NewTraceContext(1.0));
+  Span root(trace.get(), "request");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&root, trace] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span lane(&root, "lane");
+        lane.AddEvent("urcache.hit");
+        // Concurrent serialization must not tear (TSan checks this).
+        if (i % 7 == 0) trace->ToJson();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  root.End();
+  trace->Finish();
+  EXPECT_EQ(trace->span_count(), 1u + kThreads * kPerThread);
+}
+
+// Executor lanes parent correctly: ParallelFor with a span parent records
+// one "lane N" child per claimed lane, all under the passed parent.
+TEST(TraceConcurrencyTest, ExecutorLanesParentUnderGivenSpan) {
+  auto trace = std::make_shared<Trace>(NewTraceContext(1.0));
+  int lanes = 0;
+  {
+    Span root(trace.get(), "request");
+    Span engine(&root, "engine");
+    std::vector<int> hits(256, 0);
+    lanes = Executor::Default().ParallelFor(
+        hits.size(), /*parallelism=*/4,
+        [&hits](size_t i) { hits[i] += 1; }, &engine);
+    for (int hit : hits) EXPECT_EQ(hit, 1);
+  }
+  trace->Finish();
+  ASSERT_GE(lanes, 1);
+  // request + engine + one span per lane.
+  EXPECT_EQ(trace->span_count(), 2u + static_cast<size_t>(lanes));
+  const std::string json = trace->ToJson();
+  // Lane spans are children of "engine": they serialize inside its
+  // subtree, after the engine span's name.
+  const size_t engine_pos = json.find("\"name\":\"engine\"");
+  const size_t lane_pos = json.find("\"name\":\"lane ");
+  ASSERT_NE(engine_pos, std::string::npos);
+  ASSERT_NE(lane_pos, std::string::npos);
+  EXPECT_LT(engine_pos, lane_pos);
+}
+
+// The serial fallback (n below the parallel threshold or parallelism 1)
+// still records a single "lane 0" span under the parent.
+TEST(TraceConcurrencyTest, SerialFallbackRecordsOneLane) {
+  auto trace = std::make_shared<Trace>(NewTraceContext(1.0));
+  {
+    Span root(trace.get(), "request");
+    std::vector<int> hits(4, 0);
+    const int lanes = Executor::Default().ParallelFor(
+        hits.size(), /*parallelism=*/1,
+        [&hits](size_t i) { hits[i] += 1; }, &root);
+    EXPECT_EQ(lanes, 1);
+  }
+  trace->Finish();
+  EXPECT_EQ(trace->span_count(), 2u);
+  EXPECT_NE(trace->ToJson().find("\"name\":\"lane 0\""),
+            std::string::npos);
+}
+
+// Unsampled path: a null span parent through ParallelFor records nothing
+// and the lanes still run every index.
+TEST(TraceConcurrencyTest, NullSpanParentStaysInert) {
+  std::vector<int> hits(64, 0);
+  Executor::Default().ParallelFor(hits.size(), /*parallelism=*/4,
+                                  [&hits](size_t i) { hits[i] += 1; });
+  for (int hit : hits) EXPECT_EQ(hit, 1);
+}
+
+// Ring under concurrent pushers + serializers.
+TEST(TraceRingConcurrencyTest, ConcurrentPushAndSerialize) {
+  TraceRing ring(8);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring] {
+      for (int i = 0; i < 20; ++i) {
+        ring.Push(MakeFinishedTrace());
+        ring.ToJson();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(ring.size(), 8u);
+  EXPECT_NE(ring.ToJson().find("\"total\":120"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace indoorflow

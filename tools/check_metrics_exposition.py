@@ -10,6 +10,13 @@ series for summaries. Used by the CI smoke step:
   tools/check_metrics_exposition.py --require indoorflow_query_snapshot_count \\
       metrics.txt
 
+With ``--traces`` the input is instead validated as the /traces/recent
+JSON document (TraceRing::ToJson): a bounded ring header plus nested span
+trees with W3C-shaped hex identifiers:
+
+  curl -s http://127.0.0.1:PORT/traces/recent | \\
+      tools/check_metrics_exposition.py --traces [--min-traces N]
+
 Exit status: 0 valid, 1 on any format violation or missing --require name,
 2 on usage errors.
 """
@@ -17,6 +24,7 @@ Exit status: 0 valid, 1 on any format violation or missing --require name,
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 
@@ -97,6 +105,80 @@ def validate(text: str, errors: list[str]) -> dict[str, str]:
     return declared
 
 
+HEX_ID = re.compile(r"^[0-9a-f]{16}$")
+HEX_TRACE_ID = re.compile(r"^[0-9a-f]{32}$")
+
+
+def validate_span(span, where: str, errors: list[str]) -> None:
+    if not isinstance(span, dict):
+        errors.append(f"{where}: span is not an object")
+        return
+    if not isinstance(span.get("name"), str) or not span.get("name"):
+        errors.append(f"{where}: missing/empty span name")
+    if not HEX_ID.match(str(span.get("span_id", ""))):
+        errors.append(f"{where}: span_id is not 16 lowercase hex chars")
+    for key in ("start_us", "dur_us"):
+        if not isinstance(span.get(key), int):
+            errors.append(f"{where}: {key} is not an integer")
+    if not isinstance(span.get("events"), list):
+        errors.append(f"{where}: events is not a list")
+    else:
+        for i, event in enumerate(span["events"]):
+            if (not isinstance(event, dict)
+                    or not isinstance(event.get("name"), str)
+                    or not isinstance(event.get("ts_us"), int)):
+                errors.append(f"{where}.events[{i}]: malformed event")
+    if not isinstance(span.get("children"), list):
+        errors.append(f"{where}: children is not a list")
+    else:
+        for i, child in enumerate(span["children"]):
+            validate_span(child, f"{where}.children[{i}]", errors)
+
+
+def validate_traces(text: str, min_traces: int, errors: list[str]) -> None:
+    """Shape-checks a /traces/recent document (TraceRing::ToJson)."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        errors.append(f"not valid JSON: {exc}")
+        return
+    if not isinstance(doc, dict):
+        errors.append("top level is not an object")
+        return
+    for key in ("capacity", "total"):
+        if not isinstance(doc.get(key), int) or doc.get(key, -1) < 0:
+            errors.append(f"{key!r} is not a non-negative integer")
+    traces = doc.get("traces")
+    if not isinstance(traces, list):
+        errors.append("'traces' is not a list")
+        return
+    if len(traces) < min_traces:
+        errors.append(
+            f"expected at least {min_traces} trace(s), found {len(traces)}")
+    for t, trace in enumerate(traces):
+        where = f"traces[{t}]"
+        if not isinstance(trace, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        if not HEX_TRACE_ID.match(str(trace.get("trace_id", ""))):
+            errors.append(
+                f"{where}: trace_id is not 32 lowercase hex chars")
+        if not HEX_ID.match(str(trace.get("root_span_id", ""))):
+            errors.append(
+                f"{where}: root_span_id is not 16 lowercase hex chars")
+        if not isinstance(trace.get("sampled"), bool):
+            errors.append(f"{where}: 'sampled' is not a bool")
+        for key in ("duration_us", "dropped_spans", "dropped_events"):
+            if not isinstance(trace.get(key), int):
+                errors.append(f"{where}: {key} is not an integer")
+        spans = trace.get("spans")
+        if not isinstance(spans, list):
+            errors.append(f"{where}: 'spans' is not a list")
+            continue
+        for s, span in enumerate(spans):
+            validate_span(span, f"{where}.spans[{s}]", errors)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("path", nargs="?", default="-",
@@ -105,6 +187,13 @@ def main() -> int:
                         metavar="NAME",
                         help="fail unless this metric family is declared "
                              "(repeatable)")
+    parser.add_argument("--traces", action="store_true",
+                        help="validate /traces/recent JSON instead of "
+                             "Prometheus text")
+    parser.add_argument("--min-traces", type=int, default=0,
+                        metavar="N",
+                        help="with --traces: fail unless at least N traces "
+                             "are present")
     args = parser.parse_args()
     if args.path == "-":
         text = sys.stdin.read()
@@ -113,6 +202,14 @@ def main() -> int:
             text = f.read()
 
     errors: list[str] = []
+    if args.traces:
+        validate_traces(text, args.min_traces, errors)
+        if errors:
+            for error in errors:
+                print(f"check_metrics_exposition: {error}", file=sys.stderr)
+            return 1
+        print("ok: /traces/recent shape validated")
+        return 0
     declared = validate(text, errors)
     for name in args.require:
         if name not in declared:

@@ -721,6 +721,8 @@ int CmdServe(Flags& flags) {
       static_cast<int>(service_options.max_queue_wait_ms));
   service_options.default_deadline_ms = flags.GetInt(
       "deadline-ms", static_cast<int>(service_options.default_deadline_ms));
+  service_options.trace_sample =
+      flags.GetDouble("trace-sample", service_options.trace_sample);
   const std::string probe = flags.GetOr("probe", "on");
   auto bundle = MakeEngine(flags);
   if (!bundle.ok()) return Fail(bundle.status().ToString());
@@ -734,6 +736,10 @@ int CmdServe(Flags& flags) {
   }
   if (service_options.default_deadline_ms <= 0) {
     return Fail("--deadline-ms must be > 0");
+  }
+  if (service_options.trace_sample < 0.0 ||
+      service_options.trace_sample > 1.0) {
+    return Fail("--trace-sample must be in [0, 1]");
   }
   const LoadedDataset& data = bundle->dataset();
   if (data.ott.empty()) return Fail("dataset has no tracking records");
@@ -823,9 +829,10 @@ int Usage() {
       "  serve    --data DIR [--port P] [--duration S] [--interval S]\n"
       "           [--queue-limit N] [--max-queue-wait-ms MS]\n"
       "           [--deadline-ms MS] [--probe on|off]\n"
+      "           [--trace-sample F]   (request-trace head sampling)\n"
       "           (query endpoints /query/snapshot, /query/interval,\n"
-      "           /query/join plus /metrics, /healthz, /profiles/recent\n"
-      "           on 127.0.0.1; see docs/SERVING.md)\n"
+      "           /query/join plus /metrics, /healthz, /profiles/recent,\n"
+      "           /traces/recent on 127.0.0.1; see docs/SERVING.md)\n"
       "  cleanse  --readings F.csv --deployment F.csv --out F.csv\n"
       "  render   --data DIR --out FILE.svg [--heatmap-t T]\n");
   return 2;

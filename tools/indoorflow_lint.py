@@ -34,6 +34,14 @@ Checks (each can be skipped with --skip <name>):
                 Only the sink itself (log.cc) and the abort paths in
                 status.h — which must not depend on the sink being alive —
                 may touch stderr.
+  spans         Span recording stays inside the tracing subsystem: raw
+                Chrome-sink emission (EmitTraceEvent) and the Trace
+                recording entry points (StartSpan/EndSpan/RecordSpan)
+                appear only in src/common/trace.* plus the sanctioned
+                hooks (the sink itself in metrics.*, the executor's
+                per-task events, the engine's per-query event). Everything
+                else records through the RAII Span API so per-request
+                trees stay well-formed.
   ranks         Every Mutex in src/ is constructed with an explicit
                 LockRank (src/common/mutex.h) so the debug validator and
                 the Clang acquired_before/after analysis can order it, and
@@ -94,6 +102,8 @@ THREADING_ALLOWLIST = {
     "src/common/mutex.h",
     "src/common/mutex.cc",
     "src/common/thread_annotations.h",
+    "src/common/trace.h",
+    "src/common/trace.cc",
     "src/core/engine.h",
     "src/core/engine.cc",
     "src/core/flow_matrix.h",
@@ -133,6 +143,21 @@ STDERR_ALLOWLIST = {
 }
 
 STDERR_TOKENS = re.compile(r"\bstderr\b|std::cerr\b|std::clog\b")
+
+# Files allowed to emit spans or Chrome-sink events directly. Everything
+# else must record through the RAII Span API (src/common/trace.h) so
+# per-request span trees stay well-formed and bounded.
+SPANS_ALLOWLIST = {
+    "src/common/trace.h",
+    "src/common/trace.cc",
+    "src/common/metrics.h",   # the Chrome-trace sink + ScopedTimer
+    "src/common/metrics.cc",
+    "src/common/executor.cc",  # per-task executor events (pre-span-tree)
+    "src/core/engine.cc",      # QueryMetricsScope's per-query sink event
+}
+
+SPANS_TOKENS = re.compile(
+    r"\bEmitTraceEvent\s*\(|->\s*(?:StartSpan|EndSpan|RecordSpan)\s*\(")
 
 ATOMICS_TOKENS = re.compile(r"std::atomic(?:_flag)?\b")
 
@@ -357,6 +382,24 @@ def check_stderr(root: str, errors: list[str]) -> None:
                     f"{path}:{lineno}: {match.group(0)} outside the stderr "
                     "allowlist — emit diagnostics through the structured "
                     "logging sink (src/common/log.h) instead")
+
+
+def check_spans(root: str, errors: list[str]) -> None:
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        if path in SPANS_ALLOWLIST:
+            continue
+        text = strip_comments_and_strings(
+            open(os.path.join(root, path), encoding="utf-8").read())
+        for lineno, line in enumerate(text.splitlines(), 1):
+            match = SPANS_TOKENS.search(line)
+            if match:
+                errors.append(
+                    f"{path}:{lineno}: raw span emission "
+                    f"({match.group(0).strip()}...) outside "
+                    "src/common/trace.* — record through the RAII Span "
+                    "API (Span children, AddEvent, RecordChild) so "
+                    "request span trees stay well-formed, or add a "
+                    "SPANS_ALLOWLIST entry with justification")
 
 
 # --- ranks check ------------------------------------------------------------
@@ -708,6 +751,7 @@ CHECKS = {
     "banned": check_banned,
     "atomics": check_atomics,
     "stderr": check_stderr,
+    "spans": check_spans,
     "docs": check_docs,
     "ci": check_ci,
 }

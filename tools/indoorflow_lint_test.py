@@ -206,6 +206,69 @@ class RanksCheckTest(unittest.TestCase):
         self.assertEqual(self.ranks_errors(), [])
 
 
+class SpansCheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.root = self.tmp.name
+        os.makedirs(os.path.join(self.root, "src", "core"))
+
+    def tearDown(self):
+        self.tmp.cleanup()
+
+    def write(self, rel, content):
+        path = os.path.join(self.root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content)
+
+    def spans_errors(self):
+        errors = []
+        lint.check_spans(self.root, errors)
+        return errors
+
+    def test_span_api_usage_passes(self):
+        self.write("src/core/thing.cc", (
+            "void F(const Span* parent) {\n"
+            "  Span child(parent, \"work\");\n"
+            "  child.AddEvent(\"cache.hit\");\n"
+            "  child.RecordChild(\"phase\", 0, 10);\n"
+            "}\n"))
+        self.assertEqual(self.spans_errors(), [])
+
+    def test_raw_emit_trace_event_fails(self):
+        self.write("src/core/thing.cc",
+                   "void F() { EmitTraceEvent(\"x\", 0, 1); }\n")
+        errors = self.spans_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("EmitTraceEvent", errors[0])
+
+    def test_raw_trace_recording_call_fails(self):
+        self.write("src/core/thing.cc",
+                   "void F(Trace* t) { t->StartSpan(0, 0, \"x\", 0); }\n")
+        errors = self.spans_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("src/core/thing.cc", errors[0])
+
+    def test_allowlisted_files_exempt(self):
+        self.write("src/common/trace.cc",
+                   "void F(Trace* t) { t->RecordSpan(0, \"x\", 0, 1); }\n")
+        self.write("src/common/metrics.cc",
+                   "void G() { EmitTraceEvent(\"x\", 0, 1); }\n")
+        self.assertEqual(self.spans_errors(), [])
+
+    def test_commented_emission_ignored(self):
+        self.write("src/core/thing.cc",
+                   "// EmitTraceEvent(\"x\", 0, 1) would be wrong here\n")
+        self.assertEqual(self.spans_errors(), [])
+
+    def test_real_tree_is_clean(self):
+        repo_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        errors = []
+        lint.check_spans(repo_root, errors)
+        self.assertEqual(errors, [])
+
+
 class IncludesCheckTest(unittest.TestCase):
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
