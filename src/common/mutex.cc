@@ -19,8 +19,8 @@ const char* LockRankName(LockRank rank) {
       return "rtree";
     case LockRank::kUrCache:
       return "urcache";
-    case LockRank::kMonitor:
-      return "monitor";
+    case LockRank::kStreamShard:
+      return "stream_shard";
     case LockRank::kProfileRecorder:
       return "profile_recorder";
     case LockRank::kEngine:

@@ -13,7 +13,7 @@
 // mutex it already holds has a strictly HIGHER rank. Acquisition therefore
 // descends the rank ladder
 //
-//   expo > serve > engine > profile_recorder > monitor > urcache
+//   expo > serve > engine > profile_recorder > stream_shard > urcache
 //        > rtree > executor > trace > metrics > log
 //
 // so the low ranks (log, metrics) are leaves that any critical section may
@@ -76,7 +76,7 @@ enum class LockRank : int {
   kExecutor = 3,         // thread-pool queue + batch state (executor)
   kRtree = 4,            // src/index/dynamic_rtree
   kUrCache = 5,          // UR-cache shards / epoch shards / presence memos
-  kMonitor = 6,          // StreamingMonitor track table
+  kStreamShard = 6,      // StreamingMonitor track-table shards
   kProfileRecorder = 7,  // query-profile flight recorder
   kEngine = 8,           // QueryEngine POI-tree cache
   kServe = 9,            // QueryService admission queue (src/serve)
@@ -103,9 +103,10 @@ inline RankFence kFenceServe INDOORFLOW_ACQUIRED_AFTER(kFenceExpo);
 inline RankFence kFenceEngine INDOORFLOW_ACQUIRED_AFTER(kFenceServe);
 inline RankFence kFenceProfileRecorder
     INDOORFLOW_ACQUIRED_AFTER(kFenceEngine);
-inline RankFence kFenceMonitor
+inline RankFence kFenceStreamShard
     INDOORFLOW_ACQUIRED_AFTER(kFenceProfileRecorder);
-inline RankFence kFenceUrCache INDOORFLOW_ACQUIRED_AFTER(kFenceMonitor);
+inline RankFence kFenceUrCache
+    INDOORFLOW_ACQUIRED_AFTER(kFenceStreamShard);
 inline RankFence kFenceRtree INDOORFLOW_ACQUIRED_AFTER(kFenceUrCache);
 inline RankFence kFenceExecutor INDOORFLOW_ACQUIRED_AFTER(kFenceRtree);
 inline RankFence kFenceTrace INDOORFLOW_ACQUIRED_AFTER(kFenceExecutor);

@@ -13,6 +13,12 @@
 // values a serial run would see (see src/core/ur_cache.h), so the
 // parallel path is observationally equal to the serial one; enforced by
 // tests/parallel_differential_test.cc.
+//
+// The streaming monitor's sharded CurrentTopK (src/core/streaming.cc)
+// follows the same recipe at shard granularity: independent per-shard
+// tallies derived in parallel lanes, then one serial object-id-ordered
+// reduce — which is why its results are bit-identical across shard
+// counts for the same reason this path is bit-identical to serial.
 
 #ifndef INDOORFLOW_CORE_PARALLEL_FLOWS_H_
 #define INDOORFLOW_CORE_PARALLEL_FLOWS_H_

@@ -233,6 +233,17 @@ size_t UrCache::EntryCount() const {
   return total;
 }
 
+UrCache::ShardStats UrCache::ShardStatsAt(size_t index) const {
+  INDOORFLOW_CHECK(index < shards_.size());
+  const Shard& shard = *shards_[index];
+  ShardStats stats;
+  MutexLock lock(shard.mu);
+  stats.bytes = shard.bytes;
+  stats.entries = shard.index.size();
+  stats.counters = shard.counters;
+  return stats;
+}
+
 UrCache::Counters UrCache::TotalCounters() const {
   Counters total;
   for (const auto& shard : shards_) {

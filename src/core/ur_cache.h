@@ -101,7 +101,7 @@ class UrCache {
     void Put(int32_t poi, double value);
 
    private:
-    mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMonitor)
+    mutable Mutex mu_ INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceStreamShard)
         INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceUrCache) =
             Mutex(LockRank::kUrCache);
     std::unordered_map<int32_t, double> values_ INDOORFLOW_GUARDED_BY(mu_);
@@ -145,6 +145,19 @@ class UrCache {
   size_t EntryCount() const;
   Counters TotalCounters() const;
 
+  /// One shard's point-in-time occupancy and operation totals — the
+  /// per-shard view behind ApproxBytes()/EntryCount()/TotalCounters(),
+  /// for spotting skew (one hot object pinning a shard at budget while
+  /// the others sit empty).
+  struct ShardStats {
+    size_t bytes = 0;
+    size_t entries = 0;
+    Counters counters;
+  };
+
+  /// Snapshot of shard `index` (< shard_count()).
+  ShardStats ShardStatsAt(size_t index) const;
+
   size_t shard_count() const { return shards_.size(); }
   size_t shard_budget_bytes() const { return shard_budget_; }
 
@@ -174,7 +187,7 @@ class UrCache {
 
   // Front of `lru` is most recently used; `index` points into it.
   struct Shard {
-    mutable Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMonitor)
+    mutable Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceStreamShard)
         INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceUrCache) =
             Mutex(LockRank::kUrCache);
     std::list<std::pair<Key, Entry>> lru INDOORFLOW_GUARDED_BY(mu);
@@ -186,7 +199,7 @@ class UrCache {
   };
 
   struct EpochShard {
-    mutable Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceMonitor)
+    mutable Mutex mu INDOORFLOW_ACQUIRED_AFTER(lock_order::kFenceStreamShard)
         INDOORFLOW_ACQUIRED_BEFORE(lock_order::kFenceUrCache) =
             Mutex(LockRank::kUrCache);
     std::unordered_map<ObjectId, uint64_t> epochs INDOORFLOW_GUARDED_BY(mu);

@@ -11,6 +11,7 @@
 #include "src/common/log.h"
 #include "src/core/flow.h"
 #include "src/core/query_stats.h"
+#include "src/core/streaming.h"
 #include "src/serve/json.h"
 
 namespace indoorflow {
@@ -138,12 +139,15 @@ class Params {
   JsonObject values_;
 };
 
-enum class QueryKind { kSnapshot, kInterval };
+enum class QueryKind { kSnapshot, kInterval, kLive };
 
 // One fully validated /query/* request, defaults and clamps applied.
 struct ParsedQuery {
   QueryKind kind = QueryKind::kSnapshot;
   Timestamp t = 0.0;
+  /// Live queries: whether the client named `t` (when not, the stream
+  /// clock at evaluation time is substituted and echoed back).
+  bool has_t = false;
   Timestamp ts = 0.0;
   Timestamp te = 0.0;
   int k = 0;
@@ -157,12 +161,22 @@ Status ParseQuery(const HttpRequest& request,
   auto params_or = Params::FromRequest(request);
   INDOORFLOW_RETURN_IF_ERROR(params_or.status());
   const Params& params = params_or.value();
+  const bool is_live_endpoint = request.path == "/query/live";
+  // Live queries run the monitor's continuous top-k: no algorithm or
+  // metric choice, and `t` is optional (defaults to the stream clock).
   INDOORFLOW_RETURN_IF_ERROR(params.CheckKnown(
-      {"t", "ts", "te", "k", "algo", "metric", "deadline_ms"}));
+      is_live_endpoint
+          ? std::vector<std::string>{"t", "k", "deadline_ms"}
+          : std::vector<std::string>{"t", "ts", "te", "k", "algo",
+                                     "metric", "deadline_ms"}));
 
   const bool is_join_endpoint = request.path == "/query/join";
   bool found = false;
-  if (request.path == "/query/snapshot" || is_join_endpoint) {
+  if (is_live_endpoint) {
+    out->kind = QueryKind::kLive;
+    INDOORFLOW_RETURN_IF_ERROR(
+        params.GetDouble("t", &out->t, &out->has_t));
+  } else if (request.path == "/query/snapshot" || is_join_endpoint) {
     INDOORFLOW_RETURN_IF_ERROR(params.GetDouble("t", &out->t, &found));
   }
   if (found) {
@@ -186,7 +200,7 @@ Status ParseQuery(const HttpRequest& request,
     if (out->te < out->ts) {
       return Status::InvalidArgument("te must be >= ts");
     }
-  } else {
+  } else if (!is_live_endpoint) {
     return Status::InvalidArgument("missing parameter: t is required");
   }
 
@@ -197,29 +211,32 @@ Status ParseQuery(const HttpRequest& request,
   }
   out->k = static_cast<int>(k);
 
-  std::string algo = "join";
-  INDOORFLOW_RETURN_IF_ERROR(params.GetString("algo", &algo, &found));
-  if (algo == "join") {
-    out->algorithm = Algorithm::kJoin;
-  } else if (algo == "iterative") {
-    if (is_join_endpoint) {
-      return Status::InvalidArgument(
-          "/query/join always runs algo=join; use /query/snapshot or "
-          "/query/interval for algo=iterative");
+  if (!is_live_endpoint) {
+    std::string algo = "join";
+    INDOORFLOW_RETURN_IF_ERROR(params.GetString("algo", &algo, &found));
+    if (algo == "join") {
+      out->algorithm = Algorithm::kJoin;
+    } else if (algo == "iterative") {
+      if (is_join_endpoint) {
+        return Status::InvalidArgument(
+            "/query/join always runs algo=join; use /query/snapshot or "
+            "/query/interval for algo=iterative");
+      }
+      out->algorithm = Algorithm::kIterative;
+    } else {
+      return Status::InvalidArgument("algo must be 'join' or 'iterative'");
     }
-    out->algorithm = Algorithm::kIterative;
-  } else {
-    return Status::InvalidArgument("algo must be 'join' or 'iterative'");
-  }
 
-  std::string metric = "flow";
-  INDOORFLOW_RETURN_IF_ERROR(params.GetString("metric", &metric, &found));
-  if (metric == "flow") {
-    out->density = false;
-  } else if (metric == "density") {
-    out->density = true;
-  } else {
-    return Status::InvalidArgument("metric must be 'flow' or 'density'");
+    std::string metric = "flow";
+    INDOORFLOW_RETURN_IF_ERROR(
+        params.GetString("metric", &metric, &found));
+    if (metric == "flow") {
+      out->density = false;
+    } else if (metric == "density") {
+      out->density = true;
+    } else {
+      return Status::InvalidArgument("metric must be 'flow' or 'density'");
+    }
   }
 
   int64_t deadline_ms = options.default_deadline_ms;
@@ -238,17 +255,24 @@ Status ParseQuery(const HttpRequest& request,
 // The request-echo half of every response body: what ran, under what
 // deadline, for correlating responses with client-side settings.
 void AppendQueryEcho(const ParsedQuery& query, std::string* body) {
-  if (query.kind == QueryKind::kSnapshot) {
-    body->append(",\"t\":" + NumberJson(query.t));
-  } else {
+  if (query.kind == QueryKind::kInterval) {
     body->append(",\"ts\":" + NumberJson(query.ts) +
                  ",\"te\":" + NumberJson(query.te));
+  } else {
+    // Snapshot and live both echo one timestamp — for live it is the
+    // stream-clock default when the client named none.
+    body->append(",\"t\":" + NumberJson(query.t));
   }
   body->append(",\"k\":" + std::to_string(query.k));
-  body->append(query.algorithm == Algorithm::kJoin ? ",\"algo\":\"join\""
-                                                   : ",\"algo\":\"iterative\"");
-  body->append(query.density ? ",\"metric\":\"density\""
-                             : ",\"metric\":\"flow\"");
+  if (query.kind == QueryKind::kLive) {
+    body->append(",\"live\":true");
+  } else {
+    body->append(query.algorithm == Algorithm::kJoin
+                     ? ",\"algo\":\"join\""
+                     : ",\"algo\":\"iterative\"");
+    body->append(query.density ? ",\"metric\":\"density\""
+                               : ",\"metric\":\"flow\"");
+  }
   body->append(",\"deadline_ms\":" + std::to_string(query.deadline_ms));
 }
 
@@ -270,8 +294,10 @@ HttpResponse DeadlineResponse(const ParsedQuery& query, int64_t arrival_ns,
 }  // namespace
 
 QueryService::QueryService(const QueryEngine* engine,
-                           QueryServiceOptions options)
+                           QueryServiceOptions options,
+                           const StreamingMonitor* monitor)
     : engine_(engine),
+      monitor_(monitor),
       options_(options),
       requests_(MetricsRegistry::Default().counter("serve.requests")),
       admitted_(MetricsRegistry::Default().counter("serve.admitted")),
@@ -287,8 +313,12 @@ QueryService::QueryService(const QueryEngine* engine,
 QueryService::~QueryService() { Stop(); }
 
 void QueryService::RegisterRoutes(ExpoServer* server) {
-  for (const char* path :
-       {"/query/snapshot", "/query/interval", "/query/join"}) {
+  std::vector<const char*> paths = {"/query/snapshot", "/query/interval",
+                                    "/query/join"};
+  // No monitor, no live route: an unrouted path 404s at the server, which
+  // beats a route that can only ever 400.
+  if (monitor_ != nullptr) paths.push_back("/query/live");
+  for (const char* path : paths) {
     server->HandleRequest(
         path, [this](const HttpRequest& request,
                      ExpoServer::ExchangePtr exchange) {
@@ -487,6 +517,20 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
   }
   outcome->deadline_ms = query.deadline_ms;
 
+  if (query.kind == QueryKind::kLive) {
+    if (monitor_ == nullptr) {
+      // Only reachable through direct Evaluate() calls — RegisterRoutes
+      // never exposes the path without a monitor.
+      outcome->status = "bad_request";
+      outcome->code = 400;
+      return ErrorResponse(
+          "live queries are not enabled (no streaming monitor attached)");
+    }
+    // Resolve the stream-clock default before the deadline check so even
+    // a 504 echoes the timestamp the query would have run at.
+    if (!query.has_t) query.t = monitor_->now();
+  }
+
   // The deadline is anchored at *arrival*: time spent queued counts
   // against it, so a request that aged out while waiting fails fast here
   // instead of computing an answer its client stopped waiting for.
@@ -515,6 +559,11 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
                       : engine_->IntervalTopK(query.ts, query.te, query.k,
                                               query.algorithm, nullptr,
                                               &stats, nullptr, &control);
+        break;
+      case QueryKind::kLive:
+        // The monitor has its own stats surface (streaming.* metrics);
+        // outcome->stats stays zeroed, like a shed request's.
+        results = monitor_->CurrentTopK(query.t, query.k, &control);
         break;
     }
   }

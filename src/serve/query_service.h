@@ -2,16 +2,20 @@
 // deadlines, cooperative cancellation, and admission control.
 //
 // QueryService turns an ExpoServer from a read-only exposition endpoint
-// into a query server. It registers three request routes —
+// into a query server. It registers the request routes —
 //
 //   POST /query/snapshot  {"t": 300, "k": 5, "algo": "join", ...}
 //   POST /query/interval  {"ts": 200, "te": 400, "k": 5, ...}
 //   POST /query/join      snapshot or interval, join algorithm forced
+//   POST /query/live      {"k": 5, ...} — continuous top-k "right now"
+//                         from an attached StreamingMonitor (registered
+//                         only when one was passed at construction)
 //
 // (GET with the same parameters as a query string also works) — and
-// resolves each admitted request onto the QueryEngine on the shared
-// process-wide executor, never on the accept thread. See docs/SERVING.md
-// for the full request/response schema and tuning guidance.
+// resolves each admitted request onto the QueryEngine (or, for
+// /query/live, the StreamingMonitor) on the shared process-wide
+// executor, never on the accept thread. See docs/SERVING.md for the full
+// request/response schema and tuning guidance.
 //
 // Admission control happens BEFORE computing, in two stages:
 //   1. Depth shedding (accept thread): when `queue_limit` requests are
@@ -62,6 +66,8 @@
 
 namespace indoorflow {
 
+class StreamingMonitor;  // src/core/streaming.h
+
 struct QueryServiceOptions {
   /// Depth cap: requests arriving while this many are already admitted
   /// but unfinished are shed with 503 "queue_full".
@@ -91,15 +97,20 @@ class QueryService {
   using Responder = std::function<void(const HttpResponse&)>;
 
   /// `engine` must outlive the service (and every in-flight request —
-  /// Stop() guarantees that order).
-  QueryService(const QueryEngine* engine, QueryServiceOptions options);
+  /// Stop() guarantees that order). `monitor` is optional: when non-null
+  /// (and alive as long as the engine must be) the /query/live route is
+  /// registered and live top-k queries run against it under the same
+  /// admission control, deadlines, and tracing as the historical routes.
+  QueryService(const QueryEngine* engine, QueryServiceOptions options,
+               const StreamingMonitor* monitor = nullptr);
   ~QueryService();
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
   /// Registers /query/snapshot, /query/interval, and /query/join on
-  /// `server`, plus the /traces/recent exposition route (the process-wide
-  /// TraceRing as JSON). Call before ExpoServer::Start().
+  /// `server` — plus /query/live when a StreamingMonitor was attached —
+  /// and the /traces/recent exposition route (the process-wide TraceRing
+  /// as JSON). Call before ExpoServer::Start().
   void RegisterRoutes(ExpoServer* server);
 
   /// Admission control + dispatch for one request: shed (503, inline) or
@@ -156,6 +167,8 @@ class QueryService {
                    int64_t enqueue_ns, const RequestTrace& rt);
 
   const QueryEngine* engine_;
+  /// Null when the service has no live route.
+  const StreamingMonitor* monitor_;
   QueryServiceOptions options_;
 
   Counter& requests_;

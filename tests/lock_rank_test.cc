@@ -5,7 +5,7 @@
 // abort with a diagnostic naming both ranks. They skip themselves in
 // builds where the validator is compiled out (Release without sanitizers).
 //
-// The *Concurrency* suite stress-nests the sanctioned engine -> monitor ->
+// The *Concurrency* suite stress-nests the sanctioned engine -> stream_shard ->
 // urcache -> trace -> metrics -> log chain from many threads at once; the
 // TSan CI job picks it up via `ctest -R "Concurrency"` and proves the
 // discipline
@@ -60,7 +60,7 @@ TEST(LockRankDeathTest, RecursiveAcquisitionAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
-        Mutex mu(LockRank::kMonitor);
+        Mutex mu(LockRank::kStreamShard);
         mu.Lock();
         mu.Lock();  // Mutex is non-recursive
       },
@@ -73,7 +73,7 @@ TEST(LockRankTest, DescendingAcquisitionIsSanctioned) {
   Mutex expo_mu(LockRank::kExpo);
   Mutex engine_mu(LockRank::kEngine);
   Mutex profile_mu(LockRank::kProfileRecorder);
-  Mutex monitor_mu(LockRank::kMonitor);
+  Mutex stream_mu(LockRank::kStreamShard);
   Mutex cache_mu(LockRank::kUrCache);
   Mutex rtree_mu(LockRank::kRtree);
   Mutex executor_mu(LockRank::kExecutor);
@@ -83,7 +83,7 @@ TEST(LockRankTest, DescendingAcquisitionIsSanctioned) {
   MutexLock l0(expo_mu);
   MutexLock l1(engine_mu);
   MutexLock l2(profile_mu);
-  MutexLock l3(monitor_mu);
+  MutexLock l3(stream_mu);
   MutexLock l4(cache_mu);
   MutexLock l5(rtree_mu);
   MutexLock l6(executor_mu);
@@ -96,10 +96,10 @@ TEST(LockRankTest, DescendingAcquisitionIsSanctioned) {
 TEST(LockRankTest, ReleaseThenReacquireAtHigherRankIsSanctioned) {
   // The order constrains what is *held*, not the sequence of operations:
   // after releasing the low-rank lock the thread may climb again.
-  Mutex monitor_mu(LockRank::kMonitor);
+  Mutex stream_mu(LockRank::kStreamShard);
   Mutex log_mu(LockRank::kLog);
   { MutexLock lock(log_mu); }
-  { MutexLock lock(monitor_mu); }
+  { MutexLock lock(stream_mu); }
   { MutexLock lock(log_mu); }
   SUCCEED();
 }
@@ -112,14 +112,14 @@ TEST(LockRankTest, RankAccessorAndNames) {
   EXPECT_STREQ(LockRankName(LockRank::kExpo), "expo");
 }
 
-// Shared chain nested in the sanctioned engine -> monitor -> urcache ->
+// Shared chain nested in the sanctioned engine -> stream_shard -> urcache ->
 // trace -> metrics -> log order by every worker at once (the trace rung is
 // the span-record-then-sink descent in src/common/trace.cc). TSan (and the
 // validator) watch the interleavings; any ordering bug here is a deadlock
-// candidate in the real engine -> monitor -> cache call path.
+// candidate in the real engine -> stream-shard -> cache call path.
 TEST(LockRankConcurrencyTest, SanctionedNestingUnderContention) {
   Mutex engine_mu(LockRank::kEngine);
-  Mutex monitor_mu(LockRank::kMonitor);
+  Mutex stream_mu(LockRank::kStreamShard);
   Mutex cache_mu(LockRank::kUrCache);
   Mutex trace_mu(LockRank::kTrace);
   Mutex metrics_mu(LockRank::kMetrics);
@@ -134,7 +134,7 @@ TEST(LockRankConcurrencyTest, SanctionedNestingUnderContention) {
     workers.emplace_back([&] {
       for (int i = 0; i < kIterations; ++i) {
         MutexLock engine_lock(engine_mu);
-        MutexLock monitor_lock(monitor_mu);
+        MutexLock stream_lock(stream_mu);
         MutexLock cache_lock(cache_mu);
         MutexLock trace_lock(trace_mu);
         MutexLock metrics_lock(metrics_mu);

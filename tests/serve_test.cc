@@ -27,6 +27,7 @@
 #include "src/common/metrics.h"
 #include "src/common/trace.h"
 #include "src/core/engine.h"
+#include "src/core/streaming.h"
 #include "src/serve/json.h"
 #include "src/serve/query_service.h"
 #include "src/sim/generators.h"
@@ -116,6 +117,26 @@ class ServeFixture : public ::testing::Test {
     return request;
   }
 
+  /// A StreamingMonitor warmed with the dataset's tracking history (each
+  /// record replayed as its boundary readings), for the /query/live route.
+  std::unique_ptr<StreamingMonitor> MakeLiveMonitor() {
+    StreamingOptions options;
+    options.vmax = dataset_.vmax;
+    options.expiry_seconds = 1e9;  // replayed history never expires
+    auto monitor = std::make_unique<StreamingMonitor>(dataset_.deployment,
+                                                      dataset_.pois, options);
+    std::vector<RawReading> replay;
+    for (const ObjectId o : dataset_.ott.objects()) {
+      for (const auto index : dataset_.ott.ChainOf(o)) {
+        const TrackingRecord& record = dataset_.ott.record(index);
+        replay.push_back({o, record.device_id, record.ts});
+        replay.push_back({o, record.device_id, record.te});
+      }
+    }
+    EXPECT_TRUE(monitor->IngestBatch(replay).ok());
+    return monitor;
+  }
+
   Dataset dataset_;
   std::unique_ptr<QueryEngine> engine_;
 };
@@ -198,6 +219,64 @@ TEST_F(ServeFixture, EvaluateExpiredArrivalReturnsStructured504) {
   EXPECT_NE(response.body.find("\"status\":\"deadline_exceeded\""),
             std::string::npos);
   EXPECT_EQ(exceeded.value(), before + 1);
+}
+
+TEST_F(ServeFixture, LiveEndpointAnswersFromStreamingMonitor) {
+  const auto monitor = MakeLiveMonitor();
+  QueryService service(engine_.get(), QueryServiceOptions{}, monitor.get());
+  // No t: defaults to the stream clock, echoed back.
+  const HttpResponse at_now = service.Evaluate(
+      Post("/query/live", "{\"k\": 3}"), MonotonicNowNs());
+  EXPECT_EQ(at_now.code, 200) << at_now.body;
+  EXPECT_NE(at_now.body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(at_now.body.find("\"live\":true"), std::string::npos);
+  EXPECT_NE(at_now.body.find("\"results\":[{\"poi\":"), std::string::npos);
+  // Explicit t (>= the stream clock is the documented domain, but any t
+  // parses) is echoed instead.
+  const HttpResponse at_t = service.Evaluate(
+      Post("/query/live", "{\"t\": 300, \"k\": 2}"), MonotonicNowNs());
+  EXPECT_EQ(at_t.code, 200) << at_t.body;
+  EXPECT_NE(at_t.body.find("\"t\":300"), std::string::npos);
+  // GET with a query string works like the historical endpoints.
+  EXPECT_EQ(service.Evaluate(Get("/query/live", "k=2"), MonotonicNowNs())
+                .code,
+            200);
+}
+
+TEST_F(ServeFixture, LiveEndpointRejectsBadRequests) {
+  const auto monitor = MakeLiveMonitor();
+  QueryService service(engine_.get(), QueryServiceOptions{}, monitor.get());
+  const int64_t now = MonotonicNowNs();
+  // Historical-only parameters are unknown keys on the live endpoint.
+  const char* bad[] = {
+      "{\"t\": 300, \"algo\": \"join\"}",
+      "{\"t\": 300, \"metric\": \"density\"}",
+      "{\"ts\": 200, \"te\": 400}",
+      "{\"k\": 0}",
+  };
+  for (const char* body : bad) {
+    const HttpResponse response =
+        service.Evaluate(Post("/query/live", body), now);
+    EXPECT_EQ(response.code, 400) << body << " -> " << response.body;
+  }
+  // Without an attached monitor the route is not registered; a direct
+  // Evaluate must still fail clean.
+  QueryService no_monitor(engine_.get(), QueryServiceOptions{});
+  const HttpResponse off =
+      no_monitor.Evaluate(Post("/query/live", "{\"k\": 3}"), now);
+  EXPECT_EQ(off.code, 400) << off.body;
+  EXPECT_NE(off.body.find("not enabled"), std::string::npos) << off.body;
+}
+
+TEST_F(ServeFixture, LiveEndpointHonorsDeadline) {
+  const auto monitor = MakeLiveMonitor();
+  QueryService service(engine_.get(), QueryServiceOptions{}, monitor.get());
+  const HttpResponse response =
+      service.Evaluate(Post("/query/live", "{\"k\": 3}"),
+                       MonotonicNowNs() - 2'000'000'000);
+  EXPECT_EQ(response.code, 504) << response.body;
+  EXPECT_NE(response.body.find("\"status\":\"deadline_exceeded\""),
+            std::string::npos);
 }
 
 TEST_F(ServeFixture, SubmitShedsInlineWhenQueueFull) {

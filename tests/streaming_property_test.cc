@@ -199,6 +199,42 @@ TEST_P(StreamingEquivalence, TightExpiryMatchesEngineExactly) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalence,
                          ::testing::Range<uint64_t>(4000, 4008));
 
+// Before an object's first reading there is no evidence at all: the live
+// region must be empty, not the (future) detection disk. Regression test —
+// the pre-sharding monitor answered the open record's disk for any
+// t < open.ts, including t long before the object entered the space.
+TEST(StreamingEdgeTest, RegionBeforeFirstReadingIsEmpty) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 1.0});
+  deployment.AddDevice(Circle{{1.5, 0}, 1.0});  // overlaps dev0's disk
+  deployment.BuildIndex();
+  PoiSet pois;
+  pois.push_back(Poi{0, "west", Polygon::Rectangle(-2, -2, 2, 2)});
+
+  StreamingOptions options;
+  options.vmax = 1.0;
+  StreamingMonitor monitor(deployment, pois, options);
+  ASSERT_TRUE(monitor.Ingest({1, 0, 100.0}).ok());
+
+  EXPECT_TRUE(monitor.LiveRegion(1, 0.0).IsEmpty());
+  EXPECT_TRUE(monitor.LiveRegion(1, 99.9).IsEmpty());
+  EXPECT_FALSE(monitor.LiveRegion(1, 100.0).IsEmpty());
+  // Same question via flows: before the first reading the object must not
+  // contribute.
+  const auto before = monitor.CurrentTopK(50.0, 1);
+  EXPECT_DOUBLE_EQ(before[0].flow, 0.0);
+
+  // After a device hand-off the earliest evidence is the *last* record's
+  // start, not the new open record's: at t = 100 the region is the two
+  // disks' (nonempty) intersection, whereas anchoring "first reading" on
+  // the open record would wrongly report empty. Strictly before the first
+  // reading it stays empty.
+  ASSERT_TRUE(monitor.Ingest({1, 1, 130.0}).ok());
+  EXPECT_TRUE(monitor.LiveRegion(1, 99.0).IsEmpty());
+  EXPECT_FALSE(monitor.LiveRegion(1, 100.0).IsEmpty());
+  EXPECT_FALSE(monitor.LiveRegion(1, 130.0).IsEmpty());
+}
+
 // Ingest order freedom: interleaving objects differently must not change
 // the monitor's state (per-object streams are independent).
 TEST(StreamingOrderTest, CrossObjectInterleavingIsIrrelevant) {

@@ -1,0 +1,405 @@
+// Differential and concurrency tests for the sharded streaming monitor.
+//
+// The shard count is a pure performance knob: every query result —
+// CurrentTopK flows, LiveRegion geometry, ActiveObjects — must be
+// bit-identical across shard counts, with and without the UR cache, and
+// whether a tally was reused incrementally or recomputed from scratch.
+// The serial ascending-object-id merge in CurrentTopK is what makes the
+// flow accumulation order (and hence the floating-point sums) independent
+// of how objects landed in shards; these tests pin that contract.
+//
+// The concurrency suite hammers ingest against queries across shards and
+// is the intended prey of the TSan CI job (see .github/workflows): the
+// stream clock CAS, the per-shard dirty flags, and the published
+// shared_ptr tallies are all exercised from racing threads.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/deadline.h"
+#include "src/common/metrics.h"
+#include "src/core/streaming.h"
+#include "src/sim/detector.h"
+#include "src/sim/generators.h"
+
+namespace indoorflow {
+namespace {
+
+constexpr int kObjects = 6;
+
+struct StreamScenario {
+  BuiltPlan built;
+  std::unique_ptr<DoorGraph> graph;
+  Deployment deployment;
+  PoiSet pois;
+  std::vector<RawReading> readings;  // time-sorted
+};
+
+StreamScenario MakeScenario(uint64_t seed) {
+  StreamScenario s;
+  s.built = BuildOfficePlan({});
+  s.graph = std::make_unique<DoorGraph>(s.built.plan);
+  for (const Door& door : s.built.plan.doors()) {
+    s.deployment.AddDevice(Circle{door.position, 1.5});
+  }
+  s.deployment.BuildIndex();
+  Rng poi_rng(seed ^ 0x5a);
+  s.pois = GeneratePois(s.built, 20, poi_rng);
+
+  const RandomWaypointModel model(s.built, *s.graph);
+  const ProximityDetector detector(s.deployment);
+  for (ObjectId o = 0; o < kObjects; ++o) {
+    Rng rng(seed * 977 + static_cast<uint64_t>(o));
+    WaypointOptions options;
+    options.duration = 500.0;
+    options.max_pause = 60.0;
+    const Trajectory traj = model.Generate(o, options, rng);
+    detector.DetectReadings(traj, DetectionOptions{}, &s.readings);
+  }
+  std::sort(s.readings.begin(), s.readings.end(),
+            [](const RawReading& a, const RawReading& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.object_id != b.object_id) return a.object_id < b.object_id;
+              return a.device_id < b.device_id;
+            });
+  return s;
+}
+
+StreamingOptions MakeOptions(int shards, bool cache) {
+  StreamingOptions options;
+  options.vmax = 1.1;
+  options.shards = shards;
+  options.ur_cache.enabled = cache;
+  return options;
+}
+
+void ExpectSameTopK(const std::vector<PoiFlow>& a,
+                    const std::vector<PoiFlow>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].poi, b[i].poi) << what << " rank " << i;
+    // Exact equality, deliberately: the ordered reduce promises the very
+    // same doubles, not merely close ones.
+    EXPECT_EQ(a[i].flow, b[i].flow) << what << " rank " << i;
+  }
+}
+
+class ShardDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+// The contract in one test: every (shard count, cache) configuration
+// answers every query exactly like the single-shard cache-less baseline.
+TEST_P(ShardDifferential, ShardCountAndCacheAreInvisible) {
+  const StreamScenario s = MakeScenario(GetParam());
+  if (s.readings.empty()) GTEST_SKIP() << "no detections for this seed";
+
+  StreamingMonitor baseline(s.deployment, s.pois, MakeOptions(1, false));
+  for (const RawReading& r : s.readings) {
+    ASSERT_TRUE(baseline.Ingest(r).ok());
+  }
+  const Timestamp now = baseline.now();
+  const auto base_top =
+      baseline.CurrentTopK(now, static_cast<int>(s.pois.size()));
+  const size_t base_active = baseline.ActiveObjects(now);
+
+  const Box domain = s.built.plan.Bounds();
+  for (const int shards : {2, 8}) {
+    for (const bool cache : {false, true}) {
+      StreamingMonitor monitor(s.deployment, s.pois,
+                               MakeOptions(shards, cache));
+      for (const RawReading& r : s.readings) {
+        ASSERT_TRUE(monitor.Ingest(r).ok());
+      }
+      ASSERT_EQ(monitor.now(), now);
+      EXPECT_EQ(monitor.ActiveObjects(now), base_active);
+      EXPECT_EQ(monitor.TrackCount(), baseline.TrackCount());
+      // Query twice: the first answer comes from a full recompute, the
+      // second from cached tallies (and, with the cache on, memoized
+      // regions) — both must equal the baseline bit for bit.
+      ExpectSameTopK(monitor.CurrentTopK(now, static_cast<int>(s.pois.size())),
+                     base_top, "cold top-k");
+      ExpectSameTopK(monitor.CurrentTopK(now, static_cast<int>(s.pois.size())),
+                     base_top, "warm top-k");
+      Rng sample_rng(GetParam() ^ 0xabc);
+      for (ObjectId o = 0; o < kObjects; ++o) {
+        const Region base_region = baseline.LiveRegion(o, now);
+        const Region region = monitor.LiveRegion(o, now);
+        ASSERT_EQ(region.IsEmpty(), base_region.IsEmpty()) << "object " << o;
+        for (int i = 0; i < 100; ++i) {
+          const Point p{sample_rng.Uniform(domain.min_x, domain.max_x),
+                        sample_rng.Uniform(domain.min_y, domain.max_y)};
+          EXPECT_EQ(region.Contains(p), base_region.Contains(p))
+              << "object " << o << " shards=" << shards
+              << " cache=" << cache;
+        }
+      }
+    }
+  }
+}
+
+// Incremental path: after a query published every shard's tally, further
+// ingest dirties only the touched shards — the next query must reuse the
+// clean tallies and still match a monitor that recomputed everything.
+TEST_P(ShardDifferential, IncrementalReuseMatchesFullRecompute) {
+  const StreamScenario s = MakeScenario(GetParam() ^ 0x1122);
+  if (s.readings.size() < 10) GTEST_SKIP() << "too few readings";
+
+  StreamingMonitor incremental(s.deployment, s.pois, MakeOptions(8, false));
+  const size_t half = s.readings.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(incremental.Ingest(s.readings[i]).ok());
+  }
+  // Publish tallies for every shard at the mid-stream clock.
+  (void)incremental.CurrentTopK(incremental.now(),
+                                static_cast<int>(s.pois.size()));
+  // Dirty a strict subset of shards: replay the second half for one
+  // object only (the others' shards keep their published tallies, which
+  // are stale by timestamp and must be recomputed — but the reuse logic
+  // must not serve them as-is for the *new* t).
+  const ObjectId touched = s.readings[half].object_id;
+  Timestamp last_t = 0.0;
+  for (size_t i = half; i < s.readings.size(); ++i) {
+    if (s.readings[i].object_id != touched) continue;
+    ASSERT_TRUE(incremental.Ingest(s.readings[i]).ok());
+    last_t = s.readings[i].t;
+  }
+  if (last_t == 0.0) GTEST_SKIP() << "object fell silent in second half";
+
+  StreamingMonitor fresh(s.deployment, s.pois, MakeOptions(8, false));
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(fresh.Ingest(s.readings[i]).ok());
+  }
+  for (size_t i = half; i < s.readings.size(); ++i) {
+    if (s.readings[i].object_id != touched) continue;
+    ASSERT_TRUE(fresh.Ingest(s.readings[i]).ok());
+  }
+  const Timestamp now = incremental.now();
+  ASSERT_EQ(fresh.now(), now);
+  ExpectSameTopK(incremental.CurrentTopK(now, static_cast<int>(s.pois.size())),
+                 fresh.CurrentTopK(now, static_cast<int>(s.pois.size())),
+                 "incremental vs fresh");
+  // And again at the same t: now every shard reuses its tally outright.
+  ExpectSameTopK(incremental.CurrentTopK(now, static_cast<int>(s.pois.size())),
+                 fresh.CurrentTopK(now, static_cast<int>(s.pois.size())),
+                 "all-reuse vs fresh");
+}
+
+// IngestBatch is a locking optimization, not a semantic one.
+TEST_P(ShardDifferential, BatchIngestMatchesSequential) {
+  const StreamScenario s = MakeScenario(GetParam() ^ 0x3344);
+  if (s.readings.empty()) GTEST_SKIP();
+
+  StreamingMonitor sequential(s.deployment, s.pois, MakeOptions(4, false));
+  for (const RawReading& r : s.readings) {
+    ASSERT_TRUE(sequential.Ingest(r).ok());
+  }
+  StreamingMonitor batched(s.deployment, s.pois, MakeOptions(4, false));
+  constexpr size_t kBatch = 37;  // deliberately unaligned with anything
+  for (size_t i = 0; i < s.readings.size(); i += kBatch) {
+    const size_t end = std::min(i + kBatch, s.readings.size());
+    const std::vector<RawReading> chunk(
+        s.readings.begin() + static_cast<ptrdiff_t>(i),
+        s.readings.begin() + static_cast<ptrdiff_t>(end));
+    ASSERT_TRUE(batched.IngestBatch(chunk).ok());
+  }
+  ASSERT_EQ(batched.now(), sequential.now());
+  EXPECT_EQ(batched.TrackCount(), sequential.TrackCount());
+  ExpectSameTopK(
+      batched.CurrentTopK(batched.now(), static_cast<int>(s.pois.size())),
+      sequential.CurrentTopK(sequential.now(),
+                             static_cast<int>(s.pois.size())),
+      "batched vs sequential");
+}
+
+// A batch with bad readings applies the good ones and reports the first
+// failure.
+TEST(ShardBatchTest, BatchRejectsIndividually) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 1.0});
+  deployment.BuildIndex();
+  PoiSet pois;
+  pois.push_back(Poi{0, "spot", Polygon::Rectangle(-2, -2, 2, 2)});
+  StreamingMonitor monitor(deployment, pois, MakeOptions(2, false));
+  const std::vector<RawReading> batch = {
+      {1, 0, 10.0},
+      {1, 99, 11.0},  // unknown device: rejected
+      {2, 0, 12.0},
+      {1, 0, 5.0},  // out of order for object 1: rejected
+  };
+  const Status status = monitor.IngestBatch(batch);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(monitor.TrackCount(), 2u);  // objects 1 and 2 both landed
+  EXPECT_DOUBLE_EQ(monitor.now(), 12.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardDifferential,
+                         ::testing::Range<uint64_t>(5000, 5004));
+
+// Expired tracks leave the table — and the track_table_size gauge — on
+// both eviction paths: the amortized ingest sweep and the query-time
+// recompute walk.
+TEST(ShardEvictionTest, ExpiredTracksAreEvicted) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 1.0});
+  deployment.AddDevice(Circle{{10, 0}, 1.0});
+  deployment.BuildIndex();
+  PoiSet pois;
+  pois.push_back(Poi{0, "west", Polygon::Rectangle(-2, -2, 2, 2)});
+  pois.push_back(Poi{1, "east", Polygon::Rectangle(8, -2, 12, 2)});
+
+  StreamingOptions options;
+  options.vmax = 1.0;
+  // Deployment reach is 12m at vmax 1, so the eviction lag stays the
+  // expiry itself and the timings below are exact.
+  options.expiry_seconds = 30.0;
+  options.shards = 1;  // all objects share the swept shard
+  StreamingMonitor monitor(deployment, pois, options);
+
+  Counter& evicted_counter =
+      MetricsRegistry::Default().counter("streaming.tracks_evicted");
+  Gauge& size_gauge =
+      MetricsRegistry::Default().gauge("streaming.track_table_size");
+  const int64_t evicted_before = evicted_counter.value();
+
+  for (ObjectId o = 0; o < 8; ++o) {
+    ASSERT_TRUE(monitor.Ingest({o, 0, 0.0}).ok());
+  }
+  EXPECT_EQ(monitor.TrackCount(), 8u);
+  EXPECT_DOUBLE_EQ(size_gauge.value(), 8.0);
+
+  // Ingest-path sweep: one fresh reading far past the lag evicts the
+  // other seven lazily, inside the same shard lock acquisition.
+  ASSERT_TRUE(monitor.Ingest({0, 0, 200.0}).ok());
+  EXPECT_EQ(monitor.TrackCount(), 1u);
+  EXPECT_DOUBLE_EQ(size_gauge.value(), 1.0);
+  EXPECT_EQ(evicted_counter.value() - evicted_before, 7);
+
+  // Query-path eviction: a second monitor whose sweep never fires still
+  // drops expired tracks during the tally recompute walk.
+  StreamingOptions multi = options;
+  multi.shards = 8;
+  StreamingMonitor monitor2(deployment, pois, multi);
+  for (ObjectId o = 0; o < 8; ++o) {
+    ASSERT_TRUE(monitor2.Ingest({o, 0, 0.0}).ok());
+  }
+  ASSERT_TRUE(monitor2.Ingest({0, 1, 200.0}).ok());
+  EXPECT_GT(monitor2.TrackCount(), 1u);  // other shards never swept
+  (void)monitor2.CurrentTopK(monitor2.now(), 2);
+  EXPECT_EQ(monitor2.TrackCount(), 1u);
+  EXPECT_DOUBLE_EQ(size_gauge.value(), 1.0);
+}
+
+// A tripped QueryControl aborts CurrentTopK without publishing a
+// half-computed tally: the next uncontrolled query is exact.
+TEST(ShardControlTest, AbortedTopKPublishesNothing) {
+  const StreamScenario s = MakeScenario(6001);
+  if (s.readings.empty()) GTEST_SKIP();
+
+  StreamingMonitor monitor(s.deployment, s.pois, MakeOptions(4, false));
+  StreamingMonitor witness(s.deployment, s.pois, MakeOptions(4, false));
+  for (const RawReading& r : s.readings) {
+    ASSERT_TRUE(monitor.Ingest(r).ok());
+    ASSERT_TRUE(witness.Ingest(r).ok());
+  }
+  CancelToken cancel;
+  cancel.Cancel();  // tripped before the query even starts
+  QueryControl control(Deadline::Infinite(), &cancel);
+  (void)monitor.CurrentTopK(monitor.now(), 5, &control);
+  EXPECT_TRUE(control.Aborted());
+  EXPECT_EQ(control.reason(), AbortReason::kCancelled);
+  // LiveRegion under a tripped control is empty, not stale.
+  QueryControl region_control(Deadline::Infinite(), &cancel);
+  EXPECT_TRUE(
+      monitor.LiveRegion(s.readings[0].object_id, monitor.now(),
+                         &region_control)
+          .IsEmpty());
+  ExpectSameTopK(monitor.CurrentTopK(monitor.now(),
+                                     static_cast<int>(s.pois.size())),
+                 witness.CurrentTopK(witness.now(),
+                                     static_cast<int>(s.pois.size())),
+                 "post-abort vs witness");
+}
+
+// The headline concurrency shape: ingest threads (disjoint object sets,
+// so per-object time order holds) racing query threads across shards.
+// TSan checks the synchronization; the final differential checks that the
+// races never corrupted state.
+TEST(ShardStressTest, ConcurrentIngestVersusQuery) {
+  Deployment deployment;
+  for (int d = 0; d < 6; ++d) {
+    deployment.AddDevice(Circle{{static_cast<double>(8 * d), 0}, 1.5});
+  }
+  deployment.BuildIndex();
+  PoiSet pois;
+  for (int32_t p = 0; p < 6; ++p) {
+    const double x = 8.0 * p;
+    pois.push_back(
+        Poi{p, "poi", Polygon::Rectangle(x - 3, -3, x + 3, 3)});
+  }
+
+  constexpr int kIngestThreads = 4;
+  constexpr int kStressObjects = 16;
+  constexpr int kReadingsPerObject = 200;
+  StreamingMonitor monitor(deployment, pois, MakeOptions(8, true));
+
+  std::vector<RawReading> all;
+  for (ObjectId o = 0; o < kStressObjects; ++o) {
+    for (int i = 0; i < kReadingsPerObject; ++i) {
+      // Wander across devices; each object advances its own clock.
+      const DeviceId device =
+          static_cast<DeviceId>((o + i / 20) % 6);
+      all.push_back({o, device, static_cast<double>(i) + 0.1 * (o % 7)});
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kIngestThreads; ++w) {
+    workers.emplace_back([&, w] {
+      for (const RawReading& r : all) {
+        if (r.object_id % kIngestThreads != w) continue;
+        ASSERT_TRUE(monitor.Ingest(r).ok());
+      }
+    });
+  }
+  for (int q = 0; q < 2; ++q) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const Timestamp t = monitor.now();
+        const auto top = monitor.CurrentTopK(t, 3);
+        ASSERT_EQ(top.size(), 3u);
+        for (size_t i = 1; i < top.size(); ++i) {
+          ASSERT_LE(top[i].flow, top[i - 1].flow);
+        }
+        (void)monitor.LiveRegion(static_cast<ObjectId>(top[0].poi), t);
+        (void)monitor.ActiveObjects(t);
+      }
+    });
+  }
+  for (int w = 0; w < kIngestThreads; ++w) workers[w].join();
+  stop.store(true, std::memory_order_release);
+  for (size_t w = kIngestThreads; w < workers.size(); ++w) {
+    workers[w].join();
+  }
+
+  // The interleaving was nondeterministic; the end state must not be.
+  StreamingMonitor serial(deployment, pois, MakeOptions(1, false));
+  std::stable_sort(all.begin(), all.end(),
+                   [](const RawReading& a, const RawReading& b) {
+                     return a.t < b.t;
+                   });
+  for (const RawReading& r : all) {
+    ASSERT_TRUE(serial.Ingest(r).ok());
+  }
+  ASSERT_EQ(monitor.now(), serial.now());
+  EXPECT_EQ(monitor.TrackCount(), serial.TrackCount());
+  ExpectSameTopK(monitor.CurrentTopK(monitor.now(), 6),
+                 serial.CurrentTopK(serial.now(), 6),
+                 "concurrent vs serial replay");
+}
+
+}  // namespace
+}  // namespace indoorflow

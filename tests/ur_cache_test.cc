@@ -137,6 +137,48 @@ TEST(UrCacheTest, BumpEpochInvalidatesAllEntriesOfTheObjectLazily) {
   EXPECT_TRUE(cache.Lookup(1, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
 }
 
+// Per-shard stats must sum to the whole-cache aggregates and expose skew
+// (every entry for one key landing in one shard).
+TEST(UrCacheTest, ShardStatsSumToAggregates) {
+  UrCacheConfig config;
+  config.enabled = true;
+  config.shards = 4;
+  UrCache cache(config);
+  ASSERT_EQ(cache.shard_count(), 4u);
+  const Region region = Region::Make(Circle{{0.0, 0.0}, 1.0});
+  for (ObjectId o = 0; o < 16; ++o) {
+    cache.Insert(o, UrCache::Kind::kSnapshot, 1.0, 1.0, region);
+  }
+  Region out;
+  EXPECT_TRUE(cache.Lookup(3, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+  EXPECT_FALSE(cache.Lookup(99, UrCache::Kind::kSnapshot, 1.0, 1.0, &out));
+
+  size_t bytes = 0;
+  size_t entries = 0;
+  UrCache::Counters counters;
+  for (size_t s = 0; s < cache.shard_count(); ++s) {
+    const UrCache::ShardStats stats = cache.ShardStatsAt(s);
+    bytes += stats.bytes;
+    entries += stats.entries;
+    counters.hits += stats.counters.hits;
+    counters.misses += stats.counters.misses;
+    counters.inserts += stats.counters.inserts;
+    counters.evictions += stats.counters.evictions;
+    counters.stale_drops += stats.counters.stale_drops;
+  }
+  EXPECT_EQ(bytes, cache.ApproxBytes());
+  EXPECT_EQ(entries, cache.EntryCount());
+  const UrCache::Counters total = cache.TotalCounters();
+  EXPECT_EQ(counters.hits, total.hits);
+  EXPECT_EQ(counters.misses, total.misses);
+  EXPECT_EQ(counters.inserts, total.inserts);
+  EXPECT_EQ(counters.evictions, total.evictions);
+  EXPECT_EQ(counters.stale_drops, total.stale_drops);
+  EXPECT_EQ(counters.inserts, 16);
+  EXPECT_EQ(counters.hits, 1);
+  EXPECT_EQ(counters.misses, 1);
+}
+
 TEST(UrCacheTest, InsertReplacesExistingKey) {
   UrCacheConfig config;
   config.enabled = true;

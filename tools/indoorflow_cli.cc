@@ -53,6 +53,7 @@
 #include "src/common/metrics.h"
 #include "src/core/engine.h"
 #include "src/core/query_profile.h"
+#include "src/core/streaming.h"
 #include "src/serve/query_service.h"
 #include "src/core/flow_matrix.h"
 #include "src/core/itinerary.h"
@@ -724,6 +725,8 @@ int CmdServe(Flags& flags) {
   service_options.trace_sample =
       flags.GetDouble("trace-sample", service_options.trace_sample);
   const std::string probe = flags.GetOr("probe", "on");
+  const std::string live = flags.GetOr("live", "on");
+  const int stream_shards = flags.GetInt("stream-shards", 8);
   auto bundle = MakeEngine(flags);
   if (!bundle.ok()) return Fail(bundle.status().ToString());
   if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
@@ -731,6 +734,10 @@ int CmdServe(Flags& flags) {
   if (probe != "on" && probe != "off") {
     return Fail("--probe must be on|off");
   }
+  if (live != "on" && live != "off") {
+    return Fail("--live must be on|off");
+  }
+  if (stream_shards <= 0) return Fail("--stream-shards must be > 0");
   if (service_options.queue_limit < 0) {
     return Fail("--queue-limit must be >= 0");
   }
@@ -746,7 +753,38 @@ int CmdServe(Flags& flags) {
 
   ProfileRecorder recorder;
   bundle->engine->AttachProfileRecorder(&recorder);
-  QueryService service(bundle->engine.get(), service_options);
+
+  // Live monitor (--live on): replay the dataset's tracking records as a
+  // reading stream so /query/live answers continuous top-k against the
+  // same deployment. Each record becomes two readings (its endpoints);
+  // per-object replay keeps every object's readings time-ordered, which
+  // is all Ingest requires (cross-object interleaving is free).
+  std::unique_ptr<StreamingMonitor> monitor;
+  if (live == "on") {
+    StreamingOptions stream_options;
+    stream_options.vmax = flags.GetDouble("vmax", 1.1);
+    stream_options.shards = stream_shards;
+    // Never expire the replayed history: the probe and clients may query
+    // any timestamp in the observation span.
+    stream_options.expiry_seconds =
+        std::max(600.0, data.ott.max_time() - data.ott.min_time() + 1.0);
+    monitor = std::make_unique<StreamingMonitor>(data.deployment, data.pois,
+                                                 stream_options);
+    std::vector<RawReading> replay;
+    replay.reserve(data.ott.size() * 2);
+    for (ObjectId object : data.ott.objects()) {
+      for (RecordIndex index : data.ott.ChainOf(object)) {
+        const TrackingRecord& record = data.ott.record(index);
+        replay.push_back({object, record.device_id, record.ts});
+        replay.push_back({object, record.device_id, record.te});
+      }
+    }
+    const Status ingest_status = monitor->IngestBatch(replay);
+    if (!ingest_status.ok()) return Fail(ingest_status.ToString());
+  }
+
+  QueryService service(bundle->engine.get(), service_options,
+                       monitor.get());
 
   ExpoServer server;
   service.RegisterRoutes(&server);
@@ -786,6 +824,9 @@ int CmdServe(Flags& flags) {
       bundle->engine->SnapshotTopK(t, k, algo);
       bundle->engine->IntervalTopK(std::max(t0, t - 60.0),
                                    std::min(t1, t + 60.0), k, algo);
+      // Keep the streaming.* metrics turning over too (the first poll at
+      // an unchanged stream clock recomputes; later ones reuse tallies).
+      if (monitor != nullptr) monitor->CurrentTopK(monitor->now(), k);
       ++rounds;
     }
     std::this_thread::sleep_for(std::chrono::duration<double>(interval));
@@ -829,10 +870,13 @@ int Usage() {
       "  serve    --data DIR [--port P] [--duration S] [--interval S]\n"
       "           [--queue-limit N] [--max-queue-wait-ms MS]\n"
       "           [--deadline-ms MS] [--probe on|off]\n"
+      "           [--live on|off] [--stream-shards N]   (live monitor\n"
+      "           replayed from the dataset; /query/live)\n"
       "           [--trace-sample F]   (request-trace head sampling)\n"
       "           (query endpoints /query/snapshot, /query/interval,\n"
-      "           /query/join plus /metrics, /healthz, /profiles/recent,\n"
-      "           /traces/recent on 127.0.0.1; see docs/SERVING.md)\n"
+      "           /query/join, /query/live plus /metrics, /healthz,\n"
+      "           /profiles/recent, /traces/recent on 127.0.0.1; see\n"
+      "           docs/SERVING.md)\n"
       "  cleanse  --readings F.csv --deployment F.csv --out F.csv\n"
       "  render   --data DIR --out FILE.svg [--heatmap-t T]\n");
   return 2;
