@@ -206,14 +206,21 @@ Status StreamingMonitor::IngestBatch(const std::vector<RawReading>& readings,
     by_shard[static_cast<uint32_t>(readings[i].object_id) & shard_mask_]
         .push_back(i);
   }
+  // Readings replay shard by shard, so "first rejection" must be tracked
+  // by batch index: the first failing shard is not the first failing
+  // reading in arrival order.
   Status first_error = Status::OK();
+  uint32_t first_error_index = static_cast<uint32_t>(readings.size());
   for (size_t s = 0; s < by_shard.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
     MutexLock lock(shard.mu);
     for (uint32_t i : by_shard[s]) {
       Status status = ApplyReadingLocked(shard, readings[i]);
-      if (!status.ok() && first_error.ok()) first_error = std::move(status);
+      if (!status.ok() && i < first_error_index) {
+        first_error_index = i;
+        first_error = std::move(status);
+      }
     }
     const Timestamp latest = now();
     if (latest - shard.last_sweep >= 0.5 * eviction_lag_seconds_) {
@@ -375,23 +382,37 @@ std::vector<PoiFlow> StreamingMonitor::CurrentTopK(
   // executor. Lanes touch disjoint shards (and the internally-synchronized
   // UR cache), so the derived contributions are identical to a serial
   // walk; the order-sensitive flow accumulation happens in pass 3.
+  int64_t recomputed = 0;
   if (!stale.empty()) {
+    // Lanes touch disjoint slots, so plain per-lane flags suffice (same
+    // pattern as snaps); summed serially after the fan-out.
+    std::vector<uint8_t> lane_recomputed(stale.size(), 0);
     Executor::Default().ParallelFor(
         stale.size(), static_cast<int>(stale.size()), [&](size_t i) {
           Shard& shard = *shards_[stale[i]];
           MutexLock lock(shard.mu);
           // Double-check under the lock: a concurrent query may have
-          // published a tally for this same `t` since pass 1.
+          // published a tally for this same `t` since pass 1 — that is a
+          // reuse, not a recompute.
           if (shard.dirty || shard.tally == nullptr ||
               shard.tally->t != t) {
             if (!RecomputeShardTallyLocked(shard, t, control)) return;
+            lane_recomputed[i] = 1;
           }
           snaps[stale[i]] = shard.tally;
         });
-    metrics.shard_recomputes.Add(static_cast<int64_t>(stale.size()));
+    recomputed = std::count(lane_recomputed.begin(), lane_recomputed.end(),
+                            uint8_t{1});
+    metrics.shard_recomputes.Add(recomputed);
     metrics.track_table_size.Set(static_cast<double>(TrackCount()));
   }
-  metrics.shard_reuses.Add(static_cast<int64_t>(n - stale.size()));
+  // Reuses = shards that contributed a tally this query without a
+  // recompute (clean in pass 1, or freshly published by a concurrent
+  // query in pass 2); aborted lanes count as neither.
+  const int64_t published = std::count_if(
+      snaps.begin(), snaps.end(),
+      [](const ShardTallyPtr& tally) { return tally != nullptr; });
+  metrics.shard_reuses.Add(published - recomputed);
   metrics.topk_dirty_ratio.Set(static_cast<double>(stale.size()) /
                                static_cast<double>(n));
   // Pass 3 (serial ordered reduce): merge the immutable shard tallies in

@@ -235,6 +235,27 @@ TEST(ShardBatchTest, BatchRejectsIndividually) {
   EXPECT_DOUBLE_EQ(monitor.now(), 12.0);
 }
 
+// The returned status is the first rejection in the batch's ARRIVAL
+// order, even though readings replay shard by shard. Object 1 lands in
+// shard 1 and object 2 in shard 0, so the shard-order replay hits object
+// 2's rejection first — but object 1's came earlier in the batch.
+TEST(ShardBatchTest, FirstRejectionFollowsArrivalOrder) {
+  Deployment deployment;
+  deployment.AddDevice(Circle{{0, 0}, 1.0});
+  deployment.BuildIndex();
+  PoiSet pois;
+  pois.push_back(Poi{0, "spot", Polygon::Rectangle(-2, -2, 2, 2)});
+  StreamingMonitor monitor(deployment, pois, MakeOptions(2, false));
+  const std::vector<RawReading> batch = {
+      {2, 0, 10.0},
+      {1, 99, 11.0},  // index 1, shard 1: unknown device
+      {2, 0, 5.0},    // index 2, shard 0: out of order for object 2
+  };
+  const Status status = monitor.IngestBatch(batch);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "unknown device 99");
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardDifferential,
                          ::testing::Range<uint64_t>(5000, 5004));
 

@@ -13,6 +13,12 @@ benchmark's median time against the checked-in baseline:
     seeded, so drift means the algorithm did different work)
   * benchmarks only in one side                  ->  NEW / GONE, warn only
 
+Baseline entries that are deliberately excluded from a run (e.g. the
+load-shape-sensitive UnderPolling throughput records, which CI filters
+out with --benchmark_filter) can be skipped with ``--ignore REGEX``:
+matching benchmarks are dropped from both sides before comparing, so
+they neither gate nor show up as NEW/GONE noise.
+
 A comparison table is printed either way.
 
 Regenerate the baseline (after an intentional perf change, on the CI runner
@@ -26,6 +32,11 @@ class the gate runs on):
   tools/bench_compare.py --update-baseline --baseline bench/baseline.json \\
       fig10.json ablation.json
 
+``--update-baseline`` MERGES: entries present in the results are updated,
+every other baseline entry is kept, so refreshing from one suite's results
+cannot silently drop the other suites' gates. Pass ``--replace`` with it to
+rewrite the file from the results alone (intentional benchmark removal).
+
 Exit status: 0 clean (or after --update-baseline), 1 on any FAIL, 2 on usage
 or parse errors.
 """
@@ -34,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -162,9 +174,18 @@ def main() -> int:
                         help="benchmark JSON result files")
     parser.add_argument("--baseline", default="bench/baseline.json")
     parser.add_argument("--update-baseline", action="store_true",
-                        help="write the baseline from the results and exit")
+                        help="merge the results into the baseline and exit "
+                             "(entries absent from the results are kept)")
+    parser.add_argument("--replace", action="store_true",
+                        help="with --update-baseline: rewrite the baseline "
+                             "from the results alone, dropping entries "
+                             "absent from them")
     parser.add_argument("--warn-pct", type=float, default=10.0)
     parser.add_argument("--fail-pct", type=float, default=25.0)
+    parser.add_argument("--ignore", metavar="REGEX", default=None,
+                        help="drop benchmarks matching this regex from both "
+                             "sides before comparing (for baseline entries "
+                             "the run deliberately filters out)")
     args = parser.parse_args()
 
     try:
@@ -178,8 +199,22 @@ def main() -> int:
         return 2
 
     if args.update_baseline:
-        save_baseline(args.baseline, results)
-        print(f"wrote {len(results)} benchmark medians to {args.baseline}")
+        merged = results
+        kept = 0
+        if not args.replace:
+            try:
+                previous = load_baseline(args.baseline)
+            except FileNotFoundError:
+                previous = {}
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"error reading baseline to merge into: {error} "
+                      f"(pass --replace to overwrite)", file=sys.stderr)
+                return 2
+            kept = len([name for name in previous if name not in results])
+            merged = {**previous, **results}
+        save_baseline(args.baseline, merged)
+        print(f"wrote {len(results)} benchmark medians to {args.baseline}"
+              + (f" (kept {kept} existing entries)" if kept else ""))
         return 0
 
     try:
@@ -187,6 +222,20 @@ def main() -> int:
     except (OSError, json.JSONDecodeError) as error:
         print(f"error reading baseline: {error}", file=sys.stderr)
         return 2
+    if args.ignore:
+        try:
+            ignore = re.compile(args.ignore)
+        except re.error as error:
+            print(f"error: bad --ignore regex: {error}", file=sys.stderr)
+            return 2
+        baseline = {name: entry for name, entry in baseline.items()
+                    if not ignore.search(name)}
+        results = {name: entry for name, entry in results.items()
+                   if not ignore.search(name)}
+        if not results:
+            print("error: --ignore filtered out every benchmark",
+                  file=sys.stderr)
+            return 2
     return compare(baseline, results, args.warn_pct, args.fail_pct)
 
 

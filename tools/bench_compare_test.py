@@ -119,6 +119,65 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("NEW", proc.stdout)
         self.assertIn("GONE", proc.stdout)
 
+    def test_ignore_skips_filtered_out_baseline_entries(self):
+        # A baseline entry the run filters out (like the UnderPolling
+        # throughput records CI excludes with --benchmark_filter) must not
+        # show up as GONE when --ignore covers it.
+        baseline = self.make_baseline(10.0, 500.0)
+        with open(baseline, encoding="utf-8") as f:
+            doc = json.load(f)
+        doc["benchmarks"]["BM_IngestUnderPolling/shards:8"] = {
+            "counters": {}, "time_ns": 123.0}
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        result = self.write("new.json", benchmark_json(10.0, 500.0))
+        proc = self.run_compare("--baseline", baseline, result)
+        self.assertIn("GONE", proc.stdout)
+        proc = self.run_compare("--baseline", baseline,
+                                "--ignore", "UnderPolling", result)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("GONE", proc.stdout)
+
+    def test_ignore_everything_errors(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        result = self.write("new.json", benchmark_json(10.0, 500.0))
+        proc = self.run_compare("--baseline", baseline,
+                                "--ignore", "BM_", result)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_update_baseline_merges_keeping_other_suites(self):
+        # Refreshing from one suite's results must not drop the entries
+        # another suite contributed (the gate for those would silently
+        # vanish — every compare would report them as warn-only NEW).
+        baseline = self.make_baseline(10.0, 500.0)
+        other = benchmark_json(20.0, 100.0)
+        for row in other["benchmarks"]:
+            row["run_name"] = "BM_OtherSuite/k:1"
+            row["name"] = "BM_OtherSuite/k:1_" + row["aggregate_name"]
+        result = self.write("other.json", other)
+        proc = self.run_compare("--update-baseline", "--baseline", baseline,
+                                result)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("kept 1 existing", proc.stdout)
+        with open(baseline, encoding="utf-8") as f:
+            names = set(json.load(f)["benchmarks"])
+        self.assertEqual(
+            names, {"BM_Fig10a_EffectOfK/k:20/algo:1", "BM_OtherSuite/k:1"})
+
+    def test_update_baseline_replace_drops_absent_entries(self):
+        baseline = self.make_baseline(10.0, 500.0)
+        other = benchmark_json(20.0, 100.0)
+        for row in other["benchmarks"]:
+            row["run_name"] = "BM_OtherSuite/k:1"
+            row["name"] = "BM_OtherSuite/k:1_" + row["aggregate_name"]
+        result = self.write("other.json", other)
+        proc = self.run_compare("--update-baseline", "--replace",
+                                "--baseline", baseline, result)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        with open(baseline, encoding="utf-8") as f:
+            names = set(json.load(f)["benchmarks"])
+        self.assertEqual(names, {"BM_OtherSuite/k:1"})
+
     def test_missing_results_file_errors(self):
         baseline = self.make_baseline(10.0, 500.0)
         proc = self.run_compare("--baseline", baseline,
