@@ -1,0 +1,180 @@
+#include "src/core/approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "src/common/random.h"
+
+namespace indoorflow {
+
+namespace {
+
+// z for a two-sided 95% normal interval.
+constexpr double kZ95 = 1.959963984540054;
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+const char* ApproxModeName(ApproxMode mode) {
+  switch (mode) {
+    case ApproxMode::kExact:
+      return "exact";
+    case ApproxMode::kSampled:
+      return "sampled";
+    case ApproxMode::kAdaptive:
+      return "adaptive";
+  }
+  return "exact";
+}
+
+bool ApproxModeFromName(const std::string& text, ApproxMode* mode) {
+  if (text == "exact") {
+    *mode = ApproxMode::kExact;
+  } else if (text == "sampled") {
+    *mode = ApproxMode::kSampled;
+  } else if (text == "adaptive") {
+    *mode = ApproxMode::kAdaptive;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ShouldSample(const ApproxConfig& config, size_t population) {
+  if (config.sample_budget <= 0) return false;
+  if (static_cast<size_t>(config.sample_budget) >= population) return false;
+  switch (config.mode) {
+    case ApproxMode::kExact:
+      return false;
+    case ApproxMode::kSampled:
+      return true;
+    case ApproxMode::kAdaptive:
+      return config.adaptive_min_population >= 0 &&
+             population >=
+                 static_cast<size_t>(config.adaptive_min_population);
+  }
+  return false;
+}
+
+uint64_t MixSampleSeed(uint64_t seed, double ts, double te) {
+  // SplitMix64-style finalizer over the seed and the timestamp bit
+  // patterns; Rng's own seeding decorrelates further.
+  uint64_t x = seed ^ (DoubleBits(ts) * 0x9e3779b97f4a7c15ULL);
+  x ^= DoubleBits(te) + 0x9e3779b97f4a7c15ULL + (x << 6) + (x >> 2);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::vector<size_t> SampleIndices(size_t population, size_t n,
+                                  uint64_t seed) {
+  if (n >= population) {
+    std::vector<size_t> all(population);
+    std::iota(all.begin(), all.end(), size_t{0});
+    return all;
+  }
+  // Partial Fisher–Yates: after i swaps the prefix [0, i) is a uniform
+  // draw without replacement.
+  std::vector<size_t> indices(population);
+  std::iota(indices.begin(), indices.end(), size_t{0});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(rng.UniformInt(uint64_t{population - i}));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(n);
+  // Canonical evaluation order: callers walk sampled objects in the same
+  // order exact evaluation would.
+  std::sort(indices.begin(), indices.end());
+  return indices;
+}
+
+std::vector<FlowEstimate> EstimateFlows(
+    const std::vector<PoiId>& subset_ids,
+    const std::unordered_map<PoiId, double>& sums,
+    const std::unordered_map<PoiId, double>& sums_sq, size_t population,
+    size_t sampled) {
+  std::vector<FlowEstimate> out;
+  out.reserve(subset_ids.size());
+  const bool exact = sampled >= population;
+  const double n = static_cast<double>(sampled);
+  const double big_n = static_cast<double>(population);
+  const double scale = sampled > 0 ? big_n / n : 0.0;
+  for (PoiId id : subset_ids) {
+    FlowEstimate est;
+    est.poi = id;
+    const auto sum_it = sums.find(id);
+    const double sum = sum_it != sums.end() ? sum_it->second : 0.0;
+    if (exact) {
+      est.value = sum;
+      est.exact = true;
+      est.ci_low = est.ci_high = sum;
+      out.push_back(est);
+      continue;
+    }
+    const auto sq_it = sums_sq.find(id);
+    const double sum_sq = sq_it != sums_sq.end() ? sq_it->second : 0.0;
+    est.value = scale * sum;
+    est.exact = false;
+    if (sampled >= 2) {
+      // Sample variance over all n sampled objects; the (n - count of
+      // non-zero presences) objects that never touched this POI contribute
+      // zeros, which the sum/sum_sq form includes implicitly.
+      double s2 = (sum_sq - sum * sum / n) / (n - 1.0);
+      if (s2 < 0.0) s2 = 0.0;  // guard against rounding
+      const double fpc = 1.0 - n / big_n;
+      est.std_err = std::sqrt(big_n * big_n * fpc * s2 / n);
+    }
+    est.ci_low = std::max(0.0, est.value - kZ95 * est.std_err);
+    est.ci_high = est.value + kZ95 * est.std_err;
+    out.push_back(est);
+  }
+  return out;
+}
+
+std::vector<FlowEstimate> ExactEstimates(const std::vector<PoiFlow>& flows) {
+  std::vector<FlowEstimate> out;
+  out.reserve(flows.size());
+  for (const PoiFlow& f : flows) {
+    FlowEstimate est;
+    est.poi = f.poi;
+    est.value = f.flow;
+    est.exact = true;
+    est.ci_low = est.ci_high = f.flow;
+    out.push_back(est);
+  }
+  return out;
+}
+
+std::vector<FlowEstimate> TopKEstimates(std::vector<FlowEstimate> estimates,
+                                        int k) {
+  if (k <= 0) return {};
+  // Same contract as TopK: value descending, ties toward lower POI id.
+  std::sort(estimates.begin(), estimates.end(),
+            [](const FlowEstimate& a, const FlowEstimate& b) {
+              if (a.value != b.value) return a.value > b.value;
+              return a.poi < b.poi;
+            });
+  if (estimates.size() > static_cast<size_t>(k)) {
+    estimates.resize(static_cast<size_t>(k));
+  }
+  return estimates;
+}
+
+std::vector<PoiFlow> EstimatesToFlows(const std::vector<FlowEstimate>& est) {
+  std::vector<PoiFlow> out;
+  out.reserve(est.size());
+  for (const FlowEstimate& e : est) out.push_back({e.poi, e.value});
+  return out;
+}
+
+}  // namespace indoorflow

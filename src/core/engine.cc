@@ -304,6 +304,15 @@ std::vector<PoiFlow> QueryEngine::SnapshotTopK(
     Timestamp t, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
+  // Approximate routing happens before the metrics scope so the estimate
+  // path books exactly one query; kExact (the default) falls straight
+  // through to the unchanged exact code below.
+  if (config_.approx.mode != ApproxMode::kExact &&
+      algorithm == Algorithm::kIterative) {
+    return EstimatesToFlows(SnapshotTopKEstimate(t, k, config_.approx,
+                                                 subset, stats, profile,
+                                                 control));
+  }
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats, profile,
                           recorder_, control);
   const PoiSelection selection = SelectPois(subset);
@@ -461,6 +470,13 @@ std::vector<PoiFlow> QueryEngine::IntervalTopK(
     Timestamp ts, Timestamp te, int k, Algorithm algorithm,
     const std::vector<PoiId>* subset, QueryStats* stats,
     QueryProfile* profile, const QueryControl* control) const {
+  // As in SnapshotTopK: estimate routing precedes the metrics scope.
+  if (config_.approx.mode != ApproxMode::kExact &&
+      algorithm == Algorithm::kIterative) {
+    return EstimatesToFlows(IntervalTopKEstimate(ts, te, k, config_.approx,
+                                                 subset, stats, profile,
+                                                 control));
+  }
   QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats, profile,
                           recorder_, control);
   const PoiSelection selection = SelectPois(subset);
@@ -479,6 +495,42 @@ std::vector<PoiFlow> QueryEngine::IntervalTopK(
       return JoinInterval(ctx, poi_tree, ids, ts, te, k);
   }
   return {};
+}
+
+std::vector<FlowEstimate> QueryEngine::SnapshotTopKEstimate(
+    Timestamp t, int k, const ApproxConfig& approx,
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile, const QueryControl* control) const {
+  QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopKEstimate", stats,
+                          profile, recorder_, control);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, Algorithm::kIterative, t, t, k, 0.0, ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  ctx.profile = profile;
+  ctx.control = control;
+  ctx.span = scope.span();
+  return IterativeSnapshotEstimate(ctx, poi_tree, ids, t, k, approx);
+}
+
+std::vector<FlowEstimate> QueryEngine::IntervalTopKEstimate(
+    Timestamp ts, Timestamp te, int k, const ApproxConfig& approx,
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile, const QueryControl* control) const {
+  QueryMetricsScope scope(IntervalMetrics(), "IntervalTopKEstimate", stats,
+                          profile, recorder_, control);
+  const PoiSelection selection = SelectPois(subset);
+  const RTree& poi_tree = selection.tree();
+  const std::vector<PoiId>& ids = selection.ids;
+  BeginProfile(profile, Algorithm::kIterative, ts, te, k, 0.0, ids);
+  QueryContext ctx = MakeContext();
+  ctx.stats = stats;
+  ctx.profile = profile;
+  ctx.control = control;
+  ctx.span = scope.span();
+  return IterativeIntervalEstimate(ctx, poi_tree, ids, ts, te, k, approx);
 }
 
 }  // namespace indoorflow

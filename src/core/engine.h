@@ -80,6 +80,18 @@ struct EngineConfig {
   int poi_fanout = 8;
   int ri_fanout = 8;
   int artree_fanout = 32;
+  /// Approximate evaluation (src/core/approx.h, docs/APPROXIMATION.md).
+  /// The default kExact mode routes every query through the unchanged
+  /// exact code — bit-identical to an engine predating the sampling layer.
+  /// kSampled / kAdaptive make the top-k methods evaluate a deterministic
+  /// uniform subsample of the filter-phase candidates and rank by
+  /// Horvitz–Thompson estimates; use the *TopKEstimate methods to also get
+  /// each value's standard error and 95% confidence interval. Threshold
+  /// and density queries always run exactly (a sampled flow can straddle
+  /// tau, and density division amplifies estimator noise unevenly), as
+  /// does Algorithm::kJoin (its early-termination bounds assume every
+  /// object is present).
+  ApproxConfig approx;
 };
 
 class QueryEngine {
@@ -111,6 +123,11 @@ class QueryEngine {
   /// shared executor, but flows and rankings stay bit-identical to a
   /// serial run (parallel map, ordered reduce). This holds for every
   /// query method below.
+  ///
+  /// Approximation: with EngineConfig::approx.mode != kExact and
+  /// Algorithm::kIterative, this (and IntervalTopK) routes through the
+  /// estimate path and returns the estimated values; call
+  /// SnapshotTopKEstimate directly for the error bounds.
   std::vector<PoiFlow> SnapshotTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
@@ -122,6 +139,26 @@ class QueryEngine {
   /// SnapshotTopK.
   std::vector<PoiFlow> IntervalTopK(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
+      const std::vector<PoiId>* subset = nullptr,
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
+
+  /// Approximate Problem 1 / Problem 2: top-k FlowEstimates under an
+  /// explicit per-call ApproxConfig (the serving layer passes per-request
+  /// overrides; library callers usually pass config().approx). When the
+  /// config calls for sampling (see ShouldSample) the estimate carries a
+  /// standard error and 95% CI; otherwise it is exact with zero error.
+  /// Always evaluates iteratively — the join's early-termination bounds
+  /// assume the full population, so `algorithm` has no estimate analogue.
+  /// Deterministic for a fixed (config, seed, inputs); same thread-safety
+  /// and out-parameter contract as SnapshotTopK.
+  std::vector<FlowEstimate> SnapshotTopKEstimate(
+      Timestamp t, int k, const ApproxConfig& approx,
+      const std::vector<PoiId>* subset = nullptr,
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
+  std::vector<FlowEstimate> IntervalTopKEstimate(
+      Timestamp ts, Timestamp te, int k, const ApproxConfig& approx,
       const std::vector<PoiId>* subset = nullptr,
       QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
       const QueryControl* control = nullptr) const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/core/approx.h"
 #include "src/core/parallel_flows.h"
 #include "src/core/priority_join.h"
 #include "src/core/query_profile.h"
@@ -35,21 +36,16 @@ std::vector<IntervalChain> CollectChains(const QueryContext& ctx,
   return chains;
 }
 
-// The iterative algorithms' flow accumulation (Algorithm 4 lines 1-12).
-std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
-                                      const RTree& poi_tree,
-                                      const std::vector<PoiId>& subset_ids,
-                                      Timestamp ts, Timestamp te) {
-  std::unordered_map<PoiId, double> flows;
-  flows.reserve(subset_ids.size());
-  for (PoiId id : subset_ids) flows[id] = 0.0;
-
+// The iterative algorithms' per-chain accumulation (Algorithm 4 lines
+// 9-12). As in AccumulateSnapshotFlows, the sampled path reuses this over a
+// subsampled `chains` vector with `flows_sq` collecting squares; the exact
+// path passes nullptr.
+void AccumulateIntervalFlows(const QueryContext& ctx, const RTree& poi_tree,
+                             const std::vector<IntervalChain>& chains,
+                             Timestamp ts, Timestamp te,
+                             std::unordered_map<PoiId, double>* flows,
+                             std::unordered_map<PoiId, double>* flows_sq) {
   std::vector<int32_t> candidates;
-  const std::vector<IntervalChain> chains = CollectChains(ctx, ts, te);
-  if (ctx.stats != nullptr) {
-    ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
-    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
-  }
   // Parallel path: per-chain map across the executor plus an ordered
   // reduce (bit-identical to the serial loop below; see parallel_flows.h).
   const bool parallel = ParallelAccumulateFlows(
@@ -58,7 +54,7 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
       [&](const IntervalChain& chain) {
         return ctx.model->Interval(chain, ts, te);
       },
-      &flows);
+      flows, flows_sq);
 
   // Serial path. Same phase bracketing as AllSnapshotFlows: derive and
   // presence spans per chain, two clock reads each; EXPLAIN shares the
@@ -113,12 +109,30 @@ std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
         if (timed) ++ctx.stats->presence_evaluations;
         if (memo != nullptr) memo->Put(poi_id, presence);
       }
-      flows[poi_id] += presence;
+      (*flows)[poi_id] += presence;
+      if (flows_sq != nullptr) {
+        (*flows_sq)[poi_id] += presence * presence;
+      }
       if (profile != nullptr) profile->MarkPresence(poi_id, presence);
     }
     if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
   }
+}
 
+// The iterative algorithms' flow accumulation (Algorithm 4 lines 1-12).
+std::vector<PoiFlow> AllIntervalFlows(const QueryContext& ctx,
+                                      const RTree& poi_tree,
+                                      const std::vector<PoiId>& subset_ids,
+                                      Timestamp ts, Timestamp te) {
+  std::unordered_map<PoiId, double> flows;
+  flows.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) flows[id] = 0.0;
+  const std::vector<IntervalChain> chains = CollectChains(ctx, ts, te);
+  if (ctx.stats != nullptr) {
+    ctx.stats->objects_retrieved += static_cast<int64_t>(chains.size());
+    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
+  }
+  AccumulateIntervalFlows(ctx, poi_tree, chains, ts, te, &flows, nullptr);
   std::vector<PoiFlow> all;
   all.reserve(flows.size());
   for (const auto& [id, flow] : flows) all.push_back(PoiFlow{id, flow});
@@ -264,6 +278,68 @@ std::vector<PoiFlow> IterativeInterval(const QueryContext& ctx,
       AllIntervalFlows(ctx, poi_tree, subset_ids, ts, te);
   const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
   std::vector<PoiFlow> result = TopK(std::move(flows), k);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
+}
+
+std::vector<FlowEstimate> IterativeIntervalEstimate(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te, int k,
+    const ApproxConfig& approx) {
+  const std::vector<IntervalChain> chains = CollectChains(ctx, ts, te);
+  const size_t population = chains.size();
+  if (ctx.stats != nullptr) {
+    ctx.stats->objects_retrieved += static_cast<int64_t>(population);
+    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
+  }
+  const bool sample = ShouldSample(approx, population);
+
+  std::unordered_map<PoiId, double> flows;
+  std::unordered_map<PoiId, double> flows_sq;
+  flows.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) flows[id] = 0.0;
+  size_t evaluated = population;
+  if (sample) {
+    // Deterministic subsample in canonical (filter-phase) order, evaluated
+    // by the exact accumulation loop above.
+    const std::vector<size_t> picks =
+        SampleIndices(population, static_cast<size_t>(approx.sample_budget),
+                      MixSampleSeed(approx.seed, ts, te));
+    std::vector<IntervalChain> sampled;
+    sampled.reserve(picks.size());
+    for (size_t i : picks) sampled.push_back(chains[i]);
+    evaluated = sampled.size();
+    flows_sq.reserve(subset_ids.size());
+    for (PoiId id : subset_ids) flows_sq[id] = 0.0;
+    AccumulateIntervalFlows(ctx, poi_tree, sampled, ts, te, &flows,
+                            &flows_sq);
+  } else {
+    AccumulateIntervalFlows(ctx, poi_tree, chains, ts, te, &flows, nullptr);
+  }
+  std::vector<FlowEstimate> estimates =
+      EstimateFlows(subset_ids, flows, flows_sq, population, evaluated);
+
+  if (ctx.stats != nullptr) {
+    ctx.stats->sample_population += static_cast<int64_t>(population);
+    ctx.stats->sample_size += static_cast<int64_t>(evaluated);
+  }
+  if (ctx.profile != nullptr) {
+    ctx.profile->approx_mode = ApproxModeName(approx.mode);
+    ctx.profile->sampled = sample;
+    ctx.profile->sample_budget = approx.sample_budget;
+    ctx.profile->sample_population = static_cast<int64_t>(population);
+    ctx.profile->sample_size = static_cast<int64_t>(evaluated);
+    for (const FlowEstimate& est : estimates) {
+      if (est.std_err > ctx.profile->max_std_err) {
+        ctx.profile->max_std_err = est.std_err;
+      }
+    }
+  }
+
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  std::vector<FlowEstimate> result = TopKEstimates(std::move(estimates), k);
   if (ctx.stats != nullptr) {
     ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
   }

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/core/approx.h"
 #include "src/core/query_context.h"
 
 namespace indoorflow {
@@ -16,6 +17,15 @@ std::vector<PoiFlow> IterativeInterval(const QueryContext& ctx,
                                        const RTree& poi_tree,
                                        const std::vector<PoiId>& subset_ids,
                                        Timestamp ts, Timestamp te, int k);
+
+/// Approximate variant of Algorithm 4 (see IterativeSnapshotEstimate):
+/// top-k Horvitz–Thompson estimates with error bounds over a deterministic
+/// uniform subsample of the relevant record chains when `approx` calls for
+/// sampling, exact estimates otherwise.
+std::vector<FlowEstimate> IterativeIntervalEstimate(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp ts, Timestamp te, int k,
+    const ApproxConfig& approx);
 
 /// Algorithm 5 (joinInterval) with the finer sub-MBR improvement (Section
 /// 4.3.2, toggled by ctx.interval_sub_mbrs): R_I leaf entries carry one MBR

@@ -65,12 +65,17 @@ struct ParallelFlowTally {
 /// `object_of(item)` names the item's object; `derive(item)` builds its
 /// uncertainty region and must be safe to call concurrently for distinct
 /// items (UncertaintyModel is const / stateless per call).
+/// When `flows_sq` is non-null the reduce also accumulates each presence's
+/// square per POI (for the sampling estimator's variance); passing nullptr
+/// leaves the exact path's behavior untouched.
 template <typename Item, typename ObjectOf, typename DeriveFn>
 bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
                              const std::vector<Item>& items,
                              UrCache::Kind kind, Timestamp ts, Timestamp te,
                              const ObjectOf& object_of, const DeriveFn& derive,
-                             std::unordered_map<PoiId, double>* flows) {
+                             std::unordered_map<PoiId, double>* flows,
+                             std::unordered_map<PoiId, double>* flows_sq =
+                                 nullptr) {
   if (ctx.executor == nullptr || ctx.threads <= 1 ||
       items.size() < static_cast<size_t>(ctx.parallel_threshold)) {
     return false;
@@ -155,6 +160,9 @@ bool ParallelAccumulateFlows(const QueryContext& ctx, const RTree& poi_tree,
     for (size_t c = 0; c < tally.candidates.size(); ++c) {
       const int32_t poi_id = tally.candidates[c];
       (*flows)[poi_id] += tally.presences[c];
+      if (flows_sq != nullptr) {
+        (*flows_sq)[poi_id] += tally.presences[c] * tally.presences[c];
+      }
       if (profile != nullptr) {
         profile->MarkPresence(poi_id, tally.presences[c]);
       }

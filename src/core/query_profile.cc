@@ -106,6 +106,21 @@ std::string QueryProfile::ToJson() const {
   out.append(JsonNumber(tau));
   out.append("},\"total_ns\":");
   out.append(std::to_string(total_ns));
+  if (!approx_mode.empty()) {
+    out.append(",\"sampled\":{\"mode\":\"");
+    AppendJsonEscaped(approx_mode, &out);
+    out.append("\",\"active\":");
+    out.append(sampled ? "true" : "false");
+    out.append(",\"budget\":");
+    out.append(std::to_string(sample_budget));
+    out.append(",\"population\":");
+    out.append(std::to_string(sample_population));
+    out.append(",\"evaluated\":");
+    out.append(std::to_string(sample_size));
+    out.append(",\"max_std_err\":");
+    out.append(JsonNumber(max_std_err));
+    out.push_back('}');
+  }
   out.append(",\"stats\":");
   out.append(stats.ToJson());
   out.append(",\"verdicts\":{\"evaluated\":");
@@ -252,6 +267,21 @@ std::string QueryProfile::ToText() const {
       static_cast<long long>(stats.pois_evaluated),
       static_cast<long long>(stats.ur_cache_hits));
   out.append(line);
+
+  // Sampling decision, on estimate queries only. `evaluated < population`
+  // iff the sampler actually fired; adaptive queries that stayed exact show
+  // the switch decision here too.
+  if (!approx_mode.empty()) {
+    std::snprintf(line, sizeof(line),
+                  "sampled: mode=%s %s budget=%lld population=%lld "
+                  "evaluated=%lld max_stderr=%g\n",
+                  approx_mode.c_str(),
+                  sampled ? "(sampling)" : "(exact: under budget/threshold)",
+                  static_cast<long long>(sample_budget),
+                  static_cast<long long>(sample_population),
+                  static_cast<long long>(sample_size), max_std_err);
+    out.append(line);
+  }
 
   // Parallel fan-out, if the query ran any. parallel_ns is wall time of
   // the fanned sections, while the phase timers above sum per-worker time —

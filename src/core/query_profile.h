@@ -101,6 +101,20 @@ struct QueryProfile {
   /// mode so ambient profiling stays cheap.
   bool detail = true;
 
+  // ---- sampling (estimate queries only) --------------------------------
+  /// "exact" | "sampled" | "adaptive" when the query ran through an
+  /// estimate path; empty for plain exact queries, whose EXPLAIN output is
+  /// unchanged.
+  std::string approx_mode;
+  /// Whether the estimate path actually subsampled (adaptive mode can
+  /// decide not to; see the `sampled:` EXPLAIN line).
+  bool sampled = false;
+  int64_t sample_budget = 0;
+  int64_t sample_population = 0;
+  int64_t sample_size = 0;
+  /// Largest per-POI standard error across the returned estimates.
+  double max_std_err = 0.0;
+
   // ---- results ---------------------------------------------------------
   int64_t total_ns = 0;
   QueryStats stats;  // this query's own deltas (not caller accumulation)

@@ -45,6 +45,14 @@ struct QueryStats {
   /// when lanes overlap — this is measured once around each fan-out.
   int64_t parallel_ns = 0;
 
+  /// Filter-phase candidate population seen by estimate queries (equals
+  /// objects_retrieved for snapshot/interval estimates; 0 on exact-only
+  /// query paths, which never consult the sampler).
+  int64_t sample_population = 0;
+  /// Candidates the estimate path actually evaluated: min(budget,
+  /// population) when it sampled, the whole population when it ran exactly.
+  int64_t sample_size = 0;
+
   void Reset() { *this = QueryStats{}; }
 
   QueryStats& operator+=(const QueryStats& o) {
@@ -59,6 +67,8 @@ struct QueryStats {
     topk_ns += o.topk_ns;
     parallel_tasks += o.parallel_tasks;
     parallel_ns += o.parallel_ns;
+    sample_population += o.sample_population;
+    sample_size += o.sample_size;
     return *this;
   }
 
@@ -74,6 +84,8 @@ struct QueryStats {
     topk_ns -= o.topk_ns;
     parallel_tasks -= o.parallel_tasks;
     parallel_ns -= o.parallel_ns;
+    sample_population -= o.sample_population;
+    sample_size -= o.sample_size;
     return *this;
   }
 
@@ -107,6 +119,11 @@ inline constexpr QueryStatsField kQueryStatsFields[] = {
     {"topk_ns", nullptr, &QueryStats::topk_ns},
     {"parallel_tasks", nullptr, &QueryStats::parallel_tasks},
     {"parallel_ns", nullptr, &QueryStats::parallel_ns},
+    // bench_name deliberately null: the sampling benchmark publishes its
+    // own quality counters, and keeping these out of the benchmark rows
+    // keeps bench/baseline.json's counter set stable for exact suites.
+    {"sample_population", nullptr, &QueryStats::sample_population},
+    {"sample_size", nullptr, &QueryStats::sample_size},
 };
 
 inline std::string QueryStats::ToJson() const {

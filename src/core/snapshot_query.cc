@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/metrics.h"
+#include "src/core/approx.h"
 #include "src/core/parallel_flows.h"
 #include "src/core/priority_join.h"
 #include "src/core/query_profile.h"
@@ -45,21 +46,16 @@ std::vector<SnapshotState> CollectStates(const QueryContext& ctx,
   return states;
 }
 
-// The iterative algorithms' flow accumulation (Algorithm 1 lines 1-14):
-// derive every tracked object's UR and add its presences into per-POI flows.
-std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
-                                      const RTree& poi_tree,
-                                      const std::vector<PoiId>& subset_ids,
-                                      Timestamp t) {
-  std::unordered_map<PoiId, double> flows;
-  flows.reserve(subset_ids.size());
-  for (PoiId id : subset_ids) flows[id] = 0.0;
-  if (ctx.stats != nullptr) {
-    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
-  }
-
-  const std::vector<SnapshotState> states = CollectStates(ctx, t);
-
+// The iterative algorithms' per-object accumulation (Algorithm 1 lines
+// 4-14): derive each state's UR and add its presences into per-POI flows.
+// The sampled path reuses this verbatim over a subsampled `states` vector
+// and passes `flows_sq` to collect the squares its variance needs; the
+// exact path passes nullptr, leaving its behavior untouched.
+void AccumulateSnapshotFlows(const QueryContext& ctx, const RTree& poi_tree,
+                             const std::vector<SnapshotState>& states,
+                             Timestamp t,
+                             std::unordered_map<PoiId, double>* flows,
+                             std::unordered_map<PoiId, double>* flows_sq) {
   // Parallel path: per-object map across the executor plus an ordered
   // reduce (bit-identical to the serial loop below; see parallel_flows.h).
   // Falls through to the serial loop for small object sets or a serial
@@ -70,7 +66,7 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
       [&](const SnapshotState& state) {
         return ctx.model->Snapshot(state, t);
       },
-      &flows);
+      flows, flows_sq);
 
   // Serial path. Phase marks bracket the UR derivation and the presence
   // integrations per object; two clock reads each keep the overhead per
@@ -130,12 +126,30 @@ std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
         if (timed) ++ctx.stats->presence_evaluations;
         if (memo != nullptr) memo->Put(poi_id, presence);
       }
-      flows[poi_id] += presence;
+      (*flows)[poi_id] += presence;
+      if (flows_sq != nullptr) {
+        (*flows_sq)[poi_id] += presence * presence;
+      }
       if (profile != nullptr) profile->MarkPresence(poi_id, presence);
     }
     if (timed) ctx.stats->presence_ns += MonotonicNowNs() - presence_start;
   }
+}
 
+// The iterative algorithms' flow accumulation (Algorithm 1 lines 1-14):
+// derive every tracked object's UR and add its presences into per-POI flows.
+std::vector<PoiFlow> AllSnapshotFlows(const QueryContext& ctx,
+                                      const RTree& poi_tree,
+                                      const std::vector<PoiId>& subset_ids,
+                                      Timestamp t) {
+  std::unordered_map<PoiId, double> flows;
+  flows.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) flows[id] = 0.0;
+  if (ctx.stats != nullptr) {
+    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
+  }
+  const std::vector<SnapshotState> states = CollectStates(ctx, t);
+  AccumulateSnapshotFlows(ctx, poi_tree, states, t, &flows, nullptr);
   std::vector<PoiFlow> all;
   all.reserve(flows.size());
   for (const auto& [id, flow] : flows) all.push_back(PoiFlow{id, flow});
@@ -281,6 +295,67 @@ std::vector<PoiFlow> IterativeSnapshot(const QueryContext& ctx,
   std::vector<PoiFlow> flows = AllSnapshotFlows(ctx, poi_tree, subset_ids, t);
   const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
   std::vector<PoiFlow> result = TopK(std::move(flows), k);
+  if (ctx.stats != nullptr) {
+    ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
+  }
+  return result;
+}
+
+std::vector<FlowEstimate> IterativeSnapshotEstimate(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp t, int k,
+    const ApproxConfig& approx) {
+  if (ctx.stats != nullptr) {
+    ctx.stats->pois_evaluated += static_cast<int64_t>(subset_ids.size());
+  }
+  const std::vector<SnapshotState> states = CollectStates(ctx, t);
+  const size_t population = states.size();
+  const bool sample = ShouldSample(approx, population);
+
+  std::unordered_map<PoiId, double> flows;
+  std::unordered_map<PoiId, double> flows_sq;
+  flows.reserve(subset_ids.size());
+  for (PoiId id : subset_ids) flows[id] = 0.0;
+  size_t evaluated = population;
+  if (sample) {
+    // Deterministic subsample in canonical (filter-phase) order; the
+    // accumulation over it is the exact loop above, UR cache and memos
+    // included, just over fewer objects.
+    const std::vector<size_t> picks =
+        SampleIndices(population, static_cast<size_t>(approx.sample_budget),
+                      MixSampleSeed(approx.seed, t, t));
+    std::vector<SnapshotState> sampled;
+    sampled.reserve(picks.size());
+    for (size_t i : picks) sampled.push_back(states[i]);
+    evaluated = sampled.size();
+    flows_sq.reserve(subset_ids.size());
+    for (PoiId id : subset_ids) flows_sq[id] = 0.0;
+    AccumulateSnapshotFlows(ctx, poi_tree, sampled, t, &flows, &flows_sq);
+  } else {
+    AccumulateSnapshotFlows(ctx, poi_tree, states, t, &flows, nullptr);
+  }
+  std::vector<FlowEstimate> estimates =
+      EstimateFlows(subset_ids, flows, flows_sq, population, evaluated);
+
+  if (ctx.stats != nullptr) {
+    ctx.stats->sample_population += static_cast<int64_t>(population);
+    ctx.stats->sample_size += static_cast<int64_t>(evaluated);
+  }
+  if (ctx.profile != nullptr) {
+    ctx.profile->approx_mode = ApproxModeName(approx.mode);
+    ctx.profile->sampled = sample;
+    ctx.profile->sample_budget = approx.sample_budget;
+    ctx.profile->sample_population = static_cast<int64_t>(population);
+    ctx.profile->sample_size = static_cast<int64_t>(evaluated);
+    for (const FlowEstimate& est : estimates) {
+      if (est.std_err > ctx.profile->max_std_err) {
+        ctx.profile->max_std_err = est.std_err;
+      }
+    }
+  }
+
+  const int64_t topk_start = ctx.stats != nullptr ? MonotonicNowNs() : 0;
+  std::vector<FlowEstimate> result = TopKEstimates(std::move(estimates), k);
   if (ctx.stats != nullptr) {
     ctx.stats->topk_ns += MonotonicNowNs() - topk_start;
   }

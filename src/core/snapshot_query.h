@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "src/core/approx.h"
 #include "src/core/query_context.h"
 
 namespace indoorflow {
@@ -17,6 +18,16 @@ std::vector<PoiFlow> IterativeSnapshot(const QueryContext& ctx,
                                        const RTree& poi_tree,
                                        const std::vector<PoiId>& subset_ids,
                                        Timestamp t, int k);
+
+/// Approximate variant of Algorithm 1: when `approx` calls for sampling
+/// (see ShouldSample), evaluate a deterministic uniform subsample of the
+/// filter-phase states and return Horvitz–Thompson top-k estimates with
+/// error bounds; otherwise evaluate every state and return exact estimates.
+/// Ranking is by estimated value with TopK's tie-break contract.
+std::vector<FlowEstimate> IterativeSnapshotEstimate(
+    const QueryContext& ctx, const RTree& poi_tree,
+    const std::vector<PoiId>& subset_ids, Timestamp t, int k,
+    const ApproxConfig& approx);
 
 /// Algorithm 2 (joinSnapshot): build the aggregate object R-tree R_I from
 /// cheap per-object MBRs, then run the best-first R_P x R_I join, deriving

@@ -26,6 +26,10 @@ struct StreamingMetrics {
       MetricsRegistry::Default().counter("streaming.shard_recomputes");
   Counter& shard_reuses =
       MetricsRegistry::Default().counter("streaming.shard_reuses");
+  Counter& sampled_queries =
+      MetricsRegistry::Default().counter("streaming.sampled_queries");
+  Counter& sampled_tracks =
+      MetricsRegistry::Default().counter("streaming.sampled_tracks");
   Gauge& track_table_size =
       MetricsRegistry::Default().gauge("streaming.track_table_size");
   Gauge& shard_count =
@@ -362,6 +366,15 @@ bool StreamingMonitor::RecomputeShardTallyLocked(
 
 std::vector<PoiFlow> StreamingMonitor::CurrentTopK(
     Timestamp t, int k, const QueryControl* control) const {
+  if (options_.approx.mode != ApproxMode::kExact) {
+    return EstimatesToFlows(
+        CurrentTopKEstimate(t, k, options_.approx, control));
+  }
+  return ExactCurrentTopK(t, k, control);
+}
+
+std::vector<PoiFlow> StreamingMonitor::ExactCurrentTopK(
+    Timestamp t, int k, const QueryControl* control) const {
   StreamingMetrics& metrics = GetStreamingMetrics();
   ScopedTimer timer(&metrics.topk_latency_us);
   const size_t n = shards_.size();
@@ -447,6 +460,102 @@ std::vector<PoiFlow> StreamingMonitor::CurrentTopK(
     all.push_back(PoiFlow{static_cast<PoiId>(i), flows[i]});
   }
   return TopK(std::move(all), k);
+}
+
+std::vector<FlowEstimate> StreamingMonitor::CurrentTopKEstimate(
+    Timestamp t, int k, const ApproxConfig& approx,
+    const QueryControl* control) const {
+  // Pass A (serial, one shard lock at a time): evict and enumerate the
+  // live track population. Ids are unique across shards, so the sorted
+  // (object, shard) list is the same canonical ascending-id order the
+  // exact path's merge uses.
+  struct TrackRef {
+    ObjectId object;
+    uint32_t shard;
+  };
+  std::vector<TrackRef> refs;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    MutexLock lock(shard.mu);
+    EvictExpiredLocked(shard, now());
+    for (const auto& [object, track] : shard.tracks) {
+      refs.push_back(TrackRef{object, static_cast<uint32_t>(s)});
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const TrackRef& a, const TrackRef& b) {
+              return a.object < b.object;
+            });
+  const size_t population = refs.size();
+  if (!ShouldSample(approx, population)) {
+    return ExactEstimates(ExactCurrentTopK(t, k, control));
+  }
+
+  StreamingMetrics& metrics = GetStreamingMetrics();
+  ScopedTimer timer(&metrics.topk_latency_us);
+  const std::vector<size_t> picks =
+      SampleIndices(population, static_cast<size_t>(approx.sample_budget),
+                    MixSampleSeed(approx.seed, t, t));
+  // Group the sampled tracks per shard so each shard locks once; the
+  // per-pick slots keep the global ascending-id order for the serial
+  // accumulation below, regardless of shard iteration order.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t p = 0; p < picks.size(); ++p) {
+    by_shard[refs[picks[p]].shard].push_back(p);
+  }
+  struct PickContribution {
+    std::vector<int32_t> pois;
+    std::vector<double> presences;  // aligned with pois
+  };
+  std::vector<PickContribution> contribs(picks.size());
+  bool aborted = false;
+  for (size_t s = 0; s < shards_.size() && !aborted; ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    MutexLock lock(shard.mu);
+    for (size_t p : by_shard[s]) {
+      // Same cooperative abandonment as the exact path: the caller
+      // discards the partial result once control->Aborted() reports it.
+      if (control != nullptr && control->ShouldAbort()) {
+        aborted = true;
+        break;
+      }
+      const auto it = shard.tracks.find(refs[picks[p]].object);
+      if (it == shard.tracks.end()) continue;  // raced an eviction sweep
+      const Region ur = TrackRegion(it->first, it->second, t);
+      if (ur.IsEmpty()) continue;
+      const Box bounds = ur.Bounds();
+      PickContribution& contrib = contribs[p];
+      for (size_t i = 0; i < pois_.size(); ++i) {
+        if (!bounds.Intersects(pois_[i].shape.Bounds())) continue;
+        contrib.pois.push_back(static_cast<int32_t>(i));
+        contrib.presences.push_back(
+            Presence(ur, poi_areas_[i], poi_regions_[i], options_.flow));
+      }
+    }
+  }
+  // Serial accumulation in ascending object-id order (pick order), mirroring
+  // the exact path's merge discipline so repeated runs are bit-identical.
+  std::unordered_map<PoiId, double> sums;
+  std::unordered_map<PoiId, double> sums_sq;
+  for (const PickContribution& contrib : contribs) {
+    for (size_t c = 0; c < contrib.pois.size(); ++c) {
+      const PoiId poi = contrib.pois[c];
+      const double presence = contrib.presences[c];
+      sums[poi] += presence;
+      sums_sq[poi] += presence * presence;
+    }
+  }
+  std::vector<PoiId> all_ids;
+  all_ids.reserve(pois_.size());
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    all_ids.push_back(static_cast<PoiId>(i));
+  }
+  std::vector<FlowEstimate> estimates =
+      EstimateFlows(all_ids, sums, sums_sq, population, picks.size());
+  metrics.sampled_queries.Add(1);
+  metrics.sampled_tracks.Add(static_cast<int64_t>(picks.size()));
+  return TopKEstimates(std::move(estimates), k);
 }
 
 }  // namespace indoorflow

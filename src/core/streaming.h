@@ -79,6 +79,7 @@
 #include "src/common/deadline.h"
 #include "src/common/mutex.h"
 #include "src/common/thread_annotations.h"
+#include "src/core/approx.h"
 #include "src/core/flow.h"
 #include "src/core/topology_check.h"
 #include "src/core/ur_cache.h"
@@ -108,6 +109,12 @@ struct StreamingOptions {
   /// LiveRegion polls at an unchanged timestamp hit the cache instead of
   /// re-deriving every track.
   UrCacheConfig ur_cache;
+  /// Approximate CurrentTopK (src/core/approx.h, docs/APPROXIMATION.md).
+  /// The default kExact keeps the incremental sharded path bit-identical
+  /// to today; kSampled / kAdaptive make CurrentTopK rank by
+  /// Horvitz–Thompson estimates over a deterministic subsample of the live
+  /// tracks (call CurrentTopKEstimate directly for the error bounds).
+  ApproxConfig approx;
 };
 
 class StreamingMonitor {
@@ -159,6 +166,19 @@ class StreamingMonitor {
   std::vector<PoiFlow> CurrentTopK(Timestamp t, int k,
                                    const QueryControl* control = nullptr)
       const;
+
+  /// Approximate CurrentTopK under an explicit per-call ApproxConfig: when
+  /// the config calls for sampling over the live track population (see
+  /// ShouldSample), evaluates a deterministic uniform subsample of the
+  /// tracks and returns Horvitz–Thompson top-k estimates with error
+  /// bounds; otherwise runs the exact incremental path and wraps its
+  /// result. The sampled path derives regions fresh per call (it neither
+  /// consults nor publishes the per-shard tallies — a sampled tally would
+  /// poison exact reuse), so its win is evaluating budget-many tracks
+  /// instead of all of them. Same abandonment contract as CurrentTopK.
+  std::vector<FlowEstimate> CurrentTopKEstimate(
+      Timestamp t, int k, const ApproxConfig& approx,
+      const QueryControl* control = nullptr) const;
 
   /// The live uncertainty region of one object at `t` (empty when unknown,
   /// expired, before the object's first reading, or when `control` has
@@ -223,6 +243,12 @@ class StreamingMonitor {
   /// eviction count lives in the mutable atomic).
   size_t EvictExpiredLocked(Shard& shard, Timestamp horizon) const
       INDOORFLOW_REQUIRES(shard.mu);
+
+  /// The exact incremental top-k (CurrentTopK's pre-approximation body);
+  /// CurrentTopK routes here when options_.approx stays exact, and
+  /// CurrentTopKEstimate falls back here when it decides not to sample.
+  std::vector<PoiFlow> ExactCurrentTopK(Timestamp t, int k,
+                                        const QueryControl* control) const;
 
   /// Rebuilds and publishes `shard.tally` for time `t` (evicting expired
   /// tracks on the way). Returns false — publishing nothing, leaving the

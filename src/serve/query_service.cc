@@ -9,6 +9,7 @@
 #include "src/common/deadline.h"
 #include "src/common/executor.h"
 #include "src/common/log.h"
+#include "src/core/approx.h"
 #include "src/core/flow.h"
 #include "src/core/query_stats.h"
 #include "src/core/streaming.h"
@@ -154,7 +155,24 @@ struct ParsedQuery {
   Algorithm algorithm = Algorithm::kJoin;
   bool density = false;
   int64_t deadline_ms = 0;
+  /// Effective evaluation mode: the service default, overridden by the
+  /// request's `approx=` / `sample_budget=` when present.
+  ApproxConfig approx;
+  /// Whether the client named `approx=` itself — an explicit approx=exact
+  /// is never downgraded under pressure.
+  bool approx_requested = false;
+  /// Set during evaluation when degraded admission forced sampling.
+  bool degraded = false;
 };
+
+/// Whether this query shape has a sampled evaluation path: iterative
+/// flow top-k and live continuous top-k. Join stays exact (its
+/// early-termination bounds assume the full population) and density stays
+/// exact (the area division amplifies sampling noise).
+bool Sampleable(const ParsedQuery& query) {
+  if (query.kind == QueryKind::kLive) return true;
+  return query.algorithm == Algorithm::kIterative && !query.density;
+}
 
 Status ParseQuery(const HttpRequest& request,
                   const QueryServiceOptions& options, ParsedQuery* out) {
@@ -166,9 +184,11 @@ Status ParseQuery(const HttpRequest& request,
   // metric choice, and `t` is optional (defaults to the stream clock).
   INDOORFLOW_RETURN_IF_ERROR(params.CheckKnown(
       is_live_endpoint
-          ? std::vector<std::string>{"t", "k", "deadline_ms"}
-          : std::vector<std::string>{"t", "ts", "te", "k", "algo",
-                                     "metric", "deadline_ms"}));
+          ? std::vector<std::string>{"t", "k", "deadline_ms", "approx",
+                                     "sample_budget"}
+          : std::vector<std::string>{"t", "ts", "te", "k", "algo", "metric",
+                                     "deadline_ms", "approx",
+                                     "sample_budget"}));
 
   const bool is_join_endpoint = request.path == "/query/join";
   bool found = false;
@@ -239,6 +259,37 @@ Status ParseQuery(const HttpRequest& request,
     }
   }
 
+  // Approximate evaluation (docs/APPROXIMATION.md): the service default,
+  // overridable per request. A request naming approx=sampled|adaptive for
+  // a shape with no sampled path is a 400, not a silent exact answer; a
+  // service-wide sampled default simply doesn't apply to such shapes.
+  out->approx = options.approx;
+  std::string approx_name;
+  INDOORFLOW_RETURN_IF_ERROR(
+      params.GetString("approx", &approx_name, &found));
+  if (found) {
+    out->approx_requested = true;
+    if (!ApproxModeFromName(approx_name, &out->approx.mode)) {
+      return Status::InvalidArgument(
+          "approx must be 'exact', 'sampled', or 'adaptive'");
+    }
+  }
+  int64_t sample_budget = 0;
+  INDOORFLOW_RETURN_IF_ERROR(
+      params.GetInt("sample_budget", &sample_budget, &found));
+  if (found) {
+    if (sample_budget <= 0) {
+      return Status::InvalidArgument("sample_budget must be > 0");
+    }
+    out->approx.sample_budget = sample_budget;
+  }
+  if (out->approx_requested && out->approx.mode != ApproxMode::kExact &&
+      !Sampleable(*out)) {
+    return Status::InvalidArgument(
+        "approx=sampled|adaptive requires algo=iterative and metric=flow "
+        "(join and density queries always evaluate exactly)");
+  }
+
   int64_t deadline_ms = options.default_deadline_ms;
   INDOORFLOW_RETURN_IF_ERROR(
       params.GetInt("deadline_ms", &deadline_ms, &found));
@@ -274,6 +325,15 @@ void AppendQueryEcho(const ParsedQuery& query, std::string* body) {
                                : ",\"metric\":\"flow\"");
   }
   body->append(",\"deadline_ms\":" + std::to_string(query.deadline_ms));
+  // Approximation is only echoed when it can actually apply, so exact
+  // responses keep their pre-approximation shape byte for byte.
+  if (query.approx.mode != ApproxMode::kExact && Sampleable(query)) {
+    body->append(",\"approx\":\"" +
+                 std::string(ApproxModeName(query.approx.mode)) + "\"");
+    body->append(",\"sample_budget\":" +
+                 std::to_string(query.approx.sample_budget));
+    if (query.degraded) body->append(",\"degraded\":true");
+  }
 }
 
 HttpResponse DeadlineResponse(const ParsedQuery& query, int64_t arrival_ns,
@@ -302,6 +362,7 @@ QueryService::QueryService(const QueryEngine* engine,
       requests_(MetricsRegistry::Default().counter("serve.requests")),
       admitted_(MetricsRegistry::Default().counter("serve.admitted")),
       shed_(MetricsRegistry::Default().counter("serve.shed")),
+      degraded_(MetricsRegistry::Default().counter("serve.degraded")),
       deadline_exceeded_(
           MetricsRegistry::Default().counter("serve.deadline_exceeded")),
       queue_depth_(MetricsRegistry::Default().gauge("serve.queue_depth")),
@@ -398,6 +459,11 @@ void QueryService::Submit(const HttpRequest& request, Responder respond) {
       depth = ++inflight_;
     }
   }
+  // Degraded admission: past degrade_depth the request still runs, but
+  // sampled (EvaluateTraced applies it; explicit approx=exact wins).
+  const bool degrade =
+      decision == Decision::kAdmit && options_.degrade_depth > 0 &&
+      depth >= options_.degrade_depth;
   // Respond outside the lock: the responder does socket IO.
   if (decision != Decision::kAdmit) {
     shed_.Add();
@@ -427,15 +493,16 @@ void QueryService::Submit(const HttpRequest& request, Responder respond) {
   // into the task; it is small (capped body) and the accept thread must
   // not block on the executor anyway.
   Executor::Default().Submit(
-      [this, request, respond = std::move(respond), enqueue_ns, rt]() {
-        RunAdmitted(request, respond, enqueue_ns, rt);
+      [this, request, respond = std::move(respond), enqueue_ns, rt,
+       degrade]() {
+        RunAdmitted(request, respond, enqueue_ns, rt, degrade);
       });
 }
 
 void QueryService::RunAdmitted(const HttpRequest& request,
                                const Responder& respond,
                                int64_t enqueue_ns,
-                               const RequestTrace& rt) {
+                               const RequestTrace& rt, bool degrade) {
   const int64_t waited_ns = MonotonicNowNs() - enqueue_ns;
   const int64_t waited_ms = waited_ns / 1'000'000;
   queue_wait_us_.Record(static_cast<double>(waited_ns) / 1e3);
@@ -464,7 +531,8 @@ void QueryService::RunAdmitted(const HttpRequest& request,
           std::to_string(waited_ms) + ",\"max_queue_wait_ms\":" +
           std::to_string(options_.max_queue_wait_ms) + "}\n";
     } else {
-      response = EvaluateTraced(request, enqueue_ns, rt, &root, &outcome);
+      response =
+          EvaluateTraced(request, enqueue_ns, rt, &root, &outcome, degrade);
     }
   }
   // Publish before responding so a client that immediately polls
@@ -498,7 +566,8 @@ HttpResponse QueryService::Evaluate(const HttpRequest& request,
   HttpResponse response;
   {
     Span root(rt.trace.get(), "request");
-    response = EvaluateTraced(request, arrival_ns, rt, &root, &outcome);
+    response = EvaluateTraced(request, arrival_ns, rt, &root, &outcome,
+                              /*degrade=*/false);
   }
   FinishRequest(request.path, rt, outcome, arrival_ns);
   return response;
@@ -507,7 +576,8 @@ HttpResponse QueryService::Evaluate(const HttpRequest& request,
 HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
                                           int64_t arrival_ns,
                                           const RequestTrace& rt, Span* root,
-                                          RequestOutcome* outcome) {
+                                          RequestOutcome* outcome,
+                                          bool degrade) {
   ParsedQuery query;
   const Status parse = ParseQuery(request, options_, &query);
   if (!parse.ok()) {
@@ -516,6 +586,18 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
     return ErrorResponse(parse.message());
   }
   outcome->deadline_ms = query.deadline_ms;
+
+  // Degraded mode: under queue pressure an exact sampleable query runs
+  // sampled instead — a bounded-error answer instead of a 503 later in
+  // the overload curve. A client that pinned approx=exact keeps exact.
+  if (degrade && query.approx.mode == ApproxMode::kExact &&
+      !query.approx_requested && Sampleable(query)) {
+    query.approx.mode = ApproxMode::kSampled;
+    query.degraded = true;
+    degraded_.Add();
+  }
+  const bool approximate =
+      query.approx.mode != ApproxMode::kExact && Sampleable(query);
 
   if (query.kind == QueryKind::kLive) {
     if (monitor_ == nullptr) {
@@ -539,32 +621,55 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
   QueryControl control(deadline);
   control.set_span(root);
   std::vector<PoiFlow> results;
+  std::vector<FlowEstimate> estimates;
   QueryStats stats;
   if (!control.ShouldAbort()) {
-    switch (query.kind) {
-      case QueryKind::kSnapshot:
-        results = query.density
-                      ? engine_->SnapshotDensityTopK(
-                            query.t, query.k, query.algorithm, nullptr,
-                            &stats, nullptr, &control)
-                      : engine_->SnapshotTopK(query.t, query.k,
-                                              query.algorithm, nullptr,
-                                              &stats, nullptr, &control);
-        break;
-      case QueryKind::kInterval:
-        results = query.density
-                      ? engine_->IntervalDensityTopK(
-                            query.ts, query.te, query.k, query.algorithm,
-                            nullptr, &stats, nullptr, &control)
-                      : engine_->IntervalTopK(query.ts, query.te, query.k,
-                                              query.algorithm, nullptr,
-                                              &stats, nullptr, &control);
-        break;
-      case QueryKind::kLive:
-        // The monitor has its own stats surface (streaming.* metrics);
-        // outcome->stats stays zeroed, like a shed request's.
-        results = monitor_->CurrentTopK(query.t, query.k, &control);
-        break;
+    if (approximate) {
+      switch (query.kind) {
+        case QueryKind::kSnapshot:
+          estimates = engine_->SnapshotTopKEstimate(query.t, query.k,
+                                                    query.approx, nullptr,
+                                                    &stats, nullptr,
+                                                    &control);
+          break;
+        case QueryKind::kInterval:
+          estimates = engine_->IntervalTopKEstimate(query.ts, query.te,
+                                                    query.k, query.approx,
+                                                    nullptr, &stats, nullptr,
+                                                    &control);
+          break;
+        case QueryKind::kLive:
+          estimates =
+              monitor_->CurrentTopKEstimate(query.t, query.k, query.approx,
+                                            &control);
+          break;
+      }
+    } else {
+      switch (query.kind) {
+        case QueryKind::kSnapshot:
+          results = query.density
+                        ? engine_->SnapshotDensityTopK(
+                              query.t, query.k, query.algorithm, nullptr,
+                              &stats, nullptr, &control)
+                        : engine_->SnapshotTopK(query.t, query.k,
+                                                query.algorithm, nullptr,
+                                                &stats, nullptr, &control);
+          break;
+        case QueryKind::kInterval:
+          results = query.density
+                        ? engine_->IntervalDensityTopK(
+                              query.ts, query.te, query.k, query.algorithm,
+                              nullptr, &stats, nullptr, &control)
+                        : engine_->IntervalTopK(query.ts, query.te, query.k,
+                                                query.algorithm, nullptr,
+                                                &stats, nullptr, &control);
+          break;
+        case QueryKind::kLive:
+          // The monitor has its own stats surface (streaming.* metrics);
+          // outcome->stats stays zeroed, like a shed request's.
+          results = monitor_->CurrentTopK(query.t, query.k, &control);
+          break;
+      }
     }
   }
   outcome->stats = stats;
@@ -586,17 +691,42 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
       NumberJson(static_cast<double>(MonotonicNowNs() - arrival_ns) /
                  1e6));
   response.body.append(",\"results\":[");
-  for (size_t i = 0; i < results.size(); ++i) {
-    if (i > 0) response.body.push_back(',');
-    const PoiFlow& flow = results[i];
-    response.body.append("{\"poi\":" + std::to_string(flow.poi));
-    if (flow.poi >= 0 && static_cast<size_t>(flow.poi) < pois.size()) {
-      response.body.append(",\"name\":\"" +
-                           JsonEscape(pois[static_cast<size_t>(flow.poi)]
-                                          .name) +
-                           "\"");
+  if (approximate) {
+    // Estimated rows carry the approximation contract: the flow value is
+    // an unbiased estimate with its standard error and 95% interval, and
+    // `exact` marks rows the sampler actually evaluated in full.
+    for (size_t i = 0; i < estimates.size(); ++i) {
+      if (i > 0) response.body.push_back(',');
+      const FlowEstimate& est = estimates[i];
+      response.body.append("{\"poi\":" + std::to_string(est.poi));
+      if (est.poi >= 0 && static_cast<size_t>(est.poi) < pois.size()) {
+        response.body.append(
+            ",\"name\":\"" +
+            JsonEscape(pois[static_cast<size_t>(est.poi)].name) + "\"");
+      }
+      response.body.append(",\"flow\":" + NumberJson(est.value));
+      response.body.append(est.exact ? ",\"exact\":true"
+                                     : ",\"exact\":false");
+      if (!est.exact) {
+        response.body.append(",\"stderr\":" + NumberJson(est.std_err));
+        response.body.append(",\"ci95\":[" + NumberJson(est.ci_low) + "," +
+                             NumberJson(est.ci_high) + "]");
+      }
+      response.body.push_back('}');
     }
-    response.body.append(",\"flow\":" + NumberJson(flow.flow) + "}");
+  } else {
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) response.body.push_back(',');
+      const PoiFlow& flow = results[i];
+      response.body.append("{\"poi\":" + std::to_string(flow.poi));
+      if (flow.poi >= 0 && static_cast<size_t>(flow.poi) < pois.size()) {
+        response.body.append(",\"name\":\"" +
+                             JsonEscape(pois[static_cast<size_t>(flow.poi)]
+                                            .name) +
+                             "\"");
+      }
+      response.body.append(",\"flow\":" + NumberJson(flow.flow) + "}");
+    }
   }
   response.body.append("]}\n");
   return response;

@@ -26,6 +26,13 @@
 //      query work — under sustained overload the server does useful work
 //      for the requests it can still serve in time instead of burning
 //      cycles on ones whose clients have given up.
+// Between healthy and shedding sits the degraded mode (docs/SERVING.md,
+// docs/APPROXIMATION.md): with `degrade_depth` > 0, a request admitted at
+// or above that depth is downgraded to sampled evaluation (approximate
+// top-k with error bounds) instead of running exactly — a cheaper answer
+// with a confidence interval beats a 503. Requests that explicitly name
+// `approx=exact` are never downgraded, and every request may opt into
+// approximation itself with `approx=sampled|adaptive` + `sample_budget`.
 // Each admitted request then runs under a Deadline anchored at its
 // *arrival* (src/common/deadline.h): the query kernels poll it between
 // per-object work items and abandon the query once it trips, and the
@@ -61,6 +68,7 @@
 #include "src/common/metrics.h"
 #include "src/common/mutex.h"
 #include "src/common/trace.h"
+#include "src/core/approx.h"
 #include "src/core/engine.h"
 #include "src/core/query_stats.h"
 
@@ -88,6 +96,18 @@ struct QueryServiceOptions {
   /// log — regardless, so the join key survives sampling. An injected
   /// `traceparent` header's sampled flag overrides the local rate.
   double trace_sample = 1.0;
+  /// Service-wide default evaluation mode (src/core/approx.h). Requests
+  /// may override it per query with `approx=` / `sample_budget=`. The
+  /// default (exact) keeps every response bit-identical to an engine
+  /// without approximation.
+  ApproxConfig approx;
+  /// Degraded mode: when > 0 and a request is admitted at queue depth >=
+  /// this value, an exact iterative/live query is downgraded to sampled
+  /// evaluation (booked on serve.degraded) instead of computed exactly —
+  /// the pressure valve between healthy service and 503 shedding. Clients
+  /// that explicitly sent `approx=exact` are never downgraded. Should sit
+  /// below queue_limit to matter; 0 disables.
+  int degrade_depth = 0;
 };
 
 class QueryService {
@@ -142,7 +162,8 @@ class QueryService {
   /// What happened to one request, for the canonical query log.
   struct RequestOutcome {
     const char* admission = "admitted";  // or "shed_*"
-    const char* status = "ok";  // "ok"|"bad_request"|"deadline_exceeded"|"shed"
+    // "ok"|"bad_request"|"deadline_exceeded"|"shed"
+    const char* status = "ok";
     int code = 200;
     int64_t deadline_ms = 0;
     int64_t queue_wait_us = 0;
@@ -159,12 +180,15 @@ class QueryService {
   void FinishRequest(const std::string& endpoint, const RequestTrace& rt,
                      const RequestOutcome& outcome, int64_t arrival_ns);
 
+  /// `degrade` marks a request admitted past options_.degrade_depth: an
+  /// exact sampleable query is downgraded to sampled evaluation (unless
+  /// the client pinned approx=exact).
   HttpResponse EvaluateTraced(const HttpRequest& request, int64_t arrival_ns,
                               const RequestTrace& rt, Span* root,
-                              RequestOutcome* outcome);
+                              RequestOutcome* outcome, bool degrade);
 
   void RunAdmitted(const HttpRequest& request, const Responder& respond,
-                   int64_t enqueue_ns, const RequestTrace& rt);
+                   int64_t enqueue_ns, const RequestTrace& rt, bool degrade);
 
   const QueryEngine* engine_;
   /// Null when the service has no live route.
@@ -174,6 +198,7 @@ class QueryService {
   Counter& requests_;
   Counter& admitted_;
   Counter& shed_;
+  Counter& degraded_;
   Counter& deadline_exceeded_;
   Gauge& queue_depth_;
   Histogram& latency_us_;

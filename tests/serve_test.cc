@@ -279,6 +279,137 @@ TEST_F(ServeFixture, LiveEndpointHonorsDeadline) {
             std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Approximate evaluation (docs/APPROXIMATION.md): the approx= request knob
+// and the degraded-admission downgrade.
+
+TEST_F(ServeFixture, ApproxKnobReturnsEstimatesWithErrorBounds) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  const HttpResponse response = service.Evaluate(
+      Post("/query/snapshot",
+           "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\", "
+           "\"approx\": \"sampled\", \"sample_budget\": 8}"),
+      MonotonicNowNs());
+  EXPECT_EQ(response.code, 200) << response.body;
+  EXPECT_NE(response.body.find("\"approx\":\"sampled\""), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"sample_budget\":8"), std::string::npos);
+  // 20 objects against a budget of 8: the answer is estimated, and
+  // estimated rows carry the error contract.
+  EXPECT_NE(response.body.find("\"exact\":false"), std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"stderr\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"ci95\":["), std::string::npos);
+  // Interval and live take the same knob.
+  const auto monitor = MakeLiveMonitor();
+  QueryService live_service(engine_.get(), QueryServiceOptions{},
+                            monitor.get());
+  const HttpResponse live = live_service.Evaluate(
+      Get("/query/live", "t=300&k=3&approx=sampled&sample_budget=8"),
+      MonotonicNowNs());
+  EXPECT_EQ(live.code, 200) << live.body;
+  EXPECT_NE(live.body.find("\"approx\":\"sampled\""), std::string::npos);
+}
+
+TEST_F(ServeFixture, ExplicitExactApproxKeepsResponseShape) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  const std::string plain =
+      service
+          .Evaluate(Post("/query/snapshot",
+                         "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\"}"),
+                    MonotonicNowNs())
+          .body;
+  const std::string pinned =
+      service
+          .Evaluate(Post("/query/snapshot",
+                         "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\", "
+                         "\"approx\": \"exact\"}"),
+                    MonotonicNowNs())
+          .body;
+  // approx=exact answers are bit-identical to pre-approximation
+  // responses: same results array, no approx echo.
+  EXPECT_EQ(plain.find("\"approx\""), std::string::npos);
+  EXPECT_EQ(pinned.find("\"approx\""), std::string::npos);
+  const auto results_of = [](const std::string& body) {
+    return body.substr(body.find("\"results\""));
+  };
+  EXPECT_EQ(results_of(plain), results_of(pinned));
+}
+
+TEST_F(ServeFixture, ApproxKnobRejectsUnsampleableShapes) {
+  QueryService service(engine_.get(), QueryServiceOptions{});
+  const int64_t now = MonotonicNowNs();
+  const struct {
+    const char* path;
+    const char* body;
+  } bad[] = {
+      // The join algorithm (the default) always evaluates exactly.
+      {"/query/snapshot", "{\"t\": 300, \"approx\": \"sampled\"}"},
+      {"/query/join", "{\"t\": 300, \"approx\": \"adaptive\"}"},
+      {"/query/snapshot",
+       "{\"t\": 300, \"algo\": \"iterative\", \"metric\": \"density\", "
+       "\"approx\": \"sampled\"}"},
+      {"/query/snapshot", "{\"t\": 300, \"approx\": \"bogus\"}"},
+      {"/query/snapshot",
+       "{\"t\": 300, \"algo\": \"iterative\", \"approx\": \"sampled\", "
+       "\"sample_budget\": 0}"},
+  };
+  for (const auto& request : bad) {
+    const HttpResponse response =
+        service.Evaluate(Post(request.path, request.body), now);
+    EXPECT_EQ(response.code, 400)
+        << request.path << " " << request.body << " -> " << response.body;
+  }
+}
+
+TEST_F(ServeFixture, DegradedAdmissionDowngradesToSampled) {
+  QueryServiceOptions options;
+  options.degrade_depth = 1;  // every admitted request runs degraded
+  options.max_queue_wait_ms = 0;
+  Counter& degraded = MetricsRegistry::Default().counter("serve.degraded");
+  const int64_t before = degraded.value();
+
+  HttpResponse captured;
+  std::atomic<bool> responded{false};
+  {
+    QueryService service(engine_.get(), options);
+    service.Submit(Post("/query/snapshot",
+                        "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\", "
+                        "\"sample_budget\": 8}"),
+                   [&](const HttpResponse& response) {
+                     captured = response;
+                     responded = true;
+                   });
+    service.Stop();  // drains the admitted request
+  }
+  ASSERT_TRUE(responded.load());
+  EXPECT_EQ(captured.code, 200) << captured.body;
+  EXPECT_NE(captured.body.find("\"approx\":\"sampled\""), std::string::npos)
+      << captured.body;
+  EXPECT_NE(captured.body.find("\"degraded\":true"), std::string::npos);
+  EXPECT_EQ(degraded.value(), before + 1);
+
+  // A client that pinned approx=exact is never downgraded.
+  HttpResponse exact_response;
+  std::atomic<bool> exact_responded{false};
+  {
+    QueryService service(engine_.get(), options);
+    service.Submit(Post("/query/snapshot",
+                        "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\", "
+                        "\"approx\": \"exact\"}"),
+                   [&](const HttpResponse& response) {
+                     exact_response = response;
+                     exact_responded = true;
+                   });
+    service.Stop();
+  }
+  ASSERT_TRUE(exact_responded.load());
+  EXPECT_EQ(exact_response.code, 200) << exact_response.body;
+  EXPECT_EQ(exact_response.body.find("\"degraded\""), std::string::npos);
+  EXPECT_EQ(exact_response.body.find("\"approx\""), std::string::npos);
+  EXPECT_EQ(degraded.value(), before + 1);
+}
+
 TEST_F(ServeFixture, SubmitShedsInlineWhenQueueFull) {
   QueryServiceOptions options;
   options.queue_limit = 0;  // everything sheds at the door

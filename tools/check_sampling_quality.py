@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Warn-only quality gate for the sampling benchmark.
+
+Reads google-benchmark JSON from bench/bench_sampling.cc and checks the
+RecallAtK counter at the default sample budget against a floor. The
+counters are deterministic (fixed sampler seed, fixed dataset seed), so
+drift means the estimator or the workload changed, not runner noise —
+but approximation quality is a tuning judgment, not a correctness
+invariant, so by default a miss WARNS in the CI log instead of failing
+the job (tools/bench_compare.py remains the hard gate for the same
+counters against bench/baseline.json). Pass --strict to turn the
+warning into a failure.
+
+Vacuous passes do fail: if no benchmark row carries RecallAtK at the
+requested budget (a filter or rename slipped), the gate exits 1 rather
+than silently checking nothing.
+
+Usage:
+  check_sampling_quality.py sampling.json [--budget 256]
+      [--min-recall 0.9] [--strict]
+"""
+
+import argparse
+import json
+import sys
+
+
+def quality_rows(report: dict, budget: int) -> list[dict]:
+    """Benchmark entries carrying RecallAtK at the requested budget.
+
+    With --benchmark_repetitions + aggregates-only output, each variant
+    reports mean/median/stddev rows; the counters are deterministic so
+    any one of them works — keep the mean and plain (non-aggregate)
+    rows, drop the rest.
+    """
+    rows = []
+    for entry in report.get("benchmarks", []):
+        if entry.get("run_type") == "aggregate" and \
+                entry.get("aggregate_name") != "mean":
+            continue
+        if "RecallAtK" not in entry:
+            continue
+        if int(entry.get("SampleBudget", -1)) != budget:
+            continue
+        rows.append(entry)
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Warn-only recall gate for bench_sampling JSON.")
+    parser.add_argument("reports", nargs="+",
+                        help="google-benchmark JSON output files")
+    parser.add_argument("--budget", type=int, default=256,
+                        help="sample budget to gate on (default: 256, "
+                        "bench_sampling.cc's default budget)")
+    parser.add_argument("--min-recall", type=float, default=0.9,
+                        help="minimum acceptable RecallAtK (default: 0.9)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on low recall instead of "
+                        "warning")
+    args = parser.parse_args()
+
+    rows = []
+    for path in args.reports:
+        with open(path, encoding="utf-8") as f:
+            rows.extend(quality_rows(json.load(f), args.budget))
+    if not rows:
+        print(f"check_sampling_quality: FAIL: no benchmark rows carry "
+              f"RecallAtK at budget {args.budget} — the gate would pass "
+              "vacuously", file=sys.stderr)
+        return 1
+
+    low = []
+    for row in rows:
+        recall = float(row["RecallAtK"])
+        err = float(row.get("MeanRelErr", 0.0))
+        verdict = "ok" if recall >= args.min_recall else "LOW"
+        print(f"check_sampling_quality: {row['name']}: "
+              f"RecallAtK={recall:.3f} MeanRelErr={err:.4f} "
+              f"budget={args.budget} [{verdict}]")
+        if recall < args.min_recall:
+            low.append(row["name"])
+
+    if low:
+        print(f"check_sampling_quality: WARNING: RecallAtK below "
+              f"{args.min_recall} at budget {args.budget} for: "
+              f"{', '.join(low)} — retune the budget or update "
+              "docs/APPROXIMATION.md's quality table", file=sys.stderr)
+        return 1 if args.strict else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,9 +29,12 @@
 //
 // Every command that builds a query engine additionally takes
 // --cache on|off [--cache-mb N] [--cache-shards N] — the cross-query
-// uncertainty-region cache (src/core/ur_cache.h, docs/TUNING.md) — and
+// uncertainty-region cache (src/core/ur_cache.h, docs/TUNING.md) —
 // --threads N [--parallel-threshold N] — intra-query fan-out across the
-// shared executor (src/common/executor.h, docs/TUNING.md).
+// shared executor (src/common/executor.h, docs/TUNING.md) — and
+// --approx exact|sampled|adaptive [--sample-budget N] — sampling-based
+// approximate evaluation for iterative top-k queries (src/core/approx.h,
+// docs/APPROXIMATION.md); the join algorithm always evaluates exactly.
 //
 // Exit code 0 on success; errors go to the structured log (stderr by
 // default; see src/common/log.h for INDOORFLOW_LOG_* configuration).
@@ -269,6 +272,9 @@ struct EngineBundle {
   // when the bundle is moved out of MakeEngine.
   std::unique_ptr<LoadedDataset> data;
   std::unique_ptr<QueryEngine> engine;
+  // The config the engine was built with, kept so subcommands can reuse
+  // pieces of it (serve mirrors approx into its StreamingOptions).
+  EngineConfig config;
 
   const LoadedDataset& dataset() const { return *data; }
 };
@@ -294,6 +300,16 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   if (parallel_threshold <= 0) {
     return Status::InvalidArgument("--parallel-threshold must be > 0");
   }
+  ApproxConfig approx;
+  const std::string approx_name = flags.GetOr("approx", "exact");
+  if (!ApproxModeFromName(approx_name, &approx.mode)) {
+    return Status::InvalidArgument("--approx must be exact|sampled|adaptive");
+  }
+  approx.sample_budget = flags.GetInt(
+      "sample-budget", static_cast<int>(approx.sample_budget));
+  if (approx.sample_budget <= 0) {
+    return Status::InvalidArgument("--sample-budget must be > 0");
+  }
 
   auto data = LoadDataDir(*dir);
   if (!data.ok()) return data.status();
@@ -313,6 +329,11 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   // are bit-identical to --threads 1.
   config.threads = threads;
   config.parallel_threshold = parallel_threshold;
+  // Approximate evaluation (docs/APPROXIMATION.md): iterative top-k queries
+  // sample candidates under --approx sampled|adaptive; everything else
+  // (join, threshold, density) stays exact.
+  config.approx = approx;
+  bundle.config = config;
   bundle.engine = std::make_unique<QueryEngine>(
       bundle.data->plan, *bundle.data->graph, bundle.data->deployment,
       bundle.data->ott, bundle.data->pois, config);
@@ -325,6 +346,27 @@ void PrintTopK(const LoadedDataset& data, const std::vector<PoiFlow>& top,
   for (const PoiFlow& f : top) {
     std::printf("%-6d %-24s %.4f\n", f.poi,
                 data.pois[static_cast<size_t>(f.poi)].name.c_str(), f.flow);
+  }
+  std::printf("# stats %s\n", stats.ToJson().c_str());
+}
+
+// Estimate variant: adds the standard error and 95% interval columns so an
+// approximate answer is never mistaken for an exact one.
+void PrintTopKEstimates(const LoadedDataset& data,
+                        const std::vector<FlowEstimate>& top,
+                        const QueryStats& stats) {
+  std::printf("%-6s %-24s %-10s %-9s %s\n", "poi", "name", "flow", "stderr",
+              "ci95");
+  for (const FlowEstimate& e : top) {
+    if (e.exact) {
+      std::printf("%-6d %-24s %-10.4f %-9s exact\n", e.poi,
+                  data.pois[static_cast<size_t>(e.poi)].name.c_str(),
+                  e.value, "-");
+    } else {
+      std::printf("%-6d %-24s %-10.4f %-9.4f [%.4f, %.4f]\n", e.poi,
+                  data.pois[static_cast<size_t>(e.poi)].name.c_str(),
+                  e.value, e.std_err, e.ci_low, e.ci_high);
+    }
   }
   std::printf("# stats %s\n", stats.ToJson().c_str());
 }
@@ -344,6 +386,13 @@ int CmdSnapshot(Flags& flags) {
   if (!bundle.ok()) return Fail(bundle.status().ToString());
   if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
   QueryStats stats;
+  if (metric == "flow" && *algo == Algorithm::kIterative &&
+      bundle->config.approx.mode != ApproxMode::kExact) {
+    const auto top = bundle->engine->SnapshotTopKEstimate(
+        t, k, bundle->config.approx, nullptr, &stats);
+    PrintTopKEstimates(bundle->dataset(), top, stats);
+    return 0;
+  }
   const auto top =
       metric == "density"
           ? bundle->engine->SnapshotDensityTopK(t, k, *algo, nullptr, &stats)
@@ -370,6 +419,13 @@ int CmdInterval(Flags& flags) {
   if (!bundle.ok()) return Fail(bundle.status().ToString());
   if (const int rc = CheckUnconsumed(flags); rc != 0) return rc;
   QueryStats stats;
+  if (metric == "flow" && *algo == Algorithm::kIterative &&
+      bundle->config.approx.mode != ApproxMode::kExact) {
+    const auto top = bundle->engine->IntervalTopKEstimate(
+        ts, te, k, bundle->config.approx, nullptr, &stats);
+    PrintTopKEstimates(bundle->dataset(), top, stats);
+    return 0;
+  }
   const auto top =
       metric == "density"
           ? bundle->engine->IntervalDensityTopK(ts, te, k, *algo, nullptr,
@@ -547,6 +603,10 @@ int CmdExplain(Flags& flags) {
     } else if (metric == "density") {
       bundle->engine->SnapshotDensityTopK(t, k, *algo, nullptr, &stats,
                                           &profile);
+    } else if (*algo == Algorithm::kIterative &&
+               bundle->config.approx.mode != ApproxMode::kExact) {
+      bundle->engine->SnapshotTopKEstimate(t, k, bundle->config.approx,
+                                           nullptr, &stats, &profile);
     } else {
       bundle->engine->SnapshotTopK(t, k, *algo, nullptr, &stats, &profile);
     }
@@ -560,6 +620,10 @@ int CmdExplain(Flags& flags) {
     } else if (metric == "density") {
       bundle->engine->IntervalDensityTopK(ts, te, k, *algo, nullptr, &stats,
                                           &profile);
+    } else if (*algo == Algorithm::kIterative &&
+               bundle->config.approx.mode != ApproxMode::kExact) {
+      bundle->engine->IntervalTopKEstimate(ts, te, k, bundle->config.approx,
+                                           nullptr, &stats, &profile);
     } else {
       bundle->engine->IntervalTopK(ts, te, k, *algo, nullptr, &stats,
                                    &profile);
@@ -724,6 +788,8 @@ int CmdServe(Flags& flags) {
       "deadline-ms", static_cast<int>(service_options.default_deadline_ms));
   service_options.trace_sample =
       flags.GetDouble("trace-sample", service_options.trace_sample);
+  service_options.degrade_depth =
+      flags.GetInt("degrade-depth", service_options.degrade_depth);
   const std::string probe = flags.GetOr("probe", "on");
   const std::string live = flags.GetOr("live", "on");
   const int stream_shards = flags.GetInt("stream-shards", 8);
@@ -748,6 +814,12 @@ int CmdServe(Flags& flags) {
       service_options.trace_sample > 1.0) {
     return Fail("--trace-sample must be in [0, 1]");
   }
+  if (service_options.degrade_depth < 0) {
+    return Fail("--degrade-depth must be >= 0 (0 disables)");
+  }
+  // The service shares the engine-wide default evaluation mode; requests
+  // may still override it per query with approx= / sample_budget=.
+  service_options.approx = bundle->config.approx;
   const LoadedDataset& data = bundle->dataset();
   if (data.ott.empty()) return Fail("dataset has no tracking records");
 
@@ -764,6 +836,9 @@ int CmdServe(Flags& flags) {
     StreamingOptions stream_options;
     stream_options.vmax = flags.GetDouble("vmax", 1.1);
     stream_options.shards = stream_shards;
+    // /query/live inherits the engine-wide approximation config, so
+    // --approx sampled|adaptive also samples continuous top-k polls.
+    stream_options.approx = bundle->config.approx;
     // Never expire the replayed history: the probe and clients may query
     // any timestamp in the observation span.
     stream_options.expiry_seconds =
@@ -853,9 +928,12 @@ int Usage() {
       "           [--topology off|partition|exact] [--vmax V]\n"
       "           [--metric flow|density]\n"
       "  (engine commands also take --cache on|off [--cache-mb N]\n"
-      "           [--cache-shards N] — cross-query UR cache — and\n"
+      "           [--cache-shards N] — cross-query UR cache —\n"
       "           --threads N [--parallel-threshold N] — intra-query\n"
-      "           fan-out; see docs/TUNING.md)\n"
+      "           fan-out; see docs/TUNING.md — and\n"
+      "           --approx exact|sampled|adaptive [--sample-budget N] —\n"
+      "           sampling-based approximate iterative top-k with error\n"
+      "           bounds; see docs/APPROXIMATION.md)\n"
       "  interval --data DIR --ts T --te T [--k K] [--algo ...]\n"
       "  threshold --data DIR --tau F (--t T | --ts T --te T) [--algo ...]\n"
       "  itinerary --data DIR --object ID [--t0 T] [--t1 T] [--step S]\n"
@@ -870,6 +948,9 @@ int Usage() {
       "  serve    --data DIR [--port P] [--duration S] [--interval S]\n"
       "           [--queue-limit N] [--max-queue-wait-ms MS]\n"
       "           [--deadline-ms MS] [--probe on|off]\n"
+      "           [--degrade-depth N]   (downgrade exact queries to\n"
+      "           sampled evaluation at queue depth N instead of\n"
+      "           shedding; see docs/APPROXIMATION.md)\n"
       "           [--live on|off] [--stream-shards N]   (live monitor\n"
       "           replayed from the dataset; /query/live)\n"
       "           [--trace-sample F]   (request-trace head sampling)\n"

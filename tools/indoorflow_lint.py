@@ -57,8 +57,12 @@ Checks (each can be skipped with --skip <name>):
                 not rot: intra-repo links resolve, backticked repo paths
                 (src/..., docs/..., tools/..., ...) exist in the tree,
                 `EngineConfig::member` citations name real EngineConfig
-                fields, and `--flag` citations name real CLI flags
-                (indoorflow_cli or a tools/*.py argparse flag).
+                fields, `--flag` citations name real CLI flags
+                (indoorflow_cli or a tools/*.py argparse flag), and dotted
+                metric citations (`serve.shed`, `query.snapshot.count`)
+                name metrics src/ actually registers — literal
+                counter/gauge/histogram names plus the EngineMetrics
+                prefix cross product.
   ci            .github/workflows/ci.yml keeps its hygiene: every action
                 `uses:` is version-pinned, a top-level concurrency group
                 cancels superseded runs, jobs that apt-install cache
@@ -554,6 +558,30 @@ DOC_FLAG_TOKEN = re.compile(r"`--([a-z0-9][a-z0-9_-]*)")
 # Flags every tool accepts without declaring.
 DOC_BUILTIN_FLAGS = {"help"}
 
+# A backticked dotted metric citation (`serve.shed`, `query.snapshot.count`).
+# Only tokens whose first segment is a family root that src/ actually
+# registers are validated — other dotted backtick spans (file names, JSON
+# keys) are left alone.
+DOC_METRIC_TOKEN = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+)`")
+
+# A metric registered with a literal name:
+#   metrics.counter("serve.shed"), registry->gauge("streaming.tracks"), ...
+METRIC_REGISTRATION = re.compile(
+    r'\b(?:counter|gauge|histogram)\(\s*"([a-z0-9_.]+)"')
+
+# The engine's per-query-kind families are registered through a shared
+# prefix: EngineMetrics("query.snapshot.") builds each instrument with
+# `prefix + "count"` etc. The real name set is the cross product.
+METRIC_PREFIX = re.compile(r'EngineMetrics\(\s*"([a-z0-9_.]+)"')
+METRIC_PREFIX_SUFFIX = re.compile(
+    r'\b(?:counter|gauge|histogram)\(\s*prefix\s*\+\s*"([a-z0-9_.]+)"')
+
+# Dotted names attached to traces rather than the metrics registry
+# (EmitTraceEvent("executor.task"), span->AddEvent(hit ? "urcache.hit" :
+# "urcache.miss")) share family roots with metrics and are citable too.
+TRACE_NAME_CALL = re.compile(r"\b(?:EmitTraceEvent|AddEvent)\(([^;]*)")
+DOTTED_LITERAL = re.compile(r'"([a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
+
 
 def collect_engine_config_members(root: str) -> set[str]:
     """Member names of struct EngineConfig, parsed from engine.h."""
@@ -589,6 +617,26 @@ def collect_cli_flags(root: str) -> set[str]:
     return flags
 
 
+def collect_metric_names(root: str) -> set[str]:
+    """Every instrument name src/ registers or emits: literal
+    counter/gauge/histogram names, the EngineMetrics prefix x suffix
+    cross product, and trace span/event names."""
+    names: set[str] = set()
+    prefixes: set[str] = set()
+    suffixes: set[str] = set()
+    for path in repo_files(root, ("src",), (".h", ".cc")):
+        text = open(os.path.join(root, path), encoding="utf-8").read()
+        names.update(METRIC_REGISTRATION.findall(text))
+        prefixes.update(METRIC_PREFIX.findall(text))
+        suffixes.update(METRIC_PREFIX_SUFFIX.findall(text))
+        for call in TRACE_NAME_CALL.finditer(text):
+            names.update(DOTTED_LITERAL.findall(call.group(1)))
+    for prefix in prefixes:
+        for suffix in suffixes:
+            names.add(prefix + suffix)
+    return names
+
+
 def check_docs(root: str, errors: list[str]) -> None:
     doc_files = repo_files(root, ("docs",), (".md",))
     for extra in ("README.md", "ROADMAP.md"):
@@ -596,6 +644,8 @@ def check_docs(root: str, errors: list[str]) -> None:
             doc_files.append(extra)
     config_members = collect_engine_config_members(root)
     cli_flags = collect_cli_flags(root)
+    metric_names = collect_metric_names(root)
+    metric_roots = {name.split(".", 1)[0] for name in metric_names}
     for path in doc_files:
         full = os.path.join(root, path)
         base = os.path.dirname(full)
@@ -645,6 +695,20 @@ def check_docs(root: str, errors: list[str]) -> None:
                     errors.append(
                         f"{path}:{lineno}: '--{flag}' is not a flag of "
                         "indoorflow_cli or any tools/*.py script")
+            for match in DOC_METRIC_TOKEN.finditer(line):
+                token = match.group(1)
+                if token.split(".", 1)[0] not in metric_roots:
+                    continue  # not a metric family this repo registers
+                if token in metric_names:
+                    continue
+                # A family citation (`query.snapshot`) is fine when real
+                # metrics live under it.
+                if any(name.startswith(token + ".")
+                       for name in metric_names):
+                    continue
+                errors.append(
+                    f"{path}:{lineno}: metric '{token}' is not registered "
+                    "anywhere under src/")
 
 
 CI_WORKFLOW = os.path.join(".github", "workflows", "ci.yml")

@@ -42,6 +42,26 @@ int main() {
 }
 """
 
+METRICS_CC = """
+void Register(MetricsRegistry& reg) {
+  reg.counter("serve.requests");
+  reg.counter("serve.shed");
+  reg.histogram("serve.latency_us");
+  reg.gauge("streaming.tracks");
+  EmitTraceEvent("executor.task", 0, 0);
+  span->AddEvent(hit ? "urcache.hit" : "urcache.miss");
+}
+
+EngineMetrics::EngineMetrics(std::string prefix)
+    : count(reg.counter(prefix + "count")),
+      latency_us(reg.histogram(prefix + "latency_us")) {}
+
+EngineMetrics& Snapshot() {
+  static EngineMetrics m = EngineMetrics("query.snapshot.");
+  return m;
+}
+"""
+
 
 class DocsCheckTest(unittest.TestCase):
     def setUp(self):
@@ -52,6 +72,7 @@ class DocsCheckTest(unittest.TestCase):
         os.makedirs(os.path.join(self.root, "tools"))
         self.write("src/core/engine.h", ENGINE_H)
         self.write("src/core/engine.cc", "// impl\n")
+        self.write("src/common/metrics.cc", METRICS_CC)
         self.write("tools/indoorflow_cli.cc", CLI_CC)
 
     def tearDown(self):
@@ -122,6 +143,36 @@ class DocsCheckTest(unittest.TestCase):
         self.write("docs/GUIDE.md", (
             "All of `src/core/engine.{h,cc}` and `src/common/metrics.*`, "
             "see `src/core/engine.cc:42`.\n"))
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_registered_metric_citations_pass(self):
+        self.write("docs/GUIDE.md", (
+            "Watch `serve.shed` and `streaming.tracks`; per-query cost is "
+            "`query.snapshot.count` / `query.snapshot.latency_us`. Traces "
+            "carry `executor.task` spans and `urcache.hit` events.\n"))
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_phantom_metric_fails(self):
+        self.write("docs/GUIDE.md", "Alert on `serve.turbo_boost`.\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("serve.turbo_boost", errors[0])
+
+    def test_phantom_prefix_product_metric_fails(self):
+        self.write("docs/GUIDE.md", "Graph `query.snapshot.warp`.\n")
+        errors = self.docs_errors()
+        self.assertEqual(len(errors), 1)
+        self.assertIn("query.snapshot.warp", errors[0])
+
+    def test_metric_family_citation_passes(self):
+        self.write("docs/GUIDE.md",
+                   "The `query.snapshot` family counts snapshot work.\n")
+        self.assertEqual(self.docs_errors(), [])
+
+    def test_unregistered_family_roots_not_validated(self):
+        self.write("docs/GUIDE.md", (
+            "Merge into `baseline.json` after setting "
+            "`config.num_objects`.\n"))
         self.assertEqual(self.docs_errors(), [])
 
     def test_readme_and_roadmap_are_linted(self):
