@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <numeric>
 
 #include "src/common/random.h"
@@ -133,9 +134,15 @@ std::vector<FlowEstimate> EstimateFlows(
       if (s2 < 0.0) s2 = 0.0;  // guard against rounding
       const double fpc = 1.0 - n / big_n;
       est.std_err = std::sqrt(big_n * big_n * fpc * s2 / n);
+      est.ci_low = std::max(0.0, est.value - kZ95 * est.std_err);
+      est.ci_high = est.value + kZ95 * est.std_err;
+    } else {
+      // Fewer than two draws carry no within-sample variance: the error is
+      // undefined, not zero. NaN marks the fact so formatters can drop the
+      // fields instead of presenting the estimate as perfectly confident.
+      est.std_err = std::numeric_limits<double>::quiet_NaN();
+      est.ci_low = est.ci_high = est.std_err;
     }
-    est.ci_low = std::max(0.0, est.value - kZ95 * est.std_err);
-    est.ci_high = est.value + kZ95 * est.std_err;
     out.push_back(est);
   }
   return out;

@@ -56,7 +56,10 @@ enum class ApproxMode {
 /// approx, and per-request overrides on the serving layer).
 struct ApproxConfig {
   ApproxMode mode = ApproxMode::kExact;
-  /// Maximum number of objects evaluated by a sampled query.
+  /// Maximum number of objects evaluated by a sampled query. The CLI and
+  /// serving boundaries reject budgets below 2: a single draw has no
+  /// within-sample variance, so its error would be undefined (see
+  /// EstimateFlows).
   int64_t sample_budget = 256;
   /// kAdaptive samples only when the filter phase yields at least this many
   /// candidate objects; smaller populations are evaluated exactly.
@@ -69,8 +72,12 @@ struct ApproxConfig {
 
 /// One POI's flow estimate. `value` is the (estimated or exact) flow;
 /// `exact` is true when every candidate was evaluated, in which case
-/// std_err is 0 and the interval collapses to the value. The error field is
-/// named std_err because `stderr` is a <cstdio> macro.
+/// std_err is 0 and the interval collapses to the value. A sampled
+/// estimate built from fewer than two draws has an undefined error:
+/// std_err and the interval are NaN, never 0 (the boundaries require
+/// sample_budget >= 2, but a live query racing eviction can still lose
+/// draws). The error field is named std_err because `stderr` is a
+/// <cstdio> macro.
 struct FlowEstimate {
   PoiId poi = -1;
   double value = 0.0;
@@ -102,7 +109,11 @@ std::vector<size_t> SampleIndices(size_t population, size_t n, uint64_t seed);
 
 /// Assembles Horvitz–Thompson estimates for every POI in `subset_ids` from
 /// the per-POI presence sums and sums of squares accumulated over `sampled`
-/// of `population` objects. With sampled >= population the result is exact.
+/// of `population` objects. With sampled >= population the result is exact;
+/// with sampled < 2 (and not exact) the error fields are NaN (undefined).
+/// Callers must count only observations that actually contributed to the
+/// sums — an item that vanished mid-query leaves both `sampled` and
+/// `population`, it is not a zero.
 std::vector<FlowEstimate> EstimateFlows(
     const std::vector<PoiId>& subset_ids,
     const std::unordered_map<PoiId, double>& sums,

@@ -313,6 +313,16 @@ std::vector<PoiFlow> QueryEngine::SnapshotTopK(
                                                  subset, stats, profile,
                                                  control));
   }
+  return SnapshotTopKExact(t, k, algorithm, subset, stats, profile, control);
+}
+
+std::vector<PoiFlow> QueryEngine::SnapshotTopKExact(
+    Timestamp t, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile, const QueryControl* control) const {
+  // The metrics scope keeps the routed name: this is SnapshotTopK's exact
+  // body, reachable directly so a per-request approx=exact pin cannot be
+  // re-routed by a sampled engine config.
   QueryMetricsScope scope(SnapshotMetrics(), "SnapshotTopK", stats, profile,
                           recorder_, control);
   const PoiSelection selection = SelectPois(subset);
@@ -477,6 +487,16 @@ std::vector<PoiFlow> QueryEngine::IntervalTopK(
                                                  subset, stats, profile,
                                                  control));
   }
+  return IntervalTopKExact(ts, te, k, algorithm, subset, stats, profile,
+                           control);
+}
+
+std::vector<PoiFlow> QueryEngine::IntervalTopKExact(
+    Timestamp ts, Timestamp te, int k, Algorithm algorithm,
+    const std::vector<PoiId>* subset, QueryStats* stats,
+    QueryProfile* profile, const QueryControl* control) const {
+  // IntervalTopK's exact body under its routed metrics name, as in
+  // SnapshotTopKExact.
   QueryMetricsScope scope(IntervalMetrics(), "IntervalTopK", stats, profile,
                           recorder_, control);
   const PoiSelection selection = SelectPois(subset);

@@ -127,7 +127,8 @@ class QueryEngine {
   /// Approximation: with EngineConfig::approx.mode != kExact and
   /// Algorithm::kIterative, this (and IntervalTopK) routes through the
   /// estimate path and returns the estimated values; call
-  /// SnapshotTopKEstimate directly for the error bounds.
+  /// SnapshotTopKEstimate directly for the error bounds, or
+  /// SnapshotTopKExact to bypass the routing per call.
   std::vector<PoiFlow> SnapshotTopK(
       Timestamp t, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
@@ -136,8 +137,26 @@ class QueryEngine {
 
   /// Problem 2: the k POIs with the highest interval flow over [ts, te].
   /// Same thread-safety, determinism, and out-parameter contract as
-  /// SnapshotTopK.
+  /// SnapshotTopK, including the config-based approximate routing
+  /// (IntervalTopKExact bypasses it per call).
   std::vector<PoiFlow> IntervalTopK(
+      Timestamp ts, Timestamp te, int k, Algorithm algorithm,
+      const std::vector<PoiId>* subset = nullptr,
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
+
+  /// Exact evaluation regardless of EngineConfig::approx — the per-call
+  /// escape hatch for callers that must honor an explicit exact request
+  /// on a sampled-default engine (the serving layer's approx=exact pin).
+  /// SnapshotTopK / IntervalTopK delegate here when they do not reroute,
+  /// so results, stats, and metrics are bit-identical to calling them on
+  /// an exact-config engine.
+  std::vector<PoiFlow> SnapshotTopKExact(
+      Timestamp t, int k, Algorithm algorithm,
+      const std::vector<PoiId>* subset = nullptr,
+      QueryStats* stats = nullptr, QueryProfile* profile = nullptr,
+      const QueryControl* control = nullptr) const;
+  std::vector<PoiFlow> IntervalTopKExact(
       Timestamp ts, Timestamp te, int k, Algorithm algorithm,
       const std::vector<PoiId>* subset = nullptr,
       QueryStats* stats = nullptr, QueryProfile* profile = nullptr,

@@ -508,6 +508,12 @@ std::vector<FlowEstimate> StreamingMonitor::CurrentTopKEstimate(
     std::vector<double> presences;  // aligned with pois
   };
   std::vector<PickContribution> contribs(picks.size());
+  // Picks that vanish between the enumeration and evaluation passes (a
+  // concurrent eviction sweep) are not zero-presence observations: they
+  // must leave both the sample and the population, or the estimator and
+  // its variance would be biased downward every time a query races an
+  // eviction. An empty contribution from a *found* track is a real zero.
+  std::vector<uint8_t> found(picks.size(), 0);
   bool aborted = false;
   for (size_t s = 0; s < shards_.size() && !aborted; ++s) {
     if (by_shard[s].empty()) continue;
@@ -522,6 +528,7 @@ std::vector<FlowEstimate> StreamingMonitor::CurrentTopKEstimate(
       }
       const auto it = shard.tracks.find(refs[picks[p]].object);
       if (it == shard.tracks.end()) continue;  // raced an eviction sweep
+      found[p] = 1;
       const Region ur = TrackRegion(it->first, it->second, t);
       if (ur.IsEmpty()) continue;
       const Box bounds = ur.Bounds();
@@ -551,10 +558,18 @@ std::vector<FlowEstimate> StreamingMonitor::CurrentTopKEstimate(
   for (size_t i = 0; i < pois_.size(); ++i) {
     all_ids.push_back(static_cast<PoiId>(i));
   }
-  std::vector<FlowEstimate> estimates =
-      EstimateFlows(all_ids, sums, sums_sq, population, picks.size());
+  // Evaluated = picks actually found; vanished picks shrink the
+  // population the same way (the track no longer exists), so the
+  // remaining sample stays a uniform draw from the remaining tracks.
+  // Under abort the unvisited picks land here too, but the caller
+  // discards the partial result by contract.
+  const size_t evaluated = static_cast<size_t>(
+      std::count(found.begin(), found.end(), uint8_t{1}));
+  const size_t vanished = picks.size() - evaluated;
+  std::vector<FlowEstimate> estimates = EstimateFlows(
+      all_ids, sums, sums_sq, population - vanished, evaluated);
   metrics.sampled_queries.Add(1);
-  metrics.sampled_tracks.Add(static_cast<int64_t>(picks.size()));
+  metrics.sampled_tracks.Add(static_cast<int64_t>(evaluated));
   return TopKEstimates(std::move(estimates), k);
 }
 

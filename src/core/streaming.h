@@ -180,6 +180,15 @@ class StreamingMonitor {
       Timestamp t, int k, const ApproxConfig& approx,
       const QueryControl* control = nullptr) const;
 
+  /// The exact incremental top-k (CurrentTopK's pre-approximation body),
+  /// regardless of StreamingOptions::approx. CurrentTopK routes here when
+  /// options_.approx stays exact, CurrentTopKEstimate falls back here when
+  /// it decides not to sample, and the serving layer calls it directly so
+  /// a per-request approx=exact pin cannot be re-routed by a
+  /// sampled-default monitor.
+  std::vector<PoiFlow> ExactCurrentTopK(
+      Timestamp t, int k, const QueryControl* control = nullptr) const;
+
   /// The live uncertainty region of one object at `t` (empty when unknown,
   /// expired, before the object's first reading, or when `control` has
   /// already tripped).
@@ -243,12 +252,6 @@ class StreamingMonitor {
   /// eviction count lives in the mutable atomic).
   size_t EvictExpiredLocked(Shard& shard, Timestamp horizon) const
       INDOORFLOW_REQUIRES(shard.mu);
-
-  /// The exact incremental top-k (CurrentTopK's pre-approximation body);
-  /// CurrentTopK routes here when options_.approx stays exact, and
-  /// CurrentTopKEstimate falls back here when it decides not to sample.
-  std::vector<PoiFlow> ExactCurrentTopK(Timestamp t, int k,
-                                        const QueryControl* control) const;
 
   /// Rebuilds and publishes `shard.tally` for time `t` (evicting expired
   /// tracks on the way). Returns false — publishing nothing, leaving the

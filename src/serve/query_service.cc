@@ -278,8 +278,10 @@ Status ParseQuery(const HttpRequest& request,
   INDOORFLOW_RETURN_IF_ERROR(
       params.GetInt("sample_budget", &sample_budget, &found));
   if (found) {
-    if (sample_budget <= 0) {
-      return Status::InvalidArgument("sample_budget must be > 0");
+    // A single-draw sample has no within-sample variance, so its error
+    // would be undefined; require at least two draws up front.
+    if (sample_budget < 2) {
+      return Status::InvalidArgument("sample_budget must be >= 2");
     }
     out->approx.sample_budget = sample_budget;
   }
@@ -645,29 +647,34 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
           break;
       }
     } else {
+      // The *Exact entrypoints bypass the engine's and monitor's
+      // config-based approximate routing: on a sampled-default server a
+      // pinned approx=exact must stay exact, not silently re-route to
+      // estimates wearing the exact response shape.
       switch (query.kind) {
         case QueryKind::kSnapshot:
           results = query.density
                         ? engine_->SnapshotDensityTopK(
                               query.t, query.k, query.algorithm, nullptr,
                               &stats, nullptr, &control)
-                        : engine_->SnapshotTopK(query.t, query.k,
-                                                query.algorithm, nullptr,
-                                                &stats, nullptr, &control);
+                        : engine_->SnapshotTopKExact(query.t, query.k,
+                                                     query.algorithm,
+                                                     nullptr, &stats,
+                                                     nullptr, &control);
           break;
         case QueryKind::kInterval:
           results = query.density
                         ? engine_->IntervalDensityTopK(
                               query.ts, query.te, query.k, query.algorithm,
                               nullptr, &stats, nullptr, &control)
-                        : engine_->IntervalTopK(query.ts, query.te, query.k,
-                                                query.algorithm, nullptr,
-                                                &stats, nullptr, &control);
+                        : engine_->IntervalTopKExact(
+                              query.ts, query.te, query.k, query.algorithm,
+                              nullptr, &stats, nullptr, &control);
           break;
         case QueryKind::kLive:
           // The monitor has its own stats surface (streaming.* metrics);
           // outcome->stats stays zeroed, like a shed request's.
-          results = monitor_->CurrentTopK(query.t, query.k, &control);
+          results = monitor_->ExactCurrentTopK(query.t, query.k, &control);
           break;
       }
     }
@@ -707,7 +714,10 @@ HttpResponse QueryService::EvaluateTraced(const HttpRequest& request,
       response.body.append(",\"flow\":" + NumberJson(est.value));
       response.body.append(est.exact ? ",\"exact\":true"
                                      : ",\"exact\":false");
-      if (!est.exact) {
+      if (!est.exact && std::isfinite(est.std_err)) {
+        // A NaN std_err marks a degenerate (sub-two-sample) estimate whose
+        // error is undefined; omit the fields rather than render NaN as 0
+        // and dress a maximally uncertain answer up as a confident one.
         response.body.append(",\"stderr\":" + NumberJson(est.std_err));
         response.body.append(",\"ci95\":[" + NumberJson(est.ci_low) + "," +
                              NumberJson(est.ci_high) + "]");

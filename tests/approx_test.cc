@@ -125,6 +125,21 @@ TEST(ApproxPrimitivesTest, EstimateFlowsScalesAndBoundsError) {
   EXPECT_GT(noisy[0].ci_high, noisy[0].value);
 }
 
+TEST(ApproxPrimitivesTest, EstimateFlowsSingleSampleErrorUndefined) {
+  // One draw from eight still scales the point estimate, but a single
+  // sample carries no within-sample variance: the error is undefined
+  // (NaN), never a confident 0.
+  std::unordered_map<PoiId, double> sums{{0, 1.0}};
+  std::unordered_map<PoiId, double> sums_sq{{0, 1.0}};
+  const auto estimates = EstimateFlows({0}, sums, sums_sq, 8, 1);
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_FALSE(estimates[0].exact);
+  EXPECT_DOUBLE_EQ(estimates[0].value, 8.0);
+  EXPECT_TRUE(std::isnan(estimates[0].std_err));
+  EXPECT_TRUE(std::isnan(estimates[0].ci_low));
+  EXPECT_TRUE(std::isnan(estimates[0].ci_high));
+}
+
 TEST(ApproxPrimitivesTest, TopKEstimatesMatchesTopKContract) {
   std::vector<FlowEstimate> estimates;
   for (const auto& [poi, value] :
@@ -258,6 +273,24 @@ TEST_F(ApproxEngineFixture, EngineRoutingMatchesExplicitEstimateCalls) {
   const QueryEngine plain = MakeEngine(ApproxConfig{});
   ExpectSameFlows(engine.SnapshotTopK(t_, AllPois(), Algorithm::kJoin),
                   plain.SnapshotTopK(t_, AllPois(), Algorithm::kJoin));
+}
+
+TEST_F(ApproxEngineFixture, ExactEntrypointsBypassSampledConfig) {
+  // The *Exact entrypoints are the per-call escape hatch from the
+  // config-based routing: on a sampled-config engine they must stay
+  // bit-identical to an exact-config engine's SnapshotTopK/IntervalTopK.
+  ApproxConfig sampled;
+  sampled.mode = ApproxMode::kSampled;
+  sampled.sample_budget = 16;
+  const QueryEngine engine = MakeEngine(sampled);
+  const QueryEngine plain = MakeEngine(ApproxConfig{});
+
+  for (const Algorithm algo : {Algorithm::kIterative, Algorithm::kJoin}) {
+    ExpectSameFlows(engine.SnapshotTopKExact(t_, AllPois(), algo),
+                    plain.SnapshotTopK(t_, AllPois(), algo));
+    ExpectSameFlows(engine.IntervalTopKExact(ts_, te_, AllPois(), algo),
+                    plain.IntervalTopK(ts_, te_, AllPois(), algo));
+  }
 }
 
 TEST_F(ApproxEngineFixture, AdaptiveSwitchesOnPopulation) {
@@ -411,6 +444,21 @@ TEST_F(ApproxStreamingFixture, SampledLiveQueriesAreDeterministic) {
   ExpectSameFlows(monitor->CurrentTopK(t_, k),
                   EstimatesToFlows(monitor->CurrentTopKEstimate(t_, k,
                                                                 sampled)));
+}
+
+TEST_F(ApproxStreamingFixture, ExactCurrentTopKBypassesSampledOptions) {
+  // The public ExactCurrentTopK ignores StreamingOptions::approx — it is
+  // how the serving layer honors a pinned approx=exact on a
+  // sampled-default monitor.
+  ApproxConfig sampled;
+  sampled.mode = ApproxMode::kSampled;
+  sampled.sample_budget = 16;
+  const auto monitor = MakeMonitor(sampled);
+  const auto plain = MakeMonitor(ApproxConfig{});
+  const int k = static_cast<int>(dataset_.pois.size());
+
+  ExpectSameFlows(monitor->ExactCurrentTopK(t_, k),
+                  plain->CurrentTopK(t_, k));
 }
 
 }  // namespace

@@ -119,9 +119,13 @@ class ServeFixture : public ::testing::Test {
 
   /// A StreamingMonitor warmed with the dataset's tracking history (each
   /// record replayed as its boundary readings), for the /query/live route.
-  std::unique_ptr<StreamingMonitor> MakeLiveMonitor() {
+  /// `approx` sets the monitor's default evaluation mode (exact unless a
+  /// test exercises the sampled-default configuration).
+  std::unique_ptr<StreamingMonitor> MakeLiveMonitor(
+      const ApproxConfig& approx = ApproxConfig{}) {
     StreamingOptions options;
     options.vmax = dataset_.vmax;
+    options.approx = approx;
     options.expiry_seconds = 1e9;  // replayed history never expires
     auto monitor = std::make_unique<StreamingMonitor>(dataset_.deployment,
                                                       dataset_.pois, options);
@@ -336,6 +340,76 @@ TEST_F(ServeFixture, ExplicitExactApproxKeepsResponseShape) {
   EXPECT_EQ(results_of(plain), results_of(pinned));
 }
 
+TEST_F(ServeFixture, ExactPinBypassesSampledServiceDefault) {
+  // A server configured sampled end to end: engine config, monitor
+  // options, and service default all carry mode=kSampled. A client
+  // pinning approx=exact must still get the exact answer in the exact
+  // response shape — never a sampled estimate re-routed by the config.
+  ApproxConfig sampled;
+  sampled.mode = ApproxMode::kSampled;
+  sampled.sample_budget = 8;
+  EngineConfig engine_config;
+  engine_config.approx = sampled;
+  QueryEngine sampled_engine(dataset_, engine_config);
+  const auto sampled_monitor = MakeLiveMonitor(sampled);
+  QueryServiceOptions options;
+  options.approx = sampled;
+  QueryService service(&sampled_engine, options, sampled_monitor.get());
+
+  // Exact-default reference service over the same dataset.
+  const auto exact_monitor = MakeLiveMonitor();
+  QueryService exact_service(engine_.get(), QueryServiceOptions{},
+                             exact_monitor.get());
+
+  const int64_t now = MonotonicNowNs();
+  // Sanity: without a pin the sampled default really applies (20 objects
+  // against a budget of 8), so the exact-pin assertions below bite.
+  const HttpResponse defaulted = service.Evaluate(
+      Post("/query/snapshot",
+           "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\"}"),
+      now);
+  ASSERT_EQ(defaulted.code, 200) << defaulted.body;
+  EXPECT_NE(defaulted.body.find("\"approx\":\"sampled\""),
+            std::string::npos)
+      << defaulted.body;
+  EXPECT_NE(defaulted.body.find("\"exact\":false"), std::string::npos)
+      << defaulted.body;
+
+  const auto results_of = [](const std::string& body) {
+    return body.substr(body.find("\"results\""));
+  };
+  const struct {
+    const char* path;
+    const char* body;
+  } pinned[] = {
+      {"/query/snapshot",
+       "{\"t\": 300, \"k\": 3, \"algo\": \"iterative\", "
+       "\"approx\": \"exact\"}"},
+      {"/query/interval",
+       "{\"ts\": 200, \"te\": 400, \"k\": 3, \"algo\": \"iterative\", "
+       "\"approx\": \"exact\"}"},
+      {"/query/live", "{\"t\": 300, \"k\": 3, \"approx\": \"exact\"}"},
+  };
+  for (const auto& request : pinned) {
+    const HttpResponse response =
+        service.Evaluate(Post(request.path, request.body), now);
+    const HttpResponse reference =
+        exact_service.Evaluate(Post(request.path, request.body), now);
+    ASSERT_EQ(response.code, 200)
+        << request.path << " -> " << response.body;
+    // Exact responses keep the pre-approximation shape: no approx echo,
+    // no per-row estimate fields.
+    EXPECT_EQ(response.body.find("\"approx\""), std::string::npos)
+        << response.body;
+    EXPECT_EQ(response.body.find("\"stderr\""), std::string::npos)
+        << response.body;
+    EXPECT_EQ(response.body.find("\"exact\":"), std::string::npos)
+        << response.body;
+    EXPECT_EQ(results_of(response.body), results_of(reference.body))
+        << request.path;
+  }
+}
+
 TEST_F(ServeFixture, ApproxKnobRejectsUnsampleableShapes) {
   QueryService service(engine_.get(), QueryServiceOptions{});
   const int64_t now = MonotonicNowNs();
@@ -353,6 +427,11 @@ TEST_F(ServeFixture, ApproxKnobRejectsUnsampleableShapes) {
       {"/query/snapshot",
        "{\"t\": 300, \"algo\": \"iterative\", \"approx\": \"sampled\", "
        "\"sample_budget\": 0}"},
+      // A single draw has no within-sample variance, so its error bounds
+      // would be undefined: budgets below 2 are rejected up front.
+      {"/query/snapshot",
+       "{\"t\": 300, \"algo\": \"iterative\", \"approx\": \"sampled\", "
+       "\"sample_budget\": 1}"},
   };
   for (const auto& request : bad) {
     const HttpResponse response =

@@ -41,6 +41,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -307,8 +308,10 @@ Result<EngineBundle> MakeEngine(Flags& flags) {
   }
   approx.sample_budget = flags.GetInt(
       "sample-budget", static_cast<int>(approx.sample_budget));
-  if (approx.sample_budget <= 0) {
-    return Status::InvalidArgument("--sample-budget must be > 0");
+  if (approx.sample_budget < 2) {
+    // One draw has no within-sample variance, so its error bounds would
+    // be undefined; see docs/APPROXIMATION.md.
+    return Status::InvalidArgument("--sample-budget must be >= 2");
   }
 
   auto data = LoadDataDir(*dir);
@@ -360,6 +363,12 @@ void PrintTopKEstimates(const LoadedDataset& data,
   for (const FlowEstimate& e : top) {
     if (e.exact) {
       std::printf("%-6d %-24s %-10.4f %-9s exact\n", e.poi,
+                  data.pois[static_cast<size_t>(e.poi)].name.c_str(),
+                  e.value, "-");
+    } else if (!std::isfinite(e.std_err)) {
+      // Degenerate (< 2 evaluated draws) estimate: the error is
+      // undefined, not zero.
+      std::printf("%-6d %-24s %-10.4f %-9s undefined\n", e.poi,
                   data.pois[static_cast<size_t>(e.poi)].name.c_str(),
                   e.value, "-");
     } else {
